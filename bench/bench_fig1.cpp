@@ -1,0 +1,45 @@
+// Figure 1: fairness of existing neural architectures on different
+// attributes of ISIC2019.
+//   (a) age vs gender unfairness   (b) site vs gender   (c) site vs age
+// Expected shape: gender unfairness is small (< ~0.15) for every model,
+// age and site are both high (> ~0.25), and no single architecture
+// dominates both age and site (the Pareto frontier has several models).
+#include "bench_util.h"
+#include "fairness/pareto.h"
+
+using namespace muffin;
+
+int main() {
+  bench::print_header(
+      "Figure 1: unfairness of existing architectures (ISIC2019)",
+      "Paper: gender U < 0.12 for all models; age/site U > 0.25; the "
+      "age-best and site-best models differ (no architecture wins both).");
+
+  bench::IsicScenario scenario;
+  TextTable table({"model", "params", "acc", "U(age)", "U(site)",
+                   "U(gender)"});
+  std::vector<fairness::ParetoPoint> points;
+  for (std::size_t m = 0; m < scenario.pool.size(); ++m) {
+    const models::Model& model = scenario.pool.at(m);
+    const auto report = fairness::evaluate_model(model, scenario.test);
+    table.add_row({model.name(), std::to_string(model.parameter_count()),
+                   format_percent(report.accuracy),
+                   format_fixed(report.unfairness_for("age"), 3),
+                   format_fixed(report.unfairness_for("site"), 3),
+                   format_fixed(report.unfairness_for("gender"), 3)});
+    points.push_back({{report.unfairness_for("age"),
+                       report.unfairness_for("site")},
+                      m});
+  }
+  table.print(std::cout);
+
+  const fairness::Direction dirs[] = {fairness::Direction::Minimize,
+                                      fairness::Direction::Minimize};
+  const auto front = fairness::pareto_front(points, dirs);
+  std::cout << "\nFig. 1(c) Pareto frontier (age-U vs site-U): ";
+  for (const std::size_t idx : front) {
+    std::cout << scenario.pool.at(points[idx].payload).name() << "  ";
+  }
+  std::cout << "\n";
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Figure 2: no existing single-model method can improve two unfair
+// attributes simultaneously (the seesaw).
+// For MobileNet_V2, DenseNet121 and ResNet-18, apply Method D (data
+// balancing) and Method L (fair loss) to each of age/site and report the
+// (U_age, U_site) trajectory. Expected shape: the optimized attribute may
+// go down (unless the model is at its bottleneck) but the other attribute
+// always goes up.
+#include "baselines/single_attribute.h"
+#include "bench_util.h"
+
+using namespace muffin;
+
+int main() {
+  bench::print_header(
+      "Figure 2: single-attribute optimization seesaw (ISIC2019)",
+      "Paper: D(Age)/L(Age) increase site unfairness and vice versa; "
+      "DenseNet121 cannot improve site, ResNet-18 cannot improve age "
+      "(bottlenecks).");
+
+  bench::IsicScenario scenario;
+  for (const std::string arch :
+       {"MobileNet_V2", "DenseNet121", "ResNet-18"}) {
+    const auto& vanilla = dynamic_cast<const models::CalibratedModel&>(
+        scenario.pool.by_name(arch));
+    const auto base = fairness::evaluate_model(vanilla, scenario.full);
+
+    TextTable table({"variant", "U(age)", "U(site)", "acc",
+                     "age moved", "site moved"});
+    table.add_row({"vanilla", format_fixed(base.unfairness_for("age"), 3),
+                   format_fixed(base.unfairness_for("site"), 3),
+                   format_percent(base.accuracy), "-", "-"});
+    for (const std::string attr : {"age", "site"}) {
+      for (const baselines::Method method :
+           {baselines::Method::DataBalance, baselines::Method::FairLoss}) {
+        const auto optimized = baselines::optimize_calibrated(
+            vanilla, scenario.full, attr, method);
+        const auto report =
+            fairness::evaluate_model(*optimized, scenario.full);
+        const auto delta = [&](const std::string& a) {
+          const double d =
+              report.unfairness_for(a) - base.unfairness_for(a);
+          return (d < 0 ? "improved " : "worse ") + format_fixed(d, 3);
+        };
+        table.add_row({baselines::to_string(method) + "(" + attr + ")",
+                       format_fixed(report.unfairness_for("age"), 3),
+                       format_fixed(report.unfairness_for("site"), 3),
+                       format_percent(report.accuracy), delta("age"),
+                       delta("site")});
+      }
+    }
+    std::cout << "--- " << arch << " ---\n";
+    table.print(std::cout);
+    std::cout << "\n";
+  }
+  return 0;
+}

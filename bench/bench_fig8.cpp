@@ -1,0 +1,63 @@
+// Figure 8: detailed per-skin-tone accuracy of Muffin-Balance vs ResNet-18
+// on Fitzpatrick17K. Expected shape: Muffin gains on the middle tones
+// (white/medium), may trade a little on black, and the gap between the
+// lightest and darkest tones narrows — fairer at equal overall accuracy.
+#include "bench_util.h"
+#include "core/search.h"
+
+using namespace muffin;
+
+int main() {
+  const std::size_t episodes = bench::env_size("MUFFIN_EPISODES", 80);
+  bench::print_header(
+      "Figure 8: Muffin-Balance vs ResNet-18 per skin tone (Fitzpatrick17K)",
+      "Muffin-Balance = balanced point on the searched Pareto frontier");
+
+  bench::FitzpatrickScenario scenario;
+  const std::vector<std::string> pair = {"skin_tone", "type"};
+
+  rl::SearchSpace space;
+  space.pool_size = scenario.pool.size();
+  space.paired_models = 2;
+  core::MuffinSearchConfig config;
+  config.episodes = episodes;
+  config.controller_batch = 8;
+  config.reward.attributes = pair;
+  config.head_train.epochs = 14;
+  config.proxy.max_samples = 4000;
+  // Reward inference on the original (full) dataset, as in the paper.
+  core::MuffinSearch search(scenario.pool, scenario.train, scenario.full,
+                            space, config);
+  const core::SearchResult result = search.run();
+
+  // Muffin-Balance: the frontier episode with the best reward (balances
+  // accuracy against both unfairness scores by Eq. 3).
+  const auto fused =
+      search.build_fused(result.best().choice, "Muffin-Balance");
+  const auto muffin = fairness::evaluate_model(*fused, scenario.full);
+  const auto r18 = fairness::evaluate_model(
+      scenario.pool.by_name("ResNet-18"), scenario.full);
+
+  const std::size_t tone =
+      data::attribute_index(scenario.full.schema(), "skin_tone");
+  TextTable table({"skin tone", "ResNet-18", "Muffin-Balance", "delta",
+                   "unprivileged"});
+  for (std::size_t g = 0; g < scenario.full.schema()[tone].group_count();
+       ++g) {
+    const double a = r18.for_attribute("skin_tone").group_accuracy[g];
+    const double b = muffin.for_attribute("skin_tone").group_accuracy[g];
+    table.add_row({scenario.full.schema()[tone].groups[g],
+                   format_percent(a), format_percent(b),
+                   format_signed_percent(b - a),
+                   scenario.full.is_unprivileged(tone, g) ? "yes" : ""});
+  }
+  table.add_rule();
+  table.add_row({"overall", format_percent(r18.accuracy),
+                 format_percent(muffin.accuracy),
+                 format_signed_percent(muffin.accuracy - r18.accuracy), ""});
+  table.add_row({"U(skin_tone)", format_fixed(r18.unfairness_for("skin_tone"), 3),
+                 format_fixed(muffin.unfairness_for("skin_tone"), 3), "", ""});
+  table.print(std::cout);
+  std::cout << "\nMuffin-Balance body: " << result.best().body_names << "\n";
+  return 0;
+}

@@ -1,0 +1,178 @@
+// Performance microbenchmarks (google-benchmark): the hot paths of the
+// framework — head MLP forward/backward, calibrated score generation,
+// LSTM controller sampling/update, head training, fused prediction and a
+// full search episode.
+#include <benchmark/benchmark.h>
+
+#include "core/search.h"
+#include "data/generators.h"
+#include "models/pool.h"
+
+using namespace muffin;
+
+namespace {
+
+const data::Dataset& perf_dataset() {
+  static const data::Dataset ds = data::synthetic_isic2019(4000, 777);
+  return ds;
+}
+
+const models::ModelPool& perf_pool() {
+  static const models::ModelPool pool =
+      models::calibrated_isic_pool(perf_dataset());
+  return pool;
+}
+
+const core::ScoreCache& perf_cache() {
+  static const core::ScoreCache cache(perf_pool(), perf_dataset());
+  return cache;
+}
+
+nn::MlpSpec head_spec(std::size_t hidden) {
+  nn::MlpSpec spec;
+  spec.input_dim = 16;
+  spec.hidden_dims = {hidden, hidden};
+  spec.output_dim = 8;
+  return spec;
+}
+
+void BM_MlpForward(benchmark::State& state) {
+  nn::Mlp mlp(head_spec(static_cast<std::size_t>(state.range(0))));
+  SplitRng rng(1);
+  mlp.init(rng);
+  tensor::Vector input(16);
+  for (double& v : input) v = rng.normal();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mlp.forward(input));
+  }
+}
+BENCHMARK(BM_MlpForward)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_MlpForwardBackward(benchmark::State& state) {
+  nn::Mlp mlp(head_spec(static_cast<std::size_t>(state.range(0))));
+  SplitRng rng(1);
+  mlp.init(rng);
+  tensor::Vector input(16);
+  for (double& v : input) v = rng.normal();
+  const tensor::Vector grad(8, 0.1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mlp.forward(input));
+    benchmark::DoNotOptimize(mlp.backward(grad));
+  }
+}
+BENCHMARK(BM_MlpForwardBackward)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_CalibratedScores(benchmark::State& state) {
+  const models::Model& model = perf_pool().at(0);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.scores(perf_dataset().record(i)));
+    i = (i + 1) % perf_dataset().size();
+  }
+}
+BENCHMARK(BM_CalibratedScores);
+
+void BM_ControllerSample(benchmark::State& state) {
+  rl::SearchSpace space;
+  space.pool_size = 10;
+  space.paired_models = 2;
+  rl::RnnController controller(space, rl::ControllerConfig{});
+  SplitRng rng(3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(controller.sample(rng));
+  }
+}
+BENCHMARK(BM_ControllerSample);
+
+void BM_ControllerUpdate(benchmark::State& state) {
+  rl::SearchSpace space;
+  space.pool_size = 10;
+  space.paired_models = 2;
+  rl::RnnController controller(space, rl::ControllerConfig{});
+  SplitRng rng(3);
+  std::vector<rl::EpisodeResult> episodes;
+  for (int b = 0; b < 5; ++b) {
+    episodes.push_back({controller.sample(rng).tokens, 1.0 + 0.1 * b});
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(controller.update(episodes));
+  }
+}
+BENCHMARK(BM_ControllerUpdate);
+
+void BM_HeadTrainingEpoch(benchmark::State& state) {
+  const core::ProxyDataset proxy = core::build_proxy(
+      perf_dataset(),
+      core::ProxyConfig{.max_samples =
+                            static_cast<std::size_t>(state.range(0))});
+  rl::StructureChoice choice;
+  choice.model_indices = {0, 7};
+  choice.hidden_dims = {16, 10};
+  const core::FusingStructure structure =
+      core::FusingStructure::from_choice(choice, 8);
+  core::HeadTrainConfig config;
+  config.epochs = 1;
+  (void)perf_cache();  // materialize the score cache outside the timing loop
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::train_head(
+        perf_cache(), perf_dataset(), proxy, structure, config));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(proxy.size()));
+}
+BENCHMARK(BM_HeadTrainingEpoch)->Arg(500)->Arg(2000);
+
+void BM_FusedPredictions(benchmark::State& state) {
+  rl::StructureChoice choice;
+  choice.model_indices = {0, 7};
+  choice.hidden_dims = {16, 10};
+  const core::FusingStructure structure =
+      core::FusingStructure::from_choice(choice, 8);
+  const core::ProxyDataset proxy =
+      core::build_proxy(perf_dataset(), core::ProxyConfig{.max_samples = 500});
+  core::HeadTrainConfig config;
+  config.epochs = 2;
+  nn::Mlp head = core::train_head(perf_cache(), perf_dataset(), proxy,
+                                  structure, config);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::fused_predictions(perf_cache(), structure, head));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(perf_dataset().size()));
+}
+BENCHMARK(BM_FusedPredictions);
+
+void BM_SearchEpisode(benchmark::State& state) {
+  static data::Dataset train = [] {
+    SplitRng rng(1);
+    const auto split = perf_dataset().split(0.64, 0.16, rng);
+    return perf_dataset().subset(split.train, ":train");
+  }();
+  static data::Dataset val = [] {
+    SplitRng rng(1);
+    const auto split = perf_dataset().split(0.64, 0.16, rng);
+    return perf_dataset().subset(split.validation, ":val");
+  }();
+  rl::SearchSpace space;
+  space.pool_size = perf_pool().size();
+  space.paired_models = 2;
+  core::MuffinSearchConfig config;
+  config.episodes = 1;
+  config.reward.attributes = {"age", "site"};
+  config.head_train.epochs = 10;
+  config.proxy.max_samples = 2000;
+  static core::MuffinSearch search(perf_pool(), train, val, space, config);
+  rl::StructureChoice choice;
+  choice.model_indices = {1, 5};
+  choice.hidden_dims = {18, 12};
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(search.evaluate_choice(choice, seed++));
+  }
+}
+BENCHMARK(BM_SearchEpisode);
+
+}  // namespace
+
+BENCHMARK_MAIN();

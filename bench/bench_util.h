@@ -1,0 +1,91 @@
+// Shared setup for the paper-reproduction benches.
+//
+// Every bench binary regenerates one table or figure of the paper on the
+// synthetic scenario (DESIGN.md §1). Environment knobs:
+//   MUFFIN_SAMPLES       dataset size (default: the real dataset sizes,
+//                        25331 for ISIC2019 / 16577 for Fitzpatrick17K)
+//   MUFFIN_EPISODES      RL episodes for search benches (default per bench)
+//   MUFFIN_SEED          master scenario seed (default 2019)
+#pragma once
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "common/rng.h"
+#include "common/table.h"
+#include "data/generators.h"
+#include "fairness/metrics.h"
+#include "models/pool.h"
+
+namespace muffin::bench {
+
+inline std::size_t env_size(const char* name, std::size_t fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') return fallback;
+  const long long parsed = std::atoll(value);
+  return parsed > 0 ? static_cast<std::size_t>(parsed) : fallback;
+}
+
+/// The ISIC2019 scenario: full dataset, paper splits (64/16/20) and the
+/// ten-architecture calibrated pool.
+struct IsicScenario {
+  data::Dataset full;
+  data::Dataset train;
+  data::Dataset validation;
+  data::Dataset test;
+  models::ModelPool pool;
+
+  explicit IsicScenario(std::size_t samples = 0, std::uint64_t seed = 0)
+      : full(data::synthetic_isic2019(
+            samples ? samples : env_size("MUFFIN_SAMPLES", 25331),
+            seed ? seed : env_size("MUFFIN_SEED", 2019))),
+        pool(models::calibrated_isic_pool(full)) {
+    SplitRng rng(full.record(0).uid ^ 0x5eedULL);
+    const data::SplitIndices split = full.split(0.64, 0.16, rng);
+    train = full.subset(split.train, ":train");
+    validation = full.subset(split.validation, ":val");
+    test = full.subset(split.test, ":test");
+  }
+};
+
+/// The Fitzpatrick17K scenario (§4.5).
+struct FitzpatrickScenario {
+  data::Dataset full;
+  data::Dataset train;
+  data::Dataset validation;
+  data::Dataset test;
+  models::ModelPool pool;
+
+  explicit FitzpatrickScenario(std::size_t samples = 0)
+      : full(data::synthetic_fitzpatrick17k(
+            samples ? samples : env_size("MUFFIN_SAMPLES", 16577))),
+        pool(models::calibrated_fitzpatrick_pool(full)) {
+    SplitRng rng(full.record(0).uid ^ 0x5eedULL);
+    const data::SplitIndices split = full.split(0.64, 0.16, rng);
+    train = full.subset(split.train, ":train");
+    validation = full.subset(split.validation, ":val");
+    test = full.subset(split.test, ":test");
+  }
+};
+
+inline void print_header(const std::string& title, const std::string& note) {
+  std::cout << "\n=== " << title << " ===\n";
+  if (!note.empty()) std::cout << note << "\n";
+  std::cout << "\n";
+}
+
+/// Record indices of one attribute's unprivileged groups.
+inline std::vector<std::size_t> unprivileged_indices(
+    const data::Dataset& dataset, const std::string& attribute) {
+  const std::size_t a = data::attribute_index(dataset.schema(), attribute);
+  std::vector<std::size_t> indices;
+  for (std::size_t i = 0; i < dataset.size(); ++i) {
+    if (dataset.is_unprivileged(a, dataset.record(i).groups[a])) {
+      indices.push_back(i);
+    }
+  }
+  return indices;
+}
+
+}  // namespace muffin::bench

@@ -1,0 +1,70 @@
+// Controller playground: watch the REINFORCE controller learn.
+//
+// Runs the RNN controller against a *known* synthetic reward landscape
+// (no model training involved): reward peaks for one specific model pair
+// and head shape. Prints how the probability mass the controller assigns
+// to the optimum grows across updates — a minimal, fast way to understand
+// framework component #4 in isolation.
+#include <iomanip>
+#include <iostream>
+
+#include "rl/controller.h"
+
+using namespace muffin;
+
+int main() {
+  rl::SearchSpace space;
+  space.pool_size = 6;
+  space.paired_models = 2;
+  space.hidden_width_choices = {8, 12, 16};
+  space.min_hidden_layers = 1;
+  space.max_hidden_layers = 2;
+
+  // Ground-truth preferences of the synthetic landscape.
+  const std::size_t good_first = 2;
+  const std::size_t good_second = 4;
+  const auto reward_of = [&](const rl::StructureChoice& choice) {
+    double reward = 1.0;
+    if (choice.model_indices[0] == good_first) reward += 1.0;
+    if (choice.model_indices[1] == good_second) reward += 1.0;
+    if (choice.hidden_dims.size() == 2) reward += 0.5;
+    if (choice.activation == nn::Activation::Tanh) reward += 0.5;
+    return reward;
+  };
+
+  rl::ControllerConfig config;
+  config.seed = 3;
+  rl::RnnController controller(space, config);
+  SplitRng rng(17);
+
+  std::cout << "round  mean_reward  baseline  P(best pair sampled)\n";
+  for (int round = 0; round < 200; ++round) {
+    std::vector<rl::EpisodeResult> episodes;
+    for (int b = 0; b < 8; ++b) {
+      const rl::SampledStructure s = controller.sample(rng);
+      episodes.push_back({s.tokens, reward_of(s.choice)});
+    }
+    const rl::UpdateStats stats = controller.update(episodes);
+    if (round % 20 == 0 || round == 199) {
+      // Estimate how often the controller now samples the optimal pair.
+      std::size_t hits = 0;
+      const std::size_t trials = 200;
+      for (std::size_t t = 0; t < trials; ++t) {
+        const auto s = controller.sample(rng);
+        if (s.choice.model_indices[0] == good_first &&
+            s.choice.model_indices[1] == good_second) {
+          ++hits;
+        }
+      }
+      std::cout << std::setw(5) << round << "  " << std::fixed
+                << std::setprecision(3) << std::setw(11) << stats.mean_reward
+                << "  " << std::setw(8) << stats.baseline << "  "
+                << std::setw(8)
+                << static_cast<double>(hits) / static_cast<double>(trials)
+                << "\n";
+    }
+  }
+  std::cout << "\n(random chance for the exact pair is 1/30 = 0.033; the "
+               "controller should end far above that)\n";
+  return 0;
+}

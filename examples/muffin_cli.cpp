@@ -1,0 +1,246 @@
+// muffin_cli — command-line driver for the framework.
+//
+//   muffin_cli audit   [--dataset isic|fitzpatrick] [--samples N]
+//       fairness report of every pool model (accuracy, per-attribute U)
+//   muffin_cli seesaw  [--dataset ...] [--model NAME] [--attribute A]
+//       apply Method D and Method L to one model/attribute and show the
+//       cross-attribute effect
+//   muffin_cli search  [--dataset ...] [--episodes N] [--base NAME]
+//                      [--pairs K] [--csv FILE]
+//       run the Muffin RL search and print (optionally export) the episode
+//       archive and the best fused structure
+//
+// Exit code 0 on success; errors are reported with context on stderr.
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <string>
+
+#include "baselines/single_attribute.h"
+#include "common/error.h"
+#include "common/table.h"
+#include "core/search.h"
+#include "data/generators.h"
+#include "fairness/metrics.h"
+#include "models/pool.h"
+
+using namespace muffin;
+
+namespace {
+
+struct CliOptions {
+  std::string command;
+  std::string dataset = "isic";
+  std::string model;
+  std::string base;
+  std::string attribute = "age";
+  std::string csv_path;
+  std::size_t samples = 0;  // 0 = dataset default
+  std::size_t episodes = 120;
+  std::size_t pairs = 2;
+};
+
+CliOptions parse(int argc, char** argv) {
+  MUFFIN_REQUIRE(argc >= 2, "usage: muffin_cli <audit|seesaw|search> [...]");
+  CliOptions options;
+  options.command = argv[1];
+  for (int i = 2; i + 1 < argc; i += 2) {
+    const std::string key = argv[i];
+    const std::string value = argv[i + 1];
+    if (key == "--dataset") {
+      options.dataset = value;
+    } else if (key == "--model") {
+      options.model = value;
+    } else if (key == "--base") {
+      options.base = value;
+    } else if (key == "--attribute") {
+      options.attribute = value;
+    } else if (key == "--csv") {
+      options.csv_path = value;
+    } else if (key == "--samples") {
+      options.samples = static_cast<std::size_t>(std::stoull(value));
+    } else if (key == "--episodes") {
+      options.episodes = static_cast<std::size_t>(std::stoull(value));
+    } else if (key == "--pairs") {
+      options.pairs = static_cast<std::size_t>(std::stoull(value));
+    } else {
+      throw Error("unknown option: " + key);
+    }
+  }
+  return options;
+}
+
+struct Workbench {
+  data::Dataset full;
+  data::Dataset train;
+  data::Dataset validation;
+  models::ModelPool pool;
+  std::vector<std::string> unfair_attributes;
+};
+
+Workbench make_workbench(const CliOptions& options) {
+  const bool isic = options.dataset == "isic";
+  MUFFIN_REQUIRE(isic || options.dataset == "fitzpatrick",
+                 "--dataset must be isic or fitzpatrick");
+  Workbench bench{
+      isic ? data::synthetic_isic2019(options.samples ? options.samples
+                                                      : 25331)
+           : data::synthetic_fitzpatrick17k(options.samples ? options.samples
+                                                            : 16577),
+      {}, {}, {}, {}};
+  SplitRng rng(99);
+  const data::SplitIndices split = bench.full.split(0.64, 0.16, rng);
+  bench.train = bench.full.subset(split.train, ":train");
+  bench.validation = bench.full.subset(split.validation, ":val");
+  bench.pool = isic ? models::calibrated_isic_pool(bench.full)
+                    : models::calibrated_fitzpatrick_pool(bench.full);
+  bench.unfair_attributes =
+      isic ? std::vector<std::string>{"age", "site"}
+           : std::vector<std::string>{"skin_tone", "type"};
+  return bench;
+}
+
+int run_audit(const CliOptions& options) {
+  const Workbench bench = make_workbench(options);
+  std::vector<std::string> header = {"model", "params", "accuracy"};
+  for (const auto& attr : bench.full.schema()) {
+    header.push_back("U(" + attr.name + ")");
+  }
+  TextTable table(header);
+  for (std::size_t m = 0; m < bench.pool.size(); ++m) {
+    const models::Model& model = bench.pool.at(m);
+    const auto report = fairness::evaluate_model(model, bench.full);
+    std::vector<std::string> row = {
+        model.name(), std::to_string(model.parameter_count()),
+        format_percent(report.accuracy)};
+    for (const auto& attr : bench.full.schema()) {
+      row.push_back(format_fixed(report.unfairness_for(attr.name), 3));
+    }
+    table.add_row(std::move(row));
+  }
+  table.print(std::cout);
+  if (!options.csv_path.empty()) {
+    std::ofstream out(options.csv_path);
+    out << table.to_csv();
+    std::cout << "wrote " << options.csv_path << "\n";
+  }
+  return 0;
+}
+
+int run_seesaw(const CliOptions& options) {
+  const Workbench bench = make_workbench(options);
+  const std::string model_name =
+      options.model.empty() ? bench.pool.at(0).name() : options.model;
+  const auto& model = dynamic_cast<const models::CalibratedModel&>(
+      bench.pool.by_name(model_name));
+  const auto before = fairness::evaluate_model(model, bench.full);
+
+  std::vector<std::string> header = {"variant", "accuracy"};
+  for (const std::string& attr : bench.unfair_attributes) {
+    header.push_back("U(" + attr + ")");
+  }
+  TextTable table(header);
+  const auto add_row = [&](const std::string& name,
+                           const fairness::FairnessReport& report) {
+    std::vector<std::string> row = {name, format_percent(report.accuracy)};
+    for (const std::string& attr : bench.unfair_attributes) {
+      row.push_back(format_fixed(report.unfairness_for(attr), 3));
+    }
+    table.add_row(std::move(row));
+  };
+  add_row("vanilla", before);
+  for (const baselines::Method method :
+       {baselines::Method::DataBalance, baselines::Method::FairLoss}) {
+    const auto optimized = baselines::optimize_calibrated(
+        model, bench.full, options.attribute, method);
+    add_row(baselines::to_string(method) + "(" + options.attribute + ")",
+            fairness::evaluate_model(*optimized, bench.full));
+  }
+  std::cout << "seesaw for " << model_name << " targeting "
+            << options.attribute << ":\n";
+  table.print(std::cout);
+  return 0;
+}
+
+int run_search(const CliOptions& options) {
+  const Workbench bench = make_workbench(options);
+  rl::SearchSpace space;
+  space.pool_size = bench.pool.size();
+  space.paired_models = options.pairs;
+  if (!options.base.empty()) {
+    space.forced_models = {bench.pool.index_of(options.base)};
+  }
+
+  core::MuffinSearchConfig config;
+  config.episodes = options.episodes;
+  config.controller_batch = 8;
+  config.reward.attributes = bench.unfair_attributes;
+  config.head_train.epochs = 14;
+  config.proxy.max_samples = 4000;
+  config.on_episode = [&](std::size_t episode, const core::EpisodeRecord& r) {
+    if ((episode + 1) % 40 == 0) {
+      std::cerr << "episode " << episode + 1 << "/" << options.episodes
+                << " best-so-far reward pending, last=" << r.reward << "\n";
+    }
+  };
+
+  core::MuffinSearch search(bench.pool, bench.train, bench.full, space,
+                            config);
+  const core::SearchResult result = search.run();
+  const core::EpisodeRecord& best = result.best();
+
+  std::cout << "best structure: " << best.body_names << "  head "
+            << core::FusingStructure::from_choice(best.choice,
+                                                  bench.full.num_classes())
+                   .head_spec.to_string()
+            << "  act=" << nn::to_string(best.choice.activation) << "\n";
+  std::cout << "reward " << format_fixed(best.reward, 3) << "  accuracy "
+            << format_percent(best.eval_report.accuracy);
+  for (const std::string& attr : bench.unfair_attributes) {
+    std::cout << "  U(" << attr << ") "
+              << format_fixed(best.eval_report.unfairness_for(attr), 3);
+  }
+  std::cout << "  params " << best.parameter_count << "\n";
+
+  if (!options.csv_path.empty()) {
+    std::vector<std::string> header = {"episode", "body", "reward",
+                                       "accuracy", "params"};
+    for (const std::string& attr : bench.unfair_attributes) {
+      header.push_back("U_" + attr);
+    }
+    TextTable archive(header);
+    for (std::size_t i = 0; i < result.episodes.size(); ++i) {
+      const auto& episode = result.episodes[i];
+      std::vector<std::string> row = {
+          std::to_string(i), episode.body_names,
+          format_fixed(episode.reward, 4),
+          format_fixed(episode.eval_report.accuracy, 4),
+          std::to_string(episode.parameter_count)};
+      for (const std::string& attr : bench.unfair_attributes) {
+        row.push_back(
+            format_fixed(episode.eval_report.unfairness_for(attr), 4));
+      }
+      archive.add_row(std::move(row));
+    }
+    std::ofstream out(options.csv_path);
+    out << archive.to_csv();
+    std::cout << "wrote episode archive to " << options.csv_path << "\n";
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const CliOptions options = parse(argc, argv);
+    if (options.command == "audit") return run_audit(options);
+    if (options.command == "seesaw") return run_seesaw(options);
+    if (options.command == "search") return run_search(options);
+    throw Error("unknown command '" + options.command +
+                "' (expected audit, seesaw or search)");
+  } catch (const std::exception& error) {
+    std::cerr << "muffin_cli: " << error.what() << "\n";
+    return 1;
+  }
+}

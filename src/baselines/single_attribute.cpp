@@ -1,0 +1,165 @@
+#include "baselines/single_attribute.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+#include "common/stats.h"
+
+namespace muffin::baselines {
+
+std::string to_string(Method method) {
+  switch (method) {
+    case Method::DataBalance:
+      return "D";
+    case Method::FairLoss:
+      return "L";
+  }
+  throw Error("unknown baseline method");
+}
+
+double attribute_hardness(std::size_t group_count) {
+  return clamp((static_cast<double>(group_count) - 4.0) / 6.0, 0.0, 1.0);
+}
+
+double capacity_score(std::size_t parameter_count) {
+  MUFFIN_REQUIRE(parameter_count > 0, "parameter count must be positive");
+  const double log_params = std::log10(static_cast<double>(parameter_count));
+  return clamp((log_params - 5.5) / 2.0, 0.0, 1.0);
+}
+
+TransferOutcome transfer_profile(const models::CalibratedModel& model,
+                                 const data::Dataset& dataset,
+                                 const std::string& attribute, Method method,
+                                 TransferConfig config) {
+  const models::ArchitectureProfile& vanilla = model.profile();
+  const std::size_t attr_index =
+      data::attribute_index(dataset.schema(), attribute);
+  const double u_target = vanilla.unfairness_for(attribute);
+  const double floor = vanilla.floor_for(attribute);
+  const double hardness =
+      attribute_hardness(dataset.schema()[attr_index].group_count());
+  const double capacity = capacity_score(vanilla.parameter_count);
+
+  const bool is_data = method == Method::DataBalance;
+  const double gain = is_data ? config.gain_data : config.gain_loss;
+  const double spill = is_data ? config.spill_data : config.spill_loss;
+  const double backfire = is_data ? config.backfire_data : config.backfire_loss;
+
+  // Failure analysis: bottlenecked models and hard-attribute/small-model
+  // combinations get worse when pushed (paper Observation 2 & Table I).
+  const double headroom = u_target - floor;
+  const bool bottlenecked = headroom < config.bottleneck_margin;
+  const double fail_score = hardness * (1.0 - capacity);
+  const bool failed = bottlenecked || fail_score > config.fail_threshold;
+
+  TransferOutcome outcome;
+  outcome.profile = vanilla;
+  outcome.profile.name =
+      vanilla.name + "+" + to_string(method) + "(" + attribute + ")";
+  // Couple the optimized model's random streams to the base model (common
+  // random numbers): before/after comparisons then isolate the profile
+  // change instead of re-rolling every record's idiosyncratic noise.
+  if (outcome.profile.calibration_alias.empty()) {
+    outcome.profile.calibration_alias = vanilla.name;
+  }
+
+  double new_target = 0.0;
+  if (failed) {
+    // Backfire scales with how hard the attribute is to balance.
+    new_target = u_target * (1.0 + backfire * (0.3 + hardness));
+    outcome.target_improved = false;
+  } else {
+    const double headroom_fraction = headroom / std::max(u_target, 1e-9);
+    const double achieved =
+        gain * (0.4 + 0.6 * headroom_fraction) * (1.0 - 0.5 * fail_score);
+    new_target = std::max(floor, u_target * (1.0 - achieved));
+    outcome.target_improved = new_target < u_target;
+  }
+  outcome.profile.unfairness[attribute] = new_target;
+
+  // Seesaw spill onto every other attribute with a nonzero target; spraying
+  // is worse when the *targeted* attribute is the hard one (re-balancing 9
+  // site groups distorts the age distribution more than vice versa).
+  for (auto& [name, value] : outcome.profile.unfairness) {
+    if (name == attribute || value <= 0.0) continue;
+    value *= 1.0 + spill * (0.3 + 1.5 * hardness);
+  }
+
+  // Accuracy: D helps small models (more effective data), mildly; L pays an
+  // accuracy tax that grows with attribute hardness.
+  if (is_data) {
+    outcome.profile.accuracy +=
+        config.acc_gain_data * (1.0 - capacity) - 0.004 * hardness;
+  } else {
+    outcome.profile.accuracy -=
+        config.acc_drop_loss * (0.5 + hardness) + 0.004 * (1.0 - capacity);
+  }
+  outcome.profile.accuracy = clamp(outcome.profile.accuracy, 0.05, 0.99);
+  return outcome;
+}
+
+models::ModelPtr optimize_calibrated(const models::CalibratedModel& model,
+                                     const data::Dataset& dataset,
+                                     const std::string& attribute,
+                                     Method method, TransferConfig config) {
+  TransferOutcome outcome =
+      transfer_profile(model, dataset, attribute, method, config);
+  return std::make_shared<models::CalibratedModel>(
+      std::move(outcome.profile), dataset, model.config());
+}
+
+std::vector<double> method_weights(const data::Dataset& train,
+                                   const std::string& attribute,
+                                   Method method, double lambda) {
+  MUFFIN_REQUIRE(lambda >= 0.0, "lambda must be non-negative");
+  const std::size_t attr_index =
+      data::attribute_index(train.schema(), attribute);
+  const std::vector<std::size_t> sizes = train.group_sizes(attr_index);
+  const std::size_t group_count = train.schema()[attr_index].group_count();
+
+  std::vector<double> group_weight(group_count, 1.0);
+  if (method == Method::DataBalance) {
+    // Inverse-frequency oversampling: every group contributes equal total
+    // mass, which is what duplicating unprivileged images achieves.
+    const double total = static_cast<double>(train.size());
+    for (std::size_t g = 0; g < group_count; ++g) {
+      if (sizes[g] == 0) continue;
+      group_weight[g] = total / (static_cast<double>(group_count) *
+                                 static_cast<double>(sizes[g]));
+    }
+  } else {
+    // Cost-sensitive fair loss: boost the unprivileged groups of the
+    // target attribute by lambda.
+    for (std::size_t g = 0; g < group_count; ++g) {
+      if (train.is_unprivileged(attr_index, g)) {
+        group_weight[g] = 1.0 + lambda;
+      }
+    }
+  }
+
+  std::vector<double> weights(train.size(), 1.0);
+  double sum = 0.0;
+  for (std::size_t i = 0; i < train.size(); ++i) {
+    weights[i] = group_weight[train.record(i).groups[attr_index]];
+    sum += weights[i];
+  }
+  // Normalize to mean 1 so the learning-rate scale is method-independent.
+  const double scale = static_cast<double>(train.size()) / sum;
+  for (double& w : weights) w *= scale;
+  return weights;
+}
+
+std::shared_ptr<models::TrainableClassifier> optimize_trainable(
+    const data::Dataset& train, const std::string& attribute, Method method,
+    models::TrainableConfig config, double lambda) {
+  const std::vector<double> weights =
+      method_weights(train, attribute, method, lambda);
+  auto classifier = std::make_shared<models::TrainableClassifier>(
+      "trainable+" + to_string(method) + "(" + attribute + ")", train,
+      config);
+  classifier->fit(train, weights);
+  return classifier;
+}
+
+}  // namespace muffin::baselines

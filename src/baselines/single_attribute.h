@@ -1,0 +1,93 @@
+// Single-attribute fairness baselines: Method D and Method L (paper §2, §4).
+//
+// D ("data"): re-balance the training distribution in favour of the target
+// attribute's unprivileged groups (oversampling / augmentation, ref. [33]).
+// L ("loss"): fairness-aware loss — cost-sensitive weighting of the training
+// objective toward the target attribute (weighted balanced-type loss,
+// ref. [34]).
+//
+// Two execution paths are provided:
+//
+// 1. optimize_trainable(): genuinely retrains a TrainableClassifier with
+//    method-specific sample weights. Because the synthetic generator makes
+//    unprivileged groups of different attributes anti-co-occur, re-balancing
+//    one attribute measurably unbalances the other — the Fig. 2 seesaw
+//    emerges from real training here.
+//
+// 2. optimize_calibrated(): applies a *transfer model* to a CalibratedModel
+//    profile, producing the optimized model's profile directly. Its
+//    constants are calibrated to Table I and encode the paper's three
+//    observations: (a) the seesaw (spill onto the untargeted attribute),
+//    (b) bottlenecks (models already near their floor backfire when pushed,
+//    e.g. DenseNet121 on site), and (c) hard attributes (many groups) defeat
+//    small-capacity models outright (e.g. ShuffleNet on site).
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "data/dataset.h"
+#include "models/calibrated.h"
+#include "models/trainable.h"
+
+namespace muffin::baselines {
+
+enum class Method {
+  DataBalance,  ///< "D" — oversample unprivileged groups of the attribute
+  FairLoss      ///< "L" — fairness-regularized (cost-sensitive) loss
+};
+
+[[nodiscard]] std::string to_string(Method method);
+
+/// Transfer-model constants (see file comment; defaults match Table I).
+struct TransferConfig {
+  double gain_data = 0.45;        ///< U reduction fraction, Method D
+  double gain_loss = 0.35;        ///< U reduction fraction, Method L
+  double spill_data = 0.15;       ///< base spill onto untargeted attributes
+  double spill_loss = 0.25;
+  double backfire_data = 0.22;    ///< U increase when optimization fails
+  double backfire_loss = 0.28;
+  double bottleneck_margin = 0.05;  ///< headroom below which models backfire
+  double fail_threshold = 0.45;   ///< hardness*(1-capacity) beyond this fails
+  double acc_gain_data = 0.018;   ///< D accuracy shift scale (small models)
+  double acc_drop_loss = 0.020;   ///< L accuracy penalty scale
+};
+
+/// Attribute hardness in [0, 1]: attributes with more groups are harder to
+/// balance (paper §4.2 item 4: site's 9 subgroups vs age's 6).
+[[nodiscard]] double attribute_hardness(std::size_t group_count);
+
+/// Model capacity in [0, 1] from the parameter count (log scale).
+[[nodiscard]] double capacity_score(std::size_t parameter_count);
+
+/// Result of applying a method to a calibrated model.
+struct TransferOutcome {
+  models::ArchitectureProfile profile;  ///< optimized profile
+  bool target_improved = false;         ///< did U_target go down?
+};
+
+/// Derive the optimized profile for `model` targeting `attribute`.
+[[nodiscard]] TransferOutcome transfer_profile(
+    const models::CalibratedModel& model, const data::Dataset& dataset,
+    const std::string& attribute, Method method, TransferConfig config = {});
+
+/// Apply a method to a calibrated model; returns the optimized model
+/// (named e.g. "ResNet-18+D(age)") calibrated against `dataset`.
+[[nodiscard]] models::ModelPtr optimize_calibrated(
+    const models::CalibratedModel& model, const data::Dataset& dataset,
+    const std::string& attribute, Method method, TransferConfig config = {});
+
+/// Method-specific per-sample training weights for the trainable path.
+/// D: inverse group-frequency weights on the target attribute.
+/// L: cost-sensitive weights boosting unprivileged groups by `lambda`.
+[[nodiscard]] std::vector<double> method_weights(const data::Dataset& train,
+                                                 const std::string& attribute,
+                                                 Method method,
+                                                 double lambda = 1.5);
+
+/// Retrain a fresh classifier on `train` with method weights.
+[[nodiscard]] std::shared_ptr<models::TrainableClassifier> optimize_trainable(
+    const data::Dataset& train, const std::string& attribute, Method method,
+    models::TrainableConfig config = {}, double lambda = 1.5);
+
+}  // namespace muffin::baselines

@@ -1,0 +1,15 @@
+#include "common/error.h"
+
+#include <sstream>
+
+namespace muffin::detail {
+
+void throw_error(const char* file, int line, const char* cond,
+                 const std::string& message) {
+  std::ostringstream os;
+  os << message << " [requirement `" << cond << "` failed at " << file << ':'
+     << line << ']';
+  throw Error(os.str());
+}
+
+}  // namespace muffin::detail

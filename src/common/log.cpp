@@ -1,0 +1,41 @@
+#include "common/log.h"
+
+#include <atomic>
+#include <iostream>
+
+namespace muffin {
+
+namespace {
+std::atomic<LogLevel>& level_storage() {
+  static std::atomic<LogLevel> level{LogLevel::Warn};
+  return level;
+}
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::Debug:
+      return "DEBUG";
+    case LogLevel::Info:
+      return "INFO";
+    case LogLevel::Warn:
+      return "WARN";
+    case LogLevel::Error:
+      return "ERROR";
+    case LogLevel::Off:
+      return "OFF";
+  }
+  return "?";
+}
+}  // namespace
+
+void set_log_level(LogLevel level) { level_storage().store(level); }
+
+LogLevel log_level() { return level_storage().load(); }
+
+void log_message(LogLevel level, const std::string& message) {
+  if (static_cast<int>(level) < static_cast<int>(log_level())) return;
+  if (level == LogLevel::Off) return;
+  std::cerr << "[muffin:" << level_name(level) << "] " << message << '\n';
+}
+
+}  // namespace muffin

@@ -1,0 +1,46 @@
+// Minimal leveled logger.
+//
+// The search driver reports episode progress through this interface; tests
+// silence it, benches set Info. There is no global mutable state beyond the
+// process-wide level, which is encapsulated behind functions (I.2).
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace muffin {
+
+enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
+
+/// Set the process-wide log level (default: Warn).
+void set_log_level(LogLevel level);
+[[nodiscard]] LogLevel log_level();
+
+/// Emit a message at the given level to stderr if enabled.
+void log_message(LogLevel level, const std::string& message);
+
+namespace detail {
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { log_message(level_, os_.str()); }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    os_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream os_;
+};
+}  // namespace detail
+
+}  // namespace muffin
+
+#define MUFFIN_LOG_DEBUG ::muffin::detail::LogLine(::muffin::LogLevel::Debug)
+#define MUFFIN_LOG_INFO ::muffin::detail::LogLine(::muffin::LogLevel::Info)
+#define MUFFIN_LOG_WARN ::muffin::detail::LogLine(::muffin::LogLevel::Warn)
+#define MUFFIN_LOG_ERROR ::muffin::detail::LogLine(::muffin::LogLevel::Error)

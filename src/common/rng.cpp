@@ -1,0 +1,83 @@
+#include "common/rng.h"
+
+#include "common/error.h"
+
+namespace muffin {
+
+std::uint64_t fnv1a64(std::string_view text) {
+  std::uint64_t hash = 0xcbf29ce484222325ULL;
+  for (const char c : text) {
+    hash ^= static_cast<std::uint64_t>(static_cast<unsigned char>(c));
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+SplitRng SplitRng::fork(std::string_view name) const {
+  // Mix the master seed with the substream name; the multiply/xor spreading
+  // (splitmix64 finalizer) keeps adjacent names decorrelated.
+  std::uint64_t z = seed_ ^ fnv1a64(name);
+  z += 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  z ^= z >> 31;
+  return SplitRng(z);
+}
+
+double SplitRng::uniform() {
+  return std::uniform_real_distribution<double>(0.0, 1.0)(engine_);
+}
+
+double SplitRng::uniform(double lo, double hi) {
+  MUFFIN_REQUIRE(lo <= hi, "uniform(lo, hi) requires lo <= hi");
+  return std::uniform_real_distribution<double>(lo, hi)(engine_);
+}
+
+std::size_t SplitRng::index(std::size_t n) {
+  MUFFIN_REQUIRE(n > 0, "index(n) requires n > 0");
+  return std::uniform_int_distribution<std::size_t>(0, n - 1)(engine_);
+}
+
+double SplitRng::normal() {
+  return std::normal_distribution<double>(0.0, 1.0)(engine_);
+}
+
+double SplitRng::normal(double mean, double stddev) {
+  MUFFIN_REQUIRE(stddev >= 0.0, "normal stddev must be non-negative");
+  if (stddev == 0.0) return mean;
+  return std::normal_distribution<double>(mean, stddev)(engine_);
+}
+
+bool SplitRng::bernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return std::bernoulli_distribution(p)(engine_);
+}
+
+std::size_t SplitRng::categorical(const std::vector<double>& weights) {
+  MUFFIN_REQUIRE(!weights.empty(), "categorical requires weights");
+  double total = 0.0;
+  for (const double w : weights) {
+    MUFFIN_REQUIRE(w >= 0.0, "categorical weights must be non-negative");
+    total += w;
+  }
+  MUFFIN_REQUIRE(total > 0.0, "categorical requires a positive weight");
+  double point = uniform() * total;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    point -= weights[i];
+    if (point <= 0.0) return i;
+  }
+  return weights.size() - 1;  // numeric edge: landed past the last bucket
+}
+
+std::vector<std::size_t> SplitRng::sample_without_replacement(std::size_t n,
+                                                              std::size_t k) {
+  MUFFIN_REQUIRE(k <= n, "cannot sample more items than the population");
+  std::vector<std::size_t> pool(n);
+  for (std::size_t i = 0; i < n; ++i) pool[i] = i;
+  shuffle(pool);
+  pool.resize(k);
+  return pool;
+}
+
+}  // namespace muffin

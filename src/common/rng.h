@@ -1,0 +1,63 @@
+// Deterministic random number generation.
+//
+// Every stochastic component of the library draws from a SplitRng seeded
+// explicitly by the caller; there is no global random state (I.2). SplitRng
+// supports *named substreams* (`fork`), so independent components (dataset
+// generation, model calibration, controller sampling, head initialization)
+// get decorrelated, reproducible streams from one master seed.
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <string_view>
+#include <vector>
+
+namespace muffin {
+
+/// Deterministic RNG wrapper around std::mt19937_64 with named substreams.
+class SplitRng {
+ public:
+  explicit SplitRng(std::uint64_t seed) : engine_(seed), seed_(seed) {}
+
+  /// Derive an independent, reproducible substream. The same (seed, name)
+  /// pair always yields the same stream, regardless of draw order elsewhere.
+  [[nodiscard]] SplitRng fork(std::string_view name) const;
+
+  /// Uniform real in [0, 1).
+  double uniform();
+  /// Uniform real in [lo, hi).
+  double uniform(double lo, double hi);
+  /// Uniform integer in [0, n). Requires n > 0.
+  std::size_t index(std::size_t n);
+  /// Standard normal draw.
+  double normal();
+  /// Normal draw with the given mean and standard deviation.
+  double normal(double mean, double stddev);
+  /// Bernoulli draw with success probability p (clamped to [0, 1]).
+  bool bernoulli(double p);
+  /// Sample an index from an unnormalized non-negative weight vector.
+  /// Requires at least one strictly positive weight.
+  std::size_t categorical(const std::vector<double>& weights);
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& items) {
+    for (std::size_t i = items.size(); i > 1; --i) {
+      std::swap(items[i - 1], items[index(i)]);
+    }
+  }
+  /// Sample k distinct indices from [0, n) (k <= n), in random order.
+  std::vector<std::size_t> sample_without_replacement(std::size_t n,
+                                                      std::size_t k);
+
+  [[nodiscard]] std::uint64_t seed() const { return seed_; }
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+  std::uint64_t seed_;
+};
+
+/// Stable 64-bit FNV-1a hash (used for substream derivation and tests).
+[[nodiscard]] std::uint64_t fnv1a64(std::string_view text);
+
+}  // namespace muffin

@@ -1,0 +1,91 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace muffin {
+
+double mean(std::span<const double> values) {
+  if (values.empty()) return 0.0;
+  double sum = 0.0;
+  for (const double v : values) sum += v;
+  return sum / static_cast<double>(values.size());
+}
+
+double stddev(std::span<const double> values) {
+  if (values.size() < 2) return 0.0;
+  const double m = mean(values);
+  double sq = 0.0;
+  for (const double v : values) sq += (v - m) * (v - m);
+  return std::sqrt(sq / static_cast<double>(values.size()));
+}
+
+double pearson(std::span<const double> xs, std::span<const double> ys) {
+  MUFFIN_REQUIRE(xs.size() == ys.size(),
+                 "pearson requires equally sized spans");
+  if (xs.size() < 2) return 0.0;
+  const double mx = mean(xs);
+  const double my = mean(ys);
+  double cov = 0.0;
+  double vx = 0.0;
+  double vy = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    cov += (xs[i] - mx) * (ys[i] - my);
+    vx += (xs[i] - mx) * (xs[i] - mx);
+    vy += (ys[i] - my) * (ys[i] - my);
+  }
+  if (vx == 0.0 || vy == 0.0) return 0.0;
+  return cov / std::sqrt(vx * vy);
+}
+
+double clamp(double value, double lo, double hi) {
+  MUFFIN_REQUIRE(lo <= hi, "clamp requires lo <= hi");
+  return std::min(std::max(value, lo), hi);
+}
+
+double normal_cdf(double x) { return 0.5 * std::erfc(-x / std::sqrt(2.0)); }
+
+ExponentialMovingAverage::ExponentialMovingAverage(double decay)
+    : decay_(decay) {
+  MUFFIN_REQUIRE(decay > 0.0 && decay <= 1.0, "EMA decay must be in (0, 1]");
+}
+
+double ExponentialMovingAverage::update(double value) {
+  if (!has_value_) {
+    value_ = value;
+    has_value_ = true;
+  } else {
+    value_ = (1.0 - decay_) * value_ + decay_ * value;
+  }
+  return value_;
+}
+
+void RunningSummary::add(double value) {
+  if (count_ == 0) {
+    min_ = max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  sum_ += value;
+  ++count_;
+}
+
+double RunningSummary::min() const {
+  MUFFIN_REQUIRE(count_ > 0, "RunningSummary::min on empty summary");
+  return min_;
+}
+
+double RunningSummary::max() const {
+  MUFFIN_REQUIRE(count_ > 0, "RunningSummary::max on empty summary");
+  return max_;
+}
+
+double RunningSummary::mean() const {
+  MUFFIN_REQUIRE(count_ > 0, "RunningSummary::mean on empty summary");
+  return sum_ / static_cast<double>(count_);
+}
+
+}  // namespace muffin

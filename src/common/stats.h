@@ -1,0 +1,61 @@
+// Small statistics helpers shared across modules.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace muffin {
+
+/// Arithmetic mean. Returns 0 for an empty span.
+[[nodiscard]] double mean(std::span<const double> values);
+
+/// Population standard deviation. Returns 0 for spans of size < 2.
+[[nodiscard]] double stddev(std::span<const double> values);
+
+/// Pearson correlation of two equally sized spans. Returns 0 when either
+/// side has zero variance. Throws muffin::Error on size mismatch.
+[[nodiscard]] double pearson(std::span<const double> xs,
+                             std::span<const double> ys);
+
+/// Clamp helper mirroring std::clamp but tolerant of lo == hi.
+[[nodiscard]] double clamp(double value, double lo, double hi);
+
+/// Standard normal cumulative distribution function.
+[[nodiscard]] double normal_cdf(double x);
+
+/// Exponential moving average accumulator, used for the REINFORCE reward
+/// baseline `b` in Eq. 4.
+class ExponentialMovingAverage {
+ public:
+  /// decay in (0, 1]; a decay of 1 makes the EMA equal the last value.
+  explicit ExponentialMovingAverage(double decay);
+
+  /// Feed one observation and return the updated average.
+  double update(double value);
+  [[nodiscard]] double value() const { return value_; }
+  [[nodiscard]] bool has_value() const { return has_value_; }
+
+ private:
+  double decay_;
+  double value_ = 0.0;
+  bool has_value_ = false;
+};
+
+/// Running min/max/mean tracker used in reports.
+class RunningSummary {
+ public:
+  void add(double value);
+  [[nodiscard]] std::size_t count() const { return count_; }
+  [[nodiscard]] double min() const;
+  [[nodiscard]] double max() const;
+  [[nodiscard]] double mean() const;
+
+ private:
+  std::size_t count_ = 0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+}  // namespace muffin

@@ -1,0 +1,40 @@
+// Plain-text table and CSV rendering used by the benchmark harnesses to
+// print paper-style tables and figure series.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace muffin {
+
+/// A simple left-aligned text table. Columns are sized to the widest cell.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Append a row; must match the header's column count.
+  void add_row(std::vector<std::string> row);
+  /// Append a horizontal rule (rendered as a dashed separator).
+  void add_rule();
+
+  [[nodiscard]] std::size_t row_count() const { return rows_.size(); }
+  [[nodiscard]] std::string to_string() const;
+  void print(std::ostream& os) const;
+
+  /// Render as CSV (rules are skipped; cells containing commas are quoted).
+  [[nodiscard]] std::string to_csv() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;  // empty vector == rule
+};
+
+/// Format helpers shared by the benches.
+[[nodiscard]] std::string format_fixed(double value, int digits);
+[[nodiscard]] std::string format_percent(double fraction, int digits = 2);
+/// Signed percentage-point delta, e.g. "+19.44%" / "-1.85%".
+[[nodiscard]] std::string format_signed_percent(double fraction,
+                                                int digits = 2);
+
+}  // namespace muffin

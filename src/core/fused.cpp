@@ -1,0 +1,115 @@
+#include "core/fused.h"
+
+#include "common/error.h"
+#include "tensor/ops.h"
+
+namespace muffin::core {
+
+FusingStructure FusingStructure::from_choice(const rl::StructureChoice& choice,
+                                             std::size_t num_classes) {
+  MUFFIN_REQUIRE(!choice.model_indices.empty(),
+                 "structure needs at least one body model");
+  MUFFIN_REQUIRE(num_classes > 0, "num_classes must be positive");
+  FusingStructure structure;
+  structure.model_indices = choice.model_indices;
+  structure.head_spec.input_dim = choice.model_indices.size() * num_classes;
+  structure.head_spec.hidden_dims = choice.hidden_dims;
+  structure.head_spec.output_dim = num_classes;
+  structure.head_spec.hidden_activation = choice.activation;
+  structure.head_spec.output_activation = nn::Activation::Sigmoid;
+  return structure;
+}
+
+FusedModel::FusedModel(std::string name, std::vector<models::ModelPtr> body,
+                       nn::Mlp head, bool head_only_on_disagreement)
+    : name_(std::move(name)),
+      body_(std::move(body)),
+      head_(std::move(head)),
+      head_only_on_disagreement_(head_only_on_disagreement),
+      num_classes_(0) {
+  MUFFIN_REQUIRE(!body_.empty(), "fused model needs at least one body model");
+  for (const models::ModelPtr& model : body_) {
+    MUFFIN_REQUIRE(model != nullptr, "body models must be non-null");
+  }
+  num_classes_ = body_.front()->num_classes();
+  for (const models::ModelPtr& model : body_) {
+    MUFFIN_REQUIRE(model->num_classes() == num_classes_,
+                   "body models must share a class count");
+  }
+  MUFFIN_REQUIRE(head_.spec().input_dim == body_.size() * num_classes_,
+                 "head input width must equal body count x classes");
+  MUFFIN_REQUIRE(head_.spec().output_dim == num_classes_,
+                 "head output width must equal the class count");
+}
+
+std::size_t FusedModel::parameter_count() const {
+  std::size_t count = head_.parameter_count();
+  for (const models::ModelPtr& model : body_) {
+    count += model->parameter_count();
+  }
+  return count;
+}
+
+tensor::Vector FusedModel::scores(const data::Record& record) const {
+  tensor::Vector gathered(body_.size() * num_classes_, 0.0);
+  std::size_t consensus = 0;
+  bool all_agree = true;
+  for (std::size_t m = 0; m < body_.size(); ++m) {
+    const tensor::Vector s = body_[m]->scores(record);
+    MUFFIN_REQUIRE(s.size() == num_classes_,
+                   "body model returned malformed scores");
+    const std::size_t pred = tensor::argmax(s);
+    if (m == 0) {
+      consensus = pred;
+    } else if (pred != consensus) {
+      all_agree = false;
+    }
+    for (std::size_t c = 0; c < num_classes_; ++c) {
+      gathered[m * num_classes_ + c] = s[c];
+    }
+  }
+
+  if (head_only_on_disagreement_ && all_agree) {
+    // Consensus: return the mean body score vector (argmax == consensus).
+    tensor::Vector mean(num_classes_, 0.0);
+    for (std::size_t m = 0; m < body_.size(); ++m) {
+      for (std::size_t c = 0; c < num_classes_; ++c) {
+        mean[c] += gathered[m * num_classes_ + c];
+      }
+    }
+    for (double& v : mean) v /= static_cast<double>(body_.size());
+    return mean;
+  }
+
+  tensor::Vector out = head_.forward(gathered);
+  const double total = tensor::sum(out);
+  if (total > 1e-12) {
+    for (double& v : out) v /= total;
+  }
+  return out;
+}
+
+std::vector<std::size_t> fused_predictions(const ScoreCache& cache,
+                                           const FusingStructure& structure,
+                                           nn::Mlp& head,
+                                           bool head_only_on_disagreement) {
+  MUFFIN_REQUIRE(head.spec().input_dim ==
+                     structure.model_indices.size() * cache.num_classes(),
+                 "head input width must match structure and cache");
+  std::vector<std::size_t> predictions(cache.num_records());
+  tensor::Vector gathered(structure.model_indices.size() *
+                          cache.num_classes());
+  for (std::size_t i = 0; i < cache.num_records(); ++i) {
+    std::size_t consensus = 0;
+    if (head_only_on_disagreement &&
+        cache.consensus(structure.model_indices, i, consensus)) {
+      predictions[i] = consensus;
+      continue;
+    }
+    cache.gather(structure.model_indices, i, gathered);
+    predictions[i] = head.predict(gathered);
+  }
+  return predictions;
+}
+
+}  // namespace muffin::core

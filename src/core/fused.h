@@ -1,0 +1,68 @@
+// The model-fusing structure: muffin body + muffin head.
+//
+// The body is a set of frozen off-the-shelf models; the head is a trained
+// MLP consuming the concatenation of their score vectors. Following §3.2
+// ("the proposed technique is not going to change the output if all models
+// reached consensus"), the head is consulted only when the body models
+// disagree; on consensus the fused system returns the consensus class.
+#pragma once
+
+#include <memory>
+
+#include "core/score_cache.h"
+#include "models/model.h"
+#include "nn/mlp.h"
+#include "rl/search_space.h"
+
+namespace muffin::core {
+
+/// Architecture description of a fused system.
+struct FusingStructure {
+  std::vector<std::size_t> model_indices;  ///< body (pool indices)
+  nn::MlpSpec head_spec;                   ///< muffin head MLP
+
+  /// Build from a controller structure choice and the dataset class count.
+  static FusingStructure from_choice(const rl::StructureChoice& choice,
+                                     std::size_t num_classes);
+};
+
+/// A fused classifier implementing the models::Model interface, so fairness
+/// metrics, compositions and reports treat it like any other model.
+class FusedModel final : public models::Model {
+ public:
+  /// `body` order must match the head's training-time gather order.
+  FusedModel(std::string name, std::vector<models::ModelPtr> body,
+             nn::Mlp head, bool head_only_on_disagreement = true);
+
+  [[nodiscard]] const std::string& name() const override { return name_; }
+  [[nodiscard]] std::size_t num_classes() const override {
+    return num_classes_;
+  }
+  /// Body parameters plus head parameters (Fig. 9b reports this sum).
+  [[nodiscard]] std::size_t parameter_count() const override;
+  [[nodiscard]] tensor::Vector scores(
+      const data::Record& record) const override;
+
+  [[nodiscard]] const std::vector<models::ModelPtr>& body() const {
+    return body_;
+  }
+  [[nodiscard]] const nn::Mlp& head() const { return head_; }
+  [[nodiscard]] std::size_t head_parameter_count() const {
+    return head_.parameter_count();
+  }
+
+ private:
+  std::string name_;
+  std::vector<models::ModelPtr> body_;
+  mutable nn::Mlp head_;  // forward caches; logically const
+  bool head_only_on_disagreement_;
+  std::size_t num_classes_;
+};
+
+/// Fast fused predictions over a cached dataset (used inside the search
+/// loop and the benches, avoiding per-record model re-evaluation).
+[[nodiscard]] std::vector<std::size_t> fused_predictions(
+    const ScoreCache& cache, const FusingStructure& structure, nn::Mlp& head,
+    bool head_only_on_disagreement = true);
+
+}  // namespace muffin::core

@@ -1,0 +1,37 @@
+// Fairness-aware training of the muffin head (framework component #2).
+//
+// The body models stay frozen; only the head MLP is trained, on the proxy
+// dataset (unprivileged-group records) with Algorithm-1 weights and the
+// weighted-MSE loss of Eq. 2.
+#pragma once
+
+#include "core/fused.h"
+#include "core/proxy.h"
+#include "core/score_cache.h"
+#include "nn/mlp.h"
+#include "nn/trainer.h"
+
+namespace muffin::core {
+
+struct HeadTrainConfig {
+  std::size_t epochs = 16;
+  std::size_t batch_size = 128;
+  double learning_rate = 4e-3;
+  std::uint64_t seed = 5;
+};
+
+/// Assemble the head's supervised training set from cached body scores over
+/// the proxy records.
+[[nodiscard]] nn::TrainingSet head_training_set(const ScoreCache& cache,
+                                                const data::Dataset& dataset,
+                                                const ProxyDataset& proxy,
+                                                const FusingStructure& structure);
+
+/// Train a fresh head for `structure`; returns the trained MLP.
+[[nodiscard]] nn::Mlp train_head(const ScoreCache& cache,
+                                 const data::Dataset& dataset,
+                                 const ProxyDataset& proxy,
+                                 const FusingStructure& structure,
+                                 const HeadTrainConfig& config = {});
+
+}  // namespace muffin::core

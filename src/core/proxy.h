@@ -1,0 +1,53 @@
+// Fairness proxy dataset (framework component #2, Algorithm 1).
+//
+// The muffin head is trained only on unprivileged-group data: models rarely
+// disagree on privileged groups (Observation 3), so those samples carry no
+// training signal for the head and are excluded.
+//
+// Algorithm 1 weighting:
+//   for every attribute a_k, unprivileged group g of a_k, image in g:
+//       w[img] += 1                      (images in several unprivileged
+//                                         groups count more)
+//   for every unprivileged group g:
+//       w[g] = Σ_{img ∈ g} w[img] / N_g  (group weight = mean image weight)
+//
+// Eq. 2 then scales each sample's loss by its group weight. A sample can
+// belong to one unprivileged group per attribute; following the holistic
+// spirit of the algorithm we use the *mean* of the group weights of the
+// unprivileged groups containing the sample as its loss weight.
+#pragma once
+
+#include <optional>
+
+#include "common/rng.h"
+#include "data/dataset.h"
+
+namespace muffin::core {
+
+struct ProxyConfig {
+  /// Use Algorithm 1 weights; false = all-ones (the Fig. 9a ablation).
+  bool use_weights = true;
+  /// Subsample the proxy set to at most this many records (0 = keep all);
+  /// used to bound per-episode head-training cost during search.
+  std::size_t max_samples = 0;
+  std::uint64_t seed = 11;
+};
+
+/// The proxy dataset: indices into the source dataset plus loss weights.
+struct ProxyDataset {
+  std::vector<std::size_t> indices;  ///< records in ≥1 unprivileged group
+  std::vector<double> weights;       ///< per selected record (mean-1 scaled)
+  /// Algorithm 1 group weights w[g]: [attribute][group], 0 for privileged
+  /// groups (kept for inspection and tests).
+  std::vector<std::vector<double>> group_weight;
+  std::size_t source_size = 0;
+
+  [[nodiscard]] std::size_t size() const { return indices.size(); }
+};
+
+/// Build the proxy dataset for `dataset` (typically the training split).
+/// Unprivileged groups are read from the dataset metadata.
+[[nodiscard]] ProxyDataset build_proxy(const data::Dataset& dataset,
+                                       const ProxyConfig& config = {});
+
+}  // namespace muffin::core

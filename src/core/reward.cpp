@@ -1,0 +1,23 @@
+#include "core/reward.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace muffin::core {
+
+double multi_fairness_reward(const fairness::FairnessReport& report,
+                             const RewardConfig& config) {
+  MUFFIN_REQUIRE(!config.attributes.empty(),
+                 "reward needs at least one unfair attribute");
+  MUFFIN_REQUIRE(config.unfairness_floor > 0.0,
+                 "unfairness floor must be positive");
+  double reward = 0.0;
+  for (const std::string& attribute : config.attributes) {
+    const double u = report.unfairness_for(attribute);
+    reward += report.accuracy / std::max(u, config.unfairness_floor);
+  }
+  return reward;
+}
+
+}  // namespace muffin::core

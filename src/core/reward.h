@@ -1,0 +1,24 @@
+// Multi-fairness reward (framework component #3, Eq. 3):
+//   Reward = Σ_k A(f', D) / U(f', D)_{a_k}
+// over the K unfair attributes. Larger = more accurate and fairer.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "fairness/metrics.h"
+
+namespace muffin::core {
+
+struct RewardConfig {
+  /// The unfair attributes entering the sum (e.g. {"age", "site"}).
+  std::vector<std::string> attributes;
+  /// Denominator floor: a structure driving U below this no longer gains
+  /// unbounded reward (keeps Eq. 3 finite when a group gap vanishes).
+  double unfairness_floor = 0.02;
+};
+
+[[nodiscard]] double multi_fairness_reward(
+    const fairness::FairnessReport& report, const RewardConfig& config);
+
+}  // namespace muffin::core

@@ -1,0 +1,73 @@
+#include "core/score_cache.h"
+
+#include "common/error.h"
+#include "tensor/ops.h"
+
+namespace muffin::core {
+
+ScoreCache::ScoreCache(const models::ModelPool& pool,
+                       const data::Dataset& dataset)
+    : num_records_(dataset.size()), num_classes_(dataset.num_classes()) {
+  MUFFIN_REQUIRE(pool.size() > 0, "score cache needs a non-empty pool");
+  MUFFIN_REQUIRE(dataset.size() > 0, "score cache needs a non-empty dataset");
+  scores_.reserve(pool.size());
+  predictions_.reserve(pool.size());
+  for (std::size_t m = 0; m < pool.size(); ++m) {
+    const models::Model& model = pool.at(m);
+    MUFFIN_REQUIRE(model.num_classes() == num_classes_,
+                   "pool model class count must match dataset");
+    tensor::Matrix score_matrix(num_records_, num_classes_);
+    std::vector<std::size_t> preds(num_records_);
+    for (std::size_t i = 0; i < num_records_; ++i) {
+      const tensor::Vector s = model.scores(dataset.record(i));
+      MUFFIN_REQUIRE(s.size() == num_classes_,
+                     "model returned a malformed score vector");
+      for (std::size_t c = 0; c < num_classes_; ++c) {
+        score_matrix(i, c) = s[c];
+      }
+      preds[i] = tensor::argmax(s);
+    }
+    scores_.push_back(std::move(score_matrix));
+    predictions_.push_back(std::move(preds));
+  }
+}
+
+const tensor::Matrix& ScoreCache::scores(std::size_t model) const {
+  MUFFIN_REQUIRE(model < scores_.size(), "model index out of range");
+  return scores_[model];
+}
+
+std::span<const std::size_t> ScoreCache::predictions(std::size_t model) const {
+  MUFFIN_REQUIRE(model < predictions_.size(), "model index out of range");
+  return predictions_[model];
+}
+
+void ScoreCache::gather(std::span<const std::size_t> model_indices,
+                        std::size_t record, std::span<double> out) const {
+  MUFFIN_REQUIRE(record < num_records_, "record index out of range");
+  MUFFIN_REQUIRE(out.size() == model_indices.size() * num_classes_,
+                 "gather output span has the wrong size");
+  std::size_t cursor = 0;
+  for (const std::size_t m : model_indices) {
+    MUFFIN_REQUIRE(m < scores_.size(), "model index out of range");
+    const auto row = scores_[m].row(record);
+    for (std::size_t c = 0; c < num_classes_; ++c) {
+      out[cursor++] = row[c];
+    }
+  }
+}
+
+bool ScoreCache::consensus(std::span<const std::size_t> model_indices,
+                           std::size_t record,
+                           std::size_t& consensus_class) const {
+  MUFFIN_REQUIRE(!model_indices.empty(), "consensus needs at least one model");
+  MUFFIN_REQUIRE(record < num_records_, "record index out of range");
+  const std::size_t first = predictions_[model_indices[0]][record];
+  for (const std::size_t m : model_indices.subspan(1)) {
+    if (predictions_[m][record] != first) return false;
+  }
+  consensus_class = first;
+  return true;
+}
+
+}  // namespace muffin::core

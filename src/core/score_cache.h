@@ -1,0 +1,48 @@
+// Precomputed model outputs over a dataset.
+//
+// The off-the-shelf models are frozen (their parameters are never touched,
+// §3.2 component 2), so their class scores over a dataset are computed once
+// and reused across all search episodes. The cache also provides the
+// gather operation building the muffin head's input: the concatenation of
+// the selected body models' score vectors for one record.
+#pragma once
+
+#include "data/dataset.h"
+#include "models/pool.h"
+#include "tensor/matrix.h"
+
+namespace muffin::core {
+
+class ScoreCache {
+ public:
+  ScoreCache(const models::ModelPool& pool, const data::Dataset& dataset);
+
+  [[nodiscard]] std::size_t num_models() const { return scores_.size(); }
+  [[nodiscard]] std::size_t num_records() const { return num_records_; }
+  [[nodiscard]] std::size_t num_classes() const { return num_classes_; }
+
+  /// (num_records, num_classes) score matrix of one model.
+  [[nodiscard]] const tensor::Matrix& scores(std::size_t model) const;
+  /// Argmax predictions of one model, aligned with record indices.
+  [[nodiscard]] std::span<const std::size_t> predictions(
+      std::size_t model) const;
+
+  /// Concatenated scores of `model_indices` for `record` written to `out`
+  /// (size must be model_indices.size() * num_classes()).
+  void gather(std::span<const std::size_t> model_indices, std::size_t record,
+              std::span<double> out) const;
+
+  /// Whether all the given models predict the same class for `record`;
+  /// when true, `consensus` receives that class.
+  [[nodiscard]] bool consensus(std::span<const std::size_t> model_indices,
+                               std::size_t record,
+                               std::size_t& consensus) const;
+
+ private:
+  std::size_t num_records_ = 0;
+  std::size_t num_classes_ = 0;
+  std::vector<tensor::Matrix> scores_;
+  std::vector<std::vector<std::size_t>> predictions_;
+};
+
+}  // namespace muffin::core

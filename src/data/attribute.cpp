@@ -1,0 +1,22 @@
+#include "data/attribute.h"
+
+#include "common/error.h"
+
+namespace muffin::data {
+
+std::size_t AttributeSchema::group_index(const std::string& group) const {
+  for (std::size_t i = 0; i < groups.size(); ++i) {
+    if (groups[i] == group) return i;
+  }
+  throw Error("attribute '" + name + "' has no group named '" + group + "'");
+}
+
+std::size_t attribute_index(const std::vector<AttributeSchema>& schema,
+                            const std::string& name) {
+  for (std::size_t i = 0; i < schema.size(); ++i) {
+    if (schema[i].name == name) return i;
+  }
+  throw Error("no attribute named '" + name + "' in schema");
+}
+
+}  // namespace muffin::data

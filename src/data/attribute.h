@@ -1,0 +1,30 @@
+// Sensitive-attribute schema (paper §3.1).
+//
+// A dataset carries a set A = {a_1..a_K} of sensitive attributes; each
+// attribute a_k partitions the data into named groups D_1..D_G. This module
+// describes that structure; group membership itself lives on each Record.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace muffin::data {
+
+/// One sensitive attribute and its group names, e.g.
+/// {"age", {"0-20", "20-40", "40-60", "60-80", "80+", "unknown"}}.
+struct AttributeSchema {
+  std::string name;
+  std::vector<std::string> groups;
+
+  [[nodiscard]] std::size_t group_count() const { return groups.size(); }
+  /// Index of a group name; throws muffin::Error when absent.
+  [[nodiscard]] std::size_t group_index(const std::string& group) const;
+
+  bool operator==(const AttributeSchema& other) const = default;
+};
+
+/// Find an attribute by name in a schema list; throws when absent.
+[[nodiscard]] std::size_t attribute_index(
+    const std::vector<AttributeSchema>& schema, const std::string& name);
+
+}  // namespace muffin::data

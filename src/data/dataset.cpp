@@ -1,0 +1,127 @@
+#include "data/dataset.h"
+
+#include <numeric>
+
+#include "common/error.h"
+
+namespace muffin::data {
+
+Dataset::Dataset(std::string name, std::size_t num_classes,
+                 std::vector<AttributeSchema> schema)
+    : name_(std::move(name)),
+      num_classes_(num_classes),
+      schema_(std::move(schema)) {
+  MUFFIN_REQUIRE(num_classes_ > 0, "dataset needs at least one class");
+  MUFFIN_REQUIRE(!schema_.empty(), "dataset needs at least one attribute");
+  unprivileged_.resize(schema_.size());
+  for (std::size_t a = 0; a < schema_.size(); ++a) {
+    unprivileged_[a].assign(schema_[a].group_count(), false);
+  }
+}
+
+void Dataset::add_record(Record record) {
+  MUFFIN_REQUIRE(record.label < num_classes_, "record label out of range");
+  MUFFIN_REQUIRE(record.groups.size() == schema_.size(),
+                 "record must carry one group per attribute");
+  for (std::size_t a = 0; a < schema_.size(); ++a) {
+    MUFFIN_REQUIRE(record.groups[a] < schema_[a].group_count(),
+                   "record group id out of range");
+  }
+  records_.push_back(std::move(record));
+}
+
+void Dataset::reserve(std::size_t n) { records_.reserve(n); }
+
+const Record& Dataset::record(std::size_t i) const {
+  MUFFIN_REQUIRE(i < records_.size(), "record index out of range");
+  return records_[i];
+}
+
+void Dataset::set_unprivileged(std::size_t attribute,
+                               std::vector<bool> unprivileged_groups) {
+  MUFFIN_REQUIRE(attribute < schema_.size(), "attribute index out of range");
+  MUFFIN_REQUIRE(unprivileged_groups.size() ==
+                     schema_[attribute].group_count(),
+                 "unprivileged flags must cover every group");
+  unprivileged_[attribute] = std::move(unprivileged_groups);
+}
+
+bool Dataset::is_unprivileged(std::size_t attribute,
+                              std::size_t group) const {
+  MUFFIN_REQUIRE(attribute < schema_.size(), "attribute index out of range");
+  MUFFIN_REQUIRE(group < schema_[attribute].group_count(),
+                 "group index out of range");
+  return unprivileged_[attribute][group];
+}
+
+std::vector<std::size_t> Dataset::unprivileged_groups(
+    std::size_t attribute) const {
+  MUFFIN_REQUIRE(attribute < schema_.size(), "attribute index out of range");
+  std::vector<std::size_t> groups;
+  for (std::size_t g = 0; g < unprivileged_[attribute].size(); ++g) {
+    if (unprivileged_[attribute][g]) groups.push_back(g);
+  }
+  return groups;
+}
+
+std::vector<std::size_t> Dataset::group_indices(std::size_t attribute,
+                                                std::size_t group) const {
+  MUFFIN_REQUIRE(attribute < schema_.size(), "attribute index out of range");
+  MUFFIN_REQUIRE(group < schema_[attribute].group_count(),
+                 "group index out of range");
+  std::vector<std::size_t> indices;
+  for (std::size_t i = 0; i < records_.size(); ++i) {
+    if (records_[i].groups[attribute] == group) indices.push_back(i);
+  }
+  return indices;
+}
+
+std::vector<std::size_t> Dataset::group_sizes(std::size_t attribute) const {
+  MUFFIN_REQUIRE(attribute < schema_.size(), "attribute index out of range");
+  std::vector<std::size_t> sizes(schema_[attribute].group_count(), 0);
+  for (const Record& record : records_) {
+    ++sizes[record.groups[attribute]];
+  }
+  return sizes;
+}
+
+std::vector<std::size_t> Dataset::class_sizes() const {
+  std::vector<std::size_t> sizes(num_classes_, 0);
+  for (const Record& record : records_) ++sizes[record.label];
+  return sizes;
+}
+
+SplitIndices Dataset::split(double train_fraction,
+                            double validation_fraction, SplitRng& rng) const {
+  MUFFIN_REQUIRE(train_fraction > 0.0 && validation_fraction >= 0.0 &&
+                     train_fraction + validation_fraction < 1.0,
+                 "split fractions must be positive and sum below 1");
+  std::vector<std::size_t> order(records_.size());
+  std::iota(order.begin(), order.end(), 0);
+  rng.shuffle(order);
+  const auto n = static_cast<double>(order.size());
+  const auto train_end = static_cast<std::size_t>(n * train_fraction);
+  const auto val_end = static_cast<std::size_t>(
+      n * (train_fraction + validation_fraction));
+  SplitIndices split;
+  split.train.assign(order.begin(),
+                     order.begin() + static_cast<std::ptrdiff_t>(train_end));
+  split.validation.assign(order.begin() + static_cast<std::ptrdiff_t>(train_end),
+                          order.begin() + static_cast<std::ptrdiff_t>(val_end));
+  split.test.assign(order.begin() + static_cast<std::ptrdiff_t>(val_end),
+                    order.end());
+  return split;
+}
+
+Dataset Dataset::subset(std::span<const std::size_t> indices,
+                        const std::string& suffix) const {
+  Dataset out(name_ + suffix, num_classes_, schema_);
+  out.unprivileged_ = unprivileged_;
+  out.reserve(indices.size());
+  for (const std::size_t i : indices) {
+    out.add_record(record(i));
+  }
+  return out;
+}
+
+}  // namespace muffin::data

@@ -1,0 +1,80 @@
+// Synthetic dataset generators.
+//
+// The paper evaluates on ISIC2019 and Fitzpatrick17K, which are image
+// datasets we cannot ship. Muffin itself never consumes pixels — every
+// component operates on (model scores, label, attribute groups) — so the
+// generators here reproduce the *statistical* structure that drives the
+// paper's phenomena:
+//
+//  * marginal group sizes per attribute (rare groups exist, e.g. 2% of
+//    lesions are oral/genital);
+//  * anti-correlation between unprivileged groups of different attributes
+//    (controlled by `unprivileged_repulsion`). This is the mechanical cause
+//    of the seesaw in Fig. 2: re-balancing attribute A shifts the effective
+//    distribution of attribute B away from B's unprivileged groups;
+//  * class-prior skew inside unprivileged groups (`class_skew`), making
+//    their samples genuinely harder;
+//  * a latent per-sample difficulty (shared copula factor for the
+//    calibrated model pool);
+//  * group-shifted, difficulty-scaled Gaussian features so that real
+//    trainable classifiers exhibit real unfairness.
+#pragma once
+
+#include "data/dataset.h"
+
+namespace muffin::data {
+
+/// Full description of a synthetic scenario.
+struct SyntheticConfig {
+  std::string name = "synthetic";
+  std::size_t num_samples = 12000;
+  std::size_t num_classes = 8;
+  std::vector<AttributeSchema> schema;
+  /// Marginal group distribution per attribute (rows sum to ~1).
+  std::vector<std::vector<double>> group_marginals;
+  /// Unprivileged flags per attribute/group (scenario ground truth).
+  std::vector<std::vector<bool>> unprivileged;
+  /// Class prior over the whole dataset (sums to ~1).
+  std::vector<double> class_priors;
+  /// Strength of anti-co-occurrence between unprivileged groups of
+  /// attribute 0 and unprivileged groups of the other attributes. 0 makes
+  /// attributes independent; larger values sharpen the Fig. 2 seesaw.
+  double unprivileged_repulsion = 0.9;
+  /// Flattens class priors inside unprivileged groups toward rare classes;
+  /// 0 keeps priors unchanged, 1 makes them uniform.
+  double class_skew = 0.55;
+  /// Feature-space geometry for trainable classifiers.
+  std::size_t feature_dim = 16;
+  double class_separation = 2.4;
+  double feature_noise = 1.0;
+  /// Extra feature noise per unprivileged-group membership.
+  double unprivileged_noise = 0.45;
+  /// Feature centroid shift per (attribute, group).
+  double group_shift = 0.5;
+  std::uint64_t seed = 2019;
+
+  /// Throws muffin::Error if the pieces are inconsistent.
+  void validate() const;
+};
+
+/// Generate a dataset from a configuration.
+[[nodiscard]] Dataset generate(const SyntheticConfig& config);
+
+/// ISIC2019-like scenario: 8 diagnosis classes; attributes age (6 groups,
+/// unprivileged 60-80/80+), gender (2 groups), site (9 groups, unprivileged
+/// head/neck, lateral torso, oral/genital, palms/soles, posterior torso,
+/// upper extremity). Group marginals follow the public ISIC2019 metadata.
+[[nodiscard]] SyntheticConfig isic2019_config(std::size_t num_samples = 25331,
+                                              std::uint64_t seed = 2019);
+[[nodiscard]] Dataset synthetic_isic2019(std::size_t num_samples = 25331,
+                                         std::uint64_t seed = 2019);
+
+/// Fitzpatrick17K-like scenario: 9 classes; attributes skin tone (6 groups,
+/// unprivileged olive/brown/black) and lesion type (3 groups, unprivileged
+/// malignant).
+[[nodiscard]] SyntheticConfig fitzpatrick17k_config(
+    std::size_t num_samples = 16577, std::uint64_t seed = 1717);
+[[nodiscard]] Dataset synthetic_fitzpatrick17k(std::size_t num_samples = 16577,
+                                               std::uint64_t seed = 1717);
+
+}  // namespace muffin::data

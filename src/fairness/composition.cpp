@@ -1,0 +1,114 @@
+#include "fairness/composition.h"
+
+#include <numeric>
+
+#include "common/error.h"
+
+namespace muffin::fairness {
+
+namespace {
+std::vector<std::size_t> all_indices(const data::Dataset& dataset) {
+  std::vector<std::size_t> indices(dataset.size());
+  std::iota(indices.begin(), indices.end(), 0);
+  return indices;
+}
+}  // namespace
+
+Composition joint_composition(const models::Model& first,
+                              const models::Model& second,
+                              const data::Dataset& dataset,
+                              std::span<const std::size_t> indices) {
+  return joint_composition(first.predict_all(dataset),
+                           second.predict_all(dataset), dataset, indices);
+}
+
+Composition joint_composition(std::span<const std::size_t> first_predictions,
+                              std::span<const std::size_t> second_predictions,
+                              const data::Dataset& dataset,
+                              std::span<const std::size_t> indices) {
+  MUFFIN_REQUIRE(first_predictions.size() == dataset.size() &&
+                     second_predictions.size() == dataset.size(),
+                 "prediction vectors must match dataset size");
+  const std::vector<std::size_t> fallback =
+      indices.empty() ? all_indices(dataset) : std::vector<std::size_t>{};
+  const std::span<const std::size_t> subset =
+      indices.empty() ? std::span<const std::size_t>(fallback) : indices;
+  MUFFIN_REQUIRE(!subset.empty(), "composition needs at least one record");
+
+  Composition comp;
+  for (const std::size_t i : subset) {
+    MUFFIN_REQUIRE(i < dataset.size(), "record index out of range");
+    const std::size_t label = dataset.record(i).label;
+    const bool a = first_predictions[i] == label;
+    const bool b = second_predictions[i] == label;
+    if (a && b) {
+      comp.both_correct += 1.0;
+    } else if (a) {
+      comp.only_first += 1.0;
+    } else if (b) {
+      comp.only_second += 1.0;
+    } else {
+      comp.both_wrong += 1.0;
+    }
+  }
+  const double n = static_cast<double>(subset.size());
+  comp.both_correct /= n;
+  comp.only_first /= n;
+  comp.only_second /= n;
+  comp.both_wrong /= n;
+  comp.sample_count = subset.size();
+  return comp;
+}
+
+FusedAttribution fused_attribution(std::span<const std::size_t> fused_predictions,
+                                   const models::Model& first,
+                                   const models::Model& second,
+                                   const data::Dataset& dataset,
+                                   std::span<const std::size_t> indices) {
+  MUFFIN_REQUIRE(fused_predictions.size() == dataset.size(),
+                 "fused predictions must match dataset size");
+  const std::vector<std::size_t> first_pred = first.predict_all(dataset);
+  const std::vector<std::size_t> second_pred = second.predict_all(dataset);
+  const std::vector<std::size_t> fallback =
+      indices.empty() ? all_indices(dataset) : std::vector<std::size_t>{};
+  const std::span<const std::size_t> subset =
+      indices.empty() ? std::span<const std::size_t>(fallback) : indices;
+  MUFFIN_REQUIRE(!subset.empty(), "attribution needs at least one record");
+
+  FusedAttribution attribution;
+  for (const std::size_t i : subset) {
+    MUFFIN_REQUIRE(i < dataset.size(), "record index out of range");
+    const std::size_t label = dataset.record(i).label;
+    const bool fused = fused_predictions[i] == label;
+    const bool a = first_pred[i] == label;
+    const bool b = second_pred[i] == label;
+    if (fused) {
+      if (a && b) {
+        attribution.correct_both += 1.0;
+      } else if (a) {
+        attribution.correct_only_first += 1.0;
+      } else if (b) {
+        attribution.correct_only_second += 1.0;
+      } else {
+        attribution.correct_neither += 1.0;
+      }
+    } else {
+      if (a || b) {
+        attribution.wrong_recoverable += 1.0;
+      } else {
+        attribution.wrong_both += 1.0;
+      }
+    }
+  }
+  const double n = static_cast<double>(subset.size());
+  attribution.correct_both /= n;
+  attribution.correct_only_first /= n;
+  attribution.correct_only_second /= n;
+  attribution.correct_neither /= n;
+  attribution.wrong_recoverable /= n;
+  attribution.wrong_both /= n;
+  attribution.sample_count = subset.size();
+  return attribution;
+}
+
+}  // namespace muffin::fairness

@@ -1,0 +1,72 @@
+// Agreement/disagreement composition between two classifiers (Fig. 3) and
+// between a fused system and its paired models (Fig. 6c).
+//
+// The composition over a record subset counts the four joint outcomes:
+//   00 — both models wrong        01 — only model A correct
+//   10 — only model B correct     11 — both models correct.
+// Fig. 3's insight: 01+10 (the disagreement mass where one model is right)
+// is the headroom Muffin's head can recover for unprivileged groups.
+#pragma once
+
+#include <span>
+
+#include "data/dataset.h"
+#include "models/model.h"
+
+namespace muffin::fairness {
+
+/// Fractions of the four joint correctness outcomes; sums to 1.
+struct Composition {
+  double both_wrong = 0.0;      ///< 00
+  double only_first = 0.0;      ///< 01: first correct, second wrong
+  double only_second = 0.0;     ///< 10: second correct, first wrong
+  double both_correct = 0.0;    ///< 11
+  std::size_t sample_count = 0;
+
+  /// P(at least one model correct) — the "ideal union" upper bound of
+  /// Fig. 3(b).
+  [[nodiscard]] double union_accuracy() const {
+    return only_first + only_second + both_correct;
+  }
+  /// P(exactly one correct) — the disagreement mass (paper: 15.93%).
+  [[nodiscard]] double disagreement() const {
+    return only_first + only_second;
+  }
+};
+
+/// Composition of two models over the given record indices (whole dataset
+/// when `indices` is empty).
+[[nodiscard]] Composition joint_composition(
+    const models::Model& first, const models::Model& second,
+    const data::Dataset& dataset, std::span<const std::size_t> indices = {});
+
+/// Composition from precomputed prediction vectors.
+[[nodiscard]] Composition joint_composition(
+    std::span<const std::size_t> first_predictions,
+    std::span<const std::size_t> second_predictions,
+    const data::Dataset& dataset, std::span<const std::size_t> indices = {});
+
+/// How a fused system's decisions relate to its two paired models on a
+/// subset: of the fused system's correct (resp. wrong) answers, which paired
+/// model also had them right (Fig. 6c bars).
+struct FusedAttribution {
+  double correct_both = 0.0;         ///< fused right, both models right
+  double correct_only_first = 0.0;   ///< fused right, only first right
+  double correct_only_second = 0.0;  ///< fused right, only second right
+  double correct_neither = 0.0;      ///< fused right, both models wrong
+  double wrong_recoverable = 0.0;    ///< fused wrong although one model right
+  double wrong_both = 0.0;           ///< fused wrong, both models wrong too
+  std::size_t sample_count = 0;
+
+  [[nodiscard]] double fused_accuracy() const {
+    return correct_both + correct_only_first + correct_only_second +
+           correct_neither;
+  }
+};
+
+[[nodiscard]] FusedAttribution fused_attribution(
+    std::span<const std::size_t> fused_predictions,
+    const models::Model& first, const models::Model& second,
+    const data::Dataset& dataset, std::span<const std::size_t> indices = {});
+
+}  // namespace muffin::fairness

@@ -1,0 +1,129 @@
+#include "fairness/metrics.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace muffin::fairness {
+
+double FairnessReport::overall_unfairness(
+    std::span<const std::string> names) const {
+  double total = 0.0;
+  if (names.empty()) {
+    for (const AttributeFairness& attr : attributes) {
+      total += attr.unfairness;
+    }
+    return total;
+  }
+  for (const std::string& name : names) {
+    total += unfairness_for(name);
+  }
+  return total;
+}
+
+const AttributeFairness& FairnessReport::for_attribute(
+    const std::string& name) const {
+  for (const AttributeFairness& attr : attributes) {
+    if (attr.attribute == name) return attr;
+  }
+  throw Error("report has no attribute named '" + name + "'");
+}
+
+double FairnessReport::unfairness_for(const std::string& name) const {
+  return for_attribute(name).unfairness;
+}
+
+std::vector<std::size_t> labels(const data::Dataset& dataset) {
+  std::vector<std::size_t> out(dataset.size());
+  for (std::size_t i = 0; i < dataset.size(); ++i) {
+    out[i] = dataset.record(i).label;
+  }
+  return out;
+}
+
+double accuracy(const data::Dataset& dataset,
+                std::span<const std::size_t> predictions) {
+  MUFFIN_REQUIRE(predictions.size() == dataset.size(),
+                 "prediction count must match dataset size");
+  MUFFIN_REQUIRE(dataset.size() > 0, "cannot evaluate an empty dataset");
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < dataset.size(); ++i) {
+    if (predictions[i] == dataset.record(i).label) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(dataset.size());
+}
+
+double unfairness_score(std::span<const double> group_accuracy,
+                        std::span<const std::size_t> group_count,
+                        double overall_accuracy) {
+  MUFFIN_REQUIRE(group_accuracy.size() == group_count.size(),
+                 "group accuracy/count size mismatch");
+  double total = 0.0;
+  for (std::size_t g = 0; g < group_accuracy.size(); ++g) {
+    if (group_count[g] == 0) continue;
+    total += std::abs(group_accuracy[g] - overall_accuracy);
+  }
+  return total;
+}
+
+FairnessReport evaluate_predictions(const data::Dataset& dataset,
+                                    std::span<const std::size_t> predictions) {
+  MUFFIN_REQUIRE(predictions.size() == dataset.size(),
+                 "prediction count must match dataset size");
+  MUFFIN_REQUIRE(dataset.size() > 0, "cannot evaluate an empty dataset");
+  FairnessReport report;
+  report.accuracy = accuracy(dataset, predictions);
+
+  const auto& schema = dataset.schema();
+  report.attributes.resize(schema.size());
+  for (std::size_t a = 0; a < schema.size(); ++a) {
+    AttributeFairness& attr = report.attributes[a];
+    attr.attribute = schema[a].name;
+    attr.group_accuracy.assign(schema[a].group_count(), 0.0);
+    attr.group_count.assign(schema[a].group_count(), 0);
+  }
+  for (std::size_t i = 0; i < dataset.size(); ++i) {
+    const data::Record& record = dataset.record(i);
+    const double correct = predictions[i] == record.label ? 1.0 : 0.0;
+    for (std::size_t a = 0; a < schema.size(); ++a) {
+      AttributeFairness& attr = report.attributes[a];
+      attr.group_accuracy[record.groups[a]] += correct;
+      ++attr.group_count[record.groups[a]];
+    }
+  }
+  for (AttributeFairness& attr : report.attributes) {
+    for (std::size_t g = 0; g < attr.group_accuracy.size(); ++g) {
+      if (attr.group_count[g] > 0) {
+        attr.group_accuracy[g] /= static_cast<double>(attr.group_count[g]);
+      }
+    }
+    attr.unfairness = unfairness_score(attr.group_accuracy, attr.group_count,
+                                       report.accuracy);
+  }
+  return report;
+}
+
+FairnessReport evaluate_model(const models::Model& model,
+                              const data::Dataset& dataset) {
+  return evaluate_predictions(dataset, model.predict_all(dataset));
+}
+
+double relative_improvement(double old_value, double new_value) {
+  if (old_value == 0.0) return 0.0;
+  return (old_value - new_value) / old_value;
+}
+
+std::vector<std::size_t> detect_unprivileged(const AttributeFairness& attribute,
+                                             double overall_accuracy,
+                                             double margin) {
+  std::vector<std::size_t> groups;
+  for (std::size_t g = 0; g < attribute.group_accuracy.size(); ++g) {
+    if (attribute.group_count[g] == 0) continue;
+    if (attribute.group_accuracy[g] < overall_accuracy - margin) {
+      groups.push_back(g);
+    }
+  }
+  return groups;
+}
+
+}  // namespace muffin::fairness

@@ -1,0 +1,41 @@
+#include "fairness/pareto.h"
+
+#include "common/error.h"
+
+namespace muffin::fairness {
+
+bool dominates(const ParetoPoint& a, const ParetoPoint& b,
+               std::span<const Direction> directions) {
+  MUFFIN_REQUIRE(a.objectives.size() == directions.size() &&
+                     b.objectives.size() == directions.size(),
+                 "objective count must match direction count");
+  bool strictly_better = false;
+  for (std::size_t d = 0; d < directions.size(); ++d) {
+    const double av = a.objectives[d];
+    const double bv = b.objectives[d];
+    const bool a_better = directions[d] == Direction::Minimize ? av < bv
+                                                               : av > bv;
+    const bool a_worse = directions[d] == Direction::Minimize ? av > bv
+                                                              : av < bv;
+    if (a_worse) return false;
+    if (a_better) strictly_better = true;
+  }
+  return strictly_better;
+}
+
+std::vector<std::size_t> pareto_front(std::span<const ParetoPoint> points,
+                                      std::span<const Direction> directions) {
+  std::vector<std::size_t> front;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    bool dominated = false;
+    for (std::size_t j = 0; j < points.size() && !dominated; ++j) {
+      if (i != j && dominates(points[j], points[i], directions)) {
+        dominated = true;
+      }
+    }
+    if (!dominated) front.push_back(i);
+  }
+  return front;
+}
+
+}  // namespace muffin::fairness

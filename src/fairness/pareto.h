@@ -1,0 +1,29 @@
+// Pareto-frontier extraction for the exploration plots (Fig. 5 / Fig. 7).
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace muffin::fairness {
+
+/// A point in objective space with an arbitrary payload index.
+struct ParetoPoint {
+  std::vector<double> objectives;  ///< one value per objective
+  std::size_t payload = 0;         ///< caller-defined id
+};
+
+/// Per-objective optimization direction.
+enum class Direction { Minimize, Maximize };
+
+/// Returns the indices (into `points`) of the non-dominated set. A point p
+/// dominates q when p is no worse in every objective and strictly better in
+/// at least one, with "better" defined by `directions` (one per objective).
+[[nodiscard]] std::vector<std::size_t> pareto_front(
+    std::span<const ParetoPoint> points,
+    std::span<const Direction> directions);
+
+/// True when `a` dominates `b` under `directions`.
+[[nodiscard]] bool dominates(const ParetoPoint& a, const ParetoPoint& b,
+                             std::span<const Direction> directions);
+
+}  // namespace muffin::fairness

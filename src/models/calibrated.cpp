@@ -1,0 +1,294 @@
+#include "models/calibrated.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+#include "common/error.h"
+#include "common/stats.h"
+#include "tensor/ops.h"
+
+namespace muffin::models {
+
+namespace {
+
+/// Signed per-group offsets for one attribute: negative on the unprivileged
+/// side, positive on the privileged side, magnitudes ∝ 1/sqrt(group size),
+/// Σ|d_g| = target and Σ n_g d_g = 0.
+std::vector<double> solve_offsets(const std::vector<std::size_t>& sizes,
+                                  std::vector<bool> low_side, double target) {
+  const std::size_t groups = sizes.size();
+  std::vector<double> offsets(groups, 0.0);
+  if (target <= 0.0 || groups < 2) return offsets;
+
+  // Fallback when the scenario marks no unprivileged group (e.g. gender):
+  // the below-median-size groups take the low side — in the real datasets
+  // rarer groups fare worse.
+  if (std::none_of(low_side.begin(), low_side.end(),
+                   [](bool b) { return b; })) {
+    std::vector<std::size_t> sorted = sizes;
+    std::sort(sorted.begin(), sorted.end());
+    const std::size_t median = sorted[sorted.size() / 2];
+    for (std::size_t g = 0; g < groups; ++g) {
+      low_side[g] = sizes[g] < median || (sizes[g] == median && g + 1 == groups);
+    }
+    if (std::none_of(low_side.begin(), low_side.end(),
+                     [](bool b) { return b; })) {
+      low_side[0] = true;  // degenerate: all sizes equal
+    }
+  }
+  // Ensure the high side is non-empty too.
+  if (std::all_of(low_side.begin(), low_side.end(),
+                  [](bool b) { return b; })) {
+    low_side[0] = false;
+  }
+
+  std::vector<double> share(groups, 0.0);
+  double low_total = 0.0;
+  double high_total = 0.0;
+  for (std::size_t g = 0; g < groups; ++g) {
+    share[g] = 1.0 / std::sqrt(static_cast<double>(std::max<std::size_t>(
+                   sizes[g], 1)));
+    (low_side[g] ? low_total : high_total) += share[g];
+  }
+  double weighted_low = 0.0;
+  double weighted_high = 0.0;
+  for (std::size_t g = 0; g < groups; ++g) {
+    const double normalized =
+        share[g] / (low_side[g] ? low_total : high_total);
+    share[g] = normalized;
+    const double mass = static_cast<double>(sizes[g]) * normalized;
+    (low_side[g] ? weighted_low : weighted_high) += mass;
+  }
+  MUFFIN_REQUIRE(weighted_low > 0.0 && weighted_high > 0.0,
+                 "offset derivation needs samples on both sides");
+  const double c_low = target / (1.0 + weighted_low / weighted_high);
+  const double c_high = target - c_low;
+  for (std::size_t g = 0; g < groups; ++g) {
+    offsets[g] = low_side[g] ? -c_low * share[g] : c_high * share[g];
+  }
+  return offsets;
+}
+
+}  // namespace
+
+CalibratedModel::CalibratedModel(ArchitectureProfile profile,
+                                 const data::Dataset& dataset,
+                                 CalibrationConfig config)
+    : profile_(std::move(profile)),
+      config_(config),
+      num_classes_(dataset.num_classes()),
+      schema_(dataset.schema()),
+      base_accuracy_(0.0),
+      model_seed_(fnv1a64(profile_.calibration_alias.empty()
+                              ? profile_.name
+                              : profile_.calibration_alias)) {
+  MUFFIN_REQUIRE(dataset.size() > 0,
+                 "calibration requires a non-empty dataset");
+  MUFFIN_REQUIRE(profile_.accuracy > 0.0 && profile_.accuracy < 1.0,
+                 "profile accuracy must be a fraction in (0, 1)");
+  MUFFIN_REQUIRE(config_.copula_rho >= 0.0 && config_.copula_rho < 1.0,
+                 "copula rho must be in [0, 1)");
+  MUFFIN_REQUIRE(config_.family_rho >= 0.0 &&
+                     config_.copula_rho + config_.family_rho < 1.0,
+                 "family rho must be non-negative with rho sum below 1");
+  base_accuracy_ = profile_.accuracy;
+
+  const std::vector<std::size_t> sizes = dataset.class_sizes();
+  class_priors_.resize(num_classes_);
+  for (std::size_t c = 0; c < num_classes_; ++c) {
+    class_priors_[c] = static_cast<double>(sizes[c]) /
+                       static_cast<double>(dataset.size());
+  }
+
+  derive_offsets(dataset);
+  fixed_point_calibrate(dataset);
+}
+
+void CalibratedModel::derive_offsets(const data::Dataset& dataset) {
+  offsets_.assign(schema_.size(), {});
+  for (std::size_t a = 0; a < schema_.size(); ++a) {
+    const auto it = profile_.unfairness.find(schema_[a].name);
+    const double target = it == profile_.unfairness.end() ? 0.0 : it->second;
+    std::vector<bool> low_side(schema_[a].group_count(), false);
+    for (std::size_t g = 0; g < schema_[a].group_count(); ++g) {
+      low_side[g] = dataset.is_unprivileged(a, g);
+    }
+    offsets_[a] = solve_offsets(dataset.group_sizes(a), low_side, target);
+  }
+}
+
+void CalibratedModel::fixed_point_calibrate(const data::Dataset& dataset) {
+  for (std::size_t round = 0; round < config_.calibration_rounds; ++round) {
+    // Expected (not sampled) accuracy per group and overall.
+    double overall = 0.0;
+    std::vector<std::vector<double>> group_sum(schema_.size());
+    std::vector<std::vector<std::size_t>> group_n(schema_.size());
+    for (std::size_t a = 0; a < schema_.size(); ++a) {
+      group_sum[a].assign(schema_[a].group_count(), 0.0);
+      group_n[a].assign(schema_[a].group_count(), 0);
+    }
+    for (const data::Record& record : dataset.records()) {
+      const double p = correctness_probability(record);
+      overall += p;
+      for (std::size_t a = 0; a < schema_.size(); ++a) {
+        group_sum[a][record.groups[a]] += p;
+        ++group_n[a][record.groups[a]];
+      }
+    }
+    overall /= static_cast<double>(dataset.size());
+
+    // Re-center the base accuracy.
+    base_accuracy_ += 0.9 * (profile_.accuracy - overall);
+
+    // Rescale each attribute's offsets toward its unfairness target.
+    for (std::size_t a = 0; a < schema_.size(); ++a) {
+      const auto it = profile_.unfairness.find(schema_[a].name);
+      if (it == profile_.unfairness.end() || it->second <= 0.0) continue;
+      double realized = 0.0;
+      for (std::size_t g = 0; g < schema_[a].group_count(); ++g) {
+        if (group_n[a][g] == 0) continue;
+        const double acc_g =
+            group_sum[a][g] / static_cast<double>(group_n[a][g]);
+        realized += std::abs(acc_g - overall);
+      }
+      if (realized <= 1e-9) continue;
+      const double scale = clamp(it->second / realized, 0.5, 2.0);
+      const double damped = 1.0 + 0.8 * (scale - 1.0);
+      for (double& d : offsets_[a]) d *= damped;
+    }
+  }
+}
+
+double CalibratedModel::correctness_probability(
+    const data::Record& record) const {
+  MUFFIN_REQUIRE(record.groups.size() == schema_.size(),
+                 "record schema mismatch");
+  double p = base_accuracy_;
+  for (std::size_t a = 0; a < schema_.size(); ++a) {
+    p += offsets_[a][record.groups[a]];
+  }
+  return clamp(p, config_.min_probability, config_.max_probability);
+}
+
+SplitRng CalibratedModel::record_rng(const data::Record& record,
+                                     std::string_view purpose) const {
+  SplitRng base(model_seed_);
+  return base.fork(std::string(purpose) + ":" + std::to_string(record.uid));
+}
+
+double CalibratedModel::latent_quantile(const data::Record& record) const {
+  const double eps = record_rng(record, "eps").normal();
+  // Family factor: derived from (family, record), so same-family models
+  // share it while cross-family models do not.
+  SplitRng family_base(fnv1a64(profile_.family));
+  const double family_factor =
+      family_base.fork("fam:" + std::to_string(record.uid)).normal();
+  const double latent =
+      std::sqrt(config_.copula_rho) * record.difficulty +
+      std::sqrt(config_.family_rho) * family_factor +
+      std::sqrt(1.0 - config_.copula_rho - config_.family_rho) * eps;
+  return normal_cdf(latent);
+}
+
+bool CalibratedModel::is_correct(const data::Record& record) const {
+  return latent_quantile(record) < correctness_probability(record);
+}
+
+const std::vector<double>& CalibratedModel::group_offsets(
+    std::size_t attribute) const {
+  MUFFIN_REQUIRE(attribute < offsets_.size(), "attribute index out of range");
+  return offsets_[attribute];
+}
+
+tensor::Vector CalibratedModel::scores(const data::Record& record) const {
+  MUFFIN_REQUIRE(record.label < num_classes_, "record label out of range");
+  const double p = correctness_probability(record);
+  const double quantile = latent_quantile(record);
+  const bool correct = quantile < p;
+  const double slack = p - quantile;  // >0 when correct, <0 when wrong
+
+  // Choose the predicted class.
+  std::size_t predicted = record.label;
+  if (!correct) {
+    SplitRng confusion = record_rng(record, "confusion");
+    std::vector<double> weights(num_classes_, 0.0);
+    double total = 0.0;
+    for (std::size_t c = 0; c < num_classes_; ++c) {
+      if (c == record.label) continue;
+      weights[c] = class_priors_[c] + 1e-6;
+      total += weights[c];
+    }
+    MUFFIN_REQUIRE(total > 0.0, "confusion weights must have mass");
+    predicted = confusion.categorical(weights);
+  }
+
+  // Build logits: background noise, then the predicted class strictly on
+  // top with a correctness-dependent margin; when wrong, the true class
+  // trails the prediction by runner_up_gap (often ranked second).
+  SplitRng noise = record_rng(record, "logits");
+  tensor::Vector logits(num_classes_, 0.0);
+  // Background = every class except the prediction (the true label's noise
+  // must be included, or it could accidentally win the argmax and break the
+  // calibrated correctness marginal).
+  double max_background = 0.0;
+  for (std::size_t c = 0; c < num_classes_; ++c) {
+    logits[c] = noise.normal(0.0, config_.logit_noise);
+    if (c != predicted) {
+      max_background = std::max(max_background, logits[c]);
+    }
+  }
+
+  // Confidence miscalibration: some wrong answers look sharp, some correct
+  // answers look hesitant (bounds how much of the disagreement set a fused
+  // head can possibly recover, like a real CNN ensemble).
+  SplitRng calib = record_rng(record, "calibration");
+  const bool miscalibrated = calib.bernoulli(
+      correct ? config_.hesitant_rate : config_.overconfident_rate);
+  const bool sharp_regime = correct != miscalibrated;
+
+  double margin = 0.0;
+  if (sharp_regime) {
+    const double sharpness =
+        correct ? clamp(slack, 0.0, 1.0) : clamp(-slack, 0.0, 1.0);
+    margin = config_.correct_margin +
+             config_.correct_margin_slope * sharpness;
+  } else {
+    // Flat regime: barely-decided samples leave the model visibly
+    // uncertain — the margin shrinks and the score vector flattens.
+    const double wobble = clamp(std::abs(slack) * 2.5, 0.0, 1.0);
+    margin = config_.wrong_margin * (0.25 + 0.75 * wobble);
+  }
+  // Domain familiarity: real CNNs are less confident on groups they handle
+  // poorly, independent of whether this particular answer is right. p
+  // encodes the group structure, so this leaks group identity into the
+  // score shape — which is what lets the fairness-weighted head training
+  // (Algorithm 1) specialize on unprivileged patterns.
+  margin *= 0.4 + 0.8 * p;
+  logits[predicted] = max_background + margin;
+  if (num_classes_ > 2) {
+    // Runner-up slot: when wrong, the true class lands there only with
+    // probability runner_up_rate — otherwise a random decoy class does.
+    // When correct, a decoy always fills it (some class is always second).
+    SplitRng runner = record_rng(record, "runner-up");
+    std::size_t runner_class = record.label;
+    if (correct || !runner.bernoulli(config_.runner_up_rate)) {
+      do {
+        runner_class = runner.index(num_classes_);
+      } while (runner_class == predicted || runner_class == record.label);
+      if (correct && runner.bernoulli(0.5)) {
+        // Correct predictions may still rank the true class's own decoy
+        // lower than background; skip the boost half the time.
+        runner_class = predicted;
+      }
+    }
+    if (runner_class != predicted) {
+      logits[runner_class] = max_background + margin - config_.runner_up_gap;
+    }
+  } else if (!correct) {
+    logits[record.label] = max_background + margin - config_.runner_up_gap;
+  }
+  return tensor::softmax(logits);
+}
+
+}  // namespace muffin::models

@@ -1,0 +1,20 @@
+#include "models/model.h"
+
+#include "tensor/ops.h"
+
+namespace muffin::models {
+
+std::size_t Model::predict(const data::Record& record) const {
+  return tensor::argmax(scores(record));
+}
+
+std::vector<std::size_t> Model::predict_all(
+    const data::Dataset& dataset) const {
+  std::vector<std::size_t> predictions(dataset.size());
+  for (std::size_t i = 0; i < dataset.size(); ++i) {
+    predictions[i] = predict(dataset.record(i));
+  }
+  return predictions;
+}
+
+}  // namespace muffin::models

@@ -1,0 +1,42 @@
+// Abstract classification model interface.
+//
+// Everything downstream of the model pool (fairness metrics, baselines,
+// muffin head, controller) consumes this interface only, so calibrated
+// simulation models and genuinely trained classifiers are interchangeable.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "data/dataset.h"
+#include "tensor/matrix.h"
+
+namespace muffin::models {
+
+/// A classifier over dataset records.
+class Model {
+ public:
+  virtual ~Model() = default;
+
+  [[nodiscard]] virtual const std::string& name() const = 0;
+  [[nodiscard]] virtual std::size_t num_classes() const = 0;
+  /// Number of trainable parameters in the underlying network ("body"
+  /// parameters in muffin terms; Table I / Fig. 9b report these).
+  [[nodiscard]] virtual std::size_t parameter_count() const = 0;
+
+  /// Class-score vector (non-negative, sums to 1) for one record.
+  /// Deterministic: the same record always yields the same scores.
+  [[nodiscard]] virtual tensor::Vector scores(
+      const data::Record& record) const = 0;
+
+  /// Argmax class of scores(record).
+  [[nodiscard]] std::size_t predict(const data::Record& record) const;
+
+  /// Convenience: predictions for every record of a dataset.
+  [[nodiscard]] std::vector<std::size_t> predict_all(
+      const data::Dataset& dataset) const;
+};
+
+using ModelPtr = std::shared_ptr<const Model>;
+
+}  // namespace muffin::models

@@ -1,0 +1,39 @@
+// Model pool — the set of off-the-shelf models Muffin unites.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "models/calibrated.h"
+#include "models/model.h"
+
+namespace muffin::models {
+
+/// An ordered collection of frozen models sharing one dataset schema.
+class ModelPool {
+ public:
+  ModelPool() = default;
+
+  void add(ModelPtr model);
+  [[nodiscard]] std::size_t size() const { return models_.size(); }
+  [[nodiscard]] const Model& at(std::size_t index) const;
+  [[nodiscard]] ModelPtr share(std::size_t index) const;
+  [[nodiscard]] const Model& by_name(const std::string& name) const;
+  [[nodiscard]] std::size_t index_of(const std::string& name) const;
+  [[nodiscard]] std::vector<std::string> names() const;
+
+ private:
+  std::vector<ModelPtr> models_;
+};
+
+/// Calibrated ISIC2019 pool: the ten Fig. 1 architectures realized against
+/// `dataset` (see CalibratedModel for the simulation contract).
+[[nodiscard]] ModelPool calibrated_isic_pool(const data::Dataset& dataset,
+                                             CalibrationConfig config = {});
+
+/// Calibrated Fitzpatrick17K pool (§4.5: ResNet/ShuffleNet/MobileNet).
+[[nodiscard]] ModelPool calibrated_fitzpatrick_pool(
+    const data::Dataset& dataset, CalibrationConfig config = {});
+
+}  // namespace muffin::models

@@ -1,0 +1,49 @@
+// Architecture profiles for the off-the-shelf model pool.
+//
+// Each profile captures what the paper reports (or what we estimated from
+// its figures) about one torchvision architecture trained on ISIC2019 /
+// Fitzpatrick17K: overall accuracy, per-attribute unfairness score, and the
+// trainable parameter count with the dataset-sized classification head.
+// Parameter counts marked in profiles.cpp follow Table I where given
+// (ShuffleNet_V2_X1_0, MobileNet_V3_Small) and the torchvision backbone
+// arithmetic otherwise.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace muffin::models {
+
+struct ArchitectureProfile {
+  std::string name;    ///< e.g. "ResNet-18"
+  std::string family;  ///< e.g. "ResNet"
+  std::size_t parameter_count = 0;
+  double accuracy = 0.0;  ///< overall test accuracy (fraction)
+  /// Target unfairness score per attribute name (L1 definition, §3.1).
+  std::map<std::string, double> unfairness;
+  /// Attribute-k floor below which single-model optimization cannot push
+  /// the unfairness score (paper Observation 2: "models encounter
+  /// bottlenecks"). Defaults to 60% of the vanilla score when absent.
+  std::map<std::string, double> bottleneck_floor;
+  /// Optional: name of the model whose idiosyncratic random streams this
+  /// model shares. Used by the baselines (common-random-numbers coupling):
+  /// an optimized variant keeps its base model's per-record draws, so
+  /// before/after deltas reflect the profile change, not resampling noise.
+  std::string calibration_alias;
+
+  [[nodiscard]] double unfairness_for(const std::string& attribute) const;
+  [[nodiscard]] double floor_for(const std::string& attribute) const;
+};
+
+/// The ten ISIC2019 architectures of Fig. 1 / Table I.
+[[nodiscard]] const std::vector<ArchitectureProfile>& isic2019_profiles();
+
+/// The Fitzpatrick17K pool (ResNet / ShuffleNet / MobileNet families, §4.5).
+[[nodiscard]] const std::vector<ArchitectureProfile>& fitzpatrick17k_profiles();
+
+/// Look up a profile by name in a list; throws muffin::Error when absent.
+[[nodiscard]] const ArchitectureProfile& profile_by_name(
+    const std::vector<ArchitectureProfile>& profiles, const std::string& name);
+
+}  // namespace muffin::models

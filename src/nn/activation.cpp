@@ -1,0 +1,106 @@
+#include "nn/activation.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace muffin::nn {
+
+namespace {
+constexpr double kLeakySlope = 0.01;
+}
+
+double activate(Activation kind, double x) {
+  switch (kind) {
+    case Activation::Identity:
+      return x;
+    case Activation::Relu:
+      return x > 0.0 ? x : 0.0;
+    case Activation::LeakyRelu:
+      return x > 0.0 ? x : kLeakySlope * x;
+    case Activation::Tanh:
+      return std::tanh(x);
+    case Activation::Sigmoid:
+      return 1.0 / (1.0 + std::exp(-x));
+  }
+  throw Error("unknown activation kind");
+}
+
+double activate_grad(Activation kind, double x) {
+  switch (kind) {
+    case Activation::Identity:
+      return 1.0;
+    case Activation::Relu:
+      return x > 0.0 ? 1.0 : 0.0;
+    case Activation::LeakyRelu:
+      return x > 0.0 ? 1.0 : kLeakySlope;
+    case Activation::Tanh: {
+      const double t = std::tanh(x);
+      return 1.0 - t * t;
+    }
+    case Activation::Sigmoid: {
+      const double s = 1.0 / (1.0 + std::exp(-x));
+      return s * (1.0 - s);
+    }
+  }
+  throw Error("unknown activation kind");
+}
+
+std::string to_string(Activation kind) {
+  switch (kind) {
+    case Activation::Identity:
+      return "identity";
+    case Activation::Relu:
+      return "relu";
+    case Activation::LeakyRelu:
+      return "leaky_relu";
+    case Activation::Tanh:
+      return "tanh";
+    case Activation::Sigmoid:
+      return "sigmoid";
+  }
+  throw Error("unknown activation kind");
+}
+
+Activation activation_from_string(const std::string& name) {
+  if (name == "identity") return Activation::Identity;
+  if (name == "relu") return Activation::Relu;
+  if (name == "leaky_relu") return Activation::LeakyRelu;
+  if (name == "tanh") return Activation::Tanh;
+  if (name == "sigmoid") return Activation::Sigmoid;
+  throw Error("unknown activation name: " + name);
+}
+
+const std::vector<Activation>& searchable_activations() {
+  static const std::vector<Activation> kAll = {
+      Activation::Relu, Activation::LeakyRelu, Activation::Tanh,
+      Activation::Sigmoid};
+  return kAll;
+}
+
+ActivationLayer::ActivationLayer(Activation kind, std::size_t dim)
+    : kind_(kind), dim_(dim) {
+  MUFFIN_REQUIRE(dim > 0, "activation layer dimension must be positive");
+}
+
+tensor::Vector ActivationLayer::forward(std::span<const double> input) {
+  MUFFIN_REQUIRE(input.size() == dim_, "activation input size mismatch");
+  last_input_.assign(input.begin(), input.end());
+  tensor::Vector out(dim_);
+  for (std::size_t i = 0; i < dim_; ++i) out[i] = activate(kind_, input[i]);
+  return out;
+}
+
+tensor::Vector ActivationLayer::backward(std::span<const double> grad_output) {
+  MUFFIN_REQUIRE(grad_output.size() == dim_,
+                 "activation gradient size mismatch");
+  MUFFIN_REQUIRE(last_input_.size() == dim_,
+                 "backward called before forward");
+  tensor::Vector grad_in(dim_);
+  for (std::size_t i = 0; i < dim_; ++i) {
+    grad_in[i] = grad_output[i] * activate_grad(kind_, last_input_[i]);
+  }
+  return grad_in;
+}
+
+}  // namespace muffin::nn

@@ -1,0 +1,14 @@
+#include "nn/layer.h"
+
+namespace muffin::nn {
+
+std::size_t Layer::parameter_count() const {
+  std::size_t count = 0;
+  // params() is logically const but exposes mutable spans; cast for counting.
+  for (const auto& view : const_cast<Layer*>(this)->params()) {
+    count += view.value.size();
+  }
+  return count;
+}
+
+}  // namespace muffin::nn

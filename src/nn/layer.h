@@ -1,0 +1,50 @@
+// Layer abstraction for the nn module.
+//
+// Layers process one sample at a time (input/output vectors); the training
+// loop accumulates gradients across a mini-batch and then lets an optimizer
+// apply them. Sizes in this project are tiny (head MLPs of O(10) units), so
+// the single-sample design is both clear and fast enough — measured in
+// bench_perf.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "tensor/matrix.h"
+
+namespace muffin::nn {
+
+/// A view onto one parameter block and its gradient accumulator. Optimizers
+/// consume these without knowing the layer's internals.
+struct ParamView {
+  std::span<double> value;
+  std::span<double> grad;
+};
+
+/// Base class for differentiable layers.
+class Layer {
+ public:
+  virtual ~Layer() = default;
+
+  /// Forward pass for one sample. Implementations cache what backward needs.
+  virtual tensor::Vector forward(std::span<const double> input) = 0;
+
+  /// Backward pass: given dLoss/dOutput, accumulate parameter gradients and
+  /// return dLoss/dInput. Must be called after forward on the same sample.
+  virtual tensor::Vector backward(std::span<const double> grad_output) = 0;
+
+  /// Parameter blocks (empty for parameter-free layers).
+  virtual std::vector<ParamView> params() { return {}; }
+
+  /// Zero all gradient accumulators.
+  virtual void zero_grad() {}
+
+  [[nodiscard]] virtual std::size_t input_dim() const = 0;
+  [[nodiscard]] virtual std::size_t output_dim() const = 0;
+
+  /// Total number of trainable scalars.
+  [[nodiscard]] std::size_t parameter_count() const;
+};
+
+}  // namespace muffin::nn

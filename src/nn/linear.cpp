@@ -1,0 +1,68 @@
+#include "nn/linear.h"
+
+#include <cmath>
+
+#include "common/error.h"
+#include "tensor/ops.h"
+
+namespace muffin::nn {
+
+Linear::Linear(std::size_t in_dim, std::size_t out_dim)
+    : in_dim_(in_dim),
+      out_dim_(out_dim),
+      weights_(out_dim, in_dim),
+      bias_(out_dim, 0.0),
+      weight_grad_(out_dim, in_dim),
+      bias_grad_(out_dim, 0.0) {
+  MUFFIN_REQUIRE(in_dim > 0 && out_dim > 0,
+                 "linear layer dimensions must be positive");
+}
+
+void Linear::init_xavier(SplitRng& rng) {
+  const double bound =
+      std::sqrt(6.0 / static_cast<double>(in_dim_ + out_dim_));
+  for (double& w : weights_.flat()) w = rng.uniform(-bound, bound);
+  for (double& b : bias_) b = 0.0;
+}
+
+void Linear::init_he(SplitRng& rng) {
+  const double stddev = std::sqrt(2.0 / static_cast<double>(in_dim_));
+  for (double& w : weights_.flat()) w = rng.normal(0.0, stddev);
+  for (double& b : bias_) b = 0.0;
+}
+
+tensor::Vector Linear::forward(std::span<const double> input) {
+  MUFFIN_REQUIRE(input.size() == in_dim_, "linear input size mismatch");
+  last_input_.assign(input.begin(), input.end());
+  tensor::Vector out = tensor::matvec(weights_, input);
+  for (std::size_t i = 0; i < out_dim_; ++i) out[i] += bias_[i];
+  return out;
+}
+
+tensor::Vector Linear::backward(std::span<const double> grad_output) {
+  MUFFIN_REQUIRE(grad_output.size() == out_dim_,
+                 "linear gradient size mismatch");
+  MUFFIN_REQUIRE(last_input_.size() == in_dim_,
+                 "backward called before forward");
+  for (std::size_t i = 0; i < out_dim_; ++i) {
+    bias_grad_[i] += grad_output[i];
+    const double gi = grad_output[i];
+    if (gi == 0.0) continue;
+    for (std::size_t j = 0; j < in_dim_; ++j) {
+      weight_grad_(i, j) += gi * last_input_[j];
+    }
+  }
+  return tensor::matvec_transposed(weights_, grad_output);
+}
+
+std::vector<ParamView> Linear::params() {
+  return {ParamView{weights_.flat(), weight_grad_.flat()},
+          ParamView{bias_, bias_grad_}};
+}
+
+void Linear::zero_grad() {
+  weight_grad_.fill(0.0);
+  for (double& g : bias_grad_) g = 0.0;
+}
+
+}  // namespace muffin::nn

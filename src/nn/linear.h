@@ -1,0 +1,46 @@
+// Fully connected (dense) layer.
+#pragma once
+
+#include "common/rng.h"
+#include "nn/layer.h"
+
+namespace muffin::nn {
+
+/// y = W x + b with W of shape (out, in).
+class Linear final : public Layer {
+ public:
+  Linear(std::size_t in_dim, std::size_t out_dim);
+
+  /// Xavier/Glorot-uniform initialization from the given stream.
+  void init_xavier(SplitRng& rng);
+  /// He-normal initialization (preferred before ReLU-family activations).
+  void init_he(SplitRng& rng);
+
+  tensor::Vector forward(std::span<const double> input) override;
+  tensor::Vector backward(std::span<const double> grad_output) override;
+  std::vector<ParamView> params() override;
+  void zero_grad() override;
+
+  [[nodiscard]] std::size_t input_dim() const override { return in_dim_; }
+  [[nodiscard]] std::size_t output_dim() const override { return out_dim_; }
+
+  [[nodiscard]] const tensor::Matrix& weights() const { return weights_; }
+  tensor::Matrix& weights() { return weights_; }
+  [[nodiscard]] const tensor::Vector& bias() const { return bias_; }
+  tensor::Vector& bias() { return bias_; }
+  [[nodiscard]] const tensor::Matrix& weight_grad() const {
+    return weight_grad_;
+  }
+  [[nodiscard]] const tensor::Vector& bias_grad() const { return bias_grad_; }
+
+ private:
+  std::size_t in_dim_;
+  std::size_t out_dim_;
+  tensor::Matrix weights_;
+  tensor::Vector bias_;
+  tensor::Matrix weight_grad_;
+  tensor::Vector bias_grad_;
+  tensor::Vector last_input_;
+};
+
+}  // namespace muffin::nn

@@ -1,0 +1,68 @@
+#include "nn/loss.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace muffin::nn {
+
+namespace {
+constexpr double kEps = 1e-9;
+void require_shapes(std::span<const double> prediction,
+                    std::span<const double> target) {
+  MUFFIN_REQUIRE(prediction.size() == target.size() && !prediction.empty(),
+                 "loss requires matching non-empty prediction/target");
+}
+}  // namespace
+
+double WeightedMse::value(std::span<const double> prediction,
+                          std::span<const double> target,
+                          double weight) const {
+  require_shapes(prediction, target);
+  double acc = 0.0;
+  for (std::size_t i = 0; i < prediction.size(); ++i) {
+    const double diff = prediction[i] - target[i];
+    acc += diff * diff;
+  }
+  return weight * acc / static_cast<double>(prediction.size());
+}
+
+tensor::Vector WeightedMse::gradient(std::span<const double> prediction,
+                                     std::span<const double> target,
+                                     double weight) const {
+  require_shapes(prediction, target);
+  const double scale = 2.0 * weight / static_cast<double>(prediction.size());
+  tensor::Vector grad(prediction.size());
+  for (std::size_t i = 0; i < prediction.size(); ++i) {
+    grad[i] = scale * (prediction[i] - target[i]);
+  }
+  return grad;
+}
+
+double WeightedCrossEntropy::value(std::span<const double> prediction,
+                                   std::span<const double> target,
+                                   double weight) const {
+  require_shapes(prediction, target);
+  double acc = 0.0;
+  for (std::size_t i = 0; i < prediction.size(); ++i) {
+    if (target[i] != 0.0) {
+      acc -= target[i] * std::log(prediction[i] + kEps);
+    }
+  }
+  return weight * acc;
+}
+
+tensor::Vector WeightedCrossEntropy::gradient(
+    std::span<const double> prediction, std::span<const double> target,
+    double weight) const {
+  require_shapes(prediction, target);
+  tensor::Vector grad(prediction.size(), 0.0);
+  for (std::size_t i = 0; i < prediction.size(); ++i) {
+    if (target[i] != 0.0) {
+      grad[i] = -weight * target[i] / (prediction[i] + kEps);
+    }
+  }
+  return grad;
+}
+
+}  // namespace muffin::nn

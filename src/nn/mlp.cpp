@@ -1,0 +1,161 @@
+#include "nn/mlp.h"
+
+#include <algorithm>
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "common/error.h"
+#include "tensor/ops.h"
+
+namespace muffin::nn {
+
+std::string MlpSpec::to_string() const {
+  std::ostringstream os;
+  os << '[' << input_dim;
+  for (const std::size_t h : hidden_dims) os << ',' << h;
+  os << ',' << output_dim << ']';
+  return os.str();
+}
+
+std::size_t MlpSpec::parameter_count() const {
+  std::size_t count = 0;
+  std::size_t prev = input_dim;
+  for (const std::size_t h : hidden_dims) {
+    count += prev * h + h;
+    prev = h;
+  }
+  count += prev * output_dim + output_dim;
+  return count;
+}
+
+Mlp::Mlp(MlpSpec spec) : spec_(std::move(spec)) {
+  MUFFIN_REQUIRE(spec_.input_dim > 0, "MLP input_dim must be positive");
+  MUFFIN_REQUIRE(spec_.output_dim > 0, "MLP output_dim must be positive");
+  for (const std::size_t h : spec_.hidden_dims) {
+    MUFFIN_REQUIRE(h > 0, "MLP hidden widths must be positive");
+  }
+  std::size_t prev = spec_.input_dim;
+  for (const std::size_t h : spec_.hidden_dims) {
+    layers_.push_back(std::make_unique<Linear>(prev, h));
+    layers_.push_back(
+        std::make_unique<ActivationLayer>(spec_.hidden_activation, h));
+    prev = h;
+  }
+  layers_.push_back(std::make_unique<Linear>(prev, spec_.output_dim));
+  if (spec_.output_activation != Activation::Identity) {
+    layers_.push_back(std::make_unique<ActivationLayer>(
+        spec_.output_activation, spec_.output_dim));
+  }
+}
+
+Mlp::Mlp(const Mlp& other) : Mlp(other.spec_) {
+  auto src = const_cast<Mlp&>(other).params();
+  auto dst = params();
+  for (std::size_t p = 0; p < src.size(); ++p) {
+    std::copy(src[p].value.begin(), src[p].value.end(),
+              dst[p].value.begin());
+  }
+}
+
+Mlp& Mlp::operator=(const Mlp& other) {
+  if (this != &other) {
+    Mlp copy(other);
+    *this = std::move(copy);
+  }
+  return *this;
+}
+
+void Mlp::init(SplitRng& rng) {
+  const bool relu_family = spec_.hidden_activation == Activation::Relu ||
+                           spec_.hidden_activation == Activation::LeakyRelu;
+  for (const auto& layer : layers_) {
+    if (auto* linear = dynamic_cast<Linear*>(layer.get())) {
+      if (relu_family) {
+        linear->init_he(rng);
+      } else {
+        linear->init_xavier(rng);
+      }
+    }
+  }
+}
+
+tensor::Vector Mlp::forward(std::span<const double> input) {
+  MUFFIN_REQUIRE(input.size() == spec_.input_dim, "MLP input size mismatch");
+  tensor::Vector current(input.begin(), input.end());
+  for (const auto& layer : layers_) {
+    current = layer->forward(current);
+  }
+  return current;
+}
+
+tensor::Vector Mlp::backward(std::span<const double> grad_output) {
+  MUFFIN_REQUIRE(grad_output.size() == spec_.output_dim,
+                 "MLP gradient size mismatch");
+  tensor::Vector current(grad_output.begin(), grad_output.end());
+  for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) {
+    current = (*it)->backward(current);
+  }
+  return current;
+}
+
+std::size_t Mlp::predict(std::span<const double> input) {
+  return tensor::argmax(forward(input));
+}
+
+std::vector<ParamView> Mlp::params() {
+  std::vector<ParamView> views;
+  for (const auto& layer : layers_) {
+    for (auto& view : layer->params()) views.push_back(view);
+  }
+  return views;
+}
+
+void Mlp::zero_grad() {
+  for (const auto& layer : layers_) layer->zero_grad();
+}
+
+std::size_t Mlp::parameter_count() const { return spec_.parameter_count(); }
+
+void Mlp::save(std::ostream& os) const {
+  os << "mlp 1\n";
+  os << spec_.input_dim << ' ' << spec_.hidden_dims.size();
+  for (const std::size_t h : spec_.hidden_dims) os << ' ' << h;
+  os << ' ' << spec_.output_dim << ' ' << nn::to_string(spec_.hidden_activation)
+     << ' ' << nn::to_string(spec_.output_activation) << '\n';
+  os.precision(17);
+  for (auto& view : const_cast<Mlp*>(this)->params()) {
+    for (const double v : view.value) os << v << ' ';
+    os << '\n';
+  }
+}
+
+Mlp Mlp::load(std::istream& is) {
+  std::string magic;
+  int version = 0;
+  is >> magic >> version;
+  MUFFIN_REQUIRE(magic == "mlp" && version == 1,
+                 "unrecognized MLP serialization header");
+  MlpSpec spec;
+  std::size_t hidden_count = 0;
+  is >> spec.input_dim >> hidden_count;
+  spec.hidden_dims.resize(hidden_count);
+  for (std::size_t i = 0; i < hidden_count; ++i) is >> spec.hidden_dims[i];
+  std::string hidden_name;
+  std::string output_name;
+  is >> spec.output_dim >> hidden_name >> output_name;
+  MUFFIN_REQUIRE(static_cast<bool>(is), "truncated MLP serialization");
+  spec.hidden_activation = activation_from_string(hidden_name);
+  spec.output_activation = activation_from_string(output_name);
+  Mlp mlp(spec);
+  for (auto& view : mlp.params()) {
+    for (double& v : view.value) {
+      is >> v;
+      MUFFIN_REQUIRE(static_cast<bool>(is), "truncated MLP weight data");
+    }
+  }
+  return mlp;
+}
+
+}  // namespace muffin::nn

@@ -1,0 +1,77 @@
+// Multi-layer perceptron — the "muffin head" backbone.
+//
+// The paper's Table I reports head architectures as width lists such as
+// [16, 18, 12, 8]: input width (num paired models x num classes), hidden
+// widths, output width (num classes). MlpSpec captures exactly that plus the
+// hidden activation, which is part of the controller's search space.
+#pragma once
+
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "nn/activation.h"
+#include "nn/layer.h"
+#include "nn/linear.h"
+
+namespace muffin::nn {
+
+/// Architecture description of an MLP.
+struct MlpSpec {
+  std::size_t input_dim = 0;
+  std::vector<std::size_t> hidden_dims;
+  std::size_t output_dim = 0;
+  Activation hidden_activation = Activation::Relu;
+  /// Activation applied to the output layer. Sigmoid keeps outputs in
+  /// [0, 1], matching the weighted-MSE training target (one-hot labels).
+  Activation output_activation = Activation::Sigmoid;
+
+  /// Width list in the paper's notation, e.g. "[16,18,12,8]".
+  [[nodiscard]] std::string to_string() const;
+  /// Total trainable parameters of an MLP with this spec.
+  [[nodiscard]] std::size_t parameter_count() const;
+
+  bool operator==(const MlpSpec& other) const = default;
+};
+
+/// A trainable MLP built from Linear + ActivationLayer blocks.
+class Mlp {
+ public:
+  explicit Mlp(MlpSpec spec);
+
+  /// Value semantics: copying an Mlp copies its weights (gradient
+  /// accumulators start zeroed in the copy).
+  Mlp(const Mlp& other);
+  Mlp& operator=(const Mlp& other);
+  Mlp(Mlp&&) noexcept = default;
+  Mlp& operator=(Mlp&&) noexcept = default;
+
+  /// Initialize all linear layers (He for ReLU-family hidden activations,
+  /// Xavier otherwise) from the given stream.
+  void init(SplitRng& rng);
+
+  /// Forward pass for one sample; caches activations for backward.
+  tensor::Vector forward(std::span<const double> input);
+  /// Backward pass; accumulates parameter gradients, returns input gradient.
+  tensor::Vector backward(std::span<const double> grad_output);
+
+  /// Forward + argmax, no caching side effects relied on by callers.
+  [[nodiscard]] std::size_t predict(std::span<const double> input);
+
+  std::vector<ParamView> params();
+  void zero_grad();
+  [[nodiscard]] std::size_t parameter_count() const;
+  [[nodiscard]] const MlpSpec& spec() const { return spec_; }
+
+  /// Text (de)serialization of spec + weights.
+  void save(std::ostream& os) const;
+  static Mlp load(std::istream& is);
+
+ private:
+  MlpSpec spec_;
+  std::vector<std::unique_ptr<Layer>> layers_;
+};
+
+}  // namespace muffin::nn

@@ -1,0 +1,97 @@
+#include "nn/optimizer.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace muffin::nn {
+
+namespace {
+void require_batch(std::size_t batch_size) {
+  MUFFIN_REQUIRE(batch_size > 0, "optimizer step requires batch_size > 0");
+}
+
+void ensure_state(std::vector<std::vector<double>>& state,
+                  const std::vector<ParamView>& params) {
+  if (state.size() == params.size()) return;
+  MUFFIN_REQUIRE(state.empty(),
+                 "optimizer reused with a different parameter set");
+  state.reserve(params.size());
+  for (const auto& view : params) {
+    state.emplace_back(view.value.size(), 0.0);
+  }
+}
+}  // namespace
+
+Sgd::Sgd(SgdConfig config) : config_(config), lr_(config.learning_rate) {
+  MUFFIN_REQUIRE(config.learning_rate > 0.0,
+                 "SGD learning rate must be positive");
+  MUFFIN_REQUIRE(config.momentum >= 0.0 && config.momentum < 1.0,
+                 "SGD momentum must be in [0, 1)");
+}
+
+void Sgd::step(std::vector<ParamView>& params, std::size_t batch_size) {
+  require_batch(batch_size);
+  ensure_state(velocity_, params);
+  const double inv_batch = 1.0 / static_cast<double>(batch_size);
+  for (std::size_t p = 0; p < params.size(); ++p) {
+    auto& view = params[p];
+    auto& vel = velocity_[p];
+    MUFFIN_REQUIRE(vel.size() == view.value.size(),
+                   "parameter block size changed between steps");
+    for (std::size_t i = 0; i < view.value.size(); ++i) {
+      double grad = view.grad[i] * inv_batch +
+                    config_.weight_decay * view.value[i];
+      if (config_.momentum > 0.0) {
+        vel[i] = config_.momentum * vel[i] + grad;
+        grad = vel[i];
+      }
+      view.value[i] -= lr_ * grad;
+    }
+  }
+  ++steps_;
+  if (config_.decay_every_steps > 0 && config_.decay > 0.0 &&
+      steps_ % config_.decay_every_steps == 0) {
+    lr_ *= config_.decay;
+  }
+}
+
+Adam::Adam(AdamConfig config) : config_(config) {
+  MUFFIN_REQUIRE(config.learning_rate > 0.0,
+                 "Adam learning rate must be positive");
+  MUFFIN_REQUIRE(config.beta1 >= 0.0 && config.beta1 < 1.0,
+                 "Adam beta1 must be in [0, 1)");
+  MUFFIN_REQUIRE(config.beta2 >= 0.0 && config.beta2 < 1.0,
+                 "Adam beta2 must be in [0, 1)");
+}
+
+void Adam::step(std::vector<ParamView>& params, std::size_t batch_size) {
+  require_batch(batch_size);
+  ensure_state(m_, params);
+  ensure_state(v_, params);
+  ++steps_;
+  const double inv_batch = 1.0 / static_cast<double>(batch_size);
+  const double bias1 =
+      1.0 - std::pow(config_.beta1, static_cast<double>(steps_));
+  const double bias2 =
+      1.0 - std::pow(config_.beta2, static_cast<double>(steps_));
+  for (std::size_t p = 0; p < params.size(); ++p) {
+    auto& view = params[p];
+    auto& m = m_[p];
+    auto& v = v_[p];
+    MUFFIN_REQUIRE(m.size() == view.value.size(),
+                   "parameter block size changed between steps");
+    for (std::size_t i = 0; i < view.value.size(); ++i) {
+      const double grad = view.grad[i] * inv_batch +
+                          config_.weight_decay * view.value[i];
+      m[i] = config_.beta1 * m[i] + (1.0 - config_.beta1) * grad;
+      v[i] = config_.beta2 * v[i] + (1.0 - config_.beta2) * grad * grad;
+      const double m_hat = m[i] / bias1;
+      const double v_hat = v[i] / bias2;
+      view.value[i] -= config_.learning_rate * m_hat /
+                       (std::sqrt(v_hat) + config_.epsilon);
+    }
+  }
+}
+
+}  // namespace muffin::nn

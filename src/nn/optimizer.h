@@ -1,0 +1,74 @@
+// Gradient-descent optimizers over ParamView collections.
+//
+// Sgd mirrors the paper's training recipe (Section 4.1-C): learning rate
+// 0.1 decayed by 0.9 every 20 steps, with optional momentum and weight
+// decay. Adam is provided for the controller and head training, where the
+// small parameter count makes adaptive steps markedly more stable.
+#pragma once
+
+#include <vector>
+
+#include "nn/layer.h"
+
+namespace muffin::nn {
+
+/// Interface: apply accumulated gradients to parameters, then the caller
+/// zeroes gradients for the next batch.
+class Optimizer {
+ public:
+  virtual ~Optimizer() = default;
+  /// One update step using the gradients currently held in `params`.
+  /// `batch_size` divides the accumulated gradients (mean reduction).
+  virtual void step(std::vector<ParamView>& params,
+                    std::size_t batch_size) = 0;
+  [[nodiscard]] virtual double learning_rate() const = 0;
+};
+
+struct SgdConfig {
+  double learning_rate = 0.1;
+  double momentum = 0.0;
+  double weight_decay = 0.0;
+  /// Multiply the learning rate by `decay` every `decay_every_steps` steps
+  /// (0 disables scheduling). Paper: decay 0.9 every 20 steps.
+  double decay = 0.9;
+  std::size_t decay_every_steps = 20;
+};
+
+class Sgd final : public Optimizer {
+ public:
+  explicit Sgd(SgdConfig config);
+  void step(std::vector<ParamView>& params, std::size_t batch_size) override;
+  [[nodiscard]] double learning_rate() const override { return lr_; }
+  [[nodiscard]] std::size_t steps_taken() const { return steps_; }
+
+ private:
+  SgdConfig config_;
+  double lr_;
+  std::size_t steps_ = 0;
+  std::vector<std::vector<double>> velocity_;  // lazily sized to params
+};
+
+struct AdamConfig {
+  double learning_rate = 1e-3;
+  double beta1 = 0.9;
+  double beta2 = 0.999;
+  double epsilon = 1e-8;
+  double weight_decay = 0.0;
+};
+
+class Adam final : public Optimizer {
+ public:
+  explicit Adam(AdamConfig config);
+  void step(std::vector<ParamView>& params, std::size_t batch_size) override;
+  [[nodiscard]] double learning_rate() const override {
+    return config_.learning_rate;
+  }
+
+ private:
+  AdamConfig config_;
+  std::size_t steps_ = 0;
+  std::vector<std::vector<double>> m_;
+  std::vector<std::vector<double>> v_;
+};
+
+}  // namespace muffin::nn

@@ -1,0 +1,96 @@
+// RNN controller (framework component #4).
+//
+// An LSTM processes the decision sequence; at every step a per-decision
+// fully connected head maps the hidden state to logits over that step's
+// vocabulary, invalid choices are masked out, and a token is sampled. The
+// next step's input is a learned embedding of the sampled token.
+//
+// Updates follow Eq. 4 (Monte Carlo policy gradient / REINFORCE):
+//   ∇J(θ) = 1/m Σ_k Σ_t γ^{T−t} ∇_θ log π_θ(a_t | a_{t−1:1}) (R_k − b)
+// with b an exponential moving average of rewards and γ the per-step
+// discount. An optional entropy bonus (off by default, matching the paper)
+// counteracts premature collapse onto one structure.
+#pragma once
+
+#include <memory>
+
+#include "common/rng.h"
+#include "common/stats.h"
+#include "nn/linear.h"
+#include "nn/lstm.h"
+#include "nn/optimizer.h"
+#include "rl/search_space.h"
+
+namespace muffin::rl {
+
+struct ControllerConfig {
+  std::size_t hidden_dim = 32;
+  std::size_t embedding_dim = 16;
+  double learning_rate = 5e-3;
+  double gamma = 0.97;           ///< exponential discount factor of Eq. 4
+  double baseline_decay = 0.08;  ///< EMA decay for the reward baseline b
+  double entropy_bonus = 0.0;    ///< weight of the entropy regularizer
+  std::uint64_t seed = 42;
+};
+
+/// One sampled decision sequence.
+struct SampledStructure {
+  std::vector<std::size_t> tokens;
+  StructureChoice choice;
+  double log_prob = 0.0;  ///< Σ_t log π(a_t | a_{t−1:1})
+};
+
+/// A finished episode fed back to the controller.
+struct EpisodeResult {
+  std::vector<std::size_t> tokens;
+  double reward = 0.0;
+};
+
+/// Statistics of one policy-gradient update.
+struct UpdateStats {
+  double mean_reward = 0.0;
+  double baseline = 0.0;
+  double mean_advantage = 0.0;
+};
+
+class RnnController {
+ public:
+  RnnController(SearchSpace space, ControllerConfig config);
+
+  /// Sample a structure from the current policy.
+  [[nodiscard]] SampledStructure sample(SplitRng& rng);
+
+  /// Log-probability of an existing token sequence under the current
+  /// policy (used in tests and for importance diagnostics).
+  [[nodiscard]] double log_prob(const std::vector<std::size_t>& tokens);
+
+  /// REINFORCE update over a batch of episodes (m = episodes.size()).
+  UpdateStats update(std::span<const EpisodeResult> episodes);
+
+  [[nodiscard]] const SearchSpace& space() const { return space_; }
+  [[nodiscard]] const ControllerConfig& config() const { return config_; }
+  [[nodiscard]] double baseline() const { return baseline_.value(); }
+  [[nodiscard]] std::size_t parameter_count() const;
+
+ private:
+  /// Forward pass over a full (given) token sequence; returns per-step
+  /// masked probability vectors. Fills lstm_ caches for BPTT.
+  std::vector<tensor::Vector> replay(const std::vector<std::size_t>& tokens);
+  /// Embedding row feeding step `step` given the previous token.
+  [[nodiscard]] std::size_t embedding_row(std::size_t step,
+                                          std::size_t prev_token) const;
+  std::vector<nn::ParamView> all_params();
+
+  SearchSpace space_;
+  ControllerConfig config_;
+  std::vector<std::size_t> vocab_sizes_;
+  std::vector<std::size_t> vocab_offsets_;
+  nn::LstmCell lstm_;
+  std::vector<std::unique_ptr<nn::Linear>> heads_;  ///< one per step
+  tensor::Matrix embeddings_;       ///< (1 + total_vocab, embedding_dim)
+  tensor::Matrix embedding_grad_;
+  nn::Adam optimizer_;
+  ExponentialMovingAverage baseline_;
+};
+
+}  // namespace muffin::rl

@@ -1,0 +1,146 @@
+#include "rl/search_space.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/error.h"
+
+namespace muffin::rl {
+
+namespace {
+std::size_t free_model_slots(const SearchSpace& space) {
+  return space.paired_models - space.forced_models.size();
+}
+}  // namespace
+
+void SearchSpace::validate() const {
+  MUFFIN_REQUIRE(pool_size >= 1, "search space needs a non-empty pool");
+  MUFFIN_REQUIRE(paired_models >= 1, "need at least one paired model");
+  MUFFIN_REQUIRE(paired_models <= pool_size,
+                 "cannot pair more models than the pool holds");
+  MUFFIN_REQUIRE(forced_models.size() < paired_models ||
+                     (forced_models.size() == paired_models &&
+                      paired_models == pool_size),
+                 "at least one body slot should be free to search");
+  for (const std::size_t m : forced_models) {
+    MUFFIN_REQUIRE(m < pool_size, "forced model index out of range");
+    MUFFIN_REQUIRE(std::count(forced_models.begin(), forced_models.end(), m) ==
+                       1,
+                   "forced models must be distinct");
+  }
+  MUFFIN_REQUIRE(!hidden_width_choices.empty(),
+                 "need at least one hidden width choice");
+  for (const std::size_t w : hidden_width_choices) {
+    MUFFIN_REQUIRE(w > 0, "hidden widths must be positive");
+  }
+  MUFFIN_REQUIRE(min_hidden_layers >= 1, "need at least one hidden layer");
+  MUFFIN_REQUIRE(max_hidden_layers >= min_hidden_layers,
+                 "max hidden layers must be >= min");
+  MUFFIN_REQUIRE(!activation_choices.empty(),
+                 "need at least one activation choice");
+  MUFFIN_REQUIRE(free_model_slots(*this) <= pool_size - forced_models.size(),
+                 "not enough distinct pool models for the body");
+}
+
+std::size_t SearchSpace::num_steps() const {
+  return free_model_slots(*this) + 1 + max_hidden_layers + 1;
+}
+
+std::vector<std::size_t> SearchSpace::vocab_sizes() const {
+  std::vector<std::size_t> sizes;
+  for (std::size_t s = 0; s < free_model_slots(*this); ++s) {
+    sizes.push_back(pool_size);
+  }
+  sizes.push_back(max_hidden_layers - min_hidden_layers + 1);
+  for (std::size_t s = 0; s < max_hidden_layers; ++s) {
+    sizes.push_back(hidden_width_choices.size());
+  }
+  sizes.push_back(activation_choices.size());
+  return sizes;
+}
+
+std::size_t SearchSpace::total_vocab() const {
+  std::size_t total = 0;
+  for (const std::size_t v : vocab_sizes()) total += v;
+  return total;
+}
+
+double SearchSpace::structure_count() const {
+  double count = 1.0;
+  std::size_t available = pool_size - forced_models.size();
+  for (std::size_t s = 0; s < free_model_slots(*this); ++s) {
+    count *= static_cast<double>(available - s);
+  }
+  count *= static_cast<double>(max_hidden_layers - min_hidden_layers + 1);
+  for (std::size_t s = 0; s < max_hidden_layers; ++s) {
+    count *= static_cast<double>(hidden_width_choices.size());
+  }
+  count *= static_cast<double>(activation_choices.size());
+  return count;
+}
+
+std::string StructureChoice::to_string() const {
+  std::ostringstream os;
+  os << "body={";
+  for (std::size_t i = 0; i < model_indices.size(); ++i) {
+    os << (i ? "," : "") << model_indices[i];
+  }
+  os << "} hidden=[";
+  for (std::size_t i = 0; i < hidden_dims.size(); ++i) {
+    os << (i ? "," : "") << hidden_dims[i];
+  }
+  os << "] act=" << nn::to_string(activation);
+  return os.str();
+}
+
+bool is_model_step(const SearchSpace& space, std::size_t step) {
+  return step < free_model_slots(space);
+}
+
+std::vector<bool> step_mask(const SearchSpace& space, std::size_t step,
+                            const std::vector<std::size_t>& tokens_so_far) {
+  const std::vector<std::size_t> vocab = space.vocab_sizes();
+  MUFFIN_REQUIRE(step < vocab.size(), "step index out of range");
+  MUFFIN_REQUIRE(tokens_so_far.size() >= step,
+                 "need all earlier tokens to build a mask");
+  std::vector<bool> mask(vocab[step], true);
+  if (!is_model_step(space, step)) return mask;
+  for (const std::size_t m : space.forced_models) {
+    mask[m] = false;
+  }
+  for (std::size_t s = 0; s < step; ++s) {
+    if (is_model_step(space, s)) mask[tokens_so_far[s]] = false;
+  }
+  return mask;
+}
+
+StructureChoice decode(const SearchSpace& space,
+                       const std::vector<std::size_t>& tokens) {
+  space.validate();
+  MUFFIN_REQUIRE(tokens.size() == space.num_steps(),
+                 "token count must match the decision sequence length");
+  const std::vector<std::size_t> vocab = space.vocab_sizes();
+  for (std::size_t s = 0; s < tokens.size(); ++s) {
+    MUFFIN_REQUIRE(tokens[s] < vocab[s], "token out of vocabulary range");
+  }
+
+  StructureChoice choice;
+  choice.model_indices = space.forced_models;
+  const std::size_t free_slots = free_model_slots(space);
+  for (std::size_t s = 0; s < free_slots; ++s) {
+    const std::size_t m = tokens[s];
+    MUFFIN_REQUIRE(std::count(choice.model_indices.begin(),
+                              choice.model_indices.end(), m) == 0,
+                   "decoded body models must be distinct");
+    choice.model_indices.push_back(m);
+  }
+  const std::size_t layer_count = space.min_hidden_layers + tokens[free_slots];
+  for (std::size_t layer = 0; layer < layer_count; ++layer) {
+    choice.hidden_dims.push_back(
+        space.hidden_width_choices[tokens[free_slots + 1 + layer]]);
+  }
+  choice.activation = space.activation_choices[tokens.back()];
+  return choice;
+}
+
+}  // namespace muffin::rl

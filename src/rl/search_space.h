@@ -1,0 +1,72 @@
+// Search space of the model-fusing structure (framework component #1).
+//
+// The controller emits one token per decision step:
+//   steps 0..P-1       : which pool model fills body slot p (distinct,
+//                        enforced by masking already-chosen models);
+//   step P             : number of hidden layers in the muffin head;
+//   steps P+1..P+Hmax  : width of each hidden layer (always Hmax tokens are
+//                        sampled to keep the sequence length fixed; layers
+//                        beyond the chosen count are ignored at decode);
+//   last step          : hidden activation function.
+// Table I's search used 2-model bodies with 2 hidden layers from widths
+// like {10, 12, 16, 18}; those values are the defaults here.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "nn/activation.h"
+#include "nn/mlp.h"
+
+namespace muffin::rl {
+
+struct SearchSpace {
+  std::size_t pool_size = 0;          ///< number of off-the-shelf models
+  std::size_t paired_models = 2;      ///< body size P
+  /// Body slots forced to specific pool models (Table I fixes the first
+  /// slot to the architecture under study). Must be < paired_models long.
+  std::vector<std::size_t> forced_models;
+  std::vector<std::size_t> hidden_width_choices = {8, 10, 12, 16, 18};
+  std::size_t min_hidden_layers = 1;
+  std::size_t max_hidden_layers = 3;
+  std::vector<nn::Activation> activation_choices =
+      nn::searchable_activations();
+
+  /// Throws muffin::Error when inconsistent.
+  void validate() const;
+
+  [[nodiscard]] std::size_t num_steps() const;
+  /// Vocabulary size of each decision step.
+  [[nodiscard]] std::vector<std::size_t> vocab_sizes() const;
+  /// Total vocabulary across steps (for the controller embedding table).
+  [[nodiscard]] std::size_t total_vocab() const;
+  /// Number of possible structures (for exhaustive-search tests).
+  [[nodiscard]] double structure_count() const;
+};
+
+/// A decoded model-fusing structure choice.
+struct StructureChoice {
+  std::vector<std::size_t> model_indices;  ///< body, distinct pool indices
+  std::vector<std::size_t> hidden_dims;    ///< head hidden widths
+  nn::Activation activation = nn::Activation::Relu;
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Decode a token sequence (throws on malformed sequences). Masking
+/// guarantees sampled sequences are always decodable.
+[[nodiscard]] StructureChoice decode(const SearchSpace& space,
+                                     const std::vector<std::size_t>& tokens);
+
+/// Valid-token mask for `step` given the tokens chosen so far. All-true for
+/// non-model steps; for model steps, previously chosen and forced models are
+/// masked out (false).
+[[nodiscard]] std::vector<bool> step_mask(
+    const SearchSpace& space, std::size_t step,
+    const std::vector<std::size_t>& tokens_so_far);
+
+/// Whether `step` selects a body model (vs. a head hyperparameter).
+[[nodiscard]] bool is_model_step(const SearchSpace& space, std::size_t step);
+
+}  // namespace muffin::rl

@@ -1,0 +1,51 @@
+#include "tensor/matrix.h"
+
+#include "common/error.h"
+
+namespace muffin::tensor {
+
+Matrix::Matrix(std::size_t rows, std::size_t cols, double fill)
+    : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+Matrix::Matrix(std::initializer_list<std::initializer_list<double>> rows) {
+  rows_ = rows.size();
+  cols_ = rows_ == 0 ? 0 : rows.begin()->size();
+  data_.reserve(rows_ * cols_);
+  for (const auto& row : rows) {
+    MUFFIN_REQUIRE(row.size() == cols_,
+                   "all initializer rows must have equal length");
+    data_.insert(data_.end(), row.begin(), row.end());
+  }
+}
+
+double& Matrix::at(std::size_t r, std::size_t c) {
+  MUFFIN_REQUIRE(r < rows_ && c < cols_, "matrix index out of range");
+  return data_[r * cols_ + c];
+}
+
+double Matrix::at(std::size_t r, std::size_t c) const {
+  MUFFIN_REQUIRE(r < rows_ && c < cols_, "matrix index out of range");
+  return data_[r * cols_ + c];
+}
+
+std::span<double> Matrix::row(std::size_t r) {
+  MUFFIN_REQUIRE(r < rows_, "row index out of range");
+  return {data_.data() + r * cols_, cols_};
+}
+
+std::span<const double> Matrix::row(std::size_t r) const {
+  MUFFIN_REQUIRE(r < rows_, "row index out of range");
+  return {data_.data() + r * cols_, cols_};
+}
+
+void Matrix::fill(double value) {
+  for (double& v : data_) v = value;
+}
+
+void Matrix::resize(std::size_t rows, std::size_t cols) {
+  rows_ = rows;
+  cols_ = cols;
+  data_.assign(rows * cols, 0.0);
+}
+
+}  // namespace muffin::tensor

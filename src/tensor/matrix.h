@@ -1,0 +1,66 @@
+// Dense row-major matrix and vector types.
+//
+// The library's numeric workhorse. Sizes in this project are small (MLP
+// heads of a few dozen units, batches of a few thousand), so the design
+// optimizes for clarity and checkability: bounds-checked access in the `at`
+// API, unchecked access via operator() documented as requiring valid
+// indices, and value semantics throughout.
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <span>
+#include <vector>
+
+namespace muffin::tensor {
+
+/// A dense column vector; alias kept distinct from Matrix for API clarity.
+using Vector = std::vector<double>;
+
+/// Dense row-major matrix of doubles.
+class Matrix {
+ public:
+  Matrix() = default;
+  /// Create a rows x cols matrix filled with `fill`.
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0);
+  /// Create from a nested initializer list; all rows must be equally long.
+  Matrix(std::initializer_list<std::initializer_list<double>> rows);
+
+  [[nodiscard]] std::size_t rows() const { return rows_; }
+  [[nodiscard]] std::size_t cols() const { return cols_; }
+  [[nodiscard]] std::size_t size() const { return data_.size(); }
+  [[nodiscard]] bool empty() const { return data_.empty(); }
+
+  /// Unchecked element access. Requires r < rows() && c < cols().
+  double& operator()(std::size_t r, std::size_t c) {
+    return data_[r * cols_ + c];
+  }
+  double operator()(std::size_t r, std::size_t c) const {
+    return data_[r * cols_ + c];
+  }
+
+  /// Bounds-checked element access; throws muffin::Error when out of range.
+  double& at(std::size_t r, std::size_t c);
+  [[nodiscard]] double at(std::size_t r, std::size_t c) const;
+
+  /// View of one row.
+  [[nodiscard]] std::span<double> row(std::size_t r);
+  [[nodiscard]] std::span<const double> row(std::size_t r) const;
+
+  /// Flat storage access (row-major).
+  [[nodiscard]] std::span<double> flat() { return data_; }
+  [[nodiscard]] std::span<const double> flat() const { return data_; }
+
+  void fill(double value);
+  /// Reset to rows x cols, zero-filled.
+  void resize(std::size_t rows, std::size_t cols);
+
+  bool operator==(const Matrix& other) const = default;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+}  // namespace muffin::tensor

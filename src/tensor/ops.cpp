@@ -1,0 +1,228 @@
+#include "tensor/ops.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace muffin::tensor {
+
+namespace {
+void require_same_shape(const Matrix& a, const Matrix& b, const char* op) {
+  MUFFIN_REQUIRE(a.rows() == b.rows() && a.cols() == b.cols(),
+                 std::string(op) + " requires matching shapes");
+}
+void require_same_size(std::span<const double> a, std::span<const double> b,
+                       const char* op) {
+  MUFFIN_REQUIRE(a.size() == b.size(),
+                 std::string(op) + " requires matching sizes");
+}
+}  // namespace
+
+Matrix matmul(const Matrix& a, const Matrix& b) {
+  Matrix out(a.rows(), b.cols());
+  matmul_into(a, b, out);
+  return out;
+}
+
+void matmul_into(const Matrix& a, const Matrix& b, Matrix& out) {
+  MUFFIN_REQUIRE(a.cols() == b.rows(), "matmul inner dimensions must match");
+  if (out.rows() != a.rows() || out.cols() != b.cols()) {
+    out.resize(a.rows(), b.cols());
+  } else {
+    out.fill(0.0);
+  }
+  // i-k-j loop order keeps the inner traversal contiguous for row-major data.
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t k = 0; k < a.cols(); ++k) {
+      const double aik = a(i, k);
+      if (aik == 0.0) continue;
+      for (std::size_t j = 0; j < b.cols(); ++j) {
+        out(i, j) += aik * b(k, j);
+      }
+    }
+  }
+}
+
+Vector matvec(const Matrix& a, std::span<const double> x) {
+  MUFFIN_REQUIRE(a.cols() == x.size(), "matvec dimensions must match");
+  Vector y(a.rows(), 0.0);
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    double acc = 0.0;
+    const auto row = a.row(i);
+    for (std::size_t j = 0; j < row.size(); ++j) acc += row[j] * x[j];
+    y[i] = acc;
+  }
+  return y;
+}
+
+Vector matvec_transposed(const Matrix& a, std::span<const double> x) {
+  MUFFIN_REQUIRE(a.rows() == x.size(),
+                 "matvec_transposed dimensions must match");
+  Vector y(a.cols(), 0.0);
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    const double xi = x[i];
+    if (xi == 0.0) continue;
+    const auto row = a.row(i);
+    for (std::size_t j = 0; j < row.size(); ++j) y[j] += row[j] * xi;
+  }
+  return y;
+}
+
+Matrix transpose(const Matrix& a) {
+  Matrix out(a.cols(), a.rows());
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t j = 0; j < a.cols(); ++j) {
+      out(j, i) = a(i, j);
+    }
+  }
+  return out;
+}
+
+Matrix add(const Matrix& a, const Matrix& b) {
+  require_same_shape(a, b, "add");
+  Matrix out = a;
+  for (std::size_t i = 0; i < out.size(); ++i) out.flat()[i] += b.flat()[i];
+  return out;
+}
+
+Matrix subtract(const Matrix& a, const Matrix& b) {
+  require_same_shape(a, b, "subtract");
+  Matrix out = a;
+  for (std::size_t i = 0; i < out.size(); ++i) out.flat()[i] -= b.flat()[i];
+  return out;
+}
+
+Matrix hadamard(const Matrix& a, const Matrix& b) {
+  require_same_shape(a, b, "hadamard");
+  Matrix out = a;
+  for (std::size_t i = 0; i < out.size(); ++i) out.flat()[i] *= b.flat()[i];
+  return out;
+}
+
+Matrix scale(const Matrix& a, double factor) {
+  Matrix out = a;
+  for (double& v : out.flat()) v *= factor;
+  return out;
+}
+
+void add_scaled_inplace(Matrix& a, const Matrix& b, double factor) {
+  require_same_shape(a, b, "add_scaled_inplace");
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    a.flat()[i] += b.flat()[i] * factor;
+  }
+}
+
+Vector add(std::span<const double> a, std::span<const double> b) {
+  require_same_size(a, b, "add");
+  Vector out(a.begin(), a.end());
+  for (std::size_t i = 0; i < out.size(); ++i) out[i] += b[i];
+  return out;
+}
+
+Vector subtract(std::span<const double> a, std::span<const double> b) {
+  require_same_size(a, b, "subtract");
+  Vector out(a.begin(), a.end());
+  for (std::size_t i = 0; i < out.size(); ++i) out[i] -= b[i];
+  return out;
+}
+
+Vector hadamard(std::span<const double> a, std::span<const double> b) {
+  require_same_size(a, b, "hadamard");
+  Vector out(a.begin(), a.end());
+  for (std::size_t i = 0; i < out.size(); ++i) out[i] *= b[i];
+  return out;
+}
+
+Vector scale(std::span<const double> a, double factor) {
+  Vector out(a.begin(), a.end());
+  for (double& v : out) v *= factor;
+  return out;
+}
+
+void add_scaled_inplace(Vector& a, std::span<const double> b, double factor) {
+  require_same_size(a, b, "add_scaled_inplace");
+  for (std::size_t i = 0; i < a.size(); ++i) a[i] += b[i] * factor;
+}
+
+double dot(std::span<const double> a, std::span<const double> b) {
+  require_same_size(a, b, "dot");
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+double l1_norm(std::span<const double> a) {
+  double acc = 0.0;
+  for (const double v : a) acc += std::abs(v);
+  return acc;
+}
+
+double l2_norm(std::span<const double> a) {
+  double acc = 0.0;
+  for (const double v : a) acc += v * v;
+  return std::sqrt(acc);
+}
+
+double sum(std::span<const double> a) {
+  double acc = 0.0;
+  for (const double v : a) acc += v;
+  return acc;
+}
+
+Matrix outer(std::span<const double> a, std::span<const double> b) {
+  Matrix out(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    for (std::size_t j = 0; j < b.size(); ++j) {
+      out(i, j) = a[i] * b[j];
+    }
+  }
+  return out;
+}
+
+Vector softmax(std::span<const double> logits) {
+  return softmax(logits, 1.0);
+}
+
+Vector softmax(std::span<const double> logits, double temperature) {
+  MUFFIN_REQUIRE(!logits.empty(), "softmax requires a non-empty input");
+  MUFFIN_REQUIRE(temperature > 0.0, "softmax temperature must be positive");
+  const double maxv = *std::max_element(logits.begin(), logits.end());
+  Vector out(logits.size());
+  double total = 0.0;
+  for (std::size_t i = 0; i < logits.size(); ++i) {
+    out[i] = std::exp((logits[i] - maxv) / temperature);
+    total += out[i];
+  }
+  for (double& v : out) v /= total;
+  return out;
+}
+
+Vector log_softmax(std::span<const double> logits) {
+  MUFFIN_REQUIRE(!logits.empty(), "log_softmax requires a non-empty input");
+  const double maxv = *std::max_element(logits.begin(), logits.end());
+  double total = 0.0;
+  for (const double v : logits) total += std::exp(v - maxv);
+  const double log_total = std::log(total) + maxv;
+  Vector out(logits.size());
+  for (std::size_t i = 0; i < logits.size(); ++i) {
+    out[i] = logits[i] - log_total;
+  }
+  return out;
+}
+
+std::size_t argmax(std::span<const double> values) {
+  MUFFIN_REQUIRE(!values.empty(), "argmax requires a non-empty input");
+  return static_cast<std::size_t>(
+      std::distance(values.begin(),
+                    std::max_element(values.begin(), values.end())));
+}
+
+Vector one_hot(std::size_t index, std::size_t size) {
+  MUFFIN_REQUIRE(index < size, "one_hot index must be within size");
+  Vector out(size, 0.0);
+  out[index] = 1.0;
+  return out;
+}
+
+}  // namespace muffin::tensor

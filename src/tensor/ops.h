@@ -1,0 +1,66 @@
+// Matrix/vector operations used by the nn module.
+//
+// All functions validate shapes with muffin::Error. Outputs are returned by
+// value (small sizes; NRVO applies) except the *_into variants used on hot
+// paths, which write into preallocated storage.
+#pragma once
+
+#include <span>
+
+#include "tensor/matrix.h"
+
+namespace muffin::tensor {
+
+/// C = A * B. Requires A.cols() == B.rows().
+[[nodiscard]] Matrix matmul(const Matrix& a, const Matrix& b);
+void matmul_into(const Matrix& a, const Matrix& b, Matrix& out);
+
+/// y = A * x (GEMV). Requires A.cols() == x.size().
+[[nodiscard]] Vector matvec(const Matrix& a, std::span<const double> x);
+
+/// y = A^T * x. Requires A.rows() == x.size().
+[[nodiscard]] Vector matvec_transposed(const Matrix& a,
+                                       std::span<const double> x);
+
+[[nodiscard]] Matrix transpose(const Matrix& a);
+
+/// Elementwise matrix ops; shapes must match.
+[[nodiscard]] Matrix add(const Matrix& a, const Matrix& b);
+[[nodiscard]] Matrix subtract(const Matrix& a, const Matrix& b);
+[[nodiscard]] Matrix hadamard(const Matrix& a, const Matrix& b);
+[[nodiscard]] Matrix scale(const Matrix& a, double factor);
+/// a += b * factor (axpy on matrices); shapes must match.
+void add_scaled_inplace(Matrix& a, const Matrix& b, double factor);
+
+/// Vector helpers.
+[[nodiscard]] Vector add(std::span<const double> a, std::span<const double> b);
+[[nodiscard]] Vector subtract(std::span<const double> a,
+                              std::span<const double> b);
+[[nodiscard]] Vector hadamard(std::span<const double> a,
+                              std::span<const double> b);
+[[nodiscard]] Vector scale(std::span<const double> a, double factor);
+void add_scaled_inplace(Vector& a, std::span<const double> b, double factor);
+[[nodiscard]] double dot(std::span<const double> a, std::span<const double> b);
+[[nodiscard]] double l1_norm(std::span<const double> a);
+[[nodiscard]] double l2_norm(std::span<const double> a);
+[[nodiscard]] double sum(std::span<const double> a);
+
+/// Outer product a * b^T as a Matrix of shape (a.size(), b.size()).
+[[nodiscard]] Matrix outer(std::span<const double> a,
+                           std::span<const double> b);
+
+/// Numerically stable softmax.
+[[nodiscard]] Vector softmax(std::span<const double> logits);
+/// Softmax with temperature; t > 0 (t > 1 flattens, t < 1 sharpens).
+[[nodiscard]] Vector softmax(std::span<const double> logits,
+                             double temperature);
+/// log(softmax(logits)) computed stably.
+[[nodiscard]] Vector log_softmax(std::span<const double> logits);
+
+/// Index of the maximum element; first occurrence wins. Requires non-empty.
+[[nodiscard]] std::size_t argmax(std::span<const double> values);
+
+/// One-hot vector of length `size` with 1 at `index`.
+[[nodiscard]] Vector one_hot(std::size_t index, std::size_t size);
+
+}  // namespace muffin::tensor

@@ -1,0 +1,247 @@
+#include "baselines/single_attribute.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.h"
+#include "data/generators.h"
+#include "fairness/metrics.h"
+#include "models/pool.h"
+
+namespace muffin::baselines {
+namespace {
+
+const data::Dataset& base_dataset() {
+  static const data::Dataset ds = data::synthetic_isic2019(20000, 61);
+  return ds;
+}
+
+const models::ModelPool& base_pool() {
+  static const models::ModelPool pool =
+      models::calibrated_isic_pool(base_dataset());
+  return pool;
+}
+
+const models::CalibratedModel& calibrated(const std::string& name) {
+  return dynamic_cast<const models::CalibratedModel&>(
+      base_pool().by_name(name));
+}
+
+TEST(Method, ToStringMatchesPaper) {
+  EXPECT_EQ(to_string(Method::DataBalance), "D");
+  EXPECT_EQ(to_string(Method::FairLoss), "L");
+}
+
+TEST(AttributeHardness, MoreGroupsHarder) {
+  EXPECT_DOUBLE_EQ(attribute_hardness(2), 0.0);
+  EXPECT_LT(attribute_hardness(6), attribute_hardness(9));
+  EXPECT_DOUBLE_EQ(attribute_hardness(10), 1.0);  // saturates
+}
+
+TEST(CapacityScore, MonotoneInParameters) {
+  EXPECT_LT(capacity_score(1261804), capacity_score(11180616));
+  EXPECT_DOUBLE_EQ(capacity_score(100), 0.0);          // tiny -> floor
+  EXPECT_DOUBLE_EQ(capacity_score(10000000000ULL), 1.0);  // huge -> cap
+  EXPECT_THROW((void)capacity_score(0), Error);
+}
+
+TEST(TransferProfile, SuccessfulAgeOptimizationImprovesTarget) {
+  // ShuffleNet has age headroom: D(age) must reduce U_age (Table I row 1).
+  const TransferOutcome outcome =
+      transfer_profile(calibrated("ShuffleNet_V2_X1_0"), base_dataset(),
+                       "age", Method::DataBalance);
+  EXPECT_TRUE(outcome.target_improved);
+  EXPECT_LT(outcome.profile.unfairness_for("age"), 0.36);
+  EXPECT_GT(outcome.profile.unfairness_for("age"), 0.20);
+}
+
+TEST(TransferProfile, SeesawSpillsOntoOtherAttribute) {
+  // Fig. 2: optimizing age makes site worse, and vice versa.
+  for (const Method method : {Method::DataBalance, Method::FairLoss}) {
+    const TransferOutcome outcome = transfer_profile(
+        calibrated("ShuffleNet_V2_X1_0"), base_dataset(), "age", method);
+    EXPECT_GT(outcome.profile.unfairness_for("site"), 0.45)
+        << to_string(method);
+  }
+}
+
+TEST(TransferProfile, BottleneckedModelBackfires) {
+  // Observation 2 / Table I: DenseNet121 sits at its site floor; pushing
+  // site further makes it worse. Same for ResNet-18 on age.
+  const TransferOutcome d121 = transfer_profile(
+      calibrated("DenseNet121"), base_dataset(), "site", Method::DataBalance);
+  EXPECT_FALSE(d121.target_improved);
+  EXPECT_GT(d121.profile.unfairness_for("site"), 0.36);
+
+  const TransferOutcome r18 = transfer_profile(
+      calibrated("ResNet-18"), base_dataset(), "age", Method::DataBalance);
+  EXPECT_FALSE(r18.target_improved);
+  EXPECT_GE(r18.profile.unfairness_for("age"), 0.26);
+}
+
+TEST(TransferProfile, HardAttributeDefeatsSmallModels) {
+  // Table I: D(site)/L(site) fail for ShuffleNet and MobileNet_V3_Small
+  // (site has 9 subgroups), while ResNet-18 succeeds.
+  const TransferOutcome small = transfer_profile(
+      calibrated("ShuffleNet_V2_X1_0"), base_dataset(), "site",
+      Method::DataBalance);
+  EXPECT_FALSE(small.target_improved);
+
+  const TransferOutcome big = transfer_profile(
+      calibrated("ResNet-18"), base_dataset(), "site", Method::DataBalance);
+  EXPECT_TRUE(big.target_improved);
+}
+
+TEST(TransferProfile, AccuracyShifts) {
+  // D tends to help small models' accuracy; L costs accuracy.
+  const TransferOutcome d = transfer_profile(
+      calibrated("ShuffleNet_V2_X1_0"), base_dataset(), "age",
+      Method::DataBalance);
+  EXPECT_GT(d.profile.accuracy, 0.7721);
+
+  const TransferOutcome l = transfer_profile(
+      calibrated("ShuffleNet_V2_X1_0"), base_dataset(), "age",
+      Method::FairLoss);
+  EXPECT_LT(l.profile.accuracy, 0.7721);
+}
+
+TEST(TransferProfile, NamesEncodeMethodAndAttribute) {
+  const TransferOutcome outcome = transfer_profile(
+      calibrated("ResNet-18"), base_dataset(), "site", Method::FairLoss);
+  EXPECT_EQ(outcome.profile.name, "ResNet-18+L(site)");
+}
+
+/// Expected (sampling-noise-free) unfairness of a calibrated model on one
+/// attribute, computed from the per-record correctness probabilities.
+double expected_unfairness(const models::CalibratedModel& model,
+                           const data::Dataset& dataset,
+                           const std::string& attribute) {
+  const std::size_t a = data::attribute_index(dataset.schema(), attribute);
+  const std::size_t groups = dataset.schema()[a].group_count();
+  std::vector<double> sum(groups, 0.0);
+  std::vector<std::size_t> count(groups, 0);
+  double overall = 0.0;
+  for (std::size_t i = 0; i < dataset.size(); ++i) {
+    const double p = model.correctness_probability(dataset.record(i));
+    overall += p;
+    sum[dataset.record(i).groups[a]] += p;
+    ++count[dataset.record(i).groups[a]];
+  }
+  overall /= static_cast<double>(dataset.size());
+  double u = 0.0;
+  for (std::size_t g = 0; g < groups; ++g) {
+    if (count[g] == 0) continue;
+    u += std::abs(sum[g] / static_cast<double>(count[g]) - overall);
+  }
+  return u;
+}
+
+TEST(OptimizeCalibrated, RealizedBehaviourMatchesTransfer) {
+  const auto optimized_ptr =
+      optimize_calibrated(calibrated("ShuffleNet_V2_X1_0"), base_dataset(),
+                          "age", Method::DataBalance);
+  const auto& optimized =
+      dynamic_cast<const models::CalibratedModel&>(*optimized_ptr);
+  const auto& vanilla = calibrated("ShuffleNet_V2_X1_0");
+
+  // Expected values (no sampling noise): age improves, site degrades.
+  EXPECT_LT(expected_unfairness(optimized, base_dataset(), "age"),
+            expected_unfairness(vanilla, base_dataset(), "age") - 0.03);
+  EXPECT_GT(expected_unfairness(optimized, base_dataset(), "site"),
+            expected_unfairness(vanilla, base_dataset(), "site") + 0.02);
+
+  // Sampled values on 20k records: the stronger (age) signal must survive
+  // sampling noise too.
+  const auto before = fairness::evaluate_model(vanilla, base_dataset());
+  const auto after = fairness::evaluate_model(optimized, base_dataset());
+  EXPECT_LT(after.unfairness_for("age"), before.unfairness_for("age"));
+}
+
+TEST(MethodWeights, DataBalanceEqualizesGroupMass) {
+  const auto weights =
+      method_weights(base_dataset(), "age", Method::DataBalance);
+  ASSERT_EQ(weights.size(), base_dataset().size());
+  // Total weight per group must be (approximately) equal.
+  const std::size_t age = 0;
+  std::vector<double> group_mass(6, 0.0);
+  for (std::size_t i = 0; i < base_dataset().size(); ++i) {
+    group_mass[base_dataset().record(i).groups[age]] += weights[i];
+  }
+  for (std::size_t g = 1; g < group_mass.size(); ++g) {
+    EXPECT_NEAR(group_mass[g], group_mass[0], 1e-6 * group_mass[0]);
+  }
+}
+
+TEST(MethodWeights, FairLossBoostsUnprivilegedOnly) {
+  const double lambda = 2.0;
+  const auto weights =
+      method_weights(base_dataset(), "age", Method::FairLoss, lambda);
+  const std::size_t age = 0;
+  // Weights are normalized to mean 1; unprivileged samples must carry
+  // (1+lambda)x the privileged weight.
+  double unpriv_w = 0.0, priv_w = 0.0;
+  for (std::size_t i = 0; i < base_dataset().size(); ++i) {
+    const auto& r = base_dataset().record(i);
+    if (base_dataset().is_unprivileged(age, r.groups[age])) {
+      unpriv_w = weights[i];
+    } else {
+      priv_w = weights[i];
+    }
+  }
+  EXPECT_NEAR(unpriv_w / priv_w, 1.0 + lambda, 1e-9);
+}
+
+TEST(MethodWeights, MeanIsOne) {
+  for (const Method method : {Method::DataBalance, Method::FairLoss}) {
+    const auto weights = method_weights(base_dataset(), "site", method);
+    double sum = 0.0;
+    for (const double w : weights) sum += w;
+    EXPECT_NEAR(sum / static_cast<double>(weights.size()), 1.0, 1e-9);
+  }
+}
+
+TEST(MethodWeights, RejectsNegativeLambda) {
+  EXPECT_THROW(
+      (void)method_weights(base_dataset(), "age", Method::FairLoss, -1.0),
+      Error);
+}
+
+TEST(OptimizeTrainable, ProducesTrainedClassifier) {
+  const data::Dataset small = data::synthetic_isic2019(3000, 63);
+  models::TrainableConfig config;
+  config.epochs = 8;
+  const auto model =
+      optimize_trainable(small, "age", Method::DataBalance, config);
+  ASSERT_NE(model, nullptr);
+  EXPECT_TRUE(model->is_trained());
+  EXPECT_EQ(model->name(), "trainable+D(age)");
+}
+
+TEST(OptimizeTrainable, RebalancingShiftsGroupAccuracies) {
+  // Real retraining: upweighting unprivileged age groups must raise their
+  // accuracy relative to a plain model.
+  const data::Dataset small = data::synthetic_isic2019(6000, 65);
+  models::TrainableConfig config;
+  config.epochs = 15;
+  models::TrainableClassifier plain("plain", small, config);
+  plain.fit(small);
+  const auto balanced =
+      optimize_trainable(small, "age", Method::FairLoss, config, 4.0);
+
+  const auto rp = fairness::evaluate_model(plain, small);
+  const auto rb = fairness::evaluate_model(*balanced, small);
+  const auto& schema = small.schema()[0];
+  const double plain_unpriv =
+      (rp.for_attribute("age").group_accuracy[schema.group_index("60-80")] +
+       rp.for_attribute("age").group_accuracy[schema.group_index("80+")]) /
+      2.0;
+  const double balanced_unpriv =
+      (rb.for_attribute("age").group_accuracy[schema.group_index("60-80")] +
+       rb.for_attribute("age").group_accuracy[schema.group_index("80+")]) /
+      2.0;
+  EXPECT_GT(balanced_unpriv - rb.accuracy, plain_unpriv - rp.accuracy - 0.02);
+}
+
+}  // namespace
+}  // namespace muffin::baselines

@@ -1,0 +1,92 @@
+// Property sweep of the single-attribute transfer model over the full
+// architecture x method x attribute grid: invariants that must hold for
+// every combination regardless of the calibrated constants.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "baselines/single_attribute.h"
+#include "data/generators.h"
+#include "models/pool.h"
+
+namespace muffin::baselines {
+namespace {
+
+const data::Dataset& sweep_dataset() {
+  static const data::Dataset ds = data::synthetic_isic2019(8000, 191);
+  return ds;
+}
+
+const models::ModelPool& sweep_pool() {
+  static const models::ModelPool pool =
+      models::calibrated_isic_pool(sweep_dataset());
+  return pool;
+}
+
+using SweepCase = std::tuple<std::string, Method, std::string>;
+
+class TransferSweep : public ::testing::TestWithParam<SweepCase> {};
+
+TEST_P(TransferSweep, InvariantsHold) {
+  const auto& [arch, method, attribute] = GetParam();
+  const auto& vanilla = dynamic_cast<const models::CalibratedModel&>(
+      sweep_pool().by_name(arch));
+  const TransferOutcome outcome =
+      transfer_profile(vanilla, sweep_dataset(), attribute, method);
+
+  // 1. Accuracy stays a valid fraction and moves by less than 6 points.
+  EXPECT_GT(outcome.profile.accuracy, 0.05);
+  EXPECT_LT(outcome.profile.accuracy, 0.99);
+  EXPECT_NEAR(outcome.profile.accuracy, vanilla.profile().accuracy, 0.06);
+
+  // 2. Every *other* attribute with a target gets strictly worse (seesaw).
+  for (const auto& [name, value] : vanilla.profile().unfairness) {
+    if (name == attribute || value <= 0.0) continue;
+    EXPECT_GT(outcome.profile.unfairness_for(name), value)
+        << arch << " " << to_string(method) << "(" << attribute << ") -> "
+        << name;
+  }
+
+  // 3. Success implies the target actually went down and respects the
+  //    bottleneck floor; failure implies it went up.
+  const double before = vanilla.profile().unfairness_for(attribute);
+  const double after = outcome.profile.unfairness_for(attribute);
+  if (outcome.target_improved) {
+    EXPECT_LT(after, before);
+    EXPECT_GE(after, vanilla.profile().floor_for(attribute) - 1e-12);
+  } else {
+    EXPECT_GE(after, before);
+  }
+
+  // 4. The derived profile remains usable: a CalibratedModel can be built
+  //    from it against the same dataset.
+  EXPECT_NO_THROW(models::CalibratedModel(outcome.profile, sweep_dataset()));
+}
+
+std::vector<SweepCase> all_cases() {
+  std::vector<SweepCase> cases;
+  for (const auto& profile : models::isic2019_profiles()) {
+    for (const Method method : {Method::DataBalance, Method::FairLoss}) {
+      for (const std::string attribute : {"age", "site"}) {
+        cases.emplace_back(profile.name, method, attribute);
+      }
+    }
+  }
+  return cases;
+}
+
+std::string case_name(const ::testing::TestParamInfo<SweepCase>& info) {
+  std::string name = std::get<0>(info.param) + "_" +
+                     to_string(std::get<1>(info.param)) + "_" +
+                     std::get<2>(info.param);
+  for (char& c : name) {
+    if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+  }
+  return name;
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, TransferSweep,
+                         ::testing::ValuesIn(all_cases()), case_name);
+
+}  // namespace
+}  // namespace muffin::baselines

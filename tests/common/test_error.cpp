@@ -1,0 +1,45 @@
+#include "common/error.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace muffin {
+namespace {
+
+TEST(Error, CarriesMessage) {
+  const Error error("something broke");
+  EXPECT_STREQ(error.what(), "something broke");
+}
+
+TEST(Require, PassesOnTrue) {
+  EXPECT_NO_THROW(MUFFIN_REQUIRE(1 + 1 == 2, "math works"));
+}
+
+TEST(Require, ThrowsOnFalse) {
+  EXPECT_THROW(MUFFIN_REQUIRE(false, "always fails"), Error);
+}
+
+TEST(Require, MessageIncludesContext) {
+  try {
+    MUFFIN_REQUIRE(2 < 1, "two is not less than one");
+    FAIL() << "expected throw";
+  } catch (const Error& error) {
+    const std::string what = error.what();
+    EXPECT_NE(what.find("two is not less than one"), std::string::npos);
+    EXPECT_NE(what.find("2 < 1"), std::string::npos);
+    EXPECT_NE(what.find("test_error.cpp"), std::string::npos);
+  }
+}
+
+TEST(Require, IsUsableInExpressions) {
+  // The macro must behave as a single statement (if/else safety).
+  if (true)
+    MUFFIN_REQUIRE(true, "ok");
+  else
+    MUFFIN_REQUIRE(false, "never");
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace muffin

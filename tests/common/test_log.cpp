@@ -1,0 +1,61 @@
+#include "common/log.h"
+
+#include <gtest/gtest.h>
+
+namespace muffin {
+namespace {
+
+class LogLevelGuard {
+ public:
+  LogLevelGuard() : saved_(log_level()) {}
+  ~LogLevelGuard() { set_log_level(saved_); }
+
+ private:
+  LogLevel saved_;
+};
+
+TEST(Log, LevelRoundTrips) {
+  LogLevelGuard guard;
+  set_log_level(LogLevel::Debug);
+  EXPECT_EQ(log_level(), LogLevel::Debug);
+  set_log_level(LogLevel::Error);
+  EXPECT_EQ(log_level(), LogLevel::Error);
+}
+
+TEST(Log, SuppressedBelowLevel) {
+  LogLevelGuard guard;
+  set_log_level(LogLevel::Off);
+  testing::internal::CaptureStderr();
+  MUFFIN_LOG_ERROR << "should not appear";
+  EXPECT_EQ(testing::internal::GetCapturedStderr(), "");
+}
+
+TEST(Log, EmittedAtLevel) {
+  LogLevelGuard guard;
+  set_log_level(LogLevel::Info);
+  testing::internal::CaptureStderr();
+  MUFFIN_LOG_INFO << "hello " << 42;
+  const std::string out = testing::internal::GetCapturedStderr();
+  EXPECT_NE(out.find("hello 42"), std::string::npos);
+  EXPECT_NE(out.find("INFO"), std::string::npos);
+}
+
+TEST(Log, WarnVisibleAtInfoLevel) {
+  LogLevelGuard guard;
+  set_log_level(LogLevel::Info);
+  testing::internal::CaptureStderr();
+  MUFFIN_LOG_WARN << "warned";
+  EXPECT_NE(testing::internal::GetCapturedStderr().find("warned"),
+            std::string::npos);
+}
+
+TEST(Log, DebugHiddenAtWarnLevel) {
+  LogLevelGuard guard;
+  set_log_level(LogLevel::Warn);
+  testing::internal::CaptureStderr();
+  MUFFIN_LOG_DEBUG << "hidden";
+  EXPECT_EQ(testing::internal::GetCapturedStderr(), "");
+}
+
+}  // namespace
+}  // namespace muffin

@@ -1,0 +1,211 @@
+#include "common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "common/error.h"
+#include "common/stats.h"
+
+namespace muffin {
+namespace {
+
+TEST(SplitRng, SameSeedSameStream) {
+  SplitRng a(42);
+  SplitRng b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(a.uniform(), b.uniform());
+  }
+}
+
+TEST(SplitRng, DifferentSeedsDiffer) {
+  SplitRng a(1);
+  SplitRng b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.uniform() == b.uniform()) ++equal;
+  }
+  EXPECT_LT(equal, 5);
+}
+
+TEST(SplitRng, ForkIsDeterministic) {
+  SplitRng master(7);
+  SplitRng a = master.fork("dataset");
+  SplitRng b = SplitRng(7).fork("dataset");
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_DOUBLE_EQ(a.uniform(), b.uniform());
+  }
+}
+
+TEST(SplitRng, ForkIndependentOfDrawOrder) {
+  SplitRng master(7);
+  master.uniform();  // consuming draws must not change forks
+  SplitRng a = master.fork("x");
+  SplitRng b = SplitRng(7).fork("x");
+  EXPECT_DOUBLE_EQ(a.uniform(), b.uniform());
+}
+
+TEST(SplitRng, ForksWithDifferentNamesDecorrelated) {
+  SplitRng master(7);
+  SplitRng a = master.fork("alpha");
+  SplitRng b = master.fork("beta");
+  std::vector<double> xs(500), ys(500);
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    xs[i] = a.uniform();
+    ys[i] = b.uniform();
+  }
+  EXPECT_LT(std::abs(pearson(xs, ys)), 0.12);
+}
+
+TEST(SplitRng, UniformInRange) {
+  SplitRng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.uniform(-2.0, 5.0);
+    EXPECT_GE(v, -2.0);
+    EXPECT_LT(v, 5.0);
+  }
+}
+
+TEST(SplitRng, UniformRejectsInvertedRange) {
+  SplitRng rng(3);
+  EXPECT_THROW(rng.uniform(1.0, 0.0), Error);
+}
+
+TEST(SplitRng, IndexCoversRange) {
+  SplitRng rng(5);
+  std::set<std::size_t> seen;
+  for (int i = 0; i < 500; ++i) {
+    const std::size_t v = rng.index(7);
+    EXPECT_LT(v, 7u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(SplitRng, IndexRejectsZero) {
+  SplitRng rng(5);
+  EXPECT_THROW(rng.index(0), Error);
+}
+
+TEST(SplitRng, NormalMoments) {
+  SplitRng rng(11);
+  std::vector<double> draws(20000);
+  for (double& d : draws) d = rng.normal();
+  EXPECT_NEAR(mean(draws), 0.0, 0.03);
+  EXPECT_NEAR(stddev(draws), 1.0, 0.03);
+}
+
+TEST(SplitRng, NormalWithParameters) {
+  SplitRng rng(11);
+  std::vector<double> draws(20000);
+  for (double& d : draws) d = rng.normal(3.0, 0.5);
+  EXPECT_NEAR(mean(draws), 3.0, 0.03);
+  EXPECT_NEAR(stddev(draws), 0.5, 0.03);
+}
+
+TEST(SplitRng, NormalZeroStddevIsMean) {
+  SplitRng rng(11);
+  EXPECT_DOUBLE_EQ(rng.normal(2.5, 0.0), 2.5);
+}
+
+TEST(SplitRng, NormalRejectsNegativeStddev) {
+  SplitRng rng(11);
+  EXPECT_THROW(rng.normal(0.0, -1.0), Error);
+}
+
+TEST(SplitRng, BernoulliEdges) {
+  SplitRng rng(13);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+    EXPECT_FALSE(rng.bernoulli(-0.5));
+    EXPECT_TRUE(rng.bernoulli(1.5));
+  }
+}
+
+TEST(SplitRng, BernoulliFrequency) {
+  SplitRng rng(13);
+  int hits = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    if (rng.bernoulli(0.3)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(SplitRng, CategoricalFollowsWeights) {
+  SplitRng rng(17);
+  const std::vector<double> weights = {1.0, 3.0, 0.0, 6.0};
+  std::vector<int> counts(4, 0);
+  const int n = 30000;
+  for (int i = 0; i < n; ++i) ++counts[rng.categorical(weights)];
+  EXPECT_EQ(counts[2], 0);
+  EXPECT_NEAR(counts[0] / static_cast<double>(n), 0.1, 0.02);
+  EXPECT_NEAR(counts[1] / static_cast<double>(n), 0.3, 0.02);
+  EXPECT_NEAR(counts[3] / static_cast<double>(n), 0.6, 0.02);
+}
+
+TEST(SplitRng, CategoricalRejectsBadInput) {
+  SplitRng rng(17);
+  EXPECT_THROW(rng.categorical({}), Error);
+  EXPECT_THROW(rng.categorical({0.0, 0.0}), Error);
+  EXPECT_THROW(rng.categorical({1.0, -1.0}), Error);
+}
+
+TEST(SplitRng, ShufflePreservesElements) {
+  SplitRng rng(19);
+  std::vector<int> items = {1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> original = items;
+  rng.shuffle(items);
+  std::sort(items.begin(), items.end());
+  EXPECT_EQ(items, original);
+}
+
+TEST(SplitRng, SampleWithoutReplacementDistinct) {
+  SplitRng rng(23);
+  const auto sample = rng.sample_without_replacement(10, 6);
+  EXPECT_EQ(sample.size(), 6u);
+  std::set<std::size_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 6u);
+  for (const std::size_t v : sample) EXPECT_LT(v, 10u);
+}
+
+TEST(SplitRng, SampleWithoutReplacementFull) {
+  SplitRng rng(23);
+  const auto sample = rng.sample_without_replacement(5, 5);
+  std::set<std::size_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 5u);
+}
+
+TEST(SplitRng, SampleWithoutReplacementRejectsOversample) {
+  SplitRng rng(23);
+  EXPECT_THROW(rng.sample_without_replacement(3, 4), Error);
+}
+
+TEST(Fnv1a64, KnownValuesStable) {
+  EXPECT_EQ(fnv1a64(""), 0xcbf29ce484222325ULL);
+  EXPECT_NE(fnv1a64("a"), fnv1a64("b"));
+  EXPECT_EQ(fnv1a64("muffin"), fnv1a64("muffin"));
+}
+
+class CategoricalSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(CategoricalSweep, UniformWeightsAreUniform) {
+  const std::size_t k = GetParam();
+  SplitRng rng(100 + k);
+  const std::vector<double> weights(k, 1.0);
+  std::vector<int> counts(k, 0);
+  const int n = 12000;
+  for (int i = 0; i < n; ++i) ++counts[rng.categorical(weights)];
+  for (const int c : counts) {
+    EXPECT_NEAR(c / static_cast<double>(n), 1.0 / static_cast<double>(k),
+                0.03);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, CategoricalSweep,
+                         ::testing::Values(2, 3, 5, 8, 13));
+
+}  // namespace
+}  // namespace muffin

@@ -1,0 +1,129 @@
+#include "common/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/error.h"
+
+namespace muffin {
+namespace {
+
+TEST(Mean, Basic) {
+  const std::vector<double> v = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(mean(v), 2.5);
+}
+
+TEST(Mean, EmptyIsZero) { EXPECT_DOUBLE_EQ(mean({}), 0.0); }
+
+TEST(Stddev, Basic) {
+  const std::vector<double> v = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  EXPECT_NEAR(stddev(v), 2.0, 1e-12);
+}
+
+TEST(Stddev, DegenerateIsZero) {
+  EXPECT_DOUBLE_EQ(stddev({}), 0.0);
+  const std::vector<double> one = {3.0};
+  EXPECT_DOUBLE_EQ(stddev(one), 0.0);
+}
+
+TEST(Pearson, PerfectCorrelation) {
+  const std::vector<double> x = {1.0, 2.0, 3.0, 4.0};
+  const std::vector<double> y = {2.0, 4.0, 6.0, 8.0};
+  EXPECT_NEAR(pearson(x, y), 1.0, 1e-12);
+}
+
+TEST(Pearson, PerfectAnticorrelation) {
+  const std::vector<double> x = {1.0, 2.0, 3.0};
+  const std::vector<double> y = {3.0, 2.0, 1.0};
+  EXPECT_NEAR(pearson(x, y), -1.0, 1e-12);
+}
+
+TEST(Pearson, ZeroVarianceIsZero) {
+  const std::vector<double> x = {1.0, 1.0, 1.0};
+  const std::vector<double> y = {1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(pearson(x, y), 0.0);
+}
+
+TEST(Pearson, SizeMismatchThrows) {
+  const std::vector<double> x = {1.0, 2.0};
+  const std::vector<double> y = {1.0};
+  EXPECT_THROW((void)pearson(x, y), Error);
+}
+
+TEST(Clamp, Basic) {
+  EXPECT_DOUBLE_EQ(clamp(5.0, 0.0, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(clamp(-1.0, 0.0, 1.0), 0.0);
+  EXPECT_DOUBLE_EQ(clamp(0.5, 0.0, 1.0), 0.5);
+  EXPECT_DOUBLE_EQ(clamp(9.0, 2.0, 2.0), 2.0);
+}
+
+TEST(Clamp, InvertedBoundsThrow) {
+  EXPECT_THROW((void)clamp(0.0, 1.0, -1.0), Error);
+}
+
+TEST(NormalCdf, KnownValues) {
+  EXPECT_NEAR(normal_cdf(0.0), 0.5, 1e-12);
+  EXPECT_NEAR(normal_cdf(1.96), 0.975, 1e-3);
+  EXPECT_NEAR(normal_cdf(-1.96), 0.025, 1e-3);
+  EXPECT_NEAR(normal_cdf(5.0), 1.0, 1e-6);
+  EXPECT_NEAR(normal_cdf(-5.0), 0.0, 1e-6);
+}
+
+TEST(NormalCdf, Monotone) {
+  double prev = normal_cdf(-4.0);
+  for (double x = -3.9; x < 4.0; x += 0.1) {
+    const double cur = normal_cdf(x);
+    EXPECT_GT(cur, prev);
+    prev = cur;
+  }
+}
+
+TEST(Ema, FirstValueIsExact) {
+  ExponentialMovingAverage ema(0.1);
+  EXPECT_FALSE(ema.has_value());
+  EXPECT_DOUBLE_EQ(ema.update(5.0), 5.0);
+  EXPECT_TRUE(ema.has_value());
+}
+
+TEST(Ema, ConvergesToConstant) {
+  ExponentialMovingAverage ema(0.3);
+  ema.update(0.0);
+  for (int i = 0; i < 100; ++i) ema.update(10.0);
+  EXPECT_NEAR(ema.value(), 10.0, 1e-9);
+}
+
+TEST(Ema, DecayOneTracksLast) {
+  ExponentialMovingAverage ema(1.0);
+  ema.update(1.0);
+  ema.update(7.0);
+  EXPECT_DOUBLE_EQ(ema.value(), 7.0);
+}
+
+TEST(Ema, RejectsBadDecay) {
+  EXPECT_THROW(ExponentialMovingAverage(0.0), Error);
+  EXPECT_THROW(ExponentialMovingAverage(1.5), Error);
+  EXPECT_THROW(ExponentialMovingAverage(-0.2), Error);
+}
+
+TEST(RunningSummary, TracksMinMaxMean) {
+  RunningSummary summary;
+  summary.add(3.0);
+  summary.add(-1.0);
+  summary.add(4.0);
+  EXPECT_EQ(summary.count(), 3u);
+  EXPECT_DOUBLE_EQ(summary.min(), -1.0);
+  EXPECT_DOUBLE_EQ(summary.max(), 4.0);
+  EXPECT_DOUBLE_EQ(summary.mean(), 2.0);
+}
+
+TEST(RunningSummary, EmptyThrows) {
+  RunningSummary summary;
+  EXPECT_THROW((void)summary.min(), Error);
+  EXPECT_THROW((void)summary.max(), Error);
+  EXPECT_THROW((void)summary.mean(), Error);
+}
+
+}  // namespace
+}  // namespace muffin

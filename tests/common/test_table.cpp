@@ -1,0 +1,97 @@
+#include "common/table.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace muffin {
+namespace {
+
+TEST(TextTable, RendersHeaderAndRows) {
+  TextTable table({"model", "acc"});
+  table.add_row({"ResNet-18", "0.81"});
+  table.add_row({"DenseNet121", "0.82"});
+  const std::string out = table.to_string();
+  EXPECT_NE(out.find("model"), std::string::npos);
+  EXPECT_NE(out.find("ResNet-18"), std::string::npos);
+  EXPECT_NE(out.find("DenseNet121"), std::string::npos);
+  EXPECT_EQ(table.row_count(), 2u);
+}
+
+TEST(TextTable, ColumnsAligned) {
+  TextTable table({"a", "b"});
+  table.add_row({"xxxxxxxx", "1"});
+  table.add_row({"y", "2"});
+  const std::string out = table.to_string();
+  // Every rendered line must have equal length.
+  std::size_t line_len = 0;
+  std::size_t start = 0;
+  while (start < out.size()) {
+    const std::size_t end = out.find('\n', start);
+    const std::size_t len = end - start;
+    if (line_len == 0) line_len = len;
+    EXPECT_EQ(len, line_len);
+    start = end + 1;
+  }
+}
+
+TEST(TextTable, RejectsEmptyHeader) {
+  EXPECT_THROW(TextTable({}), Error);
+}
+
+TEST(TextTable, RejectsWrongWidthRow) {
+  TextTable table({"a", "b"});
+  EXPECT_THROW(table.add_row({"only one"}), Error);
+}
+
+TEST(TextTable, RulesRendered) {
+  TextTable table({"a"});
+  table.add_row({"1"});
+  table.add_rule();
+  table.add_row({"2"});
+  const std::string out = table.to_string();
+  // Expect at least 4 rules: top, under header, explicit, bottom.
+  std::size_t rules = 0;
+  std::size_t pos = 0;
+  while ((pos = out.find('+', pos)) != std::string::npos) {
+    if (pos == 0 || out[pos - 1] == '\n') ++rules;
+    pos += 1;
+  }
+  EXPECT_GE(rules, 4u);
+}
+
+TEST(TextTable, CsvBasic) {
+  TextTable table({"a", "b"});
+  table.add_row({"1", "2"});
+  table.add_rule();
+  table.add_row({"3", "4"});
+  EXPECT_EQ(table.to_csv(), "a,b\n1,2\n3,4\n");
+}
+
+TEST(TextTable, CsvEscapesCommasAndQuotes) {
+  TextTable table({"name"});
+  table.add_row({"a,b"});
+  table.add_row({"say \"hi\""});
+  const std::string csv = table.to_csv();
+  EXPECT_NE(csv.find("\"a,b\""), std::string::npos);
+  EXPECT_NE(csv.find("\"say \"\"hi\"\"\""), std::string::npos);
+}
+
+TEST(Format, Fixed) {
+  EXPECT_EQ(format_fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(format_fixed(-1.0, 3), "-1.000");
+}
+
+TEST(Format, Percent) {
+  EXPECT_EQ(format_percent(0.7721), "77.21%");
+  EXPECT_EQ(format_percent(0.5, 0), "50%");
+}
+
+TEST(Format, SignedPercent) {
+  EXPECT_EQ(format_signed_percent(0.1944), "+19.44%");
+  EXPECT_EQ(format_signed_percent(-0.0185), "-1.85%");
+  EXPECT_EQ(format_signed_percent(0.0), "+0.00%");
+}
+
+}  // namespace
+}  // namespace muffin

@@ -1,0 +1,143 @@
+#include "core/head_trainer.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/error.h"
+#include "data/generators.h"
+#include "fairness/metrics.h"
+
+namespace muffin::core {
+namespace {
+
+const data::Dataset& ht_dataset() {
+  static const data::Dataset ds = data::synthetic_isic2019(4000, 101);
+  return ds;
+}
+
+const models::ModelPool& ht_pool() {
+  static const models::ModelPool pool =
+      models::calibrated_isic_pool(ht_dataset());
+  return pool;
+}
+
+const ScoreCache& ht_cache() {
+  static const ScoreCache cache(ht_pool(), ht_dataset());
+  return cache;
+}
+
+FusingStructure ht_structure() {
+  rl::StructureChoice choice;
+  choice.model_indices = {ht_pool().index_of("MobileNet_V3_Small"),
+                          ht_pool().index_of("ResNet-34")};
+  choice.hidden_dims = {16, 10};
+  choice.activation = nn::Activation::Relu;
+  return FusingStructure::from_choice(choice, 8);
+}
+
+TEST(HeadTrainingSet, ShapesAndContents) {
+  const ProxyDataset proxy = build_proxy(ht_dataset());
+  const nn::TrainingSet set =
+      head_training_set(ht_cache(), ht_dataset(), proxy, ht_structure());
+  EXPECT_EQ(set.features.rows(), proxy.size());
+  EXPECT_EQ(set.features.cols(), 16u);
+  EXPECT_EQ(set.num_classes, 8u);
+  // Labels and weights must align with the proxy selection.
+  for (std::size_t k = 0; k < 20; ++k) {
+    EXPECT_EQ(set.labels[k], ht_dataset().record(proxy.indices[k]).label);
+    EXPECT_DOUBLE_EQ(set.weights[k], proxy.weights[k]);
+  }
+}
+
+TEST(HeadTrainingSet, RejectsForeignProxy) {
+  const data::Dataset other = data::synthetic_isic2019(500, 103);
+  const ProxyDataset proxy = build_proxy(other);
+  EXPECT_THROW((void)head_training_set(ht_cache(), ht_dataset(), proxy,
+                                       ht_structure()),
+               Error);
+}
+
+TEST(TrainHead, OutputShapeMatchesSpec) {
+  const ProxyDataset proxy = build_proxy(ht_dataset());
+  HeadTrainConfig config;
+  config.epochs = 6;
+  nn::Mlp head =
+      train_head(ht_cache(), ht_dataset(), proxy, ht_structure(), config);
+  EXPECT_EQ(head.spec(), ht_structure().head_spec);
+}
+
+TEST(TrainHead, BeatsUntrainedHeadOnProxyRecords) {
+  const ProxyDataset proxy = build_proxy(ht_dataset());
+  const FusingStructure structure = ht_structure();
+  HeadTrainConfig config;
+  config.epochs = 12;
+  nn::Mlp trained =
+      train_head(ht_cache(), ht_dataset(), proxy, structure, config);
+  nn::Mlp untrained(structure.head_spec);
+  SplitRng rng(1);
+  untrained.init(rng);
+
+  const nn::TrainingSet set =
+      head_training_set(ht_cache(), ht_dataset(), proxy, structure);
+  const double trained_acc = nn::evaluate_accuracy(trained, set);
+  const double untrained_acc = nn::evaluate_accuracy(untrained, set);
+  EXPECT_GT(trained_acc, untrained_acc + 0.15);
+}
+
+TEST(TrainHead, DeterministicGivenSeed) {
+  const ProxyDataset proxy = build_proxy(ht_dataset());
+  HeadTrainConfig config;
+  config.epochs = 4;
+  config.seed = 17;
+  nn::Mlp a =
+      train_head(ht_cache(), ht_dataset(), proxy, ht_structure(), config);
+  nn::Mlp b =
+      train_head(ht_cache(), ht_dataset(), proxy, ht_structure(), config);
+  const nn::TrainingSet set =
+      head_training_set(ht_cache(), ht_dataset(), proxy, ht_structure());
+  EXPECT_DOUBLE_EQ(nn::evaluate_accuracy(a, set),
+                   nn::evaluate_accuracy(b, set));
+}
+
+TEST(TrainHead, HigherWeightGroupsGetMoreAttention) {
+  // Train two heads: one with Algorithm-1 weights, one without. On records
+  // carrying weight > 1.3 (multi-unprivileged intersections), the weighted
+  // head must do at least as well.
+  const FusingStructure structure = ht_structure();
+  HeadTrainConfig config;
+  config.epochs = 12;
+
+  const ProxyDataset weighted = build_proxy(ht_dataset());
+  ProxyConfig unweighted_config;
+  unweighted_config.use_weights = false;
+  const ProxyDataset unweighted = build_proxy(ht_dataset(), unweighted_config);
+
+  nn::Mlp head_w =
+      train_head(ht_cache(), ht_dataset(), weighted, structure, config);
+  nn::Mlp head_u =
+      train_head(ht_cache(), ht_dataset(), unweighted, structure, config);
+
+  // Threshold at the 75th percentile of proxy weights (the heavy
+  // multi-unprivileged intersections).
+  std::vector<double> sorted = weighted.weights;
+  std::sort(sorted.begin(), sorted.end());
+  const double threshold = sorted[sorted.size() * 3 / 4];
+
+  std::size_t w_correct = 0, u_correct = 0, total = 0;
+  tensor::Vector input(structure.head_spec.input_dim);
+  for (std::size_t k = 0; k < weighted.size(); ++k) {
+    if (weighted.weights[k] < threshold) continue;
+    const std::size_t i = weighted.indices[k];
+    ht_cache().gather(structure.model_indices, i, input);
+    const std::size_t label = ht_dataset().record(i).label;
+    if (head_w.predict(input) == label) ++w_correct;
+    if (head_u.predict(input) == label) ++u_correct;
+    ++total;
+  }
+  ASSERT_GT(total, 50u);
+  EXPECT_GE(w_correct + total / 20, u_correct);  // within noise, >= holds
+}
+
+}  // namespace
+}  // namespace muffin::core

@@ -1,0 +1,157 @@
+#include "core/proxy.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/error.h"
+#include "data/generators.h"
+
+namespace muffin::core {
+namespace {
+
+const data::Dataset& proxy_dataset() {
+  static const data::Dataset ds = data::synthetic_isic2019(8000, 81);
+  return ds;
+}
+
+TEST(Proxy, SelectsOnlyUnprivilegedRecords) {
+  const ProxyDataset proxy = build_proxy(proxy_dataset());
+  ASSERT_GT(proxy.size(), 0u);
+  EXPECT_EQ(proxy.source_size, proxy_dataset().size());
+  for (const std::size_t i : proxy.indices) {
+    const data::Record& r = proxy_dataset().record(i);
+    bool unprivileged = false;
+    for (std::size_t a = 0; a < proxy_dataset().schema().size(); ++a) {
+      if (proxy_dataset().is_unprivileged(a, r.groups[a])) {
+        unprivileged = true;
+      }
+    }
+    EXPECT_TRUE(unprivileged) << "record " << i;
+  }
+}
+
+TEST(Proxy, ExcludedRecordsAreAllPrivileged) {
+  const ProxyDataset proxy = build_proxy(proxy_dataset());
+  const std::set<std::size_t> selected(proxy.indices.begin(),
+                                       proxy.indices.end());
+  for (std::size_t i = 0; i < proxy_dataset().size(); ++i) {
+    if (selected.count(i) > 0) continue;
+    const data::Record& r = proxy_dataset().record(i);
+    for (std::size_t a = 0; a < proxy_dataset().schema().size(); ++a) {
+      EXPECT_FALSE(proxy_dataset().is_unprivileged(a, r.groups[a]));
+    }
+  }
+}
+
+TEST(Proxy, AlgorithmOneGroupWeights) {
+  const ProxyDataset proxy = build_proxy(proxy_dataset());
+  // Group weights: 0 for privileged groups, in [1, K] for unprivileged
+  // (an image counts once per unprivileged membership; K attributes max).
+  const std::size_t num_attrs = proxy_dataset().schema().size();
+  for (std::size_t a = 0; a < num_attrs; ++a) {
+    for (std::size_t g = 0; g < proxy.group_weight[a].size(); ++g) {
+      if (proxy_dataset().is_unprivileged(a, g)) {
+        EXPECT_GE(proxy.group_weight[a][g], 1.0);
+        EXPECT_LE(proxy.group_weight[a][g],
+                  static_cast<double>(num_attrs));
+      } else {
+        EXPECT_DOUBLE_EQ(proxy.group_weight[a][g], 0.0);
+      }
+    }
+  }
+}
+
+TEST(Proxy, MultiMembershipRaisesGroupWeight) {
+  // Groups whose members frequently also belong to other unprivileged
+  // groups get weight > 1 (that is Algorithm 1's whole point). At least one
+  // unprivileged group must exceed 1 strictly.
+  const ProxyDataset proxy = build_proxy(proxy_dataset());
+  bool any_above_one = false;
+  for (const auto& per_attr : proxy.group_weight) {
+    for (const double w : per_attr) {
+      if (w > 1.01) any_above_one = true;
+    }
+  }
+  EXPECT_TRUE(any_above_one);
+}
+
+TEST(Proxy, WeightsNormalizedToMeanOne) {
+  const ProxyDataset proxy = build_proxy(proxy_dataset());
+  double sum = 0.0;
+  for (const double w : proxy.weights) sum += w;
+  EXPECT_NEAR(sum / static_cast<double>(proxy.weights.size()), 1.0, 1e-9);
+}
+
+TEST(Proxy, UnweightedAblationIsAllOnes) {
+  ProxyConfig config;
+  config.use_weights = false;
+  const ProxyDataset proxy = build_proxy(proxy_dataset(), config);
+  for (const double w : proxy.weights) EXPECT_DOUBLE_EQ(w, 1.0);
+}
+
+TEST(Proxy, WeightedAndUnweightedSelectSameRecords) {
+  ProxyConfig unweighted;
+  unweighted.use_weights = false;
+  EXPECT_EQ(build_proxy(proxy_dataset()).indices,
+            build_proxy(proxy_dataset(), unweighted).indices);
+}
+
+TEST(Proxy, SubsampleCapRespected) {
+  ProxyConfig config;
+  config.max_samples = 100;
+  const ProxyDataset proxy = build_proxy(proxy_dataset(), config);
+  EXPECT_EQ(proxy.size(), 100u);
+  EXPECT_EQ(proxy.weights.size(), 100u);
+  // All subsampled indices must still be unprivileged records.
+  for (const std::size_t i : proxy.indices) {
+    const data::Record& r = proxy_dataset().record(i);
+    bool unprivileged = false;
+    for (std::size_t a = 0; a < proxy_dataset().schema().size(); ++a) {
+      if (proxy_dataset().is_unprivileged(a, r.groups[a])) unprivileged = true;
+    }
+    EXPECT_TRUE(unprivileged);
+  }
+}
+
+TEST(Proxy, SubsampleDeterministicPerSeed) {
+  ProxyConfig config;
+  config.max_samples = 50;
+  config.seed = 9;
+  const ProxyDataset a = build_proxy(proxy_dataset(), config);
+  const ProxyDataset b = build_proxy(proxy_dataset(), config);
+  EXPECT_EQ(a.indices, b.indices);
+  config.seed = 10;
+  const ProxyDataset c = build_proxy(proxy_dataset(), config);
+  EXPECT_NE(a.indices, c.indices);
+}
+
+TEST(Proxy, ZeroCapKeepsEverything) {
+  ProxyConfig config;
+  config.max_samples = 0;
+  const ProxyDataset proxy = build_proxy(proxy_dataset(), config);
+  EXPECT_GT(proxy.size(), 1000u);
+}
+
+TEST(Proxy, DatasetWithoutUnprivilegedGroupsThrows) {
+  data::Dataset ds("all-priv", 2, {{"g", {"a", "b"}}});
+  data::Record r;
+  r.label = 0;
+  r.groups = {0};
+  ds.add_record(r);
+  EXPECT_THROW((void)build_proxy(ds), Error);
+}
+
+TEST(Proxy, ProxyFractionIsSubstantial) {
+  // With the ISIC scenario's unprivileged sets (2 age groups + 6 site
+  // groups), a solid majority of records belong to at least one
+  // unprivileged group — the head has data to train on.
+  const ProxyDataset proxy = build_proxy(proxy_dataset());
+  const double fraction = static_cast<double>(proxy.size()) /
+                          static_cast<double>(proxy_dataset().size());
+  EXPECT_GT(fraction, 0.35);
+  EXPECT_LT(fraction, 0.95);
+}
+
+}  // namespace
+}  // namespace muffin::core

@@ -1,0 +1,85 @@
+#include "core/reward.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace muffin::core {
+namespace {
+
+fairness::FairnessReport make_report(double accuracy, double u_age,
+                                     double u_site) {
+  fairness::FairnessReport report;
+  report.accuracy = accuracy;
+  fairness::AttributeFairness age;
+  age.attribute = "age";
+  age.unfairness = u_age;
+  fairness::AttributeFairness site;
+  site.attribute = "site";
+  site.unfairness = u_site;
+  report.attributes = {age, site};
+  return report;
+}
+
+RewardConfig two_attribute_config() {
+  RewardConfig config;
+  config.attributes = {"age", "site"};
+  return config;
+}
+
+TEST(Reward, EquationThreeValue) {
+  // R = A/U_age + A/U_site.
+  const auto report = make_report(0.8, 0.4, 0.5);
+  EXPECT_NEAR(multi_fairness_reward(report, two_attribute_config()),
+              0.8 / 0.4 + 0.8 / 0.5, 1e-12);
+}
+
+TEST(Reward, HigherAccuracyHigherReward) {
+  const RewardConfig config = two_attribute_config();
+  EXPECT_GT(multi_fairness_reward(make_report(0.85, 0.4, 0.5), config),
+            multi_fairness_reward(make_report(0.75, 0.4, 0.5), config));
+}
+
+TEST(Reward, LowerUnfairnessHigherReward) {
+  const RewardConfig config = two_attribute_config();
+  EXPECT_GT(multi_fairness_reward(make_report(0.8, 0.3, 0.5), config),
+            multi_fairness_reward(make_report(0.8, 0.4, 0.5), config));
+}
+
+TEST(Reward, FloorBoundsTheDenominator) {
+  RewardConfig config = two_attribute_config();
+  config.unfairness_floor = 0.02;
+  const auto report = make_report(0.8, 0.0, 0.5);  // perfectly fair on age
+  EXPECT_NEAR(multi_fairness_reward(report, config), 0.8 / 0.02 + 0.8 / 0.5,
+              1e-12);
+}
+
+TEST(Reward, SingleAttributeSubset) {
+  RewardConfig config;
+  config.attributes = {"site"};
+  const auto report = make_report(0.8, 0.4, 0.5);
+  EXPECT_NEAR(multi_fairness_reward(report, config), 0.8 / 0.5, 1e-12);
+}
+
+TEST(Reward, UnknownAttributeThrows) {
+  RewardConfig config;
+  config.attributes = {"skin_tone"};
+  EXPECT_THROW(
+      (void)multi_fairness_reward(make_report(0.8, 0.4, 0.5), config), Error);
+}
+
+TEST(Reward, EmptyAttributesThrows) {
+  RewardConfig config;
+  EXPECT_THROW(
+      (void)multi_fairness_reward(make_report(0.8, 0.4, 0.5), config), Error);
+}
+
+TEST(Reward, NonPositiveFloorThrows) {
+  RewardConfig config = two_attribute_config();
+  config.unfairness_floor = 0.0;
+  EXPECT_THROW(
+      (void)multi_fairness_reward(make_report(0.8, 0.4, 0.5), config), Error);
+}
+
+}  // namespace
+}  // namespace muffin::core

@@ -1,0 +1,110 @@
+#include "core/score_cache.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "data/generators.h"
+#include "tensor/ops.h"
+
+namespace muffin::core {
+namespace {
+
+const data::Dataset& cache_dataset() {
+  static const data::Dataset ds = data::synthetic_isic2019(1500, 71);
+  return ds;
+}
+
+const models::ModelPool& cache_pool() {
+  static const models::ModelPool pool =
+      models::calibrated_isic_pool(cache_dataset());
+  return pool;
+}
+
+TEST(ScoreCache, ShapesMatchPoolAndDataset) {
+  const ScoreCache cache(cache_pool(), cache_dataset());
+  EXPECT_EQ(cache.num_models(), cache_pool().size());
+  EXPECT_EQ(cache.num_records(), cache_dataset().size());
+  EXPECT_EQ(cache.num_classes(), 8u);
+  for (std::size_t m = 0; m < cache.num_models(); ++m) {
+    EXPECT_EQ(cache.scores(m).rows(), cache_dataset().size());
+    EXPECT_EQ(cache.scores(m).cols(), 8u);
+    EXPECT_EQ(cache.predictions(m).size(), cache_dataset().size());
+  }
+}
+
+TEST(ScoreCache, MatchesDirectModelCalls) {
+  const ScoreCache cache(cache_pool(), cache_dataset());
+  for (std::size_t m = 0; m < 3; ++m) {
+    for (std::size_t i = 0; i < 100; ++i) {
+      const tensor::Vector direct =
+          cache_pool().at(m).scores(cache_dataset().record(i));
+      const auto cached = cache.scores(m).row(i);
+      for (std::size_t c = 0; c < direct.size(); ++c) {
+        EXPECT_DOUBLE_EQ(direct[c], cached[c]);
+      }
+      EXPECT_EQ(cache.predictions(m)[i],
+                cache_pool().at(m).predict(cache_dataset().record(i)));
+    }
+  }
+}
+
+TEST(ScoreCache, GatherConcatenatesSelectedModels) {
+  const ScoreCache cache(cache_pool(), cache_dataset());
+  const std::vector<std::size_t> selected = {2, 5};
+  tensor::Vector out(2 * 8);
+  cache.gather(selected, 17, out);
+  for (std::size_t c = 0; c < 8; ++c) {
+    EXPECT_DOUBLE_EQ(out[c], cache.scores(2)(17, c));
+    EXPECT_DOUBLE_EQ(out[8 + c], cache.scores(5)(17, c));
+  }
+}
+
+TEST(ScoreCache, GatherRejectsWrongSpanSize) {
+  const ScoreCache cache(cache_pool(), cache_dataset());
+  const std::vector<std::size_t> selected = {0, 1};
+  tensor::Vector wrong(15);
+  EXPECT_THROW(cache.gather(selected, 0, wrong), Error);
+}
+
+TEST(ScoreCache, ConsensusDetection) {
+  const ScoreCache cache(cache_pool(), cache_dataset());
+  const std::vector<std::size_t> pair = {0, 1};
+  std::size_t agreements = 0;
+  for (std::size_t i = 0; i < cache.num_records(); ++i) {
+    std::size_t consensus_class = 99;
+    const bool agree = cache.consensus(pair, i, consensus_class);
+    const bool expected =
+        cache.predictions(0)[i] == cache.predictions(1)[i];
+    EXPECT_EQ(agree, expected);
+    if (agree) {
+      EXPECT_EQ(consensus_class, cache.predictions(0)[i]);
+      ++agreements;
+    }
+  }
+  // Correlated pool models agree on most records.
+  EXPECT_GT(static_cast<double>(agreements) /
+                static_cast<double>(cache.num_records()),
+            0.6);
+}
+
+TEST(ScoreCache, SingleModelConsensusAlwaysTrue) {
+  const ScoreCache cache(cache_pool(), cache_dataset());
+  const std::vector<std::size_t> solo = {3};
+  std::size_t consensus_class = 0;
+  EXPECT_TRUE(cache.consensus(solo, 0, consensus_class));
+  EXPECT_EQ(consensus_class, cache.predictions(3)[0]);
+}
+
+TEST(ScoreCache, BoundsChecks) {
+  const ScoreCache cache(cache_pool(), cache_dataset());
+  EXPECT_THROW((void)cache.scores(cache.num_models()), Error);
+  EXPECT_THROW((void)cache.predictions(cache.num_models()), Error);
+  const std::vector<std::size_t> bad_model = {cache.num_models()};
+  tensor::Vector out(8);
+  EXPECT_THROW(cache.gather(bad_model, 0, out), Error);
+  const std::vector<std::size_t> ok = {0};
+  EXPECT_THROW(cache.gather(ok, cache.num_records(), out), Error);
+}
+
+}  // namespace
+}  // namespace muffin::core

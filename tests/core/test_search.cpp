@@ -1,0 +1,204 @@
+#include "core/search.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "data/generators.h"
+
+namespace muffin::core {
+namespace {
+
+struct SearchFixture {
+  data::Dataset full = data::synthetic_isic2019(6000, 111);
+  data::Dataset train;
+  data::Dataset eval;
+  models::ModelPool pool;
+
+  SearchFixture() : pool(models::calibrated_isic_pool(full)) {
+    SplitRng rng(7);
+    const data::SplitIndices split = full.split(0.64, 0.16, rng);
+    train = full.subset(split.train, ":train");
+    eval = full.subset(split.validation, ":val");
+  }
+};
+
+SearchFixture& fixture() {
+  static SearchFixture f;
+  return f;
+}
+
+rl::SearchSpace small_space() {
+  rl::SearchSpace space;
+  space.pool_size = fixture().pool.size();
+  space.paired_models = 2;
+  space.max_hidden_layers = 2;
+  return space;
+}
+
+MuffinSearchConfig small_config(std::size_t episodes = 12) {
+  MuffinSearchConfig config;
+  config.episodes = episodes;
+  config.controller_batch = 4;
+  config.reward.attributes = {"age", "site"};
+  config.head_train.epochs = 5;
+  config.proxy.max_samples = 1200;
+  return config;
+}
+
+TEST(MuffinSearch, RunsAndRecordsEpisodes) {
+  MuffinSearch search(fixture().pool, fixture().train, fixture().eval,
+                      small_space(), small_config());
+  const SearchResult result = search.run();
+  EXPECT_EQ(result.episodes.size(), 12u);
+  for (const EpisodeRecord& episode : result.episodes) {
+    EXPECT_GT(episode.reward, 0.0);
+    EXPECT_GT(episode.parameter_count, 0u);
+    EXPECT_FALSE(episode.body_names.empty());
+    EXPECT_EQ(episode.choice.model_indices.size(), 2u);
+  }
+}
+
+TEST(MuffinSearch, BestIndexIsArgmaxReward) {
+  MuffinSearch search(fixture().pool, fixture().train, fixture().eval,
+                      small_space(), small_config());
+  const SearchResult result = search.run();
+  for (const EpisodeRecord& episode : result.episodes) {
+    EXPECT_LE(episode.reward, result.best().reward);
+  }
+}
+
+TEST(MuffinSearch, MemoizationGivesIdenticalRecords) {
+  MuffinSearch search(fixture().pool, fixture().train, fixture().eval,
+                      small_space(), small_config(24));
+  const SearchResult result = search.run();
+  // Find any two episodes with the same structure; their rewards must match
+  // exactly (memo hit) even though they ran in different batches.
+  for (std::size_t i = 0; i < result.episodes.size(); ++i) {
+    for (std::size_t j = i + 1; j < result.episodes.size(); ++j) {
+      if (result.episodes[i].choice.to_string() ==
+          result.episodes[j].choice.to_string()) {
+        EXPECT_DOUBLE_EQ(result.episodes[i].reward,
+                         result.episodes[j].reward);
+      }
+    }
+  }
+}
+
+TEST(MuffinSearch, ParallelAndSequentialAgree) {
+  MuffinSearchConfig parallel_config = small_config();
+  parallel_config.parallel = true;
+  MuffinSearchConfig sequential_config = small_config();
+  sequential_config.parallel = false;
+
+  MuffinSearch parallel_search(fixture().pool, fixture().train,
+                               fixture().eval, small_space(),
+                               parallel_config);
+  MuffinSearch sequential_search(fixture().pool, fixture().train,
+                                 fixture().eval, small_space(),
+                                 sequential_config);
+  const SearchResult a = parallel_search.run();
+  const SearchResult b = sequential_search.run();
+  ASSERT_EQ(a.episodes.size(), b.episodes.size());
+  for (std::size_t i = 0; i < a.episodes.size(); ++i) {
+    EXPECT_EQ(a.episodes[i].choice.to_string(),
+              b.episodes[i].choice.to_string());
+    EXPECT_DOUBLE_EQ(a.episodes[i].reward, b.episodes[i].reward);
+  }
+}
+
+TEST(MuffinSearch, OnEpisodeCallbackFires) {
+  MuffinSearchConfig config = small_config();
+  std::size_t calls = 0;
+  config.on_episode = [&](std::size_t, const EpisodeRecord&) { ++calls; };
+  MuffinSearch search(fixture().pool, fixture().train, fixture().eval,
+                      small_space(), config);
+  (void)search.run();
+  EXPECT_EQ(calls, config.episodes);
+}
+
+TEST(MuffinSearch, EvaluateChoiceIsDeterministic) {
+  MuffinSearch search(fixture().pool, fixture().train, fixture().eval,
+                      small_space(), small_config());
+  rl::StructureChoice choice;
+  choice.model_indices = {1, 7};
+  choice.hidden_dims = {16, 10};
+  choice.activation = nn::Activation::Relu;
+  const EpisodeRecord a = search.evaluate_choice(choice, 5);
+  const EpisodeRecord b = search.evaluate_choice(choice, 5);
+  EXPECT_DOUBLE_EQ(a.reward, b.reward);
+  EXPECT_DOUBLE_EQ(a.eval_report.accuracy, b.eval_report.accuracy);
+}
+
+TEST(MuffinSearch, BuildFusedMatchesEvaluateChoice) {
+  MuffinSearch search(fixture().pool, fixture().train, fixture().eval,
+                      small_space(), small_config());
+  rl::StructureChoice choice;
+  choice.model_indices = {1, 5};
+  choice.hidden_dims = {18, 12};
+  choice.activation = nn::Activation::Relu;
+  const EpisodeRecord record = search.evaluate_choice(choice, 3);
+  const auto fused = search.build_fused(choice, "Muffin-Test", 3);
+  const auto report = fairness::evaluate_model(*fused, fixture().eval);
+  EXPECT_NEAR(report.accuracy, record.eval_report.accuracy, 1e-12);
+}
+
+TEST(MuffinSearch, ForcedModelAppearsInEveryEpisode) {
+  rl::SearchSpace space = small_space();
+  space.forced_models = {fixture().pool.index_of("ShuffleNet_V2_X1_0")};
+  MuffinSearch search(fixture().pool, fixture().train, fixture().eval, space,
+                      small_config());
+  const SearchResult result = search.run();
+  for (const EpisodeRecord& episode : result.episodes) {
+    EXPECT_EQ(episode.choice.model_indices[0],
+              fixture().pool.index_of("ShuffleNet_V2_X1_0"));
+  }
+}
+
+TEST(SearchResult, ParetoHelpersConsistent) {
+  MuffinSearch search(fixture().pool, fixture().train, fixture().eval,
+                      small_space(), small_config(20));
+  const SearchResult result = search.run();
+  const auto front = result.pareto_unfairness("age", "site");
+  ASSERT_FALSE(front.empty());
+  // No frontier episode may be dominated by any other episode.
+  for (const std::size_t i : front) {
+    for (std::size_t j = 0; j < result.episodes.size(); ++j) {
+      if (i == j) continue;
+      const bool dominates =
+          result.episodes[j].eval_report.unfairness_for("age") <
+              result.episodes[i].eval_report.unfairness_for("age") &&
+          result.episodes[j].eval_report.unfairness_for("site") <
+              result.episodes[i].eval_report.unfairness_for("site");
+      EXPECT_FALSE(dominates);
+    }
+  }
+  // best_for_attribute returns the global minimum.
+  const std::size_t best_age = result.best_for_attribute("age");
+  for (const EpisodeRecord& episode : result.episodes) {
+    EXPECT_GE(episode.eval_report.unfairness_for("age"),
+              result.episodes[best_age].eval_report.unfairness_for("age"));
+  }
+}
+
+TEST(MuffinSearch, ConfigValidation) {
+  MuffinSearchConfig config = small_config();
+  config.reward.attributes = {};
+  EXPECT_THROW(MuffinSearch(fixture().pool, fixture().train, fixture().eval,
+                            small_space(), config),
+               Error);
+
+  config = small_config();
+  config.episodes = 0;
+  EXPECT_THROW(MuffinSearch(fixture().pool, fixture().train, fixture().eval,
+                            small_space(), config),
+               Error);
+
+  rl::SearchSpace wrong_pool = small_space();
+  wrong_pool.pool_size = 3;
+  EXPECT_THROW(MuffinSearch(fixture().pool, fixture().train, fixture().eval,
+                            wrong_pool, small_config()),
+               Error);
+}
+
+}  // namespace
+}  // namespace muffin::core

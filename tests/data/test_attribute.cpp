@@ -1,0 +1,43 @@
+#include "data/attribute.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace muffin::data {
+namespace {
+
+TEST(AttributeSchema, GroupCountAndIndex) {
+  const AttributeSchema age{"age", {"0-20", "20-40", "40-60"}};
+  EXPECT_EQ(age.group_count(), 3u);
+  EXPECT_EQ(age.group_index("20-40"), 1u);
+  EXPECT_EQ(age.group_index("0-20"), 0u);
+}
+
+TEST(AttributeSchema, UnknownGroupThrows) {
+  const AttributeSchema age{"age", {"young", "old"}};
+  EXPECT_THROW((void)age.group_index("middle"), Error);
+}
+
+TEST(AttributeSchema, Equality) {
+  const AttributeSchema a{"age", {"x", "y"}};
+  const AttributeSchema b{"age", {"x", "y"}};
+  const AttributeSchema c{"age", {"x"}};
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+}
+
+TEST(AttributeIndex, FindsByName) {
+  const std::vector<AttributeSchema> schema = {
+      {"age", {"a", "b"}}, {"gender", {"m", "f"}}, {"site", {"s1", "s2"}}};
+  EXPECT_EQ(attribute_index(schema, "age"), 0u);
+  EXPECT_EQ(attribute_index(schema, "site"), 2u);
+}
+
+TEST(AttributeIndex, MissingThrows) {
+  const std::vector<AttributeSchema> schema = {{"age", {"a"}}};
+  EXPECT_THROW((void)attribute_index(schema, "skin_tone"), Error);
+}
+
+}  // namespace
+}  // namespace muffin::data

@@ -1,0 +1,159 @@
+#include "data/dataset.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/error.h"
+
+namespace muffin::data {
+namespace {
+
+Dataset tiny_dataset() {
+  Dataset ds("tiny", 3,
+             {{"age", {"young", "old"}}, {"site", {"arm", "leg", "head"}}});
+  // label, age group, site group
+  const std::size_t rows[][3] = {{0, 0, 0}, {1, 0, 1}, {2, 1, 2},
+                                 {0, 1, 0}, {1, 1, 1}, {2, 0, 2}};
+  std::uint64_t uid = 0;
+  for (const auto& row : rows) {
+    Record r;
+    r.uid = uid++;
+    r.label = row[0];
+    r.groups = {row[1], row[2]};
+    r.features = {1.0, 2.0};
+    ds.add_record(r);
+  }
+  return ds;
+}
+
+TEST(Dataset, BasicProperties) {
+  const Dataset ds = tiny_dataset();
+  EXPECT_EQ(ds.name(), "tiny");
+  EXPECT_EQ(ds.num_classes(), 3u);
+  EXPECT_EQ(ds.size(), 6u);
+  EXPECT_EQ(ds.schema().size(), 2u);
+}
+
+TEST(Dataset, RejectsBadConstruction) {
+  EXPECT_THROW(Dataset("x", 0, {{"a", {"g"}}}), Error);
+  EXPECT_THROW(Dataset("x", 2, {}), Error);
+}
+
+TEST(Dataset, RejectsBadRecords) {
+  Dataset ds("x", 2, {{"a", {"g1", "g2"}}});
+  Record bad_label;
+  bad_label.label = 2;
+  bad_label.groups = {0};
+  EXPECT_THROW(ds.add_record(bad_label), Error);
+
+  Record bad_group_count;
+  bad_group_count.label = 0;
+  bad_group_count.groups = {0, 1};
+  EXPECT_THROW(ds.add_record(bad_group_count), Error);
+
+  Record bad_group;
+  bad_group.label = 0;
+  bad_group.groups = {2};
+  EXPECT_THROW(ds.add_record(bad_group), Error);
+}
+
+TEST(Dataset, RecordAccessBoundsChecked) {
+  const Dataset ds = tiny_dataset();
+  EXPECT_NO_THROW((void)ds.record(5));
+  EXPECT_THROW((void)ds.record(6), Error);
+}
+
+TEST(Dataset, GroupIndices) {
+  const Dataset ds = tiny_dataset();
+  const auto young = ds.group_indices(0, 0);
+  EXPECT_EQ(young, (std::vector<std::size_t>{0, 1, 5}));
+  const auto head = ds.group_indices(1, 2);
+  EXPECT_EQ(head, (std::vector<std::size_t>{2, 5}));
+}
+
+TEST(Dataset, GroupSizesSumToTotal) {
+  const Dataset ds = tiny_dataset();
+  for (std::size_t a = 0; a < ds.schema().size(); ++a) {
+    const auto sizes = ds.group_sizes(a);
+    std::size_t total = 0;
+    for (const std::size_t s : sizes) total += s;
+    EXPECT_EQ(total, ds.size());
+  }
+}
+
+TEST(Dataset, ClassSizes) {
+  const Dataset ds = tiny_dataset();
+  const auto sizes = ds.class_sizes();
+  EXPECT_EQ(sizes, (std::vector<std::size_t>{2, 2, 2}));
+}
+
+TEST(Dataset, UnprivilegedFlags) {
+  Dataset ds = tiny_dataset();
+  ds.set_unprivileged(0, {false, true});
+  EXPECT_FALSE(ds.is_unprivileged(0, 0));
+  EXPECT_TRUE(ds.is_unprivileged(0, 1));
+  EXPECT_EQ(ds.unprivileged_groups(0), (std::vector<std::size_t>{1}));
+  EXPECT_TRUE(ds.unprivileged_groups(1).empty());
+}
+
+TEST(Dataset, UnprivilegedFlagsValidation) {
+  Dataset ds = tiny_dataset();
+  EXPECT_THROW(ds.set_unprivileged(0, {true}), Error);
+  EXPECT_THROW(ds.set_unprivileged(2, {true, false}), Error);
+  EXPECT_THROW((void)ds.is_unprivileged(0, 5), Error);
+}
+
+TEST(Dataset, SplitFractionsRespected) {
+  const Dataset ds = tiny_dataset();
+  SplitRng rng(1);
+  // Paper split: 64/16/20.
+  const SplitIndices split = ds.split(0.64, 0.16, rng);
+  EXPECT_EQ(split.train.size() + split.validation.size() + split.test.size(),
+            ds.size());
+  // Partition: no duplicates across splits.
+  std::set<std::size_t> all;
+  for (const auto* part : {&split.train, &split.validation, &split.test}) {
+    for (const std::size_t i : *part) all.insert(i);
+  }
+  EXPECT_EQ(all.size(), ds.size());
+}
+
+TEST(Dataset, SplitDeterministicGivenSeed) {
+  const Dataset ds = tiny_dataset();
+  SplitRng rng_a(5);
+  SplitRng rng_b(5);
+  const SplitIndices a = ds.split(0.5, 0.25, rng_a);
+  const SplitIndices b = ds.split(0.5, 0.25, rng_b);
+  EXPECT_EQ(a.train, b.train);
+  EXPECT_EQ(a.test, b.test);
+}
+
+TEST(Dataset, SplitRejectsBadFractions) {
+  const Dataset ds = tiny_dataset();
+  SplitRng rng(1);
+  EXPECT_THROW((void)ds.split(0.0, 0.5, rng), Error);
+  EXPECT_THROW((void)ds.split(0.8, 0.2, rng), Error);
+  EXPECT_THROW((void)ds.split(0.9, 0.2, rng), Error);
+}
+
+TEST(Dataset, SubsetKeepsSchemaAndMetadata) {
+  Dataset ds = tiny_dataset();
+  ds.set_unprivileged(1, {false, true, true});
+  const std::vector<std::size_t> pick = {0, 2, 4};
+  const Dataset sub = ds.subset(pick, ":sub");
+  EXPECT_EQ(sub.size(), 3u);
+  EXPECT_EQ(sub.name(), "tiny:sub");
+  EXPECT_EQ(sub.schema(), ds.schema());
+  EXPECT_TRUE(sub.is_unprivileged(1, 2));
+  EXPECT_EQ(sub.record(1).uid, ds.record(2).uid);
+}
+
+TEST(Dataset, SubsetOutOfRangeThrows) {
+  const Dataset ds = tiny_dataset();
+  const std::vector<std::size_t> pick = {99};
+  EXPECT_THROW((void)ds.subset(pick, ":bad"), Error);
+}
+
+}  // namespace
+}  // namespace muffin::data

@@ -1,0 +1,126 @@
+#include "fairness/composition.h"
+
+#include "fairness/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "data/generators.h"
+#include "models/pool.h"
+
+namespace muffin::fairness {
+namespace {
+
+const data::Dataset& comp_dataset() {
+  static const data::Dataset ds = data::synthetic_isic2019(6000, 55);
+  return ds;
+}
+
+TEST(Composition, FractionsSumToOne) {
+  const auto pool = models::calibrated_isic_pool(comp_dataset());
+  const Composition comp = joint_composition(
+      pool.by_name("ResNet-18"), pool.by_name("DenseNet121"), comp_dataset());
+  EXPECT_NEAR(comp.both_wrong + comp.only_first + comp.only_second +
+                  comp.both_correct,
+              1.0, 1e-9);
+  EXPECT_EQ(comp.sample_count, comp_dataset().size());
+}
+
+TEST(Composition, UnionAndDisagreementIdentities) {
+  const auto pool = models::calibrated_isic_pool(comp_dataset());
+  const Composition comp = joint_composition(
+      pool.by_name("ResNet-18"), pool.by_name("DenseNet121"), comp_dataset());
+  EXPECT_NEAR(comp.union_accuracy(),
+              comp.only_first + comp.only_second + comp.both_correct, 1e-12);
+  EXPECT_NEAR(comp.disagreement(), comp.only_first + comp.only_second, 1e-12);
+}
+
+TEST(Composition, SelfCompositionHasNoDisagreement) {
+  const auto pool = models::calibrated_isic_pool(comp_dataset());
+  const models::Model& model = pool.by_name("ResNet-18");
+  const Composition comp = joint_composition(model, model, comp_dataset());
+  EXPECT_DOUBLE_EQ(comp.only_first, 0.0);
+  EXPECT_DOUBLE_EQ(comp.only_second, 0.0);
+}
+
+TEST(Composition, SubsetRestriction) {
+  const auto pool = models::calibrated_isic_pool(comp_dataset());
+  const std::vector<std::size_t> subset = {0, 1, 2, 3, 4};
+  const Composition comp =
+      joint_composition(pool.at(0), pool.at(1), comp_dataset(), subset);
+  EXPECT_EQ(comp.sample_count, 5u);
+}
+
+TEST(Composition, ObservationThreeDisagreementMass) {
+  // Fig. 3(a): on the unprivileged site groups the disagreement mass of a
+  // strong pair is substantial (paper: 15.93%) — this is Muffin's headroom.
+  const auto pool = models::calibrated_isic_pool(comp_dataset());
+  const std::size_t site = data::attribute_index(comp_dataset().schema(),
+                                                 "site");
+  std::vector<std::size_t> unpriv;
+  for (std::size_t i = 0; i < comp_dataset().size(); ++i) {
+    if (comp_dataset().is_unprivileged(
+            site, comp_dataset().record(i).groups[site])) {
+      unpriv.push_back(i);
+    }
+  }
+  const Composition comp = joint_composition(
+      pool.by_name("ResNet-18"), pool.by_name("DenseNet121"), comp_dataset(),
+      unpriv);
+  EXPECT_GT(comp.disagreement(), 0.10);
+  EXPECT_LT(comp.disagreement(), 0.25);
+}
+
+TEST(Composition, UnionBeatsEitherModel) {
+  // Fig. 3(b): uniting two models can exceed both individual accuracies.
+  const auto pool = models::calibrated_isic_pool(comp_dataset());
+  const models::Model& a = pool.by_name("ResNet-18");
+  const models::Model& b = pool.by_name("DenseNet121");
+  const Composition comp = joint_composition(a, b, comp_dataset());
+  const double acc_a = comp.both_correct + comp.only_first;
+  const double acc_b = comp.both_correct + comp.only_second;
+  EXPECT_GT(comp.union_accuracy(), acc_a);
+  EXPECT_GT(comp.union_accuracy(), acc_b);
+}
+
+TEST(Composition, RejectsEmptySubsetDataset) {
+  const auto pool = models::calibrated_isic_pool(comp_dataset());
+  const std::vector<std::size_t> preds_a(comp_dataset().size(), 0);
+  const std::vector<std::size_t> preds_b(comp_dataset().size(), 0);
+  const std::vector<std::size_t> bad_index = {comp_dataset().size()};
+  EXPECT_THROW((void)joint_composition(preds_a, preds_b, comp_dataset(),
+                                       bad_index),
+               Error);
+}
+
+TEST(FusedAttribution, PartitionsAndAccuracyIdentity) {
+  const auto pool = models::calibrated_isic_pool(comp_dataset());
+  const models::Model& a = pool.by_name("ResNet-50");
+  const models::Model& b = pool.by_name("MobileNet_V3_Large");
+  // Use model a's own predictions as the "fused" system.
+  const std::vector<std::size_t> fused = a.predict_all(comp_dataset());
+  const FusedAttribution attribution =
+      fused_attribution(fused, a, b, comp_dataset());
+  EXPECT_NEAR(attribution.correct_both + attribution.correct_only_first +
+                  attribution.correct_only_second +
+                  attribution.correct_neither +
+                  attribution.wrong_recoverable + attribution.wrong_both,
+              1.0, 1e-9);
+  // Fused == model a, so "fused right with only b right" is impossible,
+  // as is "fused right with neither right".
+  EXPECT_DOUBLE_EQ(attribution.correct_only_second, 0.0);
+  EXPECT_DOUBLE_EQ(attribution.correct_neither, 0.0);
+  EXPECT_NEAR(attribution.fused_accuracy(),
+              accuracy(comp_dataset(), fused), 1e-9);
+}
+
+TEST(FusedAttribution, SizeMismatchThrows) {
+  const auto pool = models::calibrated_isic_pool(comp_dataset());
+  const std::vector<std::size_t> fused(3, 0);
+  EXPECT_THROW((void)fused_attribution(fused, pool.at(0), pool.at(1),
+                                       comp_dataset()),
+               Error);
+}
+
+}  // namespace
+}  // namespace muffin::fairness

@@ -1,0 +1,136 @@
+#include "fairness/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "data/generators.h"
+#include "models/pool.h"
+
+namespace muffin::fairness {
+namespace {
+
+data::Dataset two_group_dataset() {
+  // 4 records in group A (labels 0), 4 in group B (labels 1).
+  data::Dataset ds("toy", 2, {{"g", {"A", "B"}}});
+  for (std::size_t i = 0; i < 8; ++i) {
+    data::Record r;
+    r.uid = i;
+    r.label = i < 4 ? 0 : 1;
+    r.groups = {i < 4 ? std::size_t{0} : std::size_t{1}};
+    ds.add_record(r);
+  }
+  return ds;
+}
+
+TEST(Accuracy, CountsMatches) {
+  const data::Dataset ds = two_group_dataset();
+  // Predict all zeros: first four correct.
+  const std::vector<std::size_t> preds(8, 0);
+  EXPECT_DOUBLE_EQ(accuracy(ds, preds), 0.5);
+}
+
+TEST(Accuracy, RejectsSizeMismatch) {
+  const data::Dataset ds = two_group_dataset();
+  const std::vector<std::size_t> preds(7, 0);
+  EXPECT_THROW((void)accuracy(ds, preds), Error);
+}
+
+TEST(Labels, AlignedWithRecords) {
+  const data::Dataset ds = two_group_dataset();
+  const auto ls = labels(ds);
+  ASSERT_EQ(ls.size(), 8u);
+  EXPECT_EQ(ls[0], 0u);
+  EXPECT_EQ(ls[7], 1u);
+}
+
+TEST(UnfairnessScore, L1Definition) {
+  // U = Σ_g |A_g − A|; groups: acc 1.0 and 0.0, overall 0.5 → U = 1.0.
+  const std::vector<double> group_acc = {1.0, 0.0};
+  const std::vector<std::size_t> counts = {4, 4};
+  EXPECT_DOUBLE_EQ(unfairness_score(group_acc, counts, 0.5), 1.0);
+}
+
+TEST(UnfairnessScore, PerfectlyFairIsZero) {
+  const std::vector<double> group_acc = {0.8, 0.8, 0.8};
+  const std::vector<std::size_t> counts = {10, 20, 30};
+  EXPECT_DOUBLE_EQ(unfairness_score(group_acc, counts, 0.8), 0.0);
+}
+
+TEST(UnfairnessScore, EmptyGroupsSkipped) {
+  const std::vector<double> group_acc = {0.9, 0.0, 0.7};
+  const std::vector<std::size_t> counts = {10, 0, 10};
+  EXPECT_DOUBLE_EQ(unfairness_score(group_acc, counts, 0.8),
+                   0.1 + 0.1);  // middle group ignored
+}
+
+TEST(EvaluatePredictions, FullReport) {
+  const data::Dataset ds = two_group_dataset();
+  // Group A all correct, group B all wrong.
+  std::vector<std::size_t> preds(8, 0);
+  const FairnessReport report = evaluate_predictions(ds, preds);
+  EXPECT_DOUBLE_EQ(report.accuracy, 0.5);
+  const AttributeFairness& g = report.for_attribute("g");
+  EXPECT_DOUBLE_EQ(g.group_accuracy[0], 1.0);
+  EXPECT_DOUBLE_EQ(g.group_accuracy[1], 0.0);
+  EXPECT_EQ(g.group_count[0], 4u);
+  EXPECT_DOUBLE_EQ(g.unfairness, 1.0);
+  EXPECT_DOUBLE_EQ(report.overall_unfairness(), 1.0);
+}
+
+TEST(FairnessReport, OverallUnfairnessSelectsAttributes) {
+  const data::Dataset ds = data::synthetic_isic2019(2000, 3);
+  std::vector<std::size_t> preds(ds.size(), 1);  // predict the modal class
+  const FairnessReport report = evaluate_predictions(ds, preds);
+  const std::vector<std::string> pair = {"age", "site"};
+  EXPECT_NEAR(report.overall_unfairness(pair),
+              report.unfairness_for("age") + report.unfairness_for("site"),
+              1e-12);
+  // Default (empty) covers all three attributes.
+  EXPECT_GE(report.overall_unfairness(), report.overall_unfairness(pair));
+}
+
+TEST(FairnessReport, UnknownAttributeThrows) {
+  const data::Dataset ds = two_group_dataset();
+  const std::vector<std::size_t> preds(8, 0);
+  const FairnessReport report = evaluate_predictions(ds, preds);
+  EXPECT_THROW((void)report.for_attribute("skin_tone"), Error);
+}
+
+TEST(RelativeImprovement, SignsAndZeroGuard) {
+  EXPECT_NEAR(relative_improvement(0.36, 0.29), 0.1944, 1e-3);  // Table I
+  EXPECT_LT(relative_improvement(0.45, 0.49), 0.0);
+  EXPECT_DOUBLE_EQ(relative_improvement(0.0, 0.5), 0.0);
+}
+
+TEST(DetectUnprivileged, FindsBelowAverageGroups) {
+  AttributeFairness attr;
+  attr.attribute = "age";
+  attr.group_accuracy = {0.9, 0.5, 0.8, 0.0};
+  attr.group_count = {10, 10, 10, 0};  // last group empty -> skipped
+  const auto groups = detect_unprivileged(attr, 0.8);
+  EXPECT_EQ(groups, (std::vector<std::size_t>{1}));
+}
+
+TEST(DetectUnprivileged, MarginWidensTheBar) {
+  AttributeFairness attr;
+  attr.attribute = "age";
+  attr.group_accuracy = {0.78, 0.70};
+  attr.group_count = {10, 10};
+  EXPECT_EQ(detect_unprivileged(attr, 0.8).size(), 2u);
+  EXPECT_EQ(detect_unprivileged(attr, 0.8, 0.05).size(), 1u);
+}
+
+TEST(EvaluateModel, AgreesWithPredictAll) {
+  const data::Dataset ds = data::synthetic_isic2019(1500, 5);
+  const auto pool = models::calibrated_isic_pool(ds);
+  const models::Model& model = pool.at(0);
+  const FairnessReport via_model = evaluate_model(model, ds);
+  const FairnessReport via_preds =
+      evaluate_predictions(ds, model.predict_all(ds));
+  EXPECT_DOUBLE_EQ(via_model.accuracy, via_preds.accuracy);
+  EXPECT_DOUBLE_EQ(via_model.overall_unfairness(),
+                   via_preds.overall_unfairness());
+}
+
+}  // namespace
+}  // namespace muffin::fairness

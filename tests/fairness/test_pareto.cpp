@@ -1,0 +1,107 @@
+#include "fairness/pareto.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/error.h"
+#include "common/rng.h"
+
+namespace muffin::fairness {
+namespace {
+
+const std::vector<Direction> kMinMin = {Direction::Minimize,
+                                        Direction::Minimize};
+
+TEST(Dominates, StrictAndWeak) {
+  const ParetoPoint a{{1.0, 1.0}, 0};
+  const ParetoPoint b{{2.0, 2.0}, 1};
+  const ParetoPoint c{{1.0, 2.0}, 2};
+  EXPECT_TRUE(dominates(a, b, kMinMin));
+  EXPECT_FALSE(dominates(b, a, kMinMin));
+  EXPECT_TRUE(dominates(a, c, kMinMin));
+  EXPECT_FALSE(dominates(a, a, kMinMin));  // equal never dominates
+}
+
+TEST(Dominates, MixedDirections) {
+  // (accuracy maximize, unfairness minimize) as in Fig. 5b.
+  const std::vector<Direction> dirs = {Direction::Maximize,
+                                       Direction::Minimize};
+  const ParetoPoint good{{0.82, 0.5}, 0};
+  const ParetoPoint bad{{0.78, 0.7}, 1};
+  EXPECT_TRUE(dominates(good, bad, dirs));
+  EXPECT_FALSE(dominates(bad, good, dirs));
+}
+
+TEST(Dominates, DimensionMismatchThrows) {
+  const ParetoPoint a{{1.0}, 0};
+  const ParetoPoint b{{1.0}, 1};
+  EXPECT_THROW((void)dominates(a, b, kMinMin), Error);
+}
+
+TEST(ParetoFront, ExtractsNonDominatedSet) {
+  const std::vector<ParetoPoint> points = {
+      {{1.0, 4.0}, 0},  // frontier
+      {{2.0, 2.0}, 1},  // frontier
+      {{4.0, 1.0}, 2},  // frontier
+      {{3.0, 3.0}, 3},  // dominated by 1
+      {{5.0, 5.0}, 4},  // dominated
+  };
+  const auto front = pareto_front(points, kMinMin);
+  EXPECT_EQ(front, (std::vector<std::size_t>{0, 1, 2}));
+}
+
+TEST(ParetoFront, SinglePointIsFrontier) {
+  const std::vector<ParetoPoint> points = {{{3.0, 3.0}, 0}};
+  EXPECT_EQ(pareto_front(points, kMinMin).size(), 1u);
+}
+
+TEST(ParetoFront, EmptyInputEmptyOutput) {
+  EXPECT_TRUE(pareto_front({}, kMinMin).empty());
+}
+
+TEST(ParetoFront, DuplicatePointsAllKept) {
+  const std::vector<ParetoPoint> points = {{{1.0, 1.0}, 0}, {{1.0, 1.0}, 1}};
+  EXPECT_EQ(pareto_front(points, kMinMin).size(), 2u);
+}
+
+TEST(ParetoFront, FrontierPropertyHoldsOnRandomClouds) {
+  SplitRng rng(5);
+  std::vector<ParetoPoint> points;
+  for (std::size_t i = 0; i < 200; ++i) {
+    points.push_back({{rng.uniform(), rng.uniform()}, i});
+  }
+  const auto front = pareto_front(points, kMinMin);
+  ASSERT_FALSE(front.empty());
+  // No frontier point dominates another frontier point; every non-frontier
+  // point is dominated by some frontier point.
+  for (const std::size_t i : front) {
+    for (const std::size_t j : front) {
+      if (i != j) EXPECT_FALSE(dominates(points[i], points[j], kMinMin));
+    }
+  }
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    if (std::find(front.begin(), front.end(), i) != front.end()) continue;
+    bool dominated = false;
+    for (const std::size_t j : front) {
+      if (dominates(points[j], points[i], kMinMin)) dominated = true;
+    }
+    EXPECT_TRUE(dominated) << "point " << i;
+  }
+}
+
+TEST(ParetoFront, ThreeObjectives) {
+  const std::vector<Direction> dirs = {Direction::Minimize,
+                                       Direction::Minimize,
+                                       Direction::Maximize};
+  const std::vector<ParetoPoint> points = {
+      {{1.0, 1.0, 1.0}, 0},
+      {{2.0, 2.0, 0.5}, 1},  // dominated
+      {{0.5, 2.0, 1.0}, 2},  // frontier (better on obj 0)
+  };
+  const auto front = pareto_front(points, dirs);
+  EXPECT_EQ(front, (std::vector<std::size_t>{0, 2}));
+}
+
+}  // namespace
+}  // namespace muffin::fairness

@@ -1,0 +1,237 @@
+// Integration tests asserting the paper's qualitative claims end-to-end:
+// Observation 1 (unfairness exists on multiple attributes, gender is mild),
+// Observation 2 (single-attribute optimization seesaws), Observation 3
+// (models are complementary), and the headline result (Muffin improves both
+// attributes at once without losing accuracy).
+#include <gtest/gtest.h>
+
+#include "baselines/single_attribute.h"
+#include "core/search.h"
+#include "data/generators.h"
+#include "fairness/composition.h"
+#include "fairness/metrics.h"
+#include "models/pool.h"
+
+namespace muffin {
+namespace {
+
+struct Scenario {
+  data::Dataset full = data::synthetic_isic2019(16000, 2019);
+  data::Dataset train;
+  data::Dataset eval;
+  models::ModelPool pool;
+  std::vector<fairness::FairnessReport> vanilla_reports;
+
+  Scenario() : pool(models::calibrated_isic_pool(full)) {
+    SplitRng rng(99);
+    const data::SplitIndices split = full.split(0.64, 0.16, rng);
+    train = full.subset(split.train, ":train");
+    eval = full.subset(split.validation, ":val");
+    for (std::size_t m = 0; m < pool.size(); ++m) {
+      vanilla_reports.push_back(fairness::evaluate_model(pool.at(m), full));
+    }
+  }
+};
+
+Scenario& scenario() {
+  static Scenario s;
+  return s;
+}
+
+TEST(Observation1, UnfairnessExistsOnAgeAndSite) {
+  // Fig. 1(c): both age and site carry substantial unfairness (>= ~0.25)
+  // for every architecture.
+  for (std::size_t m = 0; m < scenario().pool.size(); ++m) {
+    const auto& report = scenario().vanilla_reports[m];
+    EXPECT_GT(report.unfairness_for("age"), 0.2)
+        << scenario().pool.at(m).name();
+    EXPECT_GT(report.unfairness_for("site"), 0.2)
+        << scenario().pool.at(m).name();
+  }
+}
+
+TEST(Observation1, GenderIsNearFair) {
+  // Fig. 1(a-b): gender unfairness is small (paper: < 0.12) for all models.
+  for (std::size_t m = 0; m < scenario().pool.size(); ++m) {
+    EXPECT_LT(scenario().vanilla_reports[m].unfairness_for("gender"), 0.17)
+        << scenario().pool.at(m).name();
+  }
+}
+
+TEST(Observation1, NoArchitectureWinsBothAttributes) {
+  // Fig. 1(c): the model best on site is not the model best on age.
+  std::size_t best_age = 0, best_site = 0;
+  for (std::size_t m = 1; m < scenario().pool.size(); ++m) {
+    if (scenario().vanilla_reports[m].unfairness_for("age") <
+        scenario().vanilla_reports[best_age].unfairness_for("age")) {
+      best_age = m;
+    }
+    if (scenario().vanilla_reports[m].unfairness_for("site") <
+        scenario().vanilla_reports[best_site].unfairness_for("site")) {
+      best_site = m;
+    }
+  }
+  EXPECT_NE(best_age, best_site);
+}
+
+TEST(Observation2, SeesawOnEveryTableOneArchitecture) {
+  // Fig. 2 / Table I: for each architecture, successfully optimizing one
+  // attribute degrades the other.
+  for (const std::string arch :
+       {"ShuffleNet_V2_X1_0", "MobileNet_V3_Small", "DenseNet121",
+        "ResNet-18"}) {
+    const auto& model = dynamic_cast<const models::CalibratedModel&>(
+        scenario().pool.by_name(arch));
+    for (const baselines::Method method :
+         {baselines::Method::DataBalance, baselines::Method::FairLoss}) {
+      const auto outcome = baselines::transfer_profile(
+          model, scenario().full, "age", method);
+      // Whatever happened to age, site must not improve.
+      EXPECT_GE(outcome.profile.unfairness_for("site"),
+                model.profile().unfairness_for("site"))
+          << arch << " " << baselines::to_string(method);
+    }
+  }
+}
+
+TEST(Observation2, BottlenecksExist) {
+  // DenseNet121 cannot improve site; ResNet-18 cannot improve age.
+  const auto& d121 = dynamic_cast<const models::CalibratedModel&>(
+      scenario().pool.by_name("DenseNet121"));
+  const auto& r18 = dynamic_cast<const models::CalibratedModel&>(
+      scenario().pool.by_name("ResNet-18"));
+  for (const baselines::Method method :
+       {baselines::Method::DataBalance, baselines::Method::FairLoss}) {
+    EXPECT_FALSE(baselines::transfer_profile(d121, scenario().full, "site",
+                                             method)
+                     .target_improved);
+    EXPECT_FALSE(
+        baselines::transfer_profile(r18, scenario().full, "age", method)
+            .target_improved);
+  }
+}
+
+TEST(Observation3, ModelsAreComplementary) {
+  // Fig. 3: on unprivileged site groups, a noticeable fraction of records
+  // is classified correctly by exactly one of two paired models, and the
+  // union accuracy exceeds both individual accuracies.
+  const auto& dataset = scenario().full;
+  const std::size_t site = data::attribute_index(dataset.schema(), "site");
+  std::vector<std::size_t> unpriv;
+  for (std::size_t i = 0; i < dataset.size(); ++i) {
+    if (dataset.is_unprivileged(site, dataset.record(i).groups[site])) {
+      unpriv.push_back(i);
+    }
+  }
+  const fairness::Composition comp = fairness::joint_composition(
+      scenario().pool.by_name("ResNet-18"),
+      scenario().pool.by_name("DenseNet121"), dataset, unpriv);
+  EXPECT_GT(comp.disagreement(), 0.10);  // paper: 15.93%
+  EXPECT_LT(comp.disagreement(), 0.25);
+  const double acc_r18 = comp.both_correct + comp.only_first;
+  const double acc_d121 = comp.both_correct + comp.only_second;
+  EXPECT_GT(comp.union_accuracy(), std::max(acc_r18, acc_d121) + 0.05);
+}
+
+TEST(Headline, MuffinImprovesBothAttributesAndAccuracy) {
+  // Table I shape for a small architecture: Muffin with a searched partner
+  // improves U_age, U_site AND accuracy over the vanilla base model.
+  rl::SearchSpace space;
+  space.pool_size = scenario().pool.size();
+  space.paired_models = 2;
+  space.forced_models = {scenario().pool.index_of("ShuffleNet_V2_X1_0")};
+  space.max_hidden_layers = 2;
+
+  core::MuffinSearchConfig config;
+  config.episodes = 24;
+  config.controller_batch = 6;
+  config.reward.attributes = {"age", "site"};
+  config.head_train.epochs = 10;
+  config.proxy.max_samples = 2500;
+  core::MuffinSearch search(scenario().pool, scenario().train,
+                            scenario().eval, space, config);
+  const core::SearchResult result = search.run();
+  const core::EpisodeRecord& best = result.best();
+
+  const auto vanilla = fairness::evaluate_model(
+      scenario().pool.by_name("ShuffleNet_V2_X1_0"), scenario().eval);
+  EXPECT_LT(best.eval_report.unfairness_for("age"),
+            vanilla.unfairness_for("age"));
+  EXPECT_LT(best.eval_report.unfairness_for("site"),
+            vanilla.unfairness_for("site"));
+  EXPECT_GT(best.eval_report.accuracy, vanilla.accuracy + 0.01);
+}
+
+TEST(Headline, MuffinBeatsSingleAttributeBaselinesOnJointObjective) {
+  // Muffin must dominate D/L on the multi-dimensional unfairness U (Eq. 1)
+  // for the ShuffleNet base model.
+  const auto& sn = dynamic_cast<const models::CalibratedModel&>(
+      scenario().pool.by_name("ShuffleNet_V2_X1_0"));
+  const std::vector<std::string> pair = {"age", "site"};
+
+  double best_baseline_u = 1e9;
+  for (const std::string& attr : pair) {
+    for (const baselines::Method method :
+         {baselines::Method::DataBalance, baselines::Method::FairLoss}) {
+      const auto optimized = baselines::optimize_calibrated(
+          sn, scenario().full, attr, method);
+      const auto report =
+          fairness::evaluate_model(*optimized, scenario().eval);
+      best_baseline_u =
+          std::min(best_baseline_u, report.overall_unfairness(pair));
+    }
+  }
+
+  rl::SearchSpace space;
+  space.pool_size = scenario().pool.size();
+  space.paired_models = 2;
+  space.forced_models = {scenario().pool.index_of("ShuffleNet_V2_X1_0")};
+  space.max_hidden_layers = 2;
+  core::MuffinSearchConfig config;
+  config.episodes = 24;
+  config.controller_batch = 6;
+  config.reward.attributes = pair;
+  config.head_train.epochs = 10;
+  config.proxy.max_samples = 2500;
+  core::MuffinSearch search(scenario().pool, scenario().train,
+                            scenario().eval, space, config);
+  const core::SearchResult result = search.run();
+  EXPECT_LT(result.best().eval_report.overall_unfairness(pair),
+            best_baseline_u);
+}
+
+TEST(Fitzpatrick, SecondDatasetAlsoImproves) {
+  // §4.5: the same machinery works on the Fitzpatrick17K scenario.
+  data::Dataset full = data::synthetic_fitzpatrick17k(8000, 17);
+  SplitRng rng(5);
+  const data::SplitIndices split = full.split(0.64, 0.16, rng);
+  const data::Dataset train = full.subset(split.train, ":train");
+  const data::Dataset eval = full.subset(split.validation, ":val");
+  const models::ModelPool pool = models::calibrated_fitzpatrick_pool(full);
+
+  rl::SearchSpace space;
+  space.pool_size = pool.size();
+  space.paired_models = 2;
+  space.max_hidden_layers = 2;
+  core::MuffinSearchConfig config;
+  config.episodes = 16;
+  config.controller_batch = 4;
+  config.reward.attributes = {"skin_tone", "type"};
+  config.head_train.epochs = 8;
+  config.proxy.max_samples = 2000;
+  core::MuffinSearch search(pool, train, eval, space, config);
+  const core::SearchResult result = search.run();
+
+  // Muffin's best must beat the average pool model on overall unfairness.
+  const std::vector<std::string> pair = {"skin_tone", "type"};
+  double mean_pool_u = 0.0;
+  for (std::size_t m = 0; m < pool.size(); ++m) {
+    mean_pool_u += fairness::evaluate_model(pool.at(m), eval)
+                       .overall_unfairness(pair);
+  }
+  mean_pool_u /= static_cast<double>(pool.size());
+  EXPECT_LT(result.best().eval_report.overall_unfairness(pair), mean_pool_u);
+}
+
+}  // namespace
+}  // namespace muffin

@@ -1,0 +1,79 @@
+#include "models/pool.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "data/generators.h"
+#include "models/trainable.h"
+
+namespace muffin::models {
+namespace {
+
+const data::Dataset& pool_dataset() {
+  static const data::Dataset ds = data::synthetic_isic2019(3000, 41);
+  return ds;
+}
+
+TEST(ModelPool, IsicFactoryBuildsAllProfiles) {
+  const ModelPool pool = calibrated_isic_pool(pool_dataset());
+  EXPECT_EQ(pool.size(), isic2019_profiles().size());
+  EXPECT_EQ(pool.names().size(), pool.size());
+}
+
+TEST(ModelPool, FitzpatrickFactoryBuildsAllProfiles) {
+  const data::Dataset ds = data::synthetic_fitzpatrick17k(2000, 5);
+  const ModelPool pool = calibrated_fitzpatrick_pool(ds);
+  EXPECT_EQ(pool.size(), fitzpatrick17k_profiles().size());
+}
+
+TEST(ModelPool, LookupByNameAndIndex) {
+  const ModelPool pool = calibrated_isic_pool(pool_dataset());
+  const std::size_t idx = pool.index_of("ResNet-18");
+  EXPECT_EQ(pool.at(idx).name(), "ResNet-18");
+  EXPECT_EQ(pool.by_name("DenseNet121").name(), "DenseNet121");
+  EXPECT_EQ(pool.share(idx)->name(), "ResNet-18");
+}
+
+TEST(ModelPool, UnknownNameThrows) {
+  const ModelPool pool = calibrated_isic_pool(pool_dataset());
+  EXPECT_THROW((void)pool.by_name("VGG-16"), Error);
+  EXPECT_THROW((void)pool.index_of("VGG-16"), Error);
+}
+
+TEST(ModelPool, IndexOutOfRangeThrows) {
+  const ModelPool pool = calibrated_isic_pool(pool_dataset());
+  EXPECT_THROW((void)pool.at(pool.size()), Error);
+  EXPECT_THROW((void)pool.share(pool.size()), Error);
+}
+
+TEST(ModelPool, RejectsNullAndDuplicates) {
+  ModelPool pool;
+  EXPECT_THROW(pool.add(nullptr), Error);
+  auto model = std::make_shared<TrainableClassifier>("dup", pool_dataset());
+  pool.add(model);
+  auto clone = std::make_shared<TrainableClassifier>("dup", pool_dataset());
+  EXPECT_THROW(pool.add(clone), Error);
+}
+
+TEST(ModelPool, RejectsClassCountMismatch) {
+  ModelPool pool;
+  pool.add(std::make_shared<TrainableClassifier>("eight", pool_dataset()));
+  const data::Dataset nine = data::synthetic_fitzpatrick17k(500, 1);
+  EXPECT_THROW(
+      pool.add(std::make_shared<TrainableClassifier>("nine", nine)), Error);
+}
+
+TEST(ModelPool, MixedCalibratedAndTrainable) {
+  // The pool is polymorphic: users can mix simulated and real models.
+  ModelPool pool = calibrated_isic_pool(pool_dataset());
+  const std::size_t before = pool.size();
+  auto trained =
+      std::make_shared<TrainableClassifier>("MyClassifier", pool_dataset());
+  trained->fit(pool_dataset());
+  pool.add(trained);
+  EXPECT_EQ(pool.size(), before + 1);
+  EXPECT_EQ(pool.by_name("MyClassifier").num_classes(), 8u);
+}
+
+}  // namespace
+}  // namespace muffin::models

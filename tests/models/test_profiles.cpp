@@ -1,0 +1,116 @@
+#include "models/profiles.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/error.h"
+
+namespace muffin::models {
+namespace {
+
+TEST(Profiles, IsicPoolHasTenArchitectures) {
+  // Fig. 1 plots ten architectures across four families.
+  const auto& profiles = isic2019_profiles();
+  EXPECT_EQ(profiles.size(), 10u);
+  std::set<std::string> families;
+  for (const auto& p : profiles) families.insert(p.family);
+  EXPECT_EQ(families, (std::set<std::string>{"ShuffleNet", "MobileNet",
+                                             "DenseNet", "ResNet"}));
+}
+
+TEST(Profiles, NamesAreUnique) {
+  for (const auto* profiles :
+       {&isic2019_profiles(), &fitzpatrick17k_profiles()}) {
+    std::set<std::string> names;
+    for (const auto& p : *profiles) names.insert(p.name);
+    EXPECT_EQ(names.size(), profiles->size());
+  }
+}
+
+TEST(Profiles, TableOneVanillaNumbers) {
+  const auto& profiles = isic2019_profiles();
+  const auto& sn = profile_by_name(profiles, "ShuffleNet_V2_X1_0");
+  EXPECT_DOUBLE_EQ(sn.accuracy, 0.7721);
+  EXPECT_DOUBLE_EQ(sn.unfairness_for("age"), 0.36);
+  EXPECT_DOUBLE_EQ(sn.unfairness_for("site"), 0.45);
+  EXPECT_EQ(sn.parameter_count, 1261804u);  // Table I
+
+  const auto& mn = profile_by_name(profiles, "MobileNet_V3_Small");
+  EXPECT_DOUBLE_EQ(mn.accuracy, 0.7619);
+  EXPECT_EQ(mn.parameter_count, 1526056u);  // Table I
+
+  const auto& d121 = profile_by_name(profiles, "DenseNet121");
+  EXPECT_DOUBLE_EQ(d121.unfairness_for("site"), 0.36);
+
+  const auto& r18 = profile_by_name(profiles, "ResNet-18");
+  EXPECT_DOUBLE_EQ(r18.unfairness_for("age"), 0.26);
+}
+
+TEST(Profiles, GenderUnfairnessIsSmall) {
+  // Fig. 1(a-b): every model's gender unfairness is below 0.12.
+  for (const auto& p : isic2019_profiles()) {
+    EXPECT_LE(p.unfairness_for("gender"), 0.12) << p.name;
+  }
+}
+
+TEST(Profiles, BottleneckFloorsEncodeObservationTwo) {
+  const auto& profiles = isic2019_profiles();
+  // DenseNet121 is at its site bottleneck: floor ≈ vanilla value.
+  const auto& d121 = profile_by_name(profiles, "DenseNet121");
+  EXPECT_GE(d121.floor_for("site"), 0.9 * d121.unfairness_for("site"));
+  // ResNet-18 is at its age bottleneck.
+  const auto& r18 = profile_by_name(profiles, "ResNet-18");
+  EXPECT_GE(r18.floor_for("age"), 0.9 * r18.unfairness_for("age"));
+  // ShuffleNet has age headroom.
+  const auto& sn = profile_by_name(profiles, "ShuffleNet_V2_X1_0");
+  EXPECT_LT(sn.floor_for("age"), 0.8 * sn.unfairness_for("age"));
+}
+
+TEST(Profiles, DefaultFloorIsSixtyPercent) {
+  ArchitectureProfile p;
+  p.name = "x";
+  p.unfairness = {{"age", 0.5}};
+  EXPECT_DOUBLE_EQ(p.floor_for("age"), 0.3);
+}
+
+TEST(Profiles, MissingAttributeThrows) {
+  ArchitectureProfile p;
+  p.name = "x";
+  EXPECT_THROW((void)p.unfairness_for("age"), Error);
+  EXPECT_THROW((void)p.floor_for("age"), Error);
+}
+
+TEST(Profiles, LookupByNameThrowsWhenAbsent) {
+  EXPECT_THROW((void)profile_by_name(isic2019_profiles(), "AlexNet"), Error);
+}
+
+TEST(Profiles, FitzpatrickPoolMatchesSectionFourFive) {
+  // §4.5: "a model pool that has ResNet, ShuffleNet and MobileNet".
+  std::set<std::string> families;
+  for (const auto& p : fitzpatrick17k_profiles()) {
+    families.insert(p.family);
+    EXPECT_NEAR(p.accuracy, 0.62, 0.01);  // Fig. 7b: 61.5-62.5%
+    EXPECT_NEAR(p.unfairness_for("skin_tone"), 0.30, 0.06);  // Fig. 7a
+    EXPECT_NEAR(p.unfairness_for("type"), 1.18, 0.07);       // Fig. 7a
+  }
+  EXPECT_EQ(families,
+            (std::set<std::string>{"ResNet", "ShuffleNet", "MobileNet"}));
+}
+
+TEST(Profiles, ParameterCountsOrderedByFamilySize) {
+  const auto& profiles = isic2019_profiles();
+  EXPECT_LT(profile_by_name(profiles, "ShuffleNet_V2_X0_5").parameter_count,
+            profile_by_name(profiles, "ShuffleNet_V2_X1_0").parameter_count);
+  EXPECT_LT(profile_by_name(profiles, "MobileNet_V3_Small").parameter_count,
+            profile_by_name(profiles, "MobileNet_V3_Large").parameter_count);
+  EXPECT_LT(profile_by_name(profiles, "DenseNet121").parameter_count,
+            profile_by_name(profiles, "DenseNet201").parameter_count);
+  EXPECT_LT(profile_by_name(profiles, "ResNet-18").parameter_count,
+            profile_by_name(profiles, "ResNet-34").parameter_count);
+  EXPECT_LT(profile_by_name(profiles, "ResNet-34").parameter_count,
+            profile_by_name(profiles, "ResNet-50").parameter_count);
+}
+
+}  // namespace
+}  // namespace muffin::models

@@ -1,0 +1,134 @@
+#include "models/trainable.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "data/generators.h"
+#include "fairness/metrics.h"
+#include "tensor/ops.h"
+
+namespace muffin::models {
+namespace {
+
+const data::Dataset& small_dataset() {
+  static const data::Dataset ds = data::synthetic_isic2019(4000, 33);
+  return ds;
+}
+
+TEST(ToTrainingSet, ShapesMatchDataset) {
+  const nn::TrainingSet set = to_training_set(small_dataset());
+  EXPECT_EQ(set.features.rows(), small_dataset().size());
+  EXPECT_EQ(set.features.cols(), small_dataset().record(0).features.size());
+  EXPECT_EQ(set.num_classes, 8u);
+  for (const double w : set.weights) EXPECT_DOUBLE_EQ(w, 1.0);
+}
+
+TEST(ToTrainingSet, CarriesCustomWeights) {
+  std::vector<double> weights(small_dataset().size(), 2.5);
+  const nn::TrainingSet set = to_training_set(small_dataset(), weights);
+  for (const double w : set.weights) EXPECT_DOUBLE_EQ(w, 2.5);
+}
+
+TEST(ToTrainingSet, RejectsWrongWeightCount) {
+  const std::vector<double> weights(3, 1.0);
+  EXPECT_THROW((void)to_training_set(small_dataset(), weights), Error);
+}
+
+TEST(TrainableClassifier, UntrainedIsNearChance) {
+  TrainableClassifier model("untrained", small_dataset());
+  EXPECT_FALSE(model.is_trained());
+  const auto report = fairness::evaluate_model(model, small_dataset());
+  EXPECT_LT(report.accuracy, 0.65);  // far from trained performance
+}
+
+TEST(TrainableClassifier, LearnsAboveMajorityClass) {
+  TrainableClassifier model("trained", small_dataset());
+  model.fit(small_dataset());
+  EXPECT_TRUE(model.is_trained());
+  const auto report = fairness::evaluate_model(model, small_dataset());
+  const auto sizes = small_dataset().class_sizes();
+  std::size_t majority = 0;
+  for (const std::size_t s : sizes) majority = std::max(majority, s);
+  const double majority_rate =
+      static_cast<double>(majority) / static_cast<double>(small_dataset().size());
+  EXPECT_GT(report.accuracy, majority_rate + 0.05);
+}
+
+TEST(TrainableClassifier, ExhibitsUnfairnessOnUnprivilegedGroups) {
+  // Real training on the synthetic features must reproduce Observation 1:
+  // unprivileged groups end up with below-average accuracy.
+  TrainableClassifier model("fairness-probe", small_dataset());
+  model.fit(small_dataset());
+  const auto report = fairness::evaluate_model(model, small_dataset());
+  const auto& age = report.for_attribute("age");
+  const auto& schema = small_dataset().schema()[0];
+  const double unpriv_acc =
+      (age.group_accuracy[schema.group_index("60-80")] +
+       age.group_accuracy[schema.group_index("80+")]) /
+      2.0;
+  EXPECT_LT(unpriv_acc, report.accuracy);
+  EXPECT_GT(report.unfairness_for("age"), 0.05);
+}
+
+TEST(TrainableClassifier, ScoresAreDistributions) {
+  TrainableClassifier model("dist", small_dataset());
+  model.fit(small_dataset());
+  for (std::size_t i = 0; i < 50; ++i) {
+    const tensor::Vector s = model.scores(small_dataset().record(i));
+    EXPECT_NEAR(tensor::sum(s), 1.0, 1e-9);
+    for (const double p : s) EXPECT_GE(p, 0.0);
+  }
+}
+
+TEST(TrainableClassifier, DeterministicGivenSeed) {
+  TrainableConfig config;
+  config.seed = 77;
+  config.epochs = 5;
+  TrainableClassifier a("det", small_dataset(), config);
+  TrainableClassifier b("det", small_dataset(), config);
+  a.fit(small_dataset());
+  b.fit(small_dataset());
+  const auto ra = fairness::evaluate_model(a, small_dataset());
+  const auto rb = fairness::evaluate_model(b, small_dataset());
+  EXPECT_DOUBLE_EQ(ra.accuracy, rb.accuracy);
+}
+
+TEST(TrainableClassifier, WeightsChangeTheModel) {
+  TrainableConfig config;
+  config.epochs = 10;
+  TrainableClassifier plain("plain", small_dataset(), config);
+  TrainableClassifier weighted("weighted", small_dataset(), config);
+  plain.fit(small_dataset());
+  std::vector<double> weights(small_dataset().size(), 1.0);
+  // Upweight the unprivileged age groups heavily.
+  for (std::size_t i = 0; i < small_dataset().size(); ++i) {
+    const auto& r = small_dataset().record(i);
+    if (small_dataset().is_unprivileged(0, r.groups[0])) weights[i] = 6.0;
+  }
+  weighted.fit(small_dataset(), weights);
+  const auto rp = fairness::evaluate_model(plain, small_dataset());
+  const auto rw = fairness::evaluate_model(weighted, small_dataset());
+  EXPECT_NE(rp.accuracy, rw.accuracy);
+}
+
+TEST(TrainableClassifier, ParameterCountMatchesSpec) {
+  TrainableConfig config;
+  config.hidden_dims = {32, 24};
+  TrainableClassifier model("params", small_dataset(), config);
+  const std::size_t feature_dim = small_dataset().record(0).features.size();
+  const std::size_t expected = feature_dim * 32 + 32 + 32 * 24 + 24 +
+                               24 * 8 + 8;
+  EXPECT_EQ(model.parameter_count(), expected);
+}
+
+TEST(TrainableClassifier, RejectsForeignRecordWidth) {
+  TrainableClassifier model("strict", small_dataset());
+  data::Record bad;
+  bad.label = 0;
+  bad.groups = {0, 0, 0};
+  bad.features = {1.0};  // wrong width
+  EXPECT_THROW((void)model.scores(bad), Error);
+}
+
+}  // namespace
+}  // namespace muffin::models

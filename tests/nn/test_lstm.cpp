@@ -1,0 +1,142 @@
+#include "nn/lstm.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace muffin::nn {
+namespace {
+
+TEST(Lstm, DimensionsAndParameterCount) {
+  LstmCell cell(3, 5);
+  EXPECT_EQ(cell.input_dim(), 3u);
+  EXPECT_EQ(cell.hidden_dim(), 5u);
+  // 4 gates * (5 x (3+5) weights + 5 biases).
+  EXPECT_EQ(cell.parameter_count(), 4u * (5u * 8u + 5u));
+}
+
+TEST(Lstm, RejectsZeroDims) {
+  EXPECT_THROW(LstmCell(0, 1), Error);
+  EXPECT_THROW(LstmCell(1, 0), Error);
+}
+
+TEST(Lstm, HiddenStateBounded) {
+  SplitRng rng(1);
+  LstmCell cell(4, 6);
+  cell.init(rng);
+  cell.begin_sequence();
+  tensor::Vector x(4, 2.0);
+  for (int t = 0; t < 10; ++t) {
+    const tensor::Vector h = cell.step(x);
+    for (const double v : h) {
+      EXPECT_GE(v, -1.0);  // o * tanh(c) is in (-1, 1)
+      EXPECT_LE(v, 1.0);
+    }
+  }
+}
+
+TEST(Lstm, BeginSequenceResetsState) {
+  SplitRng rng(2);
+  LstmCell cell(2, 3);
+  cell.init(rng);
+  cell.begin_sequence();
+  const tensor::Vector first = cell.step(std::vector<double>{1.0, -1.0});
+  (void)cell.step(std::vector<double>{0.5, 0.5});
+  cell.begin_sequence();
+  const tensor::Vector again = cell.step(std::vector<double>{1.0, -1.0});
+  ASSERT_EQ(first.size(), again.size());
+  for (std::size_t i = 0; i < first.size(); ++i) {
+    EXPECT_DOUBLE_EQ(first[i], again[i]);
+  }
+  EXPECT_EQ(cell.sequence_length(), 1u);
+}
+
+TEST(Lstm, StateCarriesAcrossSteps) {
+  SplitRng rng(3);
+  LstmCell cell(2, 3);
+  cell.init(rng);
+  cell.begin_sequence();
+  const tensor::Vector x = {1.0, 1.0};
+  const tensor::Vector h1 = cell.step(x);
+  const tensor::Vector h2 = cell.step(x);
+  // Same input, different hidden state -> different output.
+  bool differs = false;
+  for (std::size_t i = 0; i < h1.size(); ++i) {
+    if (std::abs(h1[i] - h2[i]) > 1e-12) differs = true;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(Lstm, InputSizeMismatchThrows) {
+  LstmCell cell(3, 2);
+  cell.begin_sequence();
+  EXPECT_THROW((void)cell.step(std::vector<double>{1.0}), Error);
+}
+
+TEST(Lstm, BackwardRequiresMatchingStepCount) {
+  SplitRng rng(4);
+  LstmCell cell(2, 2);
+  cell.init(rng);
+  cell.begin_sequence();
+  (void)cell.step(std::vector<double>{1.0, 0.0});
+  std::vector<tensor::Vector> grads(2, tensor::Vector(2, 0.0));
+  EXPECT_THROW((void)cell.backward_sequence(grads), Error);
+}
+
+TEST(Lstm, BackwardRejectsWrongGradientWidth) {
+  SplitRng rng(4);
+  LstmCell cell(2, 2);
+  cell.init(rng);
+  cell.begin_sequence();
+  (void)cell.step(std::vector<double>{1.0, 0.0});
+  std::vector<tensor::Vector> grads = {tensor::Vector(3, 0.0)};
+  EXPECT_THROW((void)cell.backward_sequence(grads), Error);
+}
+
+TEST(Lstm, ForgetBiasInitializedToOne) {
+  SplitRng rng(5);
+  LstmCell cell(2, 3);
+  cell.init(rng);
+  // With forget bias 1, an initial zero state and moderate inputs, the cell
+  // should retain memory: feed a spike, then zeros; cell state persists.
+  cell.begin_sequence();
+  (void)cell.step(std::vector<double>{3.0, 3.0});
+  const tensor::Vector c_after_spike = cell.cell();
+  (void)cell.step(std::vector<double>{0.0, 0.0});
+  const tensor::Vector c_later = cell.cell();
+  double retained = 0.0;
+  double original = 0.0;
+  for (std::size_t i = 0; i < c_later.size(); ++i) {
+    retained += std::abs(c_later[i]);
+    original += std::abs(c_after_spike[i]);
+  }
+  EXPECT_GT(retained, 0.3 * original);
+}
+
+TEST(Lstm, ZeroGradClearsAccumulators) {
+  SplitRng rng(6);
+  LstmCell cell(2, 2);
+  cell.init(rng);
+  cell.begin_sequence();
+  (void)cell.step(std::vector<double>{1.0, 1.0});
+  std::vector<tensor::Vector> grads = {tensor::Vector(2, 1.0)};
+  (void)cell.backward_sequence(grads);
+  cell.zero_grad();
+  for (auto& view : cell.params()) {
+    for (const double g : view.grad) EXPECT_DOUBLE_EQ(g, 0.0);
+  }
+}
+
+TEST(Lstm, ParamsCoverAllGates) {
+  LstmCell cell(2, 2);
+  auto params = cell.params();
+  EXPECT_EQ(params.size(), 8u);  // 4 gates x (weight, bias)
+  std::size_t total = 0;
+  for (const auto& view : params) total += view.value.size();
+  EXPECT_EQ(total, cell.parameter_count());
+}
+
+}  // namespace
+}  // namespace muffin::nn

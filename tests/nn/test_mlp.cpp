@@ -1,0 +1,176 @@
+#include "nn/mlp.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/error.h"
+#include "tensor/ops.h"
+
+namespace muffin::nn {
+namespace {
+
+MlpSpec paper_spec() {
+  // Table I head for ShuffleNet+DenseNet121: [16,18,12,8].
+  MlpSpec spec;
+  spec.input_dim = 16;
+  spec.hidden_dims = {18, 12};
+  spec.output_dim = 8;
+  return spec;
+}
+
+TEST(MlpSpec, ToStringMatchesPaperNotation) {
+  EXPECT_EQ(paper_spec().to_string(), "[16,18,12,8]");
+  MlpSpec no_hidden;
+  no_hidden.input_dim = 4;
+  no_hidden.output_dim = 2;
+  EXPECT_EQ(no_hidden.to_string(), "[4,2]");
+}
+
+TEST(MlpSpec, ParameterCount) {
+  // [16,18,12,8]: 16*18+18 + 18*12+12 + 12*8+8 = 306 + 228 + 104 = 638.
+  EXPECT_EQ(paper_spec().parameter_count(), 638u);
+}
+
+TEST(Mlp, ParameterCountMatchesSpec) {
+  Mlp mlp(paper_spec());
+  EXPECT_EQ(mlp.parameter_count(), 638u);
+}
+
+TEST(Mlp, RejectsInvalidSpecs) {
+  MlpSpec bad = paper_spec();
+  bad.input_dim = 0;
+  EXPECT_THROW(Mlp{bad}, Error);
+  bad = paper_spec();
+  bad.output_dim = 0;
+  EXPECT_THROW(Mlp{bad}, Error);
+  bad = paper_spec();
+  bad.hidden_dims = {4, 0};
+  EXPECT_THROW(Mlp{bad}, Error);
+}
+
+TEST(Mlp, ForwardShapeAndRange) {
+  SplitRng rng(1);
+  Mlp mlp(paper_spec());
+  mlp.init(rng);
+  tensor::Vector input(16, 0.25);
+  const tensor::Vector out = mlp.forward(input);
+  ASSERT_EQ(out.size(), 8u);
+  for (const double v : out) {
+    EXPECT_GE(v, 0.0);  // sigmoid output
+    EXPECT_LE(v, 1.0);
+  }
+}
+
+TEST(Mlp, ForwardRejectsWrongWidth) {
+  Mlp mlp(paper_spec());
+  EXPECT_THROW((void)mlp.forward(tensor::Vector(15, 0.0)), Error);
+}
+
+TEST(Mlp, BackwardRejectsWrongWidth) {
+  SplitRng rng(1);
+  Mlp mlp(paper_spec());
+  mlp.init(rng);
+  (void)mlp.forward(tensor::Vector(16, 0.1));
+  EXPECT_THROW((void)mlp.backward(tensor::Vector(7, 0.0)), Error);
+}
+
+TEST(Mlp, DeterministicGivenSeed) {
+  MlpSpec spec = paper_spec();
+  SplitRng rng_a(7);
+  SplitRng rng_b(7);
+  Mlp a(spec), b(spec);
+  a.init(rng_a);
+  b.init(rng_b);
+  tensor::Vector input(16);
+  SplitRng input_rng(3);
+  for (double& v : input) v = input_rng.normal();
+  const tensor::Vector ya = a.forward(input);
+  const tensor::Vector yb = b.forward(input);
+  for (std::size_t i = 0; i < ya.size(); ++i) {
+    EXPECT_DOUBLE_EQ(ya[i], yb[i]);
+  }
+}
+
+TEST(Mlp, PredictIsArgmaxOfForward) {
+  SplitRng rng(9);
+  Mlp mlp(paper_spec());
+  mlp.init(rng);
+  tensor::Vector input(16);
+  for (double& v : input) v = rng.normal();
+  EXPECT_EQ(mlp.predict(input), tensor::argmax(mlp.forward(input)));
+}
+
+TEST(Mlp, IdentityOutputActivationUnbounded) {
+  MlpSpec spec = paper_spec();
+  spec.output_activation = Activation::Identity;
+  SplitRng rng(5);
+  Mlp mlp(spec);
+  mlp.init(rng);
+  // Push big inputs; identity output can exceed 1.
+  tensor::Vector input(16, 10.0);
+  const tensor::Vector out = mlp.forward(input);
+  bool outside_unit = false;
+  for (const double v : out) {
+    if (v < 0.0 || v > 1.0) outside_unit = true;
+  }
+  EXPECT_TRUE(outside_unit);
+}
+
+TEST(Mlp, SaveLoadRoundTrip) {
+  SplitRng rng(11);
+  MlpSpec spec = paper_spec();
+  spec.hidden_activation = Activation::Tanh;
+  Mlp original(spec);
+  original.init(rng);
+
+  std::stringstream buffer;
+  original.save(buffer);
+  Mlp loaded = Mlp::load(buffer);
+  EXPECT_EQ(loaded.spec(), original.spec());
+
+  tensor::Vector input(16);
+  for (double& v : input) v = rng.normal();
+  const tensor::Vector ya = original.forward(input);
+  const tensor::Vector yb = loaded.forward(input);
+  for (std::size_t i = 0; i < ya.size(); ++i) {
+    EXPECT_DOUBLE_EQ(ya[i], yb[i]);
+  }
+}
+
+TEST(Mlp, LoadRejectsGarbage) {
+  std::stringstream buffer("not an mlp at all");
+  EXPECT_THROW((void)Mlp::load(buffer), Error);
+}
+
+TEST(Mlp, ZeroGradResetsAllBlocks) {
+  SplitRng rng(13);
+  Mlp mlp(paper_spec());
+  mlp.init(rng);
+  tensor::Vector input(16, 0.3);
+  (void)mlp.forward(input);
+  (void)mlp.backward(tensor::Vector(8, 1.0));
+  mlp.zero_grad();
+  for (auto& view : mlp.params()) {
+    for (const double g : view.grad) EXPECT_DOUBLE_EQ(g, 0.0);
+  }
+}
+
+class MlpWidthSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(MlpWidthSweep, ParameterCountFormula) {
+  const std::size_t h = GetParam();
+  MlpSpec spec;
+  spec.input_dim = 16;
+  spec.hidden_dims = {h, h};
+  spec.output_dim = 8;
+  const std::size_t expected = 16 * h + h + h * h + h + h * 8 + 8;
+  EXPECT_EQ(spec.parameter_count(), expected);
+  EXPECT_EQ(Mlp(spec).parameter_count(), expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, MlpWidthSweep,
+                         ::testing::Values(8, 10, 12, 16, 18));
+
+}  // namespace
+}  // namespace muffin::nn

@@ -1,0 +1,144 @@
+#include "nn/optimizer.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace muffin::nn {
+namespace {
+
+/// A 1-D quadratic f(x) = (x - 3)^2 as a parameter block.
+struct Quadratic {
+  std::vector<double> x = {0.0};
+  std::vector<double> grad = {0.0};
+  std::vector<ParamView> params() { return {{x, grad}}; }
+  void compute_grad() { grad[0] = 2.0 * (x[0] - 3.0); }
+  [[nodiscard]] double value() const { return (x[0] - 3.0) * (x[0] - 3.0); }
+};
+
+TEST(Sgd, ConvergesOnQuadratic) {
+  Quadratic q;
+  Sgd sgd(SgdConfig{.learning_rate = 0.1, .decay = 0.0,
+                    .decay_every_steps = 0});
+  auto params = q.params();
+  for (int i = 0; i < 200; ++i) {
+    q.compute_grad();
+    sgd.step(params, 1);
+  }
+  EXPECT_NEAR(q.x[0], 3.0, 1e-6);
+}
+
+TEST(Sgd, LearningRateDecaySchedule) {
+  // Paper recipe: lr 0.1, decay 0.9 every 20 steps.
+  Quadratic q;
+  Sgd sgd(SgdConfig{.learning_rate = 0.1, .momentum = 0.0,
+                    .weight_decay = 0.0, .decay = 0.9,
+                    .decay_every_steps = 20});
+  auto params = q.params();
+  EXPECT_DOUBLE_EQ(sgd.learning_rate(), 0.1);
+  for (int i = 0; i < 20; ++i) {
+    q.compute_grad();
+    sgd.step(params, 1);
+  }
+  EXPECT_NEAR(sgd.learning_rate(), 0.09, 1e-12);
+  for (int i = 0; i < 40; ++i) {
+    q.compute_grad();
+    sgd.step(params, 1);
+  }
+  EXPECT_NEAR(sgd.learning_rate(), 0.09 * 0.81, 1e-12);
+}
+
+TEST(Sgd, MomentumAcceleratesDescent) {
+  Quadratic plain_q, momentum_q;
+  Sgd plain(SgdConfig{.learning_rate = 0.01, .momentum = 0.0, .decay = 0.0,
+                      .decay_every_steps = 0});
+  Sgd momentum(SgdConfig{.learning_rate = 0.01, .momentum = 0.9, .decay = 0.0,
+                         .decay_every_steps = 0});
+  auto plain_params = plain_q.params();
+  auto momentum_params = momentum_q.params();
+  for (int i = 0; i < 30; ++i) {
+    plain_q.compute_grad();
+    plain.step(plain_params, 1);
+    momentum_q.compute_grad();
+    momentum.step(momentum_params, 1);
+  }
+  EXPECT_LT(momentum_q.value(), plain_q.value());
+}
+
+TEST(Sgd, WeightDecayShrinksParameters) {
+  std::vector<double> x = {10.0};
+  std::vector<double> grad = {0.0};  // no loss gradient, only decay
+  std::vector<ParamView> params = {{x, grad}};
+  Sgd sgd(SgdConfig{.learning_rate = 0.1, .momentum = 0.0,
+                    .weight_decay = 0.5, .decay = 0.0,
+                    .decay_every_steps = 0});
+  sgd.step(params, 1);
+  EXPECT_NEAR(x[0], 10.0 - 0.1 * 0.5 * 10.0, 1e-12);
+}
+
+TEST(Sgd, BatchSizeAveragesGradients) {
+  std::vector<double> x = {0.0};
+  std::vector<double> grad = {8.0};  // accumulated over a batch of 4
+  std::vector<ParamView> params = {{x, grad}};
+  Sgd sgd(SgdConfig{.learning_rate = 1.0, .decay = 0.0,
+                    .decay_every_steps = 0});
+  sgd.step(params, 4);
+  EXPECT_NEAR(x[0], -2.0, 1e-12);
+}
+
+TEST(Sgd, RejectsBadConfig) {
+  EXPECT_THROW(Sgd(SgdConfig{.learning_rate = 0.0}), Error);
+  EXPECT_THROW(Sgd(SgdConfig{.learning_rate = 0.1, .momentum = 1.0}), Error);
+}
+
+TEST(Sgd, RejectsZeroBatch) {
+  Quadratic q;
+  Sgd sgd(SgdConfig{});
+  auto params = q.params();
+  EXPECT_THROW(sgd.step(params, 0), Error);
+}
+
+TEST(Adam, ConvergesOnQuadratic) {
+  Quadratic q;
+  Adam adam(AdamConfig{.learning_rate = 0.1});
+  auto params = q.params();
+  for (int i = 0; i < 500; ++i) {
+    q.compute_grad();
+    adam.step(params, 1);
+  }
+  EXPECT_NEAR(q.x[0], 3.0, 1e-3);
+}
+
+TEST(Adam, FirstStepIsLearningRateSized) {
+  // With bias correction, the first Adam step ≈ lr * sign(grad).
+  std::vector<double> x = {0.0};
+  std::vector<double> grad = {100.0};
+  std::vector<ParamView> params = {{x, grad}};
+  Adam adam(AdamConfig{.learning_rate = 0.01});
+  adam.step(params, 1);
+  EXPECT_NEAR(x[0], -0.01, 1e-6);
+}
+
+TEST(Adam, RejectsBadConfig) {
+  EXPECT_THROW(Adam(AdamConfig{.learning_rate = -1.0}), Error);
+  EXPECT_THROW(Adam(AdamConfig{.learning_rate = 0.1, .beta1 = 1.0}), Error);
+  EXPECT_THROW(
+      Adam(AdamConfig{.learning_rate = 0.1, .beta1 = 0.9, .beta2 = 1.5}),
+      Error);
+}
+
+TEST(Optimizers, RejectChangedParameterSet) {
+  Quadratic q;
+  Adam adam(AdamConfig{});
+  auto params = q.params();
+  adam.step(params, 1);
+  std::vector<double> other = {0.0, 0.0};
+  std::vector<double> other_grad = {0.0, 0.0};
+  std::vector<ParamView> bigger = {{q.x, q.grad}, {other, other_grad}};
+  EXPECT_THROW(adam.step(bigger, 1), Error);
+}
+
+}  // namespace
+}  // namespace muffin::nn

@@ -1,0 +1,73 @@
+// Property tests of controller sampling across randomized search spaces:
+// every sampled sequence must decode, respect masks, and reproduce its own
+// log-probability.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "rl/controller.h"
+
+namespace muffin::rl {
+namespace {
+
+SearchSpace random_space(SplitRng& rng) {
+  SearchSpace space;
+  space.pool_size = 3 + rng.index(8);               // 3..10
+  space.paired_models = 1 + rng.index(std::min<std::size_t>(
+                                 3, space.pool_size));  // 1..3
+  const std::size_t forced = rng.index(space.paired_models);  // < paired
+  for (std::size_t f = 0; f < forced; ++f) {
+    space.forced_models.push_back(f);  // distinct by construction
+  }
+  space.hidden_width_choices = {4, 8, 12};
+  space.min_hidden_layers = 1;
+  space.max_hidden_layers = 1 + rng.index(3);  // 1..3
+  return space;
+}
+
+class RandomSpaceSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RandomSpaceSweep, SampledSequencesAlwaysValid) {
+  SplitRng meta(GetParam());
+  const SearchSpace space = random_space(meta);
+  ASSERT_NO_THROW(space.validate());
+
+  ControllerConfig config;
+  config.hidden_dim = 12;
+  config.embedding_dim = 6;
+  config.seed = GetParam() * 13 + 1;
+  RnnController controller(space, config);
+  SplitRng rng(GetParam() + 1000);
+
+  for (int i = 0; i < 25; ++i) {
+    const SampledStructure sample = controller.sample(rng);
+    // Decodes without throwing and with distinct body models.
+    const StructureChoice choice = decode(space, sample.tokens);
+    EXPECT_EQ(choice.model_indices.size(), space.paired_models);
+    for (std::size_t a = 0; a < choice.model_indices.size(); ++a) {
+      for (std::size_t b = a + 1; b < choice.model_indices.size(); ++b) {
+        EXPECT_NE(choice.model_indices[a], choice.model_indices[b]);
+      }
+    }
+    // Forced prefix respected.
+    for (std::size_t f = 0; f < space.forced_models.size(); ++f) {
+      EXPECT_EQ(choice.model_indices[f], space.forced_models[f]);
+    }
+    // Hidden layer count inside bounds and widths from the menu.
+    EXPECT_GE(choice.hidden_dims.size(), space.min_hidden_layers);
+    EXPECT_LE(choice.hidden_dims.size(), space.max_hidden_layers);
+    for (const std::size_t w : choice.hidden_dims) {
+      EXPECT_NE(std::find(space.hidden_width_choices.begin(),
+                          space.hidden_width_choices.end(), w),
+                space.hidden_width_choices.end());
+    }
+    // log_prob replay agrees with the sampled value.
+    EXPECT_NEAR(controller.log_prob(sample.tokens), sample.log_prob, 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomSpaceSweep,
+                         ::testing::Range<std::uint64_t>(1, 13));
+
+}  // namespace
+}  // namespace muffin::rl

@@ -1,0 +1,169 @@
+#include "rl/search_space.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "common/error.h"
+
+namespace muffin::rl {
+namespace {
+
+SearchSpace default_space() {
+  SearchSpace space;
+  space.pool_size = 10;
+  space.paired_models = 2;
+  space.hidden_width_choices = {8, 10, 12, 16, 18};
+  space.min_hidden_layers = 1;
+  space.max_hidden_layers = 3;
+  return space;
+}
+
+TEST(SearchSpace, ValidDefaultsPass) {
+  EXPECT_NO_THROW(default_space().validate());
+}
+
+TEST(SearchSpace, StepsAndVocab) {
+  const SearchSpace space = default_space();
+  // 2 model slots + 1 layer count + 3 widths + 1 activation = 7 steps.
+  EXPECT_EQ(space.num_steps(), 7u);
+  const auto vocab = space.vocab_sizes();
+  ASSERT_EQ(vocab.size(), 7u);
+  EXPECT_EQ(vocab[0], 10u);
+  EXPECT_EQ(vocab[1], 10u);
+  EXPECT_EQ(vocab[2], 3u);  // 1..3 hidden layers
+  EXPECT_EQ(vocab[3], 5u);  // width choices
+  EXPECT_EQ(vocab[6], 4u);  // activations
+  EXPECT_EQ(space.total_vocab(), 10u + 10u + 3u + 5u * 3u + 4u);
+}
+
+TEST(SearchSpace, ForcedModelsShrinkSequence) {
+  SearchSpace space = default_space();
+  space.forced_models = {3};
+  EXPECT_EQ(space.num_steps(), 6u);  // one model slot gone
+}
+
+TEST(SearchSpace, ValidationCatchesBrokenConfigs) {
+  SearchSpace space = default_space();
+  space.pool_size = 0;
+  EXPECT_THROW(space.validate(), Error);
+
+  space = default_space();
+  space.paired_models = 11;
+  EXPECT_THROW(space.validate(), Error);
+
+  space = default_space();
+  space.forced_models = {0, 0};
+  EXPECT_THROW(space.validate(), Error);
+
+  space = default_space();
+  space.forced_models = {10};
+  EXPECT_THROW(space.validate(), Error);
+
+  space = default_space();
+  space.hidden_width_choices = {};
+  EXPECT_THROW(space.validate(), Error);
+
+  space = default_space();
+  space.min_hidden_layers = 2;
+  space.max_hidden_layers = 1;
+  EXPECT_THROW(space.validate(), Error);
+
+  space = default_space();
+  space.activation_choices = {};
+  EXPECT_THROW(space.validate(), Error);
+}
+
+TEST(SearchSpace, StructureCount) {
+  SearchSpace space = default_space();
+  // 10*9 ordered model pairs * 3 layer counts * 5^3 widths * 4 activations.
+  EXPECT_DOUBLE_EQ(space.structure_count(), 10.0 * 9 * 3 * 125 * 4);
+}
+
+TEST(Decode, RoundTripTokens) {
+  const SearchSpace space = default_space();
+  // tokens: models {4, 7}, 2 hidden layers, widths {18, 12, (ignored) 8},
+  // activation index 0 (relu).
+  const std::vector<std::size_t> tokens = {4, 7, 1, 4, 2, 0, 0};
+  const StructureChoice choice = decode(space, tokens);
+  EXPECT_EQ(choice.model_indices, (std::vector<std::size_t>{4, 7}));
+  EXPECT_EQ(choice.hidden_dims, (std::vector<std::size_t>{18, 12}));
+  EXPECT_EQ(choice.activation, nn::Activation::Relu);
+}
+
+TEST(Decode, ForcedModelsPrefixBody) {
+  SearchSpace space = default_space();
+  space.forced_models = {2};
+  const std::vector<std::size_t> tokens = {5, 0, 0, 0, 0, 1};
+  const StructureChoice choice = decode(space, tokens);
+  EXPECT_EQ(choice.model_indices, (std::vector<std::size_t>{2, 5}));
+  EXPECT_EQ(choice.hidden_dims, (std::vector<std::size_t>{8}));
+}
+
+TEST(Decode, UnusedWidthTokensIgnored) {
+  const SearchSpace space = default_space();
+  // 1 hidden layer: only the first width token matters.
+  const std::vector<std::size_t> a = {0, 1, 0, 2, 4, 4, 1};
+  const std::vector<std::size_t> b = {0, 1, 0, 2, 0, 0, 1};
+  EXPECT_EQ(decode(space, a).hidden_dims, decode(space, b).hidden_dims);
+}
+
+TEST(Decode, RejectsMalformedSequences) {
+  const SearchSpace space = default_space();
+  EXPECT_THROW((void)decode(space, {0, 1, 0}), Error);  // too short
+  EXPECT_THROW((void)decode(space, {0, 0, 0, 0, 0, 0, 0}), Error);  // dup model
+  std::vector<std::size_t> oov = {0, 1, 9, 0, 0, 0, 0};  // layer count 9
+  EXPECT_THROW((void)decode(space, oov), Error);
+}
+
+TEST(StepMask, ModelStepsExcludeChosenAndForced) {
+  SearchSpace space = default_space();
+  space.forced_models = {1};
+  const auto mask0 = step_mask(space, 0, {});
+  EXPECT_FALSE(mask0[1]);  // forced
+  EXPECT_TRUE(mask0[0]);
+  EXPECT_EQ(std::count(mask0.begin(), mask0.end(), true), 9);
+
+  SearchSpace plain = default_space();
+  const auto mask1 = step_mask(plain, 1, {6});
+  EXPECT_FALSE(mask1[6]);  // already chosen at step 0
+  EXPECT_EQ(std::count(mask1.begin(), mask1.end(), true), 9);
+}
+
+TEST(StepMask, NonModelStepsAllValid) {
+  const SearchSpace space = default_space();
+  const auto mask = step_mask(space, 2, {0, 1});
+  EXPECT_EQ(std::count(mask.begin(), mask.end(), true),
+            static_cast<std::ptrdiff_t>(mask.size()));
+}
+
+TEST(StepMask, IsModelStepBoundary) {
+  const SearchSpace space = default_space();
+  EXPECT_TRUE(is_model_step(space, 0));
+  EXPECT_TRUE(is_model_step(space, 1));
+  EXPECT_FALSE(is_model_step(space, 2));
+}
+
+TEST(StructureChoice, ToStringReadable) {
+  StructureChoice choice;
+  choice.model_indices = {1, 4};
+  choice.hidden_dims = {18, 12};
+  choice.activation = nn::Activation::Tanh;
+  EXPECT_EQ(choice.to_string(), "body={1,4} hidden=[18,12] act=tanh");
+}
+
+class PairCountSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(PairCountSweep, SequenceLengthGrowsWithBody) {
+  SearchSpace space = default_space();
+  space.paired_models = GetParam();
+  space.validate();
+  EXPECT_EQ(space.num_steps(), GetParam() + 1 + 3 + 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Bodies, PairCountSweep,
+                         ::testing::Values(1, 2, 3, 4));
+
+}  // namespace
+}  // namespace muffin::rl

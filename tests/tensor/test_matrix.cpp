@@ -1,0 +1,102 @@
+#include "tensor/matrix.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace muffin::tensor {
+namespace {
+
+TEST(Matrix, DefaultIsEmpty) {
+  Matrix m;
+  EXPECT_EQ(m.rows(), 0u);
+  EXPECT_EQ(m.cols(), 0u);
+  EXPECT_TRUE(m.empty());
+}
+
+TEST(Matrix, ConstructWithFill) {
+  Matrix m(2, 3, 1.5);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_EQ(m.size(), 6u);
+  for (std::size_t r = 0; r < 2; ++r) {
+    for (std::size_t c = 0; c < 3; ++c) {
+      EXPECT_DOUBLE_EQ(m(r, c), 1.5);
+    }
+  }
+}
+
+TEST(Matrix, InitializerList) {
+  Matrix m = {{1.0, 2.0}, {3.0, 4.0}};
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 2u);
+  EXPECT_DOUBLE_EQ(m(0, 1), 2.0);
+  EXPECT_DOUBLE_EQ(m(1, 0), 3.0);
+}
+
+TEST(Matrix, InitializerListRaggedThrows) {
+  EXPECT_THROW((Matrix{{1.0, 2.0}, {3.0}}), Error);
+}
+
+TEST(Matrix, ElementWriteReadRoundTrip) {
+  Matrix m(3, 3);
+  m(1, 2) = 42.0;
+  EXPECT_DOUBLE_EQ(m(1, 2), 42.0);
+  EXPECT_DOUBLE_EQ(m.at(1, 2), 42.0);
+}
+
+TEST(Matrix, AtBoundsChecked) {
+  Matrix m(2, 2);
+  EXPECT_THROW((void)m.at(2, 0), Error);
+  EXPECT_THROW((void)m.at(0, 2), Error);
+  EXPECT_NO_THROW((void)m.at(1, 1));
+}
+
+TEST(Matrix, RowSpanViewsStorage) {
+  Matrix m = {{1.0, 2.0}, {3.0, 4.0}};
+  auto row = m.row(1);
+  ASSERT_EQ(row.size(), 2u);
+  EXPECT_DOUBLE_EQ(row[0], 3.0);
+  row[1] = 9.0;
+  EXPECT_DOUBLE_EQ(m(1, 1), 9.0);
+}
+
+TEST(Matrix, RowOutOfRangeThrows) {
+  Matrix m(2, 2);
+  EXPECT_THROW((void)m.row(2), Error);
+}
+
+TEST(Matrix, FlatIsRowMajor) {
+  Matrix m = {{1.0, 2.0}, {3.0, 4.0}};
+  auto flat = m.flat();
+  ASSERT_EQ(flat.size(), 4u);
+  EXPECT_DOUBLE_EQ(flat[0], 1.0);
+  EXPECT_DOUBLE_EQ(flat[1], 2.0);
+  EXPECT_DOUBLE_EQ(flat[2], 3.0);
+  EXPECT_DOUBLE_EQ(flat[3], 4.0);
+}
+
+TEST(Matrix, FillOverwrites) {
+  Matrix m(2, 2, 1.0);
+  m.fill(7.0);
+  for (const double v : m.flat()) EXPECT_DOUBLE_EQ(v, 7.0);
+}
+
+TEST(Matrix, ResizeZeroes) {
+  Matrix m(1, 1, 5.0);
+  m.resize(2, 3);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  for (const double v : m.flat()) EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+TEST(Matrix, EqualityIsValueBased) {
+  Matrix a = {{1.0, 2.0}};
+  Matrix b = {{1.0, 2.0}};
+  Matrix c = {{1.0, 3.0}};
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+}
+
+}  // namespace
+}  // namespace muffin::tensor
