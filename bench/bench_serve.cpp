@@ -1,0 +1,209 @@
+// bench_serve — serving-runtime throughput on the calibrated ISIC pool.
+//
+// Compares three ways of answering the same request trace with one fused
+// Muffin model:
+//   sequential   per-record FusedModel::scores in a loop (the status quo)
+//   engine/cold  InferenceEngine, result memo disabled — isolates the
+//                micro-batching + consensus-short-circuit machinery
+//   engine       InferenceEngine as configured for production (memo on)
+//
+// The trace models steady-state serving traffic: requests drawn uniformly
+// with replacement from the test split, so hot records repeat — the regime
+// a result memo exists for. A cold single-pass section is reported too so
+// the cache never hides the raw batch-path cost. Every engine answer is
+// checked argmax-bit-identical against the sequential path; the bench
+// fails loudly otherwise.
+//
+// Env knobs (bench_util.h): MUFFIN_SAMPLES, MUFFIN_SEED. Default sample
+// count is trimmed to keep the bench interactive.
+#include <chrono>
+#include <iostream>
+
+#include "bench_util.h"
+#include "core/head_trainer.h"
+#include "serve/engine.h"
+#include "tensor/ops.h"
+
+using namespace muffin;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+std::shared_ptr<core::FusedModel> build_fused(
+    const bench::IsicScenario& scenario) {
+  rl::StructureChoice choice;
+  choice.model_indices = {scenario.pool.index_of("ShuffleNet_V2_X1_0"),
+                          scenario.pool.index_of("DenseNet121")};
+  choice.hidden_dims = {18, 12};
+  choice.activation = nn::Activation::Relu;
+  const core::FusingStructure structure = core::FusingStructure::from_choice(
+      choice, scenario.full.num_classes());
+
+  const core::ScoreCache cache(scenario.pool, scenario.train);
+  const core::ProxyDataset proxy = core::build_proxy(scenario.train);
+  core::HeadTrainConfig config;
+  config.epochs = 10;
+  nn::Mlp head =
+      core::train_head(cache, scenario.train, proxy, structure, config);
+
+  std::vector<models::ModelPtr> body = {
+      scenario.pool.share(choice.model_indices[0]),
+      scenario.pool.share(choice.model_indices[1])};
+  return std::make_shared<core::FusedModel>("Muffin", std::move(body),
+                                            std::move(head));
+}
+
+struct RunResult {
+  double seconds = 0.0;
+  double requests_per_second = 0.0;
+  std::vector<std::size_t> predictions;
+  serve::LatencyStats::Snapshot latency;  // engine runs only
+  serve::EngineCounters counters;         // engine runs only
+};
+
+RunResult run_sequential(const core::FusedModel& fused,
+                         const std::vector<const data::Record*>& trace) {
+  RunResult result;
+  result.predictions.reserve(trace.size());
+  const Clock::time_point start = Clock::now();
+  for (const data::Record* record : trace) {
+    result.predictions.push_back(tensor::argmax(fused.scores(*record)));
+  }
+  result.seconds = seconds_since(start);
+  result.requests_per_second =
+      static_cast<double>(trace.size()) / result.seconds;
+  return result;
+}
+
+RunResult run_engine(std::shared_ptr<const core::FusedModel> fused,
+                     const std::vector<const data::Record*>& trace,
+                     serve::EngineConfig config) {
+  serve::InferenceEngine engine(std::move(fused), config);
+  RunResult result;
+  result.predictions.reserve(trace.size());
+  std::vector<std::future<serve::Prediction>> futures;
+  futures.reserve(trace.size());
+  const Clock::time_point start = Clock::now();
+  for (const data::Record* record : trace) {
+    futures.push_back(engine.submit(*record));
+  }
+  for (std::future<serve::Prediction>& future : futures) {
+    result.predictions.push_back(future.get().predicted);
+  }
+  result.seconds = seconds_since(start);
+  result.requests_per_second =
+      static_cast<double>(trace.size()) / result.seconds;
+  result.latency = engine.latency().snapshot();
+  result.counters = engine.counters();
+  return result;
+}
+
+bool identical(const std::vector<std::size_t>& a,
+               const std::vector<std::size_t>& b) {
+  return a == b;
+}
+
+void add_row(TextTable& table, const std::string& name, const RunResult& run,
+             double baseline_rps, bool engine_run) {
+  std::vector<std::string> row = {
+      name,
+      std::to_string(static_cast<long long>(run.requests_per_second)),
+      format_fixed(run.requests_per_second / baseline_rps, 2) + "x"};
+  if (engine_run) {
+    row.push_back(format_fixed(run.latency.p50_us, 0));
+    row.push_back(format_fixed(run.latency.p95_us, 0));
+    row.push_back(format_fixed(run.latency.p99_us, 0));
+    row.push_back(std::to_string(run.counters.consensus_short_circuits));
+    row.push_back(std::to_string(run.counters.cache_hits));
+  } else {
+    for (int i = 0; i < 5; ++i) row.push_back("-");
+  }
+  table.add_row(std::move(row));
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "Serving runtime: batched engine vs per-record scoring",
+      "ISIC2019 calibrated pool; fused ShuffleNet+DenseNet muffin model.\n"
+      "4 workers, micro-batches flushed at size or 1 ms deadline.");
+
+  const bench::IsicScenario scenario(bench::env_size("MUFFIN_SAMPLES", 6000));
+  const std::shared_ptr<core::FusedModel> fused = build_fused(scenario);
+
+  // Steady-state serving trace: uniform-with-replacement draws from the
+  // test split (hot records repeat, as in production traffic).
+  const data::Dataset& test = scenario.test;
+  SplitRng trace_rng(bench::env_size("MUFFIN_SEED", 2019) ^ 0x5e27eULL);
+  const std::size_t trace_len = 5 * test.size();
+  std::vector<const data::Record*> trace;
+  trace.reserve(trace_len);
+  for (std::size_t i = 0; i < trace_len; ++i) {
+    trace.push_back(&test.record(trace_rng.index(test.size())));
+  }
+  // Cold trace: every test record exactly once (no repeats to exploit).
+  std::vector<const data::Record*> cold_trace;
+  cold_trace.reserve(test.size());
+  for (std::size_t i = 0; i < test.size(); ++i) {
+    cold_trace.push_back(&test.record(i));
+  }
+
+  serve::EngineConfig engine_config;
+  engine_config.workers = 4;
+  engine_config.max_batch = 32;
+  engine_config.max_delay = std::chrono::microseconds(1000);
+  serve::EngineConfig no_cache = engine_config;
+  no_cache.result_cache_capacity = 0;
+  serve::EngineConfig small_batch = engine_config;
+  small_batch.max_batch = 8;
+
+  std::cout << "trace: " << trace_len << " requests over " << test.size()
+            << " distinct records (steady-state) + " << cold_trace.size()
+            << " cold single-pass requests\n\n";
+
+  // --- cold single pass -------------------------------------------------
+  const RunResult cold_seq = run_sequential(*fused, cold_trace);
+  const RunResult cold_engine = run_engine(fused, cold_trace, no_cache);
+  TextTable cold_table({"cold single pass", "req/s", "speedup", "p50us",
+                        "p95us", "p99us", "consensus", "cache_hits"});
+  add_row(cold_table, "sequential", cold_seq, cold_seq.requests_per_second,
+          false);
+  add_row(cold_table, "engine (memo off)", cold_engine,
+          cold_seq.requests_per_second, true);
+  cold_table.print(std::cout);
+  std::cout << "\n";
+
+  // --- steady state -----------------------------------------------------
+  const RunResult seq = run_sequential(*fused, trace);
+  const RunResult eng8 = run_engine(fused, trace, small_batch);
+  const RunResult eng32 = run_engine(fused, trace, engine_config);
+  TextTable table({"steady state", "req/s", "speedup", "p50us", "p95us",
+                   "p99us", "consensus", "cache_hits"});
+  add_row(table, "sequential", seq, seq.requests_per_second, false);
+  add_row(table, "engine b=8 w=4", eng8, seq.requests_per_second, true);
+  add_row(table, "engine b=32 w=4", eng32, seq.requests_per_second, true);
+  table.print(std::cout);
+
+  const bool parity = identical(cold_seq.predictions, cold_engine.predictions)
+                      && identical(seq.predictions, eng8.predictions) &&
+                      identical(seq.predictions, eng32.predictions);
+  const double speedup8 = eng8.requests_per_second / seq.requests_per_second;
+  const double speedup32 =
+      eng32.requests_per_second / seq.requests_per_second;
+
+  std::cout << "\nargmax parity (every request, all runs): "
+            << (parity ? "bit-identical" : "MISMATCH") << "\n";
+  std::cout << "steady-state speedup: " << format_fixed(speedup8, 2)
+            << "x (batch 8), " << format_fixed(speedup32, 2)
+            << "x (batch 32); acceptance floor 3.00x\n";
+
+  const bool pass = parity && speedup8 >= 3.0 && speedup32 >= 3.0;
+  std::cout << (pass ? "PASS" : "FAIL") << "\n";
+  return pass ? 0 : 1;
+}

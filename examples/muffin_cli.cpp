@@ -9,6 +9,11 @@
 //                      [--pairs K] [--csv FILE]
 //       run the Muffin RL search and print (optionally export) the episode
 //       archive and the best fused structure
+//   muffin_cli serve   [--dataset ...] [--samples N] [--workers W]
+//                      [--batch B] [--requests N]
+//       fuse a default two-model muffin and drive the batched serving
+//       engine with a synthetic request trace; prints latency percentiles,
+//       throughput and engine counters
 //
 // Exit code 0 on success; errors are reported with context on stderr.
 #include <fstream>
@@ -19,10 +24,12 @@
 #include "baselines/single_attribute.h"
 #include "common/error.h"
 #include "common/table.h"
+#include "core/head_trainer.h"
 #include "core/search.h"
 #include "data/generators.h"
 #include "fairness/metrics.h"
 #include "models/pool.h"
+#include "serve/engine.h"
 
 using namespace muffin;
 
@@ -38,10 +45,14 @@ struct CliOptions {
   std::size_t samples = 0;  // 0 = dataset default
   std::size_t episodes = 120;
   std::size_t pairs = 2;
+  std::size_t workers = 4;
+  std::size_t batch = 32;
+  std::size_t requests = 20000;
 };
 
 CliOptions parse(int argc, char** argv) {
-  MUFFIN_REQUIRE(argc >= 2, "usage: muffin_cli <audit|seesaw|search> [...]");
+  MUFFIN_REQUIRE(argc >= 2,
+                 "usage: muffin_cli <audit|seesaw|search|serve> [...]");
   CliOptions options;
   options.command = argv[1];
   for (int i = 2; i + 1 < argc; i += 2) {
@@ -63,6 +74,12 @@ CliOptions parse(int argc, char** argv) {
       options.episodes = static_cast<std::size_t>(std::stoull(value));
     } else if (key == "--pairs") {
       options.pairs = static_cast<std::size_t>(std::stoull(value));
+    } else if (key == "--workers") {
+      options.workers = static_cast<std::size_t>(std::stoull(value));
+    } else if (key == "--batch") {
+      options.batch = static_cast<std::size_t>(std::stoull(value));
+    } else if (key == "--requests") {
+      options.requests = static_cast<std::size_t>(std::stoull(value));
     } else {
       throw Error("unknown option: " + key);
     }
@@ -229,6 +246,71 @@ int run_search(const CliOptions& options) {
   return 0;
 }
 
+int run_serve(const CliOptions& options) {
+  MUFFIN_REQUIRE(options.workers > 0, "--workers must be positive");
+  MUFFIN_REQUIRE(options.batch > 0, "--batch must be positive");
+  MUFFIN_REQUIRE(options.requests > 0, "--requests must be positive");
+  const Workbench bench = make_workbench(options);
+
+  // Fuse a default two-model muffin: first two pool architectures, the
+  // paper's [.,18,12,.] head, trained on the train split.
+  rl::StructureChoice choice;
+  choice.model_indices = {0, 1};
+  choice.hidden_dims = {18, 12};
+  choice.activation = nn::Activation::Relu;
+  const core::FusingStructure structure = core::FusingStructure::from_choice(
+      choice, bench.full.num_classes());
+  const core::ScoreCache cache(bench.pool, bench.train);
+  const core::ProxyDataset proxy = core::build_proxy(bench.train);
+  core::HeadTrainConfig head_config;
+  head_config.epochs = 10;
+  nn::Mlp head =
+      core::train_head(cache, bench.train, proxy, structure, head_config);
+  auto fused = std::make_shared<core::FusedModel>(
+      bench.pool.at(0).name() + "+" + bench.pool.at(1).name(),
+      std::vector<models::ModelPtr>{bench.pool.share(0), bench.pool.share(1)},
+      std::move(head));
+  std::cout << "serving " << fused->name() << " ("
+            << fused->parameter_count() << " params)\n";
+
+  serve::EngineConfig engine_config;
+  engine_config.workers = options.workers;
+  engine_config.max_batch = options.batch;
+  serve::InferenceEngine engine(fused, engine_config);
+
+  // Steady-state trace: uniform-with-replacement draws over the validation
+  // split, submitted as fast as the engine accepts them.
+  const data::Dataset& pool_split = bench.validation;
+  SplitRng trace_rng(4242);
+  std::vector<std::future<serve::Prediction>> futures;
+  futures.reserve(options.requests);
+  for (std::size_t i = 0; i < options.requests; ++i) {
+    futures.push_back(
+        engine.submit(pool_split.record(trace_rng.index(pool_split.size()))));
+  }
+  for (auto& future : futures) (void)future.get();
+  engine.shutdown();
+
+  const serve::LatencyStats::Snapshot snap = engine.latency().snapshot();
+  const serve::EngineCounters counters = engine.counters();
+  TextTable table({"metric", "value"});
+  table.add_row({"requests", std::to_string(counters.requests)});
+  table.add_row({"throughput (req/s)",
+                 std::to_string(static_cast<long long>(
+                     snap.requests_per_second))});
+  table.add_row({"p50 latency (us)", format_fixed(snap.p50_us, 0)});
+  table.add_row({"p95 latency (us)", format_fixed(snap.p95_us, 0)});
+  table.add_row({"p99 latency (us)", format_fixed(snap.p99_us, 0)});
+  table.add_row({"batches", std::to_string(counters.batches)});
+  table.add_row({"consensus short-circuits",
+                 std::to_string(counters.consensus_short_circuits)});
+  table.add_row({"head evaluations",
+                 std::to_string(counters.head_evaluations)});
+  table.add_row({"cache hits", std::to_string(counters.cache_hits)});
+  table.print(std::cout);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -237,8 +319,9 @@ int main(int argc, char** argv) {
     if (options.command == "audit") return run_audit(options);
     if (options.command == "seesaw") return run_seesaw(options);
     if (options.command == "search") return run_search(options);
+    if (options.command == "serve") return run_serve(options);
     throw Error("unknown command '" + options.command +
-                "' (expected audit, seesaw or search)");
+                "' (expected audit, seesaw, search or serve)");
   } catch (const std::exception& error) {
     std::cerr << "muffin_cli: " << error.what() << "\n";
     return 1;

@@ -52,41 +52,55 @@ std::size_t FusedModel::parameter_count() const {
 
 tensor::Vector FusedModel::scores(const data::Record& record) const {
   tensor::Vector gathered(body_.size() * num_classes_, 0.0);
-  std::size_t consensus = 0;
-  bool all_agree = true;
   for (std::size_t m = 0; m < body_.size(); ++m) {
     const tensor::Vector s = body_[m]->scores(record);
     MUFFIN_REQUIRE(s.size() == num_classes_,
                    "body model returned malformed scores");
-    const std::size_t pred = tensor::argmax(s);
+    for (std::size_t c = 0; c < num_classes_; ++c) {
+      gathered[m * num_classes_ + c] = s[c];
+    }
+  }
+  const std::lock_guard<std::mutex> lock(head_mutex_);
+  return fuse_gathered(gathered, head_, body_.size(), num_classes_,
+                       head_only_on_disagreement_)
+      .scores;
+}
+
+FusedScores fuse_gathered(std::span<const double> gathered, nn::Mlp& head,
+                          std::size_t body_size, std::size_t num_classes,
+                          bool head_only_on_disagreement) {
+  MUFFIN_REQUIRE(gathered.size() == body_size * num_classes,
+                 "gathered row must be body count x classes wide");
+  std::size_t consensus = 0;
+  bool all_agree = true;
+  for (std::size_t m = 0; m < body_size; ++m) {
+    const std::size_t pred =
+        tensor::argmax(gathered.subspan(m * num_classes, num_classes));
     if (m == 0) {
       consensus = pred;
     } else if (pred != consensus) {
       all_agree = false;
     }
-    for (std::size_t c = 0; c < num_classes_; ++c) {
-      gathered[m * num_classes_ + c] = s[c];
-    }
   }
 
-  if (head_only_on_disagreement_ && all_agree) {
+  if (head_only_on_disagreement && all_agree) {
     // Consensus: return the mean body score vector (argmax == consensus).
-    tensor::Vector mean(num_classes_, 0.0);
-    for (std::size_t m = 0; m < body_.size(); ++m) {
-      for (std::size_t c = 0; c < num_classes_; ++c) {
-        mean[c] += gathered[m * num_classes_ + c];
+    tensor::Vector mean(num_classes, 0.0);
+    for (std::size_t m = 0; m < body_size; ++m) {
+      for (std::size_t c = 0; c < num_classes; ++c) {
+        mean[c] += gathered[m * num_classes + c];
       }
     }
-    for (double& v : mean) v /= static_cast<double>(body_.size());
-    return mean;
+    for (double& v : mean) v /= static_cast<double>(body_size);
+    return {std::move(mean), true};
   }
 
-  tensor::Vector out = head_.forward(gathered);
+  tensor::Vector out = head.forward(gathered);
   const double total = tensor::sum(out);
   if (total > 1e-12) {
     for (double& v : out) v /= total;
   }
-  return out;
+  return {std::move(out), false};
 }
 
 std::vector<std::size_t> fused_predictions(const ScoreCache& cache,

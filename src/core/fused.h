@@ -8,6 +8,7 @@
 #pragma once
 
 #include <memory>
+#include <mutex>
 
 #include "core/score_cache.h"
 #include "models/model.h"
@@ -50,14 +51,39 @@ class FusedModel final : public models::Model {
   [[nodiscard]] std::size_t head_parameter_count() const {
     return head_.parameter_count();
   }
+  [[nodiscard]] bool head_only_on_disagreement() const {
+    return head_only_on_disagreement_;
+  }
 
  private:
   std::string name_;
   std::vector<models::ModelPtr> body_;
-  mutable nn::Mlp head_;  // forward caches; logically const
+  // The MLP's forward pass caches per-layer activations for backward, so a
+  // logically-const scores() mutates head_. head_mutex_ serializes those
+  // forwards to honor the Model concurrency contract; high-throughput
+  // callers (serve::InferenceEngine) bypass the lock by running forwards on
+  // per-worker copies of head() instead.
+  mutable nn::Mlp head_;
+  mutable std::mutex head_mutex_;
   bool head_only_on_disagreement_;
   std::size_t num_classes_;
 };
+
+/// Result of fusing one gathered body-score row.
+struct FusedScores {
+  tensor::Vector scores;
+  bool consensus = false;  ///< body agreed; the head was skipped
+};
+
+/// Fuse one gathered row (the concatenated body score vectors): the mean
+/// body vector when every body argmax agrees and the gate is on (§3.2),
+/// otherwise the sum-normalized head forward. The single definition of the
+/// fusing arithmetic — FusedModel::scores and serve::InferenceEngine both
+/// call it, so the per-record and batched paths cannot drift.
+[[nodiscard]] FusedScores fuse_gathered(std::span<const double> gathered,
+                                        nn::Mlp& head, std::size_t body_size,
+                                        std::size_t num_classes,
+                                        bool head_only_on_disagreement);
 
 /// Fast fused predictions over a cached dataset (used inside the search
 /// loop and the benches, avoiding per-record model re-evaluation).

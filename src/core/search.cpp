@@ -1,10 +1,13 @@
 #include "core/search.h"
 
+#include <algorithm>
 #include <future>
 #include <sstream>
+#include <thread>
 
 #include "common/error.h"
 #include "common/log.h"
+#include "serve/thread_pool.h"
 
 namespace muffin::core {
 
@@ -141,6 +144,17 @@ SearchResult MuffinSearch::run() {
   result.episodes.reserve(config_.episodes);
   SplitRng sample_rng = SplitRng(config_.seed).fork("controller-sampling");
 
+  // One worker pool reused across all controller batches (the serving
+  // runtime's ThreadPool, replacing the former per-episode std::async
+  // threads). Sized to the batch but no wider than the hardware.
+  std::unique_ptr<serve::ThreadPool> pool;
+  if (config_.parallel) {
+    const std::size_t hardware =
+        std::max<std::size_t>(1, std::thread::hardware_concurrency());
+    pool = std::make_unique<serve::ThreadPool>(
+        std::min(config_.controller_batch, hardware));
+  }
+
   std::size_t episode = 0;
   while (episode < config_.episodes) {
     const std::size_t batch =
@@ -158,32 +172,41 @@ SearchResult MuffinSearch::run() {
     std::vector<EpisodeRecord> records(batch);
     std::vector<std::future<EpisodeRecord>> futures(batch);
     std::vector<bool> from_memo(batch, false);
-    for (std::size_t b = 0; b < batch; ++b) {
-      const std::string key = sampled[b].choice.to_string();
-      const auto it = memo_.find(key);
-      if (it != memo_.end()) {
-        records[b] = it->second;
-        records[b].tokens = sampled[b].tokens;
-        from_memo[b] = true;
-        continue;
-      }
-      const std::uint64_t episode_seed = episode + b;
-      if (config_.parallel) {
-        futures[b] = std::async(
-            std::launch::async, [this, &sampled, b, episode_seed]() {
-              return evaluate_internal(sampled[b].choice, episode_seed);
-            });
-      } else {
-        records[b] = evaluate_internal(sampled[b].choice, episode_seed);
-        records[b].tokens = sampled[b].tokens;
-      }
-    }
-    if (config_.parallel) {
+    try {
       for (std::size_t b = 0; b < batch; ++b) {
-        if (from_memo[b]) continue;
-        records[b] = futures[b].get();
-        records[b].tokens = sampled[b].tokens;
+        const std::string key = sampled[b].choice.to_string();
+        const auto it = memo_.find(key);
+        if (it != memo_.end()) {
+          records[b] = it->second;
+          records[b].tokens = sampled[b].tokens;
+          from_memo[b] = true;
+          continue;
+        }
+        const std::uint64_t episode_seed = episode + b;
+        if (config_.parallel) {
+          futures[b] = pool->submit([this, &sampled, b, episode_seed]() {
+            return evaluate_internal(sampled[b].choice, episode_seed);
+          });
+        } else {
+          records[b] = evaluate_internal(sampled[b].choice, episode_seed);
+          records[b].tokens = sampled[b].tokens;
+        }
       }
+      if (config_.parallel) {
+        for (std::size_t b = 0; b < batch; ++b) {
+          if (from_memo[b]) continue;
+          records[b] = futures[b].get();
+          records[b].tokens = sampled[b].tokens;
+        }
+      }
+    } catch (...) {
+      // Pool futures do not block on destruction (std::async's did), so an
+      // episode failure must not unwind this scope while other jobs still
+      // reference `sampled` and friends; wait() never throws.
+      for (std::future<EpisodeRecord>& future : futures) {
+        if (future.valid()) future.wait();
+      }
+      throw;
     }
 
     // ➃ controller update with the batch rewards.

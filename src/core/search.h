@@ -9,10 +9,11 @@
 // Deviations from the paper, documented: the search evaluates rewards on a
 // held-out *validation* split (the paper says "the original dataset");
 // final reporting in the benches is on the untouched test split. Episodes
-// within one controller batch are evaluated in parallel — structure
-// evaluation is embarrassingly parallel and all shared state (score
-// caches, proxy) is read-only. Results are bit-identical to the sequential
-// loop because every episode derives its seed from its index.
+// within one controller batch are evaluated in parallel on a reusable
+// serve::ThreadPool — structure evaluation is embarrassingly parallel and
+// all shared state (score caches, proxy) is read-only. Results are
+// bit-identical to the sequential loop because every episode derives its
+// seed from its index.
 #pragma once
 
 #include <functional>

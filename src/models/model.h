@@ -26,6 +26,12 @@ class Model {
 
   /// Class-score vector (non-negative, sums to 1) for one record.
   /// Deterministic: the same record always yields the same scores.
+  ///
+  /// Thread safety: const member functions must be safe to call
+  /// concurrently from multiple threads on the same instance (the serving
+  /// engine and the parallel search both rely on this). Implementations
+  /// with mutable internal state — e.g. forward caches — must synchronize
+  /// it themselves; purely functional models need no locking.
   [[nodiscard]] virtual tensor::Vector scores(
       const data::Record& record) const = 0;
 

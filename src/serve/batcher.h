@@ -1,0 +1,112 @@
+// Micro-batching request queue.
+//
+// Producers push items; a consumer pops batches. A batch is released as
+// soon as `max_batch` items are queued (size flush) or the oldest queued
+// item has waited `max_delay` (deadline flush), whichever happens first —
+// the classic dynamic-batching throughput/latency trade: larger batches
+// amortize per-batch work, the deadline bounds the latency a lone request
+// can pay waiting for company.
+//
+// The queue is thread-safe for any number of producers and consumers;
+// close() wakes all consumers, which then drain remaining items and
+// finally observe the empty batch that signals termination.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "common/error.h"
+
+namespace muffin::serve {
+
+struct BatcherConfig {
+  std::size_t max_batch = 32;                 ///< size-flush threshold
+  std::chrono::microseconds max_delay{1000};  ///< deadline-flush threshold
+};
+
+template <typename T>
+class Batcher {
+ public:
+  explicit Batcher(BatcherConfig config) : config_(config) {
+    MUFFIN_REQUIRE(config_.max_batch > 0, "batcher needs max_batch >= 1");
+    MUFFIN_REQUIRE(config_.max_delay.count() >= 0,
+                   "batcher max_delay must be non-negative");
+  }
+
+  /// Enqueue one item. Throws if the batcher is closed.
+  void push(T item) {
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      MUFFIN_REQUIRE(!closed_, "cannot push to a closed batcher");
+      queue_.emplace_back(std::move(item), Clock::now());
+    }
+    ready_.notify_one();
+  }
+
+  /// Block until a batch is available and return it. An empty vector means
+  /// the batcher is closed and fully drained.
+  [[nodiscard]] std::vector<T> next_batch() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    for (;;) {
+      if (queue_.size() >= config_.max_batch || closed_) {
+        return pop_locked();
+      }
+      if (!queue_.empty()) {
+        const auto deadline = queue_.front().second + config_.max_delay;
+        if (Clock::now() >= deadline) return pop_locked();
+        ready_.wait_until(lock, deadline);
+      } else {
+        ready_.wait(lock);
+      }
+    }
+  }
+
+  /// Stop accepting items; consumers drain the queue then see empty batches.
+  void close() {
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      closed_ = true;
+    }
+    ready_.notify_all();
+  }
+
+  [[nodiscard]] bool closed() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return closed_;
+  }
+
+  [[nodiscard]] std::size_t pending() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return queue_.size();
+  }
+
+  [[nodiscard]] const BatcherConfig& config() const { return config_; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  /// Pop up to max_batch items; requires the lock to be held.
+  [[nodiscard]] std::vector<T> pop_locked() {
+    const std::size_t n = std::min(queue_.size(), config_.max_batch);
+    std::vector<T> batch;
+    batch.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      batch.push_back(std::move(queue_.front().first));
+      queue_.pop_front();
+    }
+    return batch;
+  }
+
+  BatcherConfig config_;
+  mutable std::mutex mutex_;
+  std::condition_variable ready_;
+  std::deque<std::pair<T, Clock::time_point>> queue_;
+  bool closed_ = false;
+};
+
+}  // namespace muffin::serve

@@ -1,0 +1,204 @@
+#include "serve/engine.h"
+
+#include "common/error.h"
+#include "tensor/ops.h"
+
+namespace muffin::serve {
+
+InferenceEngine::InferenceEngine(std::shared_ptr<const core::FusedModel> model,
+                                 EngineConfig config)
+    : model_(std::move(model)),
+      config_(config),
+      num_classes_(0),
+      body_size_(0),
+      pool_(config.workers),
+      batcher_({config.max_batch, config.max_delay}) {
+  MUFFIN_REQUIRE(model_ != nullptr, "engine needs a fused model");
+  MUFFIN_REQUIRE(config_.workers > 0, "engine needs at least one worker");
+  num_classes_ = model_->num_classes();
+  body_size_ = model_->body().size();
+  worker_heads_.reserve(config_.workers);
+  for (std::size_t w = 0; w < config_.workers; ++w) {
+    worker_heads_.push_back(model_->head());
+  }
+  dispatcher_ = std::thread([this]() { dispatch_loop(); });
+}
+
+InferenceEngine::~InferenceEngine() { shutdown(); }
+
+std::future<Prediction> InferenceEngine::submit(const data::Record& record) {
+  MUFFIN_REQUIRE(!stopped_.load(), "cannot submit to a stopped engine");
+  Request request{record, Clock::now(), {}};
+  std::future<Prediction> future = request.promise.get_future();
+  batcher_.push(std::move(request));
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  return future;
+}
+
+Prediction InferenceEngine::predict(const data::Record& record) {
+  return submit(record).get();
+}
+
+std::vector<Prediction> InferenceEngine::predict_batch(
+    std::span<const data::Record> records) {
+  std::vector<std::future<Prediction>> futures;
+  futures.reserve(records.size());
+  for (const data::Record& record : records) {
+    futures.push_back(submit(record));
+  }
+  std::vector<Prediction> predictions;
+  predictions.reserve(records.size());
+  for (std::future<Prediction>& future : futures) {
+    predictions.push_back(future.get());
+  }
+  return predictions;
+}
+
+void InferenceEngine::shutdown() {
+  if (stopped_.exchange(true)) return;
+  batcher_.close();
+  if (dispatcher_.joinable()) dispatcher_.join();
+  std::unique_lock<std::mutex> lock(inflight_mutex_);
+  inflight_done_.wait(lock, [this]() { return inflight_batches_ == 0; });
+}
+
+EngineCounters InferenceEngine::counters() const {
+  EngineCounters counters;
+  counters.requests = requests_.load(std::memory_order_relaxed);
+  counters.batches = batches_.load(std::memory_order_relaxed);
+  counters.cache_hits = cache_hits_.load(std::memory_order_relaxed);
+  counters.consensus_short_circuits =
+      consensus_short_circuits_.load(std::memory_order_relaxed);
+  counters.head_evaluations =
+      head_evaluations_.load(std::memory_order_relaxed);
+  return counters;
+}
+
+void InferenceEngine::dispatch_loop() {
+  for (;;) {
+    std::vector<Request> batch = batcher_.next_batch();
+    if (batch.empty()) return;  // closed and drained
+    {
+      const std::lock_guard<std::mutex> lock(inflight_mutex_);
+      ++inflight_batches_;
+    }
+    // The future is intentionally dropped: results and failures reach the
+    // caller through the per-request promises, not the job future.
+    (void)pool_.submit([this, b = std::move(batch)]() mutable {
+      process_batch(std::move(b));
+    });
+  }
+}
+
+void InferenceEngine::process_batch(std::vector<Request> batch) {
+  batches_.fetch_add(1, std::memory_order_relaxed);
+  const std::size_t n = batch.size();
+  std::vector<Prediction> results(n);
+  std::size_t delivered = 0;
+  try {
+    // 1. Serve repeats from the result memo.
+    std::vector<std::size_t> misses;
+    misses.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (cache_lookup(batch[i].record.uid, results[i])) {
+        cache_hits_.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        misses.push_back(i);
+      }
+    }
+
+    // 2. Body scores for the misses, batch-at-a-time per model: one model's
+    // calibration tables stay hot across the whole batch (the ScoreCache
+    // gather layout), instead of cycling all models on every record.
+    const std::size_t width = body_size_ * num_classes_;
+    tensor::Matrix gathered(misses.size(), width);
+    for (std::size_t m = 0; m < body_size_; ++m) {
+      const models::Model& body_model = *model_->body()[m];
+      for (std::size_t k = 0; k < misses.size(); ++k) {
+        const tensor::Vector s = body_model.scores(batch[misses[k]].record);
+        MUFFIN_REQUIRE(s.size() == num_classes_,
+                       "body model returned malformed scores");
+        for (std::size_t c = 0; c < num_classes_; ++c) {
+          gathered(k, m * num_classes_ + c) = s[c];
+        }
+      }
+    }
+
+    // 3. Consensus gate + head forward on this worker's head clone.
+    const std::size_t worker = ThreadPool::current_worker();
+    nn::Mlp& head =
+        worker_heads_[worker == ThreadPool::npos ? 0 : worker];
+    for (std::size_t k = 0; k < misses.size(); ++k) {
+      const std::size_t i = misses[k];
+      results[i] = score_row(gathered.row(k), head);
+      cache_store(batch[i].record.uid, results[i]);
+    }
+
+    // 4. Deliver results and account latency.
+    const Clock::time_point now = Clock::now();
+    for (std::size_t i = 0; i < n; ++i) {
+      latency_.record(now - batch[i].enqueued);
+      batch[i].promise.set_value(std::move(results[i]));
+      ++delivered;
+    }
+  } catch (...) {
+    for (std::size_t i = delivered; i < n; ++i) {
+      batch[i].promise.set_exception(std::current_exception());
+    }
+  }
+  {
+    const std::lock_guard<std::mutex> lock(inflight_mutex_);
+    --inflight_batches_;
+  }
+  inflight_done_.notify_all();
+}
+
+Prediction InferenceEngine::score_row(std::span<const double> gathered,
+                                      nn::Mlp& head) {
+  // Bit-identical to FusedModel::scores by construction: both call
+  // core::fuse_gathered, and worker heads are value copies of the model's.
+  core::FusedScores fused =
+      core::fuse_gathered(gathered, head, body_size_, num_classes_,
+                          model_->head_only_on_disagreement());
+  if (fused.consensus) {
+    consensus_short_circuits_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    head_evaluations_.fetch_add(1, std::memory_order_relaxed);
+  }
+  Prediction prediction;
+  prediction.predicted = tensor::argmax(fused.scores);
+  prediction.scores = std::move(fused.scores);
+  prediction.consensus = fused.consensus;
+  return prediction;
+}
+
+bool InferenceEngine::cache_lookup(std::uint64_t uid, Prediction& out) {
+  if (config_.result_cache_capacity == 0) return false;
+  const std::lock_guard<std::mutex> lock(cache_mutex_);
+  const auto it = cache_index_.find(uid);
+  if (it == cache_index_.end()) return false;
+  cache_order_.splice(cache_order_.begin(), cache_order_, it->second);
+  out = it->second->second;
+  out.cached = true;
+  return true;
+}
+
+void InferenceEngine::cache_store(std::uint64_t uid,
+                                  const Prediction& prediction) {
+  if (config_.result_cache_capacity == 0) return;
+  const std::lock_guard<std::mutex> lock(cache_mutex_);
+  const auto it = cache_index_.find(uid);
+  if (it != cache_index_.end()) {
+    // Another batch raced us to the same record; keep the existing entry.
+    cache_order_.splice(cache_order_.begin(), cache_order_, it->second);
+    return;
+  }
+  cache_order_.emplace_front(uid, prediction);
+  cache_index_.emplace(uid, cache_order_.begin());
+  while (cache_order_.size() > config_.result_cache_capacity) {
+    cache_index_.erase(cache_order_.back().first);
+    cache_order_.pop_back();
+  }
+}
+
+}  // namespace muffin::serve

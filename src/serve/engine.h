@@ -1,0 +1,156 @@
+// Batched multi-threaded inference engine for fused Muffin models.
+//
+// The per-record path (`models::Model::scores`) is fine for offline
+// evaluation but wrong for serving: every request pays full body-model
+// evaluation, a locked head forward, and per-call allocations. The engine
+// turns the same FusedModel into a serving runtime:
+//
+//  * **Micro-batching.** Requests accumulate in a Batcher and flush on
+//    batch-size or deadline; each batch is scored as a unit.
+//  * **Worker pool.** Batches execute on a reusable ThreadPool; on
+//    multi-core hosts independent batches score in parallel.
+//  * **Per-model batch scoring.** Within a batch, body scores are computed
+//    model-at-a-time into a row-major matrix (the gather layout of
+//    ScoreCache), keeping one model's calibration state hot across the
+//    whole batch instead of cycling every model per record.
+//  * **Consensus short-circuit.** §3.2: when every body model agrees the
+//    fused output is the consensus class, so the head forward is skipped
+//    entirely — on well-calibrated pools that removes the head from the
+//    majority of requests.
+//  * **Per-worker head clones.** Each worker owns a copy of the muffin
+//    head, so head forwards never contend on FusedModel's internal lock
+//    (nn::Mlp caches activations during forward and is not shareable).
+//  * **Result memoization.** Model scores are deterministic per record
+//    (the Model contract), so completed predictions are kept in a bounded
+//    LRU keyed by record uid; repeated requests — the common case in
+//    steady-state serving traffic — are answered from the cache without
+//    touching the body models. Exactness requires uids to uniquely
+//    identify record content, which the data generators guarantee.
+//
+// Engine outputs are bit-identical to FusedModel::scores on every record:
+// the batch path replicates its arithmetic (same gather order, same
+// consensus mean, same head weights, same normalization).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <future>
+#include <list>
+#include <memory>
+#include <span>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "core/fused.h"
+#include "serve/batcher.h"
+#include "serve/stats.h"
+#include "serve/thread_pool.h"
+
+namespace muffin::serve {
+
+struct EngineConfig {
+  std::size_t workers = 4;                    ///< pool threads
+  std::size_t max_batch = 32;                 ///< size-flush threshold
+  std::chrono::microseconds max_delay{1000};  ///< deadline-flush threshold
+  /// Max memoized predictions; 0 disables the result cache.
+  std::size_t result_cache_capacity = 1 << 16;
+};
+
+/// One served prediction.
+struct Prediction {
+  std::size_t predicted = 0;   ///< argmax class
+  tensor::Vector scores;       ///< full score vector (sums to 1)
+  bool consensus = false;      ///< body agreed; head was skipped
+  bool cached = false;         ///< answered from the result memo
+};
+
+/// Monotonic counters describing how the engine served its traffic.
+struct EngineCounters {
+  std::size_t requests = 0;
+  std::size_t batches = 0;
+  std::size_t cache_hits = 0;
+  std::size_t consensus_short_circuits = 0;
+  std::size_t head_evaluations = 0;
+};
+
+class InferenceEngine {
+ public:
+  explicit InferenceEngine(std::shared_ptr<const core::FusedModel> model,
+                           EngineConfig config = {});
+  ~InferenceEngine();
+
+  InferenceEngine(const InferenceEngine&) = delete;
+  InferenceEngine& operator=(const InferenceEngine&) = delete;
+
+  /// Enqueue one record; the future completes when its batch is scored.
+  [[nodiscard]] std::future<Prediction> submit(const data::Record& record);
+
+  /// Synchronous single-record convenience: submit + wait.
+  [[nodiscard]] Prediction predict(const data::Record& record);
+
+  /// Submit every record, wait for all, return predictions in input order.
+  [[nodiscard]] std::vector<Prediction> predict_batch(
+      std::span<const data::Record> records);
+
+  /// Drain in-flight requests and stop the runtime (idempotent). New
+  /// submissions are rejected afterwards.
+  void shutdown();
+
+  [[nodiscard]] const core::FusedModel& model() const { return *model_; }
+  [[nodiscard]] const EngineConfig& config() const { return config_; }
+  [[nodiscard]] const LatencyStats& latency() const { return latency_; }
+  [[nodiscard]] EngineCounters counters() const;
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  struct Request {
+    data::Record record;
+    Clock::time_point enqueued;
+    std::promise<Prediction> promise;
+  };
+
+  void dispatch_loop();
+  void process_batch(std::vector<Request> batch);
+  /// Score one gathered body-score row (consensus gate, then head).
+  [[nodiscard]] Prediction score_row(std::span<const double> gathered,
+                                     nn::Mlp& head);
+
+  [[nodiscard]] bool cache_lookup(std::uint64_t uid, Prediction& out);
+  void cache_store(std::uint64_t uid, const Prediction& prediction);
+
+  std::shared_ptr<const core::FusedModel> model_;
+  EngineConfig config_;
+  std::size_t num_classes_;
+  std::size_t body_size_;
+
+  ThreadPool pool_;
+  Batcher<Request> batcher_;
+  std::vector<nn::Mlp> worker_heads_;  ///< one clone per pool worker
+
+  // Bounded LRU result memo: uid -> prediction, most recent at the front.
+  std::mutex cache_mutex_;
+  std::list<std::pair<std::uint64_t, Prediction>> cache_order_;
+  std::unordered_map<std::uint64_t, decltype(cache_order_)::iterator>
+      cache_index_;
+
+  // In-flight batch accounting so shutdown can wait for the pool to finish
+  // without relying on pool destruction order.
+  std::mutex inflight_mutex_;
+  std::condition_variable inflight_done_;
+  std::size_t inflight_batches_ = 0;
+
+  LatencyStats latency_;
+  std::atomic<std::size_t> requests_{0};
+  std::atomic<std::size_t> batches_{0};
+  std::atomic<std::size_t> cache_hits_{0};
+  std::atomic<std::size_t> consensus_short_circuits_{0};
+  std::atomic<std::size_t> head_evaluations_{0};
+
+  std::atomic<bool> stopped_{false};
+  std::thread dispatcher_;
+};
+
+}  // namespace muffin::serve

@@ -1,0 +1,99 @@
+#include "serve/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace muffin::serve {
+
+double percentile(std::vector<double> samples, double q) {
+  MUFFIN_REQUIRE(!samples.empty(), "percentile of an empty sample set");
+  MUFFIN_REQUIRE(q >= 0.0 && q <= 100.0, "percentile q must be in [0, 100]");
+  // Nearest-rank: smallest sample with at least q% of the mass at or below.
+  const std::size_t rank = q <= 0.0
+                               ? 0
+                               : static_cast<std::size_t>(std::ceil(
+                                     q / 100.0 *
+                                     static_cast<double>(samples.size()))) -
+                                     1;
+  const std::size_t index = std::min(rank, samples.size() - 1);
+  std::nth_element(samples.begin(),
+                   samples.begin() + static_cast<std::ptrdiff_t>(index),
+                   samples.end());
+  return samples[index];
+}
+
+namespace {
+
+/// splitmix64 step — cheap, stateless-friendly uniform 64-bit stream.
+std::uint64_t next_u64(std::uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+LatencyStats::LatencyStats(std::size_t reservoir_capacity)
+    : capacity_(reservoir_capacity),
+      rng_state_(0x1a7e9c5ULL),
+      start_(Clock::now()) {
+  MUFFIN_REQUIRE(capacity_ > 0, "latency reservoir needs capacity >= 1");
+  reservoir_us_.reserve(std::min<std::size_t>(capacity_, 1024));
+}
+
+void LatencyStats::record(std::chrono::nanoseconds latency) {
+  const double us =
+      std::chrono::duration<double, std::micro>(latency).count();
+  const std::lock_guard<std::mutex> lock(mutex_);
+  ++count_;
+  sum_us_ += us;
+  max_us_ = std::max(max_us_, us);
+  if (reservoir_us_.size() < capacity_) {
+    reservoir_us_.push_back(us);
+  } else {
+    // Algorithm R: keep each of the count_ samples with equal probability.
+    const std::size_t slot =
+        static_cast<std::size_t>(next_u64(rng_state_) % count_);
+    if (slot < capacity_) reservoir_us_[slot] = us;
+  }
+}
+
+void LatencyStats::reset() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  reservoir_us_.clear();
+  count_ = 0;
+  sum_us_ = 0.0;
+  max_us_ = 0.0;
+  start_ = Clock::now();
+}
+
+LatencyStats::Snapshot LatencyStats::snapshot() const {
+  Snapshot snap;
+  std::vector<double> samples;
+  Clock::time_point start;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    samples = reservoir_us_;
+    start = start_;
+    snap.count = count_;
+    snap.mean_us = count_ > 0 ? sum_us_ / static_cast<double>(count_) : 0.0;
+    snap.max_us = max_us_;
+  }
+  snap.elapsed_seconds =
+      std::chrono::duration<double>(Clock::now() - start).count();
+  if (snap.elapsed_seconds > 0.0) {
+    snap.requests_per_second =
+        static_cast<double>(snap.count) / snap.elapsed_seconds;
+  }
+  if (samples.empty()) return snap;
+  snap.p50_us = percentile(samples, 50.0);
+  snap.p95_us = percentile(samples, 95.0);
+  snap.p99_us = percentile(samples, 99.0);
+  return snap;
+}
+
+}  // namespace muffin::serve

@@ -1,0 +1,61 @@
+// Serving-side latency and throughput accounting.
+//
+// LatencyStats accumulates per-request latencies (thread-safe) and reports
+// the numbers a serving operator watches: p50/p95/p99 tail latencies, mean
+// and max, and sustained throughput since the last reset. Count, mean and
+// max are exact over every recorded request; percentiles come from a
+// bounded uniform reservoir (Vitter's Algorithm R), so memory stays
+// constant no matter how long the serving process lives. Below the
+// reservoir capacity the sample is complete and percentiles are exact too.
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+namespace muffin::serve {
+
+/// Nearest-rank percentile of an unsorted sample set, q in [0, 100].
+[[nodiscard]] double percentile(std::vector<double> samples, double q);
+
+class LatencyStats {
+ public:
+  /// `reservoir_capacity` bounds the percentile sample (and the memory
+  /// footprint); count/mean/max stay exact regardless.
+  explicit LatencyStats(std::size_t reservoir_capacity = 1 << 16);
+
+  /// Record one request latency; safe to call concurrently.
+  void record(std::chrono::nanoseconds latency);
+
+  /// Drop all samples and restart the throughput clock.
+  void reset();
+
+  struct Snapshot {
+    std::size_t count = 0;               ///< exact, all requests
+    double mean_us = 0.0;                ///< exact, all requests
+    double p50_us = 0.0;
+    double p95_us = 0.0;
+    double p99_us = 0.0;
+    double max_us = 0.0;                 ///< exact, all requests
+    double elapsed_seconds = 0.0;        ///< since construction/reset
+    double requests_per_second = 0.0;    ///< count / elapsed
+  };
+
+  [[nodiscard]] Snapshot snapshot() const;
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::vector<double> reservoir_us_;
+  std::size_t count_ = 0;
+  double sum_us_ = 0.0;
+  double max_us_ = 0.0;
+  std::uint64_t rng_state_;  ///< splitmix64 stream for Algorithm R
+  Clock::time_point start_;
+};
+
+}  // namespace muffin::serve

@@ -1,0 +1,62 @@
+#include "serve/thread_pool.h"
+
+#include "common/error.h"
+
+namespace muffin::serve {
+
+namespace {
+thread_local std::size_t tls_worker_index = ThreadPool::npos;
+}  // namespace
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  MUFFIN_REQUIRE(threads > 0, "thread pool needs at least one worker");
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this, i]() { worker_loop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+    // Discard pending jobs; their packaged_task destructors break the
+    // associated promises, so waiting futures fail fast instead of hanging.
+    while (!jobs_.empty()) jobs_.pop();
+  }
+  wake_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+std::size_t ThreadPool::current_worker() { return tls_worker_index; }
+
+std::size_t ThreadPool::pending() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return jobs_.size();
+}
+
+void ThreadPool::enqueue(std::function<void()> job) {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    MUFFIN_REQUIRE(!stopping_, "cannot submit to a stopping thread pool");
+    jobs_.push(std::move(job));
+  }
+  wake_.notify_one();
+}
+
+void ThreadPool::worker_loop(std::size_t index) {
+  tls_worker_index = index;
+  for (;;) {
+    std::function<void()> job;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      wake_.wait(lock, [this]() { return stopping_ || !jobs_.empty(); });
+      if (stopping_ && jobs_.empty()) return;
+      job = std::move(jobs_.front());
+      jobs_.pop();
+    }
+    job();  // packaged_task captures exceptions into the future
+  }
+}
+
+}  // namespace muffin::serve

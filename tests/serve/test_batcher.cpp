@@ -1,0 +1,94 @@
+#include "serve/batcher.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+#include "common/error.h"
+
+namespace muffin::serve {
+namespace {
+
+using std::chrono::microseconds;
+using std::chrono::milliseconds;
+using std::chrono::steady_clock;
+
+TEST(Batcher, RejectsBadConfig) {
+  EXPECT_THROW(Batcher<int>({0, microseconds(1000)}), Error);
+  EXPECT_THROW(Batcher<int>({8, microseconds(-1)}), Error);
+}
+
+TEST(Batcher, SizeFlushReleasesFullBatchImmediately) {
+  // Deadline far away: only the size trigger can release the batch.
+  Batcher<int> batcher({8, std::chrono::duration_cast<microseconds>(
+                               std::chrono::seconds(30))});
+  for (int i = 0; i < 8; ++i) batcher.push(i);
+  const auto before = steady_clock::now();
+  const std::vector<int> batch = batcher.next_batch();
+  const auto waited = steady_clock::now() - before;
+  EXPECT_EQ(batch.size(), 8u);
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(batch[static_cast<std::size_t>(i)], i);
+  EXPECT_LT(waited, std::chrono::seconds(5));  // did not sit out the deadline
+}
+
+TEST(Batcher, SizeFlushCapsOversizedBacklog) {
+  Batcher<int> batcher({4, microseconds(1000)});
+  for (int i = 0; i < 10; ++i) batcher.push(i);
+  EXPECT_EQ(batcher.next_batch().size(), 4u);
+  EXPECT_EQ(batcher.next_batch().size(), 4u);
+  EXPECT_EQ(batcher.pending(), 2u);
+}
+
+TEST(Batcher, DeadlineFlushReleasesPartialBatch) {
+  Batcher<int> batcher({64, std::chrono::duration_cast<microseconds>(
+                                milliseconds(20))});
+  batcher.push(1);
+  batcher.push(2);
+  batcher.push(3);
+  const auto before = steady_clock::now();
+  const std::vector<int> batch = batcher.next_batch();
+  const auto waited = steady_clock::now() - before;
+  EXPECT_EQ(batch.size(), 3u);
+  // Released by the deadline, not by size — and without unbounded waiting.
+  EXPECT_GE(waited, milliseconds(10));
+  EXPECT_LT(waited, std::chrono::seconds(5));
+}
+
+TEST(Batcher, ConsumerWakesForLateProducer) {
+  Batcher<int> batcher({2, std::chrono::duration_cast<microseconds>(
+                               std::chrono::seconds(30))});
+  std::thread producer([&batcher]() {
+    std::this_thread::sleep_for(milliseconds(20));
+    batcher.push(41);
+    batcher.push(42);
+  });
+  const std::vector<int> batch = batcher.next_batch();  // blocks until push
+  producer.join();
+  EXPECT_EQ(batch.size(), 2u);
+}
+
+TEST(Batcher, CloseDrainsThenSignalsTermination) {
+  Batcher<int> batcher({4, microseconds(1000)});
+  for (int i = 0; i < 6; ++i) batcher.push(i);
+  batcher.close();
+  EXPECT_TRUE(batcher.closed());
+  EXPECT_THROW(batcher.push(99), Error);
+  EXPECT_EQ(batcher.next_batch().size(), 4u);  // drain
+  EXPECT_EQ(batcher.next_batch().size(), 2u);  // drain remainder
+  EXPECT_TRUE(batcher.next_batch().empty());   // termination signal
+}
+
+TEST(Batcher, CloseWakesBlockedConsumer) {
+  Batcher<int> batcher({8, std::chrono::duration_cast<microseconds>(
+                               std::chrono::seconds(30))});
+  std::thread closer([&batcher]() {
+    std::this_thread::sleep_for(milliseconds(10));
+    batcher.close();
+  });
+  EXPECT_TRUE(batcher.next_batch().empty());
+  closer.join();
+}
+
+}  // namespace
+}  // namespace muffin::serve

@@ -1,0 +1,209 @@
+#include "serve/engine.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "common/error.h"
+#include "core/head_trainer.h"
+#include "data/generators.h"
+#include "tensor/ops.h"
+
+namespace muffin::serve {
+namespace {
+
+const data::Dataset& engine_dataset() {
+  static const data::Dataset ds = data::synthetic_isic2019(1500, 77);
+  return ds;
+}
+
+const models::ModelPool& engine_pool() {
+  static const models::ModelPool pool =
+      models::calibrated_isic_pool(engine_dataset());
+  return pool;
+}
+
+std::shared_ptr<core::FusedModel> make_fused(bool head_only_on_disagreement) {
+  rl::StructureChoice choice;
+  choice.model_indices = {engine_pool().index_of("ShuffleNet_V2_X1_0"),
+                          engine_pool().index_of("DenseNet121")};
+  choice.hidden_dims = {18, 12};
+  choice.activation = nn::Activation::Relu;
+  const core::FusingStructure structure = core::FusingStructure::from_choice(
+      choice, engine_dataset().num_classes());
+
+  static const core::ScoreCache cache(engine_pool(), engine_dataset());
+  static const core::ProxyDataset proxy = core::build_proxy(engine_dataset());
+  core::HeadTrainConfig config;
+  config.epochs = 6;
+  nn::Mlp head =
+      core::train_head(cache, engine_dataset(), proxy, structure, config);
+
+  std::vector<models::ModelPtr> body = {
+      engine_pool().share(choice.model_indices[0]),
+      engine_pool().share(choice.model_indices[1])};
+  return std::make_shared<core::FusedModel>(
+      "Muffin", std::move(body), std::move(head), head_only_on_disagreement);
+}
+
+TEST(InferenceEngine, RejectsBadConstruction) {
+  EXPECT_THROW(InferenceEngine(nullptr), Error);
+  EngineConfig config;
+  config.workers = 0;
+  EXPECT_THROW(InferenceEngine(make_fused(true), config), Error);
+}
+
+TEST(InferenceEngine, BatchedOutputBitIdenticalToSequentialScores) {
+  const auto fused = make_fused(true);
+  EngineConfig config;
+  config.workers = 4;
+  config.max_batch = 32;
+  InferenceEngine engine(fused, config);
+
+  std::span<const data::Record> records = engine_dataset().records();
+  const std::vector<Prediction> batched = engine.predict_batch(records);
+
+  ASSERT_EQ(batched.size(), records.size());
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    const tensor::Vector expected = fused->scores(records[i]);
+    EXPECT_EQ(batched[i].scores, expected) << "record " << i;
+    EXPECT_EQ(batched[i].predicted, tensor::argmax(expected)) << "record "
+                                                              << i;
+  }
+}
+
+TEST(InferenceEngine, ParityHoldsWithHeadEverywhere) {
+  const auto fused = make_fused(false);
+  InferenceEngine engine(fused);
+  std::span<const data::Record> records = engine_dataset().records();
+  const std::vector<Prediction> batched =
+      engine.predict_batch(records.subspan(0, 400));
+  for (std::size_t i = 0; i < batched.size(); ++i) {
+    EXPECT_EQ(batched[i].scores, fused->scores(records[i])) << "record " << i;
+    EXPECT_FALSE(batched[i].consensus);
+  }
+}
+
+TEST(InferenceEngine, ConsensusFlagMatchesBodyAgreement) {
+  const auto fused = make_fused(true);
+  InferenceEngine engine(fused);
+  std::size_t consensus_seen = 0;
+  for (std::size_t i = 0; i < 300; ++i) {
+    const data::Record& record = engine_dataset().record(i);
+    const Prediction prediction = engine.predict(record);
+    const bool agree = fused->body()[0]->predict(record) ==
+                       fused->body()[1]->predict(record);
+    EXPECT_EQ(prediction.consensus, agree) << "record " << i;
+    if (agree) {
+      EXPECT_EQ(prediction.predicted, fused->body()[0]->predict(record));
+      ++consensus_seen;
+    }
+  }
+  EXPECT_GT(consensus_seen, 0u);
+  const EngineCounters counters = engine.counters();
+  EXPECT_EQ(counters.consensus_short_circuits, consensus_seen);
+  EXPECT_EQ(counters.requests, 300u);
+}
+
+TEST(InferenceEngine, RepeatedRequestsAreServedFromCache) {
+  const auto fused = make_fused(true);
+  InferenceEngine engine(fused);
+  std::span<const data::Record> records = engine_dataset().records();
+  const auto first = engine.predict_batch(records.subspan(0, 200));
+  const auto second = engine.predict_batch(records.subspan(0, 200));
+  ASSERT_EQ(first.size(), second.size());
+  std::size_t cached = 0;
+  for (std::size_t i = 0; i < second.size(); ++i) {
+    EXPECT_EQ(second[i].scores, first[i].scores);
+    EXPECT_EQ(second[i].predicted, first[i].predicted);
+    if (second[i].cached) ++cached;
+  }
+  // Every repeat must hit the memo (capacity far exceeds 200 records).
+  EXPECT_EQ(cached, second.size());
+  EXPECT_GE(engine.counters().cache_hits, cached);
+}
+
+TEST(InferenceEngine, CacheDisabledStillBitIdentical) {
+  const auto fused = make_fused(true);
+  EngineConfig config;
+  config.result_cache_capacity = 0;
+  InferenceEngine engine(fused, config);
+  std::span<const data::Record> records = engine_dataset().records();
+  const auto first = engine.predict_batch(records.subspan(0, 100));
+  const auto second = engine.predict_batch(records.subspan(0, 100));
+  for (std::size_t i = 0; i < first.size(); ++i) {
+    EXPECT_EQ(first[i].scores, second[i].scores);
+    EXPECT_FALSE(second[i].cached);
+  }
+  EXPECT_EQ(engine.counters().cache_hits, 0u);
+}
+
+TEST(InferenceEngine, TinyCacheEvictsButStaysCorrect) {
+  const auto fused = make_fused(true);
+  EngineConfig config;
+  config.result_cache_capacity = 8;
+  config.max_batch = 4;
+  InferenceEngine engine(fused, config);
+  std::span<const data::Record> records = engine_dataset().records();
+  const auto batched = engine.predict_batch(records.subspan(0, 64));
+  for (std::size_t i = 0; i < batched.size(); ++i) {
+    EXPECT_EQ(batched[i].scores, fused->scores(records[i]));
+  }
+}
+
+TEST(InferenceEngine, ConcurrentSubmittersAllGetCorrectAnswers) {
+  const auto fused = make_fused(true);
+  EngineConfig config;
+  config.workers = 2;
+  config.max_batch = 16;
+  InferenceEngine engine(fused, config);
+  std::span<const data::Record> records = engine_dataset().records();
+
+  constexpr std::size_t kPerThread = 100;
+  std::vector<std::thread> clients;
+  std::vector<std::vector<std::size_t>> answers(4);
+  for (std::size_t t = 0; t < 4; ++t) {
+    clients.emplace_back([&, t]() {
+      answers[t].reserve(kPerThread);
+      for (std::size_t i = 0; i < kPerThread; ++i) {
+        const std::size_t r = (t * 37 + i * 11) % records.size();
+        answers[t].push_back(engine.predict(records[r]).predicted);
+      }
+    });
+  }
+  for (auto& client : clients) client.join();
+  for (std::size_t t = 0; t < 4; ++t) {
+    for (std::size_t i = 0; i < kPerThread; ++i) {
+      const std::size_t r = (t * 37 + i * 11) % records.size();
+      EXPECT_EQ(answers[t][i], fused->predict(records[r]));
+    }
+  }
+}
+
+TEST(InferenceEngine, ShutdownDrainsAndRejectsNewWork) {
+  const auto fused = make_fused(true);
+  InferenceEngine engine(fused);
+  auto pending = engine.submit(engine_dataset().record(0));
+  engine.shutdown();
+  EXPECT_EQ(pending.wait_for(std::chrono::seconds(0)),
+            std::future_status::ready);
+  (void)pending.get();  // in-flight request completed, not dropped
+  EXPECT_THROW((void)engine.submit(engine_dataset().record(1)), Error);
+  engine.shutdown();  // idempotent
+}
+
+TEST(InferenceEngine, LatencyStatsCoverEveryRequest) {
+  const auto fused = make_fused(true);
+  InferenceEngine engine(fused);
+  std::span<const data::Record> records = engine_dataset().records();
+  (void)engine.predict_batch(records.subspan(0, 128));
+  const LatencyStats::Snapshot snap = engine.latency().snapshot();
+  EXPECT_EQ(snap.count, 128u);
+  EXPECT_GT(snap.p50_us, 0.0);
+  EXPECT_LE(snap.p50_us, snap.p95_us);
+  EXPECT_LE(snap.p95_us, snap.p99_us);
+  EXPECT_LE(snap.p99_us, snap.max_us);
+}
+
+}  // namespace
+}  // namespace muffin::serve
