@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/controller_playground.dir/examples/controller_playground.cpp.o"
+  "CMakeFiles/controller_playground.dir/examples/controller_playground.cpp.o.d"
+  "controller_playground"
+  "controller_playground.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/controller_playground.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

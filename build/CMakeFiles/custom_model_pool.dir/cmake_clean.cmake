@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_model_pool.dir/examples/custom_model_pool.cpp.o"
+  "CMakeFiles/custom_model_pool.dir/examples/custom_model_pool.cpp.o.d"
+  "custom_model_pool"
+  "custom_model_pool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_model_pool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

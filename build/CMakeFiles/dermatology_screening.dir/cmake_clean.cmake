@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dermatology_screening.dir/examples/dermatology_screening.cpp.o"
+  "CMakeFiles/dermatology_screening.dir/examples/dermatology_screening.cpp.o.d"
+  "dermatology_screening"
+  "dermatology_screening.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dermatology_screening.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,56 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/single_attribute.cpp" "CMakeFiles/muffin.dir/src/baselines/single_attribute.cpp.o" "gcc" "CMakeFiles/muffin.dir/src/baselines/single_attribute.cpp.o.d"
+  "/root/repo/src/common/error.cpp" "CMakeFiles/muffin.dir/src/common/error.cpp.o" "gcc" "CMakeFiles/muffin.dir/src/common/error.cpp.o.d"
+  "/root/repo/src/common/log.cpp" "CMakeFiles/muffin.dir/src/common/log.cpp.o" "gcc" "CMakeFiles/muffin.dir/src/common/log.cpp.o.d"
+  "/root/repo/src/common/rng.cpp" "CMakeFiles/muffin.dir/src/common/rng.cpp.o" "gcc" "CMakeFiles/muffin.dir/src/common/rng.cpp.o.d"
+  "/root/repo/src/common/stats.cpp" "CMakeFiles/muffin.dir/src/common/stats.cpp.o" "gcc" "CMakeFiles/muffin.dir/src/common/stats.cpp.o.d"
+  "/root/repo/src/common/table.cpp" "CMakeFiles/muffin.dir/src/common/table.cpp.o" "gcc" "CMakeFiles/muffin.dir/src/common/table.cpp.o.d"
+  "/root/repo/src/core/fused.cpp" "CMakeFiles/muffin.dir/src/core/fused.cpp.o" "gcc" "CMakeFiles/muffin.dir/src/core/fused.cpp.o.d"
+  "/root/repo/src/core/head_trainer.cpp" "CMakeFiles/muffin.dir/src/core/head_trainer.cpp.o" "gcc" "CMakeFiles/muffin.dir/src/core/head_trainer.cpp.o.d"
+  "/root/repo/src/core/proxy.cpp" "CMakeFiles/muffin.dir/src/core/proxy.cpp.o" "gcc" "CMakeFiles/muffin.dir/src/core/proxy.cpp.o.d"
+  "/root/repo/src/core/reward.cpp" "CMakeFiles/muffin.dir/src/core/reward.cpp.o" "gcc" "CMakeFiles/muffin.dir/src/core/reward.cpp.o.d"
+  "/root/repo/src/core/score_cache.cpp" "CMakeFiles/muffin.dir/src/core/score_cache.cpp.o" "gcc" "CMakeFiles/muffin.dir/src/core/score_cache.cpp.o.d"
+  "/root/repo/src/core/search.cpp" "CMakeFiles/muffin.dir/src/core/search.cpp.o" "gcc" "CMakeFiles/muffin.dir/src/core/search.cpp.o.d"
+  "/root/repo/src/data/attribute.cpp" "CMakeFiles/muffin.dir/src/data/attribute.cpp.o" "gcc" "CMakeFiles/muffin.dir/src/data/attribute.cpp.o.d"
+  "/root/repo/src/data/dataset.cpp" "CMakeFiles/muffin.dir/src/data/dataset.cpp.o" "gcc" "CMakeFiles/muffin.dir/src/data/dataset.cpp.o.d"
+  "/root/repo/src/data/generators.cpp" "CMakeFiles/muffin.dir/src/data/generators.cpp.o" "gcc" "CMakeFiles/muffin.dir/src/data/generators.cpp.o.d"
+  "/root/repo/src/fairness/composition.cpp" "CMakeFiles/muffin.dir/src/fairness/composition.cpp.o" "gcc" "CMakeFiles/muffin.dir/src/fairness/composition.cpp.o.d"
+  "/root/repo/src/fairness/metrics.cpp" "CMakeFiles/muffin.dir/src/fairness/metrics.cpp.o" "gcc" "CMakeFiles/muffin.dir/src/fairness/metrics.cpp.o.d"
+  "/root/repo/src/fairness/pareto.cpp" "CMakeFiles/muffin.dir/src/fairness/pareto.cpp.o" "gcc" "CMakeFiles/muffin.dir/src/fairness/pareto.cpp.o.d"
+  "/root/repo/src/models/calibrated.cpp" "CMakeFiles/muffin.dir/src/models/calibrated.cpp.o" "gcc" "CMakeFiles/muffin.dir/src/models/calibrated.cpp.o.d"
+  "/root/repo/src/models/model.cpp" "CMakeFiles/muffin.dir/src/models/model.cpp.o" "gcc" "CMakeFiles/muffin.dir/src/models/model.cpp.o.d"
+  "/root/repo/src/models/pool.cpp" "CMakeFiles/muffin.dir/src/models/pool.cpp.o" "gcc" "CMakeFiles/muffin.dir/src/models/pool.cpp.o.d"
+  "/root/repo/src/models/profiles.cpp" "CMakeFiles/muffin.dir/src/models/profiles.cpp.o" "gcc" "CMakeFiles/muffin.dir/src/models/profiles.cpp.o.d"
+  "/root/repo/src/models/trainable.cpp" "CMakeFiles/muffin.dir/src/models/trainable.cpp.o" "gcc" "CMakeFiles/muffin.dir/src/models/trainable.cpp.o.d"
+  "/root/repo/src/nn/activation.cpp" "CMakeFiles/muffin.dir/src/nn/activation.cpp.o" "gcc" "CMakeFiles/muffin.dir/src/nn/activation.cpp.o.d"
+  "/root/repo/src/nn/layer.cpp" "CMakeFiles/muffin.dir/src/nn/layer.cpp.o" "gcc" "CMakeFiles/muffin.dir/src/nn/layer.cpp.o.d"
+  "/root/repo/src/nn/linear.cpp" "CMakeFiles/muffin.dir/src/nn/linear.cpp.o" "gcc" "CMakeFiles/muffin.dir/src/nn/linear.cpp.o.d"
+  "/root/repo/src/nn/loss.cpp" "CMakeFiles/muffin.dir/src/nn/loss.cpp.o" "gcc" "CMakeFiles/muffin.dir/src/nn/loss.cpp.o.d"
+  "/root/repo/src/nn/lstm.cpp" "CMakeFiles/muffin.dir/src/nn/lstm.cpp.o" "gcc" "CMakeFiles/muffin.dir/src/nn/lstm.cpp.o.d"
+  "/root/repo/src/nn/mlp.cpp" "CMakeFiles/muffin.dir/src/nn/mlp.cpp.o" "gcc" "CMakeFiles/muffin.dir/src/nn/mlp.cpp.o.d"
+  "/root/repo/src/nn/optimizer.cpp" "CMakeFiles/muffin.dir/src/nn/optimizer.cpp.o" "gcc" "CMakeFiles/muffin.dir/src/nn/optimizer.cpp.o.d"
+  "/root/repo/src/nn/trainer.cpp" "CMakeFiles/muffin.dir/src/nn/trainer.cpp.o" "gcc" "CMakeFiles/muffin.dir/src/nn/trainer.cpp.o.d"
+  "/root/repo/src/rl/controller.cpp" "CMakeFiles/muffin.dir/src/rl/controller.cpp.o" "gcc" "CMakeFiles/muffin.dir/src/rl/controller.cpp.o.d"
+  "/root/repo/src/rl/search_space.cpp" "CMakeFiles/muffin.dir/src/rl/search_space.cpp.o" "gcc" "CMakeFiles/muffin.dir/src/rl/search_space.cpp.o.d"
+  "/root/repo/src/serve/engine.cpp" "CMakeFiles/muffin.dir/src/serve/engine.cpp.o" "gcc" "CMakeFiles/muffin.dir/src/serve/engine.cpp.o.d"
+  "/root/repo/src/serve/stats.cpp" "CMakeFiles/muffin.dir/src/serve/stats.cpp.o" "gcc" "CMakeFiles/muffin.dir/src/serve/stats.cpp.o.d"
+  "/root/repo/src/serve/thread_pool.cpp" "CMakeFiles/muffin.dir/src/serve/thread_pool.cpp.o" "gcc" "CMakeFiles/muffin.dir/src/serve/thread_pool.cpp.o.d"
+  "/root/repo/src/tensor/matrix.cpp" "CMakeFiles/muffin.dir/src/tensor/matrix.cpp.o" "gcc" "CMakeFiles/muffin.dir/src/tensor/matrix.cpp.o.d"
+  "/root/repo/src/tensor/ops.cpp" "CMakeFiles/muffin.dir/src/tensor/ops.cpp.o" "gcc" "CMakeFiles/muffin.dir/src/tensor/ops.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

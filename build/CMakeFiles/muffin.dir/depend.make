@@ -1,0 +1,2 @@
+# Empty dependencies file for muffin.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/muffin_cli.dir/examples/muffin_cli.cpp.o"
+  "CMakeFiles/muffin_cli.dir/examples/muffin_cli.cpp.o.d"
+  "muffin_cli"
+  "muffin_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/muffin_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/muffin_tests_baselines.dir/tests/baselines/test_single_attribute.cpp.o"
+  "CMakeFiles/muffin_tests_baselines.dir/tests/baselines/test_single_attribute.cpp.o.d"
+  "CMakeFiles/muffin_tests_baselines.dir/tests/baselines/test_transfer_sweep.cpp.o"
+  "CMakeFiles/muffin_tests_baselines.dir/tests/baselines/test_transfer_sweep.cpp.o.d"
+  "muffin_tests_baselines"
+  "muffin_tests_baselines.pdb"
+  "muffin_tests_baselines[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/muffin_tests_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

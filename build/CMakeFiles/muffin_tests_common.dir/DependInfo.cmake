@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/common/test_error.cpp" "CMakeFiles/muffin_tests_common.dir/tests/common/test_error.cpp.o" "gcc" "CMakeFiles/muffin_tests_common.dir/tests/common/test_error.cpp.o.d"
+  "/root/repo/tests/common/test_log.cpp" "CMakeFiles/muffin_tests_common.dir/tests/common/test_log.cpp.o" "gcc" "CMakeFiles/muffin_tests_common.dir/tests/common/test_log.cpp.o.d"
+  "/root/repo/tests/common/test_rng.cpp" "CMakeFiles/muffin_tests_common.dir/tests/common/test_rng.cpp.o" "gcc" "CMakeFiles/muffin_tests_common.dir/tests/common/test_rng.cpp.o.d"
+  "/root/repo/tests/common/test_stats.cpp" "CMakeFiles/muffin_tests_common.dir/tests/common/test_stats.cpp.o" "gcc" "CMakeFiles/muffin_tests_common.dir/tests/common/test_stats.cpp.o.d"
+  "/root/repo/tests/common/test_table.cpp" "CMakeFiles/muffin_tests_common.dir/tests/common/test_table.cpp.o" "gcc" "CMakeFiles/muffin_tests_common.dir/tests/common/test_table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/CMakeFiles/muffin.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/muffin_tests_common.dir/tests/common/test_error.cpp.o"
+  "CMakeFiles/muffin_tests_common.dir/tests/common/test_error.cpp.o.d"
+  "CMakeFiles/muffin_tests_common.dir/tests/common/test_log.cpp.o"
+  "CMakeFiles/muffin_tests_common.dir/tests/common/test_log.cpp.o.d"
+  "CMakeFiles/muffin_tests_common.dir/tests/common/test_rng.cpp.o"
+  "CMakeFiles/muffin_tests_common.dir/tests/common/test_rng.cpp.o.d"
+  "CMakeFiles/muffin_tests_common.dir/tests/common/test_stats.cpp.o"
+  "CMakeFiles/muffin_tests_common.dir/tests/common/test_stats.cpp.o.d"
+  "CMakeFiles/muffin_tests_common.dir/tests/common/test_table.cpp.o"
+  "CMakeFiles/muffin_tests_common.dir/tests/common/test_table.cpp.o.d"
+  "muffin_tests_common"
+  "muffin_tests_common.pdb"
+  "muffin_tests_common[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/muffin_tests_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

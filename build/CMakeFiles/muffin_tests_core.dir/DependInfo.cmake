@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/test_fused.cpp" "CMakeFiles/muffin_tests_core.dir/tests/core/test_fused.cpp.o" "gcc" "CMakeFiles/muffin_tests_core.dir/tests/core/test_fused.cpp.o.d"
+  "/root/repo/tests/core/test_head_trainer.cpp" "CMakeFiles/muffin_tests_core.dir/tests/core/test_head_trainer.cpp.o" "gcc" "CMakeFiles/muffin_tests_core.dir/tests/core/test_head_trainer.cpp.o.d"
+  "/root/repo/tests/core/test_proxy.cpp" "CMakeFiles/muffin_tests_core.dir/tests/core/test_proxy.cpp.o" "gcc" "CMakeFiles/muffin_tests_core.dir/tests/core/test_proxy.cpp.o.d"
+  "/root/repo/tests/core/test_reward.cpp" "CMakeFiles/muffin_tests_core.dir/tests/core/test_reward.cpp.o" "gcc" "CMakeFiles/muffin_tests_core.dir/tests/core/test_reward.cpp.o.d"
+  "/root/repo/tests/core/test_score_cache.cpp" "CMakeFiles/muffin_tests_core.dir/tests/core/test_score_cache.cpp.o" "gcc" "CMakeFiles/muffin_tests_core.dir/tests/core/test_score_cache.cpp.o.d"
+  "/root/repo/tests/core/test_search.cpp" "CMakeFiles/muffin_tests_core.dir/tests/core/test_search.cpp.o" "gcc" "CMakeFiles/muffin_tests_core.dir/tests/core/test_search.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/CMakeFiles/muffin.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

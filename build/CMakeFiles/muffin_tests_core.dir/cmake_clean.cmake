@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/muffin_tests_core.dir/tests/core/test_fused.cpp.o"
+  "CMakeFiles/muffin_tests_core.dir/tests/core/test_fused.cpp.o.d"
+  "CMakeFiles/muffin_tests_core.dir/tests/core/test_head_trainer.cpp.o"
+  "CMakeFiles/muffin_tests_core.dir/tests/core/test_head_trainer.cpp.o.d"
+  "CMakeFiles/muffin_tests_core.dir/tests/core/test_proxy.cpp.o"
+  "CMakeFiles/muffin_tests_core.dir/tests/core/test_proxy.cpp.o.d"
+  "CMakeFiles/muffin_tests_core.dir/tests/core/test_reward.cpp.o"
+  "CMakeFiles/muffin_tests_core.dir/tests/core/test_reward.cpp.o.d"
+  "CMakeFiles/muffin_tests_core.dir/tests/core/test_score_cache.cpp.o"
+  "CMakeFiles/muffin_tests_core.dir/tests/core/test_score_cache.cpp.o.d"
+  "CMakeFiles/muffin_tests_core.dir/tests/core/test_search.cpp.o"
+  "CMakeFiles/muffin_tests_core.dir/tests/core/test_search.cpp.o.d"
+  "muffin_tests_core"
+  "muffin_tests_core.pdb"
+  "muffin_tests_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/muffin_tests_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

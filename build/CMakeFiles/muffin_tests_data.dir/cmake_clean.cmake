@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/muffin_tests_data.dir/tests/data/test_attribute.cpp.o"
+  "CMakeFiles/muffin_tests_data.dir/tests/data/test_attribute.cpp.o.d"
+  "CMakeFiles/muffin_tests_data.dir/tests/data/test_dataset.cpp.o"
+  "CMakeFiles/muffin_tests_data.dir/tests/data/test_dataset.cpp.o.d"
+  "CMakeFiles/muffin_tests_data.dir/tests/data/test_generators.cpp.o"
+  "CMakeFiles/muffin_tests_data.dir/tests/data/test_generators.cpp.o.d"
+  "muffin_tests_data"
+  "muffin_tests_data.pdb"
+  "muffin_tests_data[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/muffin_tests_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

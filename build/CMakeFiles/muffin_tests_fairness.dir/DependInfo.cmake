@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/fairness/test_composition.cpp" "CMakeFiles/muffin_tests_fairness.dir/tests/fairness/test_composition.cpp.o" "gcc" "CMakeFiles/muffin_tests_fairness.dir/tests/fairness/test_composition.cpp.o.d"
+  "/root/repo/tests/fairness/test_metrics.cpp" "CMakeFiles/muffin_tests_fairness.dir/tests/fairness/test_metrics.cpp.o" "gcc" "CMakeFiles/muffin_tests_fairness.dir/tests/fairness/test_metrics.cpp.o.d"
+  "/root/repo/tests/fairness/test_pareto.cpp" "CMakeFiles/muffin_tests_fairness.dir/tests/fairness/test_pareto.cpp.o" "gcc" "CMakeFiles/muffin_tests_fairness.dir/tests/fairness/test_pareto.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/CMakeFiles/muffin.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/muffin_tests_fairness.dir/tests/fairness/test_composition.cpp.o"
+  "CMakeFiles/muffin_tests_fairness.dir/tests/fairness/test_composition.cpp.o.d"
+  "CMakeFiles/muffin_tests_fairness.dir/tests/fairness/test_metrics.cpp.o"
+  "CMakeFiles/muffin_tests_fairness.dir/tests/fairness/test_metrics.cpp.o.d"
+  "CMakeFiles/muffin_tests_fairness.dir/tests/fairness/test_pareto.cpp.o"
+  "CMakeFiles/muffin_tests_fairness.dir/tests/fairness/test_pareto.cpp.o.d"
+  "muffin_tests_fairness"
+  "muffin_tests_fairness.pdb"
+  "muffin_tests_fairness[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/muffin_tests_fairness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

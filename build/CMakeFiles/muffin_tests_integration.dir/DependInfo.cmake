@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/integration/test_ablations.cpp" "CMakeFiles/muffin_tests_integration.dir/tests/integration/test_ablations.cpp.o" "gcc" "CMakeFiles/muffin_tests_integration.dir/tests/integration/test_ablations.cpp.o.d"
+  "/root/repo/tests/integration/test_paper_phenomena.cpp" "CMakeFiles/muffin_tests_integration.dir/tests/integration/test_paper_phenomena.cpp.o" "gcc" "CMakeFiles/muffin_tests_integration.dir/tests/integration/test_paper_phenomena.cpp.o.d"
+  "/root/repo/tests/integration/test_pipeline.cpp" "CMakeFiles/muffin_tests_integration.dir/tests/integration/test_pipeline.cpp.o" "gcc" "CMakeFiles/muffin_tests_integration.dir/tests/integration/test_pipeline.cpp.o.d"
+  "/root/repo/tests/integration/test_three_attributes.cpp" "CMakeFiles/muffin_tests_integration.dir/tests/integration/test_three_attributes.cpp.o" "gcc" "CMakeFiles/muffin_tests_integration.dir/tests/integration/test_three_attributes.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/CMakeFiles/muffin.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/muffin_tests_integration.dir/tests/integration/test_ablations.cpp.o"
+  "CMakeFiles/muffin_tests_integration.dir/tests/integration/test_ablations.cpp.o.d"
+  "CMakeFiles/muffin_tests_integration.dir/tests/integration/test_paper_phenomena.cpp.o"
+  "CMakeFiles/muffin_tests_integration.dir/tests/integration/test_paper_phenomena.cpp.o.d"
+  "CMakeFiles/muffin_tests_integration.dir/tests/integration/test_pipeline.cpp.o"
+  "CMakeFiles/muffin_tests_integration.dir/tests/integration/test_pipeline.cpp.o.d"
+  "CMakeFiles/muffin_tests_integration.dir/tests/integration/test_three_attributes.cpp.o"
+  "CMakeFiles/muffin_tests_integration.dir/tests/integration/test_three_attributes.cpp.o.d"
+  "muffin_tests_integration"
+  "muffin_tests_integration.pdb"
+  "muffin_tests_integration[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/muffin_tests_integration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/models/test_calibrated.cpp" "CMakeFiles/muffin_tests_models.dir/tests/models/test_calibrated.cpp.o" "gcc" "CMakeFiles/muffin_tests_models.dir/tests/models/test_calibrated.cpp.o.d"
+  "/root/repo/tests/models/test_pool.cpp" "CMakeFiles/muffin_tests_models.dir/tests/models/test_pool.cpp.o" "gcc" "CMakeFiles/muffin_tests_models.dir/tests/models/test_pool.cpp.o.d"
+  "/root/repo/tests/models/test_profiles.cpp" "CMakeFiles/muffin_tests_models.dir/tests/models/test_profiles.cpp.o" "gcc" "CMakeFiles/muffin_tests_models.dir/tests/models/test_profiles.cpp.o.d"
+  "/root/repo/tests/models/test_trainable.cpp" "CMakeFiles/muffin_tests_models.dir/tests/models/test_trainable.cpp.o" "gcc" "CMakeFiles/muffin_tests_models.dir/tests/models/test_trainable.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/CMakeFiles/muffin.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/muffin_tests_models.dir/tests/models/test_calibrated.cpp.o"
+  "CMakeFiles/muffin_tests_models.dir/tests/models/test_calibrated.cpp.o.d"
+  "CMakeFiles/muffin_tests_models.dir/tests/models/test_pool.cpp.o"
+  "CMakeFiles/muffin_tests_models.dir/tests/models/test_pool.cpp.o.d"
+  "CMakeFiles/muffin_tests_models.dir/tests/models/test_profiles.cpp.o"
+  "CMakeFiles/muffin_tests_models.dir/tests/models/test_profiles.cpp.o.d"
+  "CMakeFiles/muffin_tests_models.dir/tests/models/test_trainable.cpp.o"
+  "CMakeFiles/muffin_tests_models.dir/tests/models/test_trainable.cpp.o.d"
+  "muffin_tests_models"
+  "muffin_tests_models.pdb"
+  "muffin_tests_models[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/muffin_tests_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

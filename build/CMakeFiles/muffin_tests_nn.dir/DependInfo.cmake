@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/nn/test_activation.cpp" "CMakeFiles/muffin_tests_nn.dir/tests/nn/test_activation.cpp.o" "gcc" "CMakeFiles/muffin_tests_nn.dir/tests/nn/test_activation.cpp.o.d"
+  "/root/repo/tests/nn/test_gradcheck.cpp" "CMakeFiles/muffin_tests_nn.dir/tests/nn/test_gradcheck.cpp.o" "gcc" "CMakeFiles/muffin_tests_nn.dir/tests/nn/test_gradcheck.cpp.o.d"
+  "/root/repo/tests/nn/test_linear.cpp" "CMakeFiles/muffin_tests_nn.dir/tests/nn/test_linear.cpp.o" "gcc" "CMakeFiles/muffin_tests_nn.dir/tests/nn/test_linear.cpp.o.d"
+  "/root/repo/tests/nn/test_loss.cpp" "CMakeFiles/muffin_tests_nn.dir/tests/nn/test_loss.cpp.o" "gcc" "CMakeFiles/muffin_tests_nn.dir/tests/nn/test_loss.cpp.o.d"
+  "/root/repo/tests/nn/test_lstm.cpp" "CMakeFiles/muffin_tests_nn.dir/tests/nn/test_lstm.cpp.o" "gcc" "CMakeFiles/muffin_tests_nn.dir/tests/nn/test_lstm.cpp.o.d"
+  "/root/repo/tests/nn/test_mlp.cpp" "CMakeFiles/muffin_tests_nn.dir/tests/nn/test_mlp.cpp.o" "gcc" "CMakeFiles/muffin_tests_nn.dir/tests/nn/test_mlp.cpp.o.d"
+  "/root/repo/tests/nn/test_optimizer.cpp" "CMakeFiles/muffin_tests_nn.dir/tests/nn/test_optimizer.cpp.o" "gcc" "CMakeFiles/muffin_tests_nn.dir/tests/nn/test_optimizer.cpp.o.d"
+  "/root/repo/tests/nn/test_trainer.cpp" "CMakeFiles/muffin_tests_nn.dir/tests/nn/test_trainer.cpp.o" "gcc" "CMakeFiles/muffin_tests_nn.dir/tests/nn/test_trainer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/CMakeFiles/muffin.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/muffin_tests_nn.dir/tests/nn/test_activation.cpp.o"
+  "CMakeFiles/muffin_tests_nn.dir/tests/nn/test_activation.cpp.o.d"
+  "CMakeFiles/muffin_tests_nn.dir/tests/nn/test_gradcheck.cpp.o"
+  "CMakeFiles/muffin_tests_nn.dir/tests/nn/test_gradcheck.cpp.o.d"
+  "CMakeFiles/muffin_tests_nn.dir/tests/nn/test_linear.cpp.o"
+  "CMakeFiles/muffin_tests_nn.dir/tests/nn/test_linear.cpp.o.d"
+  "CMakeFiles/muffin_tests_nn.dir/tests/nn/test_loss.cpp.o"
+  "CMakeFiles/muffin_tests_nn.dir/tests/nn/test_loss.cpp.o.d"
+  "CMakeFiles/muffin_tests_nn.dir/tests/nn/test_lstm.cpp.o"
+  "CMakeFiles/muffin_tests_nn.dir/tests/nn/test_lstm.cpp.o.d"
+  "CMakeFiles/muffin_tests_nn.dir/tests/nn/test_mlp.cpp.o"
+  "CMakeFiles/muffin_tests_nn.dir/tests/nn/test_mlp.cpp.o.d"
+  "CMakeFiles/muffin_tests_nn.dir/tests/nn/test_optimizer.cpp.o"
+  "CMakeFiles/muffin_tests_nn.dir/tests/nn/test_optimizer.cpp.o.d"
+  "CMakeFiles/muffin_tests_nn.dir/tests/nn/test_trainer.cpp.o"
+  "CMakeFiles/muffin_tests_nn.dir/tests/nn/test_trainer.cpp.o.d"
+  "muffin_tests_nn"
+  "muffin_tests_nn.pdb"
+  "muffin_tests_nn[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/muffin_tests_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/muffin_tests_rl.dir/tests/rl/test_controller.cpp.o"
+  "CMakeFiles/muffin_tests_rl.dir/tests/rl/test_controller.cpp.o.d"
+  "CMakeFiles/muffin_tests_rl.dir/tests/rl/test_sampling_properties.cpp.o"
+  "CMakeFiles/muffin_tests_rl.dir/tests/rl/test_sampling_properties.cpp.o.d"
+  "CMakeFiles/muffin_tests_rl.dir/tests/rl/test_search_space.cpp.o"
+  "CMakeFiles/muffin_tests_rl.dir/tests/rl/test_search_space.cpp.o.d"
+  "muffin_tests_rl"
+  "muffin_tests_rl.pdb"
+  "muffin_tests_rl[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/muffin_tests_rl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

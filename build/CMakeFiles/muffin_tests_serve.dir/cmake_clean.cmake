@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/muffin_tests_serve.dir/tests/serve/test_batcher.cpp.o"
+  "CMakeFiles/muffin_tests_serve.dir/tests/serve/test_batcher.cpp.o.d"
+  "CMakeFiles/muffin_tests_serve.dir/tests/serve/test_engine.cpp.o"
+  "CMakeFiles/muffin_tests_serve.dir/tests/serve/test_engine.cpp.o.d"
+  "CMakeFiles/muffin_tests_serve.dir/tests/serve/test_stats.cpp.o"
+  "CMakeFiles/muffin_tests_serve.dir/tests/serve/test_stats.cpp.o.d"
+  "CMakeFiles/muffin_tests_serve.dir/tests/serve/test_thread_pool.cpp.o"
+  "CMakeFiles/muffin_tests_serve.dir/tests/serve/test_thread_pool.cpp.o.d"
+  "muffin_tests_serve"
+  "muffin_tests_serve.pdb"
+  "muffin_tests_serve[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/muffin_tests_serve.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/muffin_tests_tensor.dir/tests/tensor/test_matrix.cpp.o"
+  "CMakeFiles/muffin_tests_tensor.dir/tests/tensor/test_matrix.cpp.o.d"
+  "CMakeFiles/muffin_tests_tensor.dir/tests/tensor/test_ops.cpp.o"
+  "CMakeFiles/muffin_tests_tensor.dir/tests/tensor/test_ops.cpp.o.d"
+  "muffin_tests_tensor"
+  "muffin_tests_tensor.pdb"
+  "muffin_tests_tensor[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/muffin_tests_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/skin_tone_fairness.dir/examples/skin_tone_fairness.cpp.o"
+  "CMakeFiles/skin_tone_fairness.dir/examples/skin_tone_fairness.cpp.o.d"
+  "skin_tone_fairness"
+  "skin_tone_fairness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/skin_tone_fairness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo
+# Build directory: /root/repo/build
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/muffin_tests_baselines[1]_include.cmake")
+include("/root/repo/build/muffin_tests_common[1]_include.cmake")
+include("/root/repo/build/muffin_tests_core[1]_include.cmake")
+include("/root/repo/build/muffin_tests_data[1]_include.cmake")
+include("/root/repo/build/muffin_tests_fairness[1]_include.cmake")
+include("/root/repo/build/muffin_tests_integration[1]_include.cmake")
+include("/root/repo/build/muffin_tests_models[1]_include.cmake")
+include("/root/repo/build/muffin_tests_nn[1]_include.cmake")
+include("/root/repo/build/muffin_tests_rl[1]_include.cmake")
+include("/root/repo/build/muffin_tests_serve[1]_include.cmake")
+include("/root/repo/build/muffin_tests_tensor[1]_include.cmake")
