@@ -1,11 +1,14 @@
 // bench_serve — serving-runtime throughput on the calibrated ISIC pool.
 //
-// Compares three ways of answering the same request trace with one fused
+// Compares four ways of answering the same request trace with one fused
 // Muffin model:
 //   sequential   per-record FusedModel::scores in a loop (the status quo)
 //   engine/cold  InferenceEngine, result memo disabled — isolates the
 //                micro-batching + consensus-short-circuit machinery
 //   engine       InferenceEngine as configured for production (memo on)
+//   router       ShardRouter over 4 engine replicas, consistent-hash on
+//                uid — the sharded tier; reports aggregate memo hit rate
+//                so memo affinity across shards is visible
 //
 // The trace models steady-state serving traffic: requests drawn uniformly
 // with replacement from the test split, so hot records repeat — the regime
@@ -21,7 +24,7 @@
 
 #include "bench_util.h"
 #include "core/head_trainer.h"
-#include "serve/engine.h"
+#include "serve/router.h"
 #include "tensor/ops.h"
 
 using namespace muffin;
@@ -103,6 +106,29 @@ RunResult run_engine(std::shared_ptr<const core::FusedModel> fused,
   return result;
 }
 
+RunResult run_router(std::shared_ptr<const core::FusedModel> fused,
+                     const std::vector<const data::Record*>& trace,
+                     serve::RouterConfig config) {
+  serve::ShardRouter router(std::move(fused), config);
+  RunResult result;
+  result.predictions.reserve(trace.size());
+  std::vector<std::future<serve::Prediction>> futures;
+  futures.reserve(trace.size());
+  const Clock::time_point start = Clock::now();
+  for (const data::Record* record : trace) {
+    futures.push_back(router.submit(*record));
+  }
+  for (std::future<serve::Prediction>& future : futures) {
+    result.predictions.push_back(future.get().predicted);
+  }
+  result.seconds = seconds_since(start);
+  result.requests_per_second =
+      static_cast<double>(trace.size()) / result.seconds;
+  result.latency = router.aggregate_latency();
+  result.counters = router.aggregate_counters();
+  return result;
+}
+
 bool identical(const std::vector<std::size_t>& a,
                const std::vector<std::size_t>& b) {
   return a == b;
@@ -162,6 +188,12 @@ int main() {
   no_cache.result_cache_capacity = 0;
   serve::EngineConfig small_batch = engine_config;
   small_batch.max_batch = 8;
+  // Sharded tier: 4 replicas splitting the same worker budget, so the
+  // comparison against the single 4-worker engine is core-for-core fair.
+  serve::RouterConfig router_config;
+  router_config.shards = 4;
+  router_config.engine = engine_config;
+  router_config.engine.workers = 1;
 
   std::cout << "trace: " << trace_len << " requests over " << test.size()
             << " distinct records (steady-state) + " << cold_trace.size()
@@ -183,27 +215,47 @@ int main() {
   const RunResult seq = run_sequential(*fused, trace);
   const RunResult eng8 = run_engine(fused, trace, small_batch);
   const RunResult eng32 = run_engine(fused, trace, engine_config);
+  const RunResult routed = run_router(fused, trace, router_config);
   TextTable table({"steady state", "req/s", "speedup", "p50us", "p95us",
                    "p99us", "consensus", "cache_hits"});
   add_row(table, "sequential", seq, seq.requests_per_second, false);
   add_row(table, "engine b=8 w=4", eng8, seq.requests_per_second, true);
   add_row(table, "engine b=32 w=4", eng32, seq.requests_per_second, true);
+  add_row(table, "router s=4 w=1", routed, seq.requests_per_second, true);
   table.print(std::cout);
+
+  // Memo hit rate is the number sharding must not regress: consistent
+  // hashing keeps each uid on one shard, so the sharded hit rate should
+  // match the single engine's (same distinct-record set, same trace).
+  const double engine_hit_rate =
+      static_cast<double>(eng32.counters.cache_hits) /
+      static_cast<double>(eng32.counters.requests);
+  const double router_hit_rate =
+      static_cast<double>(routed.counters.cache_hits) /
+      static_cast<double>(routed.counters.requests);
+  std::cout << "\nsteady-state memo hit rate: engine "
+            << format_percent(engine_hit_rate) << ", sharded router "
+            << format_percent(router_hit_rate) << "\n";
 
   const bool parity = identical(cold_seq.predictions, cold_engine.predictions)
                       && identical(seq.predictions, eng8.predictions) &&
-                      identical(seq.predictions, eng32.predictions);
+                      identical(seq.predictions, eng32.predictions) &&
+                      identical(seq.predictions, routed.predictions);
+  const bool memo_parity = router_hit_rate >= engine_hit_rate - 0.01;
   const double speedup8 = eng8.requests_per_second / seq.requests_per_second;
   const double speedup32 =
       eng32.requests_per_second / seq.requests_per_second;
 
-  std::cout << "\nargmax parity (every request, all runs): "
+  std::cout << "argmax parity (every request, all runs): "
             << (parity ? "bit-identical" : "MISMATCH") << "\n";
+  std::cout << "sharded memo affinity: "
+            << (memo_parity ? "no hit-rate regression" : "REGRESSED") << "\n";
   std::cout << "steady-state speedup: " << format_fixed(speedup8, 2)
             << "x (batch 8), " << format_fixed(speedup32, 2)
             << "x (batch 32); acceptance floor 3.00x\n";
 
-  const bool pass = parity && speedup8 >= 3.0 && speedup32 >= 3.0;
+  const bool pass =
+      parity && memo_parity && speedup8 >= 3.0 && speedup32 >= 3.0;
   std::cout << (pass ? "PASS" : "FAIL") << "\n";
   return pass ? 0 : 1;
 }

@@ -14,6 +14,11 @@
 //       fuse a default two-model muffin and drive the batched serving
 //       engine with a synthetic request trace; prints latency percentiles,
 //       throughput and engine counters
+//   muffin_cli route   [--dataset ...] [--samples N] [--shards S]
+//                      [--workers W] [--batch B] [--requests N]
+//       same trace, but served through the consistent-hash ShardRouter
+//       over S engine replicas; prints the merged aggregate view plus a
+//       per-shard table (routed traffic, memo entries, cache hits)
 //
 // Exit code 0 on success; errors are reported with context on stderr.
 #include <fstream>
@@ -30,6 +35,7 @@
 #include "fairness/metrics.h"
 #include "models/pool.h"
 #include "serve/engine.h"
+#include "serve/router.h"
 
 using namespace muffin;
 
@@ -48,11 +54,12 @@ struct CliOptions {
   std::size_t workers = 4;
   std::size_t batch = 32;
   std::size_t requests = 20000;
+  std::size_t shards = 4;
 };
 
 CliOptions parse(int argc, char** argv) {
   MUFFIN_REQUIRE(argc >= 2,
-                 "usage: muffin_cli <audit|seesaw|search|serve> [...]");
+                 "usage: muffin_cli <audit|seesaw|search|serve|route> [...]");
   CliOptions options;
   options.command = argv[1];
   for (int i = 2; i + 1 < argc; i += 2) {
@@ -80,6 +87,8 @@ CliOptions parse(int argc, char** argv) {
       options.batch = static_cast<std::size_t>(std::stoull(value));
     } else if (key == "--requests") {
       options.requests = static_cast<std::size_t>(std::stoull(value));
+    } else if (key == "--shards") {
+      options.shards = static_cast<std::size_t>(std::stoull(value));
     } else {
       throw Error("unknown option: " + key);
     }
@@ -246,14 +255,9 @@ int run_search(const CliOptions& options) {
   return 0;
 }
 
-int run_serve(const CliOptions& options) {
-  MUFFIN_REQUIRE(options.workers > 0, "--workers must be positive");
-  MUFFIN_REQUIRE(options.batch > 0, "--batch must be positive");
-  MUFFIN_REQUIRE(options.requests > 0, "--requests must be positive");
-  const Workbench bench = make_workbench(options);
-
-  // Fuse a default two-model muffin: first two pool architectures, the
-  // paper's [.,18,12,.] head, trained on the train split.
+/// Fuse a default two-model muffin: first two pool architectures, the
+/// paper's [.,18,12,.] head, trained on the train split.
+std::shared_ptr<core::FusedModel> fuse_default(const Workbench& bench) {
   rl::StructureChoice choice;
   choice.model_indices = {0, 1};
   choice.hidden_dims = {18, 12};
@@ -266,10 +270,18 @@ int run_serve(const CliOptions& options) {
   head_config.epochs = 10;
   nn::Mlp head =
       core::train_head(cache, bench.train, proxy, structure, head_config);
-  auto fused = std::make_shared<core::FusedModel>(
+  return std::make_shared<core::FusedModel>(
       bench.pool.at(0).name() + "+" + bench.pool.at(1).name(),
       std::vector<models::ModelPtr>{bench.pool.share(0), bench.pool.share(1)},
       std::move(head));
+}
+
+int run_serve(const CliOptions& options) {
+  MUFFIN_REQUIRE(options.workers > 0, "--workers must be positive");
+  MUFFIN_REQUIRE(options.batch > 0, "--batch must be positive");
+  MUFFIN_REQUIRE(options.requests > 0, "--requests must be positive");
+  const Workbench bench = make_workbench(options);
+  const std::shared_ptr<core::FusedModel> fused = fuse_default(bench);
   std::cout << "serving " << fused->name() << " ("
             << fused->parameter_count() << " params)\n";
 
@@ -311,6 +323,71 @@ int run_serve(const CliOptions& options) {
   return 0;
 }
 
+int run_route(const CliOptions& options) {
+  MUFFIN_REQUIRE(options.shards > 0, "--shards must be positive");
+  MUFFIN_REQUIRE(options.workers > 0, "--workers must be positive");
+  MUFFIN_REQUIRE(options.batch > 0, "--batch must be positive");
+  MUFFIN_REQUIRE(options.requests > 0, "--requests must be positive");
+  const Workbench bench = make_workbench(options);
+  const std::shared_ptr<core::FusedModel> fused = fuse_default(bench);
+
+  serve::RouterConfig router_config;
+  router_config.shards = options.shards;
+  router_config.engine.workers = options.workers;
+  router_config.engine.max_batch = options.batch;
+  serve::ShardRouter router(fused, router_config);
+  std::cout << "routing " << fused->name() << " across "
+            << options.shards << " shards (" << options.workers
+            << " workers each, " << router_config.virtual_nodes
+            << " virtual nodes per shard)\n";
+
+  // Same steady-state trace as `serve`, so the two subcommands are
+  // directly comparable.
+  const data::Dataset& pool_split = bench.validation;
+  SplitRng trace_rng(4242);
+  std::vector<std::future<serve::Prediction>> futures;
+  futures.reserve(options.requests);
+  for (std::size_t i = 0; i < options.requests; ++i) {
+    futures.push_back(
+        router.submit(pool_split.record(trace_rng.index(pool_split.size()))));
+  }
+  for (auto& future : futures) (void)future.get();
+
+  const serve::LatencyStats::Snapshot merged = router.aggregate_latency();
+  const serve::EngineCounters total = router.aggregate_counters();
+  TextTable aggregate({"aggregate metric", "value"});
+  aggregate.add_row({"requests", std::to_string(total.requests)});
+  aggregate.add_row({"throughput (req/s)",
+                     std::to_string(static_cast<long long>(
+                         merged.requests_per_second))});
+  aggregate.add_row({"p50 latency (us)", format_fixed(merged.p50_us, 0)});
+  aggregate.add_row({"p95 latency (us)", format_fixed(merged.p95_us, 0)});
+  aggregate.add_row({"p99 latency (us)", format_fixed(merged.p99_us, 0)});
+  aggregate.add_row({"consensus short-circuits",
+                     std::to_string(total.consensus_short_circuits)});
+  aggregate.add_row({"cache hits", std::to_string(total.cache_hits)});
+  aggregate.add_row(
+      {"memo hit rate",
+       format_percent(static_cast<double>(total.cache_hits) /
+                      static_cast<double>(total.requests))});
+  aggregate.print(std::cout);
+  std::cout << "\n";
+
+  TextTable per_shard(
+      {"shard", "routed", "memo entries", "cache hits", "p50us", "p99us"});
+  for (const serve::ShardInfo& info : router.shard_infos()) {
+    per_shard.add_row({std::to_string(info.shard),
+                       std::to_string(info.routed),
+                       std::to_string(info.cache_entries),
+                       std::to_string(info.counters.cache_hits),
+                       format_fixed(info.latency.p50_us, 0),
+                       format_fixed(info.latency.p99_us, 0)});
+  }
+  per_shard.print(std::cout);
+  router.shutdown();
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -320,8 +397,9 @@ int main(int argc, char** argv) {
     if (options.command == "seesaw") return run_seesaw(options);
     if (options.command == "search") return run_search(options);
     if (options.command == "serve") return run_serve(options);
+    if (options.command == "route") return run_route(options);
     throw Error("unknown command '" + options.command +
-                "' (expected audit, seesaw, search or serve)");
+                "' (expected audit, seesaw, search, serve or route)");
   } catch (const std::exception& error) {
     std::cerr << "muffin_cli: " << error.what() << "\n";
     return 1;

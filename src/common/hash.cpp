@@ -1,0 +1,56 @@
+#include "common/hash.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace muffin {
+
+namespace {
+
+/// Ring point of virtual node `v` of `node`. Salted so node ids (small
+/// integers in practice) land far apart even for adjacent ids.
+std::uint64_t ring_point(std::uint64_t node, std::size_t v) {
+  return hash_combine(mix64(node ^ 0x9d4c7c3a11e5b3f1ULL),
+                      static_cast<std::uint64_t>(v));
+}
+
+}  // namespace
+
+HashRing::HashRing(std::size_t virtual_nodes) : virtual_nodes_(virtual_nodes) {
+  MUFFIN_REQUIRE(virtual_nodes_ > 0, "hash ring needs virtual_nodes >= 1");
+}
+
+void HashRing::add(std::uint64_t node) {
+  MUFFIN_REQUIRE(!contains(node), "node is already on the ring");
+  members_.insert(
+      std::lower_bound(members_.begin(), members_.end(), node), node);
+  ring_.reserve(ring_.size() + virtual_nodes_);
+  for (std::size_t v = 0; v < virtual_nodes_; ++v) {
+    const std::pair<std::uint64_t, std::uint64_t> point{ring_point(node, v),
+                                                        node};
+    ring_.insert(std::lower_bound(ring_.begin(), ring_.end(), point), point);
+  }
+}
+
+void HashRing::remove(std::uint64_t node) {
+  MUFFIN_REQUIRE(contains(node), "node is not on the ring");
+  members_.erase(std::lower_bound(members_.begin(), members_.end(), node));
+  std::erase_if(ring_, [node](const auto& p) { return p.second == node; });
+}
+
+bool HashRing::contains(std::uint64_t node) const {
+  return std::binary_search(members_.begin(), members_.end(), node);
+}
+
+std::uint64_t HashRing::node_for(std::uint64_t key) const {
+  MUFFIN_REQUIRE(!ring_.empty(), "lookup on an empty hash ring");
+  const std::uint64_t h = mix64(key);
+  // First ring point at or after h; wrap to the start past the last point.
+  const auto it = std::lower_bound(
+      ring_.begin(), ring_.end(), h,
+      [](const auto& p, std::uint64_t value) { return p.first < value; });
+  return it == ring_.end() ? ring_.front().second : it->second;
+}
+
+}  // namespace muffin

@@ -1,6 +1,7 @@
 #include "common/rng.h"
 
 #include "common/error.h"
+#include "common/hash.h"
 
 namespace muffin {
 
@@ -14,14 +15,12 @@ std::uint64_t fnv1a64(std::string_view text) {
 }
 
 SplitRng SplitRng::fork(std::string_view name) const {
-  // Mix the master seed with the substream name; the multiply/xor spreading
-  // (splitmix64 finalizer) keeps adjacent names decorrelated.
+  // Mix the master seed with the substream name; one splitmix64 step
+  // keeps adjacent names decorrelated. (splitmix64_next reproduces the
+  // historical inline arithmetic bit-for-bit, so forked streams are
+  // stable across this refactor.)
   std::uint64_t z = seed_ ^ fnv1a64(name);
-  z += 0x9e3779b97f4a7c15ULL;
-  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
-  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
-  z ^= z >> 31;
-  return SplitRng(z);
+  return SplitRng(splitmix64_next(z));
 }
 
 double SplitRng::uniform() {

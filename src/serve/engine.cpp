@@ -149,8 +149,12 @@ void InferenceEngine::process_batch(std::vector<Request> batch) {
   {
     const std::lock_guard<std::mutex> lock(inflight_mutex_);
     --inflight_batches_;
+    // Notify while holding the mutex: shutdown() destroys this engine as
+    // soon as its wait observes zero in-flight batches, so an unlocked
+    // notify here could land on an already-destroyed condition variable
+    // (caught by TSan as pthread_cond_broadcast vs pthread_cond_destroy).
+    inflight_done_.notify_all();
   }
-  inflight_done_.notify_all();
 }
 
 Prediction InferenceEngine::score_row(std::span<const double> gathered,
@@ -170,6 +174,16 @@ Prediction InferenceEngine::score_row(std::span<const double> gathered,
   prediction.scores = std::move(fused.scores);
   prediction.consensus = fused.consensus;
   return prediction;
+}
+
+std::size_t InferenceEngine::cache_entries() const {
+  const std::lock_guard<std::mutex> lock(cache_mutex_);
+  return cache_index_.size();
+}
+
+bool InferenceEngine::cache_contains(std::uint64_t uid) const {
+  const std::lock_guard<std::mutex> lock(cache_mutex_);
+  return cache_index_.find(uid) != cache_index_.end();
 }
 
 bool InferenceEngine::cache_lookup(std::uint64_t uid, Prediction& out) {

@@ -103,6 +103,13 @@ class InferenceEngine {
   [[nodiscard]] const LatencyStats& latency() const { return latency_; }
   [[nodiscard]] EngineCounters counters() const;
 
+  // Shard-local memo introspection (used by ShardRouter and the sharding
+  // tests to verify uid affinity without perturbing the LRU order).
+  /// Number of uids currently memoized. 0 whenever the cache is disabled.
+  [[nodiscard]] std::size_t cache_entries() const;
+  /// Whether `uid` is currently memoized; does not touch recency order.
+  [[nodiscard]] bool cache_contains(std::uint64_t uid) const;
+
  private:
   using Clock = std::chrono::steady_clock;
 
@@ -131,7 +138,7 @@ class InferenceEngine {
   std::vector<nn::Mlp> worker_heads_;  ///< one clone per pool worker
 
   // Bounded LRU result memo: uid -> prediction, most recent at the front.
-  std::mutex cache_mutex_;
+  mutable std::mutex cache_mutex_;
   std::list<std::pair<std::uint64_t, Prediction>> cache_order_;
   std::unordered_map<std::uint64_t, decltype(cache_order_)::iterator>
       cache_index_;

@@ -1,0 +1,194 @@
+#include "serve/router.h"
+
+#include "common/error.h"
+
+namespace muffin::serve {
+
+ShardRouter::ShardRouter(std::shared_ptr<const core::FusedModel> model,
+                         RouterConfig config)
+    : model_(std::move(model)),
+      config_(config),
+      ring_(config.virtual_nodes) {
+  MUFFIN_REQUIRE(model_ != nullptr, "router needs a fused model");
+  MUFFIN_REQUIRE(config_.shards > 0, "router needs at least one shard");
+  for (std::size_t s = 0; s < config_.shards; ++s) {
+    (void)add_replica_locked();  // construction is single-threaded
+  }
+}
+
+ShardRouter::~ShardRouter() { shutdown(); }
+
+std::future<Prediction> ShardRouter::submit(const data::Record& record) {
+  const std::shared_lock<std::shared_mutex> lock(mutex_);
+  MUFFIN_REQUIRE(!stopped_, "cannot submit to a stopped router");
+  Replica& replica = *replicas_[ring_.node_for(record.uid)];
+  replica.routed.fetch_add(1, std::memory_order_relaxed);
+  return replica.engine->submit(record);
+}
+
+Prediction ShardRouter::predict(const data::Record& record) {
+  return submit(record).get();
+}
+
+std::vector<Prediction> ShardRouter::predict_batch(
+    std::span<const data::Record> records) {
+  std::vector<std::future<Prediction>> futures;
+  futures.reserve(records.size());
+  for (const data::Record& record : records) {
+    futures.push_back(submit(record));
+  }
+  std::vector<Prediction> predictions;
+  predictions.reserve(records.size());
+  for (std::future<Prediction>& future : futures) {
+    predictions.push_back(future.get());
+  }
+  return predictions;
+}
+
+void ShardRouter::shutdown() {
+  const std::unique_lock<std::shared_mutex> lock(mutex_);
+  if (stopped_) return;
+  stopped_ = true;
+  for (const std::unique_ptr<Replica>& replica : replicas_) {
+    if (replica->state != State::Removed) replica->engine->shutdown();
+  }
+}
+
+std::size_t ShardRouter::shard_for(std::uint64_t uid) const {
+  const std::shared_lock<std::shared_mutex> lock(mutex_);
+  MUFFIN_REQUIRE(!stopped_, "shard_for on a stopped router");
+  return static_cast<std::size_t>(ring_.node_for(uid));
+}
+
+std::size_t ShardRouter::add_replica() {
+  const std::unique_lock<std::shared_mutex> lock(mutex_);
+  MUFFIN_REQUIRE(!stopped_, "cannot add a replica to a stopped router");
+  return add_replica_locked();
+}
+
+std::size_t ShardRouter::add_replica_locked() {
+  const std::size_t shard = replicas_.size();
+  auto replica = std::make_unique<Replica>();
+  replica->engine =
+      std::make_unique<InferenceEngine>(model_, config_.engine);
+  replicas_.push_back(std::move(replica));
+  ring_.add(static_cast<std::uint64_t>(shard));
+  return shard;
+}
+
+void ShardRouter::drain(std::size_t shard) {
+  const std::unique_lock<std::shared_mutex> lock(mutex_);
+  MUFFIN_REQUIRE(!stopped_, "cannot drain on a stopped router");
+  Replica& replica = checked_locked(shard);
+  MUFFIN_REQUIRE(replica.state == State::Active,
+                 "can only drain an active replica");
+  MUFFIN_REQUIRE(active_count_locked() > 1,
+                 "cannot drain the last active replica");
+  ring_.remove(static_cast<std::uint64_t>(shard));
+  replica.state = State::Drained;
+}
+
+void ShardRouter::restore(std::size_t shard) {
+  const std::unique_lock<std::shared_mutex> lock(mutex_);
+  MUFFIN_REQUIRE(!stopped_, "cannot restore on a stopped router");
+  Replica& replica = checked_locked(shard);
+  MUFFIN_REQUIRE(replica.state == State::Drained,
+                 "can only restore a drained replica");
+  ring_.add(static_cast<std::uint64_t>(shard));
+  replica.state = State::Active;
+}
+
+void ShardRouter::remove_replica(std::size_t shard) {
+  const std::unique_lock<std::shared_mutex> lock(mutex_);
+  MUFFIN_REQUIRE(!stopped_, "cannot remove a replica on a stopped router");
+  Replica& replica = checked_locked(shard);
+  MUFFIN_REQUIRE(replica.state != State::Removed,
+                 "replica is already removed");
+  if (replica.state == State::Active) {
+    MUFFIN_REQUIRE(active_count_locked() > 1,
+                   "cannot remove the last active replica");
+    ring_.remove(static_cast<std::uint64_t>(shard));
+  }
+  replica.state = State::Removed;
+  // Holding the exclusive lock here is what makes removal safe: no
+  // submitter can be between routing and engine->submit while the engine
+  // stops. In-flight batches complete on the engine's own pool.
+  replica.engine->shutdown();
+}
+
+std::size_t ShardRouter::replica_count() const {
+  const std::shared_lock<std::shared_mutex> lock(mutex_);
+  return replicas_.size();
+}
+
+std::size_t ShardRouter::active_count() const {
+  const std::shared_lock<std::shared_mutex> lock(mutex_);
+  return active_count_locked();
+}
+
+bool ShardRouter::active(std::size_t shard) const {
+  const std::shared_lock<std::shared_mutex> lock(mutex_);
+  return checked_locked(shard).state == State::Active;
+}
+
+const InferenceEngine& ShardRouter::replica(std::size_t shard) const {
+  const std::shared_lock<std::shared_mutex> lock(mutex_);
+  return *checked_locked(shard).engine;
+}
+
+LatencyStats::Snapshot ShardRouter::aggregate_latency() const {
+  const std::shared_lock<std::shared_mutex> lock(mutex_);
+  LatencyStats merged;
+  for (const std::unique_ptr<Replica>& replica : replicas_) {
+    merged.merge(replica->engine->latency());
+  }
+  return merged.snapshot();
+}
+
+EngineCounters ShardRouter::aggregate_counters() const {
+  const std::shared_lock<std::shared_mutex> lock(mutex_);
+  EngineCounters total;
+  for (const std::unique_ptr<Replica>& replica : replicas_) {
+    const EngineCounters c = replica->engine->counters();
+    total.requests += c.requests;
+    total.batches += c.batches;
+    total.cache_hits += c.cache_hits;
+    total.consensus_short_circuits += c.consensus_short_circuits;
+    total.head_evaluations += c.head_evaluations;
+  }
+  return total;
+}
+
+std::vector<ShardInfo> ShardRouter::shard_infos() const {
+  const std::shared_lock<std::shared_mutex> lock(mutex_);
+  std::vector<ShardInfo> infos;
+  infos.reserve(replicas_.size());
+  for (std::size_t s = 0; s < replicas_.size(); ++s) {
+    const Replica& replica = *replicas_[s];
+    ShardInfo info;
+    info.shard = s;
+    info.active = replica.state == State::Active;
+    info.alive = replica.state != State::Removed;
+    info.routed = replica.routed.load(std::memory_order_relaxed);
+    info.cache_entries = replica.engine->cache_entries();
+    info.counters = replica.engine->counters();
+    info.latency = replica.engine->latency().snapshot();
+    infos.push_back(std::move(info));
+  }
+  return infos;
+}
+
+ShardRouter::Replica& ShardRouter::checked_locked(std::size_t shard) const {
+  MUFFIN_REQUIRE(shard < replicas_.size(), "shard id out of range");
+  return *replicas_[shard];
+}
+
+std::size_t ShardRouter::active_count_locked() const {
+  std::size_t active = 0;
+  for (const std::unique_ptr<Replica>& replica : replicas_) {
+    if (replica->state == State::Active) ++active;
+  }
+  return active;
+}
+
+}  // namespace muffin::serve

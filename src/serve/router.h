@@ -1,0 +1,149 @@
+// Sharded serving tier: consistent-hash routing over engine replicas.
+//
+// One InferenceEngine batches and memoizes on a single host's worth of
+// cores; the next scale step is partitioning traffic across N engine
+// replicas. ShardRouter fronts N in-process replicas behind the same
+// predict/predict_async surface as the engine itself and routes every
+// request by consistent hash on the record uid (muffin::HashRing, virtual
+// nodes on a 64-bit ring). Routing by uid is what makes sharding
+// composable with the engine's result memo: a repeated uid always lands
+// on the shard whose LRU already holds its prediction, so the aggregate
+// memo behaves like one cache with N times the capacity and no
+// cross-shard duplication.
+//
+// Topology is dynamic:
+//  * add_replica() spins up a fresh engine and takes its ring points;
+//    only the uids adjacent to those points move (expected K/(N+1) of K
+//    warmed keys), everyone else keeps their warm memo.
+//  * drain(shard) takes a replica off the ring without stopping its
+//    engine — the degraded-mode path. Traffic re-routes to ring
+//    successors; in-flight requests still complete; the drained memo
+//    stays warm so restore(shard) resumes exactly where it left off.
+//  * remove_replica(shard) drains and permanently shuts the engine down.
+//
+// Every routed answer is bit-identical to FusedModel::scores: replicas
+// share one immutable FusedModel and each engine already guarantees
+// bit-identity, so the router adds placement, not arithmetic.
+// tests/serve/test_router.cpp proves this across shard counts, and
+// tests/serve/test_stress.cpp hammers the router with concurrent clients
+// and concurrent topology changes (run under TSan in CI).
+//
+// Thread safety: submit/predict may be called from any number of client
+// threads concurrently with topology changes and stats aggregation.
+// Routing takes a shared lock; topology mutation takes the exclusive
+// lock. Engines are never destroyed while the router lives, so per-shard
+// counters stay readable even for removed replicas.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <shared_mutex>
+#include <span>
+#include <vector>
+
+#include "common/hash.h"
+#include "serve/engine.h"
+
+namespace muffin::serve {
+
+struct RouterConfig {
+  std::size_t shards = 2;          ///< initial replica count
+  std::size_t virtual_nodes = 64;  ///< ring points per replica
+  EngineConfig engine;             ///< applied to every replica
+};
+
+/// Point-in-time view of one shard, for operator tables and tests.
+struct ShardInfo {
+  std::size_t shard = 0;
+  bool active = false;  ///< on the ring (receiving new traffic)
+  bool alive = false;   ///< engine running (false once removed)
+  std::size_t routed = 0;  ///< requests this router sent to the shard
+  std::size_t cache_entries = 0;
+  EngineCounters counters;
+  LatencyStats::Snapshot latency;
+};
+
+class ShardRouter {
+ public:
+  explicit ShardRouter(std::shared_ptr<const core::FusedModel> model,
+                       RouterConfig config = {});
+  ~ShardRouter();
+
+  ShardRouter(const ShardRouter&) = delete;
+  ShardRouter& operator=(const ShardRouter&) = delete;
+
+  /// Route one record to its shard; the future completes when that
+  /// shard's engine scores it.
+  [[nodiscard]] std::future<Prediction> submit(const data::Record& record);
+
+  /// Synchronous single-record convenience: submit + wait.
+  [[nodiscard]] Prediction predict(const data::Record& record);
+
+  /// Submit every record, wait for all, return predictions in input order.
+  [[nodiscard]] std::vector<Prediction> predict_batch(
+      std::span<const data::Record> records);
+
+  /// Shut every replica down (idempotent). New submissions are rejected.
+  void shutdown();
+
+  /// The shard a uid routes to right now. Throws once the router is
+  /// stopped or if every replica is drained.
+  [[nodiscard]] std::size_t shard_for(std::uint64_t uid) const;
+
+  /// Add a fresh replica (cold memo) and return its shard id. Only keys
+  /// adjacent to its ring points move to it.
+  std::size_t add_replica();
+
+  /// Degraded mode: stop routing new traffic to `shard` but keep its
+  /// engine (and memo) alive. Throws if the shard is not active or is the
+  /// last active replica.
+  void drain(std::size_t shard);
+
+  /// Put a drained replica back on the ring; its memo is still warm.
+  void restore(std::size_t shard);
+
+  /// Drain (if needed) and permanently shut down `shard`'s engine.
+  void remove_replica(std::size_t shard);
+
+  /// Total replicas ever created (shard ids are stable, never reused).
+  [[nodiscard]] std::size_t replica_count() const;
+  /// Replicas currently on the ring.
+  [[nodiscard]] std::size_t active_count() const;
+  [[nodiscard]] bool active(std::size_t shard) const;
+  [[nodiscard]] const InferenceEngine& replica(std::size_t shard) const;
+
+  /// Merged accounting across every replica that ever served traffic:
+  /// exact count/mean/max, reservoir-merged percentiles, wall-clock
+  /// throughput (LatencyStats::merge semantics).
+  [[nodiscard]] LatencyStats::Snapshot aggregate_latency() const;
+  [[nodiscard]] EngineCounters aggregate_counters() const;
+  [[nodiscard]] std::vector<ShardInfo> shard_infos() const;
+
+  [[nodiscard]] const RouterConfig& config() const { return config_; }
+
+ private:
+  enum class State { Active, Drained, Removed };
+
+  struct Replica {
+    std::unique_ptr<InferenceEngine> engine;
+    State state = State::Active;
+    std::atomic<std::size_t> routed{0};
+  };
+
+  /// Requires the exclusive lock.
+  std::size_t add_replica_locked();
+  [[nodiscard]] Replica& checked_locked(std::size_t shard) const;
+  [[nodiscard]] std::size_t active_count_locked() const;
+
+  std::shared_ptr<const core::FusedModel> model_;
+  RouterConfig config_;
+
+  mutable std::shared_mutex mutex_;
+  std::vector<std::unique_ptr<Replica>> replicas_;
+  HashRing ring_;
+  bool stopped_ = false;
+};
+
+}  // namespace muffin::serve

@@ -7,6 +7,16 @@
 // bounded uniform reservoir (Vitter's Algorithm R), so memory stays
 // constant no matter how long the serving process lives. Below the
 // reservoir capacity the sample is complete and percentiles are exact too.
+//
+// Sharded serving adds `merge`: fold another instance's accounting into
+// this one, so a router can present one aggregate view over per-replica
+// stats. Count, mean and max merge exactly; merged percentiles are exact
+// while both sides' reservoirs are complete (no side has recorded past
+// its capacity) and their union fits this reservoir, and come from a
+// count-weighted subsample (Efraimidis–Spirakis) beyond that. Within the
+// exact regime merge is commutative and associative (the percentile of a
+// sample set does not depend on concatenation order), which is what makes
+// shard-then-aggregate report the same numbers as one global collector.
 #pragma once
 
 #include <chrono>
@@ -28,6 +38,20 @@ class LatencyStats {
 
   /// Record one request latency; safe to call concurrently.
   void record(std::chrono::nanoseconds latency);
+
+  /// Fold `other`'s accounting into this instance (other is unchanged).
+  /// Safe against concurrent record/snapshot on either side; merging an
+  /// instance into itself is an error. The throughput clock becomes the
+  /// earlier of the two start times, so an aggregate over replicas that
+  /// ran in parallel reports wall-clock throughput, not summed time.
+  ///
+  /// Intended pattern: fold shards into a scratch instance, snapshot,
+  /// discard (ShardRouter::aggregate_latency). Continuing to record()
+  /// into an instance after a non-exact merge (one where a side had
+  /// overflowed its reservoir) is safe but mixes per-entry sample
+  /// weights, so subsequent percentiles lean toward post-merge traffic;
+  /// count/mean/max stay exact regardless.
+  void merge(const LatencyStats& other);
 
   /// Drop all samples and restart the throughput clock.
   void reset();

@@ -1,0 +1,46 @@
+// Shared fixture recipe for the serve test suites.
+//
+// Every serve suite exercises the same two-model muffin (ShuffleNet +
+// DenseNet body, the paper's [.,18,12,.] head) over a calibrated ISIC
+// pool; only dataset size/seed and training epochs vary per suite. The
+// recipe lives here once so the three suites cannot drift, and each TU
+// caches the (deterministic) result in a static — training once per
+// binary instead of once per test, which matters ~10x under TSan.
+#pragma once
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "core/head_trainer.h"
+#include "data/generators.h"
+#include "models/pool.h"
+
+namespace muffin::serve::testutil {
+
+/// Train and fuse the standard two-model test muffin over `dataset`.
+inline std::shared_ptr<core::FusedModel> build_fused(
+    const models::ModelPool& pool, const data::Dataset& dataset,
+    std::size_t epochs, bool head_only_on_disagreement = true) {
+  rl::StructureChoice choice;
+  choice.model_indices = {pool.index_of("ShuffleNet_V2_X1_0"),
+                          pool.index_of("DenseNet121")};
+  choice.hidden_dims = {18, 12};
+  choice.activation = nn::Activation::Relu;
+  const core::FusingStructure structure =
+      core::FusingStructure::from_choice(choice, dataset.num_classes());
+
+  const core::ScoreCache cache(pool, dataset);
+  const core::ProxyDataset proxy = core::build_proxy(dataset);
+  core::HeadTrainConfig config;
+  config.epochs = epochs;
+  nn::Mlp head = core::train_head(cache, dataset, proxy, structure, config);
+
+  std::vector<models::ModelPtr> body = {pool.share(choice.model_indices[0]),
+                                        pool.share(choice.model_indices[1])};
+  return std::make_shared<core::FusedModel>("Muffin", std::move(body),
+                                            std::move(head),
+                                            head_only_on_disagreement);
+}
+
+}  // namespace muffin::serve::testutil

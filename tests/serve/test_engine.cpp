@@ -2,11 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <thread>
 
 #include "common/error.h"
-#include "core/head_trainer.h"
-#include "data/generators.h"
+#include "serve_test_util.h"
 #include "tensor/ops.h"
 
 namespace muffin::serve {
@@ -23,27 +23,16 @@ const models::ModelPool& engine_pool() {
   return pool;
 }
 
+// One shared immutable FusedModel per gate variant (training is
+// deterministic; retraining per test would dominate TSan runtime).
 std::shared_ptr<core::FusedModel> make_fused(bool head_only_on_disagreement) {
-  rl::StructureChoice choice;
-  choice.model_indices = {engine_pool().index_of("ShuffleNet_V2_X1_0"),
-                          engine_pool().index_of("DenseNet121")};
-  choice.hidden_dims = {18, 12};
-  choice.activation = nn::Activation::Relu;
-  const core::FusingStructure structure = core::FusingStructure::from_choice(
-      choice, engine_dataset().num_classes());
-
-  static const core::ScoreCache cache(engine_pool(), engine_dataset());
-  static const core::ProxyDataset proxy = core::build_proxy(engine_dataset());
-  core::HeadTrainConfig config;
-  config.epochs = 6;
-  nn::Mlp head =
-      core::train_head(cache, engine_dataset(), proxy, structure, config);
-
-  std::vector<models::ModelPtr> body = {
-      engine_pool().share(choice.model_indices[0]),
-      engine_pool().share(choice.model_indices[1])};
-  return std::make_shared<core::FusedModel>(
-      "Muffin", std::move(body), std::move(head), head_only_on_disagreement);
+  static const std::shared_ptr<core::FusedModel> gated =
+      testutil::build_fused(engine_pool(), engine_dataset(), /*epochs=*/6,
+                            /*head_only_on_disagreement=*/true);
+  static const std::shared_ptr<core::FusedModel> ungated =
+      testutil::build_fused(engine_pool(), engine_dataset(), /*epochs=*/6,
+                            /*head_only_on_disagreement=*/false);
+  return head_only_on_disagreement ? gated : ungated;
 }
 
 TEST(InferenceEngine, RejectsBadConstruction) {
@@ -136,6 +125,61 @@ TEST(InferenceEngine, CacheDisabledStillBitIdentical) {
     EXPECT_FALSE(second[i].cached);
   }
   EXPECT_EQ(engine.counters().cache_hits, 0u);
+}
+
+TEST(InferenceEngine, DisabledCacheNeverMemoizesEvenUnderConcurrency) {
+  // Regression for the result_cache_capacity = 0 path: a disabled cache
+  // must never memoize (no entry, no cached flag, no hit counter) and
+  // must never crash, including when hot uids hammer it from many
+  // threads at once.
+  const auto fused = make_fused(true);
+  EngineConfig config;
+  config.result_cache_capacity = 0;
+  config.workers = 2;
+  config.max_batch = 8;
+  InferenceEngine engine(fused, config);
+  std::span<const data::Record> records = engine_dataset().records();
+
+  std::vector<std::thread> clients;
+  std::atomic<std::size_t> cached_answers{0};
+  for (std::size_t t = 0; t < 4; ++t) {
+    clients.emplace_back([&]() {
+      for (std::size_t i = 0; i < 50; ++i) {
+        // Everyone hits the same 8 hot records — maximum memo pressure.
+        if (engine.predict(records[i % 8]).cached) {
+          cached_answers.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& client : clients) client.join();
+  EXPECT_EQ(cached_answers.load(), 0u);
+  EXPECT_EQ(engine.counters().cache_hits, 0u);
+  EXPECT_EQ(engine.cache_entries(), 0u);
+  EXPECT_FALSE(engine.cache_contains(records[0].uid));
+}
+
+TEST(InferenceEngine, CacheIntrospectionTracksMemoContents) {
+  const auto fused = make_fused(true);
+  InferenceEngine engine(fused);
+  std::span<const data::Record> records = engine_dataset().records();
+  EXPECT_EQ(engine.cache_entries(), 0u);
+  (void)engine.predict_batch(records.subspan(0, 50));
+  EXPECT_EQ(engine.cache_entries(), 50u);
+  for (std::size_t i = 0; i < 50; ++i) {
+    EXPECT_TRUE(engine.cache_contains(records[i].uid)) << "record " << i;
+  }
+  EXPECT_FALSE(engine.cache_contains(records[50].uid));
+  // cache_contains is a pure observer: it must not refresh LRU recency.
+  EngineConfig tiny;
+  tiny.result_cache_capacity = 4;
+  tiny.max_batch = 1;
+  InferenceEngine small(fused, tiny);
+  for (std::size_t i = 0; i < 4; ++i) (void)small.predict(records[i]);
+  ASSERT_TRUE(small.cache_contains(records[0].uid));
+  (void)small.predict(records[4]);  // evicts the oldest entry: record 0
+  EXPECT_FALSE(small.cache_contains(records[0].uid));
+  EXPECT_EQ(small.cache_entries(), 4u);
 }
 
 TEST(InferenceEngine, TinyCacheEvictsButStaysCorrect) {

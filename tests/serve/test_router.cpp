@@ -1,0 +1,328 @@
+// Correctness suite for the sharded serving tier (serve::ShardRouter).
+//
+// The contract under test, in order of importance:
+//  1. Routed predictions are bit-identical to FusedModel::scores for any
+//     shard count — sharding adds placement, never arithmetic.
+//  2. Uid affinity: a uid always routes to the same shard, and only that
+//     shard's memo ever holds it.
+//  3. Resharding moves few keys: growing N -> N+1 replicas relocates at
+//     most ~2·K/N of K warmed uids; everyone else keeps a warm memo.
+//  4. Drain/restore/remove re-route correctly and preserve (or retire)
+//     shard-local state as documented.
+#include "serve/router.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <unordered_map>
+
+#include "common/error.h"
+#include "serve_test_util.h"
+#include "tensor/ops.h"
+
+namespace muffin::serve {
+namespace {
+
+const data::Dataset& router_dataset() {
+  static const data::Dataset ds = data::synthetic_isic2019(1000, 41);
+  return ds;
+}
+
+const models::ModelPool& router_pool() {
+  static const models::ModelPool pool =
+      models::calibrated_isic_pool(router_dataset());
+  return pool;
+}
+
+// One shared immutable FusedModel for the whole suite: training is
+// deterministic, FusedModel is thread-safe for scores(), and sharing one
+// model across routers is exactly the production pattern — so there is
+// nothing to gain from retraining per test (it would dominate runtime
+// under TSan).
+std::shared_ptr<core::FusedModel> make_fused() {
+  static const std::shared_ptr<core::FusedModel> shared =
+      testutil::build_fused(router_pool(), router_dataset(), /*epochs=*/6);
+  return shared;
+}
+
+RouterConfig small_router(std::size_t shards) {
+  RouterConfig config;
+  config.shards = shards;
+  config.engine.workers = 2;
+  config.engine.max_batch = 16;
+  config.engine.max_delay = std::chrono::microseconds(200);
+  return config;
+}
+
+TEST(ShardRouter, RejectsBadConstruction) {
+  EXPECT_THROW(ShardRouter(nullptr), Error);
+  RouterConfig no_shards;
+  no_shards.shards = 0;
+  EXPECT_THROW(ShardRouter(make_fused(), no_shards), Error);
+  RouterConfig no_vnodes;
+  no_vnodes.virtual_nodes = 0;
+  EXPECT_THROW(ShardRouter(make_fused(), no_vnodes), Error);
+}
+
+TEST(ShardRouter, BitIdenticalToFusedScoresAcrossShardCounts) {
+  const auto fused = make_fused();
+  std::span<const data::Record> records = router_dataset().records();
+  for (const std::size_t shards : {1u, 2u, 4u, 8u}) {
+    ShardRouter router(fused, small_router(shards));
+    const std::vector<Prediction> routed = router.predict_batch(records);
+    ASSERT_EQ(routed.size(), records.size());
+    for (std::size_t i = 0; i < records.size(); ++i) {
+      const tensor::Vector expected = fused->scores(records[i]);
+      ASSERT_EQ(routed[i].scores, expected)
+          << "shards=" << shards << " record " << i;
+      ASSERT_EQ(routed[i].predicted, tensor::argmax(expected))
+          << "shards=" << shards << " record " << i;
+    }
+  }
+}
+
+TEST(ShardRouter, UidAffinityIsStableAndExclusive) {
+  const auto fused = make_fused();
+  ShardRouter router(fused, small_router(4));
+  std::span<const data::Record> records = router_dataset().records();
+  const std::size_t k = 256;
+
+  // The routing decision is a pure function of the uid.
+  std::unordered_map<std::uint64_t, std::size_t> owner;
+  for (std::size_t i = 0; i < k; ++i) {
+    const std::uint64_t uid = records[i].uid;
+    owner[uid] = router.shard_for(uid);
+    EXPECT_EQ(router.shard_for(uid), owner[uid]);
+  }
+
+  // After serving, each uid is memoized on its owner shard and nowhere
+  // else — the aggregate memo holds every uid exactly once.
+  (void)router.predict_batch(records.subspan(0, k));
+  for (std::size_t i = 0; i < k; ++i) {
+    const std::uint64_t uid = records[i].uid;
+    for (std::size_t s = 0; s < router.replica_count(); ++s) {
+      EXPECT_EQ(router.replica(s).cache_contains(uid), s == owner[uid])
+          << "uid " << uid << " shard " << s;
+    }
+  }
+  std::size_t total_entries = 0;
+  for (const ShardInfo& info : router.shard_infos()) {
+    total_entries += info.cache_entries;
+  }
+  EXPECT_EQ(total_entries, k);
+}
+
+TEST(ShardRouter, RepeatsAreServedFromOwnerShardMemo) {
+  const auto fused = make_fused();
+  ShardRouter router(fused, small_router(4));
+  std::span<const data::Record> records = router_dataset().records();
+  const auto first = router.predict_batch(records.subspan(0, 200));
+  const auto second = router.predict_batch(records.subspan(0, 200));
+  ASSERT_EQ(first.size(), second.size());
+  for (std::size_t i = 0; i < second.size(); ++i) {
+    EXPECT_EQ(second[i].scores, first[i].scores);
+    EXPECT_TRUE(second[i].cached) << "record " << i;
+  }
+  EXPECT_EQ(router.aggregate_counters().cache_hits, second.size());
+}
+
+TEST(ShardRouter, ReshardMovesAtMostTwiceKOverN) {
+  const auto fused = make_fused();
+  const std::size_t n = 4;
+  ShardRouter router(fused, small_router(n));
+  std::span<const data::Record> records = router_dataset().records();
+  const std::size_t k = records.size();  // 1000 warmed uids
+
+  (void)router.predict_batch(records);  // warm every shard memo
+  std::unordered_map<std::uint64_t, std::size_t> before;
+  for (const data::Record& record : records) {
+    before[record.uid] = router.shard_for(record.uid);
+  }
+
+  const std::size_t added = router.add_replica();
+  std::size_t moved = 0;
+  for (const data::Record& record : records) {
+    const std::size_t now = router.shard_for(record.uid);
+    if (now != before[record.uid]) {
+      ++moved;
+      // Consistent hashing only ever moves keys TO the new node.
+      EXPECT_EQ(now, added) << "uid " << record.uid;
+    }
+  }
+  // Expected movement is K/(N+1) = 200; the acceptance bound is 2·K/N.
+  EXPECT_GT(moved, 0u);
+  EXPECT_LE(moved, 2 * k / n);
+
+  // Memo affinity is preserved for every unmoved uid: a second pass is a
+  // cache hit wherever the owner did not change.
+  const auto repeat = router.predict_batch(records);
+  std::size_t cold = 0;
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    const tensor::Vector expected = fused->scores(records[i]);
+    ASSERT_EQ(repeat[i].scores, expected) << "record " << i;
+    if (router.shard_for(records[i].uid) == before[records[i].uid]) {
+      EXPECT_TRUE(repeat[i].cached) << "unmoved uid went cold, record " << i;
+    } else if (!repeat[i].cached) {
+      ++cold;
+    }
+  }
+  EXPECT_LE(cold, moved);
+}
+
+TEST(ShardRouter, AddedReplicaReceivesTraffic) {
+  const auto fused = make_fused();
+  ShardRouter router(fused, small_router(2));
+  const std::size_t added = router.add_replica();
+  EXPECT_EQ(router.replica_count(), 3u);
+  EXPECT_EQ(router.active_count(), 3u);
+  (void)router.predict_batch(router_dataset().records());
+  EXPECT_GT(router.shard_infos()[added].routed, 0u);
+}
+
+TEST(ShardRouter, DrainReroutesAroundReplicaAndKeepsItsMemoWarm) {
+  const auto fused = make_fused();
+  ShardRouter router(fused, small_router(3));
+  std::span<const data::Record> records = router_dataset().records();
+  (void)router.predict_batch(records.subspan(0, 300));
+
+  const std::size_t victim = router.shard_for(records[0].uid);
+  const std::size_t victim_entries = router.replica(victim).cache_entries();
+  router.drain(victim);
+  EXPECT_FALSE(router.active(victim));
+  EXPECT_EQ(router.active_count(), 2u);
+
+  // Traffic re-routes: nothing maps to the drained shard, and service
+  // stays correct (the rerouted shard scores the uid cold).
+  for (std::size_t i = 0; i < 300; ++i) {
+    EXPECT_NE(router.shard_for(records[i].uid), victim);
+  }
+  const Prediction rerouted = router.predict(records[0]);
+  EXPECT_EQ(rerouted.scores, fused->scores(records[0]));
+
+  // Degraded mode keeps the drained engine alive with its memo intact.
+  EXPECT_EQ(router.replica(victim).cache_entries(), victim_entries);
+  EXPECT_TRUE(router.replica(victim).cache_contains(records[0].uid));
+}
+
+TEST(ShardRouter, RestoreResumesWithWarmMemo) {
+  const auto fused = make_fused();
+  ShardRouter router(fused, small_router(3));
+  std::span<const data::Record> records = router_dataset().records();
+  (void)router.predict_batch(records.subspan(0, 300));
+
+  const std::uint64_t uid = records[0].uid;
+  const std::size_t owner = router.shard_for(uid);
+  router.drain(owner);
+  router.restore(owner);
+  EXPECT_TRUE(router.active(owner));
+
+  // Routing is restored exactly (the ring points are deterministic), and
+  // the shard answers from the memo it kept while drained.
+  EXPECT_EQ(router.shard_for(uid), owner);
+  const Prediction prediction = router.predict(records[0]);
+  EXPECT_TRUE(prediction.cached);
+  EXPECT_EQ(prediction.scores, fused->scores(records[0]));
+}
+
+TEST(ShardRouter, TopologyGuards) {
+  const auto fused = make_fused();
+  ShardRouter router(fused, small_router(2));
+  router.drain(0);
+  EXPECT_THROW(router.drain(1), Error);    // last active replica
+  EXPECT_THROW(router.drain(0), Error);    // already drained
+  EXPECT_THROW(router.restore(1), Error);  // not drained
+  EXPECT_THROW(router.drain(7), Error);    // out of range
+  EXPECT_THROW((void)router.replica(7), Error);
+  router.restore(0);
+  EXPECT_THROW(router.restore(0), Error);  // restored twice
+}
+
+TEST(ShardRouter, RemoveReplicaPermanentlyReroutes) {
+  const auto fused = make_fused();
+  ShardRouter router(fused, small_router(3));
+  std::span<const data::Record> records = router_dataset().records();
+  (void)router.predict_batch(records.subspan(0, 200));
+
+  const std::size_t removed = router.shard_for(records[0].uid);
+  const std::size_t served_before =
+      router.shard_infos()[removed].counters.requests;
+  router.remove_replica(removed);
+  EXPECT_FALSE(router.active(removed));
+  EXPECT_FALSE(router.shard_infos()[removed].alive);
+  EXPECT_THROW(router.remove_replica(removed), Error);
+  EXPECT_THROW(router.restore(removed), Error);
+
+  // Keys remap away permanently; service stays bit-identical.
+  for (std::size_t i = 0; i < 200; ++i) {
+    EXPECT_NE(router.shard_for(records[i].uid), removed);
+  }
+  const auto repeat = router.predict_batch(records.subspan(0, 200));
+  for (std::size_t i = 0; i < repeat.size(); ++i) {
+    ASSERT_EQ(repeat[i].scores, fused->scores(records[i]));
+  }
+  // The removed shard's accounting survives for post-mortem inspection.
+  EXPECT_EQ(router.shard_infos()[removed].counters.requests, served_before);
+}
+
+TEST(ShardRouter, AggregateViewsCoverEveryShard) {
+  const auto fused = make_fused();
+  ShardRouter router(fused, small_router(4));
+  std::span<const data::Record> records = router_dataset().records();
+  const std::size_t k = 400;
+  (void)router.predict_batch(records.subspan(0, k));
+
+  const EngineCounters total = router.aggregate_counters();
+  EXPECT_EQ(total.requests, k);
+  EXPECT_EQ(total.consensus_short_circuits + total.head_evaluations, k);
+
+  const LatencyStats::Snapshot merged = router.aggregate_latency();
+  EXPECT_EQ(merged.count, k);
+  EXPECT_GT(merged.p50_us, 0.0);
+  EXPECT_LE(merged.p50_us, merged.p99_us);
+  EXPECT_GT(merged.requests_per_second, 0.0);
+
+  std::size_t routed = 0;
+  std::size_t per_shard_count = 0;
+  for (const ShardInfo& info : router.shard_infos()) {
+    routed += info.routed;
+    per_shard_count += info.latency.count;
+    EXPECT_EQ(info.routed, info.counters.requests);
+    // The merged max is at least every shard's max.
+    EXPECT_GE(merged.max_us, info.latency.max_us);
+  }
+  EXPECT_EQ(routed, k);
+  EXPECT_EQ(per_shard_count, merged.count);
+}
+
+TEST(ShardRouter, DisabledResultCacheNeverMemoizesThroughRouter) {
+  const auto fused = make_fused();
+  RouterConfig config = small_router(3);
+  config.engine.result_cache_capacity = 0;
+  ShardRouter router(fused, config);
+  std::span<const data::Record> records = router_dataset().records();
+  const auto first = router.predict_batch(records.subspan(0, 100));
+  const auto second = router.predict_batch(records.subspan(0, 100));
+  for (std::size_t i = 0; i < second.size(); ++i) {
+    EXPECT_EQ(second[i].scores, first[i].scores);
+    EXPECT_FALSE(second[i].cached);
+  }
+  EXPECT_EQ(router.aggregate_counters().cache_hits, 0u);
+  for (const ShardInfo& info : router.shard_infos()) {
+    EXPECT_EQ(info.cache_entries, 0u);
+  }
+}
+
+TEST(ShardRouter, ShutdownRejectsNewWorkAndIsIdempotent) {
+  const auto fused = make_fused();
+  ShardRouter router(fused, small_router(2));
+  auto pending = router.submit(router_dataset().record(0));
+  router.shutdown();
+  (void)pending.get();  // in-flight request completed, not dropped
+  EXPECT_THROW((void)router.submit(router_dataset().record(1)), Error);
+  EXPECT_THROW((void)router.shard_for(17), Error);
+  EXPECT_THROW((void)router.add_replica(), Error);
+  router.shutdown();  // idempotent
+}
+
+}  // namespace
+}  // namespace muffin::serve
