@@ -256,6 +256,35 @@ int main() {
 
   const bool pass =
       parity && memo_parity && speedup8 >= 3.0 && speedup32 >= 3.0;
+
+  // Machine-readable output for cross-PR perf tracking.
+  bench::BenchJson json;
+  json.add("trace.requests", trace_len);
+  json.add("trace.distinct_records", test.size());
+  const auto add_run = [&json](const std::string& key, const RunResult& run,
+                               double baseline_rps, bool engine_run) {
+    json.add(key + ".rps", run.requests_per_second);
+    json.add(key + ".speedup", run.requests_per_second / baseline_rps);
+    if (engine_run) {
+      json.add(key + ".p50_us", run.latency.p50_us);
+      json.add(key + ".p99_us", run.latency.p99_us);
+      json.add(key + ".consensus", run.counters.consensus_short_circuits);
+      json.add(key + ".cache_hits", run.counters.cache_hits);
+    }
+  };
+  add_run("cold.sequential", cold_seq, cold_seq.requests_per_second, false);
+  add_run("cold.engine_no_memo", cold_engine, cold_seq.requests_per_second,
+          true);
+  add_run("steady.sequential", seq, seq.requests_per_second, false);
+  add_run("steady.engine_b8", eng8, seq.requests_per_second, true);
+  add_run("steady.engine_b32", eng32, seq.requests_per_second, true);
+  add_run("steady.router_s4", routed, seq.requests_per_second, true);
+  json.add("steady.engine_b32.memo_hit_rate", engine_hit_rate);
+  json.add("steady.router_s4.memo_hit_rate", router_hit_rate);
+  json.add("argmax_parity", parity);
+  json.add("pass", pass);
+  json.write("BENCH_serve.json");
+
   std::cout << (pass ? "PASS" : "FAIL") << "\n";
   return pass ? 0 : 1;
 }

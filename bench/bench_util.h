@@ -9,8 +9,12 @@
 #pragma once
 
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "common/rng.h"
 #include "common/table.h"
@@ -19,6 +23,53 @@
 #include "models/pool.h"
 
 namespace muffin::bench {
+
+/// Minimal machine-readable bench output: an ordered flat JSON object
+/// (dotted keys encode sections, e.g. "steady_state.engine_b32.rps") so the
+/// perf trajectory can be tracked across PRs without a JSON dependency.
+class BenchJson {
+ public:
+  void add(const std::string& key, double value) {
+    std::ostringstream os;
+    os.precision(6);
+    os << value;
+    entries_.emplace_back(key, os.str());
+  }
+  void add(const std::string& key, std::size_t value) {
+    entries_.emplace_back(key, std::to_string(value));
+  }
+  void add(const std::string& key, bool value) {
+    entries_.emplace_back(key, value ? "true" : "false");
+  }
+  void add_string(const std::string& key, const std::string& value) {
+    std::string escaped = "\"";
+    for (const char c : value) {
+      if (c == '"' || c == '\\') escaped += '\\';
+      escaped += c;
+    }
+    escaped += '"';
+    entries_.emplace_back(key, escaped);
+  }
+
+  /// Writes the object to `path`; reports the destination on stdout.
+  void write(const std::string& path) const {
+    std::ofstream os(path);
+    if (!os) {
+      std::cerr << "could not write " << path << "\n";
+      return;
+    }
+    os << "{\n";
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+      os << "  \"" << entries_[i].first << "\": " << entries_[i].second
+         << (i + 1 < entries_.size() ? "," : "") << "\n";
+    }
+    os << "}\n";
+    std::cout << "wrote " << path << "\n";
+  }
+
+ private:
+  std::vector<std::pair<std::string, std::string>> entries_;
+};
 
 inline std::size_t env_size(const char* name, std::size_t fallback) {
   const char* value = std::getenv(name);

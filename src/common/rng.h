@@ -59,5 +59,17 @@ class SplitRng {
 
 /// Stable 64-bit FNV-1a hash (used for substream derivation and tests).
 [[nodiscard]] std::uint64_t fnv1a64(std::string_view text);
+/// Continue an FNV-1a hash over more bytes; fnv1a64(a + b) ==
+/// fnv1a64_continue(fnv1a64(a), b). Lets hot paths hash composite
+/// substream names without building the concatenated string.
+[[nodiscard]] std::uint64_t fnv1a64_continue(std::uint64_t hash,
+                                             std::string_view text);
+
+/// The substream seed SplitRng(seed).fork(name) derives, given
+/// name_hash == fnv1a64(name). fork() is defined in terms of this; hot
+/// paths use it to skip constructing the intermediate engine (mt19937_64
+/// seeding is the expensive part of a SplitRng).
+[[nodiscard]] std::uint64_t fork_seed(std::uint64_t seed,
+                                      std::uint64_t name_hash);
 
 }  // namespace muffin

@@ -8,7 +8,6 @@
 #pragma once
 
 #include <memory>
-#include <mutex>
 
 #include "core/score_cache.h"
 #include "models/model.h"
@@ -43,6 +42,12 @@ class FusedModel final : public models::Model {
   [[nodiscard]] std::size_t parameter_count() const override;
   [[nodiscard]] tensor::Vector scores(
       const data::Record& record) const override;
+  /// Batch-first fused scoring: each body model scores the whole batch
+  /// (their score_batch overrides), the consensus short-circuit is applied
+  /// row-wise, and the head runs one batched forward over the disagreement
+  /// sub-batch only. Bit-identical, row for row, to per-record scores().
+  [[nodiscard]] tensor::Matrix score_batch(
+      std::span<const data::Record> records) const override;
 
   [[nodiscard]] const std::vector<models::ModelPtr>& body() const {
     return body_;
@@ -58,16 +63,22 @@ class FusedModel final : public models::Model {
  private:
   std::string name_;
   std::vector<models::ModelPtr> body_;
-  // The MLP's forward pass caches per-layer activations for backward, so a
-  // logically-const scores() mutates head_. head_mutex_ serializes those
-  // forwards to honor the Model concurrency contract; high-throughput
-  // callers (serve::InferenceEngine) bypass the lock by running forwards on
-  // per-worker copies of head() instead.
-  mutable nn::Mlp head_;
-  mutable std::mutex head_mutex_;
+  // Inference runs through the const, cache-free Mlp forwards
+  // (forward_inference / forward_batch_inference), so scores()/score_batch()
+  // need no mutex: concurrent callers share head_ freely, honoring the
+  // Model concurrency contract without serialization.
+  nn::Mlp head_;
   bool head_only_on_disagreement_;
   std::size_t num_classes_;
 };
+
+/// Gather the body score matrix for a record span: column block m holds
+/// body model m's scores (each computed via its score_batch override).
+/// The single definition of the gather layout — FusedModel::score_batch
+/// and serve::InferenceEngine both build their head input through here.
+[[nodiscard]] tensor::Matrix gather_body_scores(
+    const std::vector<models::ModelPtr>& body, std::size_t num_classes,
+    std::span<const data::Record> records);
 
 /// Result of fusing one gathered body-score row.
 struct FusedScores {
@@ -77,18 +88,38 @@ struct FusedScores {
 
 /// Fuse one gathered row (the concatenated body score vectors): the mean
 /// body vector when every body argmax agrees and the gate is on (§3.2),
-/// otherwise the sum-normalized head forward. The single definition of the
-/// fusing arithmetic — FusedModel::scores and serve::InferenceEngine both
-/// call it, so the per-record and batched paths cannot drift.
+/// otherwise the sum-normalized head forward. The single-record arithmetic
+/// reference — the batched paths must match it bit for bit, row by row.
 [[nodiscard]] FusedScores fuse_gathered(std::span<const double> gathered,
-                                        nn::Mlp& head, std::size_t body_size,
+                                        const nn::Mlp& head,
+                                        std::size_t body_size,
                                         std::size_t num_classes,
                                         bool head_only_on_disagreement);
 
+/// Result of fusing a whole gathered batch.
+struct FusedBatch {
+  tensor::Matrix scores;          ///< (n, num_classes), rows sum to 1
+  std::vector<bool> consensus;    ///< per row: body agreed, head skipped
+  std::size_t head_rows = 0;      ///< rows that ran the head forward
+};
+
+/// Batched fuse_gathered: row-wise consensus gate, then one batched head
+/// forward over the disagreement sub-batch only. Each output row is
+/// bit-identical to fuse_gathered on the same gathered row — FusedModel,
+/// fused_predictions and serve::InferenceEngine all fuse through here, so
+/// the per-record reference and the batched paths cannot drift.
+[[nodiscard]] FusedBatch fuse_gathered_batch(const tensor::Matrix& gathered,
+                                             const nn::Mlp& head,
+                                             std::size_t body_size,
+                                             std::size_t num_classes,
+                                             bool head_only_on_disagreement);
+
 /// Fast fused predictions over a cached dataset (used inside the search
-/// loop and the benches, avoiding per-record model re-evaluation).
+/// loop and the benches, avoiding per-record model re-evaluation). The
+/// consensus short-circuit resolves rows straight from the cache; the
+/// remaining rows run through one batched head forward.
 [[nodiscard]] std::vector<std::size_t> fused_predictions(
-    const ScoreCache& cache, const FusingStructure& structure, nn::Mlp& head,
-    bool head_only_on_disagreement = true);
+    const ScoreCache& cache, const FusingStructure& structure,
+    const nn::Mlp& head, bool head_only_on_disagreement = true);
 
 }  // namespace muffin::core

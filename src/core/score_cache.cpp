@@ -16,16 +16,15 @@ ScoreCache::ScoreCache(const models::ModelPool& pool,
     const models::Model& model = pool.at(m);
     MUFFIN_REQUIRE(model.num_classes() == num_classes_,
                    "pool model class count must match dataset");
-    tensor::Matrix score_matrix(num_records_, num_classes_);
+    // One batched scoring pass per model — the (num_records, num_classes)
+    // result is exactly the cache layout, so it is adopted wholesale.
+    tensor::Matrix score_matrix = model.score_batch(dataset.records());
+    MUFFIN_REQUIRE(score_matrix.rows() == num_records_ &&
+                       score_matrix.cols() == num_classes_,
+                   "model returned a malformed score matrix");
     std::vector<std::size_t> preds(num_records_);
     for (std::size_t i = 0; i < num_records_; ++i) {
-      const tensor::Vector s = model.scores(dataset.record(i));
-      MUFFIN_REQUIRE(s.size() == num_classes_,
-                     "model returned a malformed score vector");
-      for (std::size_t c = 0; c < num_classes_; ++c) {
-        score_matrix(i, c) = s[c];
-      }
-      preds[i] = tensor::argmax(s);
+      preds[i] = tensor::argmax(score_matrix.row(i));
     }
     scores_.push_back(std::move(score_matrix));
     predictions_.push_back(std::move(preds));

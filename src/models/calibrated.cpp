@@ -82,7 +82,8 @@ CalibratedModel::CalibratedModel(ArchitectureProfile profile,
       base_accuracy_(0.0),
       model_seed_(fnv1a64(profile_.calibration_alias.empty()
                               ? profile_.name
-                              : profile_.calibration_alias)) {
+                              : profile_.calibration_alias)),
+      family_seed_(fnv1a64(profile_.family)) {
   MUFFIN_REQUIRE(dataset.size() > 0,
                  "calibration requires a non-empty dataset");
   MUFFIN_REQUIRE(profile_.accuracy > 0.0 && profile_.accuracy < 1.0,
@@ -171,19 +172,44 @@ double CalibratedModel::correctness_probability(
   return clamp(p, config_.min_probability, config_.max_probability);
 }
 
+namespace {
+
+/// fnv1a64(purpose + ":" + std::to_string(uid)) without building the
+/// string: hashed incrementally with the uid rendered into a stack buffer.
+std::uint64_t stream_name_hash(std::string_view purpose, std::uint64_t uid) {
+  std::uint64_t hash = fnv1a64(purpose);
+  hash = fnv1a64_continue(hash, ":");
+  char digits[20];
+  char* end = digits + sizeof(digits);
+  char* cursor = end;
+  do {
+    *--cursor = static_cast<char>('0' + uid % 10);
+    uid /= 10;
+  } while (uid != 0);
+  return fnv1a64_continue(hash,
+                          std::string_view(cursor, end - cursor));
+}
+
+}  // namespace
+
 SplitRng CalibratedModel::record_rng(const data::Record& record,
                                      std::string_view purpose) const {
-  SplitRng base(model_seed_);
-  return base.fork(std::string(purpose) + ":" + std::to_string(record.uid));
+  // Bit-identical to SplitRng(model_seed_).fork(purpose + ":" + uid), but
+  // derives the substream seed directly — scores() calls this several
+  // times per record, and seeding the intermediate mt19937_64 engine was
+  // the hottest instruction path of the whole scoring pipeline.
+  return SplitRng(fork_seed(model_seed_, stream_name_hash(purpose, record.uid)));
 }
 
 double CalibratedModel::latent_quantile(const data::Record& record) const {
   const double eps = record_rng(record, "eps").normal();
   // Family factor: derived from (family, record), so same-family models
-  // share it while cross-family models do not.
-  SplitRng family_base(fnv1a64(profile_.family));
+  // share it while cross-family models do not. family_seed_ caches
+  // fnv1a64(profile_.family); the stream matches
+  // SplitRng(family_seed_).fork("fam:" + uid) bit for bit.
   const double family_factor =
-      family_base.fork("fam:" + std::to_string(record.uid)).normal();
+      SplitRng(fork_seed(family_seed_, stream_name_hash("fam", record.uid)))
+          .normal();
   const double latent =
       std::sqrt(config_.copula_rho) * record.difficulty +
       std::sqrt(config_.family_rho) * family_factor +
@@ -202,6 +228,25 @@ const std::vector<double>& CalibratedModel::group_offsets(
 }
 
 tensor::Vector CalibratedModel::scores(const data::Record& record) const {
+  tensor::Vector out(num_classes_);
+  tensor::Vector logits_scratch;
+  scores_into(record, logits_scratch, out);
+  return out;
+}
+
+tensor::Matrix CalibratedModel::score_batch(
+    std::span<const data::Record> records) const {
+  tensor::Matrix out(records.size(), num_classes_);
+  tensor::Vector logits_scratch;
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    scores_into(records[i], logits_scratch, out.row(i));
+  }
+  return out;
+}
+
+void CalibratedModel::scores_into(const data::Record& record,
+                                  tensor::Vector& logits,
+                                  std::span<double> out) const {
   MUFFIN_REQUIRE(record.label < num_classes_, "record label out of range");
   const double p = correctness_probability(record);
   const double quantile = latent_quantile(record);
@@ -227,7 +272,7 @@ tensor::Vector CalibratedModel::scores(const data::Record& record) const {
   // top with a correctness-dependent margin; when wrong, the true class
   // trails the prediction by runner_up_gap (often ranked second).
   SplitRng noise = record_rng(record, "logits");
-  tensor::Vector logits(num_classes_, 0.0);
+  logits.assign(num_classes_, 0.0);
   // Background = every class except the prediction (the true label's noise
   // must be included, or it could accidentally win the argmax and break the
   // calibrated correctness marginal).
@@ -288,7 +333,7 @@ tensor::Vector CalibratedModel::scores(const data::Record& record) const {
   } else if (!correct) {
     logits[record.label] = max_background + margin - config_.runner_up_gap;
   }
-  return tensor::softmax(logits);
+  tensor::softmax_into(logits, out);
 }
 
 }  // namespace muffin::models

@@ -90,6 +90,11 @@ class CalibratedModel final : public Model {
   }
   [[nodiscard]] tensor::Vector scores(
       const data::Record& record) const override;
+  /// Batch scoring with per-batch scratch reuse: one logit buffer serves
+  /// the whole batch and each row is softmaxed straight into the output
+  /// matrix. Bit-identical to per-record scores().
+  [[nodiscard]] tensor::Matrix score_batch(
+      std::span<const data::Record> records) const override;
 
   /// Whether the simulated model classifies `record` correctly (the copula
   /// draw behind scores()).
@@ -108,6 +113,10 @@ class CalibratedModel final : public Model {
  private:
   void derive_offsets(const data::Dataset& dataset);
   void fixed_point_calibrate(const data::Dataset& dataset);
+  /// scores() body writing into `out`; `logits` is caller-provided scratch
+  /// so batch scoring reuses one buffer across records.
+  void scores_into(const data::Record& record, tensor::Vector& logits,
+                   std::span<double> out) const;
   /// Latent Φ(√ρ z + √(1−ρ) ε) for a record; uniform in [0,1] marginally.
   [[nodiscard]] double latent_quantile(const data::Record& record) const;
   /// Deterministic per-record stream for idiosyncratic draws.
@@ -123,6 +132,9 @@ class CalibratedModel final : public Model {
   std::vector<std::vector<double>> offsets_;
   double base_accuracy_ = 0.0;
   std::uint64_t model_seed_ = 0;
+  /// Cached fnv1a64(profile_.family): the family copula stream's master
+  /// seed, shared by same-family models (hashed once, not per record).
+  std::uint64_t family_seed_ = 0;
 };
 
 }  // namespace muffin::models

@@ -1,8 +1,23 @@
 #include "models/model.h"
 
+#include <algorithm>
+
+#include "common/error.h"
 #include "tensor/ops.h"
 
 namespace muffin::models {
+
+tensor::Matrix Model::score_batch(
+    std::span<const data::Record> records) const {
+  tensor::Matrix out(records.size(), num_classes());
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    const tensor::Vector s = scores(records[i]);
+    MUFFIN_REQUIRE(s.size() == num_classes(),
+                   "model returned a malformed score vector");
+    std::copy(s.begin(), s.end(), out.row(i).begin());
+  }
+  return out;
+}
 
 std::size_t Model::predict(const data::Record& record) const {
   return tensor::argmax(scores(record));
@@ -10,9 +25,10 @@ std::size_t Model::predict(const data::Record& record) const {
 
 std::vector<std::size_t> Model::predict_all(
     const data::Dataset& dataset) const {
+  const tensor::Matrix scores = score_batch(dataset.records());
   std::vector<std::size_t> predictions(dataset.size());
   for (std::size_t i = 0; i < dataset.size(); ++i) {
-    predictions[i] = predict(dataset.record(i));
+    predictions[i] = tensor::argmax(scores.row(i));
   }
   return predictions;
 }

@@ -6,6 +6,7 @@
 #pragma once
 
 #include <memory>
+#include <span>
 #include <string>
 
 #include "data/dataset.h"
@@ -31,14 +32,27 @@ class Model {
   /// concurrently from multiple threads on the same instance (the serving
   /// engine and the parallel search both rely on this). Implementations
   /// with mutable internal state — e.g. forward caches — must synchronize
-  /// it themselves; purely functional models need no locking.
+  /// it themselves; purely functional models need no locking. Since the
+  /// batch-first refactor every in-tree model is purely functional on the
+  /// inference path (nn::Mlp::forward_inference is const and cache-free),
+  /// so no in-tree model locks; the relaxed contract stands for external
+  /// implementations that still carry mutable caches.
   [[nodiscard]] virtual tensor::Vector scores(
       const data::Record& record) const = 0;
+
+  /// Batch scoring: row i of the result is the score vector of records[i].
+  /// Matrix-in/Matrix-out hot path — implementations vectorize it (batched
+  /// GEMM for network-backed models, scratch reuse for calibrated ones) but
+  /// must stay bit-identical, row for row, to per-record scores() calls.
+  /// The default loops scores() per record.
+  [[nodiscard]] virtual tensor::Matrix score_batch(
+      std::span<const data::Record> records) const;
 
   /// Argmax class of scores(record).
   [[nodiscard]] std::size_t predict(const data::Record& record) const;
 
-  /// Convenience: predictions for every record of a dataset.
+  /// Convenience: predictions for every record of a dataset (one
+  /// score_batch call over the record span).
   [[nodiscard]] std::vector<std::size_t> predict_all(
       const data::Dataset& dataset) const;
 };

@@ -1,5 +1,7 @@
 #include "models/trainable.h"
 
+#include <algorithm>
+
 #include "common/error.h"
 #include "nn/loss.h"
 #include "nn/optimizer.h"
@@ -80,7 +82,24 @@ double TrainableClassifier::fit(const data::Dataset& train,
 tensor::Vector TrainableClassifier::scores(const data::Record& record) const {
   MUFFIN_REQUIRE(record.features.size() == feature_dim_,
                  "record feature width mismatch");
-  return tensor::softmax(mlp_.forward(record.features));
+  return tensor::softmax(mlp_.forward_inference(record.features));
+}
+
+tensor::Matrix TrainableClassifier::score_batch(
+    std::span<const data::Record> records) const {
+  tensor::Matrix features(records.size(), feature_dim_);
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    MUFFIN_REQUIRE(records[i].features.size() == feature_dim_,
+                   "record feature width mismatch");
+    std::copy(records[i].features.begin(), records[i].features.end(),
+              features.row(i).begin());
+  }
+  const tensor::Matrix logits = mlp_.forward_batch_inference(features);
+  tensor::Matrix out(records.size(), num_classes_);
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    tensor::softmax_into(logits.row(i), out.row(i));
+  }
+  return out;
 }
 
 }  // namespace muffin::models

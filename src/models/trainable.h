@@ -46,6 +46,10 @@ class TrainableClassifier final : public Model {
   }
   [[nodiscard]] tensor::Vector scores(
       const data::Record& record) const override;
+  /// Batched scoring: one feature-gather, one MLP GEMM forward, row-wise
+  /// softmax. Bit-identical to per-record scores().
+  [[nodiscard]] tensor::Matrix score_batch(
+      std::span<const data::Record> records) const override;
 
   [[nodiscard]] bool is_trained() const { return trained_; }
   [[nodiscard]] const TrainableConfig& config() const { return config_; }
@@ -55,9 +59,9 @@ class TrainableClassifier final : public Model {
   std::size_t num_classes_;
   std::size_t feature_dim_;
   TrainableConfig config_;
-  // Mlp caches activations during forward; scores() is logically const and
-  // single-threaded like the rest of the pool.
-  mutable nn::Mlp mlp_;
+  // Inference goes through the const, cache-free Mlp::forward_inference /
+  // forward_batch_inference, so scores() needs no mutable state or locking.
+  nn::Mlp mlp_;
   bool trained_ = false;
 };
 

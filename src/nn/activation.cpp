@@ -1,5 +1,6 @@
 #include "nn/activation.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/error.h"
@@ -89,6 +90,96 @@ tensor::Vector ActivationLayer::forward(std::span<const double> input) {
   tensor::Vector out(dim_);
   for (std::size_t i = 0; i < dim_; ++i) out[i] = activate(kind_, input[i]);
   return out;
+}
+
+tensor::Vector ActivationLayer::forward_inference(
+    std::span<const double> input) const {
+  MUFFIN_REQUIRE(input.size() == dim_, "activation input size mismatch");
+  tensor::Vector out(dim_);
+  for (std::size_t i = 0; i < dim_; ++i) out[i] = activate(kind_, input[i]);
+  return out;
+}
+
+tensor::Matrix ActivationLayer::forward_batch(const tensor::Matrix& input) {
+  MUFFIN_REQUIRE(input.cols() == dim_, "activation batch input size mismatch");
+  last_batch_input_ = input;
+  return forward_batch_inference(input);
+}
+
+void ActivationLayer::forward_batch_inference_into(
+    const tensor::Matrix& input, tensor::Matrix& output) const {
+  MUFFIN_REQUIRE(input.cols() == dim_, "activation batch input size mismatch");
+  output.resize_for_overwrite(input.rows(), dim_);
+  const auto in = input.flat();
+  auto out = output.flat();
+  // Same per-element arithmetic as activate(); the switch is hoisted out
+  // of the loop so each kind gets a tight elementwise pass.
+  switch (kind_) {
+    case Activation::Identity:
+      std::copy(in.begin(), in.end(), out.begin());
+      break;
+    case Activation::Relu:
+      for (std::size_t i = 0; i < in.size(); ++i) {
+        out[i] = in[i] > 0.0 ? in[i] : 0.0;
+      }
+      break;
+    case Activation::LeakyRelu:
+      for (std::size_t i = 0; i < in.size(); ++i) {
+        out[i] = in[i] > 0.0 ? in[i] : kLeakySlope * in[i];
+      }
+      break;
+    case Activation::Tanh:
+      for (std::size_t i = 0; i < in.size(); ++i) out[i] = std::tanh(in[i]);
+      break;
+    case Activation::Sigmoid:
+      for (std::size_t i = 0; i < in.size(); ++i) {
+        out[i] = 1.0 / (1.0 + std::exp(-in[i]));
+      }
+      break;
+  }
+}
+
+tensor::Matrix ActivationLayer::backward_batch(
+    const tensor::Matrix& grad_output) {
+  MUFFIN_REQUIRE(grad_output.cols() == dim_,
+                 "activation batch gradient size mismatch");
+  MUFFIN_REQUIRE(last_batch_input_.rows() == grad_output.rows() &&
+                     last_batch_input_.cols() == dim_,
+                 "batched backward called before forward_batch");
+  tensor::Matrix grad_in;
+  grad_in.resize_for_overwrite(grad_output.rows(), dim_);
+  const auto g = grad_output.flat();
+  const auto x = last_batch_input_.flat();
+  auto out = grad_in.flat();
+  // Same per-element arithmetic as activate_grad(), switch hoisted.
+  switch (kind_) {
+    case Activation::Identity:
+      std::copy(g.begin(), g.end(), out.begin());
+      break;
+    case Activation::Relu:
+      for (std::size_t i = 0; i < g.size(); ++i) {
+        out[i] = g[i] * (x[i] > 0.0 ? 1.0 : 0.0);
+      }
+      break;
+    case Activation::LeakyRelu:
+      for (std::size_t i = 0; i < g.size(); ++i) {
+        out[i] = g[i] * (x[i] > 0.0 ? 1.0 : kLeakySlope);
+      }
+      break;
+    case Activation::Tanh:
+      for (std::size_t i = 0; i < g.size(); ++i) {
+        const double t = std::tanh(x[i]);
+        out[i] = g[i] * (1.0 - t * t);
+      }
+      break;
+    case Activation::Sigmoid:
+      for (std::size_t i = 0; i < g.size(); ++i) {
+        const double s = 1.0 / (1.0 + std::exp(-x[i]));
+        out[i] = g[i] * (s * (1.0 - s));
+      }
+      break;
+  }
+  return grad_in;
 }
 
 tensor::Vector ActivationLayer::backward(std::span<const double> grad_output) {

@@ -31,6 +31,12 @@ class ActivationLayer final : public Layer {
 
   tensor::Vector forward(std::span<const double> input) override;
   tensor::Vector backward(std::span<const double> grad_output) override;
+  [[nodiscard]] tensor::Vector forward_inference(
+      std::span<const double> input) const override;
+  tensor::Matrix forward_batch(const tensor::Matrix& input) override;
+  tensor::Matrix backward_batch(const tensor::Matrix& grad_output) override;
+  void forward_batch_inference_into(const tensor::Matrix& input,
+                                    tensor::Matrix& output) const override;
   [[nodiscard]] std::size_t input_dim() const override { return dim_; }
   [[nodiscard]] std::size_t output_dim() const override { return dim_; }
   [[nodiscard]] Activation kind() const { return kind_; }
@@ -39,6 +45,7 @@ class ActivationLayer final : public Layer {
   Activation kind_;
   std::size_t dim_;
   tensor::Vector last_input_;
+  tensor::Matrix last_batch_input_;  ///< forward_batch cache for backward
 };
 
 }  // namespace muffin::nn

@@ -55,6 +55,67 @@ tensor::Vector Linear::backward(std::span<const double> grad_output) {
   return tensor::matvec_transposed(weights_, grad_output);
 }
 
+tensor::Vector Linear::forward_inference(std::span<const double> input) const {
+  MUFFIN_REQUIRE(input.size() == in_dim_, "linear input size mismatch");
+  tensor::Vector out = tensor::matvec(weights_, input);
+  for (std::size_t i = 0; i < out_dim_; ++i) out[i] += bias_[i];
+  return out;
+}
+
+tensor::Matrix Linear::forward_batch(const tensor::Matrix& input) {
+  MUFFIN_REQUIRE(input.cols() == in_dim_, "linear batch input size mismatch");
+  last_batch_input_ = input;
+  tensor::Matrix out;
+  tensor::matmul_transposed_b_bias_into(input, weights_, bias_, out);
+  return out;
+}
+
+void Linear::forward_batch_inference_into(const tensor::Matrix& input,
+                                          tensor::Matrix& output) const {
+  MUFFIN_REQUIRE(input.cols() == in_dim_, "linear batch input size mismatch");
+  tensor::matmul_transposed_b_bias_into(input, weights_, bias_, output);
+}
+
+tensor::Matrix Linear::backward_batch(const tensor::Matrix& grad_output) {
+  MUFFIN_REQUIRE(grad_output.cols() == out_dim_,
+                 "linear batch gradient size mismatch");
+  MUFFIN_REQUIRE(last_batch_input_.rows() == grad_output.rows() &&
+                     last_batch_input_.cols() == in_dim_,
+                 "batched backward called before forward_batch");
+  const std::size_t n = grad_output.rows();
+  // Parameter gradients: rows accumulate in ascending sample order, and the
+  // zero-gradient skip matches the per-sample backward exactly, so the
+  // accumulated values are bit-identical to a per-sample loop.
+  for (std::size_t r = 0; r < n; ++r) {
+    const auto g = grad_output.row(r);
+    const auto x = last_batch_input_.row(r);
+    for (std::size_t i = 0; i < out_dim_; ++i) {
+      bias_grad_[i] += g[i];
+      const double gi = g[i];
+      if (gi == 0.0) continue;
+      for (std::size_t j = 0; j < in_dim_; ++j) {
+        weight_grad_(i, j) += gi * x[j];
+      }
+    }
+  }
+  // Input gradients: G W, one matvec_transposed per row (i-ascending
+  // accumulation, zero skips included — the per-sample order).
+  tensor::Matrix grad_input(n, in_dim_);
+  for (std::size_t r = 0; r < n; ++r) {
+    const auto g = grad_output.row(r);
+    auto out_row = grad_input.row(r);
+    for (std::size_t i = 0; i < out_dim_; ++i) {
+      const double gi = g[i];
+      if (gi == 0.0) continue;
+      const auto w_row = weights_.row(i);
+      for (std::size_t j = 0; j < in_dim_; ++j) {
+        out_row[j] += w_row[j] * gi;
+      }
+    }
+  }
+  return grad_input;
+}
+
 std::vector<ParamView> Linear::params() {
   return {ParamView{weights_.flat(), weight_grad_.flat()},
           ParamView{bias_, bias_grad_}};

@@ -18,6 +18,16 @@ class Linear final : public Layer {
 
   tensor::Vector forward(std::span<const double> input) override;
   tensor::Vector backward(std::span<const double> grad_output) override;
+  [[nodiscard]] tensor::Vector forward_inference(
+      std::span<const double> input) const override;
+  /// X W^T + b as one GEMM (tall-skinny X against the row-major weights).
+  tensor::Matrix forward_batch(const tensor::Matrix& input) override;
+  /// Accumulates weight/bias gradients over the batch (G^T X) and returns
+  /// the input gradients (G W), summing rows in ascending order so the
+  /// result is bit-identical to a per-sample forward/backward loop.
+  tensor::Matrix backward_batch(const tensor::Matrix& grad_output) override;
+  void forward_batch_inference_into(const tensor::Matrix& input,
+                                    tensor::Matrix& output) const override;
   std::vector<ParamView> params() override;
   void zero_grad() override;
 
@@ -41,6 +51,7 @@ class Linear final : public Layer {
   tensor::Matrix weight_grad_;
   tensor::Vector bias_grad_;
   tensor::Vector last_input_;
+  tensor::Matrix last_batch_input_;  ///< forward_batch cache for backward
 };
 
 }  // namespace muffin::nn

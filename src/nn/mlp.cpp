@@ -100,8 +100,69 @@ tensor::Vector Mlp::backward(std::span<const double> grad_output) {
   return current;
 }
 
-std::size_t Mlp::predict(std::span<const double> input) {
-  return tensor::argmax(forward(input));
+tensor::Vector Mlp::forward_inference(std::span<const double> input) const {
+  MUFFIN_REQUIRE(input.size() == spec_.input_dim, "MLP input size mismatch");
+  tensor::Vector current(input.begin(), input.end());
+  for (const auto& layer : layers_) {
+    current = layer->forward_inference(current);
+  }
+  return current;
+}
+
+tensor::Matrix Mlp::forward_batch(const tensor::Matrix& input) {
+  MUFFIN_REQUIRE(input.cols() == spec_.input_dim,
+                 "MLP batch input size mismatch");
+  // The first layer copies its input into its cache anyway, so feed it the
+  // caller's batch directly instead of an up-front deep copy.
+  const tensor::Matrix* source = &input;
+  tensor::Matrix current;
+  for (const auto& layer : layers_) {
+    current = layer->forward_batch(*source);
+    source = &current;
+  }
+  return current;
+}
+
+tensor::Matrix Mlp::backward_batch(const tensor::Matrix& grad_output) {
+  MUFFIN_REQUIRE(grad_output.cols() == spec_.output_dim,
+                 "MLP batch gradient size mismatch");
+  tensor::Matrix current = grad_output;
+  for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) {
+    current = (*it)->backward_batch(current);
+  }
+  return current;
+}
+
+tensor::Matrix Mlp::forward_batch_inference(const tensor::Matrix& input) const {
+  MUFFIN_REQUIRE(input.cols() == spec_.input_dim,
+                 "MLP batch input size mismatch");
+  // Ping-pong two scratch matrices through the layer chain: no per-layer
+  // temporaries and no copy of the input batch.
+  tensor::Matrix ping;
+  tensor::Matrix pong;
+  const tensor::Matrix* source = &input;
+  tensor::Matrix* produced = nullptr;
+  for (const auto& layer : layers_) {
+    tensor::Matrix& destination = produced == &ping ? pong : ping;
+    layer->forward_batch_inference_into(*source, destination);
+    produced = &destination;
+    source = produced;
+  }
+  if (produced == nullptr) return input;  // the ctor guarantees >= 1 layer
+  return std::move(*produced);
+}
+
+std::size_t Mlp::predict(std::span<const double> input) const {
+  return tensor::argmax(forward_inference(input));
+}
+
+std::vector<std::size_t> Mlp::predict_batch(const tensor::Matrix& input) const {
+  const tensor::Matrix out = forward_batch_inference(input);
+  std::vector<std::size_t> predictions(out.rows());
+  for (std::size_t r = 0; r < out.rows(); ++r) {
+    predictions[r] = tensor::argmax(out.row(r));
+  }
+  return predictions;
 }
 
 std::vector<ParamView> Mlp::params() {

@@ -57,8 +57,28 @@ class Mlp {
   /// Backward pass; accumulates parameter gradients, returns input gradient.
   tensor::Vector backward(std::span<const double> grad_output);
 
-  /// Forward + argmax, no caching side effects relied on by callers.
-  [[nodiscard]] std::size_t predict(std::span<const double> input);
+  /// Const, cache-free forward for one sample — the inference path. No
+  /// backward may follow, but unlike forward it is safe to call concurrently
+  /// on a shared instance. Bit-identical to forward.
+  [[nodiscard]] tensor::Vector forward_inference(
+      std::span<const double> input) const;
+
+  /// Batched forward (one sample per row); caches per-layer activations for
+  /// backward_batch. Row r of the result is bit-identical to
+  /// forward(input.row(r)).
+  tensor::Matrix forward_batch(const tensor::Matrix& input);
+  /// Batched backward; accumulates parameter gradients (summed in ascending
+  /// row order, matching a per-sample loop) and returns input gradients.
+  tensor::Matrix backward_batch(const tensor::Matrix& grad_output);
+  /// Const, cache-free batched forward — the serving path.
+  [[nodiscard]] tensor::Matrix forward_batch_inference(
+      const tensor::Matrix& input) const;
+
+  /// forward_inference + argmax.
+  [[nodiscard]] std::size_t predict(std::span<const double> input) const;
+  /// Row-wise argmax of forward_batch_inference.
+  [[nodiscard]] std::vector<std::size_t> predict_batch(
+      const tensor::Matrix& input) const;
 
   std::vector<ParamView> params();
   void zero_grad();

@@ -1,5 +1,6 @@
 #include "nn/trainer.h"
 
+#include <algorithm>
 #include <numeric>
 
 #include "common/error.h"
@@ -37,6 +38,10 @@ double train(Mlp& mlp, const TrainingSet& data, const Loss& loss,
   std::iota(order.begin(), order.end(), 0);
   auto params = mlp.params();
 
+  // Scratch reused across minibatches: gathered inputs and loss gradients.
+  tensor::Matrix batch_features;
+  tensor::Matrix batch_grads;
+
   double epoch_loss = 0.0;
   for (std::size_t epoch = 0; epoch < config.epochs; ++epoch) {
     if (config.shuffle) rng.shuffle(order);
@@ -47,17 +52,30 @@ double train(Mlp& mlp, const TrainingSet& data, const Loss& loss,
           std::min(cursor + config.batch_size, order.size());
       const std::size_t batch_size = batch_end - cursor;
       mlp.zero_grad();
-      for (std::size_t b = cursor; b < batch_end; ++b) {
-        const std::size_t idx = order[b];
-        const auto input = data.features.row(idx);
+
+      // Gather the minibatch into a row-major batch and run one batched
+      // forward (per-layer GEMM) instead of per-sample matvec loops.
+      batch_features.resize_for_overwrite(batch_size, data.features.cols());
+      for (std::size_t b = 0; b < batch_size; ++b) {
+        const auto src = data.features.row(order[cursor + b]);
+        std::copy(src.begin(), src.end(), batch_features.row(b).begin());
+      }
+      const tensor::Matrix predictions = mlp.forward_batch(batch_features);
+
+      // Per-sample losses and gradients, in batch order — the loss itself
+      // is row-local, so this stays bit-identical to the per-sample loop.
+      batch_grads.resize_for_overwrite(batch_size, data.num_classes);
+      for (std::size_t b = 0; b < batch_size; ++b) {
+        const std::size_t idx = order[cursor + b];
         const tensor::Vector target =
             tensor::one_hot(data.labels[idx], data.num_classes);
-        const tensor::Vector prediction = mlp.forward(input);
+        const auto prediction = predictions.row(b);
         loss_sum += loss.value(prediction, target, data.weights[idx]);
         const tensor::Vector grad =
             loss.gradient(prediction, target, data.weights[idx]);
-        mlp.backward(grad);
+        std::copy(grad.begin(), grad.end(), batch_grads.row(b).begin());
       }
+      mlp.backward_batch(batch_grads);
       optimizer.step(params, batch_size);
       cursor = batch_end;
     }
@@ -67,12 +85,14 @@ double train(Mlp& mlp, const TrainingSet& data, const Loss& loss,
   return epoch_loss;
 }
 
-double evaluate_accuracy(Mlp& mlp, const TrainingSet& data) {
+double evaluate_accuracy(const Mlp& mlp, const TrainingSet& data) {
   data.validate();
   if (data.size() == 0) return 0.0;
+  const std::vector<std::size_t> predictions =
+      mlp.predict_batch(data.features);
   std::size_t correct = 0;
   for (std::size_t i = 0; i < data.size(); ++i) {
-    if (mlp.predict(data.features.row(i)) == data.labels[i]) ++correct;
+    if (predictions[i] == data.labels[i]) ++correct;
   }
   return static_cast<double>(correct) / static_cast<double>(data.size());
 }

@@ -37,12 +37,16 @@ struct TrainerConfig {
 };
 
 /// Runs mini-batch gradient descent of `loss` over `data`; returns the mean
-/// loss of the final epoch.
+/// loss of the final epoch. Each minibatch runs as one batched
+/// forward/backward (per-layer GEMM via Mlp::forward_batch/backward_batch);
+/// gradients and trained weights are bit-identical to a per-sample loop.
 double train(Mlp& mlp, const TrainingSet& data, const Loss& loss,
              Optimizer& optimizer, const TrainerConfig& config,
              SplitRng& rng);
 
-/// Fraction of samples whose argmax prediction matches the label.
-[[nodiscard]] double evaluate_accuracy(Mlp& mlp, const TrainingSet& data);
+/// Fraction of samples whose argmax prediction matches the label (one
+/// batched inference forward over the whole set).
+[[nodiscard]] double evaluate_accuracy(const Mlp& mlp,
+                                       const TrainingSet& data);
 
 }  // namespace muffin::nn

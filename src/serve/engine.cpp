@@ -30,8 +30,18 @@ std::future<Prediction> InferenceEngine::submit(const data::Record& record) {
   MUFFIN_REQUIRE(!stopped_.load(), "cannot submit to a stopped engine");
   Request request{record, Clock::now(), {}};
   std::future<Prediction> future = request.promise.get_future();
-  batcher_.push(std::move(request));
+  // Count before publishing to the batcher: a worker may dequeue, score,
+  // and record latency for this request the moment it is pushed, and
+  // observers assert latency.count <= counters().requests mid-flight.
   requests_.fetch_add(1, std::memory_order_relaxed);
+  try {
+    batcher_.push(std::move(request));
+  } catch (...) {
+    // push throws if shutdown() closed the batcher between the stopped_
+    // check and here: the request never entered the engine, so un-count it.
+    requests_.fetch_sub(1, std::memory_order_relaxed);
+    throw;
+  }
   return future;
 }
 
@@ -107,31 +117,45 @@ void InferenceEngine::process_batch(std::vector<Request> batch) {
       }
     }
 
-    // 2. Body scores for the misses, batch-at-a-time per model: one model's
-    // calibration tables stay hot across the whole batch (the ScoreCache
-    // gather layout), instead of cycling all models on every record.
-    const std::size_t width = body_size_ * num_classes_;
-    tensor::Matrix gathered(misses.size(), width);
-    for (std::size_t m = 0; m < body_size_; ++m) {
-      const models::Model& body_model = *model_->body()[m];
-      for (std::size_t k = 0; k < misses.size(); ++k) {
-        const tensor::Vector s = body_model.scores(batch[misses[k]].record);
-        MUFFIN_REQUIRE(s.size() == num_classes_,
-                       "body model returned malformed scores");
-        for (std::size_t c = 0; c < num_classes_; ++c) {
-          gathered(k, m * num_classes_ + c) = s[c];
-        }
+    // 2. Body scores for the misses as one record span through the shared
+    // gather (every body model's score_batch override over the whole
+    // sub-batch, written in the ScoreCache gather layout). score_batch
+    // takes a contiguous span, so the miss records are copied out of
+    // their Request wrappers once per batch — amortized across all body
+    // models and small next to the scoring itself.
+    if (!misses.empty()) {
+      std::vector<data::Record> miss_records;
+      miss_records.reserve(misses.size());
+      for (const std::size_t i : misses) {
+        miss_records.push_back(batch[i].record);
       }
-    }
+      const tensor::Matrix gathered = core::gather_body_scores(
+          model_->body(), num_classes_, miss_records);
 
-    // 3. Consensus gate + head forward on this worker's head clone.
-    const std::size_t worker = ThreadPool::current_worker();
-    nn::Mlp& head =
-        worker_heads_[worker == ThreadPool::npos ? 0 : worker];
-    for (std::size_t k = 0; k < misses.size(); ++k) {
-      const std::size_t i = misses[k];
-      results[i] = score_row(gathered.row(k), head);
-      cache_store(batch[i].record.uid, results[i]);
+      // 3. Row-wise consensus gate + one batched head forward over the
+      // disagreement rows, on this worker's head clone. Bit-identical to
+      // FusedModel::scores by construction: fuse_gathered_batch rows match
+      // core::fuse_gathered, and worker heads are value copies.
+      const std::size_t worker = ThreadPool::current_worker();
+      const nn::Mlp& head =
+          worker_heads_[worker == ThreadPool::npos ? 0 : worker];
+      core::FusedBatch fused = core::fuse_gathered_batch(
+          gathered, head, body_size_, num_classes_,
+          model_->head_only_on_disagreement());
+      const std::size_t consensus_rows = misses.size() - fused.head_rows;
+      consensus_short_circuits_.fetch_add(consensus_rows,
+                                          std::memory_order_relaxed);
+      head_evaluations_.fetch_add(fused.head_rows,
+                                  std::memory_order_relaxed);
+      for (std::size_t k = 0; k < misses.size(); ++k) {
+        const std::size_t i = misses[k];
+        Prediction& prediction = results[i];
+        const auto row = fused.scores.row(k);
+        prediction.scores.assign(row.begin(), row.end());
+        prediction.predicted = tensor::argmax(prediction.scores);
+        prediction.consensus = fused.consensus[k];
+        cache_store(batch[i].record.uid, prediction);
+      }
     }
 
     // 4. Deliver results and account latency.
@@ -155,25 +179,6 @@ void InferenceEngine::process_batch(std::vector<Request> batch) {
     // (caught by TSan as pthread_cond_broadcast vs pthread_cond_destroy).
     inflight_done_.notify_all();
   }
-}
-
-Prediction InferenceEngine::score_row(std::span<const double> gathered,
-                                      nn::Mlp& head) {
-  // Bit-identical to FusedModel::scores by construction: both call
-  // core::fuse_gathered, and worker heads are value copies of the model's.
-  core::FusedScores fused =
-      core::fuse_gathered(gathered, head, body_size_, num_classes_,
-                          model_->head_only_on_disagreement());
-  if (fused.consensus) {
-    consensus_short_circuits_.fetch_add(1, std::memory_order_relaxed);
-  } else {
-    head_evaluations_.fetch_add(1, std::memory_order_relaxed);
-  }
-  Prediction prediction;
-  prediction.predicted = tensor::argmax(fused.scores);
-  prediction.scores = std::move(fused.scores);
-  prediction.consensus = fused.consensus;
-  return prediction;
 }
 
 std::size_t InferenceEngine::cache_entries() const {

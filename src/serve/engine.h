@@ -9,17 +9,21 @@
 //    batch-size or deadline; each batch is scored as a unit.
 //  * **Worker pool.** Batches execute on a reusable ThreadPool; on
 //    multi-core hosts independent batches score in parallel.
-//  * **Per-model batch scoring.** Within a batch, body scores are computed
-//    model-at-a-time into a row-major matrix (the gather layout of
-//    ScoreCache), keeping one model's calibration state hot across the
-//    whole batch instead of cycling every model per record.
-//  * **Consensus short-circuit.** §3.2: when every body model agrees the
-//    fused output is the consensus class, so the head forward is skipped
-//    entirely — on well-calibrated pools that removes the head from the
-//    majority of requests.
-//  * **Per-worker head clones.** Each worker owns a copy of the muffin
-//    head, so head forwards never contend on FusedModel's internal lock
-//    (nn::Mlp caches activations during forward and is not shareable).
+//  * **Matrix-in/Matrix-out batch scoring.** Each batch's memo misses are
+//    scored as one record span: every body model scores the whole span via
+//    its Model::score_batch override (batched GEMM for network-backed
+//    models, scratch reuse for calibrated ones) into the row-major gather
+//    matrix, and the fused result comes from one core::fuse_gathered_batch
+//    call — no per-record loops anywhere on the hot path.
+//  * **Consensus short-circuit, row-wise.** §3.2: rows whose body models
+//    agree resolve to the consensus mean directly; the muffin head runs a
+//    single batched forward over the disagreement sub-batch only — on
+//    well-calibrated pools that removes the head from the majority of
+//    requests and shrinks the one GEMM that remains.
+//  * **Per-worker head clones.** Each worker scores its batches on its own
+//    copy of the muffin head. The const inference forwards make the shared
+//    head safe to use concurrently, but worker-local clones keep each
+//    worker's head weights hot in its own cache hierarchy.
 //  * **Result memoization.** Model scores are deterministic per record
 //    (the Model contract), so completed predictions are kept in a bounded
 //    LRU keyed by record uid; repeated requests — the common case in
@@ -121,9 +125,6 @@ class InferenceEngine {
 
   void dispatch_loop();
   void process_batch(std::vector<Request> batch);
-  /// Score one gathered body-score row (consensus gate, then head).
-  [[nodiscard]] Prediction score_row(std::span<const double> gathered,
-                                     nn::Mlp& head);
 
   [[nodiscard]] bool cache_lookup(std::uint64_t uid, Prediction& out);
   void cache_store(std::uint64_t uid, const Prediction& prediction);

@@ -54,6 +54,9 @@ class Matrix {
   void fill(double value);
   /// Reset to rows x cols, zero-filled.
   void resize(std::size_t rows, std::size_t cols);
+  /// Reset to rows x cols with unspecified contents (hot-path variant for
+  /// callers that overwrite every element; reuses capacity when possible).
+  void resize_for_overwrite(std::size_t rows, std::size_t cols);
 
   bool operator==(const Matrix& other) const = default;
 

@@ -12,8 +12,28 @@
 namespace muffin::tensor {
 
 /// C = A * B. Requires A.cols() == B.rows().
+///
+/// i-k-j loop order with column tiling on B: the inner traversal stays
+/// contiguous for row-major data and the active B/C row segments stay
+/// cache-resident when B is wide. The per-element accumulation order over k
+/// is unchanged by the tiling, so results are bit-identical to the untiled
+/// kernel.
 [[nodiscard]] Matrix matmul(const Matrix& a, const Matrix& b);
 void matmul_into(const Matrix& a, const Matrix& b, Matrix& out);
+
+/// C = A * B^T. Requires A.cols() == B.cols(). The batch-scoring workhorse:
+/// a tall-skinny activation matrix (batch x in) against a row-major weight
+/// matrix stored (out x in) multiplies as contiguous row dot products with
+/// no transposition or striding.
+[[nodiscard]] Matrix matmul_transposed_b(const Matrix& a, const Matrix& b);
+void matmul_transposed_b_into(const Matrix& a, const Matrix& b, Matrix& out);
+
+/// C = A * B^T + 1 * bias^T (bias broadcast over rows), the fused
+/// linear-layer forward. Each output element accumulates the row dot product
+/// first and adds the bias last, matching the per-record matvec-then-add
+/// order bit for bit. Requires bias.size() == B.rows().
+void matmul_transposed_b_bias_into(const Matrix& a, const Matrix& b,
+                                   std::span<const double> bias, Matrix& out);
 
 /// y = A * x (GEMV). Requires A.cols() == x.size().
 [[nodiscard]] Vector matvec(const Matrix& a, std::span<const double> x);
@@ -54,6 +74,11 @@ void add_scaled_inplace(Vector& a, std::span<const double> b, double factor);
 /// Softmax with temperature; t > 0 (t > 1 flattens, t < 1 sharpens).
 [[nodiscard]] Vector softmax(std::span<const double> logits,
                              double temperature);
+/// Softmax written into preallocated storage (batch hot path; `out` may not
+/// alias `logits`). Bit-identical to the allocating overloads.
+void softmax_into(std::span<const double> logits, std::span<double> out);
+void softmax_into(std::span<const double> logits, double temperature,
+                  std::span<double> out);
 /// log(softmax(logits)) computed stably.
 [[nodiscard]] Vector log_softmax(std::span<const double> logits);
 

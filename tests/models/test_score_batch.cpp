@@ -1,0 +1,235 @@
+// Bit-identity of Model::score_batch against per-record scores() for every
+// model type: the default fallback, calibrated simulations, the trainable
+// classifier, the Method-D/L baselines (both execution paths), and the
+// fused muffin model — including all-consensus and all-disagreement
+// batches, with the head gate on and off. Batch sizes {1, 7, 64}.
+#include "models/model.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "baselines/single_attribute.h"
+#include "core/fused.h"
+#include "core/head_trainer.h"
+#include "core/proxy.h"
+#include "core/score_cache.h"
+#include "data/generators.h"
+#include "models/calibrated.h"
+#include "models/pool.h"
+#include "models/trainable.h"
+#include "tensor/ops.h"
+
+namespace muffin::models {
+namespace {
+
+constexpr std::size_t kBatchSizes[] = {1, 7, 64};
+
+const data::Dataset& batch_dataset() {
+  static const data::Dataset ds = data::synthetic_isic2019(3000, 77);
+  return ds;
+}
+
+const ModelPool& batch_pool() {
+  static const ModelPool pool = calibrated_isic_pool(batch_dataset());
+  return pool;
+}
+
+std::vector<data::Record> first_records(std::size_t n) {
+  std::vector<data::Record> records;
+  records.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    records.push_back(batch_dataset().record(i));
+  }
+  return records;
+}
+
+/// Asserts score_batch(records) row r == scores(records[r]) bit for bit.
+void expect_batch_bitwise_identical(const Model& model,
+                                    std::span<const data::Record> records) {
+  const tensor::Matrix batch = model.score_batch(records);
+  ASSERT_EQ(batch.rows(), records.size());
+  ASSERT_EQ(batch.cols(), model.num_classes());
+  for (std::size_t r = 0; r < records.size(); ++r) {
+    const tensor::Vector reference = model.scores(records[r]);
+    for (std::size_t c = 0; c < reference.size(); ++c) {
+      // EXPECT_EQ, not EXPECT_DOUBLE_EQ: bit identity, no ulp slack.
+      EXPECT_EQ(batch(r, c), reference[c])
+          << model.name() << " row " << r << " col " << c;
+    }
+  }
+}
+
+// A model relying on Model's default per-record score_batch fallback.
+class UniformModel final : public Model {
+ public:
+  [[nodiscard]] const std::string& name() const override { return name_; }
+  [[nodiscard]] std::size_t num_classes() const override { return 4; }
+  [[nodiscard]] std::size_t parameter_count() const override { return 0; }
+  [[nodiscard]] tensor::Vector scores(
+      const data::Record& record) const override {
+    tensor::Vector s(4, 0.2);
+    s[record.uid % 4] = 0.4;  // deterministic, uid-dependent argmax
+    return s;
+  }
+
+ private:
+  std::string name_ = "uniform";
+};
+
+TEST(ScoreBatch, DefaultFallbackLoopsPerRecord) {
+  const UniformModel model;
+  for (const std::size_t n : kBatchSizes) {
+    expect_batch_bitwise_identical(model, first_records(n));
+  }
+  // Empty batch is well-formed.
+  const tensor::Matrix empty = model.score_batch({});
+  EXPECT_EQ(empty.rows(), 0u);
+}
+
+TEST(ScoreBatch, CalibratedModelsBitIdentical) {
+  for (const std::size_t m : {std::size_t{0}, batch_pool().size() - 1}) {
+    for (const std::size_t n : kBatchSizes) {
+      expect_batch_bitwise_identical(batch_pool().at(m), first_records(n));
+    }
+  }
+}
+
+TEST(ScoreBatch, TrainableClassifierBitIdentical) {
+  TrainableConfig config;
+  config.epochs = 4;
+  TrainableClassifier model("batch-mlp", batch_dataset(), config);
+  model.fit(batch_dataset());
+  for (const std::size_t n : kBatchSizes) {
+    expect_batch_bitwise_identical(model, first_records(n));
+  }
+}
+
+TEST(ScoreBatch, BaselineModelsBitIdentical) {
+  const auto* resnet =
+      dynamic_cast<const CalibratedModel*>(&batch_pool().by_name("ResNet-18"));
+  ASSERT_NE(resnet, nullptr);
+  const ModelPtr optimized = baselines::optimize_calibrated(
+      *resnet, batch_dataset(), "age", baselines::Method::DataBalance);
+  TrainableConfig config;
+  config.epochs = 4;
+  const auto retrained = baselines::optimize_trainable(
+      batch_dataset(), "age", baselines::Method::FairLoss, config);
+  for (const std::size_t n : kBatchSizes) {
+    expect_batch_bitwise_identical(*optimized, first_records(n));
+    expect_batch_bitwise_identical(*retrained, first_records(n));
+  }
+}
+
+core::FusingStructure fused_structure() {
+  rl::StructureChoice choice;
+  choice.model_indices = {batch_pool().index_of("ShuffleNet_V2_X1_0"),
+                          batch_pool().index_of("DenseNet121")};
+  choice.hidden_dims = {18, 12};
+  choice.activation = nn::Activation::Relu;
+  return core::FusingStructure::from_choice(choice,
+                                            batch_dataset().num_classes());
+}
+
+std::shared_ptr<core::FusedModel> build_fused(bool gate) {
+  const core::FusingStructure structure = fused_structure();
+  static const core::ScoreCache cache(batch_pool(), batch_dataset());
+  static const core::ProxyDataset proxy = core::build_proxy(batch_dataset());
+  core::HeadTrainConfig config;
+  config.epochs = 6;
+  nn::Mlp head =
+      core::train_head(cache, batch_dataset(), proxy, structure, config);
+  std::vector<ModelPtr> body = {batch_pool().share(structure.model_indices[0]),
+                                batch_pool().share(structure.model_indices[1])};
+  return std::make_shared<core::FusedModel>("Muffin", std::move(body),
+                                            std::move(head), gate);
+}
+
+TEST(ScoreBatch, FusedModelBitIdenticalMixedBatches) {
+  const auto fused = build_fused(true);
+  for (const std::size_t n : kBatchSizes) {
+    expect_batch_bitwise_identical(*fused, first_records(n));
+  }
+}
+
+TEST(ScoreBatch, FusedModelAllConsensusAndAllDisagreementBatches) {
+  const auto fused = build_fused(true);
+  const auto& body = fused->body();
+  std::vector<data::Record> consensus_batch;
+  std::vector<data::Record> disagreement_batch;
+  for (std::size_t i = 0;
+       i < batch_dataset().size() &&
+       (consensus_batch.size() < 64 || disagreement_batch.size() < 64);
+       ++i) {
+    const data::Record& r = batch_dataset().record(i);
+    if (body[0]->predict(r) == body[1]->predict(r)) {
+      if (consensus_batch.size() < 64) consensus_batch.push_back(r);
+    } else if (disagreement_batch.size() < 64) {
+      disagreement_batch.push_back(r);
+    }
+  }
+  ASSERT_EQ(consensus_batch.size(), 64u);
+  ASSERT_EQ(disagreement_batch.size(), 64u);
+
+  expect_batch_bitwise_identical(*fused, consensus_batch);
+  expect_batch_bitwise_identical(*fused, disagreement_batch);
+
+  // Consensus rows must carry the consensus class; the batched gate must
+  // never flip it (§3.2).
+  const tensor::Matrix consensus_scores = fused->score_batch(consensus_batch);
+  for (std::size_t r = 0; r < consensus_batch.size(); ++r) {
+    EXPECT_EQ(tensor::argmax(consensus_scores.row(r)),
+              body[0]->predict(consensus_batch[r]));
+  }
+}
+
+TEST(ScoreBatch, FusedModelGateOffRunsHeadEverywhere) {
+  const auto fused = build_fused(false);
+  for (const std::size_t n : kBatchSizes) {
+    expect_batch_bitwise_identical(*fused, first_records(n));
+  }
+}
+
+TEST(ScoreBatch, PredictAllMatchesPerRecordPredict) {
+  const Model& model = batch_pool().at(0);
+  const std::vector<std::size_t> batched = model.predict_all(batch_dataset());
+  for (std::size_t i = 0; i < 200; ++i) {
+    EXPECT_EQ(batched[i], model.predict(batch_dataset().record(i)));
+  }
+}
+
+TEST(FuseGatheredBatch, RowsMatchSingleRecordReference) {
+  const auto fused = build_fused(true);
+  const std::vector<data::Record> records = first_records(64);
+  const std::size_t num_classes = fused->num_classes();
+  const std::size_t body_size = fused->body().size();
+
+  tensor::Matrix gathered(records.size(), body_size * num_classes);
+  for (std::size_t m = 0; m < body_size; ++m) {
+    const tensor::Matrix s = fused->body()[m]->score_batch(records);
+    for (std::size_t i = 0; i < records.size(); ++i) {
+      std::copy(s.row(i).begin(), s.row(i).end(),
+                gathered.row(i).begin() + m * num_classes);
+    }
+  }
+  for (const bool gate : {true, false}) {
+    const core::FusedBatch batch = core::fuse_gathered_batch(
+        gathered, fused->head(), body_size, num_classes, gate);
+    ASSERT_EQ(batch.scores.rows(), records.size());
+    std::size_t consensus_rows = 0;
+    for (std::size_t i = 0; i < records.size(); ++i) {
+      const core::FusedScores reference = core::fuse_gathered(
+          gathered.row(i), fused->head(), body_size, num_classes, gate);
+      EXPECT_EQ(batch.consensus[i], reference.consensus);
+      if (reference.consensus) ++consensus_rows;
+      for (std::size_t c = 0; c < num_classes; ++c) {
+        EXPECT_EQ(batch.scores(i, c), reference.scores[c]);
+      }
+    }
+    EXPECT_EQ(batch.head_rows, records.size() - consensus_rows);
+    if (!gate) EXPECT_EQ(batch.head_rows, records.size());
+  }
+}
+
+}  // namespace
+}  // namespace muffin::models

@@ -1,0 +1,324 @@
+// Bit-identity of the batched nn paths against the per-sample reference.
+//
+// The batch-first refactor promises that forward_batch / backward_batch /
+// forward_batch_inference on an n-row batch equal n per-sample calls, bit
+// for bit (same operation order within each row, same accumulation order
+// across rows). These suites pin that promise for every layer type, every
+// activation, the full Mlp, the training gradient path, and the LSTM
+// batched step, at batch sizes {1, 7, 64}.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "nn/activation.h"
+#include "nn/linear.h"
+#include "nn/lstm.h"
+#include "nn/mlp.h"
+#include "tensor/ops.h"
+
+namespace muffin::nn {
+namespace {
+
+constexpr std::size_t kBatchSizes[] = {1, 7, 64};
+
+tensor::Matrix random_batch(std::size_t rows, std::size_t cols,
+                            std::uint64_t seed) {
+  SplitRng rng(seed);
+  tensor::Matrix batch(rows, cols);
+  for (double& v : batch.flat()) v = rng.normal(0.0, 1.3);
+  return batch;
+}
+
+void expect_rows_bitwise_equal(const tensor::Matrix& batch,
+                               const tensor::Vector& reference,
+                               std::size_t row) {
+  ASSERT_EQ(batch.cols(), reference.size());
+  for (std::size_t c = 0; c < reference.size(); ++c) {
+    // EXPECT_DOUBLE_EQ would accept 4-ulp drift; bit identity means exact.
+    EXPECT_EQ(batch(row, c), reference[c])
+        << "row " << row << " col " << c;
+  }
+}
+
+// ---------------------------------------------------------------- Linear
+
+TEST(LinearBatch, ForwardBatchMatchesPerSampleBitwise) {
+  for (const std::size_t n : kBatchSizes) {
+    Linear batched(5, 3);
+    SplitRng rng(17);
+    batched.init_xavier(rng);
+    Linear reference = batched;  // value copy: identical weights
+
+    const tensor::Matrix input = random_batch(n, 5, 100 + n);
+    const tensor::Matrix out = batched.forward_batch(input);
+    ASSERT_EQ(out.rows(), n);
+    for (std::size_t r = 0; r < n; ++r) {
+      expect_rows_bitwise_equal(out, reference.forward(input.row(r)), r);
+    }
+  }
+}
+
+TEST(LinearBatch, ForwardBatchInferenceIsConstAndBitwiseEqual) {
+  Linear layer(4, 6);
+  SplitRng rng(23);
+  layer.init_he(rng);
+  const Linear& const_layer = layer;
+  const tensor::Matrix input = random_batch(7, 4, 7);
+  const tensor::Matrix out = const_layer.forward_batch_inference(input);
+  for (std::size_t r = 0; r < input.rows(); ++r) {
+    expect_rows_bitwise_equal(out, layer.forward(input.row(r)), r);
+  }
+}
+
+TEST(LinearBatch, BackwardBatchGradientsMatchPerSampleBitwise) {
+  for (const std::size_t n : kBatchSizes) {
+    Linear batched(5, 3);
+    SplitRng rng(31);
+    batched.init_xavier(rng);
+    Linear reference = batched;
+
+    const tensor::Matrix input = random_batch(n, 5, 200 + n);
+    const tensor::Matrix grad_out = random_batch(n, 3, 300 + n);
+
+    // Reference: per-sample forward/backward accumulation.
+    reference.zero_grad();
+    std::vector<tensor::Vector> ref_grad_in;
+    for (std::size_t r = 0; r < n; ++r) {
+      (void)reference.forward(input.row(r));
+      ref_grad_in.push_back(reference.backward(grad_out.row(r)));
+    }
+
+    batched.zero_grad();
+    (void)batched.forward_batch(input);
+    const tensor::Matrix grad_in = batched.backward_batch(grad_out);
+
+    for (std::size_t r = 0; r < n; ++r) {
+      expect_rows_bitwise_equal(grad_in, ref_grad_in[r], r);
+    }
+    for (std::size_t i = 0; i < 3; ++i) {
+      EXPECT_EQ(batched.bias_grad()[i], reference.bias_grad()[i]);
+      for (std::size_t j = 0; j < 5; ++j) {
+        EXPECT_EQ(batched.weight_grad()(i, j), reference.weight_grad()(i, j));
+      }
+    }
+  }
+}
+
+TEST(LinearBatch, BackwardBeforeForwardThrows) {
+  Linear layer(2, 2);
+  EXPECT_THROW((void)layer.backward_batch(tensor::Matrix(3, 2)), Error);
+}
+
+TEST(LinearBatch, ShapeMismatchThrows) {
+  Linear layer(3, 2);
+  EXPECT_THROW((void)layer.forward_batch(tensor::Matrix(4, 2)), Error);
+  EXPECT_THROW((void)layer.forward_batch_inference(tensor::Matrix(4, 2)),
+               Error);
+}
+
+// ------------------------------------------------------------ Activation
+
+TEST(ActivationBatch, AllKindsMatchPerSampleBitwise) {
+  for (const Activation kind :
+       {Activation::Identity, Activation::Relu, Activation::LeakyRelu,
+        Activation::Tanh, Activation::Sigmoid}) {
+    for (const std::size_t n : kBatchSizes) {
+      ActivationLayer batched(kind, 6);
+      ActivationLayer reference(kind, 6);
+      const tensor::Matrix input = random_batch(n, 6, 400 + n);
+      const tensor::Matrix grad_out = random_batch(n, 6, 500 + n);
+
+      const tensor::Matrix out = batched.forward_batch(input);
+      const tensor::Matrix grad_in = batched.backward_batch(grad_out);
+      for (std::size_t r = 0; r < n; ++r) {
+        expect_rows_bitwise_equal(out, reference.forward(input.row(r)), r);
+        expect_rows_bitwise_equal(grad_in,
+                                  reference.backward(grad_out.row(r)), r);
+      }
+    }
+  }
+}
+
+// ------------------------------------------------------------------- Mlp
+
+MlpSpec head_like_spec(Activation hidden, Activation output) {
+  MlpSpec spec;
+  spec.input_dim = 16;
+  spec.hidden_dims = {18, 12};
+  spec.output_dim = 8;
+  spec.hidden_activation = hidden;
+  spec.output_activation = output;
+  return spec;
+}
+
+TEST(MlpBatch, ForwardBatchMatchesPerSampleBitwise) {
+  for (const Activation hidden : searchable_activations()) {
+    Mlp mlp(head_like_spec(hidden, Activation::Sigmoid));
+    SplitRng rng(41);
+    mlp.init(rng);
+    for (const std::size_t n : kBatchSizes) {
+      const tensor::Matrix input = random_batch(n, 16, 600 + n);
+      const tensor::Matrix out = mlp.forward_batch(input);
+      const tensor::Matrix inference = mlp.forward_batch_inference(input);
+      for (std::size_t r = 0; r < n; ++r) {
+        const tensor::Vector reference = mlp.forward(input.row(r));
+        expect_rows_bitwise_equal(out, reference, r);
+        expect_rows_bitwise_equal(inference, reference, r);
+        const tensor::Vector single = mlp.forward_inference(input.row(r));
+        ASSERT_EQ(single.size(), reference.size());
+        for (std::size_t k = 0; k < single.size(); ++k) {
+          EXPECT_EQ(single[k], reference[k]);
+        }
+      }
+    }
+  }
+}
+
+TEST(MlpBatch, PredictIsConstAndMatchesForward) {
+  Mlp mlp(head_like_spec(Activation::Relu, Activation::Sigmoid));
+  SplitRng rng(43);
+  mlp.init(rng);
+  const Mlp& const_mlp = mlp;
+  const tensor::Matrix input = random_batch(7, 16, 77);
+  const std::vector<std::size_t> batched = const_mlp.predict_batch(input);
+  for (std::size_t r = 0; r < input.rows(); ++r) {
+    EXPECT_EQ(batched[r], const_mlp.predict(input.row(r)));
+    EXPECT_EQ(batched[r], tensor::argmax(mlp.forward(input.row(r))));
+  }
+}
+
+TEST(MlpBatch, BackwardBatchGradientsMatchPerSampleBitwise) {
+  for (const std::size_t n : kBatchSizes) {
+    Mlp batched(head_like_spec(Activation::Tanh, Activation::Sigmoid));
+    SplitRng rng(47);
+    batched.init(rng);
+    Mlp reference = batched;
+
+    const tensor::Matrix input = random_batch(n, 16, 700 + n);
+    const tensor::Matrix grad_out = random_batch(n, 8, 800 + n);
+
+    reference.zero_grad();
+    std::vector<tensor::Vector> ref_grad_in;
+    for (std::size_t r = 0; r < n; ++r) {
+      (void)reference.forward(input.row(r));
+      ref_grad_in.push_back(reference.backward(grad_out.row(r)));
+    }
+
+    batched.zero_grad();
+    (void)batched.forward_batch(input);
+    const tensor::Matrix grad_in = batched.backward_batch(grad_out);
+
+    for (std::size_t r = 0; r < n; ++r) {
+      expect_rows_bitwise_equal(grad_in, ref_grad_in[r], r);
+    }
+    auto batched_params = batched.params();
+    auto reference_params = reference.params();
+    ASSERT_EQ(batched_params.size(), reference_params.size());
+    for (std::size_t p = 0; p < batched_params.size(); ++p) {
+      ASSERT_EQ(batched_params[p].grad.size(),
+                reference_params[p].grad.size());
+      for (std::size_t i = 0; i < batched_params[p].grad.size(); ++i) {
+        EXPECT_EQ(batched_params[p].grad[i], reference_params[p].grad[i])
+            << "param block " << p << " element " << i;
+      }
+    }
+  }
+}
+
+// ------------------------------------------------------------------ LSTM
+
+TEST(LstmBatch, StepBatchMatchesPerSequenceStepBitwise) {
+  const std::size_t input_dim = 5;
+  const std::size_t hidden_dim = 9;
+  LstmCell shared(input_dim, hidden_dim);
+  SplitRng rng(53);
+  shared.init(rng);
+
+  for (const std::size_t n : kBatchSizes) {
+    // Reference: one cell per sequence, stepped independently.
+    std::vector<LstmCell> reference;
+    for (std::size_t b = 0; b < n; ++b) {
+      LstmCell cell = shared;  // value copy: same weights
+      cell.begin_sequence();
+      reference.push_back(std::move(cell));
+    }
+
+    tensor::Matrix h(n, hidden_dim);
+    tensor::Matrix c(n, hidden_dim);
+    for (std::size_t t = 0; t < 4; ++t) {
+      const tensor::Matrix inputs = random_batch(n, input_dim, 900 + 10 * n + t);
+      shared.step_batch(inputs, h, c);
+      for (std::size_t b = 0; b < n; ++b) {
+        const tensor::Vector h_ref = reference[b].step(inputs.row(b));
+        for (std::size_t j = 0; j < hidden_dim; ++j) {
+          EXPECT_EQ(h(b, j), h_ref[j]) << "t=" << t << " b=" << b;
+          EXPECT_EQ(c(b, j), reference[b].cell()[j]) << "t=" << t << " b=" << b;
+        }
+      }
+    }
+    // The shared cell's own state must be untouched (const batched step).
+    for (std::size_t j = 0; j < hidden_dim; ++j) {
+      EXPECT_DOUBLE_EQ(shared.hidden()[j], 0.0);
+      EXPECT_DOUBLE_EQ(shared.cell()[j], 0.0);
+    }
+  }
+}
+
+TEST(LstmBatch, ShapeMismatchThrows) {
+  LstmCell cell(3, 4);
+  SplitRng rng(3);
+  cell.init(rng);
+  tensor::Matrix h(2, 4);
+  tensor::Matrix c(2, 4);
+  EXPECT_THROW(cell.step_batch(tensor::Matrix(2, 2), h, c), Error);
+  tensor::Matrix h_bad(3, 4);
+  EXPECT_THROW(cell.step_batch(tensor::Matrix(2, 3), h_bad, c), Error);
+}
+
+// ----------------------------------------------------------- base Layer
+
+// A minimal layer relying on the Layer base-class batch defaults.
+class DoublingLayer final : public Layer {
+ public:
+  explicit DoublingLayer(std::size_t dim) : dim_(dim) {}
+  tensor::Vector forward(std::span<const double> input) override {
+    tensor::Vector out(input.begin(), input.end());
+    for (double& v : out) v *= 2.0;
+    return out;
+  }
+  tensor::Vector backward(std::span<const double> grad) override {
+    tensor::Vector out(grad.begin(), grad.end());
+    for (double& v : out) v *= 2.0;
+    return out;
+  }
+  [[nodiscard]] tensor::Vector forward_inference(
+      std::span<const double> input) const override {
+    tensor::Vector out(input.begin(), input.end());
+    for (double& v : out) v *= 2.0;
+    return out;
+  }
+  [[nodiscard]] std::size_t input_dim() const override { return dim_; }
+  [[nodiscard]] std::size_t output_dim() const override { return dim_; }
+
+ private:
+  std::size_t dim_;
+};
+
+TEST(LayerBatchDefaults, ForwardLoopsRowsAndBackwardThrows) {
+  DoublingLayer layer(3);
+  const tensor::Matrix input = random_batch(4, 3, 99);
+  const tensor::Matrix out = layer.forward_batch(input);
+  const tensor::Matrix inference = layer.forward_batch_inference(input);
+  for (std::size_t r = 0; r < 4; ++r) {
+    for (std::size_t c = 0; c < 3; ++c) {
+      EXPECT_EQ(out(r, c), input(r, c) * 2.0);
+      EXPECT_EQ(inference(r, c), input(r, c) * 2.0);
+    }
+  }
+  EXPECT_THROW((void)layer.backward_batch(out), Error);
+}
+
+}  // namespace
+}  // namespace muffin::nn
