@@ -20,6 +20,11 @@
 //       over S engine replicas; prints the merged aggregate view plus a
 //       per-shard table (routed traffic, memo entries, cache hits)
 //
+// Serving concurrency note: engine batches run on the process-wide
+// shared worker pool, sized by the MUFFIN_THREADS environment variable
+// (default: hardware concurrency). --workers is validated and recorded
+// in the engine config but no longer spawns a private pool per engine.
+//
 // Exit code 0 on success; errors are reported with context on stderr.
 #include <fstream>
 #include <iostream>

@@ -1,0 +1,115 @@
+#include "common/parallel_for.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <exception>
+#include <future>
+#include <thread>
+#include <vector>
+
+namespace muffin::common {
+
+namespace {
+
+std::size_t configured_pool_size() {
+  if (const char* env = std::getenv("MUFFIN_THREADS");
+      env != nullptr && *env != '\0') {
+    const long long parsed = std::atoll(env);
+    if (parsed > 0) return static_cast<std::size_t>(parsed);
+  }
+  return std::max<std::size_t>(1, std::thread::hardware_concurrency());
+}
+
+}  // namespace
+
+ThreadPool& global_pool() {
+  // Created on first use, joined after main via static destruction. All
+  // in-tree users (engine shutdown, parallel_for) wait for their own jobs,
+  // so no job outlives its captures.
+  static ThreadPool pool(configured_pool_size());
+  return pool;
+}
+
+std::size_t global_pool_size() {
+  static const std::size_t size = configured_pool_size();
+  return size;
+}
+
+std::vector<std::pair<std::size_t, std::size_t>> partition_blocks(
+    std::size_t n, std::size_t grain, std::size_t workers) {
+  std::vector<std::pair<std::size_t, std::size_t>> blocks;
+  if (n == 0) return blocks;
+  grain = std::max<std::size_t>(1, grain);
+  // Floor division keeps every block at least `grain` long (n / count >=
+  // grain whenever count <= n / grain); never more blocks than workers.
+  const std::size_t count =
+      std::max<std::size_t>(1, std::min(workers, n / grain));
+  const std::size_t base = n / count;
+  const std::size_t remainder = n % count;
+  blocks.reserve(count);
+  std::size_t begin = 0;
+  for (std::size_t block = 0; block < count; ++block) {
+    const std::size_t end = begin + base + (block < remainder ? 1 : 0);
+    blocks.emplace_back(begin, end);
+    begin = end;
+  }
+  return blocks;
+}
+
+namespace detail {
+
+void parallel_for_impl(
+    std::size_t n, std::size_t grain,
+    const std::function<void(std::size_t, std::size_t)>& body) {
+  // The serial fallbacks ran inline in the header; a second nested check
+  // here would only re-read the same thread-local.
+  const auto blocks = partition_blocks(n, grain, global_pool_size());
+  if (blocks.size() <= 1) {
+    body(0, n);
+    return;
+  }
+
+  // Block 0 is reserved for the calling thread, which runs it after the
+  // other blocks are queued — the caller contributes a full share instead
+  // of blocking idle on the futures. Every queued block references caller
+  // state, so this frame must never unwind before all of them finished:
+  // even a submit() failure mid-loop (allocation, stopping pool) drains
+  // the already-queued futures before rethrowing.
+  ThreadPool& pool = global_pool();
+  std::vector<std::future<void>> futures;
+  futures.reserve(blocks.size() - 1);
+  std::exception_ptr failure;
+  try {
+    for (std::size_t block = 1; block < blocks.size(); ++block) {
+      const std::size_t begin = blocks[block].first;
+      const std::size_t end = blocks[block].second;
+      futures.push_back(pool.submit([&body, begin, end]() {
+        body(begin, end);
+      }));
+    }
+  } catch (...) {
+    failure = std::current_exception();
+  }
+
+  if (failure == nullptr) {
+    try {
+      body(blocks[0].first, blocks[0].second);
+    } catch (...) {
+      failure = std::current_exception();
+    }
+  }
+  // Always drain every block before returning (or rethrowing): blocks
+  // reference caller state, so none may outlive this frame.
+  for (std::future<void>& future : futures) {
+    try {
+      future.get();
+    } catch (...) {
+      if (failure == nullptr) failure = std::current_exception();
+    }
+  }
+  if (failure != nullptr) std::rethrow_exception(failure);
+}
+
+}  // namespace detail
+
+}  // namespace muffin::common

@@ -1,8 +1,8 @@
-#include "serve/thread_pool.h"
+#include "common/thread_pool.h"
 
 #include "common/error.h"
 
-namespace muffin::serve {
+namespace muffin::common {
 
 namespace {
 thread_local std::size_t tls_worker_index = ThreadPool::npos;
@@ -59,4 +59,4 @@ void ThreadPool::worker_loop(std::size_t index) {
   }
 }
 
-}  // namespace muffin::serve
+}  // namespace muffin::common

@@ -7,7 +7,7 @@
 
 #include "common/error.h"
 #include "common/log.h"
-#include "serve/thread_pool.h"
+#include "common/parallel_for.h"
 
 namespace muffin::core {
 
@@ -72,6 +72,7 @@ MuffinSearch::MuffinSearch(const models::ModelPool& pool,
       config_(std::move(config)),
       train_cache_(pool, train),
       eval_cache_(pool, eval),
+      eval_partition_(eval),
       proxy_(build_proxy(train, config_.proxy)),
       controller_(space_, config_.controller) {
   MUFFIN_REQUIRE(space_.pool_size == pool.size(),
@@ -101,7 +102,11 @@ EpisodeRecord MuffinSearch::evaluate_internal(
 
   EpisodeRecord record;
   record.choice = choice;
-  record.eval_report = fairness::evaluate_predictions(eval_, predictions);
+  // Precomputed group partition: episodes only change predictions, so the
+  // report accumulates over flat label/group arrays (bit-identical to
+  // evaluate_predictions(eval_, ...), pinned by the fairness tests).
+  record.eval_report =
+      fairness::evaluate_predictions(eval_partition_, predictions);
   record.reward = multi_fairness_reward(record.eval_report, config_.reward);
   record.parameter_count = structure.head_spec.parameter_count();
   std::ostringstream names;
@@ -144,16 +149,13 @@ SearchResult MuffinSearch::run() {
   result.episodes.reserve(config_.episodes);
   SplitRng sample_rng = SplitRng(config_.seed).fork("controller-sampling");
 
-  // One worker pool reused across all controller batches (the serving
-  // runtime's ThreadPool, replacing the former per-episode std::async
-  // threads). Sized to the batch but no wider than the hardware.
-  std::unique_ptr<serve::ThreadPool> pool;
-  if (config_.parallel) {
-    const std::size_t hardware =
-        std::max<std::size_t>(1, std::thread::hardware_concurrency());
-    pool = std::make_unique<serve::ThreadPool>(
-        std::min(config_.controller_batch, hardware));
-  }
+  // Controller batches evaluate on the process-wide shared pool — the
+  // same one the serving engine and the kernel-level parallel_for use —
+  // so a search running next to a serving tier queues work instead of
+  // spawning competing threads. (Episode jobs that reach a kernel split
+  // run it inline: parallel_for detects pool workers and stays serial.)
+  common::ThreadPool* pool =
+      config_.parallel ? &common::global_pool() : nullptr;
 
   std::size_t episode = 0;
   while (episode < config_.episodes) {

@@ -9,8 +9,10 @@
 // Deviations from the paper, documented: the search evaluates rewards on a
 // held-out *validation* split (the paper says "the original dataset");
 // final reporting in the benches is on the untouched test split. Episodes
-// within one controller batch are evaluated in parallel on a reusable
-// serve::ThreadPool — structure evaluation is embarrassingly parallel and
+// within one controller batch are evaluated in parallel on the shared
+// process-wide worker pool (common::global_pool(), also used by the
+// serving engine and the kernel parallel_for) — structure evaluation is
+// embarrassingly parallel and
 // all shared state (score caches, proxy) is read-only. Results are
 // bit-identical to the sequential loop because every episode derives its
 // seed from its index.
@@ -109,6 +111,10 @@ class MuffinSearch {
   MuffinSearchConfig config_;
   ScoreCache train_cache_;
   ScoreCache eval_cache_;
+  /// Group structure of the eval split, computed once and shared by every
+  /// episode's fairness report (candidate structures change predictions,
+  /// never group membership).
+  fairness::GroupPartition eval_partition_;
   ProxyDataset proxy_;
   rl::RnnController controller_;
   /// Memo of evaluated structures (keyed by choice string): identical

@@ -103,6 +103,66 @@ FairnessReport evaluate_predictions(const data::Dataset& dataset,
   return report;
 }
 
+GroupPartition::GroupPartition(const data::Dataset& dataset) {
+  MUFFIN_REQUIRE(dataset.size() > 0, "cannot partition an empty dataset");
+  size = dataset.size();
+  labels.resize(size);
+  const auto& schema = dataset.schema();
+  attributes.resize(schema.size());
+  for (std::size_t a = 0; a < schema.size(); ++a) {
+    attributes[a].name = schema[a].name;
+    attributes[a].group_of.resize(size);
+    attributes[a].group_count.assign(schema[a].group_count(), 0);
+  }
+  for (std::size_t i = 0; i < size; ++i) {
+    const data::Record& record = dataset.record(i);
+    labels[i] = record.label;
+    for (std::size_t a = 0; a < schema.size(); ++a) {
+      attributes[a].group_of[i] = record.groups[a];
+      ++attributes[a].group_count[record.groups[a]];
+    }
+  }
+}
+
+FairnessReport evaluate_predictions(const GroupPartition& partition,
+                                    std::span<const std::size_t> predictions) {
+  MUFFIN_REQUIRE(predictions.size() == partition.size,
+                 "prediction count must match partition size");
+  FairnessReport report;
+
+  // Same accumulation order as the Dataset overload (ascending record
+  // index, correctness as 0.0/1.0 sums), so reports are bit-identical —
+  // only the group membership walk is precomputed away.
+  std::size_t correct_total = 0;
+  for (std::size_t i = 0; i < partition.size; ++i) {
+    if (predictions[i] == partition.labels[i]) ++correct_total;
+  }
+  report.accuracy = static_cast<double>(correct_total) /
+                    static_cast<double>(partition.size);
+
+  report.attributes.resize(partition.attributes.size());
+  for (std::size_t a = 0; a < partition.attributes.size(); ++a) {
+    const GroupPartition::Attribute& source = partition.attributes[a];
+    AttributeFairness& attr = report.attributes[a];
+    attr.attribute = source.name;
+    attr.group_accuracy.assign(source.group_count.size(), 0.0);
+    attr.group_count = source.group_count;
+    for (std::size_t i = 0; i < partition.size; ++i) {
+      if (predictions[i] == partition.labels[i]) {
+        attr.group_accuracy[source.group_of[i]] += 1.0;
+      }
+    }
+    for (std::size_t g = 0; g < attr.group_accuracy.size(); ++g) {
+      if (attr.group_count[g] > 0) {
+        attr.group_accuracy[g] /= static_cast<double>(attr.group_count[g]);
+      }
+    }
+    attr.unfairness = unfairness_score(attr.group_accuracy, attr.group_count,
+                                       report.accuracy);
+  }
+  return report;
+}
+
 FairnessReport evaluate_model(const models::Model& model,
                               const data::Dataset& dataset) {
   return evaluate_predictions(dataset, model.predict_all(dataset));

@@ -54,6 +54,31 @@ struct FairnessReport {
 [[nodiscard]] FairnessReport evaluate_predictions(
     const data::Dataset& dataset, std::span<const std::size_t> predictions);
 
+/// Prediction-independent group structure of a dataset, precomputed once
+/// and reused across many evaluations: per-record labels, per-attribute
+/// flat record->group index arrays, and the (static) per-group counts.
+/// MuffinSearch builds one per eval split so every candidate-structure
+/// episode only accumulates correctness numerators over flat arrays
+/// instead of re-walking Record structs and re-counting group membership.
+/// Reports are bit-identical to evaluate_predictions(dataset, ...).
+struct GroupPartition {
+  explicit GroupPartition(const data::Dataset& dataset);
+
+  struct Attribute {
+    std::string name;
+    std::vector<std::size_t> group_of;     ///< record index -> group index
+    std::vector<std::size_t> group_count;  ///< |D_g| (prediction-free)
+  };
+
+  std::size_t size = 0;                  ///< record count
+  std::vector<std::size_t> labels;       ///< record index -> true label
+  std::vector<Attribute> attributes;
+};
+
+/// Evaluate a prediction vector against a precomputed partition.
+[[nodiscard]] FairnessReport evaluate_predictions(
+    const GroupPartition& partition, std::span<const std::size_t> predictions);
+
 /// Evaluate a model (runs predict on every record).
 [[nodiscard]] FairnessReport evaluate_model(const models::Model& model,
                                             const data::Dataset& dataset);

@@ -5,6 +5,7 @@
 #include <string>
 
 #include "common/error.h"
+#include "common/parallel_for.h"
 #include "common/stats.h"
 #include "tensor/ops.h"
 
@@ -237,10 +238,18 @@ tensor::Vector CalibratedModel::scores(const data::Record& record) const {
 tensor::Matrix CalibratedModel::score_batch(
     std::span<const data::Record> records) const {
   tensor::Matrix out(records.size(), num_classes_);
-  tensor::Vector logits_scratch;
-  for (std::size_t i = 0; i < records.size(); ++i) {
-    scores_into(records[i], logits_scratch, out.row(i));
-  }
+  // Row-split over the shared worker pool: each record's scores derive
+  // only from the record and the frozen calibration state, so any
+  // partition is bit-identical to the serial loop. The simulation is
+  // RNG-bound per record (several named substreams each), which is
+  // exactly the work a row split scales — scratch lives per block.
+  parallel_for(records.size(), /*grain=*/64,
+               [&](std::size_t begin, std::size_t end) {
+                 tensor::Vector logits_scratch;
+                 for (std::size_t i = begin; i < end; ++i) {
+                   scores_into(records[i], logits_scratch, out.row(i));
+                 }
+               });
   return out;
 }
 

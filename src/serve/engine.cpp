@@ -1,6 +1,9 @@
 #include "serve/engine.h"
 
+#include <algorithm>
+
 #include "common/error.h"
+#include "common/parallel_for.h"
 #include "tensor/ops.h"
 
 namespace muffin::serve {
@@ -11,14 +14,22 @@ InferenceEngine::InferenceEngine(std::shared_ptr<const core::FusedModel> model,
       config_(config),
       num_classes_(0),
       body_size_(0),
-      pool_(config.workers),
+      pool_(common::global_pool()),
       batcher_({config.max_batch, config.max_delay}) {
   MUFFIN_REQUIRE(model_ != nullptr, "engine needs a fused model");
   MUFFIN_REQUIRE(config_.workers > 0, "engine needs at least one worker");
   num_classes_ = model_->num_classes();
   body_size_ = model_->body().size();
-  worker_heads_.reserve(config_.workers);
-  for (std::size_t w = 0; w < config_.workers; ++w) {
+  // Head clones keep each worker's weights hot in its own cache
+  // hierarchy. Batches can land on any worker of the process-wide pool,
+  // but the clone count is budgeted by config.workers (not the host
+  // width) so a many-shard router on a wide machine does not multiply
+  // head memory by hardware_concurrency; workers map onto clones by
+  // modulo, and sharing a clone is safe because inference forwards are
+  // const and cache-free.
+  const std::size_t clones = std::min(pool_.size(), config_.workers);
+  worker_heads_.reserve(clones);
+  for (std::size_t w = 0; w < clones; ++w) {
     worker_heads_.push_back(model_->head());
   }
   dispatcher_ = std::thread([this]() { dispatch_loop(); });
@@ -138,7 +149,9 @@ void InferenceEngine::process_batch(std::vector<Request> batch) {
       // core::fuse_gathered, and worker heads are value copies.
       const std::size_t worker = ThreadPool::current_worker();
       const nn::Mlp& head =
-          worker_heads_[worker == ThreadPool::npos ? 0 : worker];
+          worker_heads_[worker == ThreadPool::npos
+                            ? 0
+                            : worker % worker_heads_.size()];
       core::FusedBatch fused = core::fuse_gathered_batch(
           gathered, head, body_size_, num_classes_,
           model_->head_only_on_disagreement());

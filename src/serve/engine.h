@@ -7,8 +7,14 @@
 //
 //  * **Micro-batching.** Requests accumulate in a Batcher and flush on
 //    batch-size or deadline; each batch is scored as a unit.
-//  * **Worker pool.** Batches execute on a reusable ThreadPool; on
-//    multi-core hosts independent batches score in parallel.
+//  * **Worker pool.** Batches execute on the process-wide shared
+//    ThreadPool (common::global_pool(), sized by MUFFIN_THREADS or the
+//    hardware); on multi-core hosts independent batches score in
+//    parallel. Every engine replica, MuffinSearch and the kernel-level
+//    parallel_for draw from this one pool, so components never compete
+//    through oversubscribed per-component threads. EngineConfig::workers
+//    no longer sizes a private pool; it is kept (and validated) as the
+//    requested concurrency hint.
 //  * **Matrix-in/Matrix-out batch scoring.** Each batch's memo misses are
 //    scored as one record span: every body model scores the whole span via
 //    its Model::score_batch override (batched GEMM for network-backed
@@ -55,7 +61,11 @@
 namespace muffin::serve {
 
 struct EngineConfig {
-  std::size_t workers = 4;                    ///< pool threads
+  /// Requested concurrency (validated > 0). Batches run on the shared
+  /// process-wide pool (common::global_pool()); size that pool with the
+  /// MUFFIN_THREADS environment variable. This field budgets the
+  /// per-engine head-clone count (min(workers, pool size)).
+  std::size_t workers = 4;
   std::size_t max_batch = 32;                 ///< size-flush threshold
   std::chrono::microseconds max_delay{1000};  ///< deadline-flush threshold
   /// Max memoized predictions; 0 disables the result cache.
@@ -134,9 +144,9 @@ class InferenceEngine {
   std::size_t num_classes_;
   std::size_t body_size_;
 
-  ThreadPool pool_;
+  ThreadPool& pool_;  ///< the shared process-wide pool (never owned)
   Batcher<Request> batcher_;
-  std::vector<nn::Mlp> worker_heads_;  ///< one clone per pool worker
+  std::vector<nn::Mlp> worker_heads_;  ///< one clone per shared-pool worker
 
   // Bounded LRU result memo: uid -> prediction, most recent at the front.
   mutable std::mutex cache_mutex_;

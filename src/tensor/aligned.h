@@ -1,0 +1,58 @@
+// Cache-line-aligned storage for numeric buffers.
+//
+// Matrix rows feed SIMD kernels; allocating the backing store on a
+// 64-byte boundary means row 0 of every matrix (and the whole buffer of
+// every packed scratch) starts on a cache line and a full AVX2 vector
+// never straddles one at offset 0. The kernels still issue unaligned
+// loads (a row at r * stride need not be aligned for arbitrary widths),
+// so alignment is a performance guarantee, not a correctness requirement.
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <vector>
+
+namespace muffin::tensor {
+
+/// One cache line / one AVX-512 vector; every Matrix buffer starts here.
+inline constexpr std::size_t kBufferAlignment = 64;
+
+/// Minimal std::allocator replacement with a fixed over-alignment.
+template <typename T, std::size_t Alignment = kBufferAlignment>
+class AlignedAllocator {
+ public:
+  static_assert((Alignment & (Alignment - 1)) == 0,
+                "alignment must be a power of two");
+  static_assert(Alignment >= alignof(T),
+                "alignment must not weaken the type's own");
+
+  using value_type = T;
+
+  AlignedAllocator() noexcept = default;
+  template <typename U>
+  AlignedAllocator(const AlignedAllocator<U, Alignment>&) noexcept {}
+
+  [[nodiscard]] T* allocate(std::size_t count) {
+    return static_cast<T*>(
+        ::operator new(count * sizeof(T), std::align_val_t{Alignment}));
+  }
+  void deallocate(T* pointer, std::size_t count) noexcept {
+    ::operator delete(pointer, count * sizeof(T),
+                      std::align_val_t{Alignment});
+  }
+
+  template <typename U>
+  struct rebind {
+    using other = AlignedAllocator<U, Alignment>;
+  };
+
+  friend bool operator==(const AlignedAllocator&,
+                         const AlignedAllocator&) noexcept {
+    return true;
+  }
+};
+
+/// The Matrix backing store: a vector of doubles on a 64-byte boundary.
+using AlignedBuffer = std::vector<double, AlignedAllocator<double>>;
+
+}  // namespace muffin::tensor

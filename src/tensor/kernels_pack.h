@@ -1,0 +1,34 @@
+// Shared B-packing helper for the vector GEMM backends.
+//
+// Packs B (m x depth row-major) transposed into `bt` (depth x m
+// row-major) so that for a fixed k the j lanes load one contiguous
+// vector. Pure data movement — no rounding involved, so it cannot affect
+// the bit-identity contract. k-outer so the writes stream contiguously
+// (the reads stride through at most m cache-resident rows of B) — at
+// small batch sizes the pack is the dominant per-call overhead, so its
+// loop order matters. Included by each kernel TU (compiled under that
+// TU's ISA flags); kept header-inline so the AVX2 and AVX-512 backends
+// cannot drift apart.
+#pragma once
+
+#include <cstddef>
+
+#include "tensor/aligned.h"
+
+namespace muffin::tensor::detail {
+
+inline void pack_b_transposed(const double* b, std::size_t ldb,
+                              std::size_t m, std::size_t depth,
+                              AlignedBuffer& bt) {
+  bt.resize(depth * m);
+  double* out = bt.data();
+  for (std::size_t k = 0; k < depth; ++k) {
+    const double* bk = b + k;
+    for (std::size_t j = 0; j < m; ++j) {
+      out[j] = bk[j * ldb];
+    }
+    out += m;
+  }
+}
+
+}  // namespace muffin::tensor::detail

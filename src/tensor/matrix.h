@@ -4,13 +4,17 @@
 // heads of a few dozen units, batches of a few thousand), so the design
 // optimizes for clarity and checkability: bounds-checked access in the `at`
 // API, unchecked access via operator() documented as requiring valid
-// indices, and value semantics throughout.
+// indices, and value semantics throughout. The backing store is 64-byte
+// aligned (tensor/aligned.h) so the SIMD kernel layer sees cache-line
+// aligned buffers.
 #pragma once
 
 #include <cstddef>
 #include <initializer_list>
 #include <span>
 #include <vector>
+
+#include "tensor/aligned.h"
 
 namespace muffin::tensor {
 
@@ -30,6 +34,13 @@ class Matrix {
   [[nodiscard]] std::size_t cols() const { return cols_; }
   [[nodiscard]] std::size_t size() const { return data_.size(); }
   [[nodiscard]] bool empty() const { return data_.empty(); }
+
+  /// Leading dimension: the element distance between consecutive rows of
+  /// the backing store. Today always == cols(); kept as a distinct hook so
+  /// the SIMD kernels (which already take explicit strides) and callers
+  /// that address storage directly stay correct if padded rows are ever
+  /// introduced.
+  [[nodiscard]] std::size_t stride() const { return cols_; }
 
   /// Unchecked element access. Requires r < rows() && c < cols().
   double& operator()(std::size_t r, std::size_t c) {
@@ -63,7 +74,9 @@ class Matrix {
  private:
   std::size_t rows_ = 0;
   std::size_t cols_ = 0;
-  std::vector<double> data_;
+  // 64-byte-aligned so SIMD kernels see cache-line-aligned buffers; see
+  // tensor/aligned.h.
+  AlignedBuffer data_;
 };
 
 }  // namespace muffin::tensor

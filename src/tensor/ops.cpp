@@ -4,6 +4,8 @@
 #include <cmath>
 
 #include "common/error.h"
+#include "common/parallel_for.h"
+#include "tensor/simd.h"
 
 namespace muffin::tensor {
 
@@ -16,6 +18,15 @@ void require_same_size(std::span<const double> a, std::span<const double> b,
                        const char* op) {
   MUFFIN_REQUIRE(a.size() == b.size(),
                  std::string(op) + " requires matching sizes");
+}
+
+/// Row-block grain for the parallel GEMM split: target at least ~32k
+/// multiply-adds per block so the submit/future overhead stays noise, and
+/// never fewer than 8 rows. Each output element is computed entirely
+/// inside one block, so the partitioned run is bit-identical to serial.
+std::size_t gemm_row_grain(std::size_t m, std::size_t depth) {
+  const std::size_t flops_per_row = std::max<std::size_t>(1, m * depth);
+  return std::max<std::size_t>(8, 32768 / flops_per_row);
 }
 }  // namespace
 
@@ -32,24 +43,24 @@ void matmul_into(const Matrix& a, const Matrix& b, Matrix& out) {
   } else {
     out.fill(0.0);
   }
-  // i-k-j loop order keeps the inner traversal contiguous for row-major
-  // data. Columns of B are tiled so that for wide B the active C-row and
-  // B-row segments fit in L1 across the full k sweep; k stays untiled and
-  // ascending, so every out(i, j) accumulates its terms in the same order
-  // as the untiled kernel (bit-identical results).
-  constexpr std::size_t kColTile = 128;
-  for (std::size_t i = 0; i < a.rows(); ++i) {
-    for (std::size_t j0 = 0; j0 < b.cols(); j0 += kColTile) {
-      const std::size_t j1 = std::min(j0 + kColTile, b.cols());
-      for (std::size_t k = 0; k < a.cols(); ++k) {
-        const double aik = a(i, k);
-        if (aik == 0.0) continue;
-        for (std::size_t j = j0; j < j1; ++j) {
-          out(i, j) += aik * b(k, j);
-        }
-      }
-    }
-  }
+  // Kernel execution (scalar or AVX2 by runtime dispatch; see
+  // tensor/simd.h) over row-blocks: each block owns a contiguous slice of
+  // A/C rows, so every out(i, j) accumulates exactly as in a serial run.
+  const detail::KernelTable& kernels = detail::active_kernels();
+  const std::size_t depth = a.cols();
+  const std::size_t m = b.cols();
+  const double* a_data = a.flat().data();
+  const double* b_data = b.flat().data();
+  double* out_data = out.flat().data();
+  const std::size_t lda = a.stride();
+  const std::size_t ldb = b.stride();
+  const std::size_t ldo = out.stride();
+  parallel_for(a.rows(), gemm_row_grain(m, depth),
+               [&](std::size_t begin, std::size_t end) {
+                 kernels.matmul(a_data + begin * lda, lda, b_data, ldb,
+                                out_data + begin * ldo, ldo, end - begin,
+                                depth, m);
+               });
 }
 
 Matrix matmul_transposed_b(const Matrix& a, const Matrix& b) {
@@ -60,95 +71,30 @@ Matrix matmul_transposed_b(const Matrix& a, const Matrix& b) {
 
 namespace {
 
-/// Shared A * B^T (+ bias) kernel with a 2x4 register tile: two A rows
-/// against four B rows gives eight independent accumulation chains, hiding
-/// FMA latency that a single dot product cannot (the per-record matvec and
-/// the naive dot are both latency-bound on one chain). Every out(i, j)
-/// still accumulates its k terms in ascending order and adds the bias
-/// last, so results are bit-identical to matvec-then-add-bias. `bias` may
-/// be null.
+/// Shared A * B^T (+ bias) wrapper: dispatches to the active kernel
+/// backend (scalar 2x4 register tile, or the AVX2 column-vectorized
+/// kernel — see tensor/simd.h) and splits the batch rows over the shared
+/// worker pool above the grain threshold. Every out(i, j) accumulates its
+/// k terms in ascending order and adds the bias last in every backend and
+/// every partition, so results are bit-identical to
+/// matvec-then-add-bias. `bias` may be null.
 void gemm_transposed_b(const Matrix& a, const Matrix& b, const double* bias,
                        Matrix& out) {
-  const std::size_t n = a.rows();
+  const detail::KernelTable& kernels = detail::active_kernels();
   const std::size_t m = b.rows();
   const std::size_t depth = a.cols();
-
-  const auto finish = [bias](double acc, std::size_t j) {
-    return bias == nullptr ? acc : acc + bias[j];
-  };
-
-  std::size_t i = 0;
-  for (; i + 2 <= n; i += 2) {
-    const double* a0 = a.row(i).data();
-    const double* a1 = a.row(i + 1).data();
-    std::size_t j = 0;
-    for (; j + 4 <= m; j += 4) {
-      const double* b0 = b.row(j).data();
-      const double* b1 = b.row(j + 1).data();
-      const double* b2 = b.row(j + 2).data();
-      const double* b3 = b.row(j + 3).data();
-      double c00 = 0.0, c01 = 0.0, c02 = 0.0, c03 = 0.0;
-      double c10 = 0.0, c11 = 0.0, c12 = 0.0, c13 = 0.0;
-      for (std::size_t k = 0; k < depth; ++k) {
-        const double x0 = a0[k];
-        const double x1 = a1[k];
-        c00 += x0 * b0[k];
-        c01 += x0 * b1[k];
-        c02 += x0 * b2[k];
-        c03 += x0 * b3[k];
-        c10 += x1 * b0[k];
-        c11 += x1 * b1[k];
-        c12 += x1 * b2[k];
-        c13 += x1 * b3[k];
-      }
-      out(i, j) = finish(c00, j);
-      out(i, j + 1) = finish(c01, j + 1);
-      out(i, j + 2) = finish(c02, j + 2);
-      out(i, j + 3) = finish(c03, j + 3);
-      out(i + 1, j) = finish(c10, j);
-      out(i + 1, j + 1) = finish(c11, j + 1);
-      out(i + 1, j + 2) = finish(c12, j + 2);
-      out(i + 1, j + 3) = finish(c13, j + 3);
-    }
-    for (; j < m; ++j) {
-      const double* bj = b.row(j).data();
-      double c0 = 0.0, c1 = 0.0;
-      for (std::size_t k = 0; k < depth; ++k) {
-        c0 += a0[k] * bj[k];
-        c1 += a1[k] * bj[k];
-      }
-      out(i, j) = finish(c0, j);
-      out(i + 1, j) = finish(c1, j);
-    }
-  }
-  for (; i < n; ++i) {
-    const double* ai = a.row(i).data();
-    std::size_t j = 0;
-    for (; j + 4 <= m; j += 4) {
-      const double* b0 = b.row(j).data();
-      const double* b1 = b.row(j + 1).data();
-      const double* b2 = b.row(j + 2).data();
-      const double* b3 = b.row(j + 3).data();
-      double c0 = 0.0, c1 = 0.0, c2 = 0.0, c3 = 0.0;
-      for (std::size_t k = 0; k < depth; ++k) {
-        const double x = ai[k];
-        c0 += x * b0[k];
-        c1 += x * b1[k];
-        c2 += x * b2[k];
-        c3 += x * b3[k];
-      }
-      out(i, j) = finish(c0, j);
-      out(i, j + 1) = finish(c1, j + 1);
-      out(i, j + 2) = finish(c2, j + 2);
-      out(i, j + 3) = finish(c3, j + 3);
-    }
-    for (; j < m; ++j) {
-      const double* bj = b.row(j).data();
-      double acc = 0.0;
-      for (std::size_t k = 0; k < depth; ++k) acc += ai[k] * bj[k];
-      out(i, j) = finish(acc, j);
-    }
-  }
+  const double* a_data = a.flat().data();
+  const double* b_data = b.flat().data();
+  double* out_data = out.flat().data();
+  const std::size_t lda = a.stride();
+  const std::size_t ldb = b.stride();
+  const std::size_t ldo = out.stride();
+  parallel_for(a.rows(), gemm_row_grain(m, depth),
+               [&](std::size_t begin, std::size_t end) {
+                 kernels.gemm_tb(a_data + begin * lda, lda, b_data, ldb, bias,
+                                 out_data + begin * ldo, ldo, end - begin, m,
+                                 depth);
+               });
 }
 
 }  // namespace
@@ -326,13 +272,8 @@ void softmax_into(std::span<const double> logits, double temperature,
   MUFFIN_REQUIRE(temperature > 0.0, "softmax temperature must be positive");
   MUFFIN_REQUIRE(out.size() == logits.size(),
                  "softmax output size must match the input");
-  const double maxv = *std::max_element(logits.begin(), logits.end());
-  double total = 0.0;
-  for (std::size_t i = 0; i < logits.size(); ++i) {
-    out[i] = std::exp((logits[i] - maxv) / temperature);
-    total += out[i];
-  }
-  for (double& v : out) v /= total;
+  detail::active_kernels().softmax(logits.data(), logits.size(), temperature,
+                                   out.data());
 }
 
 Vector log_softmax(std::span<const double> logits) {

@@ -3,6 +3,15 @@
 // All functions validate shapes with muffin::Error. Outputs are returned by
 // value (small sizes; NRVO applies) except the *_into variants used on hot
 // paths, which write into preallocated storage.
+//
+// The four hot kernels — matmul_into, matmul_transposed_b_into,
+// matmul_transposed_b_bias_into and softmax_into — execute through the
+// runtime-dispatched SIMD backend layer (tensor/simd.h: AVX2 when compiled
+// in and reported by CPUID, scalar otherwise, MUFFIN_SIMD=off forces
+// scalar) and split GEMM row-blocks over the shared worker pool
+// (common/parallel_for.h) above a size threshold. Both are bit-invisible:
+// every backend and every partition produces bit-identical output to the
+// serial scalar kernels.
 #pragma once
 
 #include <span>

@@ -1,0 +1,117 @@
+#include "tensor/simd.h"
+
+#include <cstdlib>
+#include <mutex>
+
+#include "common/log.h"
+
+namespace muffin::tensor {
+
+namespace detail {
+
+bool cpu_supports_avx2_fma() {
+#if (defined(__x86_64__) || defined(__i386__)) && \
+    (defined(__GNUC__) || defined(__clang__))
+  return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+#else
+  return false;
+#endif
+}
+
+bool cpu_supports_avx512f() {
+#if (defined(__x86_64__) || defined(__i386__)) && \
+    (defined(__GNUC__) || defined(__clang__))
+  return __builtin_cpu_supports("avx512f");
+#else
+  return false;
+#endif
+}
+
+SimdBackend resolve_backend(std::string_view env, bool avx2_usable,
+                            bool avx512_usable) {
+  const auto best = [&]() {
+    if (avx512_usable) return SimdBackend::Avx512;
+    if (avx2_usable) return SimdBackend::Avx2;
+    return SimdBackend::Scalar;
+  };
+  if (env == "off" || env == "scalar" || env == "0") {
+    return SimdBackend::Scalar;
+  }
+  if (env == "avx512") {
+    if (avx512_usable) return SimdBackend::Avx512;
+    MUFFIN_LOG_WARN << "MUFFIN_SIMD=avx512 requested but AVX512F is "
+                       "unavailable (not compiled in or not reported by "
+                       "CPUID); falling back a tier";
+    return avx2_usable ? SimdBackend::Avx2 : SimdBackend::Scalar;
+  }
+  if (env == "avx2") {
+    if (avx2_usable) return SimdBackend::Avx2;
+    MUFFIN_LOG_WARN << "MUFFIN_SIMD=avx2 requested but AVX2+FMA is "
+                       "unavailable (not compiled in or not reported by "
+                       "CPUID); falling back to the scalar backend";
+    return SimdBackend::Scalar;
+  }
+  if (env == "on" || env == "1") {
+    if (!avx2_usable && !avx512_usable) {
+      MUFFIN_LOG_WARN << "MUFFIN_SIMD=" << std::string(env)
+                      << " requested but no vector backend is usable; "
+                         "falling back to the scalar backend";
+    }
+    return best();
+  }
+  if (!env.empty() && env != "auto") {
+    MUFFIN_LOG_WARN << "unrecognized MUFFIN_SIMD value '" << std::string(env)
+                    << "'; using auto detection";
+  }
+  return best();
+}
+
+namespace {
+
+const KernelTable* resolve_active_table() {
+  const char* env = std::getenv("MUFFIN_SIMD");
+  const bool avx2_usable =
+      avx2_kernels() != nullptr && cpu_supports_avx2_fma();
+  const bool avx512_usable =
+      avx512_kernels() != nullptr && cpu_supports_avx512f();
+  switch (resolve_backend(env == nullptr ? std::string_view{} : env,
+                          avx2_usable, avx512_usable)) {
+    case SimdBackend::Avx512:
+      return avx512_kernels();
+    case SimdBackend::Avx2:
+      return avx2_kernels();
+    case SimdBackend::Scalar:
+      break;
+  }
+  return &scalar_kernels();
+}
+
+}  // namespace
+
+const KernelTable& active_kernels() {
+  // Resolved once per process, on first kernel use: env + CPUID never
+  // change afterwards, and a stable backend keeps every result in the
+  // process bit-consistent.
+  static const KernelTable* table = resolve_active_table();
+  return *table;
+}
+
+}  // namespace detail
+
+SimdBackend active_simd_backend() {
+  const std::string_view name = detail::active_kernels().name;
+  if (name == "avx512") return SimdBackend::Avx512;
+  if (name == "avx2") return SimdBackend::Avx2;
+  return SimdBackend::Scalar;
+}
+
+std::string_view simd_backend_name() { return detail::active_kernels().name; }
+
+bool simd_available() {
+  return (detail::avx2_kernels() != nullptr &&
+          detail::cpu_supports_avx2_fma()) ||
+         (detail::avx512_kernels() != nullptr &&
+          detail::cpu_supports_avx512f());
+}
+
+}  // namespace muffin::tensor

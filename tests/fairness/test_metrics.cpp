@@ -120,6 +120,47 @@ TEST(DetectUnprivileged, MarginWidensTheBar) {
   EXPECT_EQ(detect_unprivileged(attr, 0.8, 0.05).size(), 1u);
 }
 
+TEST(GroupPartition, ReportBitIdenticalToDatasetOverload) {
+  // MuffinSearch evaluates every episode through the precomputed
+  // partition; the reports must be bit-identical to the Dataset overload
+  // (same accumulation order, only the group walk is precomputed).
+  const data::Dataset ds = data::synthetic_isic2019(1200, 7);
+  const auto pool = models::calibrated_isic_pool(ds);
+  const GroupPartition partition(ds);
+
+  ASSERT_EQ(partition.size, ds.size());
+  ASSERT_EQ(partition.attributes.size(), ds.schema().size());
+  for (std::size_t a = 0; a < partition.attributes.size(); ++a) {
+    EXPECT_EQ(partition.attributes[a].name, ds.schema()[a].name);
+  }
+
+  for (const std::size_t model_index : {std::size_t{0}, std::size_t{3}}) {
+    const auto predictions = pool.at(model_index).predict_all(ds);
+    const FairnessReport expected = evaluate_predictions(ds, predictions);
+    const FairnessReport actual = evaluate_predictions(partition, predictions);
+    ASSERT_EQ(actual.attributes.size(), expected.attributes.size());
+    EXPECT_EQ(actual.accuracy, expected.accuracy);
+    for (std::size_t a = 0; a < expected.attributes.size(); ++a) {
+      EXPECT_EQ(actual.attributes[a].attribute,
+                expected.attributes[a].attribute);
+      EXPECT_EQ(actual.attributes[a].group_count,
+                expected.attributes[a].group_count);
+      EXPECT_EQ(actual.attributes[a].group_accuracy,
+                expected.attributes[a].group_accuracy);
+      EXPECT_EQ(actual.attributes[a].unfairness,
+                expected.attributes[a].unfairness);
+    }
+  }
+}
+
+TEST(GroupPartition, RejectsMismatchedPredictionCount) {
+  const data::Dataset ds = data::synthetic_isic2019(200, 9);
+  const GroupPartition partition(ds);
+  const std::vector<std::size_t> short_predictions(ds.size() - 1, 0);
+  EXPECT_THROW((void)evaluate_predictions(partition, short_predictions),
+               Error);
+}
+
 TEST(EvaluateModel, AgreesWithPredictAll) {
   const data::Dataset ds = data::synthetic_isic2019(1500, 5);
   const auto pool = models::calibrated_isic_pool(ds);
