@@ -9,6 +9,11 @@
 //   router       ShardRouter over 4 engine replicas, consistent-hash on
 //                uid — the sharded tier; reports aggregate memo hit rate
 //                so memo affinity across shards is visible
+//   remote       ShardRouter over 2 rpc::ShardServer processes-worth of
+//                shard on loopback sockets (same binary, own engines) vs
+//                the same topology in-process — measures what the
+//                batched wire format costs; gated at >= 0.8x of the
+//                in-process sharded throughput
 //
 // The trace models steady-state serving traffic: requests drawn uniformly
 // with replacement from the test split, so hot records repeat — the regime
@@ -21,6 +26,8 @@
 // count is trimmed to keep the bench interactive. Writes BENCH_serve.json
 // to the current directory, or to the path given with `--out` (CI runs
 // from the repo root so the perf trajectory lands next to the sources).
+#include <unistd.h>
+
 #include <chrono>
 #include <cstdlib>
 #include <iostream>
@@ -30,6 +37,7 @@
 #include "bench_util.h"
 #include "core/head_trainer.h"
 #include "serve/router.h"
+#include "serve/rpc/server.h"
 #include "tensor/ops.h"
 
 using namespace muffin;
@@ -139,6 +147,52 @@ bool identical(const std::vector<std::size_t>& a,
   return a == b;
 }
 
+/// The cross-process tier on loopback: two shard servers (own engines,
+/// real sockets, batched frames) fronted by a remote-only router.
+/// `listen_a`/`listen_b` pick the transport: loopback TCP or a
+/// unix-domain socket (the recommended same-host transport).
+RunResult run_remote(std::shared_ptr<const core::FusedModel> fused,
+                     const std::vector<const data::Record*>& trace,
+                     serve::EngineConfig engine_config,
+                     const std::string& listen_a,
+                     const std::string& listen_b) {
+  serve::rpc::ShardServerConfig server_config;
+  server_config.engine = engine_config;
+  serve::rpc::ShardServer shard_a(fused, listen_a, server_config);
+  serve::rpc::ShardServer shard_b(fused, listen_b, server_config);
+
+  serve::RouterConfig router_config;
+  router_config.shards = 0;
+  router_config.remote_endpoints = {shard_a.address(), shard_b.address()};
+  // Wire frames are cheapest when fat: ship double-size frames (the
+  // server's engine still micro-batches at its own max_batch) over a
+  // slightly deeper connection pool for decode parallelism.
+  router_config.remote.max_batch = 2 * engine_config.max_batch;
+  router_config.remote.connections = 3;
+  serve::ShardRouter router(nullptr, router_config);
+
+  RunResult result;
+  result.predictions.reserve(trace.size());
+  std::vector<std::future<serve::Prediction>> futures;
+  futures.reserve(trace.size());
+  const Clock::time_point start = Clock::now();
+  for (const data::Record* record : trace) {
+    futures.push_back(router.submit(*record));
+  }
+  for (std::future<serve::Prediction>& future : futures) {
+    result.predictions.push_back(future.get().predicted);
+  }
+  result.seconds = seconds_since(start);
+  result.requests_per_second =
+      static_cast<double>(trace.size()) / result.seconds;
+  result.latency = router.aggregate_latency();
+  result.counters = router.aggregate_counters();
+  router.shutdown();
+  shard_a.stop();
+  shard_b.stop();
+  return result;
+}
+
 void add_row(TextTable& table, const std::string& name, const RunResult& run,
              double baseline_rps, bool engine_run) {
   std::vector<std::string> row = {
@@ -240,6 +294,44 @@ int main(int argc, char** argv) {
   add_row(table, "engine b=32 w=4", eng32, seq.requests_per_second, true);
   add_row(table, "router s=4 w=1", routed, seq.requests_per_second, true);
   table.print(std::cout);
+  std::cout << "\n";
+
+  // --- cross-process tier -----------------------------------------------
+  // Same topology both sides — two shards with two workers each — so the
+  // in-process/remote delta isolates exactly the wire format + sockets.
+  // Interleaved best-of-2 timing (the bench_batch convention): scheduler
+  // noise on a loaded runner must not decide the acceptance gate.
+  serve::EngineConfig half_config = engine_config;
+  half_config.workers = 2;
+  serve::RouterConfig inproc2_config;
+  inproc2_config.shards = 2;
+  inproc2_config.engine = half_config;
+  const std::string uds_a =
+      "unix:/tmp/muffin_bench_a_" + std::to_string(::getpid()) + ".sock";
+  const std::string uds_b =
+      "unix:/tmp/muffin_bench_b_" + std::to_string(::getpid()) + ".sock";
+  const auto better = [](RunResult a, RunResult b) {
+    return a.requests_per_second >= b.requests_per_second ? std::move(a)
+                                                          : std::move(b);
+  };
+  RunResult inproc2 = run_router(fused, trace, inproc2_config);
+  const RunResult remote_tcp =
+      run_remote(fused, trace, half_config, "127.0.0.1:0", "127.0.0.1:0");
+  RunResult remote = run_remote(fused, trace, half_config, uds_a, uds_b);
+  inproc2 = better(std::move(inproc2), run_router(fused, trace,
+                                                  inproc2_config));
+  remote = better(std::move(remote),
+                  run_remote(fused, trace, half_config, uds_a, uds_b));
+  TextTable remote_table({"cross-process (2 shards)", "req/s", "speedup",
+                          "p50us", "p95us", "p99us", "consensus",
+                          "cache_hits"});
+  add_row(remote_table, "in-process s=2 w=2", inproc2,
+          seq.requests_per_second, true);
+  add_row(remote_table, "remote s=2 w=2 (loopback tcp)", remote_tcp,
+          seq.requests_per_second, true);
+  add_row(remote_table, "remote s=2 w=2 (unix socket)", remote,
+          seq.requests_per_second, true);
+  remote_table.print(std::cout);
 
   // Memo affinity is the property sharding must not break: consistent
   // hashing keeps each uid on one shard, so every distinct record is
@@ -267,7 +359,10 @@ int main(int argc, char** argv) {
   const bool parity = identical(cold_seq.predictions, cold_engine.predictions)
                       && identical(seq.predictions, eng8.predictions) &&
                       identical(seq.predictions, eng32.predictions) &&
-                      identical(seq.predictions, routed.predictions);
+                      identical(seq.predictions, routed.predictions) &&
+                      identical(seq.predictions, inproc2.predictions) &&
+                      identical(seq.predictions, remote_tcp.predictions) &&
+                      identical(seq.predictions, remote.predictions);
   // 1.5x slack: observed scheduling noise stays ~1.1x, a uid split across
   // two shard memos doubles the misses.
   const bool memo_parity =
@@ -286,8 +381,16 @@ int main(int argc, char** argv) {
             << "x (batch 8), " << format_fixed(speedup32, 2)
             << "x (batch 32); acceptance floor 3.00x\n";
 
-  const bool pass =
-      parity && memo_parity && speedup8 >= 3.0 && speedup32 >= 3.0;
+  // Batched frames must keep the remote hop cheap: the wire format gate
+  // is relative to the identical in-process topology.
+  const double remote_ratio =
+      remote.requests_per_second / inproc2.requests_per_second;
+  std::cout << "cross-process efficiency: "
+            << format_fixed(remote_ratio, 2)
+            << "x of in-process sharded throughput; acceptance floor 0.80x\n";
+
+  const bool pass = parity && memo_parity && speedup8 >= 3.0 &&
+                    speedup32 >= 3.0 && remote_ratio >= 0.8;
 
   // Machine-readable output for cross-PR perf tracking.
   bench::BenchJson json;
@@ -311,6 +414,10 @@ int main(int argc, char** argv) {
   add_run("steady.engine_b8", eng8, seq.requests_per_second, true);
   add_run("steady.engine_b32", eng32, seq.requests_per_second, true);
   add_run("steady.router_s4", routed, seq.requests_per_second, true);
+  add_run("steady.inproc_s2", inproc2, seq.requests_per_second, true);
+  add_run("steady.remote_s2_tcp", remote_tcp, seq.requests_per_second, true);
+  add_run("steady.remote_s2", remote, seq.requests_per_second, true);
+  json.add("steady.remote_s2.vs_inproc", remote_ratio);
   json.add("steady.engine_b32.memo_hit_rate", engine_hit_rate);
   json.add("steady.engine_b32.memo_misses", engine_misses);
   json.add("steady.router_s4.memo_hit_rate", router_hit_rate);

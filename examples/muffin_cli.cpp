@@ -10,15 +10,22 @@
 //       run the Muffin RL search and print (optionally export) the episode
 //       archive and the best fused structure
 //   muffin_cli serve   [--dataset ...] [--samples N] [--workers W]
-//                      [--batch B] [--requests N]
+//                      [--batch B] [--requests N] [--listen ADDR]
 //       fuse a default two-model muffin and drive the batched serving
 //       engine with a synthetic request trace; prints latency percentiles,
-//       throughput and engine counters
+//       throughput and engine counters. With --listen (host:port, port 0
+//       for ephemeral, or unix:/path) the process instead becomes one
+//       shard of the cross-process tier: it serves the batched RPC wire
+//       format on that socket until SIGINT/SIGTERM.
 //   muffin_cli route   [--dataset ...] [--samples N] [--shards S]
 //                      [--workers W] [--batch B] [--requests N]
-//       same trace, but served through the consistent-hash ShardRouter
-//       over S engine replicas; prints the merged aggregate view plus a
-//       per-shard table (routed traffic, memo entries, cache hits)
+//                      [--remote A,B,...] [--probe-ms P] [--fail-after K]
+//       same trace, but served through the consistent-hash ShardRouter.
+//       By default over S in-process engine replicas; with --remote, over
+//       the listed shard-server endpoints instead (health-probed every P
+//       ms, auto-drained after K consecutive failures). Prints the merged
+//       aggregate view plus a per-shard table (placement, routed traffic,
+//       memo entries, cache hits).
 //
 // Serving concurrency note: engine batches run on the process-wide
 // shared worker pool, sized by the MUFFIN_THREADS environment variable
@@ -26,10 +33,13 @@
 // in the engine config but no longer spawns a private pool per engine.
 //
 // Exit code 0 on success; errors are reported with context on stderr.
+#include <atomic>
+#include <csignal>
 #include <fstream>
 #include <iostream>
 #include <map>
 #include <string>
+#include <thread>
 
 #include "baselines/single_attribute.h"
 #include "common/error.h"
@@ -41,6 +51,7 @@
 #include "models/pool.h"
 #include "serve/engine.h"
 #include "serve/router.h"
+#include "serve/rpc/server.h"
 
 using namespace muffin;
 
@@ -53,6 +64,8 @@ struct CliOptions {
   std::string base;
   std::string attribute = "age";
   std::string csv_path;
+  std::string listen;           // serve: become a shard server on this addr
+  std::string remote;           // route: comma-separated shard endpoints
   std::size_t samples = 0;  // 0 = dataset default
   std::size_t episodes = 120;
   std::size_t pairs = 2;
@@ -60,7 +73,23 @@ struct CliOptions {
   std::size_t batch = 32;
   std::size_t requests = 20000;
   std::size_t shards = 4;
+  std::size_t probe_ms = 250;   // health-probe period for remote shards
+  std::size_t fail_after = 3;   // consecutive failures before auto-drain
 };
+
+std::vector<std::string> split_csv_list(const std::string& list) {
+  std::vector<std::string> items;
+  std::size_t start = 0;
+  while (start <= list.size()) {
+    const std::size_t comma = list.find(',', start);
+    const std::string item = list.substr(
+        start, comma == std::string::npos ? std::string::npos : comma - start);
+    if (!item.empty()) items.push_back(item);
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return items;
+}
 
 CliOptions parse(int argc, char** argv) {
   MUFFIN_REQUIRE(argc >= 2,
@@ -94,6 +123,14 @@ CliOptions parse(int argc, char** argv) {
       options.requests = static_cast<std::size_t>(std::stoull(value));
     } else if (key == "--shards") {
       options.shards = static_cast<std::size_t>(std::stoull(value));
+    } else if (key == "--listen") {
+      options.listen = value;
+    } else if (key == "--remote") {
+      options.remote = value;
+    } else if (key == "--probe-ms") {
+      options.probe_ms = static_cast<std::size_t>(std::stoull(value));
+    } else if (key == "--fail-after") {
+      options.fail_after = static_cast<std::size_t>(std::stoull(value));
     } else {
       throw Error("unknown option: " + key);
     }
@@ -281,12 +318,43 @@ std::shared_ptr<core::FusedModel> fuse_default(const Workbench& bench) {
       std::move(head));
 }
 
+std::atomic<bool> g_stop_requested{false};
+
+void request_stop(int) { g_stop_requested.store(true); }
+
+/// Shard-server mode: this process is one shard of the cross-process
+/// tier. Serves the batched wire format on the socket until signalled.
+int run_listen(const CliOptions& options,
+               std::shared_ptr<core::FusedModel> fused) {
+  serve::rpc::ShardServerConfig server_config;
+  server_config.engine.workers = options.workers;
+  server_config.engine.max_batch = options.batch;
+  serve::rpc::ShardServer server(std::move(fused), options.listen,
+                                 server_config);
+  // The resolved address (real port for port-0 binds) goes to stdout and
+  // is flushed immediately so launcher scripts can wait for readiness.
+  std::cout << "listening on " << server.address() << std::endl;
+  std::signal(SIGINT, request_stop);
+  std::signal(SIGTERM, request_stop);
+  while (!g_stop_requested.load()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  std::cout << "stopping: served "
+            << server.engine().counters().requests << " requests over "
+            << server.connections_accepted() << " connections\n";
+  server.stop();
+  return 0;
+}
+
 int run_serve(const CliOptions& options) {
   MUFFIN_REQUIRE(options.workers > 0, "--workers must be positive");
   MUFFIN_REQUIRE(options.batch > 0, "--batch must be positive");
   MUFFIN_REQUIRE(options.requests > 0, "--requests must be positive");
   const Workbench bench = make_workbench(options);
-  const std::shared_ptr<core::FusedModel> fused = fuse_default(bench);
+  std::shared_ptr<core::FusedModel> fused = fuse_default(bench);
+  if (!options.listen.empty()) {
+    return run_listen(options, std::move(fused));
+  }
   std::cout << "serving " << fused->name() << " ("
             << fused->parameter_count() << " params)\n";
 
@@ -329,22 +397,44 @@ int run_serve(const CliOptions& options) {
 }
 
 int run_route(const CliOptions& options) {
-  MUFFIN_REQUIRE(options.shards > 0, "--shards must be positive");
+  const std::vector<std::string> remotes = split_csv_list(options.remote);
+  MUFFIN_REQUIRE(!remotes.empty() || options.shards > 0,
+                 "--shards must be positive (or pass --remote endpoints)");
   MUFFIN_REQUIRE(options.workers > 0, "--workers must be positive");
   MUFFIN_REQUIRE(options.batch > 0, "--batch must be positive");
   MUFFIN_REQUIRE(options.requests > 0, "--requests must be positive");
   const Workbench bench = make_workbench(options);
-  const std::shared_ptr<core::FusedModel> fused = fuse_default(bench);
 
   serve::RouterConfig router_config;
-  router_config.shards = options.shards;
   router_config.engine.workers = options.workers;
   router_config.engine.max_batch = options.batch;
+  std::shared_ptr<core::FusedModel> fused;
+  if (remotes.empty()) {
+    // In-process tier: local engine replicas need the fused model.
+    fused = fuse_default(bench);
+    router_config.shards = options.shards;
+  } else {
+    // Cross-process tier: the shard servers own the model; this process
+    // only routes, so it skips head training entirely.
+    router_config.shards = 0;
+    router_config.remote_endpoints = remotes;
+    router_config.remote.max_batch = options.batch;
+    router_config.health.probe_interval =
+        std::chrono::milliseconds(options.probe_ms);
+    router_config.health.failure_threshold = options.fail_after;
+  }
   serve::ShardRouter router(fused, router_config);
-  std::cout << "routing " << fused->name() << " across "
-            << options.shards << " shards (" << options.workers
-            << " workers each, " << router_config.virtual_nodes
-            << " virtual nodes per shard)\n";
+  if (remotes.empty()) {
+    std::cout << "routing " << fused->name() << " across "
+              << options.shards << " in-process shards (" << options.workers
+              << " workers each, " << router_config.virtual_nodes
+              << " virtual nodes per shard)\n";
+  } else {
+    std::cout << "routing across " << remotes.size()
+              << " remote shards (probe every " << options.probe_ms
+              << " ms, auto-drain after " << options.fail_after
+              << " failures)\n";
+  }
 
   // Same steady-state trace as `serve`, so the two subcommands are
   // directly comparable.
@@ -378,10 +468,15 @@ int run_route(const CliOptions& options) {
   aggregate.print(std::cout);
   std::cout << "\n";
 
-  TextTable per_shard(
-      {"shard", "routed", "memo entries", "cache hits", "p50us", "p99us"});
+  TextTable per_shard({"shard", "backend", "state", "routed", "memo entries",
+                       "cache hits", "p50us", "p99us"});
   for (const serve::ShardInfo& info : router.shard_infos()) {
-    per_shard.add_row({std::to_string(info.shard),
+    const std::string state =
+        !info.alive ? "removed"
+                    : (info.active ? "active"
+                                   : (info.auto_drained ? "auto-drained"
+                                                        : "drained"));
+    per_shard.add_row({std::to_string(info.shard), info.backend, state,
                        std::to_string(info.routed),
                        std::to_string(info.cache_entries),
                        std::to_string(info.counters.cache_hits),

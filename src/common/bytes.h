@@ -1,0 +1,180 @@
+// Explicit little-endian byte encoding and bounds-checked decoding.
+//
+// The RPC wire format (serve/rpc/wire.h) and the record serializer
+// (data/serialize.h) both need one rule for how scalars become bytes.
+// That rule lives here: every integer is stored little-endian byte by
+// byte (so the encoding is identical on any host, regardless of its
+// native endianness or alignment rules), and doubles travel as the
+// IEEE-754 bit pattern of the value via std::bit_cast — bit-exact, which
+// is what lets the remote scoring path stay bit-identical to the
+// in-process one.
+//
+// Decoding never trusts the peer: ByteReader is a cursor over a received
+// buffer that throws muffin::Error on any attempt to read past the end,
+// and require_count() rejects element counts that could not possibly fit
+// in the remaining bytes *before* any allocation happens — a truncated or
+// hostile frame fails cleanly instead of over-reading or triggering a
+// multi-gigabyte reserve.
+#pragma once
+
+#include <array>
+#include <bit>
+#include <cstdint>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "common/error.h"
+
+namespace muffin::common {
+
+inline void put_u16(std::vector<std::uint8_t>& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+inline void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int shift = 0; shift < 32; shift += 8) {
+    out.push_back(static_cast<std::uint8_t>(v >> shift));
+  }
+}
+
+inline void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  // One 8-byte append instead of eight push_backs: on a little-endian
+  // host the byte array below is the value's own representation, and
+  // this function is the serializer's innermost loop (every double of
+  // every record/score row goes through it).
+  std::array<std::uint8_t, 8> bytes;
+  for (int i = 0; i < 8; ++i) {
+    bytes[static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>(v >> (8 * i));
+  }
+  out.insert(out.end(), bytes.begin(), bytes.end());
+}
+
+inline void put_f64(std::vector<std::uint8_t>& out, double v) {
+  put_u64(out, std::bit_cast<std::uint64_t>(v));
+}
+
+/// Append a whole double span (the bulk path for feature vectors and
+/// score-matrix rows): one resize, then tight stores.
+inline void put_f64_span(std::vector<std::uint8_t>& out,
+                         std::span<const double> values) {
+  const std::size_t at = out.size();
+  out.resize(at + values.size() * 8);
+  std::uint8_t* dst = out.data() + at;
+  for (const double value : values) {
+    const std::uint64_t v = std::bit_cast<std::uint64_t>(value);
+    for (int i = 0; i < 8; ++i) {
+      dst[i] = static_cast<std::uint8_t>(v >> (8 * i));
+    }
+    dst += 8;
+  }
+}
+
+/// Overwrite 8 bytes at `at` with the little-endian encoding of `v`.
+/// Used to patch a length field after the payload it describes is known.
+inline void patch_u64(std::vector<std::uint8_t>& out, std::size_t at,
+                      std::uint64_t v) {
+  MUFFIN_REQUIRE(at + 8 <= out.size(), "patch_u64 out of range");
+  for (int i = 0; i < 8; ++i) {
+    out[at + static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>(v >> (8 * i));
+  }
+}
+
+/// Bounds-checked cursor over a received byte buffer. Every read throws
+/// muffin::Error when the buffer is shorter than the encoding claims.
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const std::uint8_t> data) : data_(data) {}
+
+  [[nodiscard]] std::size_t remaining() const { return data_.size() - pos_; }
+  [[nodiscard]] bool done() const { return pos_ == data_.size(); }
+
+  [[nodiscard]] std::uint16_t u16() {
+    require(2, "u16");
+    const std::uint16_t v = static_cast<std::uint16_t>(
+        data_[pos_] | (static_cast<std::uint16_t>(data_[pos_ + 1]) << 8));
+    pos_ += 2;
+    return v;
+  }
+
+  [[nodiscard]] std::uint32_t u32() {
+    require(4, "u32");
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<std::uint32_t>(data_[pos_ + static_cast<std::size_t>(i)])
+           << (8 * i);
+    }
+    pos_ += 4;
+    return v;
+  }
+
+  [[nodiscard]] std::uint64_t u64() {
+    require(8, "u64");
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<std::uint64_t>(data_[pos_ + static_cast<std::size_t>(i)])
+           << (8 * i);
+    }
+    pos_ += 8;
+    return v;
+  }
+
+  [[nodiscard]] double f64() { return std::bit_cast<double>(u64()); }
+
+  [[nodiscard]] std::uint8_t u8() {
+    require(1, "u8");
+    return data_[pos_++];
+  }
+
+  /// Bulk-decode `count` doubles into `out` (appended): one bounds
+  /// check, then tight loads — the decoder's mirror of put_f64_span.
+  void f64_into(std::vector<double>& out, std::size_t count) {
+    require(count * 8, "f64 span");
+    const std::uint8_t* src = data_.data() + pos_;
+    const std::size_t at = out.size();
+    out.resize(at + count);
+    for (std::size_t k = 0; k < count; ++k) {
+      std::uint64_t v = 0;
+      for (int i = 0; i < 8; ++i) {
+        v |= static_cast<std::uint64_t>(src[i]) << (8 * i);
+      }
+      out[at + k] = std::bit_cast<double>(v);
+      src += 8;
+    }
+    pos_ += count * 8;
+  }
+
+  /// Read `n` raw bytes.
+  [[nodiscard]] std::span<const std::uint8_t> bytes(std::size_t n) {
+    require(n, "bytes");
+    const std::span<const std::uint8_t> view = data_.subspan(pos_, n);
+    pos_ += n;
+    return view;
+  }
+
+  /// Reject a decoded element count that cannot fit in the remaining
+  /// buffer (`count * elem_bytes` would over-read). Call this before
+  /// reserving storage for `count` elements so a hostile length field
+  /// fails cleanly instead of allocating gigabytes.
+  void require_count(std::uint64_t count, std::size_t elem_bytes) const {
+    MUFFIN_REQUIRE(elem_bytes == 0 ||
+                       count <= remaining() / elem_bytes,
+                   "decoded count exceeds remaining frame bytes");
+  }
+
+ private:
+  void require(std::size_t n, const char* what) const {
+    if (remaining() < n) {
+      throw Error(std::string("truncated frame: need ") + what + " at byte " +
+                  std::to_string(pos_) + " of " + std::to_string(data_.size()));
+    }
+  }
+
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace muffin::common

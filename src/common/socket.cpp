@@ -1,0 +1,311 @@
+#include "common/socket.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+
+#include "common/error.h"
+
+namespace muffin::common {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+[[noreturn]] void throw_errno(const std::string& what) {
+  throw Error(what + ": " + std::strerror(errno));
+}
+
+/// Milliseconds left until `deadline`, clamped to >= 0; -1 for no deadline.
+int remaining_ms(bool has_deadline, Clock::time_point deadline) {
+  if (!has_deadline) return -1;
+  const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+      deadline - Clock::now());
+  return left.count() <= 0 ? 0 : static_cast<int>(left.count());
+}
+
+/// Wait for `events` on `fd`; returns false on deadline expiry, throws on
+/// poll failure. EINTR restarts with the remaining budget.
+bool wait_for(int fd, short events, bool has_deadline,
+              Clock::time_point deadline) {
+  for (;;) {
+    pollfd pfd{fd, events, 0};
+    const int rc = ::poll(&pfd, 1, remaining_ms(has_deadline, deadline));
+    if (rc > 0) return true;
+    if (rc == 0) return false;  // timed out
+    if (errno != EINTR) throw_errno("poll");
+  }
+}
+
+sockaddr_un make_unix_addr(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  MUFFIN_REQUIRE(path.size() < sizeof(addr.sun_path),
+                 "unix socket path too long: " + path);
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  return addr;
+}
+
+sockaddr_in make_tcp_addr(const Endpoint& endpoint) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(endpoint.port);
+  const std::string& host = endpoint.host.empty() ? "0.0.0.0" : endpoint.host;
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    throw Error("cannot parse IPv4 address: " + host);
+  }
+  return addr;
+}
+
+void set_nodelay(int fd) {
+  // The RPC frames are explicit request/response units; Nagle would add
+  // up to one RTT of coalescing latency to every small frame for nothing.
+  const int one = 1;
+  (void)::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+void set_nonblocking(int fd) {
+  // Every data socket runs non-blocking with explicit poll()-based
+  // waits. This is what makes send deadlines REAL: on a blocking socket
+  // ::send can park forever once the peer stops draining its receive
+  // window, and no amount of polling beforehand bounds it — a blocking
+  // send only returns after the whole buffer is queued.
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  (void)::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+}  // namespace
+
+Endpoint Endpoint::parse(const std::string& spec) {
+  Endpoint endpoint;
+  if (spec.rfind("unix:", 0) == 0) {
+    endpoint.unix_domain = true;
+    endpoint.host = spec.substr(5);
+    MUFFIN_REQUIRE(!endpoint.host.empty(),
+                   "unix endpoint needs a path: " + spec);
+    return endpoint;
+  }
+  const std::size_t colon = spec.rfind(':');
+  MUFFIN_REQUIRE(colon != std::string::npos && colon + 1 < spec.size(),
+                 "endpoint must be host:port or unix:/path, got: " + spec);
+  endpoint.host = spec.substr(0, colon);
+  const std::string port_str = spec.substr(colon + 1);
+  unsigned long port = 0;
+  try {
+    std::size_t used = 0;
+    port = std::stoul(port_str, &used);
+    MUFFIN_REQUIRE(used == port_str.size(), "trailing junk in port");
+  } catch (const std::exception&) {
+    throw Error("endpoint port is not a number: " + spec);
+  }
+  MUFFIN_REQUIRE(port <= 65535, "endpoint port out of range: " + spec);
+  endpoint.port = static_cast<std::uint16_t>(port);
+  return endpoint;
+}
+
+std::string Endpoint::to_string() const {
+  if (unix_domain) return "unix:" + host;
+  return host + ":" + std::to_string(port);
+}
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = std::exchange(other.fd_, -1);
+  }
+  return *this;
+}
+
+void Socket::send_all(const void* data, std::size_t n, int timeout_ms) {
+  MUFFIN_REQUIRE(valid(), "send on an invalid socket");
+  const bool has_deadline = timeout_ms >= 0;
+  const Clock::time_point deadline =
+      Clock::now() + std::chrono::milliseconds(timeout_ms < 0 ? 0 : timeout_ms);
+  const auto* bytes = static_cast<const std::uint8_t*>(data);
+  std::size_t sent = 0;
+  while (sent < n) {
+    const ssize_t rc =
+        ::send(fd_, bytes + sent, n - sent, MSG_NOSIGNAL);
+    if (rc > 0) {
+      sent += static_cast<std::size_t>(rc);
+      continue;
+    }
+    if (rc < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      if (!wait_for(fd_, POLLOUT, has_deadline, deadline)) {
+        throw Error("send timed out after " + std::to_string(timeout_ms) +
+                    " ms");
+      }
+      continue;
+    }
+    if (rc < 0 && errno == EINTR) continue;
+    throw_errno("send");
+  }
+}
+
+bool Socket::recv_all(void* data, std::size_t n, int timeout_ms) {
+  MUFFIN_REQUIRE(valid(), "recv on an invalid socket");
+  const bool has_deadline = timeout_ms >= 0;
+  const Clock::time_point deadline =
+      Clock::now() + std::chrono::milliseconds(timeout_ms < 0 ? 0 : timeout_ms);
+  auto* bytes = static_cast<std::uint8_t*>(data);
+  std::size_t received = 0;
+  while (received < n) {
+    if (!wait_for(fd_, POLLIN, has_deadline, deadline)) {
+      throw Error("recv timed out after " + std::to_string(timeout_ms) +
+                  " ms");
+    }
+    const ssize_t rc = ::recv(fd_, bytes + received, n - received, 0);
+    if (rc > 0) {
+      received += static_cast<std::size_t>(rc);
+      continue;
+    }
+    if (rc == 0) {
+      if (received == 0) return false;  // clean EOF at a message boundary
+      throw Error("peer closed mid-message (" + std::to_string(received) +
+                  " of " + std::to_string(n) + " bytes)");
+    }
+    if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
+    throw_errno("recv");
+  }
+  return true;
+}
+
+bool Socket::readable(int timeout_ms) {
+  MUFFIN_REQUIRE(valid(), "poll on an invalid socket");
+  return wait_for(fd_, POLLIN, timeout_ms >= 0,
+                  Clock::now() + std::chrono::milliseconds(
+                                     timeout_ms < 0 ? 0 : timeout_ms));
+}
+
+void Socket::shutdown_both() {
+  if (valid()) (void)::shutdown(fd_, SHUT_RDWR);
+}
+
+void Socket::close() {
+  if (valid()) {
+    (void)::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Socket connect_endpoint(const Endpoint& endpoint, int timeout_ms) {
+  const int family = endpoint.unix_domain ? AF_UNIX : AF_INET;
+  Socket socket(::socket(family, SOCK_STREAM, 0));
+  if (!socket.valid()) throw_errno("socket");
+
+  // Non-blocking connect + poll(POLLOUT) gives a real connect deadline;
+  // the default blocking connect can hang for minutes on a black-holed
+  // host, which would freeze the health prober.
+  int flags = ::fcntl(socket.fd(), F_GETFL, 0);
+  (void)::fcntl(socket.fd(), F_SETFL, flags | O_NONBLOCK);
+
+  int rc = 0;
+  if (endpoint.unix_domain) {
+    const sockaddr_un addr = make_unix_addr(endpoint.host);
+    rc = ::connect(socket.fd(), reinterpret_cast<const sockaddr*>(&addr),
+                   sizeof(addr));
+  } else {
+    const sockaddr_in addr = make_tcp_addr(endpoint);
+    rc = ::connect(socket.fd(), reinterpret_cast<const sockaddr*>(&addr),
+                   sizeof(addr));
+  }
+  if (rc != 0) {
+    if (errno != EINPROGRESS && errno != EAGAIN) {
+      throw_errno("connect to " + endpoint.to_string());
+    }
+    const bool ready = wait_for(
+        socket.fd(), POLLOUT, timeout_ms >= 0,
+        Clock::now() + std::chrono::milliseconds(timeout_ms < 0 ? 0
+                                                                : timeout_ms));
+    if (!ready) {
+      throw Error("connect to " + endpoint.to_string() + " timed out after " +
+                  std::to_string(timeout_ms) + " ms");
+    }
+    int err = 0;
+    socklen_t len = sizeof(err);
+    (void)::getsockopt(socket.fd(), SOL_SOCKET, SO_ERROR, &err, &len);
+    if (err != 0) {
+      throw Error("connect to " + endpoint.to_string() + ": " +
+                  std::strerror(err));
+    }
+  }
+  // Deliberately stays non-blocking: see set_nonblocking().
+  if (!endpoint.unix_domain) set_nodelay(socket.fd());
+  return socket;
+}
+
+ListenSocket::ListenSocket(const Endpoint& endpoint, int backlog) {
+  const int family = endpoint.unix_domain ? AF_UNIX : AF_INET;
+  fd_ = ::socket(family, SOCK_STREAM, 0);
+  if (fd_ < 0) throw_errno("socket");
+  local_ = endpoint;
+  try {
+    if (endpoint.unix_domain) {
+      (void)::unlink(endpoint.host.c_str());  // stale path from a crash
+      const sockaddr_un addr = make_unix_addr(endpoint.host);
+      if (::bind(fd_, reinterpret_cast<const sockaddr*>(&addr),
+                 sizeof(addr)) != 0) {
+        throw_errno("bind " + endpoint.to_string());
+      }
+    } else {
+      const int one = 1;
+      (void)::setsockopt(fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+      const sockaddr_in addr = make_tcp_addr(endpoint);
+      if (::bind(fd_, reinterpret_cast<const sockaddr*>(&addr),
+                 sizeof(addr)) != 0) {
+        throw_errno("bind " + endpoint.to_string());
+      }
+      sockaddr_in bound{};
+      socklen_t len = sizeof(bound);
+      if (::getsockname(fd_, reinterpret_cast<sockaddr*>(&bound), &len) == 0) {
+        local_.port = ntohs(bound.sin_port);
+      }
+    }
+    if (::listen(fd_, backlog) != 0) {
+      throw_errno("listen on " + endpoint.to_string());
+    }
+  } catch (...) {
+    (void)::close(fd_);
+    fd_ = -1;
+    throw;
+  }
+}
+
+ListenSocket::~ListenSocket() { close(); }
+
+Socket ListenSocket::accept(int timeout_ms) {
+  if (fd_ < 0) return Socket();
+  const bool ready = wait_for(
+      fd_, POLLIN, timeout_ms >= 0,
+      Clock::now() + std::chrono::milliseconds(timeout_ms < 0 ? 0
+                                                              : timeout_ms));
+  if (!ready || fd_ < 0) return Socket();
+  const int client = ::accept(fd_, nullptr, nullptr);
+  if (client < 0) return Socket();  // racing close(), or transient error
+  set_nonblocking(client);
+  if (!local_.unix_domain) set_nodelay(client);
+  return Socket(client);
+}
+
+void ListenSocket::interrupt() {
+  if (fd_ >= 0) (void)::shutdown(fd_, SHUT_RDWR);
+}
+
+void ListenSocket::close() {
+  if (fd_ >= 0) {
+    (void)::close(fd_);
+    fd_ = -1;
+    if (local_.unix_domain) (void)::unlink(local_.host.c_str());
+  }
+}
+
+}  // namespace muffin::common

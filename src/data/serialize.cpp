@@ -1,0 +1,40 @@
+#include "data/serialize.h"
+
+#include <limits>
+
+namespace muffin::data {
+
+void encode_record(const Record& record, std::vector<std::uint8_t>& out) {
+  MUFFIN_REQUIRE(
+      record.groups.size() <= std::numeric_limits<std::uint32_t>::max() &&
+          record.features.size() <= std::numeric_limits<std::uint32_t>::max(),
+      "record too wide for the wire format");
+  common::put_u64(out, record.uid);
+  common::put_u64(out, static_cast<std::uint64_t>(record.label));
+  common::put_u32(out, static_cast<std::uint32_t>(record.groups.size()));
+  for (const std::size_t group : record.groups) {
+    common::put_u64(out, static_cast<std::uint64_t>(group));
+  }
+  common::put_f64(out, record.difficulty);
+  common::put_u32(out, static_cast<std::uint32_t>(record.features.size()));
+  common::put_f64_span(out, record.features);
+}
+
+Record decode_record(common::ByteReader& reader) {
+  Record record;
+  record.uid = reader.u64();
+  record.label = static_cast<std::size_t>(reader.u64());
+  const std::uint32_t group_count = reader.u32();
+  reader.require_count(group_count, 8);
+  record.groups.reserve(group_count);
+  for (std::uint32_t g = 0; g < group_count; ++g) {
+    record.groups.push_back(static_cast<std::size_t>(reader.u64()));
+  }
+  record.difficulty = reader.f64();
+  const std::uint32_t feature_count = reader.u32();
+  reader.require_count(feature_count, 8);
+  reader.f64_into(record.features, feature_count);
+  return record;
+}
+
+}  // namespace muffin::data

@@ -1,0 +1,38 @@
+// Wire serialization of data::Record.
+//
+// The cross-process serving tier ships record *batches* to remote shards
+// (serve/rpc/wire.h); the per-record byte layout is a data-layer concern
+// and lives here so any future transport (RPC, on-disk replay logs,
+// snapshot shipping) encodes records exactly one way.
+//
+// Layout (all integers little-endian, doubles as IEEE-754 bit patterns —
+// see common/bytes.h):
+//
+//   u64 uid
+//   u64 label
+//   u32 group_count,   u64 x group_count
+//   f64 difficulty
+//   u32 feature_count, f64 x feature_count
+//
+// Decoding is bounds-checked: a truncated buffer or a hostile count
+// field throws muffin::Error before any over-read or over-allocation.
+// Round-tripping is bit-exact (doubles travel as raw bit patterns), so a
+// record scored remotely sees exactly the bytes the client held.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bytes.h"
+#include "data/dataset.h"
+
+namespace muffin::data {
+
+/// Append the wire encoding of `record` to `out`.
+void encode_record(const Record& record, std::vector<std::uint8_t>& out);
+
+/// Decode one record at the reader's cursor; throws muffin::Error on a
+/// truncated or malformed encoding.
+[[nodiscard]] Record decode_record(common::ByteReader& reader);
+
+}  // namespace muffin::data

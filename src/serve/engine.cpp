@@ -60,19 +60,64 @@ Prediction InferenceEngine::predict(const data::Record& record) {
   return submit(record).get();
 }
 
-std::vector<Prediction> InferenceEngine::predict_batch(
+std::vector<std::future<Prediction>> InferenceEngine::submit_batch(
     std::span<const data::Record> records) {
+  std::vector<data::Record> copies(records.begin(), records.end());
+  return submit_batch(std::move(copies));
+}
+
+std::vector<std::future<Prediction>> InferenceEngine::submit_batch(
+    std::vector<data::Record>&& records) {
+  MUFFIN_REQUIRE(!stopped_.load(), "cannot submit to a stopped engine");
+  const std::size_t n = records.size();
+  std::vector<Request> requests;
+  requests.reserve(n);
   std::vector<std::future<Prediction>> futures;
-  futures.reserve(records.size());
-  for (const data::Record& record : records) {
-    futures.push_back(submit(record));
+  futures.reserve(n);
+  const Clock::time_point now = Clock::now();
+  for (data::Record& record : records) {
+    Request request{std::move(record), now, {}};
+    futures.push_back(request.promise.get_future());
+    requests.push_back(std::move(request));
   }
+  // Same count-before-publish ordering as submit(), for the same reason.
+  requests_.fetch_add(n, std::memory_order_relaxed);
+  try {
+    batcher_.push_many(std::move(requests));
+  } catch (...) {
+    // push_many is all-or-nothing: on a shutdown race no record entered
+    // the engine, so un-count the whole span.
+    requests_.fetch_sub(n, std::memory_order_relaxed);
+    throw;
+  }
+  return futures;
+}
+
+std::vector<Prediction> collect_all_or_error(
+    std::vector<std::future<Prediction>> futures) {
   std::vector<Prediction> predictions;
-  predictions.reserve(records.size());
-  for (std::future<Prediction>& future : futures) {
-    predictions.push_back(future.get());
+  predictions.reserve(futures.size());
+  for (std::size_t i = 0; i < futures.size(); ++i) {
+    try {
+      predictions.push_back(futures[i].get());
+    } catch (...) {
+      // Quiesce everything still in flight before the error propagates:
+      // the caller must be free to shut down or resubmit immediately.
+      for (std::size_t j = i + 1; j < futures.size(); ++j) {
+        futures[j].wait();
+      }
+      throw;
+    }
   }
   return predictions;
+}
+
+std::vector<Prediction> InferenceEngine::predict_batch(
+    std::span<const data::Record> records) {
+  // submit_batch is atomic, so there is no partially-submitted prefix to
+  // quiesce on a submit failure; the all-or-error rule (serve/router.h)
+  // is enforced by collect_all_or_error, where per-record results fail.
+  return collect_all_or_error(submit_batch(records));
 }
 
 void InferenceEngine::shutdown() {

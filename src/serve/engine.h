@@ -89,6 +89,13 @@ struct EngineCounters {
   std::size_t head_evaluations = 0;
 };
 
+/// The serving tier's all-or-error rule, in one place: wait for every
+/// future and return all predictions; if any failed, still await the
+/// rest (so nothing is left in flight) and rethrow the first error.
+/// Shared by engine/router predict_batch and the RPC server's writer.
+[[nodiscard]] std::vector<Prediction> collect_all_or_error(
+    std::vector<std::future<Prediction>> futures);
+
 class InferenceEngine {
  public:
   explicit InferenceEngine(std::shared_ptr<const core::FusedModel> model,
@@ -100,6 +107,19 @@ class InferenceEngine {
 
   /// Enqueue one record; the future completes when its batch is scored.
   [[nodiscard]] std::future<Prediction> submit(const data::Record& record);
+
+  /// Enqueue a record span atomically (one lock, one wakeup — either
+  /// every record enters the engine or, if it is stopped, none do) and
+  /// return one future per record, in input order. This is the hot path
+  /// for callers that already hold a batch: the RPC server feeds each
+  /// decoded request frame through it, and predict_batch builds on it.
+  [[nodiscard]] std::vector<std::future<Prediction>> submit_batch(
+      std::span<const data::Record> records);
+  /// Move overload for callers whose records are already materialized
+  /// and disposable (the RPC server's decoded frames): records move into
+  /// the engine instead of being copied.
+  [[nodiscard]] std::vector<std::future<Prediction>> submit_batch(
+      std::vector<data::Record>&& records);
 
   /// Synchronous single-record convenience: submit + wait.
   [[nodiscard]] Prediction predict(const data::Record& record);

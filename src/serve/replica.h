@@ -1,0 +1,118 @@
+// One shard replica as the router sees it.
+//
+// The ShardRouter routes by consistent hash and must not care where a
+// replica lives: in this process (an InferenceEngine) or across a socket
+// (an rpc::RemoteShard talking to a ShardServer). ReplicaBackend is that
+// seam — the submit/health/stats surface both kinds share. The router
+// owns topology (ring membership, drain state, routed counters); the
+// backend owns transport and scoring.
+//
+// Stats semantics differ by locality and are part of the contract:
+//  * A local replica reports its engine's own counters and latency.
+//  * A remote replica reports *client-observed* accounting: round-trip
+//    latency as measured by this process, counters reconstructed from
+//    the response flags (cached/consensus per prediction). The remote
+//    server's engine keeps its own authoritative counters in its own
+//    process. cache_entries()/cache_contains() are unknowable across the
+//    wire and report 0/false.
+//  * probe() is the health check the router's monitor thread calls:
+//    local replicas are healthy while running; remote replicas send an
+//    EMPTY score request through the server's full request path (not a
+//    bare liveness ping — a process that is alive but can no longer
+//    serve must fail its probe) with a deadline. consecutive_failures()
+//    counts failed submits/requests since the last success (always 0
+//    locally), so the monitor can drain a shard whose requests time out
+//    even when its probe still answers; probes never reset the count —
+//    only the router's restore (reset_failures) does.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <string>
+
+#include "serve/engine.h"
+
+namespace muffin::serve {
+
+class ReplicaBackend {
+ public:
+  virtual ~ReplicaBackend() = default;
+
+  /// Enqueue one record; the future completes (value or exception) when
+  /// the replica has an answer. Throws only if the backend is shut down.
+  [[nodiscard]] virtual std::future<Prediction> submit(
+      const data::Record& record) = 0;
+
+  /// Stop the backend (idempotent); in-flight work completes or fails.
+  virtual void shutdown() = 0;
+
+  /// Liveness: true if the replica can currently serve. May block up to
+  /// the backend's probe deadline; called off the router's locks.
+  [[nodiscard]] virtual bool probe() = 0;
+
+  /// Consecutive failed requests since the last success (remote only).
+  [[nodiscard]] virtual std::size_t consecutive_failures() const {
+    return 0;
+  }
+
+  /// Clear the failure history — called by the router when it restores
+  /// a drained replica, so the restored shard starts with a clean slate.
+  virtual void reset_failures() {}
+
+  [[nodiscard]] virtual bool remote() const = 0;
+  /// Human-readable placement ("local" or the endpoint).
+  [[nodiscard]] virtual std::string describe() const = 0;
+
+  [[nodiscard]] virtual EngineCounters counters() const = 0;
+  [[nodiscard]] virtual const LatencyStats& latency() const = 0;
+  [[nodiscard]] virtual std::size_t cache_entries() const = 0;
+  [[nodiscard]] virtual bool cache_contains(std::uint64_t uid) const = 0;
+
+  /// The wrapped engine for in-process replicas; nullptr for remote.
+  [[nodiscard]] virtual const InferenceEngine* engine() const {
+    return nullptr;
+  }
+};
+
+/// In-process replica: owns an InferenceEngine and forwards verbatim.
+class LocalReplica final : public ReplicaBackend {
+ public:
+  LocalReplica(std::shared_ptr<const core::FusedModel> model,
+               const EngineConfig& config)
+      : engine_(std::move(model), config) {}
+
+  [[nodiscard]] std::future<Prediction> submit(
+      const data::Record& record) override {
+    return engine_.submit(record);
+  }
+  void shutdown() override {
+    stopped_ = true;
+    engine_.shutdown();
+  }
+  [[nodiscard]] bool probe() override { return !stopped_; }
+  [[nodiscard]] bool remote() const override { return false; }
+  [[nodiscard]] std::string describe() const override { return "local"; }
+  [[nodiscard]] EngineCounters counters() const override {
+    return engine_.counters();
+  }
+  [[nodiscard]] const LatencyStats& latency() const override {
+    return engine_.latency();
+  }
+  [[nodiscard]] std::size_t cache_entries() const override {
+    return engine_.cache_entries();
+  }
+  [[nodiscard]] bool cache_contains(std::uint64_t uid) const override {
+    return engine_.cache_contains(uid);
+  }
+  [[nodiscard]] const InferenceEngine* engine() const override {
+    return &engine_;
+  }
+
+ private:
+  InferenceEngine engine_;
+  std::atomic<bool> stopped_{false};
+};
+
+}  // namespace muffin::serve

@@ -1,5 +1,7 @@
 #include "serve/router.h"
 
+#include <algorithm>
+
 #include "common/error.h"
 
 namespace muffin::serve {
@@ -7,13 +9,22 @@ namespace muffin::serve {
 ShardRouter::ShardRouter(std::shared_ptr<const core::FusedModel> model,
                          RouterConfig config)
     : model_(std::move(model)),
-      config_(config),
-      ring_(config.virtual_nodes) {
-  MUFFIN_REQUIRE(model_ != nullptr, "router needs a fused model");
-  MUFFIN_REQUIRE(config_.shards > 0, "router needs at least one shard");
+      config_(std::move(config)),
+      ring_(config_.virtual_nodes) {
+  MUFFIN_REQUIRE(model_ != nullptr || config_.shards == 0,
+                 "router needs a fused model for local replicas");
+  MUFFIN_REQUIRE(config_.shards + config_.remote_endpoints.size() > 0,
+                 "router needs at least one shard");
+  // Construction is single-threaded; the _locked helpers are safe here.
   for (std::size_t s = 0; s < config_.shards; ++s) {
-    (void)add_replica_locked();  // construction is single-threaded
+    (void)add_local_replica_locked();
   }
+  for (const std::string& endpoint : config_.remote_endpoints) {
+    (void)add_backend_locked(
+        std::make_shared<rpc::RemoteShard>(endpoint, config_.remote),
+        /*is_remote=*/true);
+  }
+  ensure_monitor_locked();
 }
 
 ShardRouter::~ShardRouter() { shutdown(); }
@@ -22,8 +33,12 @@ std::future<Prediction> ShardRouter::submit(const data::Record& record) {
   const std::shared_lock<std::shared_mutex> lock(mutex_);
   MUFFIN_REQUIRE(!stopped_, "cannot submit to a stopped router");
   Replica& replica = *replicas_[ring_.node_for(record.uid)];
+  std::future<Prediction> future = replica.backend->submit(record);
+  // Count only after a successful enqueue: a submit that throws (e.g. a
+  // backend racing shutdown) never reached the shard, and `routed` feeds
+  // capacity decisions — overcounting failed submits would skew them.
   replica.routed.fetch_add(1, std::memory_order_relaxed);
-  return replica.engine->submit(record);
+  return future;
 }
 
 Prediction ShardRouter::predict(const data::Record& record) {
@@ -35,22 +50,51 @@ std::vector<Prediction> ShardRouter::predict_batch(
   std::vector<std::future<Prediction>> futures;
   futures.reserve(records.size());
   for (const data::Record& record : records) {
-    futures.push_back(submit(record));
+    try {
+      futures.push_back(submit(record));
+    } catch (...) {
+      // All-or-error: quiesce the already-submitted prefix before the
+      // failure propagates. Waiting (not abandoning) is what guarantees
+      // no request of this call is still in flight when the caller sees
+      // the exception — the rule the RPC client and server share.
+      for (std::future<Prediction>& future : futures) {
+        future.wait();
+      }
+      throw;
+    }
   }
-  std::vector<Prediction> predictions;
-  predictions.reserve(records.size());
-  for (std::future<Prediction>& future : futures) {
-    predictions.push_back(future.get());
-  }
-  return predictions;
+  return collect_all_or_error(std::move(futures));
 }
 
 void ShardRouter::shutdown() {
-  const std::unique_lock<std::shared_mutex> lock(mutex_);
-  if (stopped_) return;
-  stopped_ = true;
-  for (const std::unique_ptr<Replica>& replica : replicas_) {
-    if (replica->state != State::Removed) replica->engine->shutdown();
+  {
+    const std::unique_lock<std::shared_mutex> lock(mutex_);
+    if (stopped_) return;
+    stopped_ = true;
+  }
+  // Stop the health monitor first so no probe or drain transition races
+  // the backend shutdowns below.
+  {
+    const std::lock_guard<std::mutex> lock(monitor_mutex_);
+    monitor_stop_ = true;
+  }
+  monitor_wake_.notify_all();
+  if (monitor_.joinable()) monitor_.join();
+  // Collect the live backends under the lock, stop them outside it:
+  // stopping a remote shard can block up to its request-timeout grace
+  // while it drains, and stats readers should not stall behind that.
+  // New submits are already rejected (stopped_ is set above).
+  std::vector<std::shared_ptr<ReplicaBackend>> backends;
+  {
+    const std::unique_lock<std::shared_mutex> lock(mutex_);
+    for (const std::unique_ptr<Replica>& replica : replicas_) {
+      if (replica->state != State::Removed) {
+        backends.push_back(replica->backend);
+      }
+    }
+  }
+  for (const std::shared_ptr<ReplicaBackend>& backend : backends) {
+    backend->shutdown();
   }
 }
 
@@ -63,14 +107,35 @@ std::size_t ShardRouter::shard_for(std::uint64_t uid) const {
 std::size_t ShardRouter::add_replica() {
   const std::unique_lock<std::shared_mutex> lock(mutex_);
   MUFFIN_REQUIRE(!stopped_, "cannot add a replica to a stopped router");
-  return add_replica_locked();
+  return add_local_replica_locked();
 }
 
-std::size_t ShardRouter::add_replica_locked() {
+std::size_t ShardRouter::add_remote_replica(const std::string& endpoint) {
+  const std::unique_lock<std::shared_mutex> lock(mutex_);
+  MUFFIN_REQUIRE(!stopped_, "cannot add a replica to a stopped router");
+  const std::size_t shard = add_backend_locked(
+      std::make_shared<rpc::RemoteShard>(endpoint, config_.remote),
+      /*is_remote=*/true);
+  ensure_monitor_locked();
+  return shard;
+}
+
+std::size_t ShardRouter::add_local_replica_locked() {
+  MUFFIN_REQUIRE(model_ != nullptr,
+                 "router was built without a model; only remote replicas "
+                 "can be added");
+  return add_backend_locked(
+      std::make_shared<LocalReplica>(model_, config_.engine),
+      /*is_remote=*/false);
+}
+
+std::size_t ShardRouter::add_backend_locked(
+    std::shared_ptr<ReplicaBackend> backend, bool is_remote) {
   const std::size_t shard = replicas_.size();
   auto replica = std::make_unique<Replica>();
-  replica->engine =
-      std::make_unique<InferenceEngine>(model_, config_.engine);
+  replica->describe = backend->describe();
+  replica->is_remote = is_remote;
+  replica->backend = std::move(backend);
   replicas_.push_back(std::move(replica));
   ring_.add(static_cast<std::uint64_t>(shard));
   return shard;
@@ -80,12 +145,19 @@ void ShardRouter::drain(std::size_t shard) {
   const std::unique_lock<std::shared_mutex> lock(mutex_);
   MUFFIN_REQUIRE(!stopped_, "cannot drain on a stopped router");
   Replica& replica = checked_locked(shard);
+  drain_locked(replica, shard, /*automatic=*/false);
+}
+
+void ShardRouter::drain_locked(Replica& replica, std::size_t shard,
+                               bool automatic) {
   MUFFIN_REQUIRE(replica.state == State::Active,
                  "can only drain an active replica");
   MUFFIN_REQUIRE(active_count_locked() > 1,
                  "cannot drain the last active replica");
   ring_.remove(static_cast<std::uint64_t>(shard));
   replica.state = State::Drained;
+  replica.auto_drained = automatic;
+  replica.probe_successes = 0;
 }
 
 void ShardRouter::restore(std::size_t shard) {
@@ -94,26 +166,63 @@ void ShardRouter::restore(std::size_t shard) {
   Replica& replica = checked_locked(shard);
   MUFFIN_REQUIRE(replica.state == State::Drained,
                  "can only restore a drained replica");
+  restore_locked(replica, shard);
+}
+
+void ShardRouter::restore_locked(Replica& replica, std::size_t shard) {
   ring_.add(static_cast<std::uint64_t>(shard));
   replica.state = State::Active;
+  replica.auto_drained = false;
+  replica.probe_failures = 0;
+  replica.probe_successes = 0;
+  // A restored shard starts with a clean failure history; stale counts
+  // would re-drain it on the monitor's next pass.
+  replica.backend->reset_failures();
 }
 
 void ShardRouter::remove_replica(std::size_t shard) {
-  const std::unique_lock<std::shared_mutex> lock(mutex_);
-  MUFFIN_REQUIRE(!stopped_, "cannot remove a replica on a stopped router");
-  Replica& replica = checked_locked(shard);
-  MUFFIN_REQUIRE(replica.state != State::Removed,
-                 "replica is already removed");
-  if (replica.state == State::Active) {
-    MUFFIN_REQUIRE(active_count_locked() > 1,
-                   "cannot remove the last active replica");
-    ring_.remove(static_cast<std::uint64_t>(shard));
+  std::shared_ptr<ReplicaBackend> retired;
+  {
+    const std::unique_lock<std::shared_mutex> lock(mutex_);
+    MUFFIN_REQUIRE(!stopped_, "cannot remove a replica on a stopped router");
+    Replica& replica = checked_locked(shard);
+    MUFFIN_REQUIRE(replica.state != State::Removed,
+                   "replica is already removed");
+    if (replica.state == State::Active) {
+      MUFFIN_REQUIRE(active_count_locked() > 1,
+                     "cannot remove the last active replica");
+      ring_.remove(static_cast<std::uint64_t>(shard));
+    }
+    // Freeze-at-removal, preliminary: snapshot every stat the aggregates
+    // and operator tables consume so observers never touch a retiring
+    // backend. Refined below once the drain completes.
+    replica.frozen_counters = replica.backend->counters();
+    replica.frozen_latency = std::make_unique<LatencyStats>();
+    replica.frozen_latency->merge(replica.backend->latency());
+    replica.frozen_cache_entries = replica.backend->cache_entries();
+    replica.state = State::Removed;
+    retired = std::move(replica.backend);
   }
-  replica.state = State::Removed;
-  // Holding the exclusive lock here is what makes removal safe: no
-  // submitter can be between routing and engine->submit while the engine
-  // stops. In-flight batches complete on the engine's own pool.
-  replica.engine->shutdown();
+  // The exclusive section above is what makes removal safe: no submitter
+  // can be between routing and backend->submit once the shard is off the
+  // ring and its backend pointer cleared. The (possibly slow) stop runs
+  // OUTSIDE the lock — draining a remote shard can block up to its
+  // request-timeout grace, and routing must not stall behind it. The
+  // health monitor holds its own shared_ptr, so a probe in flight
+  // during removal finishes against a live (stopping) object.
+  retired->shutdown();
+  // Final freeze: the drain above let in-flight requests complete and
+  // record their latency AFTER the preliminary snapshot. Re-snapshot the
+  // quiesced backend so the frozen view is internally consistent (every
+  // counted request also has its latency) before the backend dies.
+  {
+    const std::unique_lock<std::shared_mutex> lock(mutex_);
+    Replica& replica = *replicas_[shard];
+    replica.frozen_counters = retired->counters();
+    replica.frozen_latency = std::make_unique<LatencyStats>();
+    replica.frozen_latency->merge(retired->latency());
+    replica.frozen_cache_entries = retired->cache_entries();
+  }
 }
 
 std::size_t ShardRouter::replica_count() const {
@@ -133,14 +242,24 @@ bool ShardRouter::active(std::size_t shard) const {
 
 const InferenceEngine& ShardRouter::replica(std::size_t shard) const {
   const std::shared_lock<std::shared_mutex> lock(mutex_);
-  return *checked_locked(shard).engine;
+  const Replica& replica = checked_locked(shard);
+  MUFFIN_REQUIRE(replica.state != State::Removed,
+                 "replica was removed; its backend is retired");
+  const InferenceEngine* engine = replica.backend->engine();
+  MUFFIN_REQUIRE(engine != nullptr,
+                 "replica is remote; it has no in-process engine");
+  return *engine;
 }
 
 LatencyStats::Snapshot ShardRouter::aggregate_latency() const {
   const std::shared_lock<std::shared_mutex> lock(mutex_);
   LatencyStats merged;
   for (const std::unique_ptr<Replica>& replica : replicas_) {
-    merged.merge(replica->engine->latency());
+    if (replica->state == State::Removed) {
+      merged.merge(*replica->frozen_latency);
+    } else {
+      merged.merge(replica->backend->latency());
+    }
   }
   return merged.snapshot();
 }
@@ -149,7 +268,9 @@ EngineCounters ShardRouter::aggregate_counters() const {
   const std::shared_lock<std::shared_mutex> lock(mutex_);
   EngineCounters total;
   for (const std::unique_ptr<Replica>& replica : replicas_) {
-    const EngineCounters c = replica->engine->counters();
+    const EngineCounters c = replica->state == State::Removed
+                                 ? replica->frozen_counters
+                                 : replica->backend->counters();
     total.requests += c.requests;
     total.batches += c.batches;
     total.cache_hits += c.cache_hits;
@@ -169,10 +290,19 @@ std::vector<ShardInfo> ShardRouter::shard_infos() const {
     info.shard = s;
     info.active = replica.state == State::Active;
     info.alive = replica.state != State::Removed;
+    info.remote = replica.is_remote;
+    info.auto_drained = replica.auto_drained;
+    info.backend = replica.describe;
     info.routed = replica.routed.load(std::memory_order_relaxed);
-    info.cache_entries = replica.engine->cache_entries();
-    info.counters = replica.engine->counters();
-    info.latency = replica.engine->latency().snapshot();
+    if (replica.state == State::Removed) {
+      info.cache_entries = replica.frozen_cache_entries;
+      info.counters = replica.frozen_counters;
+      info.latency = replica.frozen_latency->snapshot();
+    } else {
+      info.cache_entries = replica.backend->cache_entries();
+      info.counters = replica.backend->counters();
+      info.latency = replica.backend->latency().snapshot();
+    }
     infos.push_back(std::move(info));
   }
   return infos;
@@ -189,6 +319,100 @@ std::size_t ShardRouter::active_count_locked() const {
     if (replica->state == State::Active) ++active;
   }
   return active;
+}
+
+void ShardRouter::ensure_monitor_locked() {
+  if (monitor_.joinable()) return;
+  if (config_.health.probe_interval.count() == 0) return;
+  const bool any_remote =
+      std::any_of(replicas_.begin(), replicas_.end(),
+                  [](const std::unique_ptr<Replica>& replica) {
+                    return replica->is_remote;
+                  });
+  if (!any_remote) return;
+  monitor_ = std::thread([this]() { health_loop(); });
+}
+
+void ShardRouter::health_loop() {
+  struct ProbeTarget {
+    std::size_t shard = 0;
+    std::shared_ptr<ReplicaBackend> backend;
+    bool was_active = false;
+    bool was_auto_drained = false;
+    std::size_t submit_failures = 0;
+    bool probe_ok = false;
+  };
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(monitor_mutex_);
+      monitor_wake_.wait_for(lock, config_.health.probe_interval,
+                             [this]() { return monitor_stop_; });
+      if (monitor_stop_) return;
+    }
+
+    // Phase 1 (shared lock): snapshot who to probe. Backend shared_ptrs
+    // keep the objects alive even if a replica is removed mid-probe.
+    std::vector<ProbeTarget> targets;
+    {
+      const std::shared_lock<std::shared_mutex> lock(mutex_);
+      if (stopped_) return;
+      for (std::size_t s = 0; s < replicas_.size(); ++s) {
+        const Replica& replica = *replicas_[s];
+        if (!replica.is_remote || replica.state == State::Removed) continue;
+        if (replica.state == State::Drained && !replica.auto_drained) {
+          continue;  // operator drains are out of the monitor's hands
+        }
+        ProbeTarget target;
+        target.shard = s;
+        target.backend = replica.backend;
+        target.was_active = replica.state == State::Active;
+        target.was_auto_drained = replica.auto_drained;
+        // Read BEFORE probing: a successful probe resets the backend's
+        // failure count, which would erase the submit-timeout signal.
+        target.submit_failures = replica.backend->consecutive_failures();
+        targets.push_back(std::move(target));
+      }
+    }
+
+    // Phase 2 (no locks): probe. Each probe may block up to its connect
+    // and probe deadlines; holding no router lock keeps serving live.
+    for (ProbeTarget& target : targets) {
+      target.probe_ok = target.backend->probe();
+    }
+
+    // Phase 3 (exclusive lock): apply transitions, revalidating state —
+    // an operator may have drained/restored/removed the shard meanwhile.
+    {
+      const std::unique_lock<std::shared_mutex> lock(mutex_);
+      if (stopped_) return;
+      for (const ProbeTarget& target : targets) {
+        Replica& replica = *replicas_[target.shard];
+        if (replica.state == State::Removed) continue;
+        if (replica.state == State::Active && target.was_active) {
+          replica.probe_failures =
+              target.probe_ok ? 0 : replica.probe_failures + 1;
+          const bool unhealthy =
+              replica.probe_failures >= config_.health.failure_threshold ||
+              target.submit_failures >= config_.health.failure_threshold;
+          if (unhealthy && active_count_locked() > 1) {
+            drain_locked(replica, target.shard, /*automatic=*/true);
+          }
+        } else if (replica.state == State::Drained &&
+                   replica.auto_drained && target.was_auto_drained &&
+                   config_.health.auto_restore) {
+          // Hysteresis: one lucky probe is not recovery. The probe is an
+          // end-to-end canary (empty score request), so consecutive
+          // successes mean the serving path itself is back.
+          replica.probe_successes =
+              target.probe_ok ? replica.probe_successes + 1 : 0;
+          if (replica.probe_successes >=
+              config_.health.recovery_threshold) {
+            restore_locked(replica, target.shard);
+          }
+        }
+      }
+    }
+  }
 }
 
 }  // namespace muffin::serve

@@ -1,72 +1,123 @@
-// Sharded serving tier: consistent-hash routing over engine replicas.
+// Sharded serving tier: consistent-hash routing over replicas that may
+// live in this process or behind a socket.
 //
 // One InferenceEngine batches and memoizes on a single host's worth of
-// cores; the next scale step is partitioning traffic across N engine
-// replicas. ShardRouter fronts N in-process replicas behind the same
-// predict/predict_async surface as the engine itself and routes every
-// request by consistent hash on the record uid (muffin::HashRing, virtual
-// nodes on a 64-bit ring). Routing by uid is what makes sharding
-// composable with the engine's result memo: a repeated uid always lands
-// on the shard whose LRU already holds its prediction, so the aggregate
-// memo behaves like one cache with N times the capacity and no
-// cross-shard duplication.
+// cores; ShardRouter partitions traffic across N replicas behind the
+// same predict/predict_async surface and routes every request by
+// consistent hash on the record uid (muffin::HashRing, virtual nodes on
+// a 64-bit ring). Routing by uid is what makes sharding composable with
+// the engine's result memo: a repeated uid always lands on the shard
+// whose LRU already holds its prediction.
+//
+// A replica is a ReplicaBackend (serve/replica.h): in-process
+// (LocalReplica owning an engine) or remote (rpc::RemoteShard speaking
+// the batched wire format to a ShardServer in another process). The
+// router treats both identically — placement, drain state and routed
+// accounting live here; transport and scoring live in the backend.
 //
 // Topology is dynamic:
-//  * add_replica() spins up a fresh engine and takes its ring points;
-//    only the uids adjacent to those points move (expected K/(N+1) of K
-//    warmed keys), everyone else keeps their warm memo.
-//  * drain(shard) takes a replica off the ring without stopping its
-//    engine — the degraded-mode path. Traffic re-routes to ring
-//    successors; in-flight requests still complete; the drained memo
-//    stays warm so restore(shard) resumes exactly where it left off.
-//  * remove_replica(shard) drains and permanently shuts the engine down.
+//  * add_replica() / add_remote_replica(endpoint) join the ring; only
+//    the uids adjacent to the new points move.
+//  * drain(shard) takes a replica off the ring without stopping it —
+//    the degraded-mode path; restore(shard) puts it back.
+//  * remove_replica(shard) permanently retires a replica. Its stats
+//    FREEZE AT REMOVAL: the router snapshots counters/latency/memo size
+//    before shutting the backend down and destroys the backend; every
+//    aggregate and shard_infos() view reports the frozen snapshot from
+//    then on. One rule, shared by operator removal and remote shards
+//    that die — removed replicas are never poked again.
 //
-// Every routed answer is bit-identical to FusedModel::scores: replicas
-// share one immutable FusedModel and each engine already guarantees
-// bit-identity, so the router adds placement, not arithmetic.
-// tests/serve/test_router.cpp proves this across shard counts, and
-// tests/serve/test_stress.cpp hammers the router with concurrent clients
-// and concurrent topology changes (run under TSan in CI).
+// Health-checked auto-drain: when any remote replica exists (and
+// HealthConfig::probe_interval is non-zero), a monitor thread probes the
+// remote replicas off the locks. A probe is an end-to-end canary (an
+// empty score request through the server's full request path), so a
+// process that is alive but can no longer serve fails it. A replica
+// that fails `failure_threshold` consecutive probes — or whose backend
+// reports that many consecutive failed/timed-out submits — is drained
+// automatically (taken off the ring; traffic reroutes to ring
+// successors), unless it is the last active replica. An auto-drained
+// replica is restored after `recovery_threshold` consecutive successful
+// probes (hysteresis against flapping); restoring clears the backend's
+// failure history. Operator drains are never auto-restored.
+//
+// Partial-failure rule (shared with the RPC tier): predict_batch is
+// all-or-error. If a mid-loop submit throws, every already-submitted
+// request is awaited (results discarded) before the error propagates, so
+// no work is silently left in flight and the router can be shut down or
+// resubmitted to immediately. RemoteShard applies the same rule to each
+// pipelined batch; ShardServer applies it per request frame.
 //
 // Thread safety: submit/predict may be called from any number of client
-// threads concurrently with topology changes and stats aggregation.
-// Routing takes a shared lock; topology mutation takes the exclusive
-// lock. Engines are never destroyed while the router lives, so per-shard
-// counters stay readable even for removed replicas.
+// threads concurrently with topology changes, health transitions and
+// stats aggregation. Routing takes a shared lock; topology mutation
+// takes the exclusive lock.
 #pragma once
 
+#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <future>
 #include <memory>
 #include <shared_mutex>
 #include <span>
+#include <string>
+#include <thread>
 #include <vector>
 
 #include "common/hash.h"
-#include "serve/engine.h"
+#include "serve/replica.h"
+#include "serve/rpc/client.h"
 
 namespace muffin::serve {
 
+/// Health monitoring knobs for remote replicas.
+struct HealthConfig {
+  /// Probe period; 0 disables the monitor thread entirely.
+  std::chrono::milliseconds probe_interval{500};
+  /// Consecutive probe failures (or backend-reported consecutive submit
+  /// failures) that trigger auto-drain.
+  std::size_t failure_threshold = 3;
+  /// Restore an auto-drained replica once probes succeed again.
+  bool auto_restore = true;
+  /// Consecutive successful probes required before an auto-drained
+  /// replica is restored — hysteresis so one lucky probe cannot bounce a
+  /// flaky shard straight back onto the ring. Restoring also clears the
+  /// backend's failure history (ReplicaBackend::reset_failures).
+  std::size_t recovery_threshold = 2;
+};
+
 struct RouterConfig {
-  std::size_t shards = 2;          ///< initial replica count
+  /// Initial in-process replica count. May be 0 when remote_endpoints is
+  /// non-empty (a pure client-side router needs no local model).
+  std::size_t shards = 2;
   std::size_t virtual_nodes = 64;  ///< ring points per replica
-  EngineConfig engine;             ///< applied to every replica
+  EngineConfig engine;             ///< applied to every local replica
+  /// Remote shards ("host:port" or "unix:/path") joined at construction.
+  std::vector<std::string> remote_endpoints;
+  rpc::RemoteShardConfig remote;   ///< applied to every remote replica
+  HealthConfig health;
 };
 
 /// Point-in-time view of one shard, for operator tables and tests.
 struct ShardInfo {
   std::size_t shard = 0;
   bool active = false;  ///< on the ring (receiving new traffic)
-  bool alive = false;   ///< engine running (false once removed)
+  bool alive = false;   ///< backend running (false once removed)
+  bool remote = false;
+  bool auto_drained = false;  ///< drained by the health monitor
+  std::string backend;     ///< "local" or the remote endpoint
   std::size_t routed = 0;  ///< requests this router sent to the shard
   std::size_t cache_entries = 0;
   EngineCounters counters;
   LatencyStats::Snapshot latency;
 };
 
+struct RouterTestAccess;  // test-only backdoor (tests/serve)
+
 class ShardRouter {
  public:
+  /// `model` may be null only when no local replicas are configured
+  /// (config.shards == 0 and all replicas remote).
   explicit ShardRouter(std::shared_ptr<const core::FusedModel> model,
                        RouterConfig config = {});
   ~ShardRouter();
@@ -75,13 +126,15 @@ class ShardRouter {
   ShardRouter& operator=(const ShardRouter&) = delete;
 
   /// Route one record to its shard; the future completes when that
-  /// shard's engine scores it.
+  /// shard's backend scores it.
   [[nodiscard]] std::future<Prediction> submit(const data::Record& record);
 
   /// Synchronous single-record convenience: submit + wait.
   [[nodiscard]] Prediction predict(const data::Record& record);
 
-  /// Submit every record, wait for all, return predictions in input order.
+  /// Submit every record, wait for all, return predictions in input
+  /// order. All-or-error: a mid-loop failure awaits the submitted prefix
+  /// before rethrowing (see the partial-failure rule above).
   [[nodiscard]] std::vector<Prediction> predict_batch(
       std::span<const data::Record> records);
 
@@ -92,19 +145,24 @@ class ShardRouter {
   /// stopped or if every replica is drained.
   [[nodiscard]] std::size_t shard_for(std::uint64_t uid) const;
 
-  /// Add a fresh replica (cold memo) and return its shard id. Only keys
-  /// adjacent to its ring points move to it.
+  /// Add a fresh in-process replica (cold memo); returns its shard id.
   std::size_t add_replica();
 
+  /// Add a remote replica served by a ShardServer at `endpoint`
+  /// ("host:port" or "unix:/path"); returns its shard id. Starts the
+  /// health monitor on first use if the interval is non-zero.
+  std::size_t add_remote_replica(const std::string& endpoint);
+
   /// Degraded mode: stop routing new traffic to `shard` but keep its
-  /// engine (and memo) alive. Throws if the shard is not active or is the
-  /// last active replica.
+  /// backend alive. Throws if the shard is not active or is the last
+  /// active replica. Operator drains are never auto-restored.
   void drain(std::size_t shard);
 
-  /// Put a drained replica back on the ring; its memo is still warm.
+  /// Put a drained replica back on the ring.
   void restore(std::size_t shard);
 
-  /// Drain (if needed) and permanently shut down `shard`'s engine.
+  /// Permanently retire `shard`: freeze its stats, shut down and destroy
+  /// its backend. See the freeze-at-removal rule above.
   void remove_replica(std::size_t shard);
 
   /// Total replicas ever created (shard ids are stable, never reused).
@@ -112,11 +170,15 @@ class ShardRouter {
   /// Replicas currently on the ring.
   [[nodiscard]] std::size_t active_count() const;
   [[nodiscard]] bool active(std::size_t shard) const;
+  /// The wrapped engine of an in-process replica. Throws for remote or
+  /// removed shards (removed backends are destroyed at removal).
   [[nodiscard]] const InferenceEngine& replica(std::size_t shard) const;
 
-  /// Merged accounting across every replica that ever served traffic:
-  /// exact count/mean/max, reservoir-merged percentiles, wall-clock
-  /// throughput (LatencyStats::merge semantics).
+  /// Merged accounting across every replica that ever served traffic
+  /// (removed replicas contribute their frozen snapshots): exact
+  /// count/mean/max, reservoir-merged percentiles, wall-clock throughput
+  /// (LatencyStats::merge semantics). Remote replicas contribute
+  /// client-observed stats (see serve/replica.h).
   [[nodiscard]] LatencyStats::Snapshot aggregate_latency() const;
   [[nodiscard]] EngineCounters aggregate_counters() const;
   [[nodiscard]] std::vector<ShardInfo> shard_infos() const;
@@ -124,18 +186,38 @@ class ShardRouter {
   [[nodiscard]] const RouterConfig& config() const { return config_; }
 
  private:
+  friend struct RouterTestAccess;
+
   enum class State { Active, Drained, Removed };
 
   struct Replica {
-    std::unique_ptr<InferenceEngine> engine;
+    /// shared_ptr so the health monitor can probe off the router locks
+    /// without racing removal; null once Removed.
+    std::shared_ptr<ReplicaBackend> backend;
     State state = State::Active;
+    bool auto_drained = false;       ///< drained by the health monitor
+    std::size_t probe_failures = 0;  ///< consecutive, monitor-maintained
+    std::size_t probe_successes = 0;  ///< consecutive, while auto-drained
     std::atomic<std::size_t> routed{0};
+    std::string describe;  ///< survives removal for post-mortem tables
+    bool is_remote = false;
+    // Freeze-at-removal snapshot (meaningful once state == Removed).
+    EngineCounters frozen_counters;
+    std::unique_ptr<LatencyStats> frozen_latency;
+    std::size_t frozen_cache_entries = 0;
   };
 
-  /// Requires the exclusive lock.
-  std::size_t add_replica_locked();
+  /// All require the exclusive lock.
+  std::size_t add_local_replica_locked();
+  std::size_t add_backend_locked(std::shared_ptr<ReplicaBackend> backend,
+                                 bool is_remote);
+  void drain_locked(Replica& replica, std::size_t shard, bool automatic);
+  void restore_locked(Replica& replica, std::size_t shard);
   [[nodiscard]] Replica& checked_locked(std::size_t shard) const;
   [[nodiscard]] std::size_t active_count_locked() const;
+
+  void ensure_monitor_locked();
+  void health_loop();
 
   std::shared_ptr<const core::FusedModel> model_;
   RouterConfig config_;
@@ -144,6 +226,13 @@ class ShardRouter {
   std::vector<std::unique_ptr<Replica>> replicas_;
   HashRing ring_;
   bool stopped_ = false;
+
+  // Health monitor lifecycle (started lazily with the first remote
+  // replica; woken for shutdown via the condition variable).
+  std::mutex monitor_mutex_;
+  std::condition_variable monitor_wake_;
+  bool monitor_stop_ = false;
+  std::thread monitor_;
 };
 
 }  // namespace muffin::serve

@@ -1,0 +1,312 @@
+#include "serve/rpc/client.h"
+
+#include <utility>
+
+#include "common/error.h"
+
+namespace muffin::serve::rpc {
+
+namespace {
+
+int ms(std::chrono::milliseconds d) { return static_cast<int>(d.count()); }
+
+}  // namespace
+
+RemoteShard::RemoteShard(const std::string& endpoint,
+                         RemoteShardConfig config)
+    : endpoint_(common::Endpoint::parse(endpoint)),
+      config_(config),
+      batcher_({config.max_batch, config.max_delay}) {
+  MUFFIN_REQUIRE(config_.connections > 0,
+                 "remote shard needs at least one connection");
+  connections_.reserve(config_.connections);
+  for (std::size_t c = 0; c < config_.connections; ++c) {
+    connections_.push_back(std::make_unique<Connection>());
+  }
+  dispatcher_ = std::thread([this]() { dispatch_loop(); });
+}
+
+RemoteShard::~RemoteShard() { shutdown(); }
+
+std::future<Prediction> RemoteShard::submit(const data::Record& record) {
+  MUFFIN_REQUIRE(!stopped_.load(), "cannot submit to a stopped remote shard");
+  ClientRequest request{record, Clock::now(), {}};
+  std::future<Prediction> future = request.promise.get_future();
+  batcher_.push(std::move(request));
+  return future;
+}
+
+void RemoteShard::shutdown() {
+  if (stopped_.exchange(true)) return;
+  batcher_.close();
+  // The dispatcher drains queued batches (sending them if it can), then
+  // exits; readers keep collecting responses for in-flight batches.
+  if (dispatcher_.joinable()) dispatcher_.join();
+  const Clock::time_point grace =
+      Clock::now() + config_.request_timeout +
+      std::chrono::milliseconds(200);
+  for (const std::unique_ptr<Connection>& connection : connections_) {
+    for (;;) {
+      {
+        const std::lock_guard<std::mutex> lock(connection->mutex);
+        if (connection->pending.empty() || connection->dead) break;
+      }
+      if (Clock::now() >= grace) break;
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    fail_connection(*connection, "remote shard shut down");
+    if (connection->reader.joinable()) connection->reader.join();
+    connection->socket.close();
+  }
+}
+
+bool RemoteShard::probe() {
+  // The probe is an EMPTY ScoreRequest, not a bare HealthProbe: it
+  // exercises the server's whole request path — framing, decode, the
+  // engine's submit gate (a stopped engine throws and comes back as an
+  // Error frame), response encode — so a process that is alive but can
+  // no longer serve fails its probe. It deliberately does NOT reset
+  // consecutive_failures(): the counter clears only when real requests
+  // succeed or the router restores the shard (reset_failures), so a
+  // probe-alive/request-dead server cannot launder its failure history.
+  try {
+    common::Socket socket =
+        common::connect_endpoint(endpoint_, ms(config_.connect_timeout));
+    const std::uint64_t seq = seq_.fetch_add(1, std::memory_order_relaxed);
+    write_frame(socket,
+                encode_score_request(seq, std::span<const data::Record>{}),
+                ms(config_.probe_timeout));
+    const std::optional<Frame> reply =
+        read_frame(socket, config_.max_frame_bytes, ms(config_.probe_timeout));
+    return reply.has_value() &&
+           reply->header.type == MsgType::ScoreResponse &&
+           reply->header.seq == seq &&
+           decode_score_response(reply->payload).empty();
+  } catch (const std::exception&) {
+    return false;
+  }
+}
+
+void RemoteShard::reset_failures() {
+  consecutive_failures_.store(0, std::memory_order_relaxed);
+}
+
+EngineCounters RemoteShard::counters() const {
+  EngineCounters counters;
+  counters.requests = requests_.load(std::memory_order_relaxed);
+  counters.batches = batches_.load(std::memory_order_relaxed);
+  counters.cache_hits = cache_hits_.load(std::memory_order_relaxed);
+  counters.consensus_short_circuits =
+      consensus_short_circuits_.load(std::memory_order_relaxed);
+  counters.head_evaluations =
+      head_evaluations_.load(std::memory_order_relaxed);
+  return counters;
+}
+
+void RemoteShard::dispatch_loop() {
+  for (;;) {
+    std::vector<ClientRequest> batch = batcher_.next_batch();
+    if (batch.empty()) return;  // closed and drained
+    send_batch(std::move(batch));
+  }
+}
+
+void RemoteShard::send_batch(std::vector<ClientRequest> batch) {
+  // Try every pooled connection once, starting at the round-robin
+  // cursor; a batch only fails when no connection can be (re)established.
+  for (std::size_t attempt = 0; attempt < connections_.size(); ++attempt) {
+    Connection& connection =
+        *connections_[next_connection_++ % connections_.size()];
+    try {
+      bool dead;
+      {
+        const std::lock_guard<std::mutex> lock(connection.mutex);
+        dead = connection.dead;
+      }
+      if (dead) {
+        // Replace the transport only after the previous reader exited.
+        if (connection.reader.joinable()) connection.reader.join();
+        // A write can race the teardown and leave an entry queued after
+        // the reader is gone; it belongs to the dead transport and can
+        // never be answered on the new one — fail it now.
+        fail_connection(connection, "connection reset before response");
+        connection.socket =
+            common::connect_endpoint(endpoint_, ms(config_.connect_timeout));
+        {
+          const std::lock_guard<std::mutex> lock(connection.mutex);
+          connection.dead = false;
+        }
+        connection.reader =
+            std::thread([this, &connection]() { reader_loop(connection); });
+      }
+
+      const std::uint64_t seq = seq_.fetch_add(1, std::memory_order_relaxed);
+      // Encode straight from the request wrappers — no record copies on
+      // the dispatch hot path.
+      std::vector<const data::Record*> records;
+      records.reserve(batch.size());
+      for (const ClientRequest& request : batch) {
+        records.push_back(&request.record);
+      }
+      const std::vector<std::uint8_t> frame =
+          encode_score_request(seq, records);
+
+      // Register the in-flight batch BEFORE sending: the response can
+      // arrive the instant the frame hits the wire.
+      PendingBatch pending;
+      pending.seq = seq;
+      pending.deadline = Clock::now() + config_.request_timeout;
+      pending.requests = std::move(batch);
+      {
+        const std::lock_guard<std::mutex> lock(connection.mutex);
+        connection.pending.push_back(std::move(pending));
+      }
+      try {
+        write_frame(connection.socket, frame, ms(config_.request_timeout));
+      } catch (const std::exception& error) {
+        // A partial frame write poisons the stream; everything pipelined
+        // on this connection is undeliverable. Write failures count
+        // toward auto-drain like any other failed submit (counted
+        // before the promises fail, so observers see both together).
+        consecutive_failures_.fetch_add(1, std::memory_order_relaxed);
+        fail_connection(connection, error.what());
+        return;
+      }
+      return;  // sent; the reader owns it now
+    } catch (const std::exception& error) {
+      // Usually a failed connect (pending empty, this is a no-op sweep);
+      // but if the failure struck a live connection before the write —
+      // e.g. an allocation failure while encoding — its pipelined
+      // batches must fail too, not hang until shutdown.
+      fail_connection(connection, error.what());
+    }
+  }
+  consecutive_failures_.fetch_add(1, std::memory_order_relaxed);
+  fail_batch(batch, "no connection to " + endpoint_.to_string());
+}
+
+void RemoteShard::reader_loop(Connection& connection) {
+  for (;;) {
+    // Exit once the shard is stopped and nothing is in flight here.
+    bool has_pending;
+    Clock::time_point oldest_deadline;
+    {
+      const std::lock_guard<std::mutex> lock(connection.mutex);
+      if (connection.dead) return;
+      has_pending = !connection.pending.empty();
+      if (has_pending) oldest_deadline = connection.pending.front().deadline;
+    }
+    if (!has_pending && stopped_.load(std::memory_order_relaxed)) return;
+
+    // Once a batch is popped it is OURS: if anything below throws, its
+    // promises must still be failed explicitly — fail_connection only
+    // sweeps what is left in the pending deque.
+    PendingBatch batch;
+    bool popped = false;
+    try {
+      // Short poll slices let the deadline check run even when the
+      // server sends nothing at all.
+      if (!connection.socket.readable(/*timeout_ms=*/50)) {
+        if (has_pending && Clock::now() >= oldest_deadline) {
+          throw Error("request to " + endpoint_.to_string() +
+                      " timed out after " +
+                      std::to_string(config_.request_timeout.count()) + " ms");
+        }
+        continue;
+      }
+      std::optional<Frame> frame =
+          read_frame(connection.socket, config_.max_frame_bytes,
+                     ms(config_.request_timeout));
+      if (!frame.has_value()) {
+        // Clean EOF. Fine when idle; fatal with work in flight.
+        const std::lock_guard<std::mutex> lock(connection.mutex);
+        if (connection.pending.empty()) {
+          connection.dead = true;
+          return;
+        }
+        throw Error("server closed with requests in flight");
+      }
+
+      {
+        const std::lock_guard<std::mutex> lock(connection.mutex);
+        MUFFIN_REQUIRE(!connection.pending.empty(),
+                       "response frame with nothing in flight");
+        MUFFIN_REQUIRE(frame->header.seq == connection.pending.front().seq,
+                       "response sequence mismatch (pipelining broken)");
+        batch = std::move(connection.pending.front());
+        connection.pending.pop_front();
+        popped = true;
+      }
+
+      if (frame->header.type == MsgType::Error) {
+        consecutive_failures_.fetch_add(1, std::memory_order_relaxed);
+        fail_batch(batch.requests, decode_error(frame->payload));
+        continue;
+      }
+      MUFFIN_REQUIRE(frame->header.type == MsgType::ScoreResponse,
+                     "unexpected frame type from server");
+      std::vector<Prediction> predictions =
+          decode_score_response(frame->payload);
+      MUFFIN_REQUIRE(predictions.size() == batch.requests.size(),
+                     "response row count does not match the request batch");
+      deliver(std::move(batch), std::move(predictions));
+      consecutive_failures_.store(0, std::memory_order_relaxed);
+    } catch (const std::exception& error) {
+      // Count BEFORE failing promises: a caller that observes a failed
+      // future must also observe a non-zero failure count (the health
+      // monitor reads it; tests pin the ordering).
+      consecutive_failures_.fetch_add(1, std::memory_order_relaxed);
+      if (popped) fail_batch(batch.requests, error.what());
+      fail_connection(connection, error.what());
+      return;
+    }
+  }
+}
+
+void RemoteShard::deliver(PendingBatch batch,
+                          std::vector<Prediction> predictions) {
+  const Clock::time_point now = Clock::now();
+  batches_.fetch_add(1, std::memory_order_relaxed);
+  for (std::size_t i = 0; i < batch.requests.size(); ++i) {
+    latency_.record(now - batch.requests[i].enqueued);
+    requests_.fetch_add(1, std::memory_order_relaxed);
+    const Prediction& prediction = predictions[i];
+    if (prediction.cached) {
+      cache_hits_.fetch_add(1, std::memory_order_relaxed);
+    } else if (prediction.consensus) {
+      consensus_short_circuits_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      head_evaluations_.fetch_add(1, std::memory_order_relaxed);
+    }
+    batch.requests[i].promise.set_value(std::move(predictions[i]));
+  }
+}
+
+void RemoteShard::fail_connection(Connection& connection,
+                                  const std::string& why) {
+  std::deque<PendingBatch> orphaned;
+  {
+    const std::lock_guard<std::mutex> lock(connection.mutex);
+    connection.dead = true;
+    orphaned.swap(connection.pending);
+  }
+  connection.socket.shutdown_both();
+  for (PendingBatch& batch : orphaned) {
+    fail_batch(batch.requests, why);
+  }
+}
+
+void RemoteShard::fail_batch(std::vector<ClientRequest>& requests,
+                             const std::string& why) {
+  for (ClientRequest& request : requests) {
+    try {
+      request.promise.set_exception(
+          std::make_exception_ptr(Error("remote shard failure: " + why)));
+    } catch (const std::future_error&) {
+      // Already settled (e.g. a batch that failed after partial
+      // delivery); the caller has its answer, nothing to do.
+    }
+  }
+}
+
+}  // namespace muffin::serve::rpc

@@ -1,0 +1,161 @@
+// RemoteShard: a ShardServer replica as seen from the client process.
+//
+// Satisfies the same submit/stats/health surface as an in-process
+// replica (serve/replica.h), so the ShardRouter routes to it without
+// knowing there is a socket in the way. Three mechanisms keep the remote
+// hop batch-first and pipelined:
+//
+//  * **Client-side micro-batching.** submit() enqueues into a Batcher
+//    (same size/deadline policy as the engine); a dispatcher thread pops
+//    whole batches and ships each as ONE ScoreRequest frame. The wire
+//    carries record batches, so the server's GEMM path stays hot and the
+//    per-frame syscall/framing cost is amortized across the batch.
+//  * **Connection pooling + pipelining.** A small pool of connections is
+//    used round-robin; the dispatcher does not wait for a response
+//    before sending the next batch on the same connection. The server
+//    answers per connection strictly in request order, so each
+//    connection's reader matches responses to its FIFO of in-flight
+//    batches by sequence number.
+//  * **Deadlines everywhere.** Connect, request, and probe deadlines turn
+//    a dead or wedged server into failed futures and a rising
+//    consecutive_failures() count — the signal the router's health
+//    monitor consumes for auto-drain — never into a hung client thread.
+//
+// Failure semantics (shared with ShardRouter::predict_batch): a batch is
+// all-or-error. If its connection dies or its deadline passes, every
+// in-flight request on that connection fails with muffin::Error; the
+// next batch tries a fresh connection. probe() opens a dedicated
+// short-lived connection for an end-to-end canary (an empty score
+// request through the server's full request path). A probe deliberately
+// does NOT clear consecutive_failures() — only real request successes
+// or the router restoring the shard (reset_failures()) do — so a
+// probe-alive but request-dead server cannot launder its failure
+// history.
+//
+// Stats are client-observed: latency() is the round trip measured here
+// (submit to response, including client batching delay — what a caller
+// of this process actually waits), counters() are reconstructed from the
+// per-prediction response flags. cache_entries()/cache_contains() are
+// unknowable across the wire and report 0/false.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/socket.h"
+#include "serve/batcher.h"
+#include "serve/replica.h"
+#include "serve/rpc/wire.h"
+
+namespace muffin::serve::rpc {
+
+struct RemoteShardConfig {
+  std::size_t connections = 2;   ///< pooled connections, used round-robin
+  std::size_t max_batch = 32;    ///< client-side batch size flush
+  std::chrono::microseconds max_delay{500};  ///< client-side deadline flush
+  std::chrono::milliseconds connect_timeout{1000};
+  std::chrono::milliseconds request_timeout{5000};
+  std::chrono::milliseconds probe_timeout{500};
+  std::size_t max_frame_bytes = kDefaultMaxFrameBytes;
+};
+
+class RemoteShard final : public ReplicaBackend {
+ public:
+  /// `endpoint` is "host:port" or "unix:/path". Construction does not
+  /// connect — the first batch does — so a router can be built before
+  /// its remote shards are up.
+  explicit RemoteShard(const std::string& endpoint,
+                       RemoteShardConfig config = {});
+  ~RemoteShard() override;
+
+  RemoteShard(const RemoteShard&) = delete;
+  RemoteShard& operator=(const RemoteShard&) = delete;
+
+  [[nodiscard]] std::future<Prediction> submit(
+      const data::Record& record) override;
+  void shutdown() override;
+  [[nodiscard]] bool probe() override;
+  void reset_failures() override;
+
+  [[nodiscard]] std::size_t consecutive_failures() const override {
+    return consecutive_failures_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] bool remote() const override { return true; }
+  [[nodiscard]] std::string describe() const override {
+    return endpoint_.to_string();
+  }
+  [[nodiscard]] EngineCounters counters() const override;
+  [[nodiscard]] const LatencyStats& latency() const override {
+    return latency_;
+  }
+  [[nodiscard]] std::size_t cache_entries() const override { return 0; }
+  [[nodiscard]] bool cache_contains(std::uint64_t) const override {
+    return false;
+  }
+
+  [[nodiscard]] const RemoteShardConfig& config() const { return config_; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  struct ClientRequest {
+    data::Record record;
+    Clock::time_point enqueued;
+    std::promise<Prediction> promise;
+  };
+
+  /// One pipelined request frame awaiting its response, in send order.
+  struct PendingBatch {
+    std::uint64_t seq = 0;
+    Clock::time_point deadline;
+    std::vector<ClientRequest> requests;
+  };
+
+  struct Connection {
+    common::Socket socket;
+    std::mutex mutex;  ///< guards pending and dead
+    std::deque<PendingBatch> pending;
+    bool dead = true;  ///< (re)connected lazily by the dispatcher
+    std::thread reader;
+  };
+
+  void dispatch_loop();
+  /// Send one batch on some pooled connection; fails every promise in
+  /// the batch if no connection can be established.
+  void send_batch(std::vector<ClientRequest> batch);
+  void reader_loop(Connection& connection);
+  /// Fail every in-flight batch on `connection` and mark it dead.
+  void fail_connection(Connection& connection, const std::string& why);
+  void fail_batch(std::vector<ClientRequest>& requests,
+                  const std::string& why);
+  void deliver(PendingBatch batch, std::vector<Prediction> predictions);
+
+  common::Endpoint endpoint_;
+  RemoteShardConfig config_;
+
+  Batcher<ClientRequest> batcher_;
+  std::vector<std::unique_ptr<Connection>> connections_;
+  std::size_t next_connection_ = 0;  ///< dispatcher-only round-robin cursor
+
+  LatencyStats latency_;
+  std::atomic<std::uint64_t> seq_{0};
+  std::atomic<std::size_t> consecutive_failures_{0};
+  std::atomic<std::size_t> requests_{0};
+  std::atomic<std::size_t> batches_{0};
+  std::atomic<std::size_t> cache_hits_{0};
+  std::atomic<std::size_t> consensus_short_circuits_{0};
+  std::atomic<std::size_t> head_evaluations_{0};
+
+  std::atomic<bool> stopped_{false};
+  std::thread dispatcher_;
+};
+
+}  // namespace muffin::serve::rpc

@@ -1,0 +1,209 @@
+#include "serve/rpc/server.h"
+
+#include "common/error.h"
+
+namespace muffin::serve::rpc {
+
+ShardServer::ShardServer(std::shared_ptr<const core::FusedModel> model,
+                         const std::string& listen, ShardServerConfig config)
+    : config_(config),
+      engine_(std::move(model), config.engine),
+      listener_(common::Endpoint::parse(listen), config.backlog),
+      endpoint_(listener_.local()) {
+  acceptor_ = std::thread([this]() { accept_loop(); });
+}
+
+ShardServer::~ShardServer() { stop(); }
+
+std::size_t ShardServer::connections_accepted() const {
+  return accepted_.load(std::memory_order_relaxed);
+}
+
+std::size_t ShardServer::open_connections() const {
+  const std::lock_guard<std::mutex> lock(connections_mutex_);
+  return connections_.size();
+}
+
+void ShardServer::stop() {
+  if (stopped_.exchange(true)) return;
+  // interrupt() wakes a blocked accept without touching the fd; the fd
+  // itself is only released after the acceptor thread is joined, so the
+  // acceptor never polls a closed descriptor.
+  listener_.interrupt();
+  if (acceptor_.joinable()) acceptor_.join();
+  listener_.close();
+  // Wake every connection's reader (blocked in recv) and writer (blocked
+  // on the pending queue), then join them. Promised work still drains:
+  // writers deliver whatever the engine already accepted before the
+  // socket went away, then bail on the send.
+  {
+    const std::lock_guard<std::mutex> lock(connections_mutex_);
+    for (const std::unique_ptr<Connection>& connection : connections_) {
+      connection->socket.shutdown_both();
+      {
+        const std::lock_guard<std::mutex> conn_lock(connection->mutex);
+        connection->closed = true;
+      }
+      connection->ready.notify_all();
+    }
+  }
+  for (const std::unique_ptr<Connection>& connection : connections_) {
+    if (connection->reader.joinable()) connection->reader.join();
+    if (connection->writer.joinable()) connection->writer.join();
+  }
+  engine_.shutdown();
+}
+
+void ShardServer::accept_loop() {
+  while (!stopped_.load(std::memory_order_relaxed)) {
+    // A short accept timeout keeps shutdown latency bounded without a
+    // cross-thread wakeup protocol for the listener, and doubles as the
+    // cadence for reaping closed connections.
+    common::Socket socket = listener_.accept(/*timeout_ms=*/200);
+    reap_finished_connections();
+    if (!socket.valid()) continue;
+    if (stopped_.load(std::memory_order_relaxed)) break;
+    accepted_.fetch_add(1, std::memory_order_relaxed);
+    auto connection = std::make_unique<Connection>();
+    connection->socket = std::move(socket);
+    Connection& ref = *connection;
+    {
+      const std::lock_guard<std::mutex> lock(connections_mutex_);
+      connections_.push_back(std::move(connection));
+    }
+    ref.reader = std::thread([this, &ref]() { reader_loop(ref); });
+    ref.writer = std::thread([this, &ref]() { writer_loop(ref); });
+  }
+}
+
+void ShardServer::reap_finished_connections() {
+  std::vector<std::unique_ptr<Connection>> finished;
+  {
+    const std::lock_guard<std::mutex> lock(connections_mutex_);
+    for (std::unique_ptr<Connection>& connection : connections_) {
+      if (connection->reader_done.load(std::memory_order_acquire) &&
+          connection->writer_done.load(std::memory_order_acquire)) {
+        finished.push_back(std::move(connection));
+      }
+    }
+    std::erase_if(connections_, [](const std::unique_ptr<Connection>& c) {
+      return c == nullptr;
+    });
+  }
+  // Join outside the lock; both threads have already signalled exit, so
+  // these joins return immediately.
+  for (const std::unique_ptr<Connection>& connection : finished) {
+    if (connection->reader.joinable()) connection->reader.join();
+    if (connection->writer.joinable()) connection->writer.join();
+  }
+}
+
+void ShardServer::enqueue(Connection& connection, PendingResponse response) {
+  {
+    const std::lock_guard<std::mutex> lock(connection.mutex);
+    connection.pending.push_back(std::move(response));
+  }
+  connection.ready.notify_one();
+}
+
+void ShardServer::reader_loop(Connection& connection) {
+  try {
+    for (;;) {
+      std::optional<Frame> frame =
+          read_frame(connection.socket, config_.max_frame_bytes,
+                     /*timeout_ms=*/-1);
+      if (!frame.has_value()) break;  // client closed cleanly
+
+      PendingResponse response;
+      response.seq = frame->header.seq;
+      switch (frame->header.type) {
+        case MsgType::HealthProbe:
+          response.type = MsgType::HealthAck;
+          break;
+        case MsgType::ScoreRequest: {
+          response.type = MsgType::ScoreResponse;
+          std::vector<data::Record> records =
+              decode_score_request(frame->payload);
+          try {
+            // One atomic group enqueue per frame: the records enter the
+            // engine's Batcher together (one lock, one wakeup) and
+            // micro-batch with records from every other connection.
+            // All-or-nothing, so a shutdown race leaves no partial
+            // prefix to quiesce — the request just fails whole.
+            response.futures = engine_.submit_batch(std::move(records));
+          } catch (const std::exception& error) {
+            response.error = error.what();
+          }
+          break;
+        }
+        default:
+          // Clients never send responses/acks/errors; a peer that does is
+          // not speaking the protocol.
+          throw Error("unexpected frame type from client");
+      }
+      enqueue(connection, std::move(response));
+    }
+  } catch (const std::exception& error) {
+    // Malformed frame or transport failure: framing is untrustworthy now.
+    // Best-effort error notice, then tear the connection down.
+    PendingResponse notice;
+    notice.seq = 0;
+    notice.error = error.what();
+    enqueue(connection, std::move(notice));
+  }
+  {
+    const std::lock_guard<std::mutex> lock(connection.mutex);
+    connection.closed = true;
+  }
+  connection.ready.notify_all();
+  connection.reader_done.store(true, std::memory_order_release);
+}
+
+void ShardServer::writer_loop(Connection& connection) {
+  bool transport_ok = true;
+  for (;;) {
+    PendingResponse response;
+    {
+      std::unique_lock<std::mutex> lock(connection.mutex);
+      connection.ready.wait(lock, [&connection]() {
+        return !connection.pending.empty() || connection.closed;
+      });
+      if (connection.pending.empty()) break;  // closed and fully drained
+      response = std::move(connection.pending.front());
+      connection.pending.pop_front();
+    }
+
+    // Resolve the response payload outside the lock: waiting on engine
+    // futures here is what preserves per-connection FIFO order while the
+    // reader keeps pipelining new requests into the engine.
+    std::vector<std::uint8_t> frame;
+    if (response.type == MsgType::HealthAck && response.error.empty()) {
+      frame = encode_control(MsgType::HealthAck, response.seq);
+    } else if (!response.error.empty()) {
+      frame = encode_error(response.seq, response.error);
+    } else {
+      try {
+        const std::vector<Prediction> predictions =
+            collect_all_or_error(std::move(response.futures));
+        frame = encode_score_response(response.seq, predictions);
+      } catch (const std::exception& error) {
+        // collect_all_or_error already awaited every future, so the
+        // whole request can be failed with one Error frame.
+        frame = encode_error(response.seq, error.what());
+      }
+    }
+
+    if (!transport_ok) continue;  // keep draining futures, stop writing
+    try {
+      write_frame(connection.socket, frame, config_.write_timeout_ms);
+    } catch (const std::exception&) {
+      // Client gone or wedged: stop writing, but keep consuming pending
+      // future-sets so engine promises are all observed before join.
+      transport_ok = false;
+      connection.socket.shutdown_both();
+    }
+  }
+  connection.writer_done.store(true, std::memory_order_release);
+}
+
+}  // namespace muffin::serve::rpc

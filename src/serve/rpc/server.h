@@ -1,0 +1,128 @@
+// ShardServer: one process's worth of shard, behind a socket.
+//
+// Wraps an InferenceEngine and speaks the batched wire format
+// (serve/rpc/wire.h) over TCP or a Unix-domain socket. One ShardServer
+// per process is the deployment unit the ROADMAP names: a ShardRouter in
+// the client process routes by consistent hash exactly as it does for
+// in-process replicas, but the replica lives here, behind
+// `muffin_cli serve --listen host:port`.
+//
+// Concurrency model:
+//  * an accept thread hands each connection a reader and a writer thread;
+//  * the reader decodes frames and *immediately* submits every record of
+//    a ScoreRequest into the engine — so batches from different
+//    connections interleave in the engine's Batcher and micro-batch
+//    together (cross-connection batching for free), and a pipelining
+//    client keeps the engine fed without waiting for earlier responses;
+//  * the writer completes responses strictly in request order per
+//    connection (FIFO of pending future-sets), which is what lets the
+//    client match pipelined responses by sequence number without a
+//    reorder buffer.
+//
+// Failure semantics: if any record of a request fails to score, the
+// whole request is answered with one Error frame (echoing its seq) after
+// every already-submitted record of that request has been awaited — the
+// same quiesce-then-fail rule ShardRouter::predict_batch defines for
+// partial failures. A malformed frame (bad magic/version/length or an
+// undecodable payload) poisons the stream's framing, so the server sends
+// a best-effort Error frame and closes that connection; other
+// connections and the engine are unaffected.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/socket.h"
+#include "serve/engine.h"
+#include "serve/rpc/wire.h"
+
+namespace muffin::serve::rpc {
+
+struct ShardServerConfig {
+  EngineConfig engine;  ///< applied to the wrapped engine
+  std::size_t max_frame_bytes = kDefaultMaxFrameBytes;
+  int backlog = 64;
+  /// Deadline for writing one response frame; a client that stops
+  /// draining its socket is disconnected rather than wedging the writer.
+  int write_timeout_ms = 10'000;
+};
+
+class ShardServer {
+ public:
+  /// Bind `listen` ("host:port", port 0 for ephemeral, or "unix:/path")
+  /// and start serving. Throws muffin::Error if the bind fails.
+  ShardServer(std::shared_ptr<const core::FusedModel> model,
+              const std::string& listen, ShardServerConfig config = {});
+  ~ShardServer();
+
+  ShardServer(const ShardServer&) = delete;
+  ShardServer& operator=(const ShardServer&) = delete;
+
+  /// The bound endpoint with the kernel-resolved port.
+  [[nodiscard]] const common::Endpoint& endpoint() const { return endpoint_; }
+  [[nodiscard]] std::string address() const { return endpoint_.to_string(); }
+
+  /// Stop accepting, disconnect every client, drain the engine
+  /// (idempotent). From a client's viewpoint this is the shard dying.
+  void stop();
+
+  [[nodiscard]] const InferenceEngine& engine() const { return engine_; }
+  [[nodiscard]] std::size_t connections_accepted() const;
+  /// Connections currently held (open, or closed but not yet reaped).
+  /// The accept loop reaps finished ones on its ~200 ms cadence, so this
+  /// returns to the live-client count shortly after peers disconnect.
+  [[nodiscard]] std::size_t open_connections() const;
+
+ private:
+  /// One response owed to a connection, in request order. Exactly one of
+  /// {control ack, error, futures} applies.
+  struct PendingResponse {
+    std::uint64_t seq = 0;
+    MsgType type = MsgType::ScoreResponse;
+    std::string error;  ///< non-empty: answer with an Error frame
+    std::vector<std::future<Prediction>> futures;
+  };
+
+  struct Connection {
+    common::Socket socket;
+    std::mutex mutex;
+    std::condition_variable ready;
+    std::deque<PendingResponse> pending;
+    bool closed = false;
+    std::thread reader;
+    std::thread writer;
+    // Set at thread exit; the accept loop reaps connections where both
+    // are true (joins threads, releases the fd and the object). Without
+    // reaping, every health probe — one short-lived connection each —
+    // would leak an fd and two joinable threads until stop().
+    std::atomic<bool> reader_done{false};
+    std::atomic<bool> writer_done{false};
+  };
+
+  void accept_loop();
+  /// Join and release every connection whose threads have both exited.
+  void reap_finished_connections();
+  void reader_loop(Connection& connection);
+  void writer_loop(Connection& connection);
+  void enqueue(Connection& connection, PendingResponse response);
+
+  ShardServerConfig config_;
+  InferenceEngine engine_;
+  common::ListenSocket listener_;
+  common::Endpoint endpoint_;
+
+  std::atomic<bool> stopped_{false};
+  std::atomic<std::size_t> accepted_{0};
+  std::thread acceptor_;
+  mutable std::mutex connections_mutex_;
+  std::vector<std::unique_ptr<Connection>> connections_;
+};
+
+}  // namespace muffin::serve::rpc

@@ -1,0 +1,219 @@
+#include "serve/rpc/wire.h"
+
+#include <limits>
+
+#include "common/error.h"
+#include "data/serialize.h"
+
+namespace muffin::serve::rpc {
+
+namespace {
+
+bool known_type(std::uint16_t raw) {
+  return raw >= static_cast<std::uint16_t>(MsgType::ScoreRequest) &&
+         raw <= static_cast<std::uint16_t>(MsgType::Error);
+}
+
+/// Reserve header space in a fresh frame buffer; the payload length is
+/// patched in once the payload has been appended.
+std::vector<std::uint8_t> begin_frame(MsgType type, std::uint64_t seq) {
+  std::vector<std::uint8_t> frame;
+  encode_header(frame, type, seq, 0);
+  return frame;
+}
+
+void finish_frame(std::vector<std::uint8_t>& frame) {
+  // payload_len lives in the last 8 header bytes.
+  common::patch_u64(frame, kHeaderBytes - 8, frame.size() - kHeaderBytes);
+}
+
+}  // namespace
+
+void encode_header(std::vector<std::uint8_t>& out, MsgType type,
+                   std::uint64_t seq, std::uint64_t payload_len) {
+  common::put_u32(out, kMagic);
+  common::put_u16(out, kVersion);
+  common::put_u16(out, static_cast<std::uint16_t>(type));
+  common::put_u64(out, seq);
+  common::put_u64(out, payload_len);
+}
+
+FrameHeader decode_header(std::span<const std::uint8_t> bytes,
+                          std::size_t max_frame_bytes) {
+  MUFFIN_REQUIRE(bytes.size() == kHeaderBytes,
+                 "frame header must be exactly " +
+                     std::to_string(kHeaderBytes) + " bytes");
+  common::ByteReader reader(bytes);
+  const std::uint32_t magic = reader.u32();
+  MUFFIN_REQUIRE(magic == kMagic, "bad frame magic (not a muffin peer)");
+  const std::uint16_t version = reader.u16();
+  MUFFIN_REQUIRE(version == kVersion,
+                 "unsupported wire version " + std::to_string(version) +
+                     " (this build speaks " + std::to_string(kVersion) + ")");
+  const std::uint16_t raw_type = reader.u16();
+  MUFFIN_REQUIRE(known_type(raw_type),
+                 "unknown frame type " + std::to_string(raw_type));
+  FrameHeader header;
+  header.type = static_cast<MsgType>(raw_type);
+  header.seq = reader.u64();
+  header.payload_len = reader.u64();
+  MUFFIN_REQUIRE(header.payload_len <= max_frame_bytes,
+                 "frame payload of " + std::to_string(header.payload_len) +
+                     " bytes exceeds the " +
+                     std::to_string(max_frame_bytes) + "-byte ceiling");
+  return header;
+}
+
+namespace {
+
+/// Shared implementation over any accessor yielding `const Record&`.
+template <typename Range, typename Deref>
+std::vector<std::uint8_t> encode_score_request_impl(std::uint64_t seq,
+                                                    const Range& records,
+                                                    Deref deref) {
+  MUFFIN_REQUIRE(
+      records.size() <= std::numeric_limits<std::uint32_t>::max(),
+      "record batch too large for the wire format");
+  std::vector<std::uint8_t> frame = begin_frame(MsgType::ScoreRequest, seq);
+  if (!records.empty()) {
+    // Size the frame once from the first record's shape (records of one
+    // batch share it in practice); growth still works if they differ.
+    const data::Record& first = deref(records[0]);
+    frame.reserve(frame.size() + 4 +
+                  records.size() *
+                      (40 + 8 * (first.groups.size() +
+                                 first.features.size())));
+  }
+  common::put_u32(frame, static_cast<std::uint32_t>(records.size()));
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    data::encode_record(deref(records[i]), frame);
+  }
+  finish_frame(frame);
+  return frame;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_score_request(
+    std::uint64_t seq, std::span<const data::Record> records) {
+  return encode_score_request_impl(
+      seq, records, [](const data::Record& record) -> const data::Record& {
+        return record;
+      });
+}
+
+std::vector<std::uint8_t> encode_score_request(
+    std::uint64_t seq, std::span<const data::Record* const> records) {
+  return encode_score_request_impl(
+      seq, records, [](const data::Record* record) -> const data::Record& {
+        return *record;
+      });
+}
+
+std::vector<data::Record> decode_score_request(
+    std::span<const std::uint8_t> payload) {
+  common::ByteReader reader(payload);
+  const std::uint32_t count = reader.u32();
+  // A record is at least 32 bytes (uid, label, counts, difficulty).
+  reader.require_count(count, 32);
+  std::vector<data::Record> records;
+  records.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    records.push_back(data::decode_record(reader));
+  }
+  MUFFIN_REQUIRE(reader.done(), "trailing bytes after score request");
+  return records;
+}
+
+std::vector<std::uint8_t> encode_score_response(
+    std::uint64_t seq, std::span<const Prediction> predictions) {
+  const std::size_t rows = predictions.size();
+  const std::size_t num_classes = rows == 0 ? 0 : predictions[0].scores.size();
+  std::vector<std::uint8_t> frame = begin_frame(MsgType::ScoreResponse, seq);
+  frame.reserve(frame.size() + 8 + rows * (num_classes * 8 + 10));
+  common::put_u32(frame, static_cast<std::uint32_t>(rows));
+  common::put_u32(frame, static_cast<std::uint32_t>(num_classes));
+  for (const Prediction& prediction : predictions) {
+    MUFFIN_REQUIRE(prediction.scores.size() == num_classes,
+                   "ragged score rows in one response");
+    common::put_f64_span(frame, prediction.scores);
+  }
+  for (const Prediction& prediction : predictions) {
+    common::put_u64(frame, static_cast<std::uint64_t>(prediction.predicted));
+    frame.push_back(prediction.consensus ? 1 : 0);
+    frame.push_back(prediction.cached ? 1 : 0);
+  }
+  finish_frame(frame);
+  return frame;
+}
+
+std::vector<Prediction> decode_score_response(
+    std::span<const std::uint8_t> payload) {
+  common::ByteReader reader(payload);
+  const std::uint32_t rows = reader.u32();
+  const std::uint32_t num_classes = reader.u32();
+  // Each row costs num_classes doubles plus 10 metadata bytes.
+  reader.require_count(rows,
+                       static_cast<std::size_t>(num_classes) * 8 + 10);
+  std::vector<Prediction> predictions(rows);
+  for (std::uint32_t r = 0; r < rows; ++r) {
+    reader.f64_into(predictions[r].scores, num_classes);
+  }
+  for (std::uint32_t r = 0; r < rows; ++r) {
+    predictions[r].predicted = static_cast<std::size_t>(reader.u64());
+    predictions[r].consensus = reader.u8() != 0;
+    predictions[r].cached = reader.u8() != 0;
+  }
+  MUFFIN_REQUIRE(reader.done(), "trailing bytes after score response");
+  return predictions;
+}
+
+std::vector<std::uint8_t> encode_control(MsgType type, std::uint64_t seq) {
+  MUFFIN_REQUIRE(type == MsgType::HealthProbe || type == MsgType::HealthAck,
+                 "control frames are probe/ack only");
+  std::vector<std::uint8_t> frame = begin_frame(type, seq);
+  finish_frame(frame);
+  return frame;
+}
+
+std::vector<std::uint8_t> encode_error(std::uint64_t seq,
+                                       const std::string& message) {
+  std::vector<std::uint8_t> frame = begin_frame(MsgType::Error, seq);
+  common::put_u32(frame, static_cast<std::uint32_t>(message.size()));
+  frame.insert(frame.end(), message.begin(), message.end());
+  finish_frame(frame);
+  return frame;
+}
+
+std::string decode_error(std::span<const std::uint8_t> payload) {
+  common::ByteReader reader(payload);
+  const std::uint32_t length = reader.u32();
+  reader.require_count(length, 1);
+  const std::span<const std::uint8_t> bytes = reader.bytes(length);
+  MUFFIN_REQUIRE(reader.done(), "trailing bytes after error message");
+  return std::string(bytes.begin(), bytes.end());
+}
+
+std::optional<Frame> read_frame(common::Socket& socket,
+                                std::size_t max_frame_bytes, int timeout_ms) {
+  std::uint8_t header_bytes[kHeaderBytes];
+  if (!socket.recv_all(header_bytes, kHeaderBytes, timeout_ms)) {
+    return std::nullopt;  // peer closed between frames
+  }
+  Frame frame;
+  frame.header = decode_header({header_bytes, kHeaderBytes}, max_frame_bytes);
+  frame.payload.resize(frame.header.payload_len);
+  if (frame.header.payload_len > 0 &&
+      !socket.recv_all(frame.payload.data(), frame.payload.size(),
+                       timeout_ms)) {
+    throw Error("peer closed between frame header and payload");
+  }
+  return frame;
+}
+
+void write_frame(common::Socket& socket,
+                 std::span<const std::uint8_t> frame_bytes, int timeout_ms) {
+  socket.send_all(frame_bytes.data(), frame_bytes.size(), timeout_ms);
+}
+
+}  // namespace muffin::serve::rpc

@@ -61,6 +61,31 @@ TEST(InferenceEngine, BatchedOutputBitIdenticalToSequentialScores) {
   }
 }
 
+TEST(InferenceEngine, SubmitBatchMatchesPerRecordSubmit) {
+  // submit_batch is the RPC server's frame path: one atomic group
+  // enqueue, one future per record, same arithmetic as submit().
+  const auto fused = make_fused(true);
+  EngineConfig config;
+  config.workers = 2;
+  config.max_batch = 16;
+  InferenceEngine engine(fused, config);
+
+  std::span<const data::Record> records = engine_dataset().records();
+  std::vector<std::future<Prediction>> futures =
+      engine.submit_batch(records.subspan(0, 100));
+  ASSERT_EQ(futures.size(), 100u);
+  for (std::size_t i = 0; i < futures.size(); ++i) {
+    EXPECT_EQ(futures[i].get().scores, fused->scores(records[i]))
+        << "record " << i;
+  }
+  EXPECT_EQ(engine.counters().requests, 100u);
+
+  // All-or-nothing on a stopped engine: no partial prefix, no count.
+  engine.shutdown();
+  EXPECT_THROW((void)engine.submit_batch(records.subspan(0, 8)), Error);
+  EXPECT_EQ(engine.counters().requests, 100u);
+}
+
 TEST(InferenceEngine, ParityHoldsWithHeadEverywhere) {
   const auto fused = make_fused(false);
   InferenceEngine engine(fused);

@@ -21,6 +21,19 @@
 #include "tensor/ops.h"
 
 namespace muffin::serve {
+
+// Test-only backdoor: shut down one replica's backend while it is still
+// on the ring — the window a concurrent shutdown/removal opens in
+// production (and the normal state of a crashed remote shard before the
+// health monitor drains it). Lets the suites pin the router's
+// partial-failure and accounting rules deterministically.
+struct RouterTestAccess {
+  static void shutdown_backend(ShardRouter& router, std::size_t shard) {
+    const std::unique_lock<std::shared_mutex> lock(router.mutex_);
+    router.replicas_[shard]->backend->shutdown();
+  }
+};
+
 namespace {
 
 const data::Dataset& router_dataset() {
@@ -310,6 +323,140 @@ TEST(ShardRouter, DisabledResultCacheNeverMemoizesThroughRouter) {
   for (const ShardInfo& info : router.shard_infos()) {
     EXPECT_EQ(info.cache_entries, 0u);
   }
+}
+
+TEST(ShardRouter, FailedSubmitDoesNotCountAsRouted) {
+  // Regression: submit() used to increment the replica's `routed`
+  // counter before the backend could reject the request, overcounting
+  // routed traffic on failed submits.
+  const auto fused = make_fused();
+  ShardRouter router(fused, small_router(2));
+  std::span<const data::Record> records = router_dataset().records();
+
+  const std::size_t victim = router.shard_for(records[0].uid);
+  RouterTestAccess::shutdown_backend(router, victim);
+  EXPECT_THROW((void)router.submit(records[0]), Error);
+  EXPECT_THROW((void)router.submit(records[0]), Error);
+  EXPECT_EQ(router.shard_infos()[victim].routed, 0u)
+      << "failed submits must not count as routed traffic";
+
+  // The healthy shard keeps exact accounting.
+  const std::size_t other = 1 - victim;
+  std::size_t served = 0;
+  for (std::size_t i = 0; i < 64; ++i) {
+    if (router.shard_for(records[i].uid) != other) continue;
+    (void)router.predict(records[i]);
+    ++served;
+  }
+  ASSERT_GT(served, 0u);
+  EXPECT_EQ(router.shard_infos()[other].routed, served);
+}
+
+TEST(ShardRouter, PredictBatchQuiescesInFlightPrefixOnFailure) {
+  // Regression: a mid-loop submit failure used to abandon the futures of
+  // the already-submitted prefix. The partial-failure rule (shared with
+  // the RPC tier) is all-or-error: every submitted request is awaited
+  // before the exception propagates, so nothing is in flight when the
+  // caller sees it.
+  const auto fused = make_fused();
+  ShardRouter router(fused, small_router(2));
+  std::span<const data::Record> records = router_dataset().records();
+
+  const std::size_t victim = router.shard_for(records[0].uid);
+  const std::size_t other = 1 - victim;
+  // A batch whose prefix routes to the healthy shard and whose LAST
+  // record routes to the dead one, so the prefix size is deterministic.
+  std::vector<data::Record> batch;
+  for (std::size_t i = 0; i < records.size() && batch.size() < 12; ++i) {
+    if (router.shard_for(records[i].uid) == other) {
+      batch.push_back(records[i]);
+    }
+  }
+  ASSERT_EQ(batch.size(), 12u);
+  batch.push_back(records[0]);  // routes to the victim
+
+  RouterTestAccess::shutdown_backend(router, victim);
+  EXPECT_THROW((void)router.predict_batch(batch), Error);
+
+  // The quiesce guarantee, observed through the accounting: at the
+  // moment predict_batch rethrows, every submitted request has fully
+  // completed (latency recorded), not merely been enqueued. Without the
+  // await this check races the engine's workers.
+  EXPECT_EQ(router.aggregate_counters().requests, 12u);
+  EXPECT_EQ(router.aggregate_latency().count, 12u);
+
+  // The router is immediately usable for records routed to live shards.
+  const Prediction after = router.predict(batch[0]);
+  EXPECT_EQ(after.scores, fused->scores(batch[0]));
+}
+
+TEST(ShardRouter, RemovedReplicaStatsFreezeAtRemoval) {
+  // Post-removal rule: stats freeze at the moment of removal and the
+  // backend is destroyed — aggregates and shard_infos() keep reporting
+  // the frozen snapshot, and nothing ever pokes a retired engine again.
+  const auto fused = make_fused();
+  ShardRouter router(fused, small_router(3));
+  std::span<const data::Record> records = router_dataset().records();
+  (void)router.predict_batch(records.subspan(0, 300));
+
+  const std::size_t removed = router.shard_for(records[0].uid);
+  const ShardInfo before = router.shard_infos()[removed];
+  ASSERT_GT(before.counters.requests, 0u);
+  ASSERT_GT(before.cache_entries, 0u);
+  const EngineCounters total_before = router.aggregate_counters();
+  const std::size_t latency_before = router.aggregate_latency().count;
+
+  router.remove_replica(removed);
+
+  // Frozen view: identical counters/memo/latency after removal…
+  const ShardInfo after = router.shard_infos()[removed];
+  EXPECT_FALSE(after.alive);
+  EXPECT_EQ(after.counters.requests, before.counters.requests);
+  EXPECT_EQ(after.counters.cache_hits, before.counters.cache_hits);
+  EXPECT_EQ(after.cache_entries, before.cache_entries);
+  EXPECT_EQ(after.latency.count, before.latency.count);
+  EXPECT_EQ(after.routed, before.routed);
+  // …and the aggregates still include the removed shard's history.
+  EXPECT_EQ(router.aggregate_counters().requests, total_before.requests);
+  EXPECT_EQ(router.aggregate_latency().count, latency_before);
+
+  // The backend is retired: the engine view is gone for good.
+  EXPECT_THROW((void)router.replica(removed), Error);
+
+  // Serving continues and new traffic keeps the frozen stats frozen.
+  (void)router.predict_batch(records.subspan(300, 100));
+  EXPECT_EQ(router.shard_infos()[removed].counters.requests,
+            before.counters.requests);
+  EXPECT_EQ(router.aggregate_counters().requests,
+            total_before.requests + 100);
+}
+
+TEST(ShardRouter, RemoveReplicaMidFlightKeepsFrozenStatsConsistent) {
+  // Regression: the frozen snapshot used to be taken BEFORE the retired
+  // backend drained, so requests completing during the drain lost their
+  // latency forever (frozen requests > frozen latency count). The final
+  // freeze happens after the drain, so the frozen view is consistent.
+  const auto fused = make_fused();
+  ShardRouter router(fused, small_router(2));
+  std::span<const data::Record> records = router_dataset().records();
+
+  const std::size_t victim = router.shard_for(records[0].uid);
+  std::vector<std::future<Prediction>> inflight;
+  for (std::size_t i = 0; i < records.size() && inflight.size() < 64; ++i) {
+    if (router.shard_for(records[i].uid) == victim) {
+      inflight.push_back(router.submit(records[i]));
+    }
+  }
+  ASSERT_GT(inflight.size(), 0u);
+  // Remove while those requests may still be in flight; removal drains.
+  router.remove_replica(victim);
+  for (std::future<Prediction>& future : inflight) (void)future.get();
+
+  const ShardInfo frozen = router.shard_infos()[victim];
+  EXPECT_FALSE(frozen.alive);
+  EXPECT_EQ(frozen.counters.requests, inflight.size());
+  EXPECT_EQ(frozen.latency.count, frozen.counters.requests)
+      << "latency recorded during the drain must be in the frozen view";
 }
 
 TEST(ShardRouter, ShutdownRejectsNewWorkAndIsIdempotent) {
