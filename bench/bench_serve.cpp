@@ -36,6 +36,7 @@
 
 #include "bench_util.h"
 #include "core/head_trainer.h"
+#include "obs/metrics.h"
 #include "serve/router.h"
 #include "serve/rpc/server.h"
 #include "tensor/ops.h"
@@ -193,6 +194,60 @@ RunResult run_remote(std::shared_ptr<const core::FusedModel> fused,
   return result;
 }
 
+/// --smoke: a trimmed single-section run for the CI metrics-overhead
+/// gate. Measures only the steady-state batched engine (the hottest
+/// instrumented path: per-request counters, batch/latency histograms,
+/// batcher flush accounting), best-of-3 so scheduler noise on a shared
+/// runner does not decide a sub-2% comparison. CI builds the tree twice
+/// — default and -DMUFFIN_OBS=OFF — runs this on both, and compares the
+/// reported smoke.rps; `smoke.obs_compiled_in` says which build this is.
+int run_smoke(const std::string& out_path) {
+  setenv("MUFFIN_THREADS", "4", /*overwrite=*/0);
+  const bench::IsicScenario scenario(bench::env_size("MUFFIN_SAMPLES", 1500));
+  const std::shared_ptr<core::FusedModel> fused = build_fused(scenario);
+
+  const data::Dataset& test = scenario.test;
+  SplitRng trace_rng(bench::env_size("MUFFIN_SEED", 2019) ^ 0x5e27eULL);
+  const std::size_t trace_len = 5 * test.size();
+  std::vector<const data::Record*> trace;
+  trace.reserve(trace_len);
+  for (std::size_t i = 0; i < trace_len; ++i) {
+    trace.push_back(&test.record(trace_rng.index(test.size())));
+  }
+
+  serve::EngineConfig engine_config;
+  engine_config.workers = 4;
+  engine_config.max_batch = 32;
+  engine_config.max_delay = std::chrono::microseconds(1000);
+
+  const RunResult seq = run_sequential(*fused, trace);
+  RunResult best = run_engine(fused, trace, engine_config);
+  bool parity = identical(seq.predictions, best.predictions);
+  for (int round = 0; round < 2; ++round) {
+    RunResult next = run_engine(fused, trace, engine_config);
+    parity = parity && identical(seq.predictions, next.predictions);
+    if (next.requests_per_second > best.requests_per_second) {
+      best = std::move(next);
+    }
+  }
+
+  std::cout << "smoke: obs "
+            << (obs::compiled_in() ? "compiled in" : "compiled OUT") << ", "
+            << trace_len << " requests, best of 3: "
+            << static_cast<long long>(best.requests_per_second)
+            << " req/s, argmax parity "
+            << (parity ? "bit-identical" : "MISMATCH") << "\n";
+
+  bench::BenchJson json;
+  json.add("smoke.rps", best.requests_per_second);
+  json.add("smoke.requests", trace_len);
+  json.add("smoke.obs_compiled_in", obs::compiled_in());
+  json.add("smoke.cache_hits", best.counters.cache_hits);
+  json.add("pass", parity);
+  json.write(out_path);
+  return parity ? 0 : 1;
+}
+
 void add_row(TextTable& table, const std::string& name, const RunResult& run,
              double baseline_rps, bool engine_run) {
   std::vector<std::string> row = {
@@ -215,11 +270,15 @@ void add_row(TextTable& table, const std::string& name, const RunResult& run,
 
 int main(int argc, char** argv) {
   std::string out_path = "BENCH_serve.json";
+  bool smoke = false;
   for (int i = 1; i < argc; ++i) {
     if (std::string_view(argv[i]) == "--out" && i + 1 < argc) {
       out_path = argv[++i];
+    } else if (std::string_view(argv[i]) == "--smoke") {
+      smoke = true;
     }
   }
+  if (smoke) return run_smoke(out_path);
   // The bench header promises 4 workers; since engines draw from the
   // process-wide shared pool, pin its size up front (first-use sizing) so
   // the measured concurrency — and the duplicate-per-batch memo dynamics

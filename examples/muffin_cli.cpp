@@ -26,6 +26,17 @@
 //       ms, auto-drained after K consecutive failures). Prints the merged
 //       aggregate view plus a per-shard table (placement, routed traffic,
 //       memo entries, cache hits).
+//   muffin_cli stats   --connect ADDR [--format table|json|prom]
+//       query a running shard server (muffin_cli serve --listen) for its
+//       authoritative stats over the Stats RPC: engine counters, memo
+//       size, server-measured latency, and the server process's full
+//       metrics registry. `table` is a human summary; `json`/`prom` dump
+//       the server's registry exposition verbatim.
+//
+// serve and route also accept --stats-every-s N: print a one-line
+// serving summary (requests, rate, batches, memo hits, failures) from
+// the process-wide metrics registry every N seconds while the trace —
+// or a --listen server — runs.
 //
 // Serving concurrency note: engine batches run on the process-wide
 // shared worker pool, sized by the MUFFIN_THREADS environment variable
@@ -33,25 +44,36 @@
 // in the engine config but no longer spawns a private pool per engine.
 //
 // Exit code 0 on success; errors are reported with context on stderr.
+#include <algorithm>
 #include <atomic>
+#include <chrono>
+#include <condition_variable>
 #include <csignal>
 #include <fstream>
 #include <iostream>
 #include <map>
+#include <mutex>
+#include <optional>
+#include <sstream>
 #include <string>
+#include <string_view>
 #include <thread>
 
 #include "baselines/single_attribute.h"
 #include "common/error.h"
+#include "common/socket.h"
 #include "common/table.h"
 #include "core/head_trainer.h"
 #include "core/search.h"
 #include "data/generators.h"
 #include "fairness/metrics.h"
 #include "models/pool.h"
+#include "obs/metrics.h"
 #include "serve/engine.h"
 #include "serve/router.h"
 #include "serve/rpc/server.h"
+#include "serve/rpc/wire.h"
+#include "serve/stats.h"
 
 using namespace muffin;
 
@@ -66,6 +88,8 @@ struct CliOptions {
   std::string csv_path;
   std::string listen;           // serve: become a shard server on this addr
   std::string remote;           // route: comma-separated shard endpoints
+  std::string connect;          // stats: shard-server endpoint to query
+  std::string format = "table"; // stats: table | json | prom
   std::size_t samples = 0;  // 0 = dataset default
   std::size_t episodes = 120;
   std::size_t pairs = 2;
@@ -75,6 +99,7 @@ struct CliOptions {
   std::size_t shards = 4;
   std::size_t probe_ms = 250;   // health-probe period for remote shards
   std::size_t fail_after = 3;   // consecutive failures before auto-drain
+  std::size_t stats_every_s = 0;  // serve/route: summary period (0 = off)
 };
 
 std::vector<std::string> split_csv_list(const std::string& list) {
@@ -92,8 +117,9 @@ std::vector<std::string> split_csv_list(const std::string& list) {
 }
 
 CliOptions parse(int argc, char** argv) {
-  MUFFIN_REQUIRE(argc >= 2,
-                 "usage: muffin_cli <audit|seesaw|search|serve|route> [...]");
+  MUFFIN_REQUIRE(
+      argc >= 2,
+      "usage: muffin_cli <audit|seesaw|search|serve|route|stats> [...]");
   CliOptions options;
   options.command = argv[1];
   for (int i = 2; i + 1 < argc; i += 2) {
@@ -127,6 +153,12 @@ CliOptions parse(int argc, char** argv) {
       options.listen = value;
     } else if (key == "--remote") {
       options.remote = value;
+    } else if (key == "--connect") {
+      options.connect = value;
+    } else if (key == "--format") {
+      options.format = value;
+    } else if (key == "--stats-every-s") {
+      options.stats_every_s = static_cast<std::size_t>(std::stoull(value));
     } else if (key == "--probe-ms") {
       options.probe_ms = static_cast<std::size_t>(std::stoull(value));
     } else if (key == "--fail-after") {
@@ -322,6 +354,170 @@ std::atomic<bool> g_stop_requested{false};
 
 void request_stop(int) { g_stop_requested.store(true); }
 
+/// --stats-every-s: a background thread that prints a one-line serving
+/// summary from the process-wide metrics registry every interval. The
+/// line is built from whichever counters are live in this process —
+/// engine.requests for in-process serving, router.routed when this
+/// process only routes to remote shards — so the same ticker works for
+/// serve, serve --listen and route.
+class StatsTicker {
+ public:
+  ~StatsTicker() { stop(); }
+
+  void start(std::size_t every_s) {
+    if (every_s == 0) return;
+    every_ = std::chrono::seconds(every_s);
+    thread_ = std::thread([this]() { loop(); });
+  }
+
+  void stop() {
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      stopped_ = true;
+    }
+    wake_.notify_all();
+    if (thread_.joinable()) thread_.join();
+  }
+
+ private:
+  void loop() {
+    const auto start = std::chrono::steady_clock::now();
+    std::uint64_t last_requests = 0;
+    for (;;) {
+      {
+        std::unique_lock<std::mutex> lock(mutex_);
+        if (wake_.wait_for(lock, every_, [this]() { return stopped_; })) {
+          return;
+        }
+      }
+      const obs::MetricsSnapshot snap = obs::registry().snapshot();
+      const auto counter = [&snap](std::string_view name) -> std::uint64_t {
+        const obs::CounterSnapshot* found = snap.find_counter(name);
+        return found != nullptr ? found->value : 0;
+      };
+      const std::uint64_t requests =
+          std::max(counter("engine.requests"), counter("router.routed"));
+      const std::uint64_t hits = counter("engine.cache_hits");
+      const std::uint64_t misses = counter("engine.cache_misses");
+      const std::uint64_t failures = counter("router.submit_failures") +
+                                     counter("rpc.client.request_failures");
+      const auto elapsed = std::chrono::duration<double>(
+          std::chrono::steady_clock::now() - start);
+      const double rate =
+          static_cast<double>(requests - last_requests) /
+          std::chrono::duration<double>(every_).count();
+      std::ostringstream line;
+      line << "[stats t=" << static_cast<long long>(elapsed.count()) << "s]"
+           << " requests=" << requests << " (" << format_fixed(rate, 1)
+           << "/s)"
+           << " batches=" << counter("engine.batches");
+      if (hits + misses > 0) {
+        line << " memo_hit="
+             << format_percent(static_cast<double>(hits) /
+                               static_cast<double>(hits + misses));
+      }
+      if (failures > 0) line << " failures=" << failures;
+      line << "\n";
+      // One write so ticker lines never interleave with table output.
+      std::cerr << line.str() << std::flush;
+      last_requests = requests;
+    }
+  }
+
+  std::chrono::seconds every_{0};
+  std::mutex mutex_;
+  std::condition_variable wake_;
+  bool stopped_ = false;
+  std::thread thread_;
+};
+
+/// stats subcommand: one Stats RPC round trip against a live shard
+/// server, printing the SERVER'S authoritative accounting (not anything
+/// this client observed).
+int run_stats(const CliOptions& options) {
+  MUFFIN_REQUIRE(!options.connect.empty(),
+                 "stats requires --connect host:port (or unix:/path)");
+  MUFFIN_REQUIRE(options.format == "table" || options.format == "json" ||
+                     options.format == "prom",
+                 "--format must be table, json or prom");
+  common::Socket socket = common::connect_endpoint(
+      common::Endpoint::parse(options.connect), /*timeout_ms=*/2000);
+  serve::rpc::write_frame(socket, serve::rpc::encode_stats_request(/*seq=*/1),
+                          /*timeout_ms=*/2000);
+  const std::optional<serve::rpc::Frame> frame = serve::rpc::read_frame(
+      socket, serve::rpc::kDefaultMaxFrameBytes, /*timeout_ms=*/5000);
+  MUFFIN_REQUIRE(frame.has_value(),
+                 "server closed the connection without answering the stats "
+                 "request (does it predate the Stats op?)");
+  if (frame->header.type == serve::rpc::MsgType::Error) {
+    throw Error("server error: " + serve::rpc::decode_error(frame->payload));
+  }
+  MUFFIN_REQUIRE(
+      frame->header.type == serve::rpc::MsgType::StatsResponse &&
+          frame->header.seq == 1,
+      "unexpected reply to the stats request");
+  const serve::StatsReport report =
+      serve::rpc::decode_stats_response(frame->payload);
+
+  if (options.format == "json") {
+    std::cout << report.metrics.to_json() << "\n";
+    return 0;
+  }
+  if (options.format == "prom") {
+    std::cout << report.metrics.to_prometheus();
+    return 0;
+  }
+
+  // Table: re-hydrate the latency export through a scratch LatencyStats so
+  // percentiles come out of the same merge machinery the router uses.
+  serve::LatencyStats scratch;
+  scratch.merge_export(report.latency);
+  const serve::LatencyStats::Snapshot snap = scratch.snapshot();
+  std::cout << "authoritative stats for " << options.connect << ":\n";
+  TextTable table({"metric", "value"});
+  table.add_row({"requests", std::to_string(report.counters.requests)});
+  table.add_row({"batches", std::to_string(report.counters.batches)});
+  table.add_row({"cache hits", std::to_string(report.counters.cache_hits)});
+  table.add_row({"consensus short-circuits",
+                 std::to_string(report.counters.consensus_short_circuits)});
+  table.add_row({"head evaluations",
+                 std::to_string(report.counters.head_evaluations)});
+  table.add_row({"memo entries", std::to_string(report.cache_entries)});
+  table.add_row({"throughput (req/s)",
+                 format_fixed(snap.requests_per_second, 1)});
+  table.add_row({"mean latency (us)", format_fixed(snap.mean_us, 0)});
+  table.add_row({"p50 latency (us)", format_fixed(snap.p50_us, 0)});
+  table.add_row({"p95 latency (us)", format_fixed(snap.p95_us, 0)});
+  table.add_row({"p99 latency (us)", format_fixed(snap.p99_us, 0)});
+  table.add_row({"max latency (us)", format_fixed(snap.max_us, 0)});
+  table.print(std::cout);
+
+  if (!report.metrics.counters.empty()) {
+    std::cout << "\nserver registry (" << report.metrics.counters.size()
+              << " counters, " << report.metrics.gauges.size() << " gauges, "
+              << report.metrics.histograms.size() << " histograms):\n";
+    TextTable registry({"counter", "value"});
+    for (const obs::CounterSnapshot& entry : report.metrics.counters) {
+      registry.add_row({entry.name, std::to_string(entry.value)});
+    }
+    for (const obs::GaugeSnapshot& entry : report.metrics.gauges) {
+      registry.add_row({entry.name + " (gauge)",
+                        std::to_string(entry.value)});
+    }
+    for (const obs::HistogramSnapshot& entry : report.metrics.histograms) {
+      registry.add_row(
+          {entry.name + " (histogram)",
+           std::to_string(entry.count) + " obs, mean " +
+               format_fixed(entry.count > 0
+                                ? entry.sum / static_cast<double>(entry.count)
+                                : 0.0,
+                            1)});
+    }
+    registry.print(std::cout);
+  }
+  return 0;
+}
+
 /// Shard-server mode: this process is one shard of the cross-process
 /// tier. Serves the batched wire format on the socket until signalled.
 int run_listen(const CliOptions& options,
@@ -336,9 +532,12 @@ int run_listen(const CliOptions& options,
   std::cout << "listening on " << server.address() << std::endl;
   std::signal(SIGINT, request_stop);
   std::signal(SIGTERM, request_stop);
+  StatsTicker ticker;
+  ticker.start(options.stats_every_s);
   while (!g_stop_requested.load()) {
     std::this_thread::sleep_for(std::chrono::milliseconds(50));
   }
+  ticker.stop();
   std::cout << "stopping: served "
             << server.engine().counters().requests << " requests over "
             << server.connections_accepted() << " connections\n";
@@ -367,6 +566,8 @@ int run_serve(const CliOptions& options) {
   // split, submitted as fast as the engine accepts them.
   const data::Dataset& pool_split = bench.validation;
   SplitRng trace_rng(4242);
+  StatsTicker ticker;
+  ticker.start(options.stats_every_s);
   std::vector<std::future<serve::Prediction>> futures;
   futures.reserve(options.requests);
   for (std::size_t i = 0; i < options.requests; ++i) {
@@ -374,6 +575,7 @@ int run_serve(const CliOptions& options) {
         engine.submit(pool_split.record(trace_rng.index(pool_split.size()))));
   }
   for (auto& future : futures) (void)future.get();
+  ticker.stop();
   engine.shutdown();
 
   const serve::LatencyStats::Snapshot snap = engine.latency().snapshot();
@@ -440,6 +642,8 @@ int run_route(const CliOptions& options) {
   // directly comparable.
   const data::Dataset& pool_split = bench.validation;
   SplitRng trace_rng(4242);
+  StatsTicker ticker;
+  ticker.start(options.stats_every_s);
   std::vector<std::future<serve::Prediction>> futures;
   futures.reserve(options.requests);
   for (std::size_t i = 0; i < options.requests; ++i) {
@@ -447,6 +651,7 @@ int run_route(const CliOptions& options) {
         router.submit(pool_split.record(trace_rng.index(pool_split.size()))));
   }
   for (auto& future : futures) (void)future.get();
+  ticker.stop();
 
   const serve::LatencyStats::Snapshot merged = router.aggregate_latency();
   const serve::EngineCounters total = router.aggregate_counters();
@@ -498,8 +703,9 @@ int main(int argc, char** argv) {
     if (options.command == "search") return run_search(options);
     if (options.command == "serve") return run_serve(options);
     if (options.command == "route") return run_route(options);
+    if (options.command == "stats") return run_stats(options);
     throw Error("unknown command '" + options.command +
-                "' (expected audit, seesaw, search, serve or route)");
+                "' (expected audit, seesaw, search, serve, route or stats)");
   } catch (const std::exception& error) {
     std::cerr << "muffin_cli: " << error.what() << "\n";
     return 1;

@@ -35,7 +35,20 @@ LogLevel log_level() { return level_storage().load(); }
 void log_message(LogLevel level, const std::string& message) {
   if (static_cast<int>(level) < static_cast<int>(log_level())) return;
   if (level == LogLevel::Off) return;
-  std::cerr << "[muffin:" << level_name(level) << "] " << message << '\n';
+  // Format the whole line first and emit it as ONE stream write: separate
+  // stream ops (tag, message, newline) interleave across threads and
+  // shear lines under load. A single write through cerr keeps lines whole
+  // (libstdc++ stream writes of one buffer are not split mid-buffer) and
+  // stays ordered with other cerr users like gtest's capture machinery.
+  std::string line;
+  line.reserve(12 + message.size());
+  line += "[muffin:";
+  line += level_name(level);
+  line += "] ";
+  line += message;
+  line += '\n';
+  std::cerr.write(line.data(), static_cast<std::streamsize>(line.size()));
+  std::cerr.flush();
 }
 
 }  // namespace muffin

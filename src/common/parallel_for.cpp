@@ -7,6 +7,8 @@
 #include <thread>
 #include <vector>
 
+#include "obs/metrics.h"
+
 namespace muffin::common {
 
 namespace {
@@ -63,7 +65,12 @@ void parallel_for_impl(
     const std::function<void(std::size_t, std::size_t)>& body) {
   // The serial fallbacks ran inline in the header; a second nested check
   // here would only re-read the same thread-local.
+  static obs::Counter& m_calls = obs::registry().counter("parallel_for.calls");
+  static obs::Counter& m_blocks =
+      obs::registry().counter("parallel_for.blocks");
   const auto blocks = partition_blocks(n, grain, global_pool_size());
+  m_calls.inc();
+  m_blocks.inc(std::max<std::size_t>(1, blocks.size()));
   if (blocks.size() <= 1) {
     body(0, n);
     return;

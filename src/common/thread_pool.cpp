@@ -1,11 +1,27 @@
 #include "common/thread_pool.h"
 
+#include <chrono>
+
 #include "common/error.h"
+#include "obs/metrics.h"
 
 namespace muffin::common {
 
 namespace {
 thread_local std::size_t tls_worker_index = ThreadPool::npos;
+
+/// Process-wide pool accounting: tasks executed and time workers spent
+/// parked waiting for work. One registry entry set shared by every pool
+/// in the process (in practice there is one: common::global_pool()).
+struct PoolMetrics {
+  obs::Counter& tasks = obs::registry().counter("pool.tasks");
+  obs::Counter& idle_us = obs::registry().counter("pool.idle_us");
+
+  static PoolMetrics& get() {
+    static PoolMetrics metrics;
+    return metrics;
+  }
+};
 }  // namespace
 
 ThreadPool::ThreadPool(std::size_t threads) {
@@ -46,15 +62,27 @@ void ThreadPool::enqueue(std::function<void()> job) {
 
 void ThreadPool::worker_loop(std::size_t index) {
   tls_worker_index = index;
+  PoolMetrics& metrics = PoolMetrics::get();
   for (;;) {
     std::function<void()> job;
     {
       std::unique_lock<std::mutex> lock(mutex_);
-      wake_.wait(lock, [this]() { return stopping_ || !jobs_.empty(); });
       if (stopping_ && jobs_.empty()) return;
+      if (jobs_.empty()) {
+        // Time only real parks (queue empty on arrival): the common
+        // saturated case stays wait-free past the queue lock itself.
+        const auto parked = std::chrono::steady_clock::now();
+        wake_.wait(lock, [this]() { return stopping_ || !jobs_.empty(); });
+        metrics.idle_us.inc(static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::microseconds>(
+                std::chrono::steady_clock::now() - parked)
+                .count()));
+        if (stopping_ && jobs_.empty()) return;
+      }
       job = std::move(jobs_.front());
       jobs_.pop();
     }
+    metrics.tasks.inc();
     job();  // packaged_task captures exceptions into the future
   }
 }

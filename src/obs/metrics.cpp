@@ -1,0 +1,262 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/error.h"
+
+namespace muffin::obs {
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)),
+      counts_(bounds_.size() + 1) {
+  MUFFIN_REQUIRE(
+      std::is_sorted(bounds_.begin(), bounds_.end(),
+                     [](double a, double b) { return a <= b; }),
+      "histogram bounds must be strictly increasing");
+}
+
+std::vector<std::uint64_t> Histogram::bucket_counts() const {
+  std::vector<std::uint64_t> counts;
+  counts.reserve(counts_.size());
+  for (const std::atomic<std::uint64_t>& c : counts_) {
+    counts.push_back(c.load(std::memory_order_relaxed));
+  }
+  return counts;
+}
+
+void Histogram::reset() noexcept {
+  for (std::atomic<std::uint64_t>& c : counts_) {
+    c.store(0, std::memory_order_relaxed);
+  }
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+}
+
+// --- registry --------------------------------------------------------------
+
+struct Registry::Entry {
+  std::string name;
+  Kind kind = Kind::Counter;
+  Counter counter;
+  Gauge gauge;
+  std::unique_ptr<Histogram> histogram;  ///< only for Kind::Histogram
+};
+
+Registry::Entry& Registry::find_or_create(std::string_view name, Kind kind,
+                                          std::vector<double> bounds) {
+  MUFFIN_REQUIRE(!name.empty(), "metric name must be non-empty");
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (const std::unique_ptr<Entry>& entry : entries_) {
+    if (entry->name == name) {
+      MUFFIN_REQUIRE(entry->kind == kind,
+                     "metric '" + entry->name +
+                         "' already registered with a different kind");
+      if (kind == Kind::Histogram) {
+        MUFFIN_REQUIRE(entry->histogram->bounds() == bounds,
+                       "histogram '" + entry->name +
+                           "' already registered with different buckets");
+      }
+      return *entry;
+    }
+  }
+  auto entry = std::make_unique<Entry>();
+  entry->name = std::string(name);
+  entry->kind = kind;
+  if (kind == Kind::Histogram) {
+    entry->histogram = std::make_unique<Histogram>(std::move(bounds));
+  }
+  entries_.push_back(std::move(entry));
+  return *entries_.back();
+}
+
+Counter& Registry::counter(std::string_view name) {
+  return find_or_create(name, Kind::Counter, {}).counter;
+}
+
+Gauge& Registry::gauge(std::string_view name) {
+  return find_or_create(name, Kind::Gauge, {}).gauge;
+}
+
+Histogram& Registry::histogram(std::string_view name,
+                               std::vector<double> bounds) {
+  return *find_or_create(name, Kind::Histogram, std::move(bounds)).histogram;
+}
+
+MetricsSnapshot Registry::snapshot() const {
+  MetricsSnapshot snap;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    for (const std::unique_ptr<Entry>& entry : entries_) {
+      switch (entry->kind) {
+        case Kind::Counter:
+          snap.counters.push_back({entry->name, entry->counter.value()});
+          break;
+        case Kind::Gauge:
+          snap.gauges.push_back({entry->name, entry->gauge.value()});
+          break;
+        case Kind::Histogram: {
+          HistogramSnapshot h;
+          h.name = entry->name;
+          h.bounds = entry->histogram->bounds();
+          h.counts = entry->histogram->bucket_counts();
+          h.count = entry->histogram->count();
+          h.sum = entry->histogram->sum();
+          snap.histograms.push_back(std::move(h));
+          break;
+        }
+      }
+    }
+  }
+  const auto by_name = [](const auto& a, const auto& b) {
+    return a.name < b.name;
+  };
+  std::sort(snap.counters.begin(), snap.counters.end(), by_name);
+  std::sort(snap.gauges.begin(), snap.gauges.end(), by_name);
+  std::sort(snap.histograms.begin(), snap.histograms.end(), by_name);
+  return snap;
+}
+
+void Registry::reset() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (const std::unique_ptr<Entry>& entry : entries_) {
+    switch (entry->kind) {
+      case Kind::Counter:
+        entry->counter.reset();
+        break;
+      case Kind::Gauge:
+        entry->gauge.reset();
+        break;
+      case Kind::Histogram:
+        entry->histogram->reset();
+        break;
+    }
+  }
+}
+
+Registry& registry() {
+  static Registry instance;
+  return instance;
+}
+
+const std::vector<double>& latency_us_buckets() {
+  static const std::vector<double> buckets = {
+      1,    2,    5,     10,    20,    50,     100,    200,      500,
+      1000, 2000, 5000,  10000, 20000, 50000,  100000, 200000,   500000,
+      1000000};
+  return buckets;
+}
+
+const std::vector<double>& batch_size_buckets() {
+  static const std::vector<double> buckets = {1,  2,  4,   8,   16, 32,
+                                              64, 128, 256, 512};
+  return buckets;
+}
+
+// --- snapshot lookups ------------------------------------------------------
+
+namespace {
+
+template <typename T>
+const T* find_by_name(const std::vector<T>& items, std::string_view name) {
+  for (const T& item : items) {
+    if (item.name == name) return &item;
+  }
+  return nullptr;
+}
+
+/// Prometheus metric name: "muffin_" prefix, [a-zA-Z0-9_] only.
+std::string prom_name(const std::string& name) {
+  std::string out = "muffin_";
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_';
+    out += ok ? c : '_';
+  }
+  return out;
+}
+
+/// Shortest-round-trip style double rendering without trailing noise.
+std::string render_double(double v) {
+  if (std::isinf(v)) return v > 0 ? "+Inf" : "-Inf";
+  std::ostringstream os;
+  os.precision(12);
+  os << v;
+  return os.str();
+}
+
+}  // namespace
+
+const CounterSnapshot* MetricsSnapshot::find_counter(
+    std::string_view name) const {
+  return find_by_name(counters, name);
+}
+
+const GaugeSnapshot* MetricsSnapshot::find_gauge(std::string_view name) const {
+  return find_by_name(gauges, name);
+}
+
+const HistogramSnapshot* MetricsSnapshot::find_histogram(
+    std::string_view name) const {
+  return find_by_name(histograms, name);
+}
+
+std::string MetricsSnapshot::to_prometheus() const {
+  std::ostringstream os;
+  for (const CounterSnapshot& c : counters) {
+    const std::string name = prom_name(c.name);
+    os << "# TYPE " << name << " counter\n"
+       << name << " " << c.value << "\n";
+  }
+  for (const GaugeSnapshot& g : gauges) {
+    const std::string name = prom_name(g.name);
+    os << "# TYPE " << name << " gauge\n"
+       << name << " " << g.value << "\n";
+  }
+  for (const HistogramSnapshot& h : histograms) {
+    const std::string name = prom_name(h.name);
+    os << "# TYPE " << name << " histogram\n";
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < h.bounds.size(); ++i) {
+      cumulative += h.counts[i];
+      os << name << "_bucket{le=\"" << render_double(h.bounds[i]) << "\"} "
+         << cumulative << "\n";
+    }
+    os << name << "_bucket{le=\"+Inf\"} " << h.count << "\n"
+       << name << "_sum " << render_double(h.sum) << "\n"
+       << name << "_count " << h.count << "\n";
+  }
+  return os.str();
+}
+
+std::string MetricsSnapshot::to_json() const {
+  std::ostringstream os;
+  os << "{\"counters\":{";
+  for (std::size_t i = 0; i < counters.size(); ++i) {
+    os << (i ? "," : "") << "\"" << counters[i].name
+       << "\":" << counters[i].value;
+  }
+  os << "},\"gauges\":{";
+  for (std::size_t i = 0; i < gauges.size(); ++i) {
+    os << (i ? "," : "") << "\"" << gauges[i].name << "\":" << gauges[i].value;
+  }
+  os << "},\"histograms\":{";
+  for (std::size_t i = 0; i < histograms.size(); ++i) {
+    const HistogramSnapshot& h = histograms[i];
+    os << (i ? "," : "") << "\"" << h.name << "\":{\"bounds\":[";
+    for (std::size_t b = 0; b < h.bounds.size(); ++b) {
+      os << (b ? "," : "") << render_double(h.bounds[b]);
+    }
+    os << "],\"counts\":[";
+    for (std::size_t b = 0; b < h.counts.size(); ++b) {
+      os << (b ? "," : "") << h.counts[b];
+    }
+    os << "],\"count\":" << h.count << ",\"sum\":" << render_double(h.sum)
+       << "}";
+  }
+  os << "}}";
+  return os.str();
+}
+
+}  // namespace muffin::obs

@@ -1,0 +1,228 @@
+// Process-wide metrics registry: the measurement substrate every serving
+// layer reports through.
+//
+// Three metric kinds, all backed by relaxed atomics so the hot path is a
+// single uncontended atomic add:
+//
+//  * Counter    named monotonic u64 (requests, frames, bytes, drains).
+//  * Gauge      named signed level (queue depth, open connections).
+//  * Histogram  fixed-bucket distribution (batch sizes, encode/decode
+//               microseconds). Bucket bounds are chosen at registration
+//               and never change, so observe() is a linear scan over a
+//               handful of bounds plus one atomic add.
+//
+// Registration happens once per call site through the process-wide
+// Registry (obs::registry()); the intended idiom is a function-local
+// static reference so steady-state cost is exactly the atomic operation:
+//
+//   static obs::Counter& frames =
+//       obs::registry().counter("rpc.server.frames_received");
+//   frames.inc();
+//
+// Metrics are process-global by design: a host running four engine
+// replicas reports the sum of their traffic under one name, and the
+// authoritative per-replica view stays on the replica's own counters
+// (EngineCounters / LatencyStats). snapshot() is a point-in-time copy;
+// exposition is Prometheus text (to_prometheus) or JSON (to_json), both
+// deterministic (name-sorted) so two snapshots of the same state render
+// identically. reset() zeroes every registered metric (bench/test
+// isolation); registered references stay valid forever — metrics are
+// never unregistered.
+//
+// Compiled-out mode: building with -DMUFFIN_OBS_DISABLED turns every
+// record operation (inc/set/add/observe) into an inline no-op while
+// keeping the full API, so instrumented call sites compile unchanged and
+// the overhead gate in bench_serve can compare enabled vs off builds.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace muffin::obs {
+
+/// True when metric recording is compiled in (the default build).
+[[nodiscard]] constexpr bool compiled_in() {
+#if defined(MUFFIN_OBS_DISABLED)
+  return false;
+#else
+  return true;
+#endif
+}
+
+class Counter {
+ public:
+  void inc(std::uint64_t n = 1) noexcept {
+#if defined(MUFFIN_OBS_DISABLED)
+    (void)n;
+#else
+    value_.fetch_add(n, std::memory_order_relaxed);
+#endif
+  }
+  [[nodiscard]] std::uint64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+class Gauge {
+ public:
+  void set(std::int64_t v) noexcept {
+#if defined(MUFFIN_OBS_DISABLED)
+    (void)v;
+#else
+    value_.store(v, std::memory_order_relaxed);
+#endif
+  }
+  void add(std::int64_t n) noexcept {
+#if defined(MUFFIN_OBS_DISABLED)
+    (void)n;
+#else
+    value_.fetch_add(n, std::memory_order_relaxed);
+#endif
+  }
+  void sub(std::int64_t n) noexcept { add(-n); }
+  [[nodiscard]] std::int64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::int64_t> value_{0};
+};
+
+class Histogram {
+ public:
+  /// `bounds` are strictly increasing bucket upper bounds; values above
+  /// the last bound land in the implicit +Inf bucket.
+  explicit Histogram(std::vector<double> bounds);
+
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  void observe(double value) noexcept {
+#if defined(MUFFIN_OBS_DISABLED)
+    (void)value;
+#else
+    std::size_t bucket = bounds_.size();  // +Inf by default
+    for (std::size_t i = 0; i < bounds_.size(); ++i) {
+      if (value <= bounds_[i]) {
+        bucket = i;
+        break;
+      }
+    }
+    counts_[bucket].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    // Relaxed CAS loop: atomic<double>::fetch_add is C++20 but the loop
+    // keeps us off any libstdc++ version cliff, and sums are cold next
+    // to the serving work they describe.
+    double expected = sum_.load(std::memory_order_relaxed);
+    while (!sum_.compare_exchange_weak(expected, expected + value,
+                                       std::memory_order_relaxed)) {
+    }
+#endif
+  }
+
+  [[nodiscard]] const std::vector<double>& bounds() const { return bounds_; }
+  [[nodiscard]] std::uint64_t count() const noexcept {
+    return count_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] double sum() const noexcept {
+    return sum_.load(std::memory_order_relaxed);
+  }
+  /// Per-bucket (non-cumulative) counts; size bounds().size() + 1, the
+  /// last entry being the +Inf bucket.
+  [[nodiscard]] std::vector<std::uint64_t> bucket_counts() const;
+  void reset() noexcept;
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<std::atomic<std::uint64_t>> counts_;  ///< bounds + Inf
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+// --- snapshots and exposition ---------------------------------------------
+
+struct CounterSnapshot {
+  std::string name;
+  std::uint64_t value = 0;
+};
+
+struct GaugeSnapshot {
+  std::string name;
+  std::int64_t value = 0;
+};
+
+struct HistogramSnapshot {
+  std::string name;
+  std::vector<double> bounds;
+  std::vector<std::uint64_t> counts;  ///< per-bucket, last is +Inf
+  std::uint64_t count = 0;
+  double sum = 0.0;
+};
+
+/// Point-in-time copy of every registered metric, name-sorted per kind.
+struct MetricsSnapshot {
+  std::vector<CounterSnapshot> counters;
+  std::vector<GaugeSnapshot> gauges;
+  std::vector<HistogramSnapshot> histograms;
+
+  [[nodiscard]] const CounterSnapshot* find_counter(
+      std::string_view name) const;
+  [[nodiscard]] const GaugeSnapshot* find_gauge(std::string_view name) const;
+  [[nodiscard]] const HistogramSnapshot* find_histogram(
+      std::string_view name) const;
+
+  /// Prometheus text exposition (names prefixed "muffin_", dots become
+  /// underscores, histogram buckets cumulative with an +Inf bucket).
+  [[nodiscard]] std::string to_prometheus() const;
+  /// Compact JSON object {"counters":{...},"gauges":{...},
+  /// "histograms":{...}}.
+  [[nodiscard]] std::string to_json() const;
+};
+
+class Registry {
+ public:
+  /// Look up or create the named metric. References stay valid for the
+  /// process lifetime. Registering the same name with a different kind
+  /// (or a histogram with different bounds) throws muffin::Error.
+  [[nodiscard]] Counter& counter(std::string_view name);
+  [[nodiscard]] Gauge& gauge(std::string_view name);
+  [[nodiscard]] Histogram& histogram(std::string_view name,
+                                     std::vector<double> bounds);
+
+  [[nodiscard]] MetricsSnapshot snapshot() const;
+  /// Zero every registered metric (registration survives).
+  void reset();
+
+ private:
+  enum class Kind { Counter, Gauge, Histogram };
+  struct Entry;
+
+  [[nodiscard]] Entry& find_or_create(std::string_view name, Kind kind,
+                                      std::vector<double> bounds);
+
+  mutable std::mutex mutex_;
+  std::vector<std::unique_ptr<Entry>> entries_;  ///< stable addresses
+};
+
+/// The process-wide registry every layer reports through.
+[[nodiscard]] Registry& registry();
+
+/// Microsecond-scale latency buckets (1us .. 1s), shared by the timing
+/// histograms so operator dashboards line up across layers.
+[[nodiscard]] const std::vector<double>& latency_us_buckets();
+
+/// Batch-size buckets (1 .. 512) for the batching histograms.
+[[nodiscard]] const std::vector<double>& batch_size_buckets();
+
+}  // namespace muffin::obs

@@ -1,0 +1,138 @@
+#include "obs/trace.h"
+
+#include <unistd.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <thread>
+
+#include "common/log.h"
+
+namespace muffin::obs {
+
+namespace {
+
+/// Small readable thread ids for the trace viewer (std::thread::id
+/// hashes are unhelpfully wide).
+std::uint64_t current_tid() {
+  static std::atomic<std::uint64_t> next{1};
+  thread_local std::uint64_t tid = next.fetch_add(1);
+  return tid;
+}
+
+/// Flushes the env-configured tracer at process exit so `MUFFIN_TRACE=
+/// out.json muffin_cli ...` needs no explicit teardown hook.
+struct AtExitFlush {
+  ~AtExitFlush() { Tracer::instance().flush(); }
+};
+
+}  // namespace
+
+Tracer::Tracer() : epoch_(Clock::now()) {
+#if !defined(MUFFIN_OBS_DISABLED)
+  const char* path = std::getenv("MUFFIN_TRACE");
+  if (path == nullptr || *path == '\0') return;
+  std::uint64_t every = 1;
+  if (const char* rate_env = std::getenv("MUFFIN_TRACE_SAMPLE")) {
+    const double rate = std::atof(rate_env);
+    if (rate > 0.0 && rate <= 1.0) {
+      every = static_cast<std::uint64_t>(std::llround(1.0 / rate));
+      if (every == 0) every = 1;
+    }
+  }
+  sample_every_.store(every, std::memory_order_relaxed);
+  auto_flush_path_ = path;
+  enabled_.store(true, std::memory_order_relaxed);
+#endif
+}
+
+Tracer& Tracer::instance() {
+  static Tracer tracer;
+  // Constructed after `tracer`, destroyed before it: the flush runs
+  // while the tracer (and its event buffer) is still alive.
+  static AtExitFlush at_exit;
+  (void)at_exit;
+  return tracer;
+}
+
+void Tracer::configure(bool enabled, std::uint64_t sample_every,
+                       std::string auto_flush_path) {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    events_.clear();
+    auto_flush_path_ = std::move(auto_flush_path);
+  }
+  dropped_.store(0, std::memory_order_relaxed);
+  ordinal_.store(0, std::memory_order_relaxed);
+  sample_every_.store(sample_every == 0 ? 1 : sample_every,
+                      std::memory_order_relaxed);
+  enabled_.store(enabled, std::memory_order_relaxed);
+}
+
+void Tracer::record(std::string name, double ts_us, double dur_us,
+                    std::string args) {
+  if (!enabled()) return;
+  const std::uint64_t tid = current_tid();
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (events_.size() >= kMaxEvents) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  events_.push_back(
+      {std::move(name), ts_us, dur_us, tid, std::move(args)});
+}
+
+std::size_t Tracer::event_count() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return events_.size();
+}
+
+std::vector<TraceEvent> Tracer::events() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return events_;
+}
+
+bool Tracer::write(const std::string& path) const {
+  std::vector<TraceEvent> events;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    events = events_;
+  }
+  std::ofstream os(path);
+  if (!os) return false;
+  const long pid = static_cast<long>(::getpid());
+  os << "{\"traceEvents\":[\n";
+  os.precision(3);
+  os << std::fixed;
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const TraceEvent& event = events[i];
+    os << "{\"name\":\"" << event.name << "\",\"cat\":\"muffin\","
+       << "\"ph\":\"X\",\"ts\":" << event.ts_us
+       << ",\"dur\":" << event.dur_us << ",\"pid\":" << pid
+       << ",\"tid\":" << event.tid;
+    if (!event.args.empty()) os << ",\"args\":{" << event.args << "}";
+    os << "}" << (i + 1 < events.size() ? "," : "") << "\n";
+  }
+  os << "]}\n";
+  return os.good();
+}
+
+void Tracer::flush() {
+  std::string path;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    path = auto_flush_path_;
+  }
+  if (path.empty()) return;
+  if (!write(path)) {
+    MUFFIN_LOG_WARN << "could not write trace to " << path;
+  }
+}
+
+void Tracer::clear() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  events_.clear();
+}
+
+}  // namespace muffin::obs

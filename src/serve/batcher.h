@@ -17,25 +17,41 @@
 #include <cstddef>
 #include <deque>
 #include <mutex>
+#include <string>
 #include <utility>
 #include <vector>
 
 #include "common/error.h"
+#include "obs/metrics.h"
 
 namespace muffin::serve {
 
 struct BatcherConfig {
   std::size_t max_batch = 32;                 ///< size-flush threshold
   std::chrono::microseconds max_delay{1000};  ///< deadline-flush threshold
+  /// Registry prefix for the batcher's flush accounting
+  /// (`<prefix>.size_flushes` / `.deadline_flushes` / `.drain_flushes`)
+  /// and queue-depth gauge (`<prefix>.depth`). Empty disables
+  /// registration, for throwaway batchers that must not touch the
+  /// process registry.
+  std::string metrics_prefix = "batcher";
 };
 
 template <typename T>
 class Batcher {
  public:
-  explicit Batcher(BatcherConfig config) : config_(config) {
+  explicit Batcher(BatcherConfig config) : config_(std::move(config)) {
     MUFFIN_REQUIRE(config_.max_batch > 0, "batcher needs max_batch >= 1");
     MUFFIN_REQUIRE(config_.max_delay.count() >= 0,
                    "batcher max_delay must be non-negative");
+    if (!config_.metrics_prefix.empty()) {
+      obs::Registry& registry = obs::registry();
+      const std::string& prefix = config_.metrics_prefix;
+      size_flushes_ = &registry.counter(prefix + ".size_flushes");
+      deadline_flushes_ = &registry.counter(prefix + ".deadline_flushes");
+      drain_flushes_ = &registry.counter(prefix + ".drain_flushes");
+      depth_ = &registry.gauge(prefix + ".depth");
+    }
   }
 
   /// Enqueue one item. Throws if the batcher is closed.
@@ -44,6 +60,7 @@ class Batcher {
       const std::lock_guard<std::mutex> lock(mutex_);
       MUFFIN_REQUIRE(!closed_, "cannot push to a closed batcher");
       queue_.emplace_back(std::move(item), Clock::now());
+      publish_depth_locked();
     }
     ready_.notify_one();
   }
@@ -62,6 +79,7 @@ class Batcher {
       for (T& item : items) {
         queue_.emplace_back(std::move(item), now);
       }
+      publish_depth_locked();
     }
     ready_.notify_all();
   }
@@ -71,12 +89,15 @@ class Batcher {
   [[nodiscard]] std::vector<T> next_batch() {
     std::unique_lock<std::mutex> lock(mutex_);
     for (;;) {
-      if (queue_.size() >= config_.max_batch || closed_) {
-        return pop_locked();
+      if (queue_.size() >= config_.max_batch) {
+        return pop_locked(size_flushes_);
+      }
+      if (closed_) {
+        return pop_locked(drain_flushes_);
       }
       if (!queue_.empty()) {
         const auto deadline = queue_.front().second + config_.max_delay;
-        if (Clock::now() >= deadline) return pop_locked();
+        if (Clock::now() >= deadline) return pop_locked(deadline_flushes_);
         ready_.wait_until(lock, deadline);
       } else {
         ready_.wait(lock);
@@ -108,8 +129,11 @@ class Batcher {
  private:
   using Clock = std::chrono::steady_clock;
 
-  /// Pop up to max_batch items; requires the lock to be held.
-  [[nodiscard]] std::vector<T> pop_locked() {
+  /// Pop up to max_batch items; requires the lock to be held. `cause`
+  /// is the flush-cause counter to credit (null when metrics are off);
+  /// the empty batch that signals a drained-and-closed queue is not a
+  /// flush and is never counted.
+  [[nodiscard]] std::vector<T> pop_locked(obs::Counter* cause) {
     const std::size_t n = std::min(queue_.size(), config_.max_batch);
     std::vector<T> batch;
     batch.reserve(n);
@@ -117,7 +141,15 @@ class Batcher {
       batch.push_back(std::move(queue_.front().first));
       queue_.pop_front();
     }
+    if (n > 0 && cause != nullptr) cause->inc();
+    publish_depth_locked();
     return batch;
+  }
+
+  void publish_depth_locked() {
+    if (depth_ != nullptr) {
+      depth_->set(static_cast<std::int64_t>(queue_.size()));
+    }
   }
 
   BatcherConfig config_;
@@ -125,6 +157,10 @@ class Batcher {
   std::condition_variable ready_;
   std::deque<std::pair<T, Clock::time_point>> queue_;
   bool closed_ = false;
+  obs::Counter* size_flushes_ = nullptr;
+  obs::Counter* deadline_flushes_ = nullptr;
+  obs::Counter* drain_flushes_ = nullptr;
+  obs::Gauge* depth_ = nullptr;
 };
 
 }  // namespace muffin::serve

@@ -1,12 +1,43 @@
 #include "serve/engine.h"
 
 #include <algorithm>
+#include <string>
 
 #include "common/error.h"
 #include "common/parallel_for.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "tensor/ops.h"
 
 namespace muffin::serve {
+
+namespace {
+
+/// Process-wide engine metrics (see src/obs/metrics.h for the idiom:
+/// resolve once, then every record is a single relaxed atomic op). These
+/// aggregate over every engine replica in the process; the per-engine
+/// atomics behind counters() stay the per-replica source of truth.
+struct EngineMetrics {
+  obs::Counter& requests = obs::registry().counter("engine.requests");
+  obs::Counter& batches = obs::registry().counter("engine.batches");
+  obs::Counter& cache_hits = obs::registry().counter("engine.cache_hits");
+  obs::Counter& cache_misses = obs::registry().counter("engine.cache_misses");
+  obs::Counter& consensus =
+      obs::registry().counter("engine.consensus_short_circuits");
+  obs::Counter& head_evaluations =
+      obs::registry().counter("engine.head_evaluations");
+  obs::Histogram& batch_size = obs::registry().histogram(
+      "engine.batch_size", obs::batch_size_buckets());
+  obs::Histogram& latency_us = obs::registry().histogram(
+      "engine.latency_us", obs::latency_us_buckets());
+
+  static EngineMetrics& get() {
+    static EngineMetrics metrics;
+    return metrics;
+  }
+};
+
+}  // namespace
 
 InferenceEngine::InferenceEngine(std::shared_ptr<const core::FusedModel> model,
                                  EngineConfig config)
@@ -15,7 +46,7 @@ InferenceEngine::InferenceEngine(std::shared_ptr<const core::FusedModel> model,
       num_classes_(0),
       body_size_(0),
       pool_(common::global_pool()),
-      batcher_({config.max_batch, config.max_delay}) {
+      batcher_({config.max_batch, config.max_delay, "engine.batcher"}) {
   MUFFIN_REQUIRE(model_ != nullptr, "engine needs a fused model");
   MUFFIN_REQUIRE(config_.workers > 0, "engine needs at least one worker");
   num_classes_ = model_->num_classes();
@@ -39,12 +70,14 @@ InferenceEngine::~InferenceEngine() { shutdown(); }
 
 std::future<Prediction> InferenceEngine::submit(const data::Record& record) {
   MUFFIN_REQUIRE(!stopped_.load(), "cannot submit to a stopped engine");
-  Request request{record, Clock::now(), {}};
+  Request request{record, Clock::now(), {},
+                  obs::Tracer::instance().sample()};
   std::future<Prediction> future = request.promise.get_future();
   // Count before publishing to the batcher: a worker may dequeue, score,
   // and record latency for this request the moment it is pushed, and
   // observers assert latency.count <= counters().requests mid-flight.
   requests_.fetch_add(1, std::memory_order_relaxed);
+  EngineMetrics::get().requests.inc();
   try {
     batcher_.push(std::move(request));
   } catch (...) {
@@ -75,13 +108,15 @@ std::vector<std::future<Prediction>> InferenceEngine::submit_batch(
   std::vector<std::future<Prediction>> futures;
   futures.reserve(n);
   const Clock::time_point now = Clock::now();
+  obs::Tracer& tracer = obs::Tracer::instance();
   for (data::Record& record : records) {
-    Request request{std::move(record), now, {}};
+    Request request{std::move(record), now, {}, tracer.sample()};
     futures.push_back(request.promise.get_future());
     requests.push_back(std::move(request));
   }
   // Same count-before-publish ordering as submit(), for the same reason.
   requests_.fetch_add(n, std::memory_order_relaxed);
+  EngineMetrics::get().requests.inc(n);
   try {
     batcher_.push_many(std::move(requests));
   } catch (...) {
@@ -159,6 +194,27 @@ void InferenceEngine::dispatch_loop() {
 void InferenceEngine::process_batch(std::vector<Request> batch) {
   batches_.fetch_add(1, std::memory_order_relaxed);
   const std::size_t n = batch.size();
+  EngineMetrics& metrics = EngineMetrics::get();
+  metrics.batches.inc();
+  metrics.batch_size.observe(static_cast<double>(n));
+  // Tracing: one serve.batch span if any request in the batch was picked
+  // by the edge sampler; sampled requests additionally emit their queue
+  // wait (enqueue -> batch formation) and end-to-end serve.request spans.
+  obs::Tracer& tracer = obs::Tracer::instance();
+  bool any_traced = false;
+  for (const Request& request : batch) any_traced |= request.traced;
+  const obs::TraceSpan batch_span(
+      "serve.batch", any_traced,
+      any_traced ? "\"batch_size\":" + std::to_string(n) : std::string());
+  if (any_traced) {
+    const double batch_start_us = tracer.now_us();
+    for (const Request& request : batch) {
+      if (!request.traced) continue;
+      const double enqueued_us = tracer.to_us(request.enqueued);
+      tracer.record("serve.queue", enqueued_us, batch_start_us - enqueued_us,
+                    "\"uid\":" + std::to_string(request.record.uid));
+    }
+  }
   std::vector<Prediction> results(n);
   std::size_t delivered = 0;
   try {
@@ -168,10 +224,12 @@ void InferenceEngine::process_batch(std::vector<Request> batch) {
     for (std::size_t i = 0; i < n; ++i) {
       if (cache_lookup(batch[i].record.uid, results[i])) {
         cache_hits_.fetch_add(1, std::memory_order_relaxed);
+        metrics.cache_hits.inc();
       } else {
         misses.push_back(i);
       }
     }
+    metrics.cache_misses.inc(misses.size());
 
     // 2. Body scores for the misses as one record span through the shared
     // gather (every body model's score_batch override over the whole
@@ -185,8 +243,14 @@ void InferenceEngine::process_batch(std::vector<Request> batch) {
       for (const std::size_t i : misses) {
         miss_records.push_back(batch[i].record);
       }
-      const tensor::Matrix gathered = core::gather_body_scores(
-          model_->body(), num_classes_, miss_records);
+      const tensor::Matrix gathered = [&]() {
+        const obs::TraceSpan span(
+            "serve.score_batch", any_traced,
+            any_traced ? "\"rows\":" + std::to_string(misses.size())
+                       : std::string());
+        return core::gather_body_scores(model_->body(), num_classes_,
+                                        miss_records);
+      }();
 
       // 3. Row-wise consensus gate + one batched head forward over the
       // disagreement rows, on this worker's head clone. Bit-identical to
@@ -197,14 +261,19 @@ void InferenceEngine::process_batch(std::vector<Request> batch) {
           worker_heads_[worker == ThreadPool::npos
                             ? 0
                             : worker % worker_heads_.size()];
-      core::FusedBatch fused = core::fuse_gathered_batch(
-          gathered, head, body_size_, num_classes_,
-          model_->head_only_on_disagreement());
+      core::FusedBatch fused = [&]() {
+        const obs::TraceSpan span("serve.fuse", any_traced);
+        return core::fuse_gathered_batch(gathered, head, body_size_,
+                                         num_classes_,
+                                         model_->head_only_on_disagreement());
+      }();
       const std::size_t consensus_rows = misses.size() - fused.head_rows;
       consensus_short_circuits_.fetch_add(consensus_rows,
                                           std::memory_order_relaxed);
       head_evaluations_.fetch_add(fused.head_rows,
                                   std::memory_order_relaxed);
+      metrics.consensus.inc(consensus_rows);
+      metrics.head_evaluations.inc(fused.head_rows);
       for (std::size_t k = 0; k < misses.size(); ++k) {
         const std::size_t i = misses[k];
         Prediction& prediction = results[i];
@@ -218,8 +287,20 @@ void InferenceEngine::process_batch(std::vector<Request> batch) {
 
     // 4. Deliver results and account latency.
     const Clock::time_point now = Clock::now();
+    const obs::TraceSpan reply_span("serve.reply", any_traced);
+    const double now_us = any_traced ? tracer.to_us(now) : 0.0;
     for (std::size_t i = 0; i < n; ++i) {
       latency_.record(now - batch[i].enqueued);
+      metrics.latency_us.observe(
+          std::chrono::duration<double, std::micro>(now - batch[i].enqueued)
+              .count());
+      if (batch[i].traced) {
+        const double enqueued_us = tracer.to_us(batch[i].enqueued);
+        tracer.record("serve.request", enqueued_us, now_us - enqueued_us,
+                      "\"uid\":" + std::to_string(batch[i].record.uid) +
+                          ",\"cached\":" + (results[i].cached ? "true"
+                                                             : "false"));
+      }
       batch[i].promise.set_value(std::move(results[i]));
       ++delivered;
     }

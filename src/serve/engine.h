@@ -151,6 +151,9 @@ class InferenceEngine {
     data::Record record;
     Clock::time_point enqueued;
     std::promise<Prediction> promise;
+    /// Picked by the edge sampler (obs::Tracer::sample) at submit time;
+    /// traced requests emit serve.queue / serve.request span events.
+    bool traced = false;
   };
 
   void dispatch_loop();

@@ -30,11 +30,29 @@
 #include <cstdint>
 #include <future>
 #include <memory>
+#include <optional>
 #include <string>
 
+#include "obs/metrics.h"
 #include "serve/engine.h"
 
 namespace muffin::serve {
+
+/// Server-authoritative accounting for one replica, as shipped by the
+/// Stats RPC (serve/rpc/wire.h): the serving engine's own counters and
+/// memo size, its latency accounting in transferable form (the reservoir
+/// travels, so merged percentiles behave as if recorded in one process),
+/// and — when the report crosses a process boundary — the server
+/// process's metrics registry snapshot. In-process replicas leave
+/// `metrics` empty: the registry is process-wide, so every local replica
+/// would ship the same duplicate copy; callers snapshot obs::registry()
+/// once themselves.
+struct StatsReport {
+  EngineCounters counters;
+  std::size_t cache_entries = 0;
+  LatencyStats::Export latency;
+  obs::MetricsSnapshot metrics;
+};
 
 class ReplicaBackend {
  public:
@@ -69,6 +87,15 @@ class ReplicaBackend {
   [[nodiscard]] virtual const LatencyStats& latency() const = 0;
   [[nodiscard]] virtual std::size_t cache_entries() const = 0;
   [[nodiscard]] virtual bool cache_contains(std::uint64_t uid) const = 0;
+
+  /// Authoritative accounting, as opposed to the client-observed
+  /// counters()/latency() above: local replicas answer from their own
+  /// engine; remote replicas fetch the *server's* stats over the Stats
+  /// RPC (so latency is what the server measured, counters include
+  /// traffic from every client of that server). May block on the network
+  /// for remote replicas; returns nullopt when the fetch fails, and the
+  /// caller falls back to client-observed accounting.
+  [[nodiscard]] virtual std::optional<StatsReport> authoritative_stats() = 0;
 
   /// The wrapped engine for in-process replicas; nullptr for remote.
   [[nodiscard]] virtual const InferenceEngine* engine() const {
@@ -105,6 +132,13 @@ class LocalReplica final : public ReplicaBackend {
   }
   [[nodiscard]] bool cache_contains(std::uint64_t uid) const override {
     return engine_.cache_contains(uid);
+  }
+  [[nodiscard]] std::optional<StatsReport> authoritative_stats() override {
+    StatsReport report;
+    report.counters = engine_.counters();
+    report.cache_entries = engine_.cache_entries();
+    report.latency = engine_.latency().to_export();
+    return report;  // metrics stay empty: same process, same registry
   }
   [[nodiscard]] const InferenceEngine* engine() const override {
     return &engine_;

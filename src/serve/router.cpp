@@ -3,8 +3,30 @@
 #include <algorithm>
 
 #include "common/error.h"
+#include "obs/metrics.h"
 
 namespace muffin::serve {
+
+namespace {
+
+/// Routing-tier metrics, resolved once per process.
+struct RouterMetrics {
+  obs::Counter& routed = obs::registry().counter("router.routed");
+  obs::Counter& submit_failures =
+      obs::registry().counter("router.submit_failures");
+  obs::Counter& probe_failures =
+      obs::registry().counter("router.probe_failures");
+  obs::Counter& auto_drains = obs::registry().counter("router.auto_drains");
+  obs::Counter& auto_restores =
+      obs::registry().counter("router.auto_restores");
+
+  static RouterMetrics& get() {
+    static RouterMetrics metrics;
+    return metrics;
+  }
+};
+
+}  // namespace
 
 ShardRouter::ShardRouter(std::shared_ptr<const core::FusedModel> model,
                          RouterConfig config)
@@ -33,11 +55,18 @@ std::future<Prediction> ShardRouter::submit(const data::Record& record) {
   const std::shared_lock<std::shared_mutex> lock(mutex_);
   MUFFIN_REQUIRE(!stopped_, "cannot submit to a stopped router");
   Replica& replica = *replicas_[ring_.node_for(record.uid)];
-  std::future<Prediction> future = replica.backend->submit(record);
+  std::future<Prediction> future;
+  try {
+    future = replica.backend->submit(record);
+  } catch (...) {
+    RouterMetrics::get().submit_failures.inc();
+    throw;
+  }
   // Count only after a successful enqueue: a submit that throws (e.g. a
   // backend racing shutdown) never reached the shard, and `routed` feeds
   // capacity decisions — overcounting failed submits would skew them.
   replica.routed.fetch_add(1, std::memory_order_relaxed);
+  RouterMetrics::get().routed.inc();
   return future;
 }
 
@@ -280,6 +309,63 @@ EngineCounters ShardRouter::aggregate_counters() const {
   return total;
 }
 
+StatsReport ShardRouter::authoritative_stats() const {
+  StatsReport total;
+  LatencyStats merged;
+  // Phase 1 (shared lock): fold the frozen snapshots of removed replicas
+  // and collect live backends. shared_ptrs keep backends alive across
+  // the unlocked fetches even if a replica is removed meanwhile (the
+  // freeze-at-removal rule covers the router's own view; our extra fetch
+  // against a stopping backend is safe, merely possibly refused).
+  std::vector<std::shared_ptr<ReplicaBackend>> backends;
+  {
+    const std::shared_lock<std::shared_mutex> lock(mutex_);
+    for (const std::unique_ptr<Replica>& replica : replicas_) {
+      if (replica->state == State::Removed) {
+        const EngineCounters& c = replica->frozen_counters;
+        total.counters.requests += c.requests;
+        total.counters.batches += c.batches;
+        total.counters.cache_hits += c.cache_hits;
+        total.counters.consensus_short_circuits += c.consensus_short_circuits;
+        total.counters.head_evaluations += c.head_evaluations;
+        total.cache_entries += replica->frozen_cache_entries;
+        merged.merge(*replica->frozen_latency);
+      } else {
+        backends.push_back(replica->backend);
+      }
+    }
+  }
+  // Phase 2 (no locks): fetch. Remote fetches may block up to their
+  // connect/request deadlines; routing stays live meanwhile.
+  for (const std::shared_ptr<ReplicaBackend>& backend : backends) {
+    if (std::optional<StatsReport> report = backend->authoritative_stats()) {
+      const EngineCounters& c = report->counters;
+      total.counters.requests += c.requests;
+      total.counters.batches += c.batches;
+      total.counters.cache_hits += c.cache_hits;
+      total.counters.consensus_short_circuits += c.consensus_short_circuits;
+      total.counters.head_evaluations += c.head_evaluations;
+      total.cache_entries += report->cache_entries;
+      merged.merge_export(report->latency);
+    } else {
+      // Unreachable (or pre-Stats) remote: degrade to this client's
+      // observed accounting rather than dropping the shard's traffic
+      // from the aggregate.
+      const EngineCounters c = backend->counters();
+      total.counters.requests += c.requests;
+      total.counters.batches += c.batches;
+      total.counters.cache_hits += c.cache_hits;
+      total.counters.consensus_short_circuits += c.consensus_short_circuits;
+      total.counters.head_evaluations += c.head_evaluations;
+      total.cache_entries += backend->cache_entries();
+      merged.merge(backend->latency());
+    }
+  }
+  total.latency = merged.to_export();
+  total.metrics = obs::registry().snapshot();
+  return total;
+}
+
 std::vector<ShardInfo> ShardRouter::shard_infos() const {
   const std::shared_lock<std::shared_mutex> lock(mutex_);
   std::vector<ShardInfo> infos;
@@ -378,6 +464,7 @@ void ShardRouter::health_loop() {
     // and probe deadlines; holding no router lock keeps serving live.
     for (ProbeTarget& target : targets) {
       target.probe_ok = target.backend->probe();
+      if (!target.probe_ok) RouterMetrics::get().probe_failures.inc();
     }
 
     // Phase 3 (exclusive lock): apply transitions, revalidating state —
@@ -396,6 +483,7 @@ void ShardRouter::health_loop() {
               target.submit_failures >= config_.health.failure_threshold;
           if (unhealthy && active_count_locked() > 1) {
             drain_locked(replica, target.shard, /*automatic=*/true);
+            RouterMetrics::get().auto_drains.inc();
           }
         } else if (replica.state == State::Drained &&
                    replica.auto_drained && target.was_auto_drained &&
@@ -408,6 +496,7 @@ void ShardRouter::health_loop() {
           if (replica.probe_successes >=
               config_.health.recovery_threshold) {
             restore_locked(replica, target.shard);
+            RouterMetrics::get().auto_restores.inc();
           }
         }
       }

@@ -183,6 +183,19 @@ class ShardRouter {
   [[nodiscard]] EngineCounters aggregate_counters() const;
   [[nodiscard]] std::vector<ShardInfo> shard_infos() const;
 
+  /// Authoritative fleet view, as opposed to the client-observed
+  /// aggregates above: local replicas answer from their own engines;
+  /// remote replicas are asked for the *server's* stats over the Stats
+  /// RPC (ReplicaBackend::authoritative_stats), so their latency is what
+  /// the server measured and their counters include every client of that
+  /// server. Network fetches run off the router locks, like health
+  /// probes. A remote replica whose fetch fails — and removed replicas —
+  /// fall back to their frozen/client-observed accounting, so the report
+  /// is always complete. The report's `metrics` field is THIS process's
+  /// registry snapshot (per-server registries are visible via
+  /// rpc::RemoteShard::fetch_stats / `muffin_cli stats`).
+  [[nodiscard]] StatsReport authoritative_stats() const;
+
   [[nodiscard]] const RouterConfig& config() const { return config_; }
 
  private:

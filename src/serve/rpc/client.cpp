@@ -3,6 +3,8 @@
 #include <utility>
 
 #include "common/error.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace muffin::serve::rpc {
 
@@ -10,13 +12,43 @@ namespace {
 
 int ms(std::chrono::milliseconds d) { return static_cast<int>(d.count()); }
 
+/// Client-side transport metrics, resolved once per process.
+struct ClientMetrics {
+  obs::Counter& frames_sent = obs::registry().counter("rpc.client.frames_sent");
+  obs::Counter& bytes_sent = obs::registry().counter("rpc.client.bytes_sent");
+  obs::Counter& frames_received =
+      obs::registry().counter("rpc.client.frames_received");
+  obs::Counter& bytes_received =
+      obs::registry().counter("rpc.client.bytes_received");
+  obs::Counter& reconnects = obs::registry().counter("rpc.client.reconnects");
+  obs::Counter& deadline_expiries =
+      obs::registry().counter("rpc.client.deadline_expiries");
+  obs::Counter& request_failures =
+      obs::registry().counter("rpc.client.request_failures");
+  obs::Histogram& encode_us = obs::registry().histogram(
+      "rpc.client.encode_us", obs::latency_us_buckets());
+  obs::Histogram& decode_us = obs::registry().histogram(
+      "rpc.client.decode_us", obs::latency_us_buckets());
+
+  static ClientMetrics& get() {
+    static ClientMetrics metrics;
+    return metrics;
+  }
+};
+
+double elapsed_us(std::chrono::steady_clock::time_point since) {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - since)
+      .count();
+}
+
 }  // namespace
 
 RemoteShard::RemoteShard(const std::string& endpoint,
                          RemoteShardConfig config)
     : endpoint_(common::Endpoint::parse(endpoint)),
       config_(config),
-      batcher_({config.max_batch, config.max_delay}) {
+      batcher_({config.max_batch, config.max_delay, "rpc.client.batcher"}) {
   MUFFIN_REQUIRE(config_.connections > 0,
                  "remote shard needs at least one connection");
   connections_.reserve(config_.connections);
@@ -30,7 +62,8 @@ RemoteShard::~RemoteShard() { shutdown(); }
 
 std::future<Prediction> RemoteShard::submit(const data::Record& record) {
   MUFFIN_REQUIRE(!stopped_.load(), "cannot submit to a stopped remote shard");
-  ClientRequest request{record, Clock::now(), {}};
+  ClientRequest request{record, Clock::now(), {},
+                       obs::Tracer::instance().sample()};
   std::future<Prediction> future = request.promise.get_future();
   batcher_.push(std::move(request));
   return future;
@@ -112,6 +145,9 @@ void RemoteShard::dispatch_loop() {
 }
 
 void RemoteShard::send_batch(std::vector<ClientRequest> batch) {
+  ClientMetrics& metrics = ClientMetrics::get();
+  bool any_traced = false;
+  for (const ClientRequest& request : batch) any_traced |= request.traced;
   // Try every pooled connection once, starting at the round-robin
   // cursor; a batch only fails when no connection can be (re)established.
   for (std::size_t attempt = 0; attempt < connections_.size(); ++attempt) {
@@ -132,6 +168,7 @@ void RemoteShard::send_batch(std::vector<ClientRequest> batch) {
         fail_connection(connection, "connection reset before response");
         connection.socket =
             common::connect_endpoint(endpoint_, ms(config_.connect_timeout));
+        metrics.reconnects.inc();
         {
           const std::lock_guard<std::mutex> lock(connection.mutex);
           connection.dead = false;
@@ -148,8 +185,14 @@ void RemoteShard::send_batch(std::vector<ClientRequest> batch) {
       for (const ClientRequest& request : batch) {
         records.push_back(&request.record);
       }
-      const std::vector<std::uint8_t> frame =
-          encode_score_request(seq, records);
+      const auto encode_start = std::chrono::steady_clock::now();
+      const std::vector<std::uint8_t> frame = [&]() {
+        const obs::TraceSpan encode_span(
+            "rpc.client.encode", any_traced,
+            any_traced ? "\"seq\":" + std::to_string(seq) : std::string());
+        return encode_score_request(seq, records);
+      }();
+      metrics.encode_us.observe(elapsed_us(encode_start));
 
       // Register the in-flight batch BEFORE sending: the response can
       // arrive the instant the frame hits the wire.
@@ -157,18 +200,26 @@ void RemoteShard::send_batch(std::vector<ClientRequest> batch) {
       pending.seq = seq;
       pending.deadline = Clock::now() + config_.request_timeout;
       pending.requests = std::move(batch);
+      pending.traced = any_traced;
       {
         const std::lock_guard<std::mutex> lock(connection.mutex);
         connection.pending.push_back(std::move(pending));
       }
       try {
+        const obs::TraceSpan write_span(
+            "rpc.client.write", any_traced,
+            any_traced ? "\"bytes\":" + std::to_string(frame.size())
+                       : std::string());
         write_frame(connection.socket, frame, ms(config_.request_timeout));
+        metrics.frames_sent.inc();
+        metrics.bytes_sent.inc(frame.size());
       } catch (const std::exception& error) {
         // A partial frame write poisons the stream; everything pipelined
         // on this connection is undeliverable. Write failures count
         // toward auto-drain like any other failed submit (counted
         // before the promises fail, so observers see both together).
         consecutive_failures_.fetch_add(1, std::memory_order_relaxed);
+        metrics.request_failures.inc();
         fail_connection(connection, error.what());
         return;
       }
@@ -182,10 +233,12 @@ void RemoteShard::send_batch(std::vector<ClientRequest> batch) {
     }
   }
   consecutive_failures_.fetch_add(1, std::memory_order_relaxed);
+  metrics.request_failures.inc();
   fail_batch(batch, "no connection to " + endpoint_.to_string());
 }
 
 void RemoteShard::reader_loop(Connection& connection) {
+  ClientMetrics& metrics = ClientMetrics::get();
   for (;;) {
     // Exit once the shard is stopped and nothing is in flight here.
     bool has_pending;
@@ -208,6 +261,7 @@ void RemoteShard::reader_loop(Connection& connection) {
       // server sends nothing at all.
       if (!connection.socket.readable(/*timeout_ms=*/50)) {
         if (has_pending && Clock::now() >= oldest_deadline) {
+          metrics.deadline_expiries.inc();
           throw Error("request to " + endpoint_.to_string() +
                       " timed out after " +
                       std::to_string(config_.request_timeout.count()) + " ms");
@@ -217,6 +271,10 @@ void RemoteShard::reader_loop(Connection& connection) {
       std::optional<Frame> frame =
           read_frame(connection.socket, config_.max_frame_bytes,
                      ms(config_.request_timeout));
+      if (frame.has_value()) {
+        metrics.frames_received.inc();
+        metrics.bytes_received.inc(kHeaderBytes + frame->payload.size());
+      }
       if (!frame.has_value()) {
         // Clean EOF. Fine when idle; fatal with work in flight.
         const std::lock_guard<std::mutex> lock(connection.mutex);
@@ -240,13 +298,21 @@ void RemoteShard::reader_loop(Connection& connection) {
 
       if (frame->header.type == MsgType::Error) {
         consecutive_failures_.fetch_add(1, std::memory_order_relaxed);
+        metrics.request_failures.inc();
         fail_batch(batch.requests, decode_error(frame->payload));
         continue;
       }
       MUFFIN_REQUIRE(frame->header.type == MsgType::ScoreResponse,
                      "unexpected frame type from server");
-      std::vector<Prediction> predictions =
-          decode_score_response(frame->payload);
+      const auto decode_start = std::chrono::steady_clock::now();
+      std::vector<Prediction> predictions = [&]() {
+        const obs::TraceSpan decode_span(
+            "rpc.client.decode", batch.traced,
+            batch.traced ? "\"seq\":" + std::to_string(batch.seq)
+                         : std::string());
+        return decode_score_response(frame->payload);
+      }();
+      metrics.decode_us.observe(elapsed_us(decode_start));
       MUFFIN_REQUIRE(predictions.size() == batch.requests.size(),
                      "response row count does not match the request batch");
       deliver(std::move(batch), std::move(predictions));
@@ -256,6 +322,7 @@ void RemoteShard::reader_loop(Connection& connection) {
       // future must also observe a non-zero failure count (the health
       // monitor reads it; tests pin the ordering).
       consecutive_failures_.fetch_add(1, std::memory_order_relaxed);
+      metrics.request_failures.inc();
       if (popped) fail_batch(batch.requests, error.what());
       fail_connection(connection, error.what());
       return;
@@ -267,8 +334,19 @@ void RemoteShard::deliver(PendingBatch batch,
                           std::vector<Prediction> predictions) {
   const Clock::time_point now = Clock::now();
   batches_.fetch_add(1, std::memory_order_relaxed);
+  obs::Tracer& tracer = obs::Tracer::instance();
+  const double now_us = batch.traced ? tracer.now_us() : 0.0;
   for (std::size_t i = 0; i < batch.requests.size(); ++i) {
     latency_.record(now - batch.requests[i].enqueued);
+    if (batch.requests[i].traced) {
+      // Client-observed round trip: submit (incl. client batching delay)
+      // to response delivery — the client-side mirror of serve.request.
+      const double enqueued_us = tracer.to_us(batch.requests[i].enqueued);
+      tracer.record("rpc.client.roundtrip", enqueued_us,
+                    now_us - enqueued_us,
+                    "\"uid\":" +
+                        std::to_string(batch.requests[i].record.uid));
+    }
     requests_.fetch_add(1, std::memory_order_relaxed);
     const Prediction& prediction = predictions[i];
     if (prediction.cached) {
@@ -279,6 +357,37 @@ void RemoteShard::deliver(PendingBatch batch,
       head_evaluations_.fetch_add(1, std::memory_order_relaxed);
     }
     batch.requests[i].promise.set_value(std::move(predictions[i]));
+  }
+}
+
+StatsReport RemoteShard::fetch_stats() {
+  // A dedicated connection, like probe(): stats must not queue behind
+  // pipelined score batches, and a failed fetch must not poison them.
+  common::Socket socket =
+      common::connect_endpoint(endpoint_, ms(config_.connect_timeout));
+  const std::uint64_t seq = seq_.fetch_add(1, std::memory_order_relaxed);
+  write_frame(socket, encode_stats_request(seq),
+              ms(config_.request_timeout));
+  const std::optional<Frame> reply =
+      read_frame(socket, config_.max_frame_bytes,
+                 ms(config_.request_timeout));
+  MUFFIN_REQUIRE(reply.has_value(),
+                 "server closed before answering the stats request");
+  MUFFIN_REQUIRE(reply->header.type == MsgType::StatsResponse,
+                 "unexpected frame type for a stats request");
+  MUFFIN_REQUIRE(reply->header.seq == seq,
+                 "stats response sequence mismatch");
+  return decode_stats_response(reply->payload);
+}
+
+std::optional<StatsReport> RemoteShard::authoritative_stats() {
+  try {
+    return fetch_stats();
+  } catch (const std::exception&) {
+    // Unreachable server or a pre-Stats peer: the caller falls back to
+    // this client's observed accounting. Deliberately NOT counted toward
+    // consecutive_failures — stats polling must never drain a shard.
+    return std::nullopt;
   }
 }
 

@@ -101,6 +101,14 @@ class RemoteShard final : public ReplicaBackend {
     return false;
   }
 
+  /// Fetch the server's authoritative stats over the Stats RPC, on a
+  /// dedicated short-lived connection (like probe(), so it cannot
+  /// interleave with pipelined score traffic). Throws muffin::Error when
+  /// the server is unreachable or does not speak the Stats op.
+  [[nodiscard]] StatsReport fetch_stats();
+  /// ReplicaBackend surface: fetch_stats with failures mapped to nullopt.
+  [[nodiscard]] std::optional<StatsReport> authoritative_stats() override;
+
   [[nodiscard]] const RemoteShardConfig& config() const { return config_; }
 
  private:
@@ -110,6 +118,9 @@ class RemoteShard final : public ReplicaBackend {
     data::Record record;
     Clock::time_point enqueued;
     std::promise<Prediction> promise;
+    /// Picked by the edge sampler (obs::Tracer::sample) at submit time;
+    /// traced requests emit rpc.client.roundtrip span events.
+    bool traced = false;
   };
 
   /// One pipelined request frame awaiting its response, in send order.
@@ -117,6 +128,7 @@ class RemoteShard final : public ReplicaBackend {
     std::uint64_t seq = 0;
     Clock::time_point deadline;
     std::vector<ClientRequest> requests;
+    bool traced = false;  ///< any request in the batch is traced
   };
 
   struct Connection {

@@ -1,8 +1,49 @@
 #include "serve/rpc/server.h"
 
+#include <chrono>
+#include <string>
+
 #include "common/error.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace muffin::serve::rpc {
+
+namespace {
+
+/// Server-side transport metrics, resolved once per process.
+struct ServerMetrics {
+  obs::Counter& connections =
+      obs::registry().counter("rpc.server.connections");
+  obs::Gauge& open_connections =
+      obs::registry().gauge("rpc.server.open_connections");
+  obs::Counter& frames_received =
+      obs::registry().counter("rpc.server.frames_received");
+  obs::Counter& bytes_received =
+      obs::registry().counter("rpc.server.bytes_received");
+  obs::Counter& frames_sent = obs::registry().counter("rpc.server.frames_sent");
+  obs::Counter& bytes_sent = obs::registry().counter("rpc.server.bytes_sent");
+  obs::Counter& errors_sent = obs::registry().counter("rpc.server.errors_sent");
+  obs::Counter& stats_requests =
+      obs::registry().counter("rpc.server.stats_requests");
+  obs::Histogram& decode_us = obs::registry().histogram(
+      "rpc.server.decode_us", obs::latency_us_buckets());
+  obs::Histogram& encode_us = obs::registry().histogram(
+      "rpc.server.encode_us", obs::latency_us_buckets());
+
+  static ServerMetrics& get() {
+    static ServerMetrics metrics;
+    return metrics;
+  }
+};
+
+double elapsed_us(std::chrono::steady_clock::time_point since) {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - since)
+      .count();
+}
+
+}  // namespace
 
 ShardServer::ShardServer(std::shared_ptr<const core::FusedModel> model,
                          const std::string& listen, ShardServerConfig config)
@@ -64,12 +105,15 @@ void ShardServer::accept_loop() {
     if (!socket.valid()) continue;
     if (stopped_.load(std::memory_order_relaxed)) break;
     accepted_.fetch_add(1, std::memory_order_relaxed);
+    ServerMetrics::get().connections.inc();
     auto connection = std::make_unique<Connection>();
     connection->socket = std::move(socket);
     Connection& ref = *connection;
     {
       const std::lock_guard<std::mutex> lock(connections_mutex_);
       connections_.push_back(std::move(connection));
+      ServerMetrics::get().open_connections.set(
+          static_cast<std::int64_t>(connections_.size()));
     }
     ref.reader = std::thread([this, &ref]() { reader_loop(ref); });
     ref.writer = std::thread([this, &ref]() { writer_loop(ref); });
@@ -89,6 +133,8 @@ void ShardServer::reap_finished_connections() {
     std::erase_if(connections_, [](const std::unique_ptr<Connection>& c) {
       return c == nullptr;
     });
+    ServerMetrics::get().open_connections.set(
+        static_cast<std::int64_t>(connections_.size()));
   }
   // Join outside the lock; both threads have already signalled exit, so
   // these joins return immediately.
@@ -107,23 +153,50 @@ void ShardServer::enqueue(Connection& connection, PendingResponse response) {
 }
 
 void ShardServer::reader_loop(Connection& connection) {
+  ServerMetrics& metrics = ServerMetrics::get();
+  obs::Tracer& tracer = obs::Tracer::instance();
   try {
     for (;;) {
       std::optional<Frame> frame =
           read_frame(connection.socket, config_.max_frame_bytes,
                      /*timeout_ms=*/-1);
       if (!frame.has_value()) break;  // client closed cleanly
+      metrics.frames_received.inc();
+      metrics.bytes_received.inc(kHeaderBytes + frame->payload.size());
 
       PendingResponse response;
       response.seq = frame->header.seq;
+      // The server samples its own frames: client-side sampling decisions
+      // do not travel on the wire, so each process traces independently.
+      response.traced = tracer.sample();
       switch (frame->header.type) {
         case MsgType::HealthProbe:
           response.type = MsgType::HealthAck;
           break;
+        case MsgType::StatsRequest: {
+          // Encode NOW so the report reflects this moment, but deliver
+          // through the FIFO so responses stay in request order.
+          metrics.stats_requests.inc();
+          response.type = MsgType::StatsResponse;
+          StatsReport report;
+          report.counters = engine_.counters();
+          report.cache_entries = engine_.cache_entries();
+          report.latency = engine_.latency().to_export();
+          report.metrics = obs::registry().snapshot();
+          response.raw_frame = encode_stats_response(response.seq, report);
+          break;
+        }
         case MsgType::ScoreRequest: {
           response.type = MsgType::ScoreResponse;
-          std::vector<data::Record> records =
-              decode_score_request(frame->payload);
+          const auto decode_start = std::chrono::steady_clock::now();
+          std::vector<data::Record> records = [&]() {
+            const obs::TraceSpan decode_span(
+                "rpc.server.decode", response.traced,
+                response.traced ? "\"seq\":" + std::to_string(response.seq)
+                                : std::string());
+            return decode_score_request(frame->payload);
+          }();
+          metrics.decode_us.observe(elapsed_us(decode_start));
           try {
             // One atomic group enqueue per frame: the records enter the
             // engine's Batcher together (one lock, one wakeup) and
@@ -160,6 +233,7 @@ void ShardServer::reader_loop(Connection& connection) {
 }
 
 void ShardServer::writer_loop(Connection& connection) {
+  ServerMetrics& metrics = ServerMetrics::get();
   bool transport_ok = true;
   for (;;) {
     PendingResponse response;
@@ -177,25 +251,43 @@ void ShardServer::writer_loop(Connection& connection) {
     // futures here is what preserves per-connection FIFO order while the
     // reader keeps pipelining new requests into the engine.
     std::vector<std::uint8_t> frame;
-    if (response.type == MsgType::HealthAck && response.error.empty()) {
+    if (!response.raw_frame.empty()) {
+      frame = std::move(response.raw_frame);  // pre-encoded StatsResponse
+    } else if (response.type == MsgType::HealthAck && response.error.empty()) {
       frame = encode_control(MsgType::HealthAck, response.seq);
     } else if (!response.error.empty()) {
+      metrics.errors_sent.inc();
       frame = encode_error(response.seq, response.error);
     } else {
       try {
         const std::vector<Prediction> predictions =
             collect_all_or_error(std::move(response.futures));
-        frame = encode_score_response(response.seq, predictions);
+        const auto encode_start = std::chrono::steady_clock::now();
+        {
+          const obs::TraceSpan encode_span(
+              "rpc.server.encode", response.traced,
+              response.traced ? "\"seq\":" + std::to_string(response.seq)
+                              : std::string());
+          frame = encode_score_response(response.seq, predictions);
+        }
+        metrics.encode_us.observe(elapsed_us(encode_start));
       } catch (const std::exception& error) {
         // collect_all_or_error already awaited every future, so the
         // whole request can be failed with one Error frame.
+        metrics.errors_sent.inc();
         frame = encode_error(response.seq, error.what());
       }
     }
 
     if (!transport_ok) continue;  // keep draining futures, stop writing
     try {
+      const obs::TraceSpan write_span(
+          "rpc.server.write", response.traced,
+          response.traced ? "\"bytes\":" + std::to_string(frame.size())
+                          : std::string());
       write_frame(connection.socket, frame, config_.write_timeout_ms);
+      metrics.frames_sent.inc();
+      metrics.bytes_sent.inc(frame.size());
     } catch (const std::exception&) {
       // Client gone or wedged: stop writing, but keep consuming pending
       // future-sets so engine promises are all observed before join.

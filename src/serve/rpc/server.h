@@ -82,12 +82,18 @@ class ShardServer {
 
  private:
   /// One response owed to a connection, in request order. Exactly one of
-  /// {control ack, error, futures} applies.
+  /// {prebuilt frame, control ack, error, futures} applies.
   struct PendingResponse {
     std::uint64_t seq = 0;
     MsgType type = MsgType::ScoreResponse;
     std::string error;  ///< non-empty: answer with an Error frame
     std::vector<std::future<Prediction>> futures;
+    /// Non-empty: send these bytes verbatim (StatsResponse — encoded by
+    /// the reader at request time so the snapshot reflects that moment,
+    /// but still delivered through the FIFO to preserve per-connection
+    /// response order).
+    std::vector<std::uint8_t> raw_frame;
+    bool traced = false;  ///< request was picked by the trace sampler
   };
 
   struct Connection {

@@ -34,6 +34,24 @@
 //   HealthAck      empty payload
 //   Error          u32 byte length + UTF-8 message; sent instead of a
 //                  ScoreResponse when the server failed that request
+//   StatsRequest   empty payload; the server answers StatsResponse
+//   StatsResponse  the server's authoritative StatsReport:
+//                  5x u64 engine counters (requests, batches, cache_hits,
+//                  consensus_short_circuits, head_evaluations),
+//                  u64 cache_entries,
+//                  latency export: u64 count, f64 sum_us, f64 max_us,
+//                  f64 elapsed_seconds, u32 n + n*f64 reservoir samples,
+//                  metrics snapshot: u32 n_counters x {u16 name_len,
+//                  name bytes, u64 value}, u32 n_gauges x {u16 name_len,
+//                  name bytes, u64 two's-complement value}, u32 n_hists
+//                  x {u16 name_len, name bytes, u32 n_bounds, n_bounds*
+//                  f64 upper bounds, (n_bounds+1)*u64 bucket counts,
+//                  u64 count, f64 sum}
+//
+// The Stats pair is ADDITIVE within version 1: servers and clients that
+// predate it never send these types and are unaffected; a new client
+// probing an old server sees the connection fail cleanly (unknown frame
+// type) and reports the endpoint as not stats-capable.
 #pragma once
 
 #include <cstddef>
@@ -47,6 +65,7 @@
 #include "common/socket.h"
 #include "data/dataset.h"
 #include "serve/engine.h"
+#include "serve/replica.h"
 
 namespace muffin::serve::rpc {
 
@@ -63,6 +82,8 @@ enum class MsgType : std::uint16_t {
   HealthProbe = 3,
   HealthAck = 4,
   Error = 5,
+  StatsRequest = 6,   ///< additive in v1; empty payload
+  StatsResponse = 7,  ///< additive in v1; serialized StatsReport
 };
 
 struct FrameHeader {
@@ -109,6 +130,17 @@ void encode_header(std::vector<std::uint8_t>& out, MsgType type,
 /// HealthProbe / HealthAck (empty payload).
 [[nodiscard]] std::vector<std::uint8_t> encode_control(MsgType type,
                                                        std::uint64_t seq);
+
+/// StatsRequest (empty payload); the server answers StatsResponse.
+[[nodiscard]] std::vector<std::uint8_t> encode_stats_request(
+    std::uint64_t seq);
+[[nodiscard]] std::vector<std::uint8_t> encode_stats_response(
+    std::uint64_t seq, const StatsReport& report);
+/// Bounds-checked decode; hostile payloads (truncation, counts that
+/// cannot fit, a latency export claiming recorded requests but shipping
+/// no samples) throw muffin::Error.
+[[nodiscard]] StatsReport decode_stats_response(
+    std::span<const std::uint8_t> payload);
 
 [[nodiscard]] std::vector<std::uint8_t> encode_error(
     std::uint64_t seq, const std::string& message);

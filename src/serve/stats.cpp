@@ -78,6 +78,40 @@ void LatencyStats::merge(const LatencyStats& other) {
     other_max = other.max_us_;
     other_start = other.start_;
   }
+  merge_state(other_samples, other_count, other_sum, other_max, other_start);
+}
+
+LatencyStats::Export LatencyStats::to_export() const {
+  Export out;
+  Clock::time_point start;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    out.count = count_;
+    out.sum_us = sum_us_;
+    out.max_us = max_us_;
+    out.samples_us = reservoir_us_;
+    start = start_;
+  }
+  out.elapsed_seconds =
+      std::chrono::duration<double>(Clock::now() - start).count();
+  return out;
+}
+
+void LatencyStats::merge_export(const Export& other) {
+  // Remote steady clocks are meaningless here; anchor the remote start
+  // so elapsed time (and therefore wall-clock throughput) is preserved.
+  const Clock::time_point other_start =
+      Clock::now() - std::chrono::duration_cast<Clock::duration>(
+                         std::chrono::duration<double>(
+                             std::max(0.0, other.elapsed_seconds)));
+  merge_state(other.samples_us, other.count, other.sum_us, other.max_us,
+              other_start);
+}
+
+void LatencyStats::merge_state(const std::vector<double>& other_samples,
+                               std::size_t other_count, double other_sum,
+                               double other_max,
+                               Clock::time_point other_start) {
   if (other_count == 0) return;
 
   const std::lock_guard<std::mutex> lock(mutex_);

@@ -53,6 +53,27 @@ class LatencyStats {
   /// count/mean/max stay exact regardless.
   void merge(const LatencyStats& other);
 
+  /// Serializable accounting state: exact totals plus the percentile
+  /// reservoir. This is what the Stats RPC ships — a server exports its
+  /// engine's authoritative stats, the client imports them with
+  /// merge_export, and percentile merging behaves exactly as if the two
+  /// LatencyStats instances had been merged in one process. Clocks are
+  /// not comparable across processes, so the start time travels as
+  /// elapsed seconds and is re-anchored against the importer's clock.
+  struct Export {
+    std::size_t count = 0;
+    double sum_us = 0.0;
+    double max_us = 0.0;
+    double elapsed_seconds = 0.0;
+    std::vector<double> samples_us;  ///< the reservoir (uniform subsample)
+  };
+
+  [[nodiscard]] Export to_export() const;
+
+  /// Fold exported state into this instance; merge() semantics, with the
+  /// remote start time reconstructed as now - elapsed_seconds.
+  void merge_export(const Export& other);
+
   /// Drop all samples and restart the throughput clock.
   void reset();
 
@@ -71,6 +92,12 @@ class LatencyStats {
 
  private:
   using Clock = std::chrono::steady_clock;
+
+  /// The locked merge body shared by merge() and merge_export(): fold
+  /// (samples, count, sum, max, start) — a copied-out peer state — in.
+  void merge_state(const std::vector<double>& other_samples,
+                   std::size_t other_count, double other_sum,
+                   double other_max, Clock::time_point other_start);
 
   const std::size_t capacity_;
   mutable std::mutex mutex_;

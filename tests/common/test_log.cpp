@@ -2,6 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <set>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
 namespace muffin {
 namespace {
 
@@ -55,6 +61,53 @@ TEST(Log, DebugHiddenAtWarnLevel) {
   testing::internal::CaptureStderr();
   MUFFIN_LOG_DEBUG << "hidden";
   EXPECT_EQ(testing::internal::GetCapturedStderr(), "");
+}
+
+TEST(Log, ConcurrentMessagesNeverInterleave) {
+  // log_message formats each line into one buffer and emits it with a
+  // single stream write; under concurrency every captured line must be
+  // exactly one whole message — never two messages sheared together.
+  // Run under TSan in CI, this also races the level check against the
+  // writes.
+  LogLevelGuard guard;
+  set_log_level(LogLevel::Info);
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 200;
+  testing::internal::CaptureStderr();
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([t]() {
+      for (int i = 0; i < kPerThread; ++i) {
+        MUFFIN_LOG_INFO << "thread=" << t << " msg=" << i << " end";
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  const std::string out = testing::internal::GetCapturedStderr();
+
+  std::set<std::string> seen;
+  std::istringstream lines(out);
+  std::string line;
+  std::size_t line_count = 0;
+  while (std::getline(lines, line)) {
+    ++line_count;
+    // Each line is exactly one framed message: one prefix, at the start,
+    // and the payload's terminal marker at the end.
+    EXPECT_EQ(line.rfind("[muffin:INFO] thread=", 0), 0u) << line;
+    EXPECT_EQ(line.find("[muffin:", 1), std::string::npos) << line;
+    ASSERT_GE(line.size(), 4u) << line;
+    EXPECT_EQ(line.substr(line.size() - 4), " end") << line;
+    seen.insert(line);
+  }
+  EXPECT_EQ(line_count, static_cast<std::size_t>(kThreads * kPerThread));
+  // No message lost or duplicated: all (thread, i) pairs are distinct.
+  EXPECT_EQ(seen.size(), static_cast<std::size_t>(kThreads * kPerThread));
+  for (int t = 0; t < kThreads; ++t) {
+    std::ostringstream expected;
+    expected << "[muffin:INFO] thread=" << t << " msg=0 end";
+    EXPECT_EQ(seen.count(expected.str()), 1u);
+  }
 }
 
 }  // namespace

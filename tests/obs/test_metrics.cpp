@@ -1,0 +1,201 @@
+// Metrics-registry suite (obs/metrics.h).
+//
+// The contract under test:
+//  1. Registration is idempotent per name and kind-stable: the same name
+//     always returns the same metric object; re-registering under a
+//     different kind (or a histogram with different bounds) throws.
+//  2. Recording is lossless under concurrency: counters, gauges and
+//     histograms are hammered from several threads and the totals must
+//     be exact (this is the TSan surface for the relaxed-atomic paths).
+//  3. Exposition is deterministic: snapshots are name-sorted, and the
+//     Prometheus/JSON renderings of equal state are identical strings.
+//
+// All names here are "test."-prefixed so the suite never collides with
+// the serving layers' registrations in the shared process registry.
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "common/error.h"
+
+namespace muffin::obs {
+namespace {
+
+TEST(Registry, SameNameReturnsSameMetric) {
+  Counter& a = registry().counter("test.same_counter");
+  Counter& b = registry().counter("test.same_counter");
+  EXPECT_EQ(&a, &b);
+  Gauge& g1 = registry().gauge("test.same_gauge");
+  Gauge& g2 = registry().gauge("test.same_gauge");
+  EXPECT_EQ(&g1, &g2);
+  Histogram& h1 = registry().histogram("test.same_hist", {1.0, 2.0});
+  Histogram& h2 = registry().histogram("test.same_hist", {1.0, 2.0});
+  EXPECT_EQ(&h1, &h2);
+}
+
+TEST(Registry, KindConflictThrows) {
+  (void)registry().counter("test.kind_conflict");
+  EXPECT_THROW((void)registry().gauge("test.kind_conflict"), Error);
+  EXPECT_THROW((void)registry().histogram("test.kind_conflict", {1.0}),
+               Error);
+}
+
+TEST(Registry, HistogramBoundsConflictThrows) {
+  (void)registry().histogram("test.bounds_conflict", {1.0, 2.0, 3.0});
+  EXPECT_THROW(
+      (void)registry().histogram("test.bounds_conflict", {1.0, 2.0}),
+      Error);
+}
+
+TEST(Registry, HistogramRejectsUnsortedBounds) {
+  EXPECT_THROW((void)registry().histogram("test.bad_bounds", {2.0, 1.0}),
+               Error);
+  EXPECT_THROW((void)registry().histogram("test.dup_bounds", {1.0, 1.0}),
+               Error);
+}
+
+TEST(Counter, IncrementsAndResets) {
+  Counter& counter = registry().counter("test.counter_basic");
+  const std::uint64_t before = counter.value();
+  counter.inc();
+  counter.inc(41);
+  EXPECT_EQ(counter.value(), before + 42);
+  counter.reset();
+  EXPECT_EQ(counter.value(), 0u);
+}
+
+TEST(Gauge, SetAddSub) {
+  Gauge& gauge = registry().gauge("test.gauge_basic");
+  gauge.set(10);
+  EXPECT_EQ(gauge.value(), 10);
+  gauge.add(5);
+  gauge.sub(20);
+  EXPECT_EQ(gauge.value(), -5);  // gauges are signed levels
+}
+
+TEST(Histogram, BucketsByUpperBoundWithInfOverflow) {
+  Histogram& hist =
+      registry().histogram("test.hist_buckets", {1.0, 10.0, 100.0});
+  hist.observe(0.5);    // <= 1
+  hist.observe(1.0);    // <= 1 (bounds are inclusive upper bounds)
+  hist.observe(7.0);    // <= 10
+  hist.observe(100.0);  // <= 100
+  hist.observe(1e9);    // +Inf bucket
+  const std::vector<std::uint64_t> counts = hist.bucket_counts();
+  ASSERT_EQ(counts.size(), 4u);  // 3 bounds + Inf
+  EXPECT_EQ(counts[0], 2u);
+  EXPECT_EQ(counts[1], 1u);
+  EXPECT_EQ(counts[2], 1u);
+  EXPECT_EQ(counts[3], 1u);
+  EXPECT_EQ(hist.count(), 5u);
+  EXPECT_DOUBLE_EQ(hist.sum(), 0.5 + 1.0 + 7.0 + 100.0 + 1e9);
+}
+
+TEST(Registry, ConcurrentRecordingIsLossless) {
+  Counter& counter = registry().counter("test.mt_counter");
+  Gauge& gauge = registry().gauge("test.mt_gauge");
+  Histogram& hist = registry().histogram("test.mt_hist", {10.0, 100.0});
+  counter.reset();
+  gauge.reset();
+  hist.reset();
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 5000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&]() {
+      for (int i = 0; i < kPerThread; ++i) {
+        counter.inc();
+        gauge.add(1);
+        hist.observe(static_cast<double>(i % 200));
+        // Snapshots race with recording by design; they must be safe.
+        if (i % 1000 == 0) (void)registry().snapshot();
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(counter.value(), kThreads * kPerThread);
+  EXPECT_EQ(gauge.value(), kThreads * kPerThread);
+  EXPECT_EQ(hist.count(), kThreads * kPerThread);
+  std::uint64_t bucket_total = 0;
+  for (const std::uint64_t n : hist.bucket_counts()) bucket_total += n;
+  EXPECT_EQ(bucket_total, hist.count());
+}
+
+TEST(Snapshot, FindsRegisteredMetricsSorted) {
+  registry().counter("test.snap_b").inc(2);
+  registry().counter("test.snap_a").inc(1);
+  const MetricsSnapshot snap = registry().snapshot();
+  const CounterSnapshot* a = snap.find_counter("test.snap_a");
+  const CounterSnapshot* b = snap.find_counter("test.snap_b");
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  EXPECT_EQ(a->value, 1u);
+  EXPECT_EQ(b->value, 2u);
+  EXPECT_EQ(snap.find_counter("test.snap_missing"), nullptr);
+  for (std::size_t i = 1; i < snap.counters.size(); ++i) {
+    EXPECT_LT(snap.counters[i - 1].name, snap.counters[i].name);
+  }
+}
+
+TEST(Snapshot, PrometheusExpositionIsDeterministic) {
+  registry().counter("test.prom_counter").inc(7);
+  (void)registry().histogram("test.prom_hist", {1.0, 5.0});
+  registry().histogram("test.prom_hist", {1.0, 5.0}).observe(3.0);
+  const MetricsSnapshot snap = registry().snapshot();
+  const std::string text = snap.to_prometheus();
+  // Names are prefixed and dot-mangled; histogram buckets cumulative
+  // with a +Inf terminator.
+  EXPECT_NE(text.find("muffin_test_prom_counter 7"), std::string::npos);
+  EXPECT_NE(text.find("muffin_test_prom_hist_bucket{le=\"+Inf\"}"),
+            std::string::npos);
+  EXPECT_NE(text.find("muffin_test_prom_hist_count"), std::string::npos);
+  // Two snapshots of the same state render byte-identically.
+  EXPECT_EQ(text, registry().snapshot().to_prometheus());
+}
+
+TEST(Snapshot, JsonExpositionContainsAllKinds) {
+  registry().counter("test.json_counter").inc(3);
+  registry().gauge("test.json_gauge").set(-4);
+  registry().histogram("test.json_hist", {2.0}).observe(1.0);
+  const std::string json = registry().snapshot().to_json();
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"test.json_counter\":3"), std::string::npos);
+  EXPECT_NE(json.find("\"test.json_gauge\":-4"), std::string::npos);
+  EXPECT_NE(json.find("\"test.json_hist\""), std::string::npos);
+}
+
+TEST(Registry, ResetZeroesButKeepsRegistrations) {
+  Counter& counter = registry().counter("test.reset_counter");
+  counter.inc(5);
+  registry().reset();
+  EXPECT_EQ(counter.value(), 0u);
+  // Same object after reset — references never dangle.
+  EXPECT_EQ(&registry().counter("test.reset_counter"), &counter);
+}
+
+TEST(Buckets, SharedBucketHelpersAreSorted) {
+  for (const std::vector<double>& bounds :
+       {latency_us_buckets(), batch_size_buckets()}) {
+    ASSERT_FALSE(bounds.empty());
+    for (std::size_t i = 1; i < bounds.size(); ++i) {
+      EXPECT_LT(bounds[i - 1], bounds[i]);
+    }
+  }
+  EXPECT_DOUBLE_EQ(latency_us_buckets().front(), 1.0);
+  EXPECT_DOUBLE_EQ(batch_size_buckets().front(), 1.0);
+}
+
+TEST(Obs, CompiledInMatchesBuild) {
+#if defined(MUFFIN_OBS_DISABLED)
+  EXPECT_FALSE(compiled_in());
+#else
+  EXPECT_TRUE(compiled_in());
+#endif
+}
+
+}  // namespace
+}  // namespace muffin::obs

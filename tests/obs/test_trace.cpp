@@ -1,0 +1,154 @@
+// Sampled-tracing suite (obs/trace.h).
+//
+// The contract under test:
+//  1. Sampling: disabled tracing samples nothing; 1-in-N sampling picks
+//     exactly the requests whose ordinal is divisible by N.
+//  2. Spans: an active TraceSpan records one complete event with a
+//     non-negative duration and its args payload; inactive spans record
+//     nothing (the hot-path no-op).
+//  3. The buffer is bounded: events past the cap are dropped and
+//     counted, never grown without limit.
+//  4. write() emits Chrome trace_event JSON ({"traceEvents":[...]}) that
+//     carries every recorded event.
+//
+// The tracer is a process-wide singleton, so every test configures it
+// explicitly and a guard restores the disabled state on exit.
+#include "obs/trace.h"
+
+#include <gtest/gtest.h>
+
+#include "obs/metrics.h"  // compiled_in()
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace muffin::obs {
+namespace {
+
+/// Leaves the process-wide tracer disabled and empty after each test.
+class TracerGuard {
+ public:
+  ~TracerGuard() { Tracer::instance().configure(false); }
+};
+
+TEST(Tracer, DisabledSamplesNothing) {
+  TracerGuard guard;
+  Tracer& tracer = Tracer::instance();
+  tracer.configure(false);
+  for (int i = 0; i < 100; ++i) EXPECT_FALSE(tracer.sample());
+}
+
+TEST(Tracer, SamplesEveryNthRequest) {
+  if (!compiled_in()) GTEST_SKIP() << "obs compiled out";
+  TracerGuard guard;
+  Tracer& tracer = Tracer::instance();
+  tracer.configure(true, /*sample_every=*/4);
+  int sampled = 0;
+  for (int i = 0; i < 100; ++i) sampled += tracer.sample() ? 1 : 0;
+  EXPECT_EQ(sampled, 25);
+  tracer.configure(true, /*sample_every=*/1);
+  for (int i = 0; i < 10; ++i) EXPECT_TRUE(tracer.sample());
+}
+
+TEST(Tracer, SpanRecordsCompleteEventWithArgs) {
+  if (!compiled_in()) GTEST_SKIP() << "obs compiled out";
+  TracerGuard guard;
+  Tracer& tracer = Tracer::instance();
+  tracer.configure(true);
+  { const TraceSpan span("test.span", true, "\"batch\":3"); }
+  { const TraceSpan inactive("test.ghost", false); }
+  const std::vector<TraceEvent> events = tracer.events();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].name, "test.span");
+  EXPECT_GE(events[0].dur_us, 0.0);
+  EXPECT_EQ(events[0].args, "\"batch\":3");
+}
+
+TEST(Tracer, InactiveSpanRecordsNothingEvenWhenEnabled) {
+  if (!compiled_in()) GTEST_SKIP() << "obs compiled out";
+  TracerGuard guard;
+  Tracer& tracer = Tracer::instance();
+  tracer.configure(true);
+  for (int i = 0; i < 10; ++i) {
+    const TraceSpan span("test.unsampled", false);
+  }
+  EXPECT_EQ(tracer.event_count(), 0u);
+}
+
+TEST(Tracer, ConcurrentRecordingKeepsEveryEvent) {
+  if (!compiled_in()) GTEST_SKIP() << "obs compiled out";
+  TracerGuard guard;
+  Tracer& tracer = Tracer::instance();
+  tracer.configure(true);
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 500;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&tracer]() {
+      for (int i = 0; i < kPerThread; ++i) {
+        tracer.record("test.mt", tracer.now_us(), 1.0);
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(tracer.event_count(), kThreads * kPerThread);
+  EXPECT_EQ(tracer.dropped(), 0u);
+}
+
+TEST(Tracer, WriteEmitsChromeTraceJson) {
+  if (!compiled_in()) GTEST_SKIP() << "obs compiled out";
+  TracerGuard guard;
+  Tracer& tracer = Tracer::instance();
+  tracer.configure(true);
+  tracer.record("test.write_a", 10.0, 5.0, "\"uid\":7");
+  tracer.record("test.write_b", 20.0, 2.5);
+  const std::string path =
+      testing::TempDir() + "muffin_trace_test.json";
+  ASSERT_TRUE(tracer.write(path));
+  std::ifstream in(path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const std::string json = buffer.str();
+  std::remove(path.c_str());
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"test.write_a\""), std::string::npos);
+  EXPECT_NE(json.find("\"test.write_b\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"uid\":7"), std::string::npos);
+  // Balanced braces/brackets — cheap structural validity without a
+  // JSON dependency (CI additionally json.loads a real trace file).
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+  EXPECT_EQ(std::count(json.begin(), json.end(), '['),
+            std::count(json.begin(), json.end(), ']'));
+}
+
+TEST(Tracer, ClearDropsEventsButKeepsSampling) {
+  if (!compiled_in()) GTEST_SKIP() << "obs compiled out";
+  TracerGuard guard;
+  Tracer& tracer = Tracer::instance();
+  tracer.configure(true, /*sample_every=*/2);
+  tracer.record("test.cleared", 0.0, 1.0);
+  tracer.clear();
+  EXPECT_EQ(tracer.event_count(), 0u);
+  EXPECT_TRUE(tracer.enabled());
+}
+
+TEST(Tracer, ConfigureClearsPreviousEvents) {
+  if (!compiled_in()) GTEST_SKIP() << "obs compiled out";
+  TracerGuard guard;
+  Tracer& tracer = Tracer::instance();
+  tracer.configure(true);
+  tracer.record("test.stale", 0.0, 1.0);
+  tracer.configure(true, /*sample_every=*/8);
+  EXPECT_EQ(tracer.event_count(), 0u);
+}
+
+}  // namespace
+}  // namespace muffin::obs

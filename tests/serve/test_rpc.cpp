@@ -24,9 +24,13 @@
 #include <chrono>
 #include <functional>
 #include <memory>
+#include <optional>
+#include <set>
+#include <string>
 #include <thread>
 
 #include "common/error.h"
+#include "obs/trace.h"
 #include "serve/router.h"
 #include "serve/rpc/server.h"
 #include "serve_test_util.h"
@@ -511,6 +515,142 @@ TEST(ShardServer, StopFailsInFlightCleanly) {
   EXPECT_EQ(delivered + failed, 64u);
   shard.shutdown();
   server.reset();
+}
+
+TEST(RemoteShard, FetchStatsReturnsServerAuthoritativeCounters) {
+  const auto fused = make_fused();
+  rpc::ShardServer server(fused, "127.0.0.1:0", small_server());
+  rpc::RemoteShard shard(server.address(), fast_client());
+
+  std::span<const data::Record> records = rpc_dataset().records();
+  std::vector<std::future<Prediction>> futures;
+  for (std::size_t i = 0; i < 150; ++i) {
+    futures.push_back(shard.submit(records[i % 50]));
+  }
+  for (std::future<Prediction>& future : futures) (void)future.get();
+
+  const StatsReport report = shard.fetch_stats();
+  // The report is the SERVER engine's own accounting, not the client's
+  // reconstruction — field for field.
+  const EngineCounters server_counters = server.engine().counters();
+  EXPECT_EQ(report.counters.requests, server_counters.requests);
+  EXPECT_EQ(report.counters.requests, 150u);
+  EXPECT_EQ(report.counters.batches, server_counters.batches);
+  EXPECT_EQ(report.counters.cache_hits, server_counters.cache_hits);
+  EXPECT_EQ(report.counters.head_evaluations,
+            server_counters.head_evaluations);
+  EXPECT_EQ(report.cache_entries, server.engine().cache_entries());
+  EXPECT_GT(report.cache_entries, 0u);  // repeats populated the memo
+  // Server-measured latency travels whole: exact aggregates plus the
+  // percentile reservoir (complete below capacity).
+  EXPECT_EQ(report.latency.count, 150u);
+  EXPECT_EQ(report.latency.samples_us.size(), 150u);
+  EXPECT_GT(report.latency.max_us, 0.0);
+  EXPECT_GT(report.latency.elapsed_seconds, 0.0);
+  // The registry snapshot rides along; servers and tests share this
+  // process's registry here, so only presence/consistency is asserted.
+  const obs::CounterSnapshot* engine_requests =
+      report.metrics.find_counter("engine.requests");
+  ASSERT_NE(engine_requests, nullptr);
+  EXPECT_GE(engine_requests->value, 150u);
+  EXPECT_NE(report.metrics.find_counter("rpc.server.frames_received"),
+            nullptr);
+  EXPECT_NE(report.metrics.find_histogram("engine.batch_size"), nullptr);
+
+  // The ReplicaBackend surface maps a live fetch to a populated optional.
+  const std::optional<StatsReport> authoritative = shard.authoritative_stats();
+  ASSERT_TRUE(authoritative.has_value());
+  EXPECT_EQ(authoritative->counters.requests, 150u);
+  shard.shutdown();
+  server.stop();
+}
+
+TEST(RemoteShard, StatsFailureIsNulloptAndNeverCountsTowardDrain) {
+  const auto fused = make_fused();
+  std::string address;
+  {
+    rpc::ShardServer server(fused, "127.0.0.1:0", small_server());
+    address = server.address();
+    server.stop();
+  }
+  rpc::RemoteShardConfig config = fast_client();
+  config.connect_timeout = 200ms;
+  rpc::RemoteShard shard(address, config);
+  EXPECT_THROW((void)shard.fetch_stats(), Error);
+  EXPECT_FALSE(shard.authoritative_stats().has_value());
+  // Stats polling must never push a shard toward auto-drain.
+  EXPECT_EQ(shard.consecutive_failures(), 0u);
+  shard.shutdown();
+}
+
+TEST(ShardRouterRpc, AuthoritativeStatsFoldsServerSideAccounting) {
+  const auto fused = make_fused();
+  rpc::ShardServer server_a(fused, "127.0.0.1:0", small_server());
+  rpc::ShardServer server_b(fused, "127.0.0.1:0", small_server());
+  RouterConfig config;
+  config.shards = 0;
+  config.remote_endpoints = {server_a.address(), server_b.address()};
+  config.remote = fast_client();
+  config.health.probe_interval = std::chrono::milliseconds(0);
+  ShardRouter router(nullptr, config);
+
+  std::span<const data::Record> records = rpc_dataset().records();
+  std::vector<std::future<Prediction>> futures;
+  for (std::size_t i = 0; i < 120; ++i) {
+    futures.push_back(router.submit(records[i]));
+  }
+  for (std::future<Prediction>& future : futures) (void)future.get();
+
+  const StatsReport fleet = router.authoritative_stats();
+  // Server-side totals across both shards account for exactly the routed
+  // traffic, and the latency reservoir is the union of what the two
+  // SERVERS measured (120 entries — client-observed stats would also
+  // have 120, but these travel over the Stats RPC; the per-server checks
+  // below pin that).
+  EXPECT_EQ(fleet.counters.requests, 120u);
+  EXPECT_EQ(fleet.latency.count, 120u);
+  EXPECT_EQ(fleet.latency.samples_us.size(), 120u);
+  EXPECT_EQ(fleet.counters.requests,
+            server_a.engine().counters().requests +
+                server_b.engine().counters().requests);
+  EXPECT_EQ(fleet.cache_entries, server_a.engine().cache_entries() +
+                                     server_b.engine().cache_entries());
+  EXPECT_GT(fleet.counters.batches, 0u);
+  router.shutdown();
+  server_a.stop();
+  server_b.stop();
+}
+
+TEST(RemoteShard, TracedRequestsEmitClientAndServerSpans) {
+  // Servers live in this process, so one tracer captures both sides of
+  // the hop; CI's rpc-serve job covers the genuine two-process capture.
+  obs::Tracer& tracer = obs::Tracer::instance();
+  tracer.configure(true, /*sample_every=*/1);
+  const auto fused = make_fused();
+  {
+    rpc::ShardServer server(fused, "127.0.0.1:0", small_server());
+    rpc::RemoteShard shard(server.address(), fast_client());
+    std::span<const data::Record> records = rpc_dataset().records();
+    std::vector<std::future<Prediction>> futures;
+    for (std::size_t i = 0; i < 40; ++i) {
+      futures.push_back(shard.submit(records[i]));
+    }
+    for (std::future<Prediction>& future : futures) (void)future.get();
+    shard.shutdown();
+    server.stop();
+  }
+  std::set<std::string> names;
+  for (const obs::TraceEvent& event : tracer.events()) {
+    names.insert(event.name);
+  }
+  tracer.configure(false);
+  for (const char* expected :
+       {"rpc.client.encode", "rpc.client.write", "rpc.client.decode",
+        "rpc.client.roundtrip", "rpc.server.decode", "rpc.server.encode",
+        "rpc.server.write", "serve.batch", "serve.score_batch", "serve.fuse",
+        "serve.reply", "serve.request", "serve.queue"}) {
+    EXPECT_TRUE(names.count(expected)) << "missing span " << expected;
+  }
 }
 
 }  // namespace

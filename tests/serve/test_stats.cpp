@@ -262,6 +262,103 @@ TEST(LatencyStatsMerge, ConcurrentMergeAndRecordIsSafe) {
   EXPECT_EQ(final_view.snapshot().count, 4000u);
 }
 
+TEST(LatencyStatsExport, RoundTripMatchesDirectMerge) {
+  // merge_export(to_export(x)) must behave exactly like merge(x) — this
+  // equivalence is what lets the Stats RPC ship accounting across
+  // processes without changing any merged number.
+  LatencyStats source;
+  for (int us = 1; us <= 500; ++us) {
+    source.record(std::chrono::microseconds(us));
+  }
+  LatencyStats via_merge;
+  via_merge.merge(source);
+  LatencyStats via_export;
+  via_export.merge_export(source.to_export());
+  expect_same_view(via_merge.snapshot(), via_export.snapshot());
+  EXPECT_EQ(via_export.snapshot().count, 500u);
+}
+
+TEST(LatencyStatsExport, CarriesExactAggregatesAndFullReservoir) {
+  LatencyStats stats;
+  fill(stats, 100, 40);
+  const LatencyStats::Export exported = stats.to_export();
+  EXPECT_EQ(exported.count, 100u);
+  EXPECT_DOUBLE_EQ(exported.sum_us, 4000.0);
+  EXPECT_DOUBLE_EQ(exported.max_us, 40.0);
+  EXPECT_GT(exported.elapsed_seconds, 0.0);
+  EXPECT_EQ(exported.samples_us.size(), 100u);  // below capacity: complete
+}
+
+TEST(LatencyStatsExport, ReanchorsRemoteClock) {
+  // Clocks are not comparable across processes: elapsed travels as
+  // seconds and the importer reconstructs start = now - elapsed, so
+  // throughput (count / elapsed) survives the hop.
+  LatencyStats::Export exported;
+  exported.count = 1000;
+  exported.sum_us = 1000.0;
+  exported.max_us = 1.0;
+  exported.elapsed_seconds = 10.0;
+  exported.samples_us = std::vector<double>(1000, 1.0);
+  LatencyStats imported;
+  imported.merge_export(exported);
+  const auto snap = imported.snapshot();
+  EXPECT_EQ(snap.count, 1000u);
+  EXPECT_GE(snap.elapsed_seconds, 10.0);
+  EXPECT_NEAR(snap.requests_per_second, 100.0, 5.0);
+}
+
+TEST(LatencyStatsMerge, NonExactPercentilesTrackThePooledSample) {
+  // The non-exact regime: both reservoirs overflowed, so merged
+  // percentiles come from a count-weighted subsample. They are not
+  // exact, but they must land near the pooled ground truth —
+  // count/mean/max stay exact regardless.
+  LatencyStats a(/*reservoir_capacity=*/256);
+  LatencyStats b(/*reservoir_capacity=*/256);
+  std::vector<double> pooled;
+  pooled.reserve(10000);
+  for (int us = 1; us <= 5000; ++us) {
+    a.record(std::chrono::microseconds(us));
+    b.record(std::chrono::microseconds(us + 5000));
+    pooled.push_back(static_cast<double>(us));
+    pooled.push_back(static_cast<double>(us + 5000));
+  }
+  LatencyStats scratch;  // merge-into-scratch, the aggregation pattern
+  scratch.merge(a);
+  scratch.merge(b);
+  const auto snap = scratch.snapshot();
+  EXPECT_EQ(snap.count, 10000u);
+  EXPECT_NEAR(snap.mean_us, 5000.5, 1e-9);
+  EXPECT_DOUBLE_EQ(snap.max_us, 10000.0);
+  // ~512 subsampled entries: a sample quantile's standard error is
+  // range * sqrt(q(1-q)/n) — ~220us at the median here. 15% of the
+  // range is > 6 sigma, so this cannot flake while still catching
+  // weighting bugs (an unweighted or one-sided merge shifts the median
+  // by thousands).
+  EXPECT_NEAR(percentile(pooled, 50.0), snap.p50_us, 1500.0);
+  EXPECT_NEAR(percentile(pooled, 95.0), snap.p95_us, 1500.0);
+  EXPECT_LE(snap.p50_us, snap.p95_us);
+  EXPECT_LE(snap.p95_us, snap.p99_us);
+  EXPECT_LE(snap.p99_us, snap.max_us);
+}
+
+TEST(LatencyStatsExport, NonExactExportMergeMatchesDirectMergeRegime) {
+  // Export/import in the overflowed regime: same invariants as direct
+  // merge (exact aggregates, in-range ordered percentiles).
+  LatencyStats a(/*reservoir_capacity=*/128);
+  fill(a, 4000, 10);
+  LatencyStats b(/*reservoir_capacity=*/128);
+  fill(b, 4000, 1000);
+  LatencyStats scratch;
+  scratch.merge_export(a.to_export());
+  scratch.merge_export(b.to_export());
+  const auto snap = scratch.snapshot();
+  EXPECT_EQ(snap.count, 8000u);
+  EXPECT_NEAR(snap.mean_us, 505.0, 1e-9);
+  EXPECT_DOUBLE_EQ(snap.max_us, 1000.0);
+  EXPECT_GE(snap.p50_us, 10.0);
+  EXPECT_LE(snap.p99_us, 1000.0);
+}
+
 TEST(LatencyStats, ConcurrentRecordingIsLossless) {
   LatencyStats stats;
   std::vector<std::thread> threads;

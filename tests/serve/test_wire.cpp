@@ -302,6 +302,167 @@ TEST(Wire, FuzzedPayloadsNeverCrash) {
   }
 }
 
+StatsReport make_stats_report() {
+  StatsReport report;
+  report.counters.requests = 12345;
+  report.counters.batches = 678;
+  report.counters.cache_hits = 910;
+  report.counters.consensus_short_circuits = 11;
+  report.counters.head_evaluations = 1213;
+  report.cache_entries = 1415;
+  report.latency.count = 5;
+  report.latency.sum_us = 123.5;
+  report.latency.max_us = 99.25;
+  report.latency.elapsed_seconds = 3.75;
+  report.latency.samples_us = {1.5, 2.25, 20.0, 99.25, 0.5};
+  report.metrics.counters = {{"engine.requests", 12345},
+                             {"rpc.server.frames_received", 42}};
+  report.metrics.gauges = {{"batcher.depth", -3},
+                           {"rpc.server.open_connections", 2}};
+  obs::HistogramSnapshot hist;
+  hist.name = "engine.batch_size";
+  hist.bounds = {1.0, 8.0, 32.0};
+  hist.counts = {4, 3, 2, 1};  // per-bucket, last is +Inf
+  hist.count = 10;
+  hist.sum = 161.5;
+  report.metrics.histograms = {hist};
+  return report;
+}
+
+TEST(Wire, StatsRequestIsAnEmptyPayloadControlFrame) {
+  const std::vector<std::uint8_t> frame = encode_stats_request(21);
+  EXPECT_EQ(frame.size(), kHeaderBytes);
+  const FrameHeader header = decode_header({frame.data(), kHeaderBytes});
+  EXPECT_EQ(header.type, MsgType::StatsRequest);
+  EXPECT_EQ(header.seq, 21u);
+  EXPECT_EQ(header.payload_len, 0u);
+}
+
+TEST(Wire, StatsResponseRoundTripsEveryField) {
+  const StatsReport report = make_stats_report();
+  const std::vector<std::uint8_t> frame = encode_stats_response(77, report);
+  const FrameHeader header = decode_header({frame.data(), kHeaderBytes});
+  EXPECT_EQ(header.type, MsgType::StatsResponse);
+  EXPECT_EQ(header.seq, 77u);
+  const StatsReport decoded = decode_stats_response(
+      {frame.data() + kHeaderBytes, frame.size() - kHeaderBytes});
+  EXPECT_EQ(decoded.counters.requests, report.counters.requests);
+  EXPECT_EQ(decoded.counters.batches, report.counters.batches);
+  EXPECT_EQ(decoded.counters.cache_hits, report.counters.cache_hits);
+  EXPECT_EQ(decoded.counters.consensus_short_circuits,
+            report.counters.consensus_short_circuits);
+  EXPECT_EQ(decoded.counters.head_evaluations,
+            report.counters.head_evaluations);
+  EXPECT_EQ(decoded.cache_entries, report.cache_entries);
+  EXPECT_EQ(decoded.latency.count, report.latency.count);
+  EXPECT_DOUBLE_EQ(decoded.latency.sum_us, report.latency.sum_us);
+  EXPECT_DOUBLE_EQ(decoded.latency.max_us, report.latency.max_us);
+  EXPECT_DOUBLE_EQ(decoded.latency.elapsed_seconds,
+                   report.latency.elapsed_seconds);
+  EXPECT_EQ(decoded.latency.samples_us, report.latency.samples_us);
+  ASSERT_EQ(decoded.metrics.counters.size(), 2u);
+  EXPECT_EQ(decoded.metrics.counters[0].name, "engine.requests");
+  EXPECT_EQ(decoded.metrics.counters[0].value, 12345u);
+  ASSERT_EQ(decoded.metrics.gauges.size(), 2u);
+  EXPECT_EQ(decoded.metrics.gauges[0].name, "batcher.depth");
+  EXPECT_EQ(decoded.metrics.gauges[0].value, -3);  // signed across the wire
+  ASSERT_EQ(decoded.metrics.histograms.size(), 1u);
+  EXPECT_EQ(decoded.metrics.histograms[0].name, "engine.batch_size");
+  EXPECT_EQ(decoded.metrics.histograms[0].bounds,
+            report.metrics.histograms[0].bounds);
+  EXPECT_EQ(decoded.metrics.histograms[0].counts,
+            report.metrics.histograms[0].counts);
+  EXPECT_EQ(decoded.metrics.histograms[0].count, 10u);
+  EXPECT_DOUBLE_EQ(decoded.metrics.histograms[0].sum, 161.5);
+}
+
+TEST(Wire, EmptyStatsResponseRoundTrips) {
+  const StatsReport empty;
+  const std::vector<std::uint8_t> frame = encode_stats_response(1, empty);
+  const StatsReport decoded = decode_stats_response(
+      {frame.data() + kHeaderBytes, frame.size() - kHeaderBytes});
+  EXPECT_EQ(decoded.counters.requests, 0u);
+  EXPECT_EQ(decoded.latency.count, 0u);
+  EXPECT_TRUE(decoded.latency.samples_us.empty());
+  EXPECT_TRUE(decoded.metrics.counters.empty());
+}
+
+TEST(Wire, TruncatedStatsResponseThrowsAtEveryCut) {
+  const std::vector<std::uint8_t> frame =
+      encode_stats_response(1, make_stats_report());
+  const std::span<const std::uint8_t> payload{
+      frame.data() + kHeaderBytes, frame.size() - kHeaderBytes};
+  for (std::size_t cut = 0; cut < payload.size(); ++cut) {
+    EXPECT_THROW((void)decode_stats_response(payload.subspan(0, cut)), Error)
+        << "cut at " << cut;
+  }
+  EXPECT_NO_THROW((void)decode_stats_response(payload));
+}
+
+TEST(Wire, StatsResponseRejectsInconsistentLatencyExport) {
+  // count > 0 with an empty reservoir would divide by zero inside
+  // LatencyStats::merge_export; the decoder must refuse to construct it.
+  StatsReport no_samples = make_stats_report();
+  no_samples.latency.samples_us.clear();
+  std::vector<std::uint8_t> frame = encode_stats_response(1, no_samples);
+  EXPECT_THROW((void)decode_stats_response(
+                   {frame.data() + kHeaderBytes,
+                    frame.size() - kHeaderBytes}),
+               Error);
+
+  // A reservoir larger than the request count is impossible (it is a
+  // subsample) and would distort merge weighting.
+  StatsReport inflated = make_stats_report();
+  inflated.latency.count = 2;  // but 5 samples travel
+  frame = encode_stats_response(1, inflated);
+  EXPECT_THROW((void)decode_stats_response(
+                   {frame.data() + kHeaderBytes,
+                    frame.size() - kHeaderBytes}),
+               Error);
+}
+
+TEST(Wire, LyingStatsCountsFailBeforeAllocation) {
+  // Hand-built payload: valid counters/latency, then a metrics section
+  // claiming 2^32-1 registered counters in a few bytes.
+  std::vector<std::uint8_t> payload;
+  for (int i = 0; i < 6; ++i) common::put_u64(payload, 1);  // counters+cache
+  common::put_u64(payload, 0);                              // latency count
+  common::put_f64(payload, 0.0);                            // sum
+  common::put_f64(payload, 0.0);                            // max
+  common::put_f64(payload, 0.0);                            // elapsed
+  common::put_u32(payload, 0);                              // no samples
+  common::put_u32(payload, 0xFFFF'FFFFU);                   // counter count
+  EXPECT_THROW((void)decode_stats_response(payload), Error);
+}
+
+TEST(Wire, FuzzedStatsPayloadsNeverCrash) {
+  std::uint64_t state = 0x57A7557A75ULL;
+  for (std::size_t round = 0; round < 2000; ++round) {
+    const std::size_t size = splitmix64_next(state) % 256;
+    std::vector<std::uint8_t> payload(size);
+    for (std::uint8_t& byte : payload) {
+      byte = static_cast<std::uint8_t>(splitmix64_next(state));
+    }
+    try {
+      (void)decode_stats_response(payload);
+    } catch (const Error&) {
+    }
+  }
+  // Bit-flip mutations of a valid stats frame, same rule.
+  const std::vector<std::uint8_t> frame =
+      encode_stats_response(1, make_stats_report());
+  for (std::size_t round = 0; round < 500; ++round) {
+    std::vector<std::uint8_t> corrupt = frame;
+    const std::size_t at = splitmix64_next(state) % corrupt.size();
+    corrupt[at] ^= static_cast<std::uint8_t>(1 + splitmix64_next(state) % 255);
+    try {
+      (void)decode_stats_response(
+          {corrupt.data() + kHeaderBytes, corrupt.size() - kHeaderBytes});
+    } catch (const Error&) {
+    }
+  }
+}
+
 TEST(Wire, FuzzedMutationsOfValidFramesNeverCrash) {
   // Bit-flip fuzz: corrupt one byte of a real frame at a time; decoding
   // must throw or succeed, never misbehave.
