@@ -19,10 +19,12 @@
 //                 bodies are where batch-first turns matvec into GEMM, the
 //                 regime a real CNN-backed deployment lives in.
 //               * calibrated bodies (the paper's simulation pool) —
-//                 reported without a floor: the simulation draws several
-//                 freshly-seeded named RNG substreams per record by
-//                 design, which no batching can amortize, so it bounds
-//                 the batch win at the allocation/dispatch savings.
+//                 gated twice: an in-run speedup floor (what batching
+//                 buys over the per-record loop; both paths share the
+//                 planar kernel, so this measures only the batch
+//                 amortization) and an absolute rows/s floor set at 10x
+//                 the PR-6 committed baseline (36.5k rows/s at batch 32),
+//                 the tentpole throughput target.
 //
 // Writes BENCH_batch.json (throughput, p50/p99, speedups, kernel GFLOP/s)
 // for cross-PR tracking — to the current directory by default, or to the
@@ -36,6 +38,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <cstdlib>
 #include <cstring>
 #include <iostream>
 #include <vector>
@@ -256,7 +259,24 @@ int main(int argc, char** argv) {
                     std::string(tensor::simd_backend_name()));
     json.add("kernels.simd_available", tensor::simd_available());
     json.add("kernels.simd_gated", simd);
-    json.add("kernels.pool_threads", muffin::common::global_pool_size());
+    const std::size_t pool_threads = muffin::common::global_pool_size();
+    json.add("kernels.pool_threads", pool_threads);
+    // Record the requested width next to the effective one so a committed
+    // BENCH json is self-describing: the PR-6 baseline was silently
+    // measured on a one-thread pool and its "batching buys nothing"
+    // numbers were degenerate. Unset MUFFIN_THREADS records as "auto".
+    const char* threads_env = std::getenv("MUFFIN_THREADS");
+    json.add_string("kernels.muffin_threads",
+                    threads_env != nullptr ? threads_env : "auto");
+    json.add("kernels.pool_degenerate", pool_threads == 1);
+    if (!smoke && pool_threads == 1) {
+      std::cout << "WARNING: worker pool has a single thread ("
+                << (threads_env != nullptr
+                        ? std::string("MUFFIN_THREADS=") + threads_env
+                        : std::string("single-core host"))
+                << "); full-mode numbers measure the serial path and "
+                   "row-split speedups will read as ~1x.\n\n";
+    }
     TextTable simd_table({"A*B^T+bias shape", "scalar GF/s", "simd GF/s",
                           "simd+threads GF/s", "speedup"});
     const tensor::detail::KernelTable& scalar_table =
@@ -416,24 +436,41 @@ int main(int argc, char** argv) {
   };
 
   // Measures one fused model: per-record loop vs score_batch chunks.
-  // Returns the speedup at batch 32; asserts bit-identity into `pass`.
+  // Returns {speedup, rows/s} at batch 32; asserts bit-identity into
+  // `pass`.
+  struct FusedResult {
+    double speedup32 = 0.0;
+    double rps32 = 0.0;
+  };
   const auto measure_fused = [&](const core::FusedModel& fused,
                                  const std::string& label,
                                  const std::string& json_prefix) {
     const std::vector<data::Record>& records = scenario.test.records();
     const std::size_t n = records.size();
+    // Both sides are timed best-of-N: on a loaded host the noise is
+    // additive slowdown, so the fastest pass is the least-contaminated
+    // estimate and the speedup ratio stops flapping between runs.
+    const std::size_t passes = smoke ? 2 : 3;
 
     std::vector<double> record_latencies_us;
-    record_latencies_us.reserve(n);
     tensor::Matrix reference(n, fused.num_classes());
-    const Clock::time_point ref_start = Clock::now();
-    for (std::size_t i = 0; i < n; ++i) {
-      const Clock::time_point s = Clock::now();
-      const tensor::Vector scores = fused.scores(records[i]);
-      std::copy(scores.begin(), scores.end(), reference.row(i).begin());
-      record_latencies_us.push_back(seconds_since(s) * 1e6);
+    double t_reference = 0.0;
+    for (std::size_t rep = 0; rep < passes; ++rep) {
+      std::vector<double> latencies_us;
+      latencies_us.reserve(n);
+      const Clock::time_point ref_start = Clock::now();
+      for (std::size_t i = 0; i < n; ++i) {
+        const Clock::time_point s = Clock::now();
+        const tensor::Vector scores = fused.scores(records[i]);
+        std::copy(scores.begin(), scores.end(), reference.row(i).begin());
+        latencies_us.push_back(seconds_since(s) * 1e6);
+      }
+      const double t = seconds_since(ref_start);
+      if (rep == 0 || t < t_reference) {
+        t_reference = t;
+        record_latencies_us = std::move(latencies_us);
+      }
     }
-    const double t_reference = seconds_since(ref_start);
     const double rps_reference = static_cast<double>(n) / t_reference;
     std::sort(record_latencies_us.begin(), record_latencies_us.end());
 
@@ -451,28 +488,37 @@ int main(int argc, char** argv) {
     json.add(json_prefix + ".per_record.p99_us",
              quantile(record_latencies_us, 0.99));
 
-    double speedup32 = 0.0;
+    FusedResult result;
     for (const std::size_t batch : {std::size_t{32}, std::size_t{256}}) {
       tensor::Matrix batched(n, fused.num_classes());
       std::vector<double> batch_latencies_us;
-      const Clock::time_point start = Clock::now();
-      for (std::size_t i0 = 0; i0 < n; i0 += batch) {
-        const std::size_t i1 = std::min(i0 + batch, n);
-        const Clock::time_point s = Clock::now();
-        const tensor::Matrix out = fused.score_batch(
-            std::span<const data::Record>(records).subspan(i0, i1 - i0));
-        const double chunk_us = seconds_since(s) * 1e6;
-        batch_latencies_us.push_back(chunk_us /
-                                     static_cast<double>(i1 - i0));
-        for (std::size_t i = i0; i < i1; ++i) {
-          const auto src = out.row(i - i0);
-          std::copy(src.begin(), src.end(), batched.row(i).begin());
+      double t_batched = 0.0;
+      for (std::size_t rep = 0; rep < passes; ++rep) {
+        std::vector<double> latencies_us;
+        latencies_us.reserve((n + batch - 1) / batch);
+        const Clock::time_point start = Clock::now();
+        for (std::size_t i0 = 0; i0 < n; i0 += batch) {
+          const std::size_t i1 = std::min(i0 + batch, n);
+          const Clock::time_point s = Clock::now();
+          const tensor::Matrix out = fused.score_batch(
+              std::span<const data::Record>(records).subspan(i0, i1 - i0));
+          const double chunk_us = seconds_since(s) * 1e6;
+          latencies_us.push_back(chunk_us /
+                                 static_cast<double>(i1 - i0));
+          for (std::size_t i = i0; i < i1; ++i) {
+            const auto src = out.row(i - i0);
+            std::copy(src.begin(), src.end(), batched.row(i).begin());
+          }
+        }
+        const double t = seconds_since(start);
+        if (rep == 0 || t < t_batched) {
+          t_batched = t;
+          batch_latencies_us = std::move(latencies_us);
         }
       }
-      const double t_batched = seconds_since(start);
       const double rps = static_cast<double>(n) / t_batched;
       const double speedup = rps / rps_reference;
-      if (batch == 32) speedup32 = speedup;
+      if (batch == 32) result = {speedup, rps};
 
       if (!bitwise_equal(reference, batched)) {
         std::cout << "FAIL: " << label
@@ -495,7 +541,7 @@ int main(int argc, char** argv) {
     }
     fused_table.print(std::cout);
     std::cout << "\n";
-    return speedup32;
+    return result;
   };
 
   // Acceptance subject: fused model over trained MLP bodies (network
@@ -505,17 +551,31 @@ int main(int argc, char** argv) {
       build_fused(mlp_pool, {0, 1}, scenario.train,
                   scenario.full.num_classes(), "Muffin-mlp");
   const double trainable_speedup32 =
-      measure_fused(*fused_trainable, "trainable bodies", "fused_trainable");
+      measure_fused(*fused_trainable, "trainable bodies", "fused_trainable")
+          .speedup32;
 
-  // Context: the calibrated simulation pool (RNG-bound per record by
-  // design; reported, not gated).
+  // The calibrated simulation pool (the paper's model bodies). The planar
+  // batch kernel carries two gates:
+  //  * an in-run speedup floor — what batching buys over the per-record
+  //    loop. Both paths now share the same kernel (scores() is a
+  //    single-row score_batch), so this ratio measures only the batch
+  //    amortization (allocation reuse, planar sweeps, whole-batch
+  //    softmax) on top of an already-fast per-record path — the bodies'
+  //    amortization ceiling is ~2.5x, nothing like the old 28 us/record
+  //    per-record baseline.
+  //  * an absolute throughput floor carrying the 10x tentpole target:
+  //    the PR-6 committed BENCH_batch.json recorded 36.5k rows/s at
+  //    batch 32 (p50 28 us/record, batching buying 1.05x); the batch
+  //    kernel must clear 10x that wall in full mode.
   const auto fused_calibrated = build_fused(
       scenario.pool,
       {scenario.pool.index_of("ShuffleNet_V2_X1_0"),
        scenario.pool.index_of("DenseNet121")},
       scenario.train, scenario.full.num_classes(), "Muffin");
-  (void)measure_fused(*fused_calibrated, "calibrated bodies",
-                      "fused_calibrated");
+  const FusedResult calibrated_result = measure_fused(
+      *fused_calibrated, "calibrated bodies", "fused_calibrated");
+  const double calibrated_speedup32 = calibrated_result.speedup32;
+  const double calibrated_rps32 = calibrated_result.rps32;
 
   const double floor = smoke ? 1.3 : 2.0;
   std::cout << "fused (trainable bodies) batched speedup at batch 32: "
@@ -526,7 +586,31 @@ int main(int argc, char** argv) {
     pass = false;
   }
 
+  // Calibrated floors: relaxed in smoke (trimmed scenario, loaded CI
+  // runners), acceptance-strength in full mode.
+  const double calibrated_floor = smoke ? 1.2 : 1.5;
+  const double calibrated_rps_floor = smoke ? 200000.0 : 365000.0;
+  std::cout << "fused (calibrated bodies) batched speedup at batch 32: "
+            << format_fixed(calibrated_speedup32, 2) << "x; floor "
+            << format_fixed(calibrated_floor, 2) << "x; "
+            << static_cast<long long>(calibrated_rps32)
+            << " rows/s vs throughput floor "
+            << static_cast<long long>(calibrated_rps_floor)
+            << " (10x the PR-6 committed baseline)\n";
+  if (calibrated_speedup32 < calibrated_floor) {
+    std::cout << "FAIL: batched calibrated scoring below the speedup "
+                 "floor\n";
+    pass = false;
+  }
+  if (calibrated_rps32 < calibrated_rps_floor) {
+    std::cout << "FAIL: batched calibrated scoring below the absolute "
+                 "throughput floor\n";
+    pass = false;
+  }
+
   json.add("fused_trainable.floor", floor);
+  json.add("fused_calibrated.floor", calibrated_floor);
+  json.add("fused_calibrated.rps_floor", calibrated_rps_floor);
   json.add("pass", pass);
   json.write(out_path);
   std::cout << (pass ? "PASS" : "FAIL") << "\n";

@@ -5,25 +5,13 @@
 
 namespace muffin {
 
-std::uint64_t fnv1a64(std::string_view text) {
-  return fnv1a64_continue(0xcbf29ce484222325ULL, text);
+std::uint64_t stream_purpose_prefix(std::string_view purpose) {
+  return fnv1a64_continue(fnv1a64(purpose), ":");
 }
 
-std::uint64_t fnv1a64_continue(std::uint64_t hash, std::string_view text) {
-  for (const char c : text) {
-    hash ^= static_cast<std::uint64_t>(static_cast<unsigned char>(c));
-    hash *= 0x100000001b3ULL;
-  }
-  return hash;
-}
-
-std::uint64_t fork_seed(std::uint64_t seed, std::uint64_t name_hash) {
-  // Mix the master seed with the substream name; one splitmix64 step
-  // keeps adjacent names decorrelated. (splitmix64_next reproduces the
-  // historical inline arithmetic bit-for-bit, so forked streams are
-  // stable across this refactor.)
-  std::uint64_t z = seed ^ name_hash;
-  return splitmix64_next(z);
+std::uint64_t stream_name_hash(std::string_view purpose, std::uint64_t uid) {
+  return stream_name_hash(stream_purpose_prefix(purpose),
+                          UidDigits(uid).view());
 }
 
 SplitRng SplitRng::fork(std::string_view name) const {

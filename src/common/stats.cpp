@@ -47,6 +47,33 @@ double clamp(double value, double lo, double hi) {
 
 double normal_cdf(double x) { return 0.5 * std::erfc(-x / std::sqrt(2.0)); }
 
+namespace detail {
+
+double normal_quantile_tail(double u) {
+  // Acklam's tail rational in t = sqrt(-2 ln(min(u, 1-u))), antisymmetric
+  // across the median.
+  const bool lower = u < 0.5;
+  const double t = std::sqrt(-2.0 * std::log(lower ? u : 1.0 - u));
+  const double x =
+      (((((-7.784894002430293e-03 * t + -3.223964580411365e-01) * t +
+          -2.400758277161838e+00) * t + -2.549732539343734e+00) * t +
+        4.374664141464968e+00) * t + 2.938163982698783e+00) /
+      ((((7.784695709041462e-03 * t + 3.224671290700398e-01) * t +
+         2.445134137142996e+00) * t + 3.754408661907416e+00) * t + 1.0);
+  return lower ? x : -x;
+}
+
+}  // namespace detail
+
+double normal_quantile(double u) {
+  MUFFIN_REQUIRE(u > 0.0 && u < 1.0, "normal_quantile requires u in (0, 1)");
+  if (u < detail::kNormalQuantileLow || u > detail::kNormalQuantileHigh) {
+    return detail::normal_quantile_tail(u);
+  }
+  const double q = u - 0.5;
+  return detail::normal_quantile_central(q, q * q);
+}
+
 ExponentialMovingAverage::ExponentialMovingAverage(double decay)
     : decay_(decay) {
   MUFFIN_REQUIRE(decay > 0.0 && decay <= 1.0, "EMA decay must be in (0, 1]");

@@ -24,6 +24,48 @@ namespace muffin {
 /// Standard normal cumulative distribution function.
 [[nodiscard]] double normal_cdf(double x);
 
+namespace detail {
+
+/// Acklam's inverse-normal-CDF rational approximation, split into the
+/// central-region and tail-region pieces so the scalar normal_quantile
+/// below and the vectorized batch kernels (tensor normal_planar) evaluate
+/// the exact same expressions and stay bit-identical: the kernels compute
+/// the branch-free central formula for every lane and overwrite the few
+/// tail lanes with normal_quantile_tail in a scalar fixup pass.
+
+/// Tail boundaries: u < kNormalQuantileLow or u > kNormalQuantileHigh is
+/// the tail region; in between, the central rational applies.
+inline constexpr double kNormalQuantileLow = 0.02425;
+inline constexpr double kNormalQuantileHigh = 1.0 - 0.02425;
+
+/// Central region |u - 0.5| <= 0.47575, as a function of q = u - 0.5 and
+/// r = q * q. Evaluating outside the region yields garbage (the
+/// denominator has a root near r ≈ 0.23) but stays trap-free, which is
+/// what lets batch passes run it unconditionally before the tail fixup.
+[[nodiscard]] inline double normal_quantile_central(double q, double r) {
+  const double num =
+      (((((-3.969683028665376e+01 * r + 2.209460984245205e+02) * r +
+          -2.759285104469687e+02) * r + 1.383577518672690e+02) * r +
+        -3.066479806614716e+01) * r + 2.506628277459239e+00) * q;
+  const double den =
+      ((((-5.447609879822406e+01 * r + 1.615858368580409e+02) * r +
+         -1.556989798598866e+02) * r + 6.680131188771972e+01) * r +
+       -1.328068155288572e+01) * r + 1.0;
+  return num / den;
+}
+
+/// Tail region: u in (0, kNormalQuantileLow) or (kNormalQuantileHigh, 1).
+[[nodiscard]] double normal_quantile_tail(double u);
+
+}  // namespace detail
+
+/// Inverse of the standard normal CDF (the probit function) for
+/// u in (0, 1). Acklam's rational approximation: relative error below
+/// 1.2e-9 everywhere, no iteration, no state — which makes one normal
+/// draw cost one uniform (CounterRng::normal) and lets batch kernels
+/// evaluate it as a column sweep. Throws muffin::Error outside (0, 1).
+[[nodiscard]] double normal_quantile(double u);
+
 /// Exponential moving average accumulator, used for the REINFORCE reward
 /// baseline `b` in Eq. 4.
 class ExponentialMovingAverage {

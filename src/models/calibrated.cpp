@@ -102,6 +102,30 @@ CalibratedModel::CalibratedModel(ArchitectureProfile profile,
     class_priors_[c] = static_cast<double>(sizes[c]) /
                        static_cast<double>(dataset.size());
   }
+  // Per-label confusion mass: total weight of the wrong-prediction
+  // categorical over c != label, accumulated in ascending class order (the
+  // same order the sampling scan walks, so the draw lands in the bucket the
+  // accumulated prefix defines).
+  confusion_total_.assign(num_classes_, 0.0);
+  for (std::size_t label = 0; label < num_classes_; ++label) {
+    double total = 0.0;
+    for (std::size_t c = 0; c < num_classes_; ++c) {
+      if (c == label) continue;
+      total += class_priors_[c] + 1e-6;
+    }
+    confusion_total_[label] = total;
+  }
+
+  eps_prefix_ = stream_purpose_prefix("eps");
+  fam_prefix_ = stream_purpose_prefix("fam");
+  confusion_prefix_ = stream_purpose_prefix("confusion");
+  logits_prefix_ = stream_purpose_prefix("logits");
+  calibration_prefix_ = stream_purpose_prefix("calibration");
+  runner_prefix_ = stream_purpose_prefix("runner-up");
+  latent_shared_w_ = std::sqrt(config_.copula_rho);
+  latent_family_w_ = std::sqrt(config_.family_rho);
+  latent_eps_w_ =
+      std::sqrt(1.0 - config_.copula_rho - config_.family_rho);
 
   derive_offsets(dataset);
   fixed_point_calibrate(dataset);
@@ -173,48 +197,22 @@ double CalibratedModel::correctness_probability(
   return clamp(p, config_.min_probability, config_.max_probability);
 }
 
-namespace {
-
-/// fnv1a64(purpose + ":" + std::to_string(uid)) without building the
-/// string: hashed incrementally with the uid rendered into a stack buffer.
-std::uint64_t stream_name_hash(std::string_view purpose, std::uint64_t uid) {
-  std::uint64_t hash = fnv1a64(purpose);
-  hash = fnv1a64_continue(hash, ":");
-  char digits[20];
-  char* end = digits + sizeof(digits);
-  char* cursor = end;
-  do {
-    *--cursor = static_cast<char>('0' + uid % 10);
-    uid /= 10;
-  } while (uid != 0);
-  return fnv1a64_continue(hash,
-                          std::string_view(cursor, end - cursor));
-}
-
-}  // namespace
-
-SplitRng CalibratedModel::record_rng(const data::Record& record,
-                                     std::string_view purpose) const {
-  // Bit-identical to SplitRng(model_seed_).fork(purpose + ":" + uid), but
-  // derives the substream seed directly — scores() calls this several
-  // times per record, and seeding the intermediate mt19937_64 engine was
-  // the hottest instruction path of the whole scoring pipeline.
-  return SplitRng(fork_seed(model_seed_, stream_name_hash(purpose, record.uid)));
-}
-
 double CalibratedModel::latent_quantile(const data::Record& record) const {
-  const double eps = record_rng(record, "eps").normal();
+  const UidDigits digits(record.uid);
+  const std::string_view uid = digits.view();
   // Family factor: derived from (family, record), so same-family models
-  // share it while cross-family models do not. family_seed_ caches
-  // fnv1a64(profile_.family); the stream matches
-  // SplitRng(family_seed_).fork("fam:" + uid) bit for bit.
-  const double family_factor =
-      SplitRng(fork_seed(family_seed_, stream_name_hash("fam", record.uid)))
+  // share it while cross-family models do not. Both streams are counter
+  // streams — one splitmix64 draw through normal_quantile — matching the
+  // batch kernel's normal_planar pass draw for draw.
+  const double eps =
+      CounterRng(fork_seed(model_seed_, stream_name_hash(eps_prefix_, uid)))
           .normal();
-  const double latent =
-      std::sqrt(config_.copula_rho) * record.difficulty +
-      std::sqrt(config_.family_rho) * family_factor +
-      std::sqrt(1.0 - config_.copula_rho - config_.family_rho) * eps;
+  const double family_factor =
+      CounterRng(fork_seed(family_seed_, stream_name_hash(fam_prefix_, uid)))
+          .normal();
+  const double latent = latent_shared_w_ * record.difficulty +
+                        latent_family_w_ * family_factor +
+                        latent_eps_w_ * eps;
   return normal_cdf(latent);
 }
 
@@ -229,120 +227,221 @@ const std::vector<double>& CalibratedModel::group_offsets(
 }
 
 tensor::Vector CalibratedModel::scores(const data::Record& record) const {
-  tensor::Vector out(num_classes_);
-  tensor::Vector logits_scratch;
-  scores_into(record, logits_scratch, out);
-  return out;
+  // A single-row span through the full score_batch entry — one code path,
+  // so the scores() == score_batch() row contract holds by construction
+  // instead of by maintaining two implementations in step. The per-call
+  // setup (output matrix, scratch arenas, one whole-kernel pass at n = 1)
+  // is the honest price of the unified kernel; batch callers amortize it.
+  const tensor::Matrix scored = score_batch({&record, 1});
+  const auto row = scored.row(0);
+  return tensor::Vector(row.begin(), row.end());
 }
 
 tensor::Matrix CalibratedModel::score_batch(
     std::span<const data::Record> records) const {
-  tensor::Matrix out(records.size(), num_classes_);
-  // Row-split over the shared worker pool: each record's scores derive
-  // only from the record and the frozen calibration state, so any
-  // partition is bit-identical to the serial loop. The simulation is
-  // RNG-bound per record (several named substreams each), which is
-  // exactly the work a row split scales — scratch lives per block.
+  tensor::Matrix out;
+  out.resize_for_overwrite(records.size(), num_classes_);
+  // Row-split over the shared worker pool: each row is a pure function of
+  // its record and the frozen calibration state, so any partition is
+  // bit-identical to the serial whole-batch call. Scratch lives per block —
+  // no shared mutable state between workers.
+  const std::size_t classes = num_classes_;
+  double* base = out.flat().data();
   parallel_for(records.size(), /*grain=*/64,
                [&](std::size_t begin, std::size_t end) {
-                 tensor::Vector logits_scratch;
-                 for (std::size_t i = begin; i < end; ++i) {
-                   scores_into(records[i], logits_scratch, out.row(i));
-                 }
+                 BatchScratch scratch;
+                 score_rows(records.subspan(begin, end - begin), scratch,
+                            base + begin * classes, classes);
                });
   return out;
 }
 
-void CalibratedModel::scores_into(const data::Record& record,
-                                  tensor::Vector& logits,
-                                  std::span<double> out) const {
-  MUFFIN_REQUIRE(record.label < num_classes_, "record label out of range");
-  const double p = correctness_probability(record);
-  const double quantile = latent_quantile(record);
-  const bool correct = quantile < p;
-  const double slack = p - quantile;  // >0 when correct, <0 when wrong
+void CalibratedModel::score_rows(std::span<const data::Record> records,
+                                 BatchScratch& s, double* out,
+                                 std::size_t ldo) const {
+  const std::size_t n = records.size();
+  const std::size_t classes = num_classes_;
+  if (n == 0) return;
 
-  // Choose the predicted class.
-  std::size_t predicted = record.label;
-  if (!correct) {
-    SplitRng confusion = record_rng(record, "confusion");
-    std::vector<double> weights(num_classes_, 0.0);
-    double total = 0.0;
-    for (std::size_t c = 0; c < num_classes_; ++c) {
-      if (c == record.label) continue;
-      weights[c] = class_priors_[c] + 1e-6;
-      total += weights[c];
-    }
-    MUFFIN_REQUIRE(total > 0.0, "confusion weights must have mass");
-    predicted = confusion.categorical(weights);
+  s.words.resize(6 * n);
+  s.reals.resize((7 + classes) * n);
+  s.indices.resize(2 * n);
+  s.correct.resize(n);
+  std::uint64_t* const eps_states = s.words.data();
+  std::uint64_t* const fam_states = eps_states + n;  // adjacent: see header
+  std::uint64_t* const logit_states = fam_states + n;
+  std::uint64_t* const confusion_seeds = logit_states + n;
+  std::uint64_t* const calibration_seeds = confusion_seeds + n;
+  std::uint64_t* const runner_seeds = calibration_seeds + n;
+  double* const eps = s.reals.data();
+  double* const fam = eps + n;  // adjacent to eps: one planar sweep fills both
+  double* const probability = fam + n;
+  double* const difficulty = probability + n;
+  double* const slack = difficulty + n;
+  double* const margin = slack + n;
+  double* const max_background = margin + n;
+  double* const planes = max_background + n;
+  std::size_t* const label = s.indices.data();
+  std::size_t* const predicted = label + n;
+  unsigned char* const correct = s.correct.data();
+
+  // Pass A — scalar prologue: validate, evaluate the calibrated
+  // correctness probability and derive every substream seed. The uid's
+  // decimal digits render once per record and continue all six purpose
+  // prefixes in lock-step (independent multiply chains pipeline; hashing
+  // six names costs barely more than one).
+  for (std::size_t i = 0; i < n; ++i) {
+    const data::Record& record = records[i];
+    MUFFIN_REQUIRE(record.label < classes, "record label out of range");
+    probability[i] = correctness_probability(record);
+    difficulty[i] = record.difficulty;
+    label[i] = record.label;
+    const UidDigits digits(record.uid);
+    std::uint64_t hashes[6] = {eps_prefix_,    fam_prefix_,
+                               logits_prefix_, confusion_prefix_,
+                               calibration_prefix_, runner_prefix_};
+    fnv1a64_continue_many(hashes, digits.view());
+    eps_states[i] = fork_seed(model_seed_, hashes[0]);
+    fam_states[i] = fork_seed(family_seed_, hashes[1]);
+    logit_states[i] = fork_seed(model_seed_, hashes[2]);
+    confusion_seeds[i] = fork_seed(model_seed_, hashes[3]);
+    calibration_seeds[i] = fork_seed(model_seed_, hashes[4]);
+    runner_seeds[i] = fork_seed(model_seed_, hashes[5]);
   }
 
-  // Build logits: background noise, then the predicted class strictly on
-  // top with a correctness-dependent margin; when wrong, the true class
-  // trails the prediction by runner_up_gap (often ranked second).
-  SplitRng noise = record_rng(record, "logits");
-  logits.assign(num_classes_, 0.0);
-  // Background = every class except the prediction (the true label's noise
-  // must be included, or it could accidentally win the argmax and break the
-  // calibrated correctness marginal).
-  double max_background = 0.0;
-  for (std::size_t c = 0; c < num_classes_; ++c) {
-    logits[c] = noise.normal(0.0, config_.logit_noise);
-    if (c != predicted) {
-      max_background = std::max(max_background, logits[c]);
-    }
+  // Pass B — whole-batch idiosyncratic and family draws through the SIMD
+  // backend (one splitmix64 step + inverse normal CDF per lane); the eps
+  // and fam columns are adjacent in the arena, so one sweep fills both.
+  tensor::normal_planar_into(std::span<std::uint64_t>(eps_states, 2 * n),
+                             std::span<double>(eps, 2 * n));
+
+  // Pass C — copula latent, correctness and slack as column sweeps. The
+  // latent expression mirrors latent_quantile() term for term.
+  for (std::size_t i = 0; i < n; ++i) {
+    const double latent = latent_shared_w_ * difficulty[i] +
+                          latent_family_w_ * fam[i] +
+                          latent_eps_w_ * eps[i];
+    const double quantile = normal_cdf(latent);
+    const double p = probability[i];
+    correct[i] = quantile < p ? 1 : 0;
+    slack[i] = p - quantile;  // >0 when correct, <0 when wrong
   }
 
-  // Confidence miscalibration: some wrong answers look sharp, some correct
-  // answers look hesitant (bounds how much of the disagreement set a fused
-  // head can possibly recover, like a real CNN ensemble).
-  SplitRng calib = record_rng(record, "calibration");
-  const bool miscalibrated = calib.bernoulli(
-      correct ? config_.hesitant_rate : config_.overconfident_rate);
-  const bool sharp_regime = correct != miscalibrated;
-
-  double margin = 0.0;
-  if (sharp_regime) {
-    const double sharpness =
-        correct ? clamp(slack, 0.0, 1.0) : clamp(-slack, 0.0, 1.0);
-    margin = config_.correct_margin +
-             config_.correct_margin_slope * sharpness;
-  } else {
-    // Flat regime: barely-decided samples leave the model visibly
-    // uncertain — the margin shrinks and the score vector flattens.
-    const double wobble = clamp(std::abs(slack) * 2.5, 0.0, 1.0);
-    margin = config_.wrong_margin * (0.25 + 0.75 * wobble);
-  }
-  // Domain familiarity: real CNNs are less confident on groups they handle
-  // poorly, independent of whether this particular answer is right. p
-  // encodes the group structure, so this leaks group identity into the
-  // score shape — which is what lets the fairness-weighted head training
-  // (Algorithm 1) specialize on unprivileged patterns.
-  margin *= 0.4 + 0.8 * p;
-  logits[predicted] = max_background + margin;
-  if (num_classes_ > 2) {
-    // Runner-up slot: when wrong, the true class lands there only with
-    // probability runner_up_rate — otherwise a random decoy class does.
-    // When correct, a decoy always fills it (some class is always second).
-    SplitRng runner = record_rng(record, "runner-up");
-    std::size_t runner_class = record.label;
-    if (correct || !runner.bernoulli(config_.runner_up_rate)) {
-      do {
-        runner_class = runner.index(num_classes_);
-      } while (runner_class == predicted || runner_class == record.label);
-      if (correct && runner.bernoulli(0.5)) {
-        // Correct predictions may still rank the true class's own decoy
-        // lower than background; skip the boost half the time.
-        runner_class = predicted;
+  // Pass D — predicted class. Correct rows predict the label; wrong rows
+  // draw from the prior-weighted confusion categorical by inverting one
+  // uniform against the precomputed per-label mass — no per-record weight
+  // vector, no heap traffic (the old implementation allocated one
+  // std::vector<double> per wrongly-predicted record here).
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t lab = label[i];
+    std::size_t pred = lab;
+    if (!correct[i]) {
+      const double total = confusion_total_[lab];
+      MUFFIN_REQUIRE(total > 0.0, "confusion weights must have mass");
+      const double point = CounterRng(confusion_seeds[i]).uniform() * total;
+      double cumulative = 0.0;
+      for (std::size_t c = 0; c < classes; ++c) {
+        if (c == lab) continue;
+        pred = c;  // falls through to the last bucket on the edge
+        cumulative += class_priors_[c] + 1e-6;
+        if (point < cumulative) break;
       }
     }
-    if (runner_class != predicted) {
-      logits[runner_class] = max_background + margin - config_.runner_up_gap;
-    }
-  } else if (!correct) {
-    logits[record.label] = max_background + margin - config_.runner_up_gap;
+    predicted[i] = pred;
   }
-  tensor::softmax_into(logits, out);
+
+  // Pass E — background logit noise, one planar sweep per class so every
+  // record consumes its logits stream in ascending class order, then one
+  // sweep scaling all planes by the noise stddev.
+  for (std::size_t c = 0; c < classes; ++c) {
+    tensor::normal_planar_into(std::span<std::uint64_t>(logit_states, n),
+                               std::span<double>(planes + c * n, n));
+  }
+  const double noise_scale = config_.logit_noise;
+  for (std::size_t k = 0; k < classes * n; ++k) planes[k] *= noise_scale;
+
+  // Pass F — max background logit over every class except the prediction
+  // (the true label's noise must be included, or it could accidentally win
+  // the argmax and break the calibrated correctness marginal).
+  for (std::size_t i = 0; i < n; ++i) max_background[i] = 0.0;
+  for (std::size_t c = 0; c < classes; ++c) {
+    const double* pc = planes + c * n;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (c != predicted[i]) {
+        max_background[i] = std::max(max_background[i], pc[i]);
+      }
+    }
+  }
+
+  // Pass G — confidence miscalibration and the margin. Some wrong answers
+  // look sharp, some correct answers look hesitant (bounds how much of the
+  // disagreement set a fused head can possibly recover, like a real CNN
+  // ensemble).
+  for (std::size_t i = 0; i < n; ++i) {
+    const bool right = correct[i] != 0;
+    const double gap = slack[i];
+    const bool miscalibrated =
+        CounterRng(calibration_seeds[i])
+            .bernoulli(right ? config_.hesitant_rate
+                             : config_.overconfident_rate);
+    const bool sharp_regime = right != miscalibrated;
+    double m = 0.0;
+    if (sharp_regime) {
+      const double sharpness =
+          right ? clamp(gap, 0.0, 1.0) : clamp(-gap, 0.0, 1.0);
+      m = config_.correct_margin + config_.correct_margin_slope * sharpness;
+    } else {
+      // Flat regime: barely-decided samples leave the model visibly
+      // uncertain — the margin shrinks and the score vector flattens.
+      const double wobble = clamp(std::abs(gap) * 2.5, 0.0, 1.0);
+      m = config_.wrong_margin * (0.25 + 0.75 * wobble);
+    }
+    // Domain familiarity: real CNNs are less confident on groups they
+    // handle poorly, independent of whether this particular answer is
+    // right. p encodes the group structure, so this leaks group identity
+    // into the score shape — which is what lets the fairness-weighted head
+    // training (Algorithm 1) specialize on unprivileged patterns.
+    margin[i] = m * (0.4 + 0.8 * probability[i]);
+  }
+
+  // Pass H — peak and runner-up assembly: the predicted class lands
+  // strictly on top; when wrong, the true class trails the prediction by
+  // runner_up_gap (often ranked second).
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t lab = label[i];
+    const std::size_t pred = predicted[i];
+    const bool right = correct[i] != 0;
+    const double top = max_background[i] + margin[i];
+    planes[pred * n + i] = top;
+    if (classes > 2) {
+      // Runner-up slot: when wrong, the true class lands there only with
+      // probability runner_up_rate — otherwise a random decoy class does.
+      // When correct, a decoy always fills it (some class is always
+      // second).
+      CounterRng runner(runner_seeds[i]);
+      std::size_t runner_class = lab;
+      if (right || !runner.bernoulli(config_.runner_up_rate)) {
+        do {
+          runner_class = runner.index(classes);
+        } while (runner_class == pred || runner_class == lab);
+        if (right && runner.bernoulli(0.5)) {
+          // Correct predictions may still rank the true class's own decoy
+          // lower than background; skip the boost half the time.
+          runner_class = pred;
+        }
+      }
+      if (runner_class != pred) {
+        planes[runner_class * n + i] = top - config_.runner_up_gap;
+      }
+    } else if (!right) {
+      planes[lab * n + i] = top - config_.runner_up_gap;
+    }
+  }
+
+  // Pass I — whole-batch softmax over the class-major planes through the
+  // SIMD backend, written row-major straight into the output.
+  tensor::softmax_planar_into(std::span<double>(planes, classes * n), n,
+                              classes, n, out, ldo);
 }
 
 }  // namespace muffin::models

@@ -88,11 +88,19 @@ class CalibratedModel final : public Model {
   [[nodiscard]] std::size_t parameter_count() const override {
     return profile_.parameter_count;
   }
+  /// Routes through the same planar batch kernel as score_batch() on a
+  /// single-row span, so the two are bit-identical by construction.
   [[nodiscard]] tensor::Vector scores(
       const data::Record& record) const override;
-  /// Batch scoring with per-batch scratch reuse: one logit buffer serves
-  /// the whole batch and each row is softmaxed straight into the output
-  /// matrix. Bit-identical to per-record scores().
+  /// Whole-batch planar kernel: per-record substream seeds are derived in
+  /// one scalar prologue, all normal draws fill contiguous per-stream
+  /// arrays through the SIMD backend (tensor/ops.h normal_planar_into),
+  /// the latent/margin statistics run as column sweeps, and the final
+  /// softmax runs class-major over the whole output matrix
+  /// (softmax_planar_into). Rows are split over the shared worker pool;
+  /// every row is a pure function of its record and the frozen calibration
+  /// state, so any partition — and the single-row scores() call — is
+  /// bit-identical to one serial whole-batch call.
   [[nodiscard]] tensor::Matrix score_batch(
       std::span<const data::Record> records) const override;
 
@@ -111,23 +119,47 @@ class CalibratedModel final : public Model {
   [[nodiscard]] double base_accuracy() const { return base_accuracy_; }
 
  private:
+  /// Per-call scratch of the planar batch kernel: splitmix64 stream
+  /// states, per-record statistics (struct-of-arrays) and the class-major
+  /// logit planes, carved out of four flat arenas (a fresh scratch costs
+  /// four allocations, not one per array). Owned by the caller so a
+  /// row-partitioned score_batch gives each block a private instance —
+  /// partition-independent and free of shared mutable state under the
+  /// worker pool.
+  struct BatchScratch {
+    /// [eps states n | fam states n | logit states n | confusion n |
+    ///  calibration n | runner n]; eps and fam are adjacent on purpose so
+    /// one planar sweep fills both draw columns.
+    std::vector<std::uint64_t> words;
+    /// [eps draws n | fam draws n | probability n | difficulty n |
+    ///  slack n | margin n | max background n | planes classes * n]
+    std::vector<double> reals;
+    /// [label n | predicted n]
+    std::vector<std::size_t> indices;
+    std::vector<unsigned char> correct;
+  };
+
   void derive_offsets(const data::Dataset& dataset);
   void fixed_point_calibrate(const data::Dataset& dataset);
-  /// scores() body writing into `out`; `logits` is caller-provided scratch
-  /// so batch scoring reuses one buffer across records.
-  void scores_into(const data::Record& record, tensor::Vector& logits,
-                   std::span<double> out) const;
-  /// Latent Φ(√ρ z + √(1−ρ) ε) for a record; uniform in [0,1] marginally.
+  /// The batch kernel: rows for `records` written row-major at `out` with
+  /// leading dimension `ldo` (>= num_classes_). See score_batch() for the
+  /// pass structure and the partition-invariance argument.
+  void score_rows(std::span<const data::Record> records, BatchScratch& scratch,
+                  double* out, std::size_t ldo) const;
+  /// Latent Φ(√ρ z + √ρ_fam f + √(1−ρ−ρ_fam) ε) for a record; uniform in
+  /// [0,1] marginally. Scalar CounterRng twin of the kernel's pass B/C —
+  /// same streams, same draws, same expression, bit for bit.
   [[nodiscard]] double latent_quantile(const data::Record& record) const;
-  /// Deterministic per-record stream for idiosyncratic draws.
-  [[nodiscard]] SplitRng record_rng(const data::Record& record,
-                                    std::string_view purpose) const;
 
   ArchitectureProfile profile_;
   CalibrationConfig config_;
   std::size_t num_classes_ = 0;
   std::vector<data::AttributeSchema> schema_;
   std::vector<double> class_priors_;
+  /// Per-label total confusion mass Σ_{c != label} (prior_c + 1e-6),
+  /// precomputed so the wrong-prediction draw needs no per-record weight
+  /// vector (and no per-record heap allocation).
+  std::vector<double> confusion_total_;
   /// offsets_[attribute][group] — signed accuracy deltas.
   std::vector<std::vector<double>> offsets_;
   double base_accuracy_ = 0.0;
@@ -135,6 +167,18 @@ class CalibratedModel final : public Model {
   /// Cached fnv1a64(profile_.family): the family copula stream's master
   /// seed, shared by same-family models (hashed once, not per record).
   std::uint64_t family_seed_ = 0;
+  /// Hoisted substream purpose prefixes (stream_purpose_prefix), hashed
+  /// once per model instead of once per record per stream.
+  std::uint64_t eps_prefix_ = 0;
+  std::uint64_t fam_prefix_ = 0;
+  std::uint64_t confusion_prefix_ = 0;
+  std::uint64_t logits_prefix_ = 0;
+  std::uint64_t calibration_prefix_ = 0;
+  std::uint64_t runner_prefix_ = 0;
+  /// Hoisted copula mixing weights: √ρ, √ρ_fam, √(1−ρ−ρ_fam).
+  double latent_shared_w_ = 0.0;
+  double latent_family_w_ = 0.0;
+  double latent_eps_w_ = 0.0;
 };
 
 }  // namespace muffin::models

@@ -21,6 +21,7 @@
 
 #include "tensor/aligned.h"
 #include "tensor/kernels_pack.h"
+#include "tensor/kernels_planar.h"
 
 namespace muffin::tensor::detail {
 
@@ -186,8 +187,11 @@ void softmax_avx2(const double* logits, std::size_t n, double temperature,
 }  // namespace
 
 const KernelTable* avx2_kernels() {
-  static constexpr KernelTable table{matmul_avx2, gemm_tb_avx2, softmax_avx2,
-                                     "avx2"};
+  // normal_planar/softmax_planar are this TU's -mavx2 compilation of the
+  // shared generic bodies (kernels_planar.h).
+  static constexpr KernelTable table{matmul_avx2,           gemm_tb_avx2,
+                                     softmax_avx2,          normal_planar_generic,
+                                     softmax_planar_generic, "avx2"};
   return &table;
 }
 

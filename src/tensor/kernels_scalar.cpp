@@ -7,6 +7,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "tensor/kernels_planar.h"
 #include "tensor/simd.h"
 
 namespace muffin::tensor::detail {
@@ -145,8 +146,9 @@ void softmax_scalar(const double* logits, std::size_t n, double temperature,
 }  // namespace
 
 const KernelTable& scalar_kernels() {
-  static constexpr KernelTable table{matmul_scalar, gemm_tb_scalar,
-                                     softmax_scalar, "scalar"};
+  static constexpr KernelTable table{matmul_scalar,         gemm_tb_scalar,
+                                     softmax_scalar,        normal_planar_generic,
+                                     softmax_planar_generic, "scalar"};
   return table;
 }
 

@@ -289,6 +289,30 @@ Vector log_softmax(std::span<const double> logits) {
   return out;
 }
 
+void normal_planar_into(std::span<std::uint64_t> states,
+                        std::span<double> out) {
+  MUFFIN_REQUIRE(out.size() == states.size(),
+                 "normal_planar output size must match the stream count");
+  if (states.empty()) return;
+  detail::active_kernels().normal_planar(states.data(), out.data(),
+                                         states.size());
+}
+
+void softmax_planar_into(std::span<double> planes, std::size_t plane_stride,
+                         std::size_t classes, std::size_t n, double* out,
+                         std::size_t ldo) {
+  MUFFIN_REQUIRE(classes > 0 && n > 0,
+                 "softmax_planar requires classes > 0 and n > 0");
+  MUFFIN_REQUIRE(plane_stride >= n,
+                 "softmax_planar plane stride must cover the record count");
+  MUFFIN_REQUIRE(planes.size() >= (classes - 1) * plane_stride + n,
+                 "softmax_planar planes span too small");
+  MUFFIN_REQUIRE(ldo >= classes,
+                 "softmax_planar output leading dimension must cover classes");
+  detail::active_kernels().softmax_planar(planes.data(), plane_stride, classes,
+                                          n, out, ldo);
+}
+
 std::size_t argmax(std::span<const double> values) {
   MUFFIN_REQUIRE(!values.empty(), "argmax requires a non-empty input");
   return static_cast<std::size_t>(

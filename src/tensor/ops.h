@@ -14,6 +14,7 @@
 // serial scalar kernels.
 #pragma once
 
+#include <cstdint>
 #include <span>
 
 #include "tensor/matrix.h"
@@ -90,6 +91,24 @@ void softmax_into(std::span<const double> logits, double temperature,
                   std::span<double> out);
 /// log(softmax(logits)) computed stably.
 [[nodiscard]] Vector log_softmax(std::span<const double> logits);
+
+/// One standard-normal draw per splitmix64 stream state, elementwise:
+/// advances each states[i] by one step and writes the draw to out[i].
+/// Bit-identical to common::CounterRng::normal() per stream, across
+/// backends, and for any partitioning of the states (each lane is
+/// independent). Batch hot path for the calibrated scoring kernel.
+void normal_planar_into(std::span<std::uint64_t> states,
+                        std::span<double> out);
+
+/// Softmax over n records stored class-major: class c's logits occupy
+/// planes[c * plane_stride .. + n); row i of the row-major output
+/// (out + i * ldo, ldo >= classes) receives that record's probabilities.
+/// Destroys the planes (they are scratch). Deterministic polynomial exp —
+/// bit-stable across backends and libm versions, but deliberately not
+/// bit-compatible with the row-wise softmax_into above.
+void softmax_planar_into(std::span<double> planes, std::size_t plane_stride,
+                         std::size_t classes, std::size_t n,
+                         double* out, std::size_t ldo);
 
 /// Index of the maximum element; first occurrence wins. Requires non-empty.
 [[nodiscard]] std::size_t argmax(std::span<const double> values);

@@ -39,6 +39,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <string_view>
 
 namespace muffin::tensor {
@@ -85,10 +86,30 @@ using GemmTbFn = void (*)(const double* a, std::size_t lda, const double* b,
 using SoftmaxFn = void (*)(const double* logits, std::size_t n,
                            double temperature, double* out);
 
+/// One standard-normal draw per stream state, elementwise: advances each
+/// states[i] by one splitmix64 step and writes the inverse-normal-CDF of
+/// the unit uniform — bit-identical to CounterRng::normal() per stream
+/// and across backends (the bodies are elementwise column sweeps shared
+/// via kernels_planar.h, compiled per-TU under each backend's ISA flags).
+using NormalPlanarFn = void (*)(std::uint64_t* states, double* out,
+                                std::size_t n);
+
+/// Softmax over n records stored class-major (record-per-lane): class c's
+/// logits occupy planes[c * plane_stride .. + n); row-major probabilities
+/// land at out + i * ldo. Overwrites the planes with the exponentials
+/// (scratch semantics). Uses the deterministic polynomial exp from
+/// kernels_planar.h, NOT std::exp — so it is bit-stable across libm
+/// versions but deliberately not bit-compatible with SoftmaxFn.
+using SoftmaxPlanarFn = void (*)(double* planes, std::size_t plane_stride,
+                                 std::size_t classes, std::size_t n,
+                                 double* out, std::size_t ldo);
+
 struct KernelTable {
   MatmulFn matmul;
   GemmTbFn gemm_tb;
   SoftmaxFn softmax;
+  NormalPlanarFn normal_planar;
+  SoftmaxPlanarFn softmax_planar;
   const char* name;
 };
 

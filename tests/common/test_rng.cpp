@@ -4,6 +4,7 @@
 
 #include <algorithm>
 #include <set>
+#include <string>
 
 #include "common/error.h"
 #include "common/stats.h"
@@ -187,6 +188,126 @@ TEST(Fnv1a64, KnownValuesStable) {
   EXPECT_EQ(fnv1a64(""), 0xcbf29ce484222325ULL);
   EXPECT_NE(fnv1a64("a"), fnv1a64("b"));
   EXPECT_EQ(fnv1a64("muffin"), fnv1a64("muffin"));
+}
+
+TEST(Fnv1a64, ContinueComposesWithConcatenation) {
+  EXPECT_EQ(fnv1a64_continue(fnv1a64("eps"), ":1234"), fnv1a64("eps:1234"));
+  EXPECT_EQ(fnv1a64_continue(fnv1a64(""), "muffin"), fnv1a64("muffin"));
+}
+
+TEST(Fnv1a64, ContinueManyMatchesIndividualChains) {
+  std::uint64_t hashes[6] = {fnv1a64("eps:"),       fnv1a64("fam:"),
+                             fnv1a64("logits:"),    fnv1a64("confusion:"),
+                             fnv1a64("calibration:"), fnv1a64("runner:")};
+  const std::uint64_t before[6] = {hashes[0], hashes[1], hashes[2],
+                                   hashes[3], hashes[4], hashes[5]};
+  fnv1a64_continue_many(hashes, "90210");
+  for (std::size_t i = 0; i < 6; ++i) {
+    EXPECT_EQ(hashes[i], fnv1a64_continue(before[i], "90210")) << i;
+  }
+}
+
+TEST(ForkSeed, MatchesSplitRngFork) {
+  const SplitRng base(7331);
+  EXPECT_EQ(base.fork("controller").seed(),
+            fork_seed(7331, fnv1a64("controller")));
+}
+
+TEST(UidDigitsRender, MatchesToString) {
+  for (const std::uint64_t uid :
+       {std::uint64_t{0}, std::uint64_t{7}, std::uint64_t{10},
+        std::uint64_t{90210}, std::uint64_t{18446744073709551615ULL}}) {
+    EXPECT_EQ(std::string(UidDigits(uid).view()), std::to_string(uid));
+  }
+}
+
+TEST(StreamNameHash, PrefixOverloadMatchesCanonical) {
+  for (const std::uint64_t uid : {std::uint64_t{0}, std::uint64_t{42},
+                                  std::uint64_t{123456789}}) {
+    EXPECT_EQ(stream_name_hash(stream_purpose_prefix("eps"),
+                               UidDigits(uid).view()),
+              stream_name_hash("eps", uid));
+    EXPECT_EQ(stream_name_hash("eps", uid),
+              fnv1a64("eps:" + std::to_string(uid)));
+  }
+}
+
+TEST(CounterRngDraws, DeterministicPerSeed) {
+  CounterRng a(99);
+  CounterRng b(99);
+  for (int i = 0; i < 64; ++i) EXPECT_EQ(a.next_bits(), b.next_bits());
+  CounterRng c(100);
+  int equal = 0;
+  CounterRng d(99);
+  for (int i = 0; i < 64; ++i) {
+    if (c.next_bits() == d.next_bits()) ++equal;
+  }
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(CounterRngDraws, UniformIsOpenUnitInterval) {
+  CounterRng rng(5);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GT(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+  // counter_unit pins the extremes strictly inside (0, 1).
+  EXPECT_GT(counter_unit(0), 0.0);
+  EXPECT_LT(counter_unit(~std::uint64_t{0}), 1.0);
+}
+
+TEST(CounterRngDraws, NormalIsQuantileOfUniform) {
+  // One draw per normal — the stream stays draw-countable, unlike
+  // std::normal_distribution.
+  CounterRng a(17);
+  CounterRng b(17);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.normal(), normal_quantile(b.uniform()));
+  }
+  CounterRng c(17);
+  CounterRng d(17);
+  EXPECT_EQ(c.normal(2.0, 3.0), 2.0 + 3.0 * d.normal());
+}
+
+TEST(CounterRngDraws, BernoulliAlwaysConsumesOneDraw) {
+  for (const double p : {-1.0, 0.0, 0.5, 1.0, 2.0}) {
+    CounterRng rng(3);
+    (void)rng.bernoulli(p);
+    CounterRng reference(3);
+    (void)reference.uniform();
+    EXPECT_EQ(rng.state(), reference.state()) << "p=" << p;
+  }
+  CounterRng rng(3);
+  EXPECT_FALSE(rng.bernoulli(0.0));
+  EXPECT_TRUE(CounterRng(3).bernoulli(1.0));
+}
+
+TEST(CounterRngDraws, IndexInRangeAndRoughlyUniform) {
+  CounterRng rng(11);
+  std::vector<int> counts(8, 0);
+  const int n = 16000;
+  for (int i = 0; i < n; ++i) {
+    const std::size_t k = rng.index(8);
+    ASSERT_LT(k, 8u);
+    ++counts[k];
+  }
+  for (const int c : counts) {
+    EXPECT_NEAR(c / static_cast<double>(n), 0.125, 0.02);
+  }
+}
+
+TEST(CounterRngDraws, NormalMoments) {
+  CounterRng rng(2024);
+  double sum = 0.0, sq = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.05);
+  EXPECT_NEAR(sq / n, 1.0, 0.05);
 }
 
 class CategoricalSweep : public ::testing::TestWithParam<std::size_t> {};

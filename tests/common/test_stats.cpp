@@ -80,6 +80,63 @@ TEST(NormalCdf, Monotone) {
   }
 }
 
+TEST(NormalQuantile, InvertsNormalCdf) {
+  // Acklam's approximation is good to ~1.15e-9 relative error; round-trip
+  // through the exact erfc-based CDF must agree to that scale across the
+  // central region and both tails.
+  for (double u = 0.001; u < 0.9995; u += 0.0007) {
+    EXPECT_NEAR(normal_cdf(normal_quantile(u)), u, 1e-8) << "u=" << u;
+  }
+  // Deep tails: Acklam's ~1.15e-9 relative error in x is amplified by the
+  // hazard rate |x| when mapped back to u, so allow ~|x|^2 * 1.15e-9
+  // relative error in the round-tripped tail mass.
+  for (const double u : {1e-12, 1e-9, 1e-6, 1.0 - 1e-6, 1.0 - 1e-9}) {
+    const double x = normal_quantile(u);
+    const double mass = std::min(u, 1.0 - u);
+    const double tol = std::max(x * x * 1.15e-9 * mass, 5e-16);
+    EXPECT_NEAR(std::min(normal_cdf(x), 1.0 - normal_cdf(x)), mass, tol)
+        << "u=" << u;
+  }
+}
+
+TEST(NormalQuantile, KnownValues) {
+  EXPECT_DOUBLE_EQ(normal_quantile(0.5), 0.0);
+  EXPECT_NEAR(normal_quantile(0.975), 1.959964, 1e-5);
+  EXPECT_NEAR(normal_quantile(0.025), -1.959964, 1e-5);
+  EXPECT_NEAR(normal_quantile(0.8413447460685429), 1.0, 1e-7);
+}
+
+TEST(NormalQuantile, MonotoneAndAntisymmetric) {
+  double prev = normal_quantile(1e-6);
+  for (double u = 1e-4; u < 1.0; u += 1e-3) {
+    const double cur = normal_quantile(u);
+    EXPECT_GT(cur, prev) << "u=" << u;
+    prev = cur;
+    // The rational approximation is evaluated with mirrored coefficients
+    // on each side of 1/2: antisymmetry holds to rounding error.
+    EXPECT_NEAR(normal_quantile(1.0 - u), -cur, 1e-9);
+  }
+}
+
+TEST(NormalQuantile, CentralAndTailBranchesAgreeAtTheSeam) {
+  // The kernel evaluates the central branch branch-free and patches tail
+  // lanes afterwards; both branches must agree where they meet.
+  for (const double u : {detail::kNormalQuantileLow,
+                         detail::kNormalQuantileHigh}) {
+    for (const double nudge : {-1e-12, 0.0, 1e-12}) {
+      const double x = normal_quantile(u + nudge);
+      EXPECT_NEAR(normal_cdf(x), u + nudge, 1e-8);
+    }
+  }
+}
+
+TEST(NormalQuantile, RejectsClosedEndpoints) {
+  EXPECT_THROW((void)normal_quantile(0.0), Error);
+  EXPECT_THROW((void)normal_quantile(1.0), Error);
+  EXPECT_THROW((void)normal_quantile(-0.5), Error);
+  EXPECT_THROW((void)normal_quantile(1.5), Error);
+}
+
 TEST(Ema, FirstValueIsExact) {
   ExponentialMovingAverage ema(0.1);
   EXPECT_FALSE(ema.has_value());

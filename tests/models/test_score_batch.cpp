@@ -198,6 +198,129 @@ TEST(ScoreBatch, PredictAllMatchesPerRecordPredict) {
   }
 }
 
+// --- calibrated batch-kernel regime coverage ---------------------------
+// The planar kernel has distinct branches for correct/wrong predictions,
+// sharp/flat miscalibration regimes and binary vs multiclass runner-up
+// placement; each regime is forced below and pinned bitwise against the
+// per-record path across batch sizes.
+
+data::Dataset binary_dataset() {
+  data::SyntheticConfig config = data::isic2019_config(1500, 31);
+  config.name = "binary-isic";
+  config.num_classes = 2;
+  config.class_priors = {0.62, 0.38};
+  return data::generate(config);
+}
+
+ArchitectureProfile regime_profile(double accuracy) {
+  ArchitectureProfile profile;
+  profile.name = "RegimeNet";
+  profile.family = "RegimeNet";
+  profile.parameter_count = 1;
+  profile.accuracy = accuracy;
+  profile.unfairness = {{"age", 0.30}, {"gender", 0.08}, {"site", 0.35}};
+  return profile;
+}
+
+std::vector<data::Record> head_of(const data::Dataset& dataset,
+                                  std::size_t n) {
+  std::vector<data::Record> records;
+  records.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) records.push_back(dataset.record(i));
+  return records;
+}
+
+/// Bit-identity across batch sizes plus a guarantee that the batch
+/// actually exercises the wrong-prediction branch (argmax != label for
+/// at least one row — the branch that used to heap-allocate a weight
+/// vector per record).
+void expect_regime_covered(const CalibratedModel& model,
+                           const data::Dataset& dataset) {
+  for (const std::size_t n : kBatchSizes) {
+    expect_batch_bitwise_identical(model, head_of(dataset, n));
+  }
+  const std::vector<data::Record> records = head_of(dataset, 64);
+  const tensor::Matrix batch = model.score_batch(records);
+  std::size_t wrong = 0;
+  for (std::size_t r = 0; r < records.size(); ++r) {
+    const auto row = batch.row(r);
+    const std::size_t argmax = static_cast<std::size_t>(std::distance(
+        row.begin(), std::max_element(row.begin(), row.end())));
+    if (argmax != records[r].label) ++wrong;
+  }
+  EXPECT_GT(wrong, 0u) << model.name()
+                       << ": batch never hit the wrong-prediction branch";
+}
+
+TEST(ScoreBatch, CalibratedBinaryClassesBitIdentical) {
+  const data::Dataset binary = binary_dataset();
+  const CalibratedModel model(regime_profile(0.75), binary);
+  ASSERT_EQ(model.num_classes(), 2u);
+  expect_regime_covered(model, binary);
+}
+
+TEST(ScoreBatch, CalibratedForcedHesitantRegime) {
+  // Every correct prediction flips to the flat-margin regime.
+  CalibrationConfig config;
+  config.hesitant_rate = 1.0;
+  config.overconfident_rate = 0.0;
+  const CalibratedModel multiclass(regime_profile(0.72), batch_dataset(),
+                                   config);
+  expect_regime_covered(multiclass, batch_dataset());
+  const data::Dataset binary = binary_dataset();
+  const CalibratedModel two(regime_profile(0.72), binary, config);
+  expect_regime_covered(two, binary);
+}
+
+TEST(ScoreBatch, CalibratedForcedOverconfidentRegime) {
+  // Every wrong prediction flips to the sharp-margin regime.
+  CalibrationConfig config;
+  config.hesitant_rate = 0.0;
+  config.overconfident_rate = 1.0;
+  const CalibratedModel multiclass(regime_profile(0.72), batch_dataset(),
+                                   config);
+  expect_regime_covered(multiclass, batch_dataset());
+  const data::Dataset binary = binary_dataset();
+  const CalibratedModel two(regime_profile(0.72), binary, config);
+  expect_regime_covered(two, binary);
+}
+
+TEST(ScoreBatch, CalibratedRunnerUpRateExtremes) {
+  // runner_up_rate 0 (always a decoy) and 1 (true class whenever wrong)
+  // steer the multiclass runner-up branch through both arms.
+  for (const double rate : {0.0, 1.0}) {
+    CalibrationConfig config;
+    config.runner_up_rate = rate;
+    const CalibratedModel model(regime_profile(0.70), batch_dataset(),
+                                config);
+    expect_regime_covered(model, batch_dataset());
+  }
+}
+
+TEST(ScoreBatch, CalibratedPartitionIndependence) {
+  // A batch row is a pure function of its record: any partition of the
+  // batch — including the row splits a wider worker pool would produce
+  // under MUFFIN_THREADS — must reproduce the whole-batch rows bitwise.
+  const Model& model = batch_pool().at(0);
+  const std::vector<data::Record> records = head_of(batch_dataset(), 64);
+  const tensor::Matrix whole = model.score_batch(records);
+  const std::span<const data::Record> span(records);
+  for (const std::size_t chunk : {std::size_t{1}, std::size_t{7},
+                                  std::size_t{17}, std::size_t{64}}) {
+    std::size_t row = 0;
+    for (std::size_t i0 = 0; i0 < records.size(); i0 += chunk) {
+      const std::size_t i1 = std::min(i0 + chunk, records.size());
+      const tensor::Matrix part = model.score_batch(span.subspan(i0, i1 - i0));
+      for (std::size_t r = 0; r < part.rows(); ++r, ++row) {
+        for (std::size_t c = 0; c < part.cols(); ++c) {
+          EXPECT_EQ(part(r, c), whole(row, c))
+              << "chunk " << chunk << " row " << row << " col " << c;
+        }
+      }
+    }
+  }
+}
+
 TEST(FuseGatheredBatch, RowsMatchSingleRecordReference) {
   const auto fused = build_fused(true);
   const std::vector<data::Record> records = first_records(64);

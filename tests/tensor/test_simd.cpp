@@ -19,6 +19,7 @@
 #include <limits>
 #include <vector>
 
+#include "common/error.h"
 #include "common/rng.h"
 #include "tensor/ops.h"
 
@@ -274,6 +275,160 @@ TEST(SimdDispatch, PublicKernelsMatchScalarReferenceBitwise) {
   Vector softmax_actual(19);
   softmax_into(logits, softmax_actual);
   EXPECT_TRUE(bitwise_equal(softmax_expected, softmax_actual));
+}
+
+// --- planar kernels (calibrated batch scoring) --------------------------
+
+std::vector<std::uint64_t> planar_states(std::size_t n, std::uint64_t seed) {
+  std::vector<std::uint64_t> states(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    states[i] = fork_seed(seed, 0x9e3779b97f4a7c15ULL * (i + 1));
+  }
+  return states;
+}
+
+TEST_F(SimdBackends, NormalPlanarBitIdenticalAcrossBackends) {
+  const detail::KernelTable& scalar = detail::scalar_kernels();
+  for (const std::size_t n : {std::size_t{1}, std::size_t{3}, std::size_t{8},
+                              std::size_t{17}, std::size_t{255}}) {
+    std::vector<std::uint64_t> ref_states = planar_states(n, 42);
+    std::vector<double> reference(n);
+    scalar.normal_planar(ref_states.data(), reference.data(), n);
+    for (const detail::KernelTable* backend : backends_) {
+      std::vector<std::uint64_t> states = planar_states(n, 42);
+      std::vector<double> out(n);
+      backend->normal_planar(states.data(), out.data(), n);
+      EXPECT_TRUE(bitwise_equal(out, reference))
+          << backend->name << " n=" << n;
+      EXPECT_EQ(states, ref_states) << backend->name << " n=" << n;
+    }
+  }
+}
+
+TEST(PlanarKernels, NormalPlanarMatchesCounterRngLanes) {
+  // Each lane is an independent CounterRng stream: the planar sweep must
+  // reproduce the scalar draw (one splitmix64 step + normal_quantile) and
+  // advance each state exactly one draw.
+  const std::size_t n = 64;
+  std::vector<std::uint64_t> states = planar_states(n, 7);
+  const std::vector<std::uint64_t> seeds = states;
+  std::vector<double> out(n);
+  normal_planar_into(std::span<std::uint64_t>(states),
+                     std::span<double>(out));
+  for (std::size_t i = 0; i < n; ++i) {
+    CounterRng rng(seeds[i]);
+    EXPECT_EQ(out[i], rng.normal()) << "lane " << i;
+    EXPECT_EQ(states[i], rng.state()) << "lane " << i;
+  }
+  // A second sweep continues the streams (draw 2 of each lane).
+  normal_planar_into(std::span<std::uint64_t>(states),
+                     std::span<double>(out));
+  for (std::size_t i = 0; i < n; ++i) {
+    CounterRng rng(seeds[i]);
+    (void)rng.normal();
+    EXPECT_EQ(out[i], rng.normal()) << "lane " << i;
+  }
+}
+
+TEST_F(SimdBackends, SoftmaxPlanarBitIdenticalAcrossBackends) {
+  const detail::KernelTable& scalar = detail::scalar_kernels();
+  for (const auto& [classes, n] :
+       {std::pair<std::size_t, std::size_t>{2, 1},
+        {2, 17},
+        {8, 3},
+        {8, 64},
+        {5, 31}}) {
+    const Matrix seed_planes = random_matrix(classes, n, 91);
+    const std::size_t ldo = classes + 2;  // exercise a padded output
+    std::vector<double> reference(n * ldo, -1.0);
+    {
+      Matrix planes = seed_planes;  // the kernel destroys its input
+      scalar.softmax_planar(planes.flat().data(), n, classes, n,
+                            reference.data(), ldo);
+    }
+    for (const detail::KernelTable* backend : backends_) {
+      Matrix planes = seed_planes;
+      std::vector<double> out(n * ldo, -1.0);
+      backend->softmax_planar(planes.flat().data(), n, classes, n,
+                              out.data(), ldo);
+      EXPECT_TRUE(bitwise_equal(out, reference))
+          << backend->name << " classes=" << classes << " n=" << n;
+    }
+    // Rows are simplex points; the padding beyond `classes` is untouched.
+    for (std::size_t i = 0; i < n; ++i) {
+      double total = 0.0;
+      for (std::size_t c = 0; c < classes; ++c) {
+        const double v = reference[i * ldo + c];
+        EXPECT_GT(v, 0.0);
+        total += v;
+      }
+      EXPECT_NEAR(total, 1.0, 1e-12);
+      for (std::size_t c = classes; c < ldo; ++c) {
+        EXPECT_EQ(reference[i * ldo + c], -1.0);
+      }
+    }
+  }
+}
+
+TEST(PlanarKernels, SoftmaxPlanarLanesArePartitionIndependent) {
+  // Lane i depends only on column i of the planes: computing any sub-range
+  // of lanes in a compact buffer reproduces the whole-batch lanes bitwise
+  // (the property that makes the calibrated kernel's row split exact).
+  const std::size_t classes = 6, n = 29;
+  const Matrix seed_planes = random_matrix(classes, n, 13);
+  std::vector<double> whole(n * classes);
+  {
+    Matrix planes = seed_planes;
+    softmax_planar_into(planes.flat(), n, classes, n, whole.data(), classes);
+  }
+  for (const std::size_t chunk : {std::size_t{1}, std::size_t{7}}) {
+    for (std::size_t i0 = 0; i0 < n; i0 += chunk) {
+      const std::size_t width = std::min(chunk, n - i0);
+      Matrix compact(classes, width);
+      for (std::size_t c = 0; c < classes; ++c) {
+        for (std::size_t i = 0; i < width; ++i) {
+          compact(c, i) = seed_planes(c, i0 + i);
+        }
+      }
+      std::vector<double> out(width * classes);
+      softmax_planar_into(compact.flat(), width, classes, width, out.data(),
+                          classes);
+      for (std::size_t k = 0; k < out.size(); ++k) {
+        EXPECT_EQ(out[k], whole[i0 * classes + k])
+            << "chunk " << chunk << " offset " << i0;
+      }
+    }
+  }
+}
+
+TEST(PlanarKernels, WrappersValidateArguments) {
+  std::vector<std::uint64_t> states(4);
+  std::vector<double> out(3);
+  EXPECT_THROW(normal_planar_into(std::span<std::uint64_t>(states),
+                                  std::span<double>(out)),
+               Error);
+  std::vector<double> planes(8);
+  EXPECT_THROW(
+      softmax_planar_into(std::span<double>(planes), 4, 0, 4, out.data(), 1),
+      Error);
+  EXPECT_THROW(
+      softmax_planar_into(std::span<double>(planes), 2, 2, 4, out.data(), 2),
+      Error);  // plane_stride < n
+  EXPECT_THROW(
+      softmax_planar_into(std::span<double>(planes), 4, 2, 4, out.data(), 1),
+      Error);  // ldo < classes
+}
+
+TEST(SimdDispatch, PlanarKernelTableComplete) {
+  // Every compiled-in backend table lists both planar kernels.
+  EXPECT_NE(detail::scalar_kernels().normal_planar, nullptr);
+  EXPECT_NE(detail::scalar_kernels().softmax_planar, nullptr);
+  for (const detail::KernelTable* backend : usable_vector_backends()) {
+    EXPECT_NE(backend->normal_planar, nullptr) << backend->name;
+    EXPECT_NE(backend->softmax_planar, nullptr) << backend->name;
+  }
+  EXPECT_NE(detail::active_kernels().normal_planar, nullptr);
+  EXPECT_NE(detail::active_kernels().softmax_planar, nullptr);
 }
 
 TEST(SimdDispatch, MatrixStorageIsCacheLineAligned) {
