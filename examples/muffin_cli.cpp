@@ -11,12 +11,18 @@
 //       archive and the best fused structure
 //   muffin_cli serve   [--dataset ...] [--samples N] [--workers W]
 //                      [--batch B] [--requests N] [--listen ADDR]
+//                      [--artifact FILE]
 //       fuse a default two-model muffin and drive the batched serving
 //       engine with a synthetic request trace; prints latency percentiles,
 //       throughput and engine counters. With --listen (host:port, port 0
 //       for ephemeral, or unix:/path) the process instead becomes one
 //       shard of the cross-process tier: it serves the batched RPC wire
-//       format on that socket until SIGINT/SIGTERM.
+//       format on that socket until SIGINT/SIGTERM. With --artifact, the
+//       muffin head comes from a binary model artifact: an existing file
+//       is mmap'd read-only and served zero-copy (no head training, no
+//       heap copy of the weights — the shard cold-start path); a missing
+//       file is created after the default head is trained, so the next
+//       start maps it.
 //   muffin_cli route   [--dataset ...] [--samples N] [--shards S]
 //                      [--workers W] [--batch B] [--requests N]
 //                      [--remote A,B,...] [--probe-ms P] [--fail-after K]
@@ -66,6 +72,7 @@
 #include "core/head_trainer.h"
 #include "core/search.h"
 #include "data/generators.h"
+#include "data/serialize.h"
 #include "fairness/metrics.h"
 #include "models/pool.h"
 #include "obs/metrics.h"
@@ -90,6 +97,7 @@ struct CliOptions {
   std::string remote;           // route: comma-separated shard endpoints
   std::string connect;          // stats: shard-server endpoint to query
   std::string format = "table"; // stats: table | json | prom
+  std::string artifact;         // serve: binary model artifact to map/write
   std::size_t samples = 0;  // 0 = dataset default
   std::size_t episodes = 120;
   std::size_t pairs = 2;
@@ -157,6 +165,8 @@ CliOptions parse(int argc, char** argv) {
       options.connect = value;
     } else if (key == "--format") {
       options.format = value;
+    } else if (key == "--artifact") {
+      options.artifact = value;
     } else if (key == "--stats-every-s") {
       options.stats_every_s = static_cast<std::size_t>(std::stoull(value));
     } else if (key == "--probe-ms") {
@@ -348,6 +358,32 @@ std::shared_ptr<core::FusedModel> fuse_default(const Workbench& bench) {
       bench.pool.at(0).name() + "+" + bench.pool.at(1).name(),
       std::vector<models::ModelPtr>{bench.pool.share(0), bench.pool.share(1)},
       std::move(head));
+}
+
+/// serve's model source: with --artifact, an existing file is mmap'd and
+/// the head borrows its weights zero-copy (no head training on the shard
+/// cold-start path); a missing file is written after training so the
+/// next start maps it. Without --artifact, always train.
+std::shared_ptr<core::FusedModel> fused_for_serving(const Workbench& bench,
+                                                    const CliOptions& options) {
+  if (options.artifact.empty()) return fuse_default(bench);
+  if (std::ifstream(options.artifact).good()) {
+    const data::Artifact artifact =
+        data::Artifact::map_file(options.artifact);
+    std::cout << "mapped model artifact " << options.artifact << " ("
+              << artifact.byte_size() << " bytes, zero-copy)\n";
+    return std::make_shared<core::FusedModel>(
+        bench.pool.at(0).name() + "+" + bench.pool.at(1).name(),
+        std::vector<models::ModelPtr>{bench.pool.share(0),
+                                      bench.pool.share(1)},
+        nn::Mlp::map_artifact(artifact, "head"));
+  }
+  std::shared_ptr<core::FusedModel> fused = fuse_default(bench);
+  data::ArtifactWriter writer;
+  fused->head().save_artifact(writer, "head");
+  writer.write_file(options.artifact);
+  std::cout << "wrote model artifact " << options.artifact << "\n";
+  return fused;
 }
 
 std::atomic<bool> g_stop_requested{false};
@@ -550,7 +586,7 @@ int run_serve(const CliOptions& options) {
   MUFFIN_REQUIRE(options.batch > 0, "--batch must be positive");
   MUFFIN_REQUIRE(options.requests > 0, "--requests must be positive");
   const Workbench bench = make_workbench(options);
-  std::shared_ptr<core::FusedModel> fused = fuse_default(bench);
+  std::shared_ptr<core::FusedModel> fused = fused_for_serving(bench, options);
   if (!options.listen.empty()) {
     return run_listen(options, std::move(fused));
   }

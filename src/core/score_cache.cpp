@@ -1,44 +1,172 @@
 #include "core/score_cache.h"
 
+#include <utility>
+
 #include "common/error.h"
+#include "obs/metrics.h"
 #include "tensor/ops.h"
 
 namespace muffin::core {
 
+namespace {
+
+obs::Gauge& footprint_gauge() {
+  static obs::Gauge& gauge = obs::registry().gauge("core.score_cache_bytes");
+  return gauge;
+}
+
+}  // namespace
+
 ScoreCache::ScoreCache(const models::ModelPool& pool,
-                       const data::Dataset& dataset)
-    : num_records_(dataset.size()), num_classes_(dataset.num_classes()) {
+                       const data::Dataset& dataset, tensor::QuantMode mode)
+    : num_records_(dataset.size()),
+      num_classes_(dataset.num_classes()),
+      mode_(mode) {
   MUFFIN_REQUIRE(pool.size() > 0, "score cache needs a non-empty pool");
   MUFFIN_REQUIRE(dataset.size() > 0, "score cache needs a non-empty dataset");
-  scores_.reserve(pool.size());
+  MUFFIN_REQUIRE(num_classes_ <= 256,
+                 "score cache stores predictions as one byte; datasets with "
+                 "more than 256 classes are not supported");
+  const std::size_t plane = num_records_ * num_classes_;
   predictions_.reserve(pool.size());
   for (std::size_t m = 0; m < pool.size(); ++m) {
     const models::Model& model = pool.at(m);
     MUFFIN_REQUIRE(model.num_classes() == num_classes_,
                    "pool model class count must match dataset");
-    // One batched scoring pass per model — the (num_records, num_classes)
-    // result is exactly the cache layout, so it is adopted wholesale.
-    tensor::Matrix score_matrix = model.score_batch(dataset.records());
+    // One batched scoring pass per model. Predictions are taken from the
+    // full-precision scores before any quantization, so consensus — and
+    // with it the serving fast path — is independent of the score
+    // encoding.
+    const tensor::Matrix score_matrix = model.score_batch(dataset.records());
     MUFFIN_REQUIRE(score_matrix.rows() == num_records_ &&
                        score_matrix.cols() == num_classes_,
                    "model returned a malformed score matrix");
-    std::vector<std::size_t> preds(num_records_);
+    std::vector<std::uint8_t> preds(num_records_);
     for (std::size_t i = 0; i < num_records_; ++i) {
-      preds[i] = tensor::argmax(score_matrix.row(i));
+      preds[i] =
+          static_cast<std::uint8_t>(tensor::argmax(score_matrix.row(i)));
     }
-    scores_.push_back(std::move(score_matrix));
     predictions_.push_back(std::move(preds));
+    const std::span<const double> flat = score_matrix.flat();
+    switch (mode_) {
+      case tensor::QuantMode::Off: {
+        planes_f64_.emplace_back(flat.begin(), flat.end());
+        break;
+      }
+      case tensor::QuantMode::Bf16: {
+        std::vector<std::uint16_t> q(plane);
+        for (std::size_t i = 0; i < plane; ++i) {
+          q[i] = tensor::bf16_from_double(flat[i]);
+        }
+        planes_bf16_.push_back(std::move(q));
+        break;
+      }
+      case tensor::QuantMode::Int8: {
+        // Symmetric per-class-column scales: class score ranges differ
+        // (and a single hot class must not flatten the others' grid).
+        std::vector<double> scales(num_classes_);
+        for (std::size_t c = 0; c < num_classes_; ++c) {
+          double maxabs = 0.0;
+          for (std::size_t i = 0; i < num_records_; ++i) {
+            const double v = score_matrix(i, c);
+            const double a = v < 0.0 ? -v : v;
+            if (a > maxabs) maxabs = a;
+          }
+          scales[c] = tensor::i8_scale_from_maxabs(maxabs);
+        }
+        std::vector<std::int8_t> q(plane);
+        for (std::size_t i = 0; i < num_records_; ++i) {
+          for (std::size_t c = 0; c < num_classes_; ++c) {
+            q[i * num_classes_ + c] =
+                tensor::i8_from_double(score_matrix(i, c), scales[c]);
+          }
+        }
+        planes_i8_.push_back(std::move(q));
+        scales_.push_back(std::move(scales));
+        break;
+      }
+    }
+  }
+  for (const auto& p : planes_f64_) footprint_bytes_ += p.size() * 8;
+  for (const auto& p : planes_bf16_) footprint_bytes_ += p.size() * 2;
+  for (const auto& p : planes_i8_) footprint_bytes_ += p.size();
+  for (const auto& s : scales_) footprint_bytes_ += s.size() * 8;
+  for (const auto& p : predictions_) footprint_bytes_ += p.size();
+  footprint_gauge().add(static_cast<std::int64_t>(footprint_bytes_));
+}
+
+void ScoreCache::release_footprint() noexcept {
+  if (footprint_bytes_ > 0) {
+    footprint_gauge().sub(static_cast<std::int64_t>(footprint_bytes_));
+    footprint_bytes_ = 0;
   }
 }
 
-const tensor::Matrix& ScoreCache::scores(std::size_t model) const {
-  MUFFIN_REQUIRE(model < scores_.size(), "model index out of range");
-  return scores_[model];
+ScoreCache::~ScoreCache() { release_footprint(); }
+
+ScoreCache::ScoreCache(ScoreCache&& other) noexcept
+    : num_records_(other.num_records_),
+      num_classes_(other.num_classes_),
+      mode_(other.mode_),
+      footprint_bytes_(std::exchange(other.footprint_bytes_, 0)),
+      planes_f64_(std::move(other.planes_f64_)),
+      planes_bf16_(std::move(other.planes_bf16_)),
+      planes_i8_(std::move(other.planes_i8_)),
+      scales_(std::move(other.scales_)),
+      predictions_(std::move(other.predictions_)) {}
+
+ScoreCache& ScoreCache::operator=(ScoreCache&& other) noexcept {
+  if (this == &other) return *this;
+  release_footprint();
+  num_records_ = other.num_records_;
+  num_classes_ = other.num_classes_;
+  mode_ = other.mode_;
+  footprint_bytes_ = std::exchange(other.footprint_bytes_, 0);
+  planes_f64_ = std::move(other.planes_f64_);
+  planes_bf16_ = std::move(other.planes_bf16_);
+  planes_i8_ = std::move(other.planes_i8_);
+  scales_ = std::move(other.scales_);
+  predictions_ = std::move(other.predictions_);
+  return *this;
 }
 
-std::span<const std::size_t> ScoreCache::predictions(std::size_t model) const {
-  MUFFIN_REQUIRE(model < predictions_.size(), "model index out of range");
-  return predictions_[model];
+tensor::Matrix ScoreCache::scores_dense(std::size_t model) const {
+  MUFFIN_REQUIRE(model < num_models(), "model index out of range");
+  tensor::Matrix out(num_records_, num_classes_);
+  const std::span<double> flat = out.flat();
+  switch (mode_) {
+    case tensor::QuantMode::Off: {
+      const auto& p = planes_f64_[model];
+      std::copy(p.begin(), p.end(), flat.begin());
+      break;
+    }
+    case tensor::QuantMode::Bf16: {
+      const auto& p = planes_bf16_[model];
+      for (std::size_t i = 0; i < flat.size(); ++i) {
+        flat[i] = tensor::bf16_to_double(p[i]);
+      }
+      break;
+    }
+    case tensor::QuantMode::Int8: {
+      const auto& p = planes_i8_[model];
+      const auto& scales = scales_[model];
+      for (std::size_t i = 0; i < num_records_; ++i) {
+        for (std::size_t c = 0; c < num_classes_; ++c) {
+          flat[i * num_classes_ + c] =
+              tensor::i8_to_double(p[i * num_classes_ + c], scales[c]);
+        }
+      }
+      break;
+    }
+  }
+  return out;
+}
+
+std::size_t ScoreCache::prediction(std::size_t model,
+                                   std::size_t record) const {
+  MUFFIN_REQUIRE(model < num_models(), "model index out of range");
+  MUFFIN_REQUIRE(record < num_records_, "record index out of range");
+  return predictions_[model][record];
 }
 
 void ScoreCache::gather(std::span<const std::size_t> model_indices,
@@ -46,12 +174,33 @@ void ScoreCache::gather(std::span<const std::size_t> model_indices,
   MUFFIN_REQUIRE(record < num_records_, "record index out of range");
   MUFFIN_REQUIRE(out.size() == model_indices.size() * num_classes_,
                  "gather output span has the wrong size");
+  const std::size_t base = record * num_classes_;
   std::size_t cursor = 0;
   for (const std::size_t m : model_indices) {
-    MUFFIN_REQUIRE(m < scores_.size(), "model index out of range");
-    const auto row = scores_[m].row(record);
-    for (std::size_t c = 0; c < num_classes_; ++c) {
-      out[cursor++] = row[c];
+    MUFFIN_REQUIRE(m < num_models(), "model index out of range");
+    switch (mode_) {
+      case tensor::QuantMode::Off: {
+        const double* row = planes_f64_[m].data() + base;
+        for (std::size_t c = 0; c < num_classes_; ++c) {
+          out[cursor++] = row[c];
+        }
+        break;
+      }
+      case tensor::QuantMode::Bf16: {
+        const std::uint16_t* row = planes_bf16_[m].data() + base;
+        for (std::size_t c = 0; c < num_classes_; ++c) {
+          out[cursor++] = tensor::bf16_to_double(row[c]);
+        }
+        break;
+      }
+      case tensor::QuantMode::Int8: {
+        const std::int8_t* row = planes_i8_[m].data() + base;
+        const double* scales = scales_[m].data();
+        for (std::size_t c = 0; c < num_classes_; ++c) {
+          out[cursor++] = tensor::i8_to_double(row[c], scales[c]);
+        }
+        break;
+      }
     }
   }
 }
@@ -61,8 +210,11 @@ bool ScoreCache::consensus(std::span<const std::size_t> model_indices,
                            std::size_t& consensus_class) const {
   MUFFIN_REQUIRE(!model_indices.empty(), "consensus needs at least one model");
   MUFFIN_REQUIRE(record < num_records_, "record index out of range");
-  const std::size_t first = predictions_[model_indices[0]][record];
+  MUFFIN_REQUIRE(model_indices[0] < num_models(),
+                 "model index out of range");
+  const std::uint8_t first = predictions_[model_indices[0]][record];
   for (const std::size_t m : model_indices.subspan(1)) {
+    MUFFIN_REQUIRE(m < num_models(), "model index out of range");
     if (predictions_[m][record] != first) return false;
   }
   consensus_class = first;

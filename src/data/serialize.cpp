@@ -1,6 +1,19 @@
 #include "data/serialize.h"
 
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
 #include <limits>
+#include <set>
+#include <utility>
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include "common/error.h"
+#include "obs/metrics.h"
 
 namespace muffin::data {
 
@@ -36,5 +49,368 @@ Record decode_record(common::ByteReader& reader) {
   reader.f64_into(record.features, feature_count);
   return record;
 }
+
+// ---------------------------------------------------------------------------
+// Model artifact container.
+
+namespace {
+
+constexpr std::uint32_t kArtifactVersion = 1;
+constexpr std::size_t kExtentAlign = 64;
+constexpr std::size_t kHeaderBytes = 4 + 4 + 8 + 4 + 8;
+constexpr std::size_t kMaxNameLen = 4096;
+
+const std::uint8_t kMagic[4] = {'M', 'U', 'F', 'A'};
+
+[[nodiscard]] std::size_t align_up(std::size_t v) {
+  return (v + (kExtentAlign - 1)) & ~(kExtentAlign - 1);
+}
+
+obs::Gauge& mapped_bytes_gauge() {
+  static obs::Gauge& gauge =
+      obs::registry().gauge("data.mapped_artifact_bytes");
+  return gauge;
+}
+
+}  // namespace
+
+std::size_t dtype_size(TensorDtype dtype) {
+  switch (dtype) {
+    case TensorDtype::F64:
+      return 8;
+    case TensorDtype::Bf16:
+      return 2;
+    case TensorDtype::I8:
+      return 1;
+  }
+  throw Error("unknown artifact tensor dtype");
+}
+
+const char* dtype_name(TensorDtype dtype) {
+  switch (dtype) {
+    case TensorDtype::F64:
+      return "f64";
+    case TensorDtype::Bf16:
+      return "bf16";
+    case TensorDtype::I8:
+      return "int8";
+  }
+  throw Error("unknown artifact tensor dtype");
+}
+
+std::span<const double> ArtifactTensor::f64() const {
+  MUFFIN_REQUIRE(dtype == TensorDtype::F64,
+                 "artifact tensor '" + name + "' is not f64");
+  // The 64-byte extent alignment makes this cast aligned; payloads are
+  // written in the in-memory little-endian representation, so the mapped
+  // bytes ARE the values (zero-copy is the container's purpose).
+  return {reinterpret_cast<const double*>(data), count()};
+}
+
+std::span<const std::uint16_t> ArtifactTensor::bf16() const {
+  MUFFIN_REQUIRE(dtype == TensorDtype::Bf16,
+                 "artifact tensor '" + name + "' is not bf16");
+  return {reinterpret_cast<const std::uint16_t*>(data), count()};
+}
+
+std::span<const std::int8_t> ArtifactTensor::i8() const {
+  MUFFIN_REQUIRE(dtype == TensorDtype::I8,
+                 "artifact tensor '" + name + "' is not int8");
+  return {reinterpret_cast<const std::int8_t*>(data), count()};
+}
+
+void ArtifactWriter::add(std::string name, TensorDtype dtype,
+                         std::size_t rows, std::size_t cols,
+                         const void* values, std::size_t byte_len) {
+  MUFFIN_REQUIRE(!name.empty() && name.size() <= kMaxNameLen,
+                 "artifact tensor name must be 1..4096 bytes");
+  for (const Entry& entry : entries_) {
+    MUFFIN_REQUIRE(entry.name != name,
+                   "duplicate artifact tensor name '" + name + "'");
+  }
+  Entry entry{std::move(name), dtype, rows, cols, {}};
+  entry.payload.resize(byte_len);
+  if (byte_len > 0) std::memcpy(entry.payload.data(), values, byte_len);
+  entries_.push_back(std::move(entry));
+}
+
+void ArtifactWriter::add_f64(std::string name, std::size_t rows,
+                             std::size_t cols,
+                             std::span<const double> values) {
+  MUFFIN_REQUIRE(values.size() == rows * cols,
+                 "artifact tensor value count does not match its shape");
+  // Doubles are stored as their IEEE-754 little-endian bytes — on the
+  // little-endian hosts this project targets, a straight memcpy of the
+  // in-memory representation.
+  add(std::move(name), TensorDtype::F64, rows, cols, values.data(),
+      values.size() * 8);
+}
+
+void ArtifactWriter::add_bf16(std::string name, std::size_t rows,
+                              std::size_t cols,
+                              std::span<const std::uint16_t> values) {
+  MUFFIN_REQUIRE(values.size() == rows * cols,
+                 "artifact tensor value count does not match its shape");
+  add(std::move(name), TensorDtype::Bf16, rows, cols, values.data(),
+      values.size() * 2);
+}
+
+void ArtifactWriter::add_i8(std::string name, std::size_t rows,
+                            std::size_t cols,
+                            std::span<const std::int8_t> values) {
+  MUFFIN_REQUIRE(values.size() == rows * cols,
+                 "artifact tensor value count does not match its shape");
+  add(std::move(name), TensorDtype::I8, rows, cols, values.data(),
+      values.size());
+}
+
+std::vector<std::uint8_t> ArtifactWriter::bytes() const {
+  MUFFIN_REQUIRE(entries_.size() <= std::numeric_limits<std::uint32_t>::max(),
+                 "too many tensors for the artifact format");
+  // The table layout is fixed-width except for names, so its size — and
+  // with it the payload start — is known before offsets are assigned.
+  std::size_t table_bytes = 0;
+  for (const Entry& entry : entries_) {
+    table_bytes += 4 + entry.name.size() + 1 + 8 * 4;
+  }
+  const std::size_t payload_start = align_up(kHeaderBytes + table_bytes);
+  std::vector<std::size_t> offsets(entries_.size());
+  std::size_t cursor = payload_start;
+  for (std::size_t t = 0; t < entries_.size(); ++t) {
+    offsets[t] = cursor;
+    cursor = align_up(cursor + entries_[t].payload.size());
+  }
+  const std::size_t file_bytes =
+      entries_.empty() ? payload_start
+                       : offsets.back() + entries_.back().payload.size();
+
+  std::vector<std::uint8_t> out;
+  out.reserve(file_bytes);
+  for (const std::uint8_t byte : kMagic) out.push_back(byte);
+  common::put_u32(out, kArtifactVersion);
+  common::put_u64(out, static_cast<std::uint64_t>(file_bytes));
+  common::put_u32(out, static_cast<std::uint32_t>(entries_.size()));
+  common::put_u64(out, static_cast<std::uint64_t>(table_bytes));
+  for (std::size_t t = 0; t < entries_.size(); ++t) {
+    const Entry& entry = entries_[t];
+    common::put_u32(out, static_cast<std::uint32_t>(entry.name.size()));
+    out.insert(out.end(), entry.name.begin(), entry.name.end());
+    out.push_back(static_cast<std::uint8_t>(entry.dtype));
+    common::put_u64(out, static_cast<std::uint64_t>(entry.rows));
+    common::put_u64(out, static_cast<std::uint64_t>(entry.cols));
+    common::put_u64(out, static_cast<std::uint64_t>(offsets[t]));
+    common::put_u64(out, static_cast<std::uint64_t>(entry.payload.size()));
+  }
+  out.resize(file_bytes, 0);  // zero padding between aligned extents
+  for (std::size_t t = 0; t < entries_.size(); ++t) {
+    if (!entries_[t].payload.empty()) {
+      std::memcpy(out.data() + offsets[t], entries_[t].payload.data(),
+                  entries_[t].payload.size());
+    }
+  }
+  return out;
+}
+
+void ArtifactWriter::write_file(const std::string& path) const {
+  const std::vector<std::uint8_t> data = bytes();
+  std::FILE* file = std::fopen(path.c_str(), "wb");
+  MUFFIN_REQUIRE(file != nullptr,
+                 "cannot open artifact file for writing: " + path);
+  const std::size_t written =
+      data.empty() ? 0 : std::fwrite(data.data(), 1, data.size(), file);
+  const int close_rc = std::fclose(file);
+  MUFFIN_REQUIRE(written == data.size() && close_rc == 0,
+                 "short write to artifact file: " + path);
+}
+
+// --- parsing ---------------------------------------------------------------
+
+namespace {
+
+/// Validate and index the container; returns tensors pointing into `bytes`.
+std::vector<ArtifactTensor> parse_artifact(
+    std::span<const std::uint8_t> bytes) {
+  common::ByteReader reader(bytes);
+  const auto magic = reader.bytes(4);
+  MUFFIN_REQUIRE(std::equal(magic.begin(), magic.end(), std::begin(kMagic)),
+                 "bad artifact magic (not a MUFA container)");
+  const std::uint32_t version = reader.u32();
+  MUFFIN_REQUIRE(version == kArtifactVersion,
+                 "unsupported artifact version " + std::to_string(version));
+  const std::uint64_t file_bytes = reader.u64();
+  MUFFIN_REQUIRE(file_bytes == bytes.size(),
+                 "artifact length prefix (" + std::to_string(file_bytes) +
+                     ") does not match the container size (" +
+                     std::to_string(bytes.size()) + ")");
+  const std::uint32_t tensor_count = reader.u32();
+  const std::uint64_t table_bytes = reader.u64();
+  MUFFIN_REQUIRE(table_bytes <= reader.remaining(),
+                 "artifact table extends past the end of the container");
+  // Each table entry is at least 4 + 1 name byte + 1 + 32 bytes, so a
+  // hostile tensor_count that cannot fit is rejected before any loop.
+  common::ByteReader table(reader.bytes(static_cast<std::size_t>(table_bytes)));
+  table.require_count(tensor_count, 4 + 1 + 1 + 8 * 4);
+  const std::size_t payload_floor = align_up(kHeaderBytes +
+                                             static_cast<std::size_t>(table_bytes));
+
+  std::vector<ArtifactTensor> tensors;
+  tensors.reserve(tensor_count);
+  std::set<std::string> names;
+  for (std::uint32_t t = 0; t < tensor_count; ++t) {
+    ArtifactTensor tensor;
+    const std::uint32_t name_len = table.u32();
+    MUFFIN_REQUIRE(name_len >= 1 && name_len <= kMaxNameLen,
+                   "artifact tensor name length out of range");
+    const auto name_bytes = table.bytes(name_len);
+    tensor.name.assign(name_bytes.begin(), name_bytes.end());
+    MUFFIN_REQUIRE(names.insert(tensor.name).second,
+                   "duplicate artifact tensor name '" + tensor.name + "'");
+    const std::uint8_t dtype = table.u8();
+    MUFFIN_REQUIRE(dtype <= static_cast<std::uint8_t>(TensorDtype::I8),
+                   "unknown artifact tensor dtype " + std::to_string(dtype));
+    tensor.dtype = static_cast<TensorDtype>(dtype);
+    const std::uint64_t rows = table.u64();
+    const std::uint64_t cols = table.u64();
+    const std::uint64_t offset = table.u64();
+    const std::uint64_t byte_len = table.u64();
+    // Shape sanity before any multiplication can wrap: both dimensions
+    // and the element count are bounded by the (already validated)
+    // extent length, which is bounded by the file size.
+    const std::uint64_t elem = dtype_size(tensor.dtype);
+    MUFFIN_REQUIRE(rows <= file_bytes && cols <= file_bytes &&
+                       (rows == 0 || cols <= file_bytes / rows),
+                   "artifact tensor '" + tensor.name +
+                       "' shape overflows the container");
+    MUFFIN_REQUIRE(byte_len == rows * cols * elem,
+                   "artifact tensor '" + tensor.name +
+                       "' byte length does not match its shape");
+    MUFFIN_REQUIRE(offset % kExtentAlign == 0,
+                   "artifact tensor '" + tensor.name +
+                       "' extent is not 64-byte aligned");
+    MUFFIN_REQUIRE(offset >= payload_floor && offset <= file_bytes &&
+                       byte_len <= file_bytes - offset,
+                   "artifact tensor '" + tensor.name +
+                       "' extent is out of bounds");
+    tensor.rows = static_cast<std::size_t>(rows);
+    tensor.cols = static_cast<std::size_t>(cols);
+    tensor.data = bytes.data() + offset;
+    tensor.byte_len = static_cast<std::size_t>(byte_len);
+    tensors.push_back(std::move(tensor));
+  }
+  MUFFIN_REQUIRE(table.done(),
+                 "artifact table size does not match its entries");
+
+  // Extents must not overlap (a lying offset pair could otherwise alias
+  // one tensor's bytes as another's).
+  std::vector<std::pair<std::size_t, std::size_t>> extents;
+  extents.reserve(tensors.size());
+  for (const ArtifactTensor& tensor : tensors) {
+    extents.emplace_back(static_cast<std::size_t>(tensor.data - bytes.data()),
+                         tensor.byte_len);
+  }
+  std::sort(extents.begin(), extents.end());
+  for (std::size_t t = 1; t < extents.size(); ++t) {
+    MUFFIN_REQUIRE(
+        extents[t - 1].first + extents[t - 1].second <= extents[t].first,
+        "artifact tensor extents overlap");
+  }
+  return tensors;
+}
+
+}  // namespace
+
+/// Backing bytes of a parsed artifact: either a heap buffer or a
+/// read-only mmap. The destructor releases whichever is held (and keeps
+/// the mapped-bytes gauge honest).
+struct Artifact::Storage {
+  std::vector<std::uint8_t> heap;
+  void* map_base = nullptr;
+  std::size_t map_len = 0;
+
+  Storage() = default;
+  Storage(const Storage&) = delete;
+  Storage& operator=(const Storage&) = delete;
+
+  [[nodiscard]] std::span<const std::uint8_t> bytes() const {
+    if (map_base != nullptr) {
+      return {static_cast<const std::uint8_t*>(map_base), map_len};
+    }
+    return heap;
+  }
+
+  ~Storage() {
+    if (map_base != nullptr) {
+      ::munmap(map_base, map_len);
+      mapped_bytes_gauge().sub(static_cast<std::int64_t>(map_len));
+    }
+  }
+};
+
+Artifact::Artifact(std::shared_ptr<const Storage> storage,
+                   std::vector<ArtifactTensor> tensors)
+    : storage_(std::move(storage)), tensors_(std::move(tensors)) {}
+
+Artifact Artifact::from_bytes(std::vector<std::uint8_t> bytes) {
+  auto storage = std::make_shared<Storage>();
+  storage->heap = std::move(bytes);
+  std::vector<ArtifactTensor> tensors = parse_artifact(storage->bytes());
+  return Artifact(std::move(storage), std::move(tensors));
+}
+
+Artifact Artifact::load_file(const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  MUFFIN_REQUIRE(file != nullptr, "cannot open artifact file: " + path);
+  std::vector<std::uint8_t> bytes;
+  std::uint8_t chunk[1 << 16];
+  std::size_t got = 0;
+  while ((got = std::fread(chunk, 1, sizeof chunk, file)) > 0) {
+    bytes.insert(bytes.end(), chunk, chunk + got);
+  }
+  const bool read_error = std::ferror(file) != 0;
+  std::fclose(file);
+  MUFFIN_REQUIRE(!read_error, "error reading artifact file: " + path);
+  return from_bytes(std::move(bytes));
+}
+
+Artifact Artifact::map_file(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  MUFFIN_REQUIRE(fd >= 0, "cannot open artifact file: " + path);
+  struct ::stat st = {};
+  if (::fstat(fd, &st) != 0 || st.st_size <= 0) {
+    ::close(fd);
+    throw Error("cannot stat artifact file (or it is empty): " + path);
+  }
+  const auto len = static_cast<std::size_t>(st.st_size);
+  void* base = ::mmap(nullptr, len, PROT_READ, MAP_PRIVATE, fd, 0);
+  ::close(fd);  // the mapping keeps its own reference to the file
+  MUFFIN_REQUIRE(base != MAP_FAILED, "mmap of artifact file failed: " + path);
+  auto storage = std::make_shared<Storage>();
+  storage->map_base = base;
+  storage->map_len = len;
+  mapped_bytes_gauge().add(static_cast<std::int64_t>(len));
+  // Parse in place; a malformed file throws here and the Storage
+  // destructor unmaps on the way out.
+  std::vector<ArtifactTensor> tensors = parse_artifact(storage->bytes());
+  return Artifact(std::move(storage), std::move(tensors));
+}
+
+const ArtifactTensor* Artifact::find(const std::string& name) const {
+  for (const ArtifactTensor& tensor : tensors_) {
+    if (tensor.name == name) return &tensor;
+  }
+  return nullptr;
+}
+
+const ArtifactTensor& Artifact::tensor(const std::string& name) const {
+  const ArtifactTensor* found = find(name);
+  MUFFIN_REQUIRE(found != nullptr, "artifact has no tensor '" + name + "'");
+  return *found;
+}
+
+bool Artifact::mapped() const { return storage_->map_base != nullptr; }
+
+std::size_t Artifact::byte_size() const { return storage_->bytes().size(); }
+
+std::shared_ptr<const void> Artifact::keepalive() const { return storage_; }
 
 }  // namespace muffin::data

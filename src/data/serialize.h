@@ -1,12 +1,13 @@
-// Wire serialization of data::Record.
+// Wire serialization of data::Record, and the binary model-artifact
+// container.
 //
 // The cross-process serving tier ships record *batches* to remote shards
 // (serve/rpc/wire.h); the per-record byte layout is a data-layer concern
 // and lives here so any future transport (RPC, on-disk replay logs,
 // snapshot shipping) encodes records exactly one way.
 //
-// Layout (all integers little-endian, doubles as IEEE-754 bit patterns —
-// see common/bytes.h):
+// Record layout (all integers little-endian, doubles as IEEE-754 bit
+// patterns — see common/bytes.h):
 //
 //   u64 uid
 //   u64 label
@@ -18,9 +19,43 @@
 // field throws muffin::Error before any over-read or over-allocation.
 // Round-tripping is bit-exact (doubles travel as raw bit patterns), so a
 // record scored remotely sees exactly the bytes the client held.
+//
+// ## Model artifacts ("MUFA")
+//
+// A versioned, mmap-able container of named tensors, designed so a shard
+// server can serve straight out of the page cache: every tensor extent is
+// 64-byte aligned within the file, the payload is stored in its in-memory
+// representation (little-endian f64 / bf16 / int8), and Artifact::map_file
+// maps the file read-only and hands out zero-copy spans into it.
+//
+// File layout (all integers little-endian):
+//
+//   magic "MUFA" (4 bytes)
+//   u32 version (currently 1)
+//   u64 file_bytes     — total file size; the length prefix every other
+//                        bound is checked against
+//   u32 tensor_count
+//   u64 table_bytes    — size of the tensor table that follows
+//   tensor table, tensor_count entries:
+//     u32 name_len, name bytes (UTF-8, no NUL)
+//     u8  dtype          (0 = f64, 1 = bf16, 2 = int8)
+//     u64 rows, u64 cols
+//     u64 offset         — absolute, 64-byte aligned, >= payload start
+//     u64 byte_len       — must equal rows * cols * dtype size
+//   zero padding to the first 64-byte boundary, then tensor payloads at
+//   their table offsets (extents non-overlapping, zero padding between)
+//
+// Parsing never trusts the file: truncation at any byte, a lying
+// file_bytes/count/offset, overlapping or out-of-bounds extents,
+// misaligned offsets, duplicate names and unknown magic/version/dtype all
+// throw muffin::Error before any over-read or over-allocation — the same
+// contract the RPC wire format holds against hostile peers.
 #pragma once
 
 #include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
 #include <vector>
 
 #include "common/bytes.h"
@@ -34,5 +69,104 @@ void encode_record(const Record& record, std::vector<std::uint8_t>& out);
 /// Decode one record at the reader's cursor; throws muffin::Error on a
 /// truncated or malformed encoding.
 [[nodiscard]] Record decode_record(common::ByteReader& reader);
+
+/// Element type of an artifact tensor.
+enum class TensorDtype : std::uint8_t { F64 = 0, Bf16 = 1, I8 = 2 };
+
+/// Bytes per element of `dtype`; throws on an unknown value.
+[[nodiscard]] std::size_t dtype_size(TensorDtype dtype);
+[[nodiscard]] const char* dtype_name(TensorDtype dtype);
+
+/// Builder for a model artifact: collect named tensors, then serialize
+/// them with bytes() or write_file().
+class ArtifactWriter {
+ public:
+  void add_f64(std::string name, std::size_t rows, std::size_t cols,
+               std::span<const double> values);
+  void add_bf16(std::string name, std::size_t rows, std::size_t cols,
+                std::span<const std::uint16_t> values);
+  void add_i8(std::string name, std::size_t rows, std::size_t cols,
+              std::span<const std::int8_t> values);
+
+  /// Serialize the collected tensors into the container format.
+  [[nodiscard]] std::vector<std::uint8_t> bytes() const;
+  /// bytes() written to `path` (replacing any existing file); throws
+  /// muffin::Error on I/O failure.
+  void write_file(const std::string& path) const;
+
+ private:
+  struct Entry {
+    std::string name;
+    TensorDtype dtype;
+    std::size_t rows;
+    std::size_t cols;
+    std::vector<std::uint8_t> payload;
+  };
+  void add(std::string name, TensorDtype dtype, std::size_t rows,
+           std::size_t cols, const void* values, std::size_t byte_len);
+
+  std::vector<Entry> entries_;
+};
+
+/// One parsed tensor: metadata plus a pointer into the artifact's storage
+/// (heap buffer or read-only mapping). Views are valid for the lifetime
+/// of any Artifact (or keepalive()) sharing that storage.
+struct ArtifactTensor {
+  std::string name;
+  TensorDtype dtype = TensorDtype::F64;
+  std::size_t rows = 0;
+  std::size_t cols = 0;
+  const std::uint8_t* data = nullptr;
+  std::size_t byte_len = 0;
+
+  [[nodiscard]] std::size_t count() const { return rows * cols; }
+  /// Typed zero-copy views; each throws unless the dtype matches. The
+  /// 64-byte extent alignment guarantees the casts are aligned for both
+  /// heap and mapped storage.
+  [[nodiscard]] std::span<const double> f64() const;
+  [[nodiscard]] std::span<const std::uint16_t> bf16() const;
+  [[nodiscard]] std::span<const std::int8_t> i8() const;
+};
+
+/// A parsed model artifact. Copies share the underlying storage
+/// (shared_ptr semantics); the storage — and, for map_file, the mapping —
+/// lives until the last copy and the last keepalive() holder are gone.
+/// Mapped bytes are reported on the "data.mapped_artifact_bytes" gauge.
+class Artifact {
+ public:
+  /// Parse an artifact from a heap buffer the Artifact takes over.
+  [[nodiscard]] static Artifact from_bytes(std::vector<std::uint8_t> bytes);
+  /// Read the whole file into a heap buffer and parse it.
+  [[nodiscard]] static Artifact load_file(const std::string& path);
+  /// Map the file read-only (POSIX mmap) and parse in place: the
+  /// zero-copy cold-start path — tensor payloads are served straight
+  /// from the page cache, never copied onto the heap.
+  [[nodiscard]] static Artifact map_file(const std::string& path);
+
+  [[nodiscard]] const std::vector<ArtifactTensor>& tensors() const {
+    return tensors_;
+  }
+  /// Lookup by name; nullptr when absent.
+  [[nodiscard]] const ArtifactTensor* find(const std::string& name) const;
+  /// Lookup by name; throws muffin::Error when absent.
+  [[nodiscard]] const ArtifactTensor& tensor(const std::string& name) const;
+
+  /// Whether the storage is a read-only file mapping.
+  [[nodiscard]] bool mapped() const;
+  /// Total container size in bytes.
+  [[nodiscard]] std::size_t byte_size() const;
+  /// An owner handle for the storage: borrowers of tensor pointers (e.g.
+  /// nn::Linear::adopt_weights) hold this to keep the pages alive without
+  /// keeping the Artifact object itself.
+  [[nodiscard]] std::shared_ptr<const void> keepalive() const;
+
+ private:
+  struct Storage;
+  Artifact(std::shared_ptr<const Storage> storage,
+           std::vector<ArtifactTensor> tensors);
+
+  std::shared_ptr<const Storage> storage_;
+  std::vector<ArtifactTensor> tensors_;
+};
 
 }  // namespace muffin::data

@@ -37,6 +37,9 @@ class ActivationLayer final : public Layer {
   tensor::Matrix backward_batch(const tensor::Matrix& grad_output) override;
   void forward_batch_inference_into(const tensor::Matrix& input,
                                     tensor::Matrix& output) const override;
+  [[nodiscard]] std::unique_ptr<Layer> clone() const override {
+    return std::make_unique<ActivationLayer>(kind_, dim_);
+  }
   [[nodiscard]] std::size_t input_dim() const override { return dim_; }
   [[nodiscard]] std::size_t output_dim() const override { return dim_; }
   [[nodiscard]] Activation kind() const { return kind_; }

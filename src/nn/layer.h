@@ -65,6 +65,13 @@ class Layer {
   virtual void forward_batch_inference_into(const tensor::Matrix& input,
                                             tensor::Matrix& output) const;
 
+  /// Deep copy of this layer's architecture and weights. Gradient
+  /// accumulators and forward caches start empty in the clone. A layer
+  /// whose weights are borrowed from a mapped artifact clones as another
+  /// borrowing layer (sharing the mapping keepalive), which is what lets
+  /// engine worker-head clones share artifact pages instead of copying.
+  [[nodiscard]] virtual std::unique_ptr<Layer> clone() const = 0;
+
   /// Parameter blocks (empty for parameter-free layers).
   virtual std::vector<ParamView> params() { return {}; }
 

@@ -30,32 +30,40 @@ std::size_t MlpSpec::parameter_count() const {
   return count;
 }
 
-Mlp::Mlp(MlpSpec spec) : spec_(std::move(spec)) {
+Mlp::Mlp(MlpSpec spec) : Mlp(std::move(spec), /*defer_storage=*/false) {}
+
+Mlp::Mlp(MlpSpec spec, bool defer_storage) : spec_(std::move(spec)) {
   MUFFIN_REQUIRE(spec_.input_dim > 0, "MLP input_dim must be positive");
   MUFFIN_REQUIRE(spec_.output_dim > 0, "MLP output_dim must be positive");
   for (const std::size_t h : spec_.hidden_dims) {
     MUFFIN_REQUIRE(h > 0, "MLP hidden widths must be positive");
   }
+  const auto make_linear = [defer_storage](std::size_t in, std::size_t out) {
+    return defer_storage
+               ? std::make_unique<Linear>(in, out, Linear::DeferStorage{})
+               : std::make_unique<Linear>(in, out);
+  };
   std::size_t prev = spec_.input_dim;
   for (const std::size_t h : spec_.hidden_dims) {
-    layers_.push_back(std::make_unique<Linear>(prev, h));
+    layers_.push_back(make_linear(prev, h));
     layers_.push_back(
         std::make_unique<ActivationLayer>(spec_.hidden_activation, h));
     prev = h;
   }
-  layers_.push_back(std::make_unique<Linear>(prev, spec_.output_dim));
+  layers_.push_back(make_linear(prev, spec_.output_dim));
   if (spec_.output_activation != Activation::Identity) {
     layers_.push_back(std::make_unique<ActivationLayer>(
         spec_.output_activation, spec_.output_dim));
   }
 }
 
-Mlp::Mlp(const Mlp& other) : Mlp(other.spec_) {
-  auto src = const_cast<Mlp&>(other).params();
-  auto dst = params();
-  for (std::size_t p = 0; p < src.size(); ++p) {
-    std::copy(src[p].value.begin(), src[p].value.end(),
-              dst[p].value.begin());
+Mlp::Mlp(const Mlp& other) : spec_(other.spec_) {
+  // Clone layer by layer instead of round-tripping through params():
+  // mapped (artifact-backed) layers have no mutable params, and their
+  // clones should keep sharing the mapped pages rather than copy them.
+  layers_.reserve(other.layers_.size());
+  for (const auto& layer : other.layers_) {
+    layers_.push_back(layer->clone());
   }
 }
 
@@ -217,6 +225,145 @@ Mlp Mlp::load(std::istream& is) {
     }
   }
   return mlp;
+}
+
+namespace {
+
+/// The spec tensor is one f64 row: [input_dim, output_dim, hidden_act,
+/// output_act, hidden widths...]. Small exact integers as doubles — the
+/// artifact container carries tensors, and this keeps the architecture
+/// inside the same validated format as the weights.
+constexpr std::size_t kSpecFixedFields = 4;
+
+tensor::Vector encode_spec(const MlpSpec& spec) {
+  tensor::Vector row;
+  row.reserve(kSpecFixedFields + spec.hidden_dims.size());
+  row.push_back(static_cast<double>(spec.input_dim));
+  row.push_back(static_cast<double>(spec.output_dim));
+  row.push_back(static_cast<double>(spec.hidden_activation));
+  row.push_back(static_cast<double>(spec.output_activation));
+  for (const std::size_t h : spec.hidden_dims) {
+    row.push_back(static_cast<double>(h));
+  }
+  return row;
+}
+
+std::size_t spec_index(std::span<const double> row, std::size_t at,
+                       const char* what) {
+  const double v = row[at];
+  MUFFIN_REQUIRE(v >= 0.0 && v == static_cast<double>(
+                                      static_cast<std::size_t>(v)),
+                 std::string("artifact MLP spec field is not a valid ") +
+                     what);
+  return static_cast<std::size_t>(v);
+}
+
+Activation spec_activation(std::span<const double> row, std::size_t at) {
+  const std::size_t id = spec_index(row, at, "activation id");
+  MUFFIN_REQUIRE(id <= static_cast<std::size_t>(Activation::Sigmoid),
+                 "artifact MLP spec has an unknown activation id");
+  return static_cast<Activation>(id);
+}
+
+MlpSpec decode_spec(const data::ArtifactTensor& tensor) {
+  const std::span<const double> row = tensor.f64();
+  MUFFIN_REQUIRE(tensor.rows == 1 && row.size() >= kSpecFixedFields,
+                 "artifact MLP spec tensor has the wrong shape");
+  MlpSpec spec;
+  spec.input_dim = spec_index(row, 0, "dimension");
+  spec.output_dim = spec_index(row, 1, "dimension");
+  spec.hidden_activation = spec_activation(row, 2);
+  spec.output_activation = spec_activation(row, 3);
+  for (std::size_t i = kSpecFixedFields; i < row.size(); ++i) {
+    spec.hidden_dims.push_back(spec_index(row, i, "dimension"));
+  }
+  return spec;
+}
+
+/// The linear layers of an Mlp in depth order (activations interleave but
+/// carry no weights).
+std::vector<Linear*> linear_layers(
+    const std::vector<std::unique_ptr<Layer>>& layers) {
+  std::vector<Linear*> linears;
+  for (const auto& layer : layers) {
+    if (auto* linear = dynamic_cast<Linear*>(layer.get())) {
+      linears.push_back(linear);
+    }
+  }
+  return linears;
+}
+
+/// Fetch and shape-check the i-th linear layer's weight/bias tensors.
+std::pair<const data::ArtifactTensor*, const data::ArtifactTensor*>
+layer_tensors(const data::Artifact& artifact, const std::string& prefix,
+              std::size_t index, const Linear& linear) {
+  const data::ArtifactTensor& w =
+      artifact.tensor(prefix + ".w" + std::to_string(index));
+  const data::ArtifactTensor& b =
+      artifact.tensor(prefix + ".b" + std::to_string(index));
+  MUFFIN_REQUIRE(w.rows == linear.output_dim() &&
+                     w.cols == linear.input_dim(),
+                 "artifact weight tensor '" + w.name +
+                     "' does not match the spec's layer shape");
+  MUFFIN_REQUIRE(b.rows == 1 && b.cols == linear.output_dim(),
+                 "artifact bias tensor '" + b.name +
+                     "' does not match the spec's layer shape");
+  return {&w, &b};
+}
+
+}  // namespace
+
+void Mlp::save_artifact(data::ArtifactWriter& writer,
+                        const std::string& prefix) const {
+  const tensor::Vector spec_row = encode_spec(spec_);
+  writer.add_f64(prefix + ".spec", 1, spec_row.size(), spec_row);
+  const std::vector<Linear*> linears = linear_layers(layers_);
+  for (std::size_t i = 0; i < linears.size(); ++i) {
+    const Linear& linear = *linears[i];
+    writer.add_f64(prefix + ".w" + std::to_string(i), linear.output_dim(),
+                   linear.input_dim(), linear.weight_span());
+    writer.add_f64(prefix + ".b" + std::to_string(i), 1, linear.output_dim(),
+                   linear.bias_span());
+  }
+}
+
+Mlp Mlp::from_artifact(const data::Artifact& artifact,
+                       const std::string& prefix) {
+  Mlp mlp(decode_spec(artifact.tensor(prefix + ".spec")));
+  const std::vector<Linear*> linears = linear_layers(mlp.layers_);
+  for (std::size_t i = 0; i < linears.size(); ++i) {
+    Linear& linear = *linears[i];
+    const auto [w, b] = layer_tensors(artifact, prefix, i, linear);
+    const auto wv = w->f64();
+    const auto bv = b->f64();
+    std::copy(wv.begin(), wv.end(), linear.weights().flat().begin());
+    std::copy(bv.begin(), bv.end(), linear.bias().begin());
+  }
+  return mlp;
+}
+
+Mlp Mlp::map_artifact(const data::Artifact& artifact,
+                      const std::string& prefix) {
+  Mlp mlp(decode_spec(artifact.tensor(prefix + ".spec")),
+          /*defer_storage=*/true);
+  const std::vector<Linear*> linears = linear_layers(mlp.layers_);
+  for (std::size_t i = 0; i < linears.size(); ++i) {
+    Linear& linear = *linears[i];
+    const auto [w, b] = layer_tensors(artifact, prefix, i, linear);
+    // Borrow the artifact's bytes directly: no heap copy of the weights,
+    // and the keepalive pins the mapping for this head and its clones.
+    linear.adopt_weights(w->f64().data(), b->f64().data(),
+                         artifact.keepalive());
+  }
+  return mlp;
+}
+
+bool Mlp::mapped() const {
+  for (const auto& layer : layers_) {
+    const auto* linear = dynamic_cast<const Linear*>(layer.get());
+    if (linear != nullptr && linear->mapped()) return true;
+  }
+  return false;
 }
 
 }  // namespace muffin::nn

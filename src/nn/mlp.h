@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "data/serialize.h"
 #include "nn/activation.h"
 #include "nn/layer.h"
 #include "nn/linear.h"
@@ -89,7 +90,33 @@ class Mlp {
   void save(std::ostream& os) const;
   static Mlp load(std::istream& is);
 
+  /// Binary artifact serialization (data/serialize.h). Tensors are named
+  /// "<prefix>.spec" (the architecture, as one f64 row), "<prefix>.w<i>"
+  /// and "<prefix>.b<i>" (the i-th linear layer's weights and bias), so
+  /// several heads can share one artifact under distinct prefixes. Works
+  /// for mapped heads too (re-saving a served model is allowed).
+  void save_artifact(data::ArtifactWriter& writer,
+                     const std::string& prefix) const;
+  /// Rebuild a trainable Mlp by copying the artifact tensors onto the
+  /// heap; throws muffin::Error when the prefix is absent or malformed.
+  [[nodiscard]] static Mlp from_artifact(const data::Artifact& artifact,
+                                         const std::string& prefix);
+  /// Zero-copy load: linear layers borrow their weights directly from the
+  /// artifact's storage (mapped pages when the artifact came from
+  /// Artifact::map_file) and hold its keepalive. The result is
+  /// inference-only — training entry points throw — and clones of it
+  /// keep sharing the same pages.
+  [[nodiscard]] static Mlp map_artifact(const data::Artifact& artifact,
+                                        const std::string& prefix);
+  /// Whether any layer borrows mapped weights (the Mlp is frozen).
+  [[nodiscard]] bool mapped() const;
+
  private:
+  /// defer_storage builds the linear layers without allocating weight or
+  /// gradient buffers — map_artifact's path, which adopts every block
+  /// from the artifact right after construction.
+  Mlp(MlpSpec spec, bool defer_storage);
+
   MlpSpec spec_;
   std::vector<std::unique_ptr<Layer>> layers_;
 };

@@ -37,6 +37,12 @@ struct EngineMetrics {
   }
 };
 
+obs::Gauge& memo_bytes_gauge() {
+  static obs::Gauge& gauge =
+      obs::registry().gauge("serve.result_memo_bytes");
+  return gauge;
+}
+
 }  // namespace
 
 InferenceEngine::InferenceEngine(std::shared_ptr<const core::FusedModel> model,
@@ -46,7 +52,8 @@ InferenceEngine::InferenceEngine(std::shared_ptr<const core::FusedModel> model,
       num_classes_(0),
       body_size_(0),
       pool_(common::global_pool()),
-      batcher_({config.max_batch, config.max_delay, "engine.batcher"}) {
+      batcher_({config.max_batch, config.max_delay, "engine.batcher"}),
+      memo_mode_(tensor::active_quant_mode()) {
   MUFFIN_REQUIRE(model_ != nullptr, "engine needs a fused model");
   MUFFIN_REQUIRE(config_.workers > 0, "engine needs at least one worker");
   num_classes_ = model_->num_classes();
@@ -66,7 +73,12 @@ InferenceEngine::InferenceEngine(std::shared_ptr<const core::FusedModel> model,
   dispatcher_ = std::thread([this]() { dispatch_loop(); });
 }
 
-InferenceEngine::~InferenceEngine() { shutdown(); }
+InferenceEngine::~InferenceEngine() {
+  shutdown();
+  const std::lock_guard<std::mutex> lock(cache_mutex_);
+  memo_bytes_gauge().sub(static_cast<std::int64_t>(memo_bytes_));
+  memo_bytes_ = 0;
+}
 
 std::future<Prediction> InferenceEngine::submit(const data::Record& record) {
   MUFFIN_REQUIRE(!stopped_.load(), "cannot submit to a stopped engine");
@@ -279,9 +291,12 @@ void InferenceEngine::process_batch(std::vector<Request> batch) {
         Prediction& prediction = results[i];
         const auto row = fused.scores.row(k);
         prediction.scores.assign(row.begin(), row.end());
-        prediction.predicted = tensor::argmax(prediction.scores);
         prediction.consensus = fused.consensus[k];
-        cache_store(batch[i].record.uid, prediction);
+        // Canonicalize-on-miss: the reply carries the dequantized form of
+        // what the memo stores (a no-op when the memo mode is off), so a
+        // later memo hit for this uid replies bit-identically.
+        MemoEntry entry = canonicalize_and_pack(prediction);
+        cache_store(batch[i].record.uid, std::move(entry));
       }
     }
 
@@ -330,19 +345,84 @@ bool InferenceEngine::cache_contains(std::uint64_t uid) const {
   return cache_index_.find(uid) != cache_index_.end();
 }
 
+std::size_t InferenceEngine::MemoEntry::payload_bytes() const {
+  return f64.size() * sizeof(double) + bf16.size() * sizeof(std::uint16_t) +
+         i8.size() * sizeof(std::int8_t) +
+         (i8.empty() ? 0 : sizeof(double));  // the per-vector int8 scale
+}
+
+InferenceEngine::MemoEntry InferenceEngine::canonicalize_and_pack(
+    Prediction& prediction) const {
+  MemoEntry entry;
+  entry.consensus = prediction.consensus;
+  tensor::Vector& scores = prediction.scores;
+  switch (memo_mode_) {
+    case tensor::QuantMode::Off: {
+      entry.f64.assign(scores.begin(), scores.end());
+      break;
+    }
+    case tensor::QuantMode::Bf16: {
+      entry.bf16.resize(scores.size());
+      for (std::size_t c = 0; c < scores.size(); ++c) {
+        entry.bf16[c] = tensor::bf16_from_double(scores[c]);
+        scores[c] = tensor::bf16_to_double(entry.bf16[c]);
+      }
+      break;
+    }
+    case tensor::QuantMode::Int8: {
+      // Quantize exactly once from the float scores: the canonical reply
+      // is q * scale, the same product a memo hit recomputes — nothing is
+      // ever re-quantized, so no idempotence argument is needed.
+      entry.scale = tensor::i8_scale(scores);
+      entry.i8.resize(scores.size());
+      for (std::size_t c = 0; c < scores.size(); ++c) {
+        entry.i8[c] = tensor::i8_from_double(scores[c], entry.scale);
+        scores[c] = tensor::i8_to_double(entry.i8[c], entry.scale);
+      }
+      break;
+    }
+  }
+  // Argmax of the canonical scores, so predicted == argmax(scores) holds
+  // for the reply and for every future memo hit alike.
+  prediction.predicted = tensor::argmax(scores);
+  entry.predicted = static_cast<std::uint32_t>(prediction.predicted);
+  return entry;
+}
+
 bool InferenceEngine::cache_lookup(std::uint64_t uid, Prediction& out) {
   if (config_.result_cache_capacity == 0) return false;
   const std::lock_guard<std::mutex> lock(cache_mutex_);
   const auto it = cache_index_.find(uid);
   if (it == cache_index_.end()) return false;
   cache_order_.splice(cache_order_.begin(), cache_order_, it->second);
-  out = it->second->second;
+  const MemoEntry& entry = it->second->second;
+  out.predicted = entry.predicted;
+  out.consensus = entry.consensus;
   out.cached = true;
+  switch (memo_mode_) {
+    case tensor::QuantMode::Off: {
+      out.scores.assign(entry.f64.begin(), entry.f64.end());
+      break;
+    }
+    case tensor::QuantMode::Bf16: {
+      out.scores.resize(entry.bf16.size());
+      for (std::size_t c = 0; c < entry.bf16.size(); ++c) {
+        out.scores[c] = tensor::bf16_to_double(entry.bf16[c]);
+      }
+      break;
+    }
+    case tensor::QuantMode::Int8: {
+      out.scores.resize(entry.i8.size());
+      for (std::size_t c = 0; c < entry.i8.size(); ++c) {
+        out.scores[c] = tensor::i8_to_double(entry.i8[c], entry.scale);
+      }
+      break;
+    }
+  }
   return true;
 }
 
-void InferenceEngine::cache_store(std::uint64_t uid,
-                                  const Prediction& prediction) {
+void InferenceEngine::cache_store(std::uint64_t uid, MemoEntry entry) {
   if (config_.result_cache_capacity == 0) return;
   const std::lock_guard<std::mutex> lock(cache_mutex_);
   const auto it = cache_index_.find(uid);
@@ -351,12 +431,23 @@ void InferenceEngine::cache_store(std::uint64_t uid,
     cache_order_.splice(cache_order_.begin(), cache_order_, it->second);
     return;
   }
-  cache_order_.emplace_front(uid, prediction);
+  const std::size_t added = entry.payload_bytes();
+  cache_order_.emplace_front(uid, std::move(entry));
   cache_index_.emplace(uid, cache_order_.begin());
+  memo_bytes_ += added;
+  memo_bytes_gauge().add(static_cast<std::int64_t>(added));
   while (cache_order_.size() > config_.result_cache_capacity) {
+    const std::size_t evicted = cache_order_.back().second.payload_bytes();
+    memo_bytes_ -= evicted;
+    memo_bytes_gauge().sub(static_cast<std::int64_t>(evicted));
     cache_index_.erase(cache_order_.back().first);
     cache_order_.pop_back();
   }
+}
+
+std::size_t InferenceEngine::memo_bytes() const {
+  const std::lock_guard<std::mutex> lock(cache_mutex_);
+  return memo_bytes_;
 }
 
 }  // namespace muffin::serve

@@ -57,6 +57,7 @@
 #include "serve/batcher.h"
 #include "serve/stats.h"
 #include "serve/thread_pool.h"
+#include "tensor/quant.h"
 
 namespace muffin::serve {
 
@@ -143,6 +144,14 @@ class InferenceEngine {
   [[nodiscard]] std::size_t cache_entries() const;
   /// Whether `uid` is currently memoized; does not touch recency order.
   [[nodiscard]] bool cache_contains(std::uint64_t uid) const;
+  /// Score-payload bytes currently held by the memo (also reported on the
+  /// "serve.result_memo_bytes" gauge).
+  [[nodiscard]] std::size_t memo_bytes() const;
+  /// The quant mode memoized replies are stored (and replied) in — fixed
+  /// at construction from tensor::active_quant_mode().
+  [[nodiscard]] tensor::QuantMode memo_quant_mode() const {
+    return memo_mode_;
+  }
 
  private:
   using Clock = std::chrono::steady_clock;
@@ -156,11 +165,32 @@ class InferenceEngine {
     bool traced = false;
   };
 
+  /// One memoized reply, stored in the engine's memo quant mode: exactly
+  /// one score representation is populated. A reply served from the memo
+  /// dequantizes with the stored scale, and the miss that created the
+  /// entry replied with the same dequantized values (canonicalize-on-miss
+  /// in process_batch) — so hit and miss replies for one uid are
+  /// bit-identical, with nothing ever re-quantized.
+  struct MemoEntry {
+    std::uint32_t predicted = 0;
+    bool consensus = false;
+    std::vector<double> f64;          ///< QuantMode::Off
+    std::vector<std::uint16_t> bf16;  ///< QuantMode::Bf16
+    std::vector<std::int8_t> i8;      ///< QuantMode::Int8 ...
+    double scale = 1.0;               ///< ... with one per-vector scale
+    [[nodiscard]] std::size_t payload_bytes() const;
+  };
+
   void dispatch_loop();
   void process_batch(std::vector<Request> batch);
 
+  /// Quantize `prediction.scores` into a MemoEntry and replace them with
+  /// the dequantized (canonical) values; sets prediction.predicted from
+  /// the canonical scores and copies it into the entry.
+  [[nodiscard]] MemoEntry canonicalize_and_pack(Prediction& prediction) const;
+
   [[nodiscard]] bool cache_lookup(std::uint64_t uid, Prediction& out);
-  void cache_store(std::uint64_t uid, const Prediction& prediction);
+  void cache_store(std::uint64_t uid, MemoEntry entry);
 
   std::shared_ptr<const core::FusedModel> model_;
   EngineConfig config_;
@@ -171,11 +201,15 @@ class InferenceEngine {
   Batcher<Request> batcher_;
   std::vector<nn::Mlp> worker_heads_;  ///< one clone per shared-pool worker
 
-  // Bounded LRU result memo: uid -> prediction, most recent at the front.
+  // Bounded LRU result memo: uid -> quantized reply, most recent at the
+  // front. memo_bytes_ tracks the score-payload footprint (mirrored on
+  // the "serve.result_memo_bytes" gauge).
+  tensor::QuantMode memo_mode_ = tensor::QuantMode::Off;
   mutable std::mutex cache_mutex_;
-  std::list<std::pair<std::uint64_t, Prediction>> cache_order_;
+  std::list<std::pair<std::uint64_t, MemoEntry>> cache_order_;
   std::unordered_map<std::uint64_t, decltype(cache_order_)::iterator>
       cache_index_;
+  std::size_t memo_bytes_ = 0;  ///< guarded by cache_mutex_
 
   // In-flight batch accounting so shutdown can wait for the pool to finish
   // without relying on pool destruction order.

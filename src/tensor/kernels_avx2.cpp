@@ -22,6 +22,7 @@
 #include "tensor/aligned.h"
 #include "tensor/kernels_pack.h"
 #include "tensor/kernels_planar.h"
+#include "tensor/kernels_quant.h"
 
 namespace muffin::tensor::detail {
 
@@ -187,11 +188,13 @@ void softmax_avx2(const double* logits, std::size_t n, double temperature,
 }  // namespace
 
 const KernelTable* avx2_kernels() {
-  // normal_planar/softmax_planar are this TU's -mavx2 compilation of the
-  // shared generic bodies (kernels_planar.h).
-  static constexpr KernelTable table{matmul_avx2,           gemm_tb_avx2,
-                                     softmax_avx2,          normal_planar_generic,
-                                     softmax_planar_generic, "avx2"};
+  // normal_planar/softmax_planar/gemm_tb_bf16/gemm_tb_i8 are this TU's
+  // -mavx2 compilation of the shared generic bodies (kernels_planar.h,
+  // kernels_quant.h).
+  static constexpr KernelTable table{
+      matmul_avx2,            gemm_tb_avx2,       softmax_avx2,
+      normal_planar_generic,  softmax_planar_generic,
+      gemm_tb_bf16_generic,   gemm_tb_i8_generic, "avx2"};
   return &table;
 }
 

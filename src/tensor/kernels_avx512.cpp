@@ -25,6 +25,7 @@
 #include "tensor/aligned.h"
 #include "tensor/kernels_pack.h"
 #include "tensor/kernels_planar.h"
+#include "tensor/kernels_quant.h"
 
 namespace muffin::tensor::detail {
 
@@ -264,11 +265,13 @@ void softmax_avx512(const double* logits, std::size_t n, double temperature,
 }  // namespace
 
 const KernelTable* avx512_kernels() {
-  // normal_planar/softmax_planar are this TU's -mavx512f compilation of
-  // the shared generic bodies (kernels_planar.h).
-  static constexpr KernelTable table{matmul_avx512,         gemm_tb_avx512,
-                                     softmax_avx512,        normal_planar_generic,
-                                     softmax_planar_generic, "avx512"};
+  // normal_planar/softmax_planar/gemm_tb_bf16/gemm_tb_i8 are this TU's
+  // -mavx512f compilation of the shared generic bodies (kernels_planar.h,
+  // kernels_quant.h).
+  static constexpr KernelTable table{
+      matmul_avx512,          gemm_tb_avx512,     softmax_avx512,
+      normal_planar_generic,  softmax_planar_generic,
+      gemm_tb_bf16_generic,   gemm_tb_i8_generic, "avx512"};
   return &table;
 }
 

@@ -8,6 +8,7 @@
 #include <cmath>
 
 #include "tensor/kernels_planar.h"
+#include "tensor/kernels_quant.h"
 #include "tensor/simd.h"
 
 namespace muffin::tensor::detail {
@@ -146,9 +147,10 @@ void softmax_scalar(const double* logits, std::size_t n, double temperature,
 }  // namespace
 
 const KernelTable& scalar_kernels() {
-  static constexpr KernelTable table{matmul_scalar,         gemm_tb_scalar,
-                                     softmax_scalar,        normal_planar_generic,
-                                     softmax_planar_generic, "scalar"};
+  static constexpr KernelTable table{
+      matmul_scalar,          gemm_tb_scalar,     softmax_scalar,
+      normal_planar_generic,  softmax_planar_generic,
+      gemm_tb_bf16_generic,   gemm_tb_i8_generic, "scalar"};
   return table;
 }
 

@@ -78,16 +78,14 @@ namespace {
 /// k terms in ascending order and adds the bias last in every backend and
 /// every partition, so results are bit-identical to
 /// matvec-then-add-bias. `bias` may be null.
-void gemm_transposed_b(const Matrix& a, const Matrix& b, const double* bias,
-                       Matrix& out) {
+void gemm_transposed_b_raw(const Matrix& a, const double* b_data,
+                           std::size_t ldb, std::size_t m, const double* bias,
+                           Matrix& out) {
   const detail::KernelTable& kernels = detail::active_kernels();
-  const std::size_t m = b.rows();
   const std::size_t depth = a.cols();
   const double* a_data = a.flat().data();
-  const double* b_data = b.flat().data();
   double* out_data = out.flat().data();
   const std::size_t lda = a.stride();
-  const std::size_t ldb = b.stride();
   const std::size_t ldo = out.stride();
   parallel_for(a.rows(), gemm_row_grain(m, depth),
                [&](std::size_t begin, std::size_t end) {
@@ -95,6 +93,11 @@ void gemm_transposed_b(const Matrix& a, const Matrix& b, const double* bias,
                                  out_data + begin * ldo, ldo, end - begin, m,
                                  depth);
                });
+}
+
+void gemm_transposed_b(const Matrix& a, const Matrix& b, const double* bias,
+                       Matrix& out) {
+  gemm_transposed_b_raw(a, b.flat().data(), b.stride(), b.rows(), bias, out);
 }
 
 }  // namespace
@@ -114,6 +117,55 @@ void matmul_transposed_b_bias_into(const Matrix& a, const Matrix& b,
                  "bias size must match the output width");
   out.resize_for_overwrite(a.rows(), b.rows());
   gemm_transposed_b(a, b, bias.data(), out);
+}
+
+void matmul_transposed_b_bias_into(const Matrix& a, const double* b,
+                                   std::size_t b_rows,
+                                   std::span<const double> bias, Matrix& out) {
+  MUFFIN_REQUIRE(b != nullptr && b_rows > 0,
+                 "matmul_transposed_b requires a non-empty weight block");
+  MUFFIN_REQUIRE(bias.size() == b_rows,
+                 "bias size must match the output width");
+  out.resize_for_overwrite(a.rows(), b_rows);
+  gemm_transposed_b_raw(a, b, a.cols(), b_rows, bias.data(), out);
+}
+
+void matmul_transposed_b_bias_quant_into(const Matrix& a,
+                                         const QuantizedGemmB& b,
+                                         std::span<const double> bias,
+                                         Matrix& out) {
+  MUFFIN_REQUIRE(b.mode != QuantMode::Off,
+                 "quant GEMM requires a quantized weight pack");
+  MUFFIN_REQUIRE(a.cols() == b.depth,
+                 "quant GEMM inner dimensions must match");
+  MUFFIN_REQUIRE(bias.size() == b.m, "bias size must match the output width");
+  out.resize_for_overwrite(a.rows(), b.m);
+  const detail::KernelTable& kernels = detail::active_kernels();
+  const std::size_t m = b.m;
+  const std::size_t depth = b.depth;
+  const double* a_data = a.flat().data();
+  double* out_data = out.flat().data();
+  const double* bias_data = bias.data();
+  const std::size_t lda = a.stride();
+  const std::size_t ldo = out.stride();
+  if (b.mode == QuantMode::Bf16) {
+    const std::uint16_t* bq = b.bf16_ptr();
+    parallel_for(a.rows(), gemm_row_grain(m, depth),
+                 [&](std::size_t begin, std::size_t end) {
+                   kernels.gemm_tb_bf16(a_data + begin * lda, lda, bq, m,
+                                        bias_data, out_data + begin * ldo,
+                                        ldo, end - begin, m, depth);
+                 });
+    return;
+  }
+  const std::int8_t* bq = b.i8_ptr();
+  const double* scales = b.scales_ptr();
+  parallel_for(a.rows(), gemm_row_grain(m, depth),
+               [&](std::size_t begin, std::size_t end) {
+                 kernels.gemm_tb_i8(a_data + begin * lda, lda, bq, m, scales,
+                                    bias_data, out_data + begin * ldo, ldo,
+                                    end - begin, m, depth);
+               });
 }
 
 Vector matvec(const Matrix& a, std::span<const double> x) {

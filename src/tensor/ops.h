@@ -18,6 +18,7 @@
 #include <span>
 
 #include "tensor/matrix.h"
+#include "tensor/quant.h"
 
 namespace muffin::tensor {
 
@@ -44,6 +45,25 @@ void matmul_transposed_b_into(const Matrix& a, const Matrix& b, Matrix& out);
 /// order bit for bit. Requires bias.size() == B.rows().
 void matmul_transposed_b_bias_into(const Matrix& a, const Matrix& b,
                                    std::span<const double> bias, Matrix& out);
+
+/// Raw-pointer weight variant of the fused linear forward: `b` is a dense
+/// row-major (b_rows x a.cols()) block that need not live in a Matrix —
+/// the zero-copy path for weights mapped read-only from a model artifact
+/// (data/serialize.h). Bit-identical to the Matrix overload.
+void matmul_transposed_b_bias_into(const Matrix& a, const double* b,
+                                   std::size_t b_rows,
+                                   std::span<const double> bias, Matrix& out);
+
+/// C = A * dequant(B)^T + bias through the active backend's dequantizing
+/// GEMM entry (tensor/simd.h): the quantized-inference forward. Same
+/// row-split parallelism and bit-identity guarantees as the float GEMM —
+/// within one quant mode, every backend, partition and batch size yields
+/// bit-identical rows. Requires b.mode != QuantMode::Off and
+/// a.cols() == b.depth.
+void matmul_transposed_b_bias_quant_into(const Matrix& a,
+                                         const QuantizedGemmB& b,
+                                         std::span<const double> bias,
+                                         Matrix& out);
 
 /// y = A * x (GEMV). Requires A.cols() == x.size().
 [[nodiscard]] Vector matvec(const Matrix& a, std::span<const double> x);

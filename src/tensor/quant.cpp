@@ -1,0 +1,131 @@
+#include "tensor/quant.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <cstdlib>
+
+#include "common/error.h"
+#include "common/log.h"
+
+namespace muffin::tensor {
+
+QuantMode resolve_quant_mode(std::string_view env) {
+  if (env.empty() || env == "off" || env == "0") return QuantMode::Off;
+  if (env == "bf16") return QuantMode::Bf16;
+  if (env == "int8" || env == "i8") return QuantMode::Int8;
+  if (env == "auto" || env == "on" || env == "1") return QuantMode::Int8;
+  MUFFIN_LOG_WARN << "unrecognized MUFFIN_QUANT value '" << std::string(env)
+                  << "'; quantization stays off";
+  return QuantMode::Off;
+}
+
+namespace {
+
+/// -1 = not yet resolved; otherwise the QuantMode value. A single atomic
+/// (not call_once) so set_quant_mode_for_testing can overwrite it.
+std::atomic<int> g_quant_mode{-1};
+
+int resolve_from_env() {
+  const char* env = std::getenv("MUFFIN_QUANT");
+  return static_cast<int>(
+      resolve_quant_mode(env == nullptr ? std::string_view{} : env));
+}
+
+}  // namespace
+
+QuantMode active_quant_mode() {
+  int mode = g_quant_mode.load(std::memory_order_acquire);
+  if (mode < 0) {
+    const int resolved = resolve_from_env();
+    // First resolver wins; a racing set_quant_mode_for_testing also wins.
+    int expected = -1;
+    if (g_quant_mode.compare_exchange_strong(expected, resolved,
+                                             std::memory_order_acq_rel)) {
+      mode = resolved;
+    } else {
+      mode = expected;
+    }
+  }
+  return static_cast<QuantMode>(mode);
+}
+
+void set_quant_mode_for_testing(QuantMode mode) {
+  g_quant_mode.store(static_cast<int>(mode), std::memory_order_release);
+}
+
+std::string_view quant_mode_name(QuantMode mode) {
+  switch (mode) {
+    case QuantMode::Bf16:
+      return "bf16";
+    case QuantMode::Int8:
+      return "int8";
+    case QuantMode::Off:
+      break;
+  }
+  return "off";
+}
+
+double i8_scale_from_maxabs(double maxabs) {
+  return maxabs > 0.0 ? maxabs / 127.0 : 1.0;
+}
+
+double i8_scale(std::span<const double> values) {
+  double maxabs = 0.0;
+  for (const double v : values) maxabs = std::max(maxabs, std::abs(v));
+  return i8_scale_from_maxabs(maxabs);
+}
+
+std::int8_t i8_from_double(double v, double scale) {
+  MUFFIN_REQUIRE(scale > 0.0, "int8 quantization scale must be positive");
+  const double scaled = std::nearbyint(v / scale);
+  const double clamped = std::min(127.0, std::max(-127.0, scaled));
+  return static_cast<std::int8_t>(clamped);
+}
+
+std::size_t QuantizedGemmB::owned_bytes() const {
+  return bf16.size() * sizeof(std::uint16_t) +
+         i8.size() * sizeof(std::int8_t) + scales.size() * sizeof(double);
+}
+
+QuantizedGemmB build_quant_pack(const double* weights, std::size_t m,
+                                std::size_t depth, QuantMode mode) {
+  MUFFIN_REQUIRE(mode != QuantMode::Off,
+                 "build_quant_pack requires a quantized mode");
+  MUFFIN_REQUIRE(weights != nullptr && m > 0 && depth > 0,
+                 "build_quant_pack requires a non-empty weight matrix");
+  QuantizedGemmB pack;
+  pack.mode = mode;
+  pack.m = m;
+  pack.depth = depth;
+  if (mode == QuantMode::Bf16) {
+    pack.bf16.resize(m * depth);
+    for (std::size_t j = 0; j < m; ++j) {
+      const double* row = weights + j * depth;
+      for (std::size_t k = 0; k < depth; ++k) {
+        pack.bf16[k * m + j] = bf16_from_double(row[k]);
+      }
+    }
+    return pack;
+  }
+  pack.i8.resize(m * depth);
+  pack.scales.resize(m);
+  for (std::size_t j = 0; j < m; ++j) {
+    const double* row = weights + j * depth;
+    const double scale = i8_scale(std::span<const double>(row, depth));
+    pack.scales[j] = scale;
+    for (std::size_t k = 0; k < depth; ++k) {
+      pack.i8[k * m + j] = i8_from_double(row[k], scale);
+    }
+  }
+  return pack;
+}
+
+QuantizedGemmB build_quant_pack(const Matrix& weights, QuantMode mode) {
+  MUFFIN_REQUIRE(weights.stride() == weights.cols(),
+                 "build_quant_pack requires a dense row-major matrix");
+  return build_quant_pack(weights.flat().data(), weights.rows(),
+                          weights.cols(), mode);
+}
+
+}  // namespace muffin::tensor

@@ -1,0 +1,166 @@
+// Quantized inference primitives: bf16/int8 storage for weights and
+// score state, behind the same runtime-dispatch philosophy as simd.h.
+//
+// Two distinct users share these primitives:
+//
+//  * **Weight quantization** (nn::Linear). The float weight matrix is
+//    packed once into a k-major QuantizedGemmB (q[k * ldb + j]: vector
+//    lanes sweep output columns j over contiguous narrow loads) and the
+//    dequantizing GEMM entries of the kernel table (simd.h) consume it.
+//    int8 uses symmetric per-output-column scales (scale_j =
+//    maxabs(W(j,:)) / 127); bf16 keeps the top 16 bits of the float32
+//    value with round-to-nearest-even.
+//  * **Score-state quantization** (core::ScoreCache planes, the engine's
+//    uid-keyed memo). Scores are quantized on store and dequantized on
+//    read; dequantization is exact (an int8 * f64 product or a bf16
+//    widening), so a stored-then-reloaded vector is deterministic.
+//
+// Mode selection mirrors MUFFIN_SIMD: the MUFFIN_QUANT environment
+// variable is resolved once per process on first use ("off"/unset keeps
+// the float paths, "bf16"/"int8" force a width, "auto"/"on" picks int8 —
+// the leanest mode that passes the accuracy gate pinned by the tests and
+// bench_batch). resolve_quant_mode is the pure rule, unit-tested without
+// touching the process environment; set_quant_mode_for_testing overrides
+// the resolved mode so one process can exercise every storage width
+// (bench_batch's memory section, the parity suites).
+//
+// Accuracy contract (pinned in tests/models/test_quant_parity.cpp and
+// gated in bench_batch's exit code): quantized argmax parity vs the
+// float path on the test corpus, fairness reports within tolerance.
+// Bit-identity contract: within one mode, every SIMD backend produces
+// bit-identical output (the dequantizing GEMM bodies are shared
+// elementwise column sweeps compiled per-TU, like kernels_planar.h), and
+// a single-row call equals the same row of any batch.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "tensor/matrix.h"
+
+namespace muffin::tensor {
+
+enum class QuantMode {
+  Off,   ///< float64 everywhere (the default; bit-identical to pre-quant)
+  Bf16,  ///< 2-byte truncated-float storage, ~3 significant decimal digits
+  Int8,  ///< 1-byte symmetric per-column quantization, leanest mode
+};
+
+/// Pure resolution rule for the MUFFIN_QUANT value (empty when unset):
+/// "off"/"0"/empty -> Off, "bf16" -> Bf16, "int8"/"i8" -> Int8,
+/// "auto"/"on"/"1" -> Int8. Unknown values warn and fall back to Off.
+[[nodiscard]] QuantMode resolve_quant_mode(std::string_view env);
+
+/// The mode this process serves with: MUFFIN_QUANT resolved once on first
+/// use, unless overridden by set_quant_mode_for_testing.
+[[nodiscard]] QuantMode active_quant_mode();
+
+/// Override the active mode (benches and parity tests exercise several
+/// widths in one process). Layers re-pack lazily on the next quantized
+/// inference; components that capture the mode at construction
+/// (ScoreCache, InferenceEngine) must be rebuilt to observe the change.
+void set_quant_mode_for_testing(QuantMode mode);
+
+[[nodiscard]] std::string_view quant_mode_name(QuantMode mode);
+
+/// RAII pin of the process-wide quant mode (tests and benches): sets
+/// `mode` on construction, restores the previous mode on destruction.
+class ScopedQuantMode {
+ public:
+  explicit ScopedQuantMode(QuantMode mode) : previous_(active_quant_mode()) {
+    set_quant_mode_for_testing(mode);
+  }
+  ~ScopedQuantMode() { set_quant_mode_for_testing(previous_); }
+  ScopedQuantMode(const ScopedQuantMode&) = delete;
+  ScopedQuantMode& operator=(const ScopedQuantMode&) = delete;
+
+ private:
+  QuantMode previous_;
+};
+
+// ---------------------------------------------------------------- bf16
+
+/// bf16 <- f64: narrow to float32 (round-to-nearest-even), keep the top
+/// 16 bits with RNE on the dropped half. NaN stays NaN (quietened).
+[[nodiscard]] inline std::uint16_t bf16_from_double(double v) {
+  const std::uint32_t bits =
+      std::bit_cast<std::uint32_t>(static_cast<float>(v));
+  if ((bits & 0x7fffffffu) > 0x7f800000u) {
+    return static_cast<std::uint16_t>((bits >> 16) | 0x0040u);
+  }
+  const std::uint32_t rounding = 0x7fffu + ((bits >> 16) & 1u);
+  return static_cast<std::uint16_t>((bits + rounding) >> 16);
+}
+
+/// f64 <- bf16: exact widening (a bf16 is a float32 with a zero low half,
+/// and every float32 is exactly representable as f64).
+[[nodiscard]] inline double bf16_to_double(std::uint16_t v) {
+  return static_cast<double>(
+      std::bit_cast<float>(static_cast<std::uint32_t>(v) << 16));
+}
+
+// ---------------------------------------------------------------- int8
+
+/// Symmetric scale for a value span: maxabs / 127, or 1.0 for an
+/// all-zero (or empty) span so dequantization is always well-defined.
+[[nodiscard]] double i8_scale(std::span<const double> values);
+/// The scale rule applied to a precomputed max |value| (for strided data
+/// where no contiguous span exists): maxabs / 127, or 1.0 when all zero.
+[[nodiscard]] double i8_scale_from_maxabs(double maxabs);
+
+/// q = clamp(round(v / scale), -127, 127). Requires scale > 0.
+[[nodiscard]] std::int8_t i8_from_double(double v, double scale);
+
+[[nodiscard]] inline double i8_to_double(std::int8_t q, double scale) {
+  return static_cast<double>(q) * scale;
+}
+
+// ------------------------------------------------------ weight packing
+
+/// A GEMM B operand (the row-major (m x depth) weight matrix of a Linear
+/// layer) quantized into k-major storage: element (j, k) of the original
+/// matrix lives at q[k * m + j], so the inner j sweep of the dequantizing
+/// kernels loads contiguous narrow lanes. Owns its storage by default;
+/// the *_data pointers borrow from a mapped artifact instead (the owner
+/// of the mapping must outlive the pack).
+struct QuantizedGemmB {
+  QuantMode mode = QuantMode::Off;
+  std::size_t m = 0;      ///< output columns (rows of the original B)
+  std::size_t depth = 0;  ///< reduction length (cols of the original B)
+
+  std::vector<std::uint16_t> bf16;  ///< size depth * m when mode == Bf16
+  std::vector<std::int8_t> i8;      ///< size depth * m when mode == Int8
+  std::vector<double> scales;       ///< size m when mode == Int8
+
+  const std::uint16_t* bf16_borrowed = nullptr;
+  const std::int8_t* i8_borrowed = nullptr;
+  const double* scales_borrowed = nullptr;
+
+  [[nodiscard]] const std::uint16_t* bf16_ptr() const {
+    return bf16_borrowed != nullptr ? bf16_borrowed : bf16.data();
+  }
+  [[nodiscard]] const std::int8_t* i8_ptr() const {
+    return i8_borrowed != nullptr ? i8_borrowed : i8.data();
+  }
+  [[nodiscard]] const double* scales_ptr() const {
+    return scales_borrowed != nullptr ? scales_borrowed : scales.data();
+  }
+
+  /// Resident bytes of the owned storage (0 for a borrowed pack).
+  [[nodiscard]] std::size_t owned_bytes() const;
+};
+
+/// Pack a row-major (m x depth) weight matrix for the dequantizing GEMM
+/// kernels. mode must be Bf16 or Int8.
+[[nodiscard]] QuantizedGemmB build_quant_pack(const Matrix& weights,
+                                              QuantMode mode);
+/// Raw-pointer variant (weights borrowed from a mapped artifact).
+[[nodiscard]] QuantizedGemmB build_quant_pack(const double* weights,
+                                              std::size_t m,
+                                              std::size_t depth,
+                                              QuantMode mode);
+
+}  // namespace muffin::tensor

@@ -104,12 +104,36 @@ using SoftmaxPlanarFn = void (*)(double* planes, std::size_t plane_stride,
                                  std::size_t classes, std::size_t n,
                                  double* out, std::size_t ldo);
 
+/// C = A * widen(Bq)^T + bias for a k-major bf16 weight pack (element
+/// (j, k) of the logical (m x depth) weight matrix at bq[k * ldb + j];
+/// see tensor/quant.h). Ascending-k mul-then-add per output element,
+/// bias last — bit-identical across backends and to the single-row call
+/// (the bodies are shared column sweeps compiled per-TU, like the planar
+/// kernels). `bias` may be null.
+using GemmTbBf16Fn = void (*)(const double* a, std::size_t lda,
+                              const std::uint16_t* bq, std::size_t ldb,
+                              const double* bias, double* out,
+                              std::size_t ldo, std::size_t n, std::size_t m,
+                              std::size_t depth);
+
+/// C = (A * (double)Bq^T) * scale + bias for a k-major int8 weight pack
+/// with per-output-column scales: the integer accumulation dequantizes
+/// exactly, and the scale applies once per output element (mul then add,
+/// never fused). Same bit-identity contract as GemmTbBf16Fn.
+using GemmTbI8Fn = void (*)(const double* a, std::size_t lda,
+                            const std::int8_t* bq, std::size_t ldb,
+                            const double* scales, const double* bias,
+                            double* out, std::size_t ldo, std::size_t n,
+                            std::size_t m, std::size_t depth);
+
 struct KernelTable {
   MatmulFn matmul;
   GemmTbFn gemm_tb;
   SoftmaxFn softmax;
   NormalPlanarFn normal_planar;
   SoftmaxPlanarFn softmax_planar;
+  GemmTbBf16Fn gemm_tb_bf16;
+  GemmTbI8Fn gemm_tb_i8;
   const char* name;
 };
 

@@ -2,8 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "common/error.h"
 #include "data/generators.h"
+#include "obs/metrics.h"
 #include "tensor/ops.h"
 
 namespace muffin::core {
@@ -20,64 +23,71 @@ const models::ModelPool& cache_pool() {
   return pool;
 }
 
+// Float-pinned tests construct their caches with an explicit
+// QuantMode::Off so they stay exact under any MUFFIN_QUANT setting.
+ScoreCache float_cache() {
+  return ScoreCache(cache_pool(), cache_dataset(), tensor::QuantMode::Off);
+}
+
 TEST(ScoreCache, ShapesMatchPoolAndDataset) {
-  const ScoreCache cache(cache_pool(), cache_dataset());
+  const ScoreCache cache = float_cache();
   EXPECT_EQ(cache.num_models(), cache_pool().size());
   EXPECT_EQ(cache.num_records(), cache_dataset().size());
   EXPECT_EQ(cache.num_classes(), 8u);
   for (std::size_t m = 0; m < cache.num_models(); ++m) {
-    EXPECT_EQ(cache.scores(m).rows(), cache_dataset().size());
-    EXPECT_EQ(cache.scores(m).cols(), 8u);
-    EXPECT_EQ(cache.predictions(m).size(), cache_dataset().size());
+    EXPECT_EQ(cache.scores_dense(m).rows(), cache_dataset().size());
+    EXPECT_EQ(cache.scores_dense(m).cols(), 8u);
   }
 }
 
 TEST(ScoreCache, MatchesDirectModelCalls) {
-  const ScoreCache cache(cache_pool(), cache_dataset());
+  const ScoreCache cache = float_cache();
   for (std::size_t m = 0; m < 3; ++m) {
+    const tensor::Matrix dense = cache.scores_dense(m);
     for (std::size_t i = 0; i < 100; ++i) {
       const tensor::Vector direct =
           cache_pool().at(m).scores(cache_dataset().record(i));
-      const auto cached = cache.scores(m).row(i);
+      const auto cached = dense.row(i);
       for (std::size_t c = 0; c < direct.size(); ++c) {
         EXPECT_DOUBLE_EQ(direct[c], cached[c]);
       }
-      EXPECT_EQ(cache.predictions(m)[i],
+      EXPECT_EQ(cache.prediction(m, i),
                 cache_pool().at(m).predict(cache_dataset().record(i)));
     }
   }
 }
 
 TEST(ScoreCache, GatherConcatenatesSelectedModels) {
-  const ScoreCache cache(cache_pool(), cache_dataset());
+  const ScoreCache cache = float_cache();
   const std::vector<std::size_t> selected = {2, 5};
   tensor::Vector out(2 * 8);
   cache.gather(selected, 17, out);
+  const tensor::Matrix dense2 = cache.scores_dense(2);
+  const tensor::Matrix dense5 = cache.scores_dense(5);
   for (std::size_t c = 0; c < 8; ++c) {
-    EXPECT_DOUBLE_EQ(out[c], cache.scores(2)(17, c));
-    EXPECT_DOUBLE_EQ(out[8 + c], cache.scores(5)(17, c));
+    EXPECT_DOUBLE_EQ(out[c], dense2(17, c));
+    EXPECT_DOUBLE_EQ(out[8 + c], dense5(17, c));
   }
 }
 
 TEST(ScoreCache, GatherRejectsWrongSpanSize) {
-  const ScoreCache cache(cache_pool(), cache_dataset());
+  const ScoreCache cache = float_cache();
   const std::vector<std::size_t> selected = {0, 1};
   tensor::Vector wrong(15);
   EXPECT_THROW(cache.gather(selected, 0, wrong), Error);
 }
 
 TEST(ScoreCache, ConsensusDetection) {
-  const ScoreCache cache(cache_pool(), cache_dataset());
+  const ScoreCache cache = float_cache();
   const std::vector<std::size_t> pair = {0, 1};
   std::size_t agreements = 0;
   for (std::size_t i = 0; i < cache.num_records(); ++i) {
     std::size_t consensus_class = 99;
     const bool agree = cache.consensus(pair, i, consensus_class);
-    const bool expected =
-        cache.predictions(0)[i] == cache.predictions(1)[i];
+    const bool expected = cache.prediction(0, i) == cache.prediction(1, i);
     EXPECT_EQ(agree, expected);
     if (agree) {
-      EXPECT_EQ(consensus_class, cache.predictions(0)[i]);
+      EXPECT_EQ(consensus_class, cache.prediction(0, i));
       ++agreements;
     }
   }
@@ -88,22 +98,113 @@ TEST(ScoreCache, ConsensusDetection) {
 }
 
 TEST(ScoreCache, SingleModelConsensusAlwaysTrue) {
-  const ScoreCache cache(cache_pool(), cache_dataset());
+  const ScoreCache cache = float_cache();
   const std::vector<std::size_t> solo = {3};
   std::size_t consensus_class = 0;
   EXPECT_TRUE(cache.consensus(solo, 0, consensus_class));
-  EXPECT_EQ(consensus_class, cache.predictions(3)[0]);
+  EXPECT_EQ(consensus_class, cache.prediction(3, 0));
 }
 
 TEST(ScoreCache, BoundsChecks) {
-  const ScoreCache cache(cache_pool(), cache_dataset());
-  EXPECT_THROW((void)cache.scores(cache.num_models()), Error);
-  EXPECT_THROW((void)cache.predictions(cache.num_models()), Error);
+  const ScoreCache cache = float_cache();
+  EXPECT_THROW((void)cache.scores_dense(cache.num_models()), Error);
+  EXPECT_THROW((void)cache.prediction(cache.num_models(), 0), Error);
+  EXPECT_THROW((void)cache.prediction(0, cache.num_records()), Error);
   const std::vector<std::size_t> bad_model = {cache.num_models()};
   tensor::Vector out(8);
   EXPECT_THROW(cache.gather(bad_model, 0, out), Error);
   const std::vector<std::size_t> ok = {0};
   EXPECT_THROW(cache.gather(ok, cache.num_records(), out), Error);
+}
+
+// --- quantized planes ------------------------------------------------------
+
+TEST(ScoreCacheQuant, GatherDequantizesWithinTolerance) {
+  const ScoreCache exact = float_cache();
+  for (const tensor::QuantMode mode :
+       {tensor::QuantMode::Bf16, tensor::QuantMode::Int8}) {
+    const ScoreCache quant(cache_pool(), cache_dataset(), mode);
+    EXPECT_EQ(quant.quant_mode(), mode);
+    const std::vector<std::size_t> selected = {0, 4};
+    tensor::Vector exact_row(2 * 8);
+    tensor::Vector quant_row(2 * 8);
+    // Scores are probabilities in [0, 1]: bf16 keeps ~3 decimal digits,
+    // int8 resolves 1/127 of the per-class max.
+    const double tolerance = mode == tensor::QuantMode::Bf16 ? 5e-3 : 1e-2;
+    for (std::size_t i = 0; i < 200; ++i) {
+      exact.gather(selected, i, exact_row);
+      quant.gather(selected, i, quant_row);
+      for (std::size_t c = 0; c < exact_row.size(); ++c) {
+        EXPECT_NEAR(exact_row[c], quant_row[c], tolerance)
+            << "mode " << tensor::quant_mode_name(mode) << " record " << i
+            << " column " << c;
+      }
+    }
+  }
+}
+
+TEST(ScoreCacheQuant, ScoresDenseMatchesGatherRows) {
+  const ScoreCache cache(cache_pool(), cache_dataset(),
+                         tensor::QuantMode::Int8);
+  const tensor::Matrix dense = cache.scores_dense(1);
+  const std::vector<std::size_t> solo = {1};
+  tensor::Vector row(8);
+  for (std::size_t i = 0; i < 50; ++i) {
+    cache.gather(solo, i, row);
+    for (std::size_t c = 0; c < 8; ++c) {
+      EXPECT_EQ(row[c], dense(i, c));  // same dequantization, same bits
+    }
+  }
+}
+
+TEST(ScoreCacheQuant, PredictionsAndConsensusUnaffectedByQuantization) {
+  const ScoreCache exact = float_cache();
+  for (const tensor::QuantMode mode :
+       {tensor::QuantMode::Bf16, tensor::QuantMode::Int8}) {
+    const ScoreCache quant(cache_pool(), cache_dataset(), mode);
+    const std::vector<std::size_t> pair = {0, 1};
+    for (std::size_t i = 0; i < quant.num_records(); ++i) {
+      for (std::size_t m = 0; m < quant.num_models(); ++m) {
+        ASSERT_EQ(quant.prediction(m, i), exact.prediction(m, i));
+      }
+      std::size_t exact_class = 99;
+      std::size_t quant_class = 99;
+      ASSERT_EQ(quant.consensus(pair, i, quant_class),
+                exact.consensus(pair, i, exact_class));
+      ASSERT_EQ(quant_class, exact_class);
+    }
+  }
+}
+
+TEST(ScoreCacheQuant, Int8FootprintAtLeastThreeTimesSmaller) {
+  const ScoreCache exact = float_cache();
+  const ScoreCache bf16(cache_pool(), cache_dataset(),
+                        tensor::QuantMode::Bf16);
+  const ScoreCache i8(cache_pool(), cache_dataset(), tensor::QuantMode::Int8);
+  ASSERT_GT(exact.footprint_bytes(), 0u);
+  const double bf16_ratio = static_cast<double>(exact.footprint_bytes()) /
+                            static_cast<double>(bf16.footprint_bytes());
+  const double i8_ratio = static_cast<double>(exact.footprint_bytes()) /
+                          static_cast<double>(i8.footprint_bytes());
+  EXPECT_GE(bf16_ratio, 3.0);
+  EXPECT_GE(i8_ratio, 3.0);
+  EXPECT_GT(i8_ratio, bf16_ratio);
+}
+
+TEST(ScoreCacheQuant, FootprintGaugeTracksLifetimes) {
+  obs::Gauge& gauge = obs::registry().gauge("core.score_cache_bytes");
+  const std::int64_t before = gauge.value();
+  {
+    const ScoreCache cache(cache_pool(), cache_dataset(),
+                           tensor::QuantMode::Int8);
+    EXPECT_EQ(gauge.value() - before,
+              static_cast<std::int64_t>(cache.footprint_bytes()));
+    // Moving transfers the accounting without double counting.
+    const ScoreCache moved = std::move(const_cast<ScoreCache&>(cache));
+    EXPECT_EQ(gauge.value() - before,
+              static_cast<std::int64_t>(moved.footprint_bytes()));
+  }
+  EXPECT_EQ(gauge.value(), before);
 }
 
 }  // namespace

@@ -1,0 +1,402 @@
+// The MUFA model-artifact container: round-trips, zero-copy mapping, and
+// the hostile-input battery.
+//
+// The fuzz half mirrors tests/serve/test_wire.cpp's contract against
+// hostile peers: an artifact file is untrusted input, and every corruption
+// — truncation at any byte, lying counts/offsets/lengths, overlapping or
+// out-of-bounds extents, bad magic/version/dtype — must throw
+// muffin::Error before any over-read or over-allocation.
+#include "data/serialize.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "common/error.h"
+#include "obs/metrics.h"
+#include "tensor/quant.h"
+
+namespace muffin::data {
+namespace {
+
+/// A writer pre-loaded with one tensor of every dtype.
+ArtifactWriter three_dtype_writer() {
+  ArtifactWriter writer;
+  const std::vector<double> f64 = {1.5, -2.25, 3.0, 0.0, -0.5, 42.0};
+  writer.add_f64("body.w", 2, 3, f64);
+  std::vector<std::uint16_t> bf16(10);
+  for (std::size_t i = 0; i < bf16.size(); ++i) {
+    bf16[i] = tensor::bf16_from_double(0.1 * static_cast<double>(i));
+  }
+  writer.add_bf16("head.w", 5, 2, bf16);
+  const std::vector<std::int8_t> i8 = {-127, -1, 0, 1, 127, 64, -64};
+  writer.add_i8("head.q", 7, 1, i8);
+  return writer;
+}
+
+std::string temp_path(const char* stem) {
+  return testing::TempDir() + "/" + stem + ".mufa";
+}
+
+void write_bytes(const std::string& path,
+                 const std::vector<std::uint8_t>& bytes) {
+  std::FILE* file = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(file, nullptr);
+  ASSERT_EQ(std::fwrite(bytes.data(), 1, bytes.size(), file), bytes.size());
+  ASSERT_EQ(std::fclose(file), 0);
+}
+
+TEST(Artifact, RoundTripsEveryDtype) {
+  const std::vector<std::uint8_t> bytes = three_dtype_writer().bytes();
+  const Artifact artifact = Artifact::from_bytes(bytes);
+  ASSERT_EQ(artifact.tensors().size(), 3u);
+  EXPECT_FALSE(artifact.mapped());
+  EXPECT_EQ(artifact.byte_size(), bytes.size());
+
+  const ArtifactTensor& f64 = artifact.tensor("body.w");
+  EXPECT_EQ(f64.dtype, TensorDtype::F64);
+  EXPECT_EQ(f64.rows, 2u);
+  EXPECT_EQ(f64.cols, 3u);
+  ASSERT_EQ(f64.f64().size(), 6u);
+  EXPECT_EQ(f64.f64()[0], 1.5);
+  EXPECT_EQ(f64.f64()[5], 42.0);
+  EXPECT_THROW((void)f64.bf16(), Error);
+  EXPECT_THROW((void)f64.i8(), Error);
+
+  const ArtifactTensor& bf16 = artifact.tensor("head.w");
+  EXPECT_EQ(bf16.dtype, TensorDtype::Bf16);
+  ASSERT_EQ(bf16.bf16().size(), 10u);
+  EXPECT_EQ(bf16.bf16()[3], tensor::bf16_from_double(0.3));
+
+  const ArtifactTensor& i8 = artifact.tensor("head.q");
+  EXPECT_EQ(i8.dtype, TensorDtype::I8);
+  ASSERT_EQ(i8.i8().size(), 7u);
+  EXPECT_EQ(i8.i8()[0], -127);
+
+  EXPECT_EQ(artifact.find("missing"), nullptr);
+  EXPECT_THROW((void)artifact.tensor("missing"), Error);
+}
+
+TEST(Artifact, ExtentsAre64ByteAligned) {
+  const std::vector<std::uint8_t> bytes = three_dtype_writer().bytes();
+  // Walk the raw table.
+  // Header: magic(4) version(4) file_bytes(8) count(4) table_bytes(8).
+  common::ByteReader reader(bytes);
+  (void)reader.u32();  // magic
+  (void)reader.u32();  // version
+  (void)reader.u64();  // file_bytes
+  const std::uint32_t count = reader.u32();
+  (void)reader.u64();  // table_bytes
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const std::uint32_t name_len = reader.u32();
+    (void)reader.bytes(name_len);
+    (void)reader.u8();   // dtype
+    (void)reader.u64();  // rows
+    (void)reader.u64();  // cols
+    const std::uint64_t offset = reader.u64();
+    (void)reader.u64();  // byte_len
+    EXPECT_EQ(offset % 64, 0u) << "tensor " << i;
+  }
+}
+
+TEST(Artifact, FileLoadAndMapSeeIdenticalContent) {
+  const std::string path = temp_path("roundtrip");
+  three_dtype_writer().write_file(path);
+
+  const Artifact loaded = Artifact::load_file(path);
+  const Artifact mapped = Artifact::map_file(path);
+  EXPECT_FALSE(loaded.mapped());
+  EXPECT_TRUE(mapped.mapped());
+  ASSERT_EQ(loaded.tensors().size(), mapped.tensors().size());
+  for (std::size_t i = 0; i < loaded.tensors().size(); ++i) {
+    const ArtifactTensor& a = loaded.tensors()[i];
+    const ArtifactTensor& b = mapped.tensors()[i];
+    EXPECT_EQ(a.name, b.name);
+    EXPECT_EQ(a.dtype, b.dtype);
+    EXPECT_EQ(a.rows, b.rows);
+    EXPECT_EQ(a.cols, b.cols);
+    ASSERT_EQ(a.byte_len, b.byte_len);
+    EXPECT_EQ(std::memcmp(a.data, b.data, a.byte_len), 0) << a.name;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Artifact, MappedBytesGaugeTracksMappingLifetime) {
+  const std::string path = temp_path("gauge");
+  three_dtype_writer().write_file(path);
+  obs::Gauge& gauge = obs::registry().gauge("data.mapped_artifact_bytes");
+  const std::int64_t before = gauge.value();
+  {
+    const Artifact mapped = Artifact::map_file(path);
+    EXPECT_EQ(gauge.value() - before,
+              static_cast<std::int64_t>(mapped.byte_size()));
+    // Heap loads never touch the gauge.
+    const Artifact loaded = Artifact::load_file(path);
+    EXPECT_EQ(gauge.value() - before,
+              static_cast<std::int64_t>(mapped.byte_size()));
+  }
+  EXPECT_EQ(gauge.value(), before);
+  std::remove(path.c_str());
+}
+
+TEST(Artifact, KeepaliveOutlivesTheArtifactObject) {
+  const std::string path = temp_path("keepalive");
+  three_dtype_writer().write_file(path);
+  obs::Gauge& gauge = obs::registry().gauge("data.mapped_artifact_bytes");
+  const std::int64_t before = gauge.value();
+
+  std::shared_ptr<const void> keepalive;
+  const double* borrowed = nullptr;
+  {
+    const Artifact mapped = Artifact::map_file(path);
+    keepalive = mapped.keepalive();
+    borrowed = mapped.tensor("body.w").f64().data();
+  }
+  // The Artifact is gone but the holder keeps the pages mapped: the
+  // borrowed pointer still reads the original values.
+  EXPECT_GT(gauge.value(), before);
+  EXPECT_EQ(borrowed[0], 1.5);
+  keepalive.reset();
+  EXPECT_EQ(gauge.value(), before);
+  std::remove(path.c_str());
+}
+
+TEST(Artifact, EmptyWriterProducesLoadableEmptyContainer) {
+  const ArtifactWriter writer;
+  const Artifact artifact = Artifact::from_bytes(writer.bytes());
+  EXPECT_TRUE(artifact.tensors().empty());
+}
+
+TEST(Artifact, WriterRejectsShapePayloadMismatch) {
+  ArtifactWriter writer;
+  const std::vector<double> six(6, 1.0);
+  EXPECT_THROW(writer.add_f64("t", 2, 2, six), Error);
+  EXPECT_THROW(writer.add_f64("", 2, 3, six), Error);
+}
+
+TEST(Artifact, LoadAndMapRejectMissingFile) {
+  EXPECT_THROW((void)Artifact::load_file("/nonexistent/muffin.mufa"), Error);
+  EXPECT_THROW((void)Artifact::map_file("/nonexistent/muffin.mufa"), Error);
+}
+
+// ------------------------------------------------------- fuzz battery
+
+/// Every hostile case must throw muffin::Error from both the heap parser
+/// and the mmap parser (the map path must unmap on failure, which the
+/// gauge checks catch at the end of the battery).
+void expect_rejected(const std::vector<std::uint8_t>& bytes,
+                     const char* label) {
+  EXPECT_THROW((void)Artifact::from_bytes(bytes), Error) << label;
+  const std::string path = temp_path("hostile");
+  write_bytes(path, bytes);
+  EXPECT_THROW((void)Artifact::load_file(path), Error) << label;
+  EXPECT_THROW((void)Artifact::map_file(path), Error) << label;
+  std::remove(path.c_str());
+}
+
+/// Patch little-endian integers in place.
+void put_u32_at(std::vector<std::uint8_t>& bytes, std::size_t at,
+                std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    bytes[at + i] = static_cast<std::uint8_t>(v >> (8 * i));
+  }
+}
+void put_u64_at(std::vector<std::uint8_t>& bytes, std::size_t at,
+                std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    bytes[at + i] = static_cast<std::uint8_t>(v >> (8 * i));
+  }
+}
+
+// Header field offsets (see the layout comment in data/serialize.h).
+constexpr std::size_t kMagicAt = 0;
+constexpr std::size_t kVersionAt = 4;
+constexpr std::size_t kFileBytesAt = 8;
+constexpr std::size_t kTensorCountAt = 16;
+constexpr std::size_t kTableBytesAt = 20;
+constexpr std::size_t kTableAt = 28;
+
+TEST(ArtifactFuzz, TruncationAtEveryByteThrows) {
+  const std::vector<std::uint8_t> good = three_dtype_writer().bytes();
+  for (std::size_t len = 0; len < good.size(); ++len) {
+    const std::vector<std::uint8_t> cut(good.begin(),
+                                        good.begin() + static_cast<long>(len));
+    EXPECT_THROW((void)Artifact::from_bytes(cut), Error) << "len " << len;
+  }
+  // The untruncated buffer still parses (the battery isn't vacuous).
+  EXPECT_NO_THROW((void)Artifact::from_bytes(good));
+}
+
+TEST(ArtifactFuzz, BadMagicAndVersion) {
+  std::vector<std::uint8_t> bytes = three_dtype_writer().bytes();
+  bytes[kMagicAt] = 'X';
+  expect_rejected(bytes, "wrong magic");
+
+  bytes = three_dtype_writer().bytes();
+  put_u32_at(bytes, kVersionAt, 2);
+  expect_rejected(bytes, "future version");
+  put_u32_at(bytes, kVersionAt, 0);
+  expect_rejected(bytes, "version zero");
+}
+
+TEST(ArtifactFuzz, LyingFileBytes) {
+  std::vector<std::uint8_t> bytes = three_dtype_writer().bytes();
+  put_u64_at(bytes, kFileBytesAt, bytes.size() + 1);
+  expect_rejected(bytes, "file_bytes too large");
+  put_u64_at(bytes, kFileBytesAt, bytes.size() - 1);
+  expect_rejected(bytes, "file_bytes too small");
+  put_u64_at(bytes, kFileBytesAt, 0);
+  expect_rejected(bytes, "file_bytes zero");
+}
+
+TEST(ArtifactFuzz, LyingTensorCountAndTableBytes) {
+  std::vector<std::uint8_t> bytes = three_dtype_writer().bytes();
+  // Hostile huge count: must throw before allocating count-sized state.
+  put_u32_at(bytes, kTensorCountAt, 0xffffffffu);
+  expect_rejected(bytes, "huge tensor_count");
+
+  bytes = three_dtype_writer().bytes();
+  put_u32_at(bytes, kTensorCountAt, 4);  // one more than the table holds
+  expect_rejected(bytes, "count exceeds table");
+
+  bytes = three_dtype_writer().bytes();
+  put_u32_at(bytes, kTensorCountAt, 2);  // table has trailing bytes
+  expect_rejected(bytes, "count below table");
+
+  bytes = three_dtype_writer().bytes();
+  put_u64_at(bytes, kTableBytesAt, bytes.size());  // runs past the file
+  expect_rejected(bytes, "table_bytes past file");
+}
+
+TEST(ArtifactFuzz, HostileNameLength) {
+  std::vector<std::uint8_t> bytes = three_dtype_writer().bytes();
+  // First table entry starts with u32 name_len ("body.w", 6 bytes).
+  put_u32_at(bytes, kTableAt, 0xffffffffu);
+  expect_rejected(bytes, "huge name_len");
+  put_u32_at(bytes, kTableAt, 0);
+  expect_rejected(bytes, "empty name");
+}
+
+TEST(ArtifactFuzz, UnknownDtype) {
+  std::vector<std::uint8_t> bytes = three_dtype_writer().bytes();
+  const std::size_t dtype_at = kTableAt + 4 + 6;  // name_len + "body.w"
+  bytes[dtype_at] = 3;
+  expect_rejected(bytes, "dtype 3");
+  bytes[dtype_at] = 0xff;
+  expect_rejected(bytes, "dtype 255");
+}
+
+TEST(ArtifactFuzz, HostileShapesAndExtents) {
+  const std::size_t entry = kTableAt + 4 + 6 + 1;  // rows field of "body.w"
+  const std::size_t rows_at = entry;
+  const std::size_t cols_at = entry + 8;
+  const std::size_t offset_at = entry + 16;
+  const std::size_t byte_len_at = entry + 24;
+
+  std::vector<std::uint8_t> bytes = three_dtype_writer().bytes();
+  // rows * cols overflows 64 bits: must throw, not wrap into a tiny
+  // allocation.
+  put_u64_at(bytes, rows_at, 0x8000000000000000ull);
+  put_u64_at(bytes, cols_at, 2);
+  expect_rejected(bytes, "shape overflow");
+
+  bytes = three_dtype_writer().bytes();
+  // byte_len disagrees with rows * cols * elem.
+  put_u64_at(bytes, byte_len_at, 47);
+  expect_rejected(bytes, "byte_len mismatch");
+
+  bytes = three_dtype_writer().bytes();
+  // Extent runs past the end of the file.
+  put_u64_at(bytes, offset_at, (bytes.size() / 64) * 64);
+  expect_rejected(bytes, "extent out of bounds");
+
+  bytes = three_dtype_writer().bytes();
+  // Misaligned offset (valid range, off the 64-byte grid).
+  common::ByteReader reader(bytes);
+  (void)reader.u32();
+  (void)reader.u32();
+  (void)reader.u64();
+  (void)reader.u32();
+  (void)reader.u64();
+  (void)reader.u32();
+  (void)reader.bytes(6);
+  (void)reader.u8();
+  (void)reader.u64();
+  (void)reader.u64();
+  const std::uint64_t good_offset = reader.u64();
+  put_u64_at(bytes, offset_at, good_offset + 8);
+  expect_rejected(bytes, "misaligned offset");
+
+  bytes = three_dtype_writer().bytes();
+  // Offset inside the header/table region.
+  put_u64_at(bytes, offset_at, 0);
+  expect_rejected(bytes, "offset into header");
+}
+
+TEST(ArtifactFuzz, OverlappingExtents) {
+  // Point the second tensor's extent at the first one's bytes (same
+  // alignment, in-bounds — only the overlap check can catch it).
+  std::vector<std::uint8_t> bytes = three_dtype_writer().bytes();
+  common::ByteReader reader(bytes);
+  (void)reader.u32();
+  (void)reader.u32();
+  (void)reader.u64();
+  (void)reader.u32();
+  (void)reader.u64();
+  // Entry 0: "body.w", 2x3 f64 = 48 bytes.
+  (void)reader.u32();
+  (void)reader.bytes(6);
+  (void)reader.u8();
+  (void)reader.u64();
+  (void)reader.u64();
+  const std::uint64_t first_offset = reader.u64();
+  (void)reader.u64();
+  // Entry 1: "head.w", name_len(4) + 6 bytes, then dtype.
+  (void)reader.u32();
+  (void)reader.bytes(6);
+  (void)reader.u8();
+  (void)reader.u64();
+  (void)reader.u64();
+  const std::size_t second_offset_at =
+      bytes.size() - reader.remaining() ;
+  // Rewrite entry 1's offset to alias entry 0 (bf16 10 elements = 20
+  // bytes fits inside the 48-byte f64 extent).
+  put_u64_at(bytes, second_offset_at, first_offset);
+  expect_rejected(bytes, "overlapping extents");
+}
+
+TEST(ArtifactFuzz, DuplicateTensorNames) {
+  // The writer refuses a duplicate at add() time...
+  ArtifactWriter writer;
+  const std::vector<double> v4(4, 1.0);
+  writer.add_f64("same", 2, 2, v4);
+  EXPECT_THROW(writer.add_f64("same", 1, 4, v4), Error);
+  // ...and the parser refuses a hand-forged one: rename entry 1
+  // ("head.w", conveniently also 6 bytes) to "body.w". Entry 0 spans
+  // name_len(4) + 6 + dtype(1) + 4 * u64 = 43 bytes.
+  std::vector<std::uint8_t> bytes = three_dtype_writer().bytes();
+  const std::size_t entry1_name_at = kTableAt + 43 + 4;
+  std::memcpy(bytes.data() + entry1_name_at, "body.w", 6);
+  expect_rejected(bytes, "duplicate names");
+}
+
+TEST(ArtifactFuzz, GaugeBalancedAfterMapFailures) {
+  // Every failed map_file above must have unmapped: the battery leaks no
+  // mapped bytes.
+  std::vector<std::uint8_t> bytes = three_dtype_writer().bytes();
+  bytes[kMagicAt] = 'Z';
+  obs::Gauge& gauge = obs::registry().gauge("data.mapped_artifact_bytes");
+  const std::int64_t before = gauge.value();
+  const std::string path = temp_path("mapfail");
+  write_bytes(path, bytes);
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_THROW((void)Artifact::map_file(path), Error);
+  }
+  EXPECT_EQ(gauge.value(), before);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace muffin::data

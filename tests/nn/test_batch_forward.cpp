@@ -17,6 +17,7 @@
 #include "nn/lstm.h"
 #include "nn/mlp.h"
 #include "tensor/ops.h"
+#include "tensor/quant.h"
 
 namespace muffin::nn {
 namespace {
@@ -61,6 +62,9 @@ TEST(LinearBatch, ForwardBatchMatchesPerSampleBitwise) {
 }
 
 TEST(LinearBatch, ForwardBatchInferenceIsConstAndBitwiseEqual) {
+  // Inference == training bitwise is the float contract; quantized modes
+  // are covered by tests/models/test_quant_parity.cpp.
+  const tensor::ScopedQuantMode pin(tensor::QuantMode::Off);
   Linear layer(4, 6);
   SplitRng rng(23);
   layer.init_he(rng);
@@ -154,6 +158,9 @@ MlpSpec head_like_spec(Activation hidden, Activation output) {
 }
 
 TEST(MlpBatch, ForwardBatchMatchesPerSampleBitwise) {
+  // Pins the float contract (inference == training bitwise); quantized
+  // inference parity lives in tests/models/test_quant_parity.cpp.
+  const tensor::ScopedQuantMode pin(tensor::QuantMode::Off);
   for (const Activation hidden : searchable_activations()) {
     Mlp mlp(head_like_spec(hidden, Activation::Sigmoid));
     SplitRng rng(41);
@@ -298,6 +305,9 @@ class DoublingLayer final : public Layer {
     tensor::Vector out(input.begin(), input.end());
     for (double& v : out) v *= 2.0;
     return out;
+  }
+  [[nodiscard]] std::unique_ptr<Layer> clone() const override {
+    return std::make_unique<DoublingLayer>(dim_);
   }
   [[nodiscard]] std::size_t input_dim() const override { return dim_; }
   [[nodiscard]] std::size_t output_dim() const override { return dim_; }

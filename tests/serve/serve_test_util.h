@@ -15,8 +15,35 @@
 #include "core/head_trainer.h"
 #include "data/generators.h"
 #include "models/pool.h"
+#include "tensor/quant.h"
 
 namespace muffin::serve::testutil {
+
+/// What the engine replies for a record whose exact fused scores are
+/// `scores`: canonicalized under the active quant mode, mirroring
+/// InferenceEngine::canonicalize_and_pack (quantize exactly once from the
+/// float scores, reply with the dequantized values). A no-op when
+/// MUFFIN_QUANT is off, so exact-equality expectations against
+/// FusedModel::scores hold in every CI quant lane.
+inline tensor::Vector canonical_scores(tensor::Vector scores) {
+  switch (tensor::active_quant_mode()) {
+    case tensor::QuantMode::Off:
+      break;
+    case tensor::QuantMode::Bf16:
+      for (double& s : scores) {
+        s = tensor::bf16_to_double(tensor::bf16_from_double(s));
+      }
+      break;
+    case tensor::QuantMode::Int8: {
+      const double scale = tensor::i8_scale(scores);
+      for (double& s : scores) {
+        s = tensor::i8_to_double(tensor::i8_from_double(s, scale), scale);
+      }
+      break;
+    }
+  }
+  return scores;
+}
 
 /// Train and fuse the standard two-model test muffin over `dataset`.
 inline std::shared_ptr<core::FusedModel> build_fused(

@@ -85,7 +85,8 @@ TEST(ShardRouter, BitIdenticalToFusedScoresAcrossShardCounts) {
     const std::vector<Prediction> routed = router.predict_batch(records);
     ASSERT_EQ(routed.size(), records.size());
     for (std::size_t i = 0; i < records.size(); ++i) {
-      const tensor::Vector expected = fused->scores(records[i]);
+      const tensor::Vector expected =
+        testutil::canonical_scores(fused->scores(records[i]));
       ASSERT_EQ(routed[i].scores, expected)
           << "shards=" << shards << " record " << i;
       ASSERT_EQ(routed[i].predicted, tensor::argmax(expected))
@@ -171,7 +172,8 @@ TEST(ShardRouter, ReshardMovesAtMostTwiceKOverN) {
   const auto repeat = router.predict_batch(records);
   std::size_t cold = 0;
   for (std::size_t i = 0; i < records.size(); ++i) {
-    const tensor::Vector expected = fused->scores(records[i]);
+    const tensor::Vector expected =
+        testutil::canonical_scores(fused->scores(records[i]));
     ASSERT_EQ(repeat[i].scores, expected) << "record " << i;
     if (router.shard_for(records[i].uid) == before[records[i].uid]) {
       EXPECT_TRUE(repeat[i].cached) << "unmoved uid went cold, record " << i;
@@ -210,7 +212,8 @@ TEST(ShardRouter, DrainReroutesAroundReplicaAndKeepsItsMemoWarm) {
     EXPECT_NE(router.shard_for(records[i].uid), victim);
   }
   const Prediction rerouted = router.predict(records[0]);
-  EXPECT_EQ(rerouted.scores, fused->scores(records[0]));
+  EXPECT_EQ(rerouted.scores,
+            testutil::canonical_scores(fused->scores(records[0])));
 
   // Degraded mode keeps the drained engine alive with its memo intact.
   EXPECT_EQ(router.replica(victim).cache_entries(), victim_entries);
@@ -234,7 +237,8 @@ TEST(ShardRouter, RestoreResumesWithWarmMemo) {
   EXPECT_EQ(router.shard_for(uid), owner);
   const Prediction prediction = router.predict(records[0]);
   EXPECT_TRUE(prediction.cached);
-  EXPECT_EQ(prediction.scores, fused->scores(records[0]));
+  EXPECT_EQ(prediction.scores,
+            testutil::canonical_scores(fused->scores(records[0])));
 }
 
 TEST(ShardRouter, TopologyGuards) {
@@ -271,7 +275,7 @@ TEST(ShardRouter, RemoveReplicaPermanentlyReroutes) {
   }
   const auto repeat = router.predict_batch(records.subspan(0, 200));
   for (std::size_t i = 0; i < repeat.size(); ++i) {
-    ASSERT_EQ(repeat[i].scores, fused->scores(records[i]));
+    ASSERT_EQ(repeat[i].scores, testutil::canonical_scores(fused->scores(records[i])));
   }
   // The removed shard's accounting survives for post-mortem inspection.
   EXPECT_EQ(router.shard_infos()[removed].counters.requests, served_before);
@@ -387,7 +391,8 @@ TEST(ShardRouter, PredictBatchQuiescesInFlightPrefixOnFailure) {
 
   // The router is immediately usable for records routed to live shards.
   const Prediction after = router.predict(batch[0]);
-  EXPECT_EQ(after.scores, fused->scores(batch[0]));
+  EXPECT_EQ(after.scores,
+            testutil::canonical_scores(fused->scores(batch[0])));
 }
 
 TEST(ShardRouter, RemovedReplicaStatsFreezeAtRemoval) {

@@ -101,7 +101,8 @@ TEST(RemoteShard, BitIdenticalOverTcp) {
   }
   for (std::size_t i = 0; i < futures.size(); ++i) {
     const Prediction prediction = futures[i].get();
-    const tensor::Vector expected = fused->scores(records[i]);
+    const tensor::Vector expected =
+        testutil::canonical_scores(fused->scores(records[i]));
     ASSERT_EQ(prediction.scores, expected) << "record " << i;
     ASSERT_EQ(prediction.predicted, tensor::argmax(expected));
   }
@@ -121,7 +122,7 @@ TEST(RemoteShard, BitIdenticalOverUnixDomainSocket) {
   std::span<const data::Record> records = rpc_dataset().records();
   for (std::size_t i = 0; i < 50; ++i) {
     const Prediction prediction = shard.submit(records[i]).get();
-    ASSERT_EQ(prediction.scores, fused->scores(records[i])) << "record " << i;
+    ASSERT_EQ(prediction.scores, testutil::canonical_scores(fused->scores(records[i]))) << "record " << i;
   }
   shard.shutdown();
   server.stop();
@@ -142,7 +143,7 @@ TEST(RemoteShard, PipelinedBatchesFromManyThreads) {
       for (std::size_t i = 0; i < kPerClient; ++i) {
         const data::Record& record = records[(t * 131 + i * 17) % 400];
         const Prediction prediction = shard.submit(record).get();
-        if (prediction.scores != fused->scores(record)) {
+        if (prediction.scores != testutil::canonical_scores(fused->scores(record))) {
           mismatches.fetch_add(1);
         }
       }
@@ -230,7 +231,8 @@ TEST(ShardRouterRpc, RemoteReplicasMatchFusedScores) {
   const std::vector<Prediction> routed = router.predict_batch(records);
   ASSERT_EQ(routed.size(), records.size());
   for (std::size_t i = 0; i < records.size(); ++i) {
-    const tensor::Vector expected = fused->scores(records[i]);
+    const tensor::Vector expected =
+        testutil::canonical_scores(fused->scores(records[i]));
     ASSERT_EQ(routed[i].scores, expected) << "record " << i;
     ASSERT_EQ(routed[i].predicted, tensor::argmax(expected));
   }
@@ -269,7 +271,7 @@ TEST(ShardRouterRpc, MixedLocalAndRemoteReplicas) {
   const std::vector<Prediction> routed =
       router.predict_batch(records.subspan(0, 300));
   for (std::size_t i = 0; i < routed.size(); ++i) {
-    ASSERT_EQ(routed[i].scores, fused->scores(records[i])) << "record " << i;
+    ASSERT_EQ(routed[i].scores, testutil::canonical_scores(fused->scores(records[i]))) << "record " << i;
   }
   const std::vector<ShardInfo> infos = router.shard_infos();
   EXPECT_FALSE(infos[0].remote);
@@ -317,7 +319,7 @@ TEST(ShardRouterRpc, AutoDrainOnShardDeathThenZeroFailedRequests) {
   const std::vector<Prediction> after =
       router.predict_batch(records.subspan(0, 300));
   for (std::size_t i = 0; i < after.size(); ++i) {
-    ASSERT_EQ(after[i].scores, fused->scores(records[i])) << "record " << i;
+    ASSERT_EQ(after[i].scores, testutil::canonical_scores(fused->scores(records[i]))) << "record " << i;
   }
   for (std::size_t i = 0; i < 300; ++i) {
     EXPECT_EQ(router.shard_for(records[i].uid), 1u);
@@ -361,7 +363,7 @@ TEST(ShardRouterRpc, RecoveredShardIsAutoRestored) {
   const std::vector<Prediction> after =
       router.predict_batch(records.subspan(0, 200));
   for (std::size_t i = 0; i < after.size(); ++i) {
-    ASSERT_EQ(after[i].scores, fused->scores(records[i])) << "record " << i;
+    ASSERT_EQ(after[i].scores, testutil::canonical_scores(fused->scores(records[i]))) << "record " << i;
   }
   EXPECT_GT(router.shard_infos()[0].routed, 0u);
   router.shutdown();
@@ -459,7 +461,8 @@ TEST(ShardServer, MalformedFramePoisonsOnlyThatConnection) {
   // A well-behaved client on a fresh connection is unaffected.
   rpc::RemoteShard shard(server.address(), fast_client());
   const data::Record& record = rpc_dataset().record(0);
-  EXPECT_EQ(shard.submit(record).get().scores, fused->scores(record));
+  EXPECT_EQ(shard.submit(record).get().scores,
+            testutil::canonical_scores(fused->scores(record)));
   shard.shutdown();
   server.stop();
 }

@@ -1,0 +1,352 @@
+// Quantization primitives and the dequantizing GEMM entries.
+//
+// Pins the storage-level contracts (bf16 RNE rounding, int8 symmetric
+// scaling, k-major pack layout), the MUFFIN_QUANT resolution rule, and
+// the bit-identity contract of the quantized kernels: within one mode,
+// every usable backend, partition and batch size produces bit-identical
+// output (the quant analogue of SimdBackends in test_simd.cpp).
+#include "tensor/quant.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "tensor/ops.h"
+#include "tensor/simd.h"
+
+namespace muffin::tensor {
+namespace {
+
+Matrix random_matrix(std::size_t rows, std::size_t cols, std::uint64_t seed) {
+  SplitRng rng(seed);
+  Matrix m(rows, cols);
+  for (double& v : m.flat()) v = rng.normal(0.0, 1.7);
+  return m;
+}
+
+Vector random_vector(std::size_t n, std::uint64_t seed) {
+  SplitRng rng(seed);
+  Vector v(n);
+  for (double& x : v) x = rng.normal(0.0, 0.9);
+  return v;
+}
+
+bool bitwise_equal(std::span<const double> a, std::span<const double> b) {
+  if (a.size() != b.size()) return false;
+  return std::memcmp(a.data(), b.data(), a.size() * sizeof(double)) == 0;
+}
+
+// ---------------------------------------------------------------- bf16
+
+TEST(Bf16, RepresentableValuesRoundTripExactly) {
+  // Values whose float32 form has a zero low half survive the trip.
+  for (const double v : {0.0, 1.0, -1.0, 0.5, -0.25, 2.0, 128.0, -0.0078125}) {
+    EXPECT_EQ(bf16_to_double(bf16_from_double(v)), v) << v;
+  }
+}
+
+TEST(Bf16, RoundsToNearestEven) {
+  // 1.0 + 2^-8 sits exactly between bf16(1.0) (0x3F80) and the next grid
+  // point (0x3F81); RNE picks the even mantissa, i.e. 1.0.
+  EXPECT_EQ(bf16_from_double(1.0 + 0.00390625), 0x3F80u);
+  // 1.0 + 3 * 2^-8 ties between 0x3F81 and 0x3F82; RNE picks 0x3F82.
+  EXPECT_EQ(bf16_from_double(1.0 + 3 * 0.00390625), 0x3F82u);
+  // Anything past the midpoint rounds up.
+  EXPECT_EQ(bf16_from_double(1.004), 0x3F81u);
+}
+
+TEST(Bf16, SpecialsSurvive) {
+  const double inf = std::numeric_limits<double>::infinity();
+  EXPECT_EQ(bf16_to_double(bf16_from_double(inf)), inf);
+  EXPECT_EQ(bf16_to_double(bf16_from_double(-inf)), -inf);
+  EXPECT_TRUE(std::isnan(
+      bf16_to_double(bf16_from_double(std::numeric_limits<double>::quiet_NaN()))));
+  // Signed zero keeps its sign bit.
+  EXPECT_TRUE(std::signbit(bf16_to_double(bf16_from_double(-0.0))));
+}
+
+TEST(Bf16, ErrorBoundedByHalfUlp) {
+  SplitRng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.normal(0.0, 10.0);
+    const double back = bf16_to_double(bf16_from_double(v));
+    // bf16 has an 8-bit significand: relative error <= 2^-9 + float32
+    // narrowing slack.
+    EXPECT_NEAR(back, v, std::abs(v) * (1.0 / 256.0) + 1e-30) << v;
+  }
+}
+
+// ---------------------------------------------------------------- int8
+
+TEST(Int8, ScaleRuleAndDegenerateSpans) {
+  const Vector values = {0.5, -2.54, 1.0};
+  EXPECT_EQ(i8_scale(values), 2.54 / 127.0);
+  EXPECT_EQ(i8_scale(Vector{}), 1.0);
+  EXPECT_EQ(i8_scale(Vector{0.0, 0.0}), 1.0);
+  EXPECT_EQ(i8_scale_from_maxabs(2.54), 2.54 / 127.0);
+  EXPECT_EQ(i8_scale_from_maxabs(0.0), 1.0);
+}
+
+TEST(Int8, QuantizeRoundsAndClamps) {
+  EXPECT_EQ(i8_from_double(0.0, 1.0), 0);
+  EXPECT_EQ(i8_from_double(1.49, 1.0), 1);
+  EXPECT_EQ(i8_from_double(2.5, 1.0), 2);  // round-half-to-even
+  EXPECT_EQ(i8_from_double(-2.5, 1.0), -2);
+  EXPECT_EQ(i8_from_double(500.0, 1.0), 127);
+  EXPECT_EQ(i8_from_double(-500.0, 1.0), -127);
+  // At the span's own scale, maxabs maps to +-127 exactly.
+  EXPECT_EQ(i8_from_double(2.54, 2.54 / 127.0), 127);
+  EXPECT_EQ(i8_from_double(-2.54, 2.54 / 127.0), -127);
+}
+
+TEST(Int8, DequantizeIsExactProduct) {
+  const double scale = 0.031;
+  for (int q = -127; q <= 127; ++q) {
+    EXPECT_EQ(i8_to_double(static_cast<std::int8_t>(q), scale),
+              static_cast<double>(q) * scale);
+  }
+}
+
+// -------------------------------------------------------- mode resolve
+
+TEST(QuantModeResolve, Table) {
+  EXPECT_EQ(resolve_quant_mode(""), QuantMode::Off);
+  EXPECT_EQ(resolve_quant_mode("off"), QuantMode::Off);
+  EXPECT_EQ(resolve_quant_mode("0"), QuantMode::Off);
+  EXPECT_EQ(resolve_quant_mode("bf16"), QuantMode::Bf16);
+  EXPECT_EQ(resolve_quant_mode("int8"), QuantMode::Int8);
+  EXPECT_EQ(resolve_quant_mode("i8"), QuantMode::Int8);
+  EXPECT_EQ(resolve_quant_mode("auto"), QuantMode::Int8);
+  EXPECT_EQ(resolve_quant_mode("on"), QuantMode::Int8);
+  EXPECT_EQ(resolve_quant_mode("1"), QuantMode::Int8);
+  EXPECT_EQ(resolve_quant_mode("garbage"), QuantMode::Off);
+}
+
+TEST(QuantModeResolve, ScopedOverrideRestores) {
+  const QuantMode before = active_quant_mode();
+  {
+    const ScopedQuantMode pin(QuantMode::Bf16);
+    EXPECT_EQ(active_quant_mode(), QuantMode::Bf16);
+    {
+      const ScopedQuantMode nested(QuantMode::Int8);
+      EXPECT_EQ(active_quant_mode(), QuantMode::Int8);
+    }
+    EXPECT_EQ(active_quant_mode(), QuantMode::Bf16);
+  }
+  EXPECT_EQ(active_quant_mode(), before);
+}
+
+TEST(QuantModeResolve, Names) {
+  EXPECT_EQ(quant_mode_name(QuantMode::Off), "off");
+  EXPECT_EQ(quant_mode_name(QuantMode::Bf16), "bf16");
+  EXPECT_EQ(quant_mode_name(QuantMode::Int8), "int8");
+}
+
+// ------------------------------------------------------------ packing
+
+TEST(QuantPack, KMajorLayoutBf16) {
+  const Matrix w = random_matrix(5, 9, 11);
+  const QuantizedGemmB pack = build_quant_pack(w, QuantMode::Bf16);
+  ASSERT_EQ(pack.mode, QuantMode::Bf16);
+  ASSERT_EQ(pack.m, 5u);
+  ASSERT_EQ(pack.depth, 9u);
+  ASSERT_EQ(pack.bf16.size(), 45u);
+  for (std::size_t j = 0; j < 5; ++j) {
+    for (std::size_t k = 0; k < 9; ++k) {
+      EXPECT_EQ(pack.bf16_ptr()[k * 5 + j], bf16_from_double(w(j, k)));
+    }
+  }
+}
+
+TEST(QuantPack, KMajorLayoutInt8WithPerColumnScales) {
+  const Matrix w = random_matrix(4, 7, 13);
+  const QuantizedGemmB pack = build_quant_pack(w, QuantMode::Int8);
+  ASSERT_EQ(pack.mode, QuantMode::Int8);
+  ASSERT_EQ(pack.scales.size(), 4u);
+  for (std::size_t j = 0; j < 4; ++j) {
+    double maxabs = 0.0;
+    for (std::size_t k = 0; k < 7; ++k) maxabs = std::max(maxabs, std::abs(w(j, k)));
+    EXPECT_EQ(pack.scales_ptr()[j], i8_scale_from_maxabs(maxabs));
+    for (std::size_t k = 0; k < 7; ++k) {
+      EXPECT_EQ(pack.i8_ptr()[k * 4 + j],
+                i8_from_double(w(j, k), pack.scales_ptr()[j]));
+    }
+  }
+  EXPECT_GT(pack.owned_bytes(), 0u);
+}
+
+TEST(QuantPack, RawPointerOverloadMatchesMatrixOverload) {
+  const Matrix w = random_matrix(6, 8, 17);
+  for (const QuantMode mode : {QuantMode::Bf16, QuantMode::Int8}) {
+    const QuantizedGemmB a = build_quant_pack(w, mode);
+    const QuantizedGemmB b =
+        build_quant_pack(w.flat().data(), w.rows(), w.cols(), mode);
+    EXPECT_EQ(a.bf16, b.bf16);
+    EXPECT_EQ(a.i8, b.i8);
+    EXPECT_EQ(a.scales, b.scales);
+  }
+}
+
+TEST(QuantPack, RejectsOffMode) {
+  const Matrix w = random_matrix(2, 2, 19);
+  EXPECT_THROW((void)build_quant_pack(w, QuantMode::Off), Error);
+}
+
+// ------------------------------------------------- dequantizing GEMMs
+
+struct Shape {
+  std::size_t n, m, depth;
+};
+constexpr Shape kShapes[] = {
+    {1, 1, 1}, {2, 4, 3},  {3, 5, 7},    {1, 8, 16},  {7, 9, 11},
+    {5, 3, 1}, {8, 6, 2},  {64, 33, 17}, {65, 8, 24}, {31, 12, 5},
+};
+
+std::vector<const detail::KernelTable*> usable_vector_backends() {
+  std::vector<const detail::KernelTable*> backends;
+  if (detail::avx2_kernels() != nullptr && detail::cpu_supports_avx2_fma()) {
+    backends.push_back(detail::avx2_kernels());
+  }
+  if (detail::avx512_kernels() != nullptr && detail::cpu_supports_avx512f()) {
+    backends.push_back(detail::avx512_kernels());
+  }
+  return backends;
+}
+
+TEST(QuantGemm, Bf16BitIdenticalAcrossBackends) {
+  const detail::KernelTable& scalar = detail::scalar_kernels();
+  std::uint64_t seed = 300;
+  for (const Shape& shape : kShapes) {
+    const Matrix a = random_matrix(shape.n, shape.depth, seed++);
+    const Matrix w = random_matrix(shape.m, shape.depth, seed++);
+    const Vector bias = random_vector(shape.m, seed++);
+    const QuantizedGemmB pack = build_quant_pack(w, QuantMode::Bf16);
+    Matrix expected(shape.n, shape.m, -1.0);
+    scalar.gemm_tb_bf16(a.flat().data(), a.stride(), pack.bf16_ptr(), shape.m,
+                        bias.data(), expected.flat().data(),
+                        expected.stride(), shape.n, shape.m, shape.depth);
+    for (const detail::KernelTable* backend : usable_vector_backends()) {
+      Matrix out(shape.n, shape.m, -2.0);
+      backend->gemm_tb_bf16(a.flat().data(), a.stride(), pack.bf16_ptr(),
+                            shape.m, bias.data(), out.flat().data(),
+                            out.stride(), shape.n, shape.m, shape.depth);
+      EXPECT_TRUE(bitwise_equal(expected.flat(), out.flat()))
+          << backend->name << " n=" << shape.n << " m=" << shape.m
+          << " depth=" << shape.depth;
+    }
+  }
+}
+
+TEST(QuantGemm, Int8BitIdenticalAcrossBackends) {
+  const detail::KernelTable& scalar = detail::scalar_kernels();
+  std::uint64_t seed = 400;
+  for (const Shape& shape : kShapes) {
+    const Matrix a = random_matrix(shape.n, shape.depth, seed++);
+    const Matrix w = random_matrix(shape.m, shape.depth, seed++);
+    const Vector bias = random_vector(shape.m, seed++);
+    const QuantizedGemmB pack = build_quant_pack(w, QuantMode::Int8);
+    Matrix expected(shape.n, shape.m, -1.0);
+    scalar.gemm_tb_i8(a.flat().data(), a.stride(), pack.i8_ptr(), shape.m,
+                      pack.scales_ptr(), bias.data(), expected.flat().data(),
+                      expected.stride(), shape.n, shape.m, shape.depth);
+    for (const detail::KernelTable* backend : usable_vector_backends()) {
+      Matrix out(shape.n, shape.m, -2.0);
+      backend->gemm_tb_i8(a.flat().data(), a.stride(), pack.i8_ptr(), shape.m,
+                          pack.scales_ptr(), bias.data(), out.flat().data(),
+                          out.stride(), shape.n, shape.m, shape.depth);
+      EXPECT_TRUE(bitwise_equal(expected.flat(), out.flat()))
+          << backend->name << " n=" << shape.n << " m=" << shape.m
+          << " depth=" << shape.depth;
+    }
+  }
+}
+
+TEST(QuantGemm, SingleRowEqualsBatchRow) {
+  // The partition-independence half of the bit-identity contract: row i
+  // of a batched call equals the same row scored alone.
+  for (const QuantMode mode : {QuantMode::Bf16, QuantMode::Int8}) {
+    const Matrix a = random_matrix(9, 12, 500);
+    const Matrix w = random_matrix(6, 12, 501);
+    const Vector bias = random_vector(6, 502);
+    const QuantizedGemmB pack = build_quant_pack(w, mode);
+    Matrix batched;
+    matmul_transposed_b_bias_quant_into(a, pack, bias, batched);
+    for (std::size_t r = 0; r < a.rows(); ++r) {
+      Matrix single_in(1, 12);
+      const auto row = a.row(r);
+      std::copy(row.begin(), row.end(), single_in.flat().begin());
+      Matrix single_out;
+      matmul_transposed_b_bias_quant_into(single_in, pack, bias, single_out);
+      EXPECT_TRUE(bitwise_equal(single_out.row(0), batched.row(r)))
+          << quant_mode_name(mode) << " row " << r;
+    }
+  }
+}
+
+TEST(QuantGemm, DequantizedResultTracksFloatGemm) {
+  const Matrix a = random_matrix(16, 20, 600);
+  const Matrix w = random_matrix(10, 20, 601);
+  const Vector bias = random_vector(10, 602);
+  Matrix exact;
+  matmul_transposed_b_bias_into(a, w, bias, exact);
+  for (const QuantMode mode : {QuantMode::Bf16, QuantMode::Int8}) {
+    const QuantizedGemmB pack = build_quant_pack(w, mode);
+    Matrix out;
+    matmul_transposed_b_bias_quant_into(a, pack, bias, out);
+    // Crude error model: per-element weight error is bounded by the
+    // storage grid (bf16 half-ulp, int8 scale/2) times the L1 mass of
+    // the activations.
+    double max_activation_l1 = 0.0;
+    for (std::size_t r = 0; r < a.rows(); ++r) {
+      double l1 = 0.0;
+      for (const double v : a.row(r)) l1 += std::abs(v);
+      max_activation_l1 = std::max(max_activation_l1, l1);
+    }
+    double max_grid = 0.0;
+    if (mode == QuantMode::Bf16) {
+      for (const double v : w.flat()) {
+        max_grid = std::max(max_grid, std::abs(v) / 256.0);
+      }
+    } else {
+      for (const double s : pack.scales) max_grid = std::max(max_grid, s);
+    }
+    const double bound = max_activation_l1 * max_grid;
+    for (std::size_t i = 0; i < exact.flat().size(); ++i) {
+      EXPECT_NEAR(out.flat()[i], exact.flat()[i], bound) << i;
+    }
+  }
+}
+
+TEST(QuantGemm, WrapperValidatesArguments) {
+  const Matrix a = random_matrix(3, 5, 700);
+  const Matrix w = random_matrix(4, 5, 701);
+  const Vector bias = random_vector(4, 702);
+  Matrix out;
+  QuantizedGemmB off;  // mode == Off
+  EXPECT_THROW(matmul_transposed_b_bias_quant_into(a, off, bias, out), Error);
+  const QuantizedGemmB pack = build_quant_pack(w, QuantMode::Int8);
+  const Matrix bad_a = random_matrix(3, 6, 703);
+  EXPECT_THROW(matmul_transposed_b_bias_quant_into(bad_a, pack, bias, out),
+               Error);
+  const Vector bad_bias = random_vector(3, 704);
+  EXPECT_THROW(matmul_transposed_b_bias_quant_into(a, pack, bad_bias, out),
+               Error);
+}
+
+TEST(QuantGemm, ActiveTableHasQuantEntriesOnEveryBackend) {
+  EXPECT_NE(detail::scalar_kernels().gemm_tb_bf16, nullptr);
+  EXPECT_NE(detail::scalar_kernels().gemm_tb_i8, nullptr);
+  for (const detail::KernelTable* backend : usable_vector_backends()) {
+    EXPECT_NE(backend->gemm_tb_bf16, nullptr) << backend->name;
+    EXPECT_NE(backend->gemm_tb_i8, nullptr) << backend->name;
+  }
+  EXPECT_NE(detail::active_kernels().gemm_tb_bf16, nullptr);
+  EXPECT_NE(detail::active_kernels().gemm_tb_i8, nullptr);
+}
+
+}  // namespace
+}  // namespace muffin::tensor
