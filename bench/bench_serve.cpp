@@ -17,6 +17,12 @@
 //                than a throughput ratio, which stopped being meaningful
 //                once the calibrated batch kernel cut scoring to ~1 us
 //
+// A degraded-mode drill closes the run: the same two-shard loopback
+// topology fronted by a retrying router, with one shard hard-killed
+// mid-run. The gate is operational, not throughput: the health monitor
+// must drain the dead shard within a bounded recovery window and the
+// surviving topology must serve with zero caller-visible errors.
+//
 // The trace models steady-state serving traffic: requests drawn uniformly
 // with replacement from the test split, so hot records repeat — the regime
 // a result memo exists for. A cold single-pass section is reported too so
@@ -33,10 +39,12 @@
 #include <chrono>
 #include <cstdlib>
 #include <iostream>
+#include <memory>
 #include <string>
 #include <string_view>
 
 #include "bench_util.h"
+#include "common/failpoint.h"
 #include "common/parallel_for.h"
 #include "core/head_trainer.h"
 #include "obs/metrics.h"
@@ -197,6 +205,100 @@ RunResult run_remote(std::shared_ptr<const core::FusedModel> fused,
   return result;
 }
 
+std::uint64_t obs_counter(const std::string& name) {
+  const obs::MetricsSnapshot snap = obs::registry().snapshot();
+  const obs::CounterSnapshot* counter = snap.find_counter(name);
+  return counter == nullptr ? 0 : counter->value;
+}
+
+/// Degraded-mode drill: two loopback shard servers behind a router with
+/// retries enabled; shard A is hard-killed (listener + engine torn down,
+/// in-flight connections reset) while traffic keeps flowing. Measures
+/// how long the health monitor takes to drain the corpse off the ring
+/// and whether any failure ever reaches a caller once it has.
+struct DegradedResult {
+  std::size_t warm_requests = 0;
+  std::size_t warm_failures = 0;
+  std::size_t mid_requests = 0;        ///< kill .. auto-drain window
+  std::size_t mid_failures = 0;        ///< not masked by retry/failover
+  std::size_t post_requests = 0;
+  std::size_t post_drain_failures = 0;
+  double kill_to_drain_ms = 0.0;
+  bool drained = false;                ///< monitor took the shard off
+  bool parity = true;                  ///< every answer bit-identical
+  std::uint64_t retries = 0;           ///< serve.retries spent in drill
+  std::uint64_t failovers = 0;         ///< serve.failovers in drill
+};
+
+DegradedResult run_degraded(std::shared_ptr<const core::FusedModel> fused,
+                            const std::vector<const data::Record*>& trace,
+                            serve::EngineConfig engine_config,
+                            const std::string& listen_a,
+                            const std::string& listen_b) {
+  serve::rpc::ShardServerConfig server_config;
+  server_config.engine = engine_config;
+  auto shard_a = std::make_unique<serve::rpc::ShardServer>(fused, listen_a,
+                                                           server_config);
+  serve::rpc::ShardServer shard_b(fused, listen_b, server_config);
+
+  serve::RouterConfig router_config;
+  router_config.shards = 0;
+  router_config.remote_endpoints = {shard_a->address(), shard_b.address()};
+  router_config.remote.connections = 2;
+  router_config.remote.request_timeout = std::chrono::milliseconds(2000);
+  // Fast reconnect cadence: the drill measures drain latency, and a dead
+  // endpoint should fail batches quickly rather than queue behind dials.
+  router_config.remote.backoff_initial = std::chrono::milliseconds(20);
+  router_config.remote.backoff_cap = std::chrono::milliseconds(200);
+  router_config.health.probe_interval = std::chrono::milliseconds(50);
+  router_config.health.failure_threshold = 2;
+  router_config.retry.max_attempts = 3;
+  serve::ShardRouter router(nullptr, router_config);
+
+  DegradedResult result;
+  result.retries = obs_counter("serve.retries");
+  result.failovers = obs_counter("serve.failovers");
+  const auto wave = [&](std::size_t count, std::size_t* requests,
+                        std::size_t* failures) {
+    for (std::size_t i = 0; i < count; ++i) {
+      const data::Record& record = *trace[*requests % trace.size()];
+      ++*requests;
+      try {
+        const serve::Prediction got = router.predict(record);
+        if (got.predicted != tensor::argmax(fused->scores(record))) {
+          result.parity = false;
+        }
+      } catch (const std::exception&) {
+        ++*failures;
+      }
+    }
+  };
+
+  // Healthy cluster: both shards serving, retries idle.
+  wave(200, &result.warm_requests, &result.warm_failures);
+
+  // Hard kill: destroy the server outright — sockets reset mid-pipeline,
+  // nothing drains gracefully. Keep predicting through the outage window
+  // until the monitor drains the shard (retries must mask the corpse).
+  shard_a->stop();
+  shard_a.reset();
+  const Clock::time_point killed = Clock::now();
+  while (router.active_count() > 1 && seconds_since(killed) < 5.0) {
+    wave(20, &result.mid_requests, &result.mid_failures);
+  }
+  result.drained = router.active_count() == 1;
+  result.kill_to_drain_ms = seconds_since(killed) * 1000.0;
+
+  // Post-drain: the ring holds only the survivor; nothing left to mask.
+  wave(400, &result.post_requests, &result.post_drain_failures);
+
+  result.retries = obs_counter("serve.retries") - result.retries;
+  result.failovers = obs_counter("serve.failovers") - result.failovers;
+  router.shutdown();
+  shard_b.stop();
+  return result;
+}
+
 /// --smoke: a trimmed single-section run for the CI metrics-overhead
 /// gate. Measures only the steady-state batched engine (the hottest
 /// instrumented path: per-request counters, batch/latency histograms,
@@ -235,7 +337,9 @@ int run_smoke(const std::string& out_path) {
   }
 
   std::cout << "smoke: obs "
-            << (obs::compiled_in() ? "compiled in" : "compiled OUT") << ", "
+            << (obs::compiled_in() ? "compiled in" : "compiled OUT")
+            << ", failpoints "
+            << (fail::compiled_in() ? "compiled in" : "compiled OUT") << ", "
             << trace_len << " requests, best of 3: "
             << static_cast<long long>(best.requests_per_second)
             << " req/s, argmax parity "
@@ -245,6 +349,7 @@ int run_smoke(const std::string& out_path) {
   json.add("smoke.rps", best.requests_per_second);
   json.add("smoke.requests", trace_len);
   json.add("smoke.obs_compiled_in", obs::compiled_in());
+  json.add("smoke.failpoints_compiled_in", fail::compiled_in());
   json.add("smoke.cache_hits", best.counters.cache_hits);
   json.add("pass", parity);
   json.write(out_path);
@@ -395,6 +500,27 @@ int main(int argc, char** argv) {
           seq.requests_per_second, true);
   remote_table.print(std::cout);
 
+  // --- degraded mode ----------------------------------------------------
+  // Operational drill, not a throughput section: hard-kill one of the two
+  // remote shards mid-run and gate on the fault being fully absorbed.
+  const std::string uds_kill =
+      "unix:/tmp/muffin_bench_kill_" + std::to_string(::getpid()) + ".sock";
+  const DegradedResult degraded =
+      run_degraded(fused, trace, half_config, uds_kill, uds_b);
+  std::cout << "\ndegraded mode (one of two shards hard-killed):\n"
+            << "  warm:       " << degraded.warm_requests << " requests, "
+            << degraded.warm_failures << " failures\n"
+            << "  kill->drain " << format_fixed(degraded.kill_to_drain_ms, 0)
+            << " ms (recovery ceiling 3000 ms); outage window "
+            << degraded.mid_requests << " requests, "
+            << degraded.mid_failures << " caller-visible failures ("
+            << degraded.retries << " retries, " << degraded.failovers
+            << " failovers absorbed the rest)\n"
+            << "  post-drain: " << degraded.post_requests << " requests, "
+            << degraded.post_drain_failures
+            << " failures (gate: zero), answers "
+            << (degraded.parity ? "bit-identical" : "MISMATCH") << "\n";
+
   // Memo affinity is the property sharding must not break: consistent
   // hashing keeps each uid on one shard, so every distinct record is
   // scored (missed) roughly once somewhere. A broken hash would spread a
@@ -465,8 +591,12 @@ int main(int argc, char** argv) {
             << format_fixed(wire_overhead_us, 2)
             << " us/request (acceptance ceiling 6 us)\n";
 
+  const bool degraded_pass = degraded.parity && degraded.drained &&
+                             degraded.kill_to_drain_ms <= 3000.0 &&
+                             degraded.post_drain_failures == 0;
   const bool pass = parity && memo_parity && speedup8 >= 0.7 &&
-                    speedup32 >= 0.7 && wire_overhead_us <= 6.0;
+                    speedup32 >= 0.7 && wire_overhead_us <= 6.0 &&
+                    degraded_pass;
 
   // Machine-readable output for cross-PR perf tracking.
   bench::BenchJson json;
@@ -505,6 +635,17 @@ int main(int argc, char** argv) {
   json.add("steady.engine_b32.memo_misses", engine_misses);
   json.add("steady.router_s4.memo_hit_rate", router_hit_rate);
   json.add("steady.router_s4.memo_misses", router_misses);
+  json.add("degraded.kill_to_drain_ms", degraded.kill_to_drain_ms);
+  json.add("degraded.recovery_ceiling_ms", 3000.0);
+  json.add("degraded.warm_requests", degraded.warm_requests);
+  json.add("degraded.warm_failures", degraded.warm_failures);
+  json.add("degraded.mid_requests", degraded.mid_requests);
+  json.add("degraded.mid_failures", degraded.mid_failures);
+  json.add("degraded.post_requests", degraded.post_requests);
+  json.add("degraded.post_drain_failures", degraded.post_drain_failures);
+  json.add("degraded.retries", degraded.retries);
+  json.add("degraded.failovers", degraded.failovers);
+  json.add("degraded.pass", degraded_pass);
   json.add("argmax_parity", parity);
   json.add("pass", pass);
   json.write(out_path);

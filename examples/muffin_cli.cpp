@@ -17,7 +17,9 @@
 //       throughput and engine counters. With --listen (host:port, port 0
 //       for ephemeral, or unix:/path) the process instead becomes one
 //       shard of the cross-process tier: it serves the batched RPC wire
-//       format on that socket until SIGINT/SIGTERM. With --artifact, the
+//       format on that socket until signalled — SIGTERM drains gracefully
+//       (stop accepting, finish writing every in-flight response, then
+//       exit 0), SIGINT stops hard. With --artifact, the
 //       muffin head comes from a binary model artifact: an existing file
 //       is mmap'd read-only and served zero-copy (no head training, no
 //       heap copy of the weights — the shard cold-start path); a missing
@@ -26,7 +28,12 @@
 //   muffin_cli route   [--dataset ...] [--samples N] [--shards S]
 //                      [--workers W] [--batch B] [--requests N]
 //                      [--remote A,B,...] [--probe-ms P] [--fail-after K]
+//                      [--retry N]
 //       same trace, but served through the consistent-hash ShardRouter.
+//       --retry N allows up to N submit attempts per request, failing
+//       over to the next healthy ring replica (answers stay
+//       bit-identical); a resilience summary line (retries, failovers,
+//       sheds) is printed after the trace.
 //       By default over S in-process engine replicas; with --remote, over
 //       the listed shard-server endpoints instead (health-probed every P
 //       ms, auto-drained after K consecutive failures). Prints the merged
@@ -39,7 +46,10 @@
 //       metrics registry. `table` is a human summary; `json`/`prom` dump
 //       the server's registry exposition verbatim.
 //
-// serve and route also accept --stats-every-s N: print a one-line
+// serve and route also accept --max-queue N (bound the engine admission
+// queue; excess submits are shed with an Overloaded error) and
+// --deadline-ms D (drop requests that waited longer than D before
+// scoring), and --stats-every-s N: print a one-line
 // serving summary (requests, rate, batches, memo hits, failures) from
 // the process-wide metrics registry every N seconds while the trace —
 // or a --listen server — runs.
@@ -108,6 +118,9 @@ struct CliOptions {
   std::size_t probe_ms = 250;   // health-probe period for remote shards
   std::size_t fail_after = 3;   // consecutive failures before auto-drain
   std::size_t stats_every_s = 0;  // serve/route: summary period (0 = off)
+  std::size_t retry = 1;        // route: submit attempts per request
+  std::size_t max_queue = 0;    // serve/route: engine admission bound
+  std::size_t deadline_ms = 0;  // serve/route: queueing deadline (0 = off)
 };
 
 std::vector<std::string> split_csv_list(const std::string& list) {
@@ -173,6 +186,12 @@ CliOptions parse(int argc, char** argv) {
       options.probe_ms = static_cast<std::size_t>(std::stoull(value));
     } else if (key == "--fail-after") {
       options.fail_after = static_cast<std::size_t>(std::stoull(value));
+    } else if (key == "--retry") {
+      options.retry = static_cast<std::size_t>(std::stoull(value));
+    } else if (key == "--max-queue") {
+      options.max_queue = static_cast<std::size_t>(std::stoull(value));
+    } else if (key == "--deadline-ms") {
+      options.deadline_ms = static_cast<std::size_t>(std::stoull(value));
     } else {
       throw Error("unknown option: " + key);
     }
@@ -387,8 +406,15 @@ std::shared_ptr<core::FusedModel> fused_for_serving(const Workbench& bench,
 }
 
 std::atomic<bool> g_stop_requested{false};
+std::atomic<bool> g_drain_requested{false};
 
 void request_stop(int) { g_stop_requested.store(true); }
+
+/// SIGTERM, the orchestrator's "please go away": drain instead of drop.
+void request_drain(int) {
+  g_drain_requested.store(true);
+  g_stop_requested.store(true);
+}
 
 /// --stats-every-s: a background thread that prints a one-line serving
 /// summary from the process-wide metrics registry every interval. The
@@ -561,19 +587,31 @@ int run_listen(const CliOptions& options,
   serve::rpc::ShardServerConfig server_config;
   server_config.engine.workers = options.workers;
   server_config.engine.max_batch = options.batch;
+  server_config.engine.max_queue = options.max_queue;
+  server_config.engine.deadline = std::chrono::milliseconds(options.deadline_ms);
   serve::rpc::ShardServer server(std::move(fused), options.listen,
                                  server_config);
   // The resolved address (real port for port-0 binds) goes to stdout and
   // is flushed immediately so launcher scripts can wait for readiness.
   std::cout << "listening on " << server.address() << std::endl;
   std::signal(SIGINT, request_stop);
-  std::signal(SIGTERM, request_stop);
+  std::signal(SIGTERM, request_drain);
   StatsTicker ticker;
   ticker.start(options.stats_every_s);
   while (!g_stop_requested.load()) {
     std::this_thread::sleep_for(std::chrono::milliseconds(50));
   }
   ticker.stop();
+  if (g_drain_requested.load()) {
+    // Graceful path: no new connections, every pending response frame is
+    // written out before the sockets close, exit 0. A client that got its
+    // requests on the wire never sees this shard die.
+    server.drain(std::chrono::milliseconds(5000));
+    std::cout << "drained cleanly: served "
+              << server.engine().counters().requests << " requests over "
+              << server.connections_accepted() << " connections\n";
+    return 0;
+  }
   std::cout << "stopping: served "
             << server.engine().counters().requests << " requests over "
             << server.connections_accepted() << " connections\n";
@@ -596,6 +634,8 @@ int run_serve(const CliOptions& options) {
   serve::EngineConfig engine_config;
   engine_config.workers = options.workers;
   engine_config.max_batch = options.batch;
+  engine_config.max_queue = options.max_queue;
+  engine_config.deadline = std::chrono::milliseconds(options.deadline_ms);
   serve::InferenceEngine engine(fused, engine_config);
 
   // Steady-state trace: uniform-with-replacement draws over the validation
@@ -646,6 +686,9 @@ int run_route(const CliOptions& options) {
   serve::RouterConfig router_config;
   router_config.engine.workers = options.workers;
   router_config.engine.max_batch = options.batch;
+  router_config.engine.max_queue = options.max_queue;
+  router_config.engine.deadline = std::chrono::milliseconds(options.deadline_ms);
+  router_config.retry.max_attempts = std::max<std::size_t>(1, options.retry);
   std::shared_ptr<core::FusedModel> fused;
   if (remotes.empty()) {
     // In-process tier: local engine replicas need the fused model.
@@ -725,6 +768,21 @@ int run_route(const CliOptions& options) {
                        format_fixed(info.latency.p99_us, 0)});
   }
   per_shard.print(std::cout);
+  // Resilience accounting lives in THIS process's registry (retries and
+  // failovers are router-side decisions; sheds can also come back over
+  // the wire), so print it here rather than per shard.
+  {
+    const obs::MetricsSnapshot snap = obs::registry().snapshot();
+    const auto counter = [&snap](std::string_view name) -> std::uint64_t {
+      const obs::CounterSnapshot* found = snap.find_counter(name);
+      return found != nullptr ? found->value : 0;
+    };
+    std::cout << "resilience: retries=" << counter("serve.retries")
+              << " failovers=" << counter("serve.failovers")
+              << " shed=" << counter("serve.shed")
+              << " deadline_drops=" << counter("serve.deadline_drops")
+              << " reconnects=" << counter("rpc.client.reconnects") << "\n";
+  }
   router.shutdown();
   return 0;
 }

@@ -18,6 +18,17 @@ class Error : public std::runtime_error {
   explicit Error(const std::string& what) : std::runtime_error(what) {}
 };
 
+/// Load-shed rejection: an admission-bounded queue (serve::Batcher with
+/// max_queue set) is full. Thrown at enqueue, before any scoring work,
+/// so overload is reported in microseconds instead of timing out deep
+/// in the stack. Deliberately a distinct type: retry layers must NOT
+/// retry it (a shed is a capacity signal — retrying amplifies the
+/// overload), and callers are expected to back off instead.
+class Overloaded : public Error {
+ public:
+  explicit Overloaded(const std::string& what) : Error(what) {}
+};
+
 namespace detail {
 [[noreturn]] void throw_error(const char* file, int line, const char* cond,
                               const std::string& message);

@@ -1,0 +1,250 @@
+#include "common/failpoint.h"
+
+#if !defined(MUFFIN_FAILPOINTS_DISABLED)
+
+#include <atomic>
+#include <cstdlib>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+
+#include "common/error.h"
+#include "common/hash.h"
+#include "common/rng.h"
+#include "obs/metrics.h"
+
+namespace muffin::fail {
+
+namespace {
+
+struct Site {
+  Spec spec;
+  std::atomic<std::uint64_t> hits{0};
+  std::atomic<std::uint64_t> draws{0};
+  std::uint64_t seed = 0;            ///< fnv1a64 of the site name
+  obs::Counter* counter = nullptr;   ///< failpoint.<site> hit counter
+};
+
+/// All failpoint state. `armed` mirrors the number of sites whose action
+/// is not Off, so a disarmed process pays one relaxed load per call
+/// site. Site entries are heap-allocated for address stability across
+/// map rehashes (they hold atomics).
+struct Registry {
+  mutable std::shared_mutex mutex;
+  std::unordered_map<std::string, std::unique_ptr<Site>> sites;
+  std::atomic<std::size_t> armed{0};
+};
+
+void apply_spec(Registry& reg, std::string_view site, const Spec& spec) {
+  MUFFIN_REQUIRE(!site.empty(), "failpoint site name is empty");
+  const std::unique_lock<std::shared_mutex> lock(reg.mutex);
+  auto it = reg.sites.find(std::string(site));
+  if (it == reg.sites.end()) {
+    auto entry = std::make_unique<Site>();
+    entry->seed = fnv1a64(site);
+    entry->counter =
+        &obs::registry().counter("failpoint." + std::string(site));
+    it = reg.sites.emplace(std::string(site), std::move(entry)).first;
+  }
+  it->second->spec = spec;
+  if (spec.action != Action::Off) {
+    // Re-arming restarts the draw stream: the fault pattern is a pure
+    // function of (site name, draws since arming), so every arming
+    // session — and every process run — replays identically.
+    it->second->draws.store(0, std::memory_order_relaxed);
+  }
+  std::size_t armed = 0;
+  for (const auto& [name, entry] : reg.sites) {
+    if (entry->spec.action != Action::Off) {
+      ++armed;
+    }
+  }
+  reg.armed.store(armed, std::memory_order_relaxed);
+}
+
+[[noreturn]] void bad_spec(std::string_view token, const char* why) {
+  throw Error("bad failpoint spec '" + std::string(token) + "': " + why);
+}
+
+double parse_probability(std::string_view token, std::string_view text) {
+  const std::string copy(text);
+  char* end = nullptr;
+  const double p = std::strtod(copy.c_str(), &end);
+  if (end != copy.c_str() + copy.size() || !(p >= 0.0) || p > 1.0) {
+    bad_spec(token, "probability must be a number in [0, 1]");
+  }
+  return p;
+}
+
+std::chrono::milliseconds parse_delay(std::string_view token,
+                                      std::string_view text) {
+  const std::string copy(text);
+  char* end = nullptr;
+  const double value = std::strtod(copy.c_str(), &end);
+  std::string_view suffix(end, copy.c_str() + copy.size() - end);
+  double ms = value;
+  if (suffix == "s") {
+    ms = value * 1000.0;
+  } else if (!suffix.empty() && suffix != "ms") {
+    bad_spec(token, "delay must be `<N>ms`, `<N>s`, or a bare ms count");
+  }
+  if (end == copy.c_str() || !(ms >= 0.0)) {
+    bad_spec(token, "delay must be a non-negative duration");
+  }
+  return std::chrono::milliseconds(static_cast<std::int64_t>(ms));
+}
+
+std::string_view trimmed(std::string_view text) {
+  while (!text.empty() && text.front() == ' ') text.remove_prefix(1);
+  while (!text.empty() && text.back() == ' ') text.remove_suffix(1);
+  return text;
+}
+
+/// One `site=action[:arg[:arg]]` token of the config grammar. Spaces
+/// around `=` and `:` are tolerated — the env var is typed by humans.
+void apply_token(Registry& reg, std::string_view token) {
+  const std::size_t eq = token.find('=');
+  if (eq == std::string_view::npos) {
+    bad_spec(token, "expected site=action");
+  }
+  const std::string_view site = trimmed(token.substr(0, eq));
+  if (site.empty()) bad_spec(token, "expected site=action");
+  std::string_view rhs = trimmed(token.substr(eq + 1));
+  const std::size_t colon = rhs.find(':');
+  const std::string_view action =
+      trimmed(colon == std::string_view::npos ? rhs : rhs.substr(0, colon));
+  std::string_view args =
+      colon == std::string_view::npos
+          ? std::string_view{}
+          : trimmed(rhs.substr(colon + 1));
+
+  Spec spec;
+  if (action == "off") {
+    if (!args.empty()) bad_spec(token, "off takes no arguments");
+    spec.action = Action::Off;
+  } else if (action == "error") {
+    spec.action = Action::Error;
+    if (!args.empty()) spec.probability = parse_probability(token, args);
+  } else if (action == "delay") {
+    spec.action = Action::Delay;
+    if (args.empty()) bad_spec(token, "delay needs a duration");
+    const std::size_t split = args.find(':');
+    spec.delay = parse_delay(
+        token, trimmed(split == std::string_view::npos ? args
+                                                       : args.substr(0, split)));
+    if (split != std::string_view::npos) {
+      spec.probability =
+          parse_probability(token, trimmed(args.substr(split + 1)));
+    }
+  } else {
+    bad_spec(token, "action must be off, error, or delay");
+  }
+  apply_spec(reg, site, spec);
+}
+
+void apply_config(Registry& reg, std::string_view config) {
+  std::size_t start = 0;
+  while (start <= config.size()) {
+    std::size_t end = config.find(';', start);
+    if (end == std::string_view::npos) end = config.size();
+    std::string_view token = config.substr(start, end - start);
+    while (!token.empty() && token.front() == ' ') token.remove_prefix(1);
+    while (!token.empty() && token.back() == ' ') token.remove_suffix(1);
+    if (!token.empty()) {
+      apply_token(reg, token);
+    }
+    start = end + 1;
+  }
+}
+
+/// Process-wide registry; arms from MUFFIN_FAILPOINTS exactly once, on
+/// first touch of any failpoint API.
+Registry& registry() {
+  static Registry* reg = [] {
+    auto* r = new Registry();  // leaked: outlives threads firing at exit
+    if (const char* env = std::getenv("MUFFIN_FAILPOINTS")) {
+      apply_config(*r, env);
+    }
+    return r;
+  }();
+  return *reg;
+}
+
+}  // namespace
+
+void configure(std::string_view config) { apply_config(registry(), config); }
+
+void configure(std::string_view site, const Spec& spec) {
+  apply_spec(registry(), site, spec);
+}
+
+void clear(std::string_view site) { apply_spec(registry(), site, Spec{}); }
+
+void clear_all() {
+  Registry& reg = registry();
+  const std::unique_lock<std::shared_mutex> lock(reg.mutex);
+  for (auto& [name, entry] : reg.sites) {
+    entry->spec = Spec{};
+  }
+  reg.armed.store(0, std::memory_order_relaxed);
+}
+
+bool any_active() {
+  return registry().armed.load(std::memory_order_relaxed) != 0;
+}
+
+bool fires(std::string_view site) {
+  Registry& reg = registry();
+  if (reg.armed.load(std::memory_order_relaxed) == 0) {
+    return false;  // the production fast path: no failpoints armed
+  }
+  Site* entry = nullptr;
+  Spec spec;
+  {
+    const std::shared_lock<std::shared_mutex> lock(reg.mutex);
+    const auto it = reg.sites.find(std::string(site));
+    if (it == reg.sites.end()) return false;
+    entry = it->second.get();
+    spec = entry->spec;
+  }
+  if (spec.action == Action::Off) return false;
+  if (spec.probability < 1.0) {
+    // Draw i of a site is a pure function of (site name, i): chaos runs
+    // with a fixed request schedule see a reproducible fault pattern.
+    std::uint64_t state =
+        entry->seed +
+        0x9e3779b97f4a7c15ULL * entry->draws.fetch_add(1, std::memory_order_relaxed);
+    if (counter_unit(splitmix64_next(state)) >= spec.probability) {
+      return false;
+    }
+  }
+  entry->hits.fetch_add(1, std::memory_order_relaxed);
+  entry->counter->inc();
+  if (spec.action == Action::Delay) {
+    std::this_thread::sleep_for(spec.delay);
+    return false;
+  }
+  return true;
+}
+
+void maybe_fail(std::string_view site) {
+  if (fires(site)) {
+    throw Error("failpoint: injected fault at " + std::string(site));
+  }
+}
+
+std::uint64_t hits(std::string_view site) {
+  Registry& reg = registry();
+  const std::shared_lock<std::shared_mutex> lock(reg.mutex);
+  const auto it = reg.sites.find(std::string(site));
+  return it == reg.sites.end()
+             ? 0
+             : it->second->hits.load(std::memory_order_relaxed);
+}
+
+}  // namespace muffin::fail
+
+#endif  // !MUFFIN_FAILPOINTS_DISABLED

@@ -1,0 +1,110 @@
+// Failpoint injection for fault-tolerance testing.
+//
+// A failpoint is a named site in production code (e.g. "socket.send",
+// "serve.engine.score") where a fault can be injected at runtime:
+// either an error (the site throws muffin::Error) or a delay (the site
+// sleeps), each with an optional firing probability. Sites are armed
+// from the MUFFIN_FAILPOINTS environment variable or programmatically
+// from tests:
+//
+//   MUFFIN_FAILPOINTS="rpc.client.send=error:0.05;serve.engine.score=delay:20ms"
+//
+// Config grammar (semicolon-separated `site=spec` pairs):
+//   site=off              disarm the site
+//   site=error[:p]        throw with probability p (default 1.0)
+//   site=delay:D[:p]      sleep D with probability p; D is `20ms`,
+//                         `1s`, or a bare number of milliseconds
+//
+// Every actual firing increments a `failpoint.<site>` counter in the
+// obs registry (visible over the Stats RPC), plus a per-site hit count
+// readable via hits() for tests. Probability draws are deterministic
+// per site (a splitmix64 counter stream seeded from the site name), so
+// a chaos run with a fixed request count sees a reproducible fault
+// pattern.
+//
+// This mirrors the MUFFIN_OBS compile-out pattern: configure CMake with
+// -DMUFFIN_FAILPOINTS=OFF and every call here becomes an inline no-op
+// (a disarmed `fires()` in the ON build is a single relaxed atomic
+// load, so the default build stays within the metrics-overhead gate).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string_view>
+
+namespace muffin::fail {
+
+/// Whether failpoint support was compiled in (MUFFIN_FAILPOINTS=ON).
+constexpr bool compiled_in() {
+#if defined(MUFFIN_FAILPOINTS_DISABLED)
+  return false;
+#else
+  return true;
+#endif
+}
+
+enum class Action { Off, Error, Delay };
+
+struct Spec {
+  Action action = Action::Off;
+  double probability = 1.0;
+  std::chrono::milliseconds delay{0};
+};
+
+#if defined(MUFFIN_FAILPOINTS_DISABLED)
+
+inline void configure(std::string_view) {}
+inline void configure(std::string_view, const Spec&) {}
+inline void clear(std::string_view) {}
+inline void clear_all() {}
+[[nodiscard]] inline bool any_active() { return false; }
+[[nodiscard]] inline bool fires(std::string_view) { return false; }
+inline void maybe_fail(std::string_view) {}
+[[nodiscard]] inline std::uint64_t hits(std::string_view) { return 0; }
+
+#else
+
+/// Parse and apply a MUFFIN_FAILPOINTS-style config string. Throws
+/// muffin::Error on a malformed spec. Sites not named keep their state.
+void configure(std::string_view config);
+
+/// Arm (or disarm, with Action::Off) one site programmatically.
+void configure(std::string_view site, const Spec& spec);
+
+/// Disarm one site (hit counts survive).
+void clear(std::string_view site);
+
+/// Disarm every site (hit counts survive).
+void clear_all();
+
+/// True when at least one site is armed — the fast-path guard every
+/// call site takes before doing any real work.
+[[nodiscard]] bool any_active();
+
+/// Evaluate the site: returns true when an armed `error` action fires
+/// (the caller throws, or use maybe_fail). A `delay` action sleeps
+/// here and returns false. Disarmed or missed-probability sites return
+/// false. Counts a hit for any actual firing.
+[[nodiscard]] bool fires(std::string_view site);
+
+/// fires(), throwing muffin::Error("failpoint: injected fault at
+/// <site>") when an error action fires.
+void maybe_fail(std::string_view site);
+
+/// Lifetime hit count for the site (fired errors + applied delays).
+[[nodiscard]] std::uint64_t hits(std::string_view site);
+
+#endif  // MUFFIN_FAILPOINTS_DISABLED
+
+/// RAII guard for tests: disarms every failpoint on destruction, so a
+/// throwing assertion cannot leak an armed site into later tests.
+class ScopedFailpoints {
+ public:
+  ScopedFailpoints() = default;
+  explicit ScopedFailpoints(std::string_view config) { configure(config); }
+  ScopedFailpoints(const ScopedFailpoints&) = delete;
+  ScopedFailpoints& operator=(const ScopedFailpoints&) = delete;
+  ~ScopedFailpoints() { clear_all(); }
+};
+
+}  // namespace muffin::fail

@@ -53,4 +53,22 @@ std::uint64_t HashRing::node_for(std::uint64_t key) const {
   return it == ring_.end() ? ring_.front().second : it->second;
 }
 
+std::optional<std::uint64_t> HashRing::node_for_excluding(
+    std::uint64_t key, const std::vector<std::uint64_t>& avoid) const {
+  MUFFIN_REQUIRE(!ring_.empty(), "lookup on an empty hash ring");
+  const std::uint64_t h = mix64(key);
+  const auto first = std::lower_bound(
+      ring_.begin(), ring_.end(), h,
+      [](const auto& p, std::uint64_t value) { return p.first < value; });
+  const std::size_t start =
+      static_cast<std::size_t>(first - ring_.begin()) % ring_.size();
+  for (std::size_t i = 0; i < ring_.size(); ++i) {
+    const std::uint64_t node = ring_[(start + i) % ring_.size()].second;
+    if (std::find(avoid.begin(), avoid.end(), node) == avoid.end()) {
+      return node;
+    }
+  }
+  return std::nullopt;
+}
+
 }  // namespace muffin

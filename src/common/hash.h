@@ -21,6 +21,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <optional>
 #include <vector>
 
 namespace muffin {
@@ -67,6 +68,14 @@ class HashRing {
   /// The node owning `key` (the key is mixed internally, so raw sequential
   /// uids are fine). Throws if the ring is empty.
   [[nodiscard]] std::uint64_t node_for(std::uint64_t key) const;
+
+  /// The first node for `key`, walking the ring clockwise, that is not in
+  /// `avoid` — the failover successor when the owners in `avoid` have
+  /// already failed the request. With an empty avoid list this is exactly
+  /// node_for. Returns nullopt when every member is avoided; throws if
+  /// the ring is empty.
+  [[nodiscard]] std::optional<std::uint64_t> node_for_excluding(
+      std::uint64_t key, const std::vector<std::uint64_t>& avoid) const;
 
  private:
   std::size_t virtual_nodes_;

@@ -14,6 +14,7 @@
 #include <cstring>
 
 #include "common/error.h"
+#include "common/failpoint.h"
 
 namespace muffin::common {
 
@@ -127,6 +128,7 @@ Socket& Socket::operator=(Socket&& other) noexcept {
 
 void Socket::send_all(const void* data, std::size_t n, int timeout_ms) {
   MUFFIN_REQUIRE(valid(), "send on an invalid socket");
+  fail::maybe_fail("socket.send");
   const bool has_deadline = timeout_ms >= 0;
   const Clock::time_point deadline =
       Clock::now() + std::chrono::milliseconds(timeout_ms < 0 ? 0 : timeout_ms);
@@ -153,6 +155,7 @@ void Socket::send_all(const void* data, std::size_t n, int timeout_ms) {
 
 bool Socket::recv_all(void* data, std::size_t n, int timeout_ms) {
   MUFFIN_REQUIRE(valid(), "recv on an invalid socket");
+  fail::maybe_fail("socket.recv");
   const bool has_deadline = timeout_ms >= 0;
   const Clock::time_point deadline =
       Clock::now() + std::chrono::milliseconds(timeout_ms < 0 ? 0 : timeout_ms);

@@ -29,6 +29,11 @@ namespace muffin::serve {
 struct BatcherConfig {
   std::size_t max_batch = 32;                 ///< size-flush threshold
   std::chrono::microseconds max_delay{1000};  ///< deadline-flush threshold
+  /// Admission bound: push/push_many throw muffin::Overloaded once the
+  /// queue holds this many items (0 = unbounded). The shed happens at
+  /// enqueue — a full queue is reported in microseconds, instead of the
+  /// request timing out deep in the scoring stack.
+  std::size_t max_queue = 0;
   /// Registry prefix for the batcher's flush accounting
   /// (`<prefix>.size_flushes` / `.deadline_flushes` / `.drain_flushes`)
   /// and queue-depth gauge (`<prefix>.depth`). Empty disables
@@ -54,11 +59,13 @@ class Batcher {
     }
   }
 
-  /// Enqueue one item. Throws if the batcher is closed.
+  /// Enqueue one item. Throws muffin::Error if the batcher is closed,
+  /// muffin::Overloaded if the admission bound is reached.
   void push(T item) {
     {
       const std::lock_guard<std::mutex> lock(mutex_);
       MUFFIN_REQUIRE(!closed_, "cannot push to a closed batcher");
+      admit_locked(1);
       queue_.emplace_back(std::move(item), Clock::now());
       publish_depth_locked();
     }
@@ -75,6 +82,7 @@ class Batcher {
     {
       const std::lock_guard<std::mutex> lock(mutex_);
       MUFFIN_REQUIRE(!closed_, "cannot push to a closed batcher");
+      admit_locked(items.size());
       const Clock::time_point now = Clock::now();
       for (T& item : items) {
         queue_.emplace_back(std::move(item), now);
@@ -144,6 +152,17 @@ class Batcher {
     if (n > 0 && cause != nullptr) cause->inc();
     publish_depth_locked();
     return batch;
+  }
+
+  /// All-or-nothing admission check for `n` incoming items; requires the
+  /// lock to be held. A group is shed whole — partially admitting a
+  /// frame's records would break the all-or-error batch contract.
+  void admit_locked(std::size_t n) const {
+    if (config_.max_queue != 0 && queue_.size() + n > config_.max_queue) {
+      throw Overloaded("batcher queue full (" + std::to_string(queue_.size()) +
+                       " of " + std::to_string(config_.max_queue) +
+                       " queued): request shed");
+    }
   }
 
   void publish_depth_locked() {

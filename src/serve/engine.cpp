@@ -4,6 +4,7 @@
 #include <string>
 
 #include "common/error.h"
+#include "common/failpoint.h"
 #include "common/parallel_for.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -30,6 +31,15 @@ struct EngineMetrics {
       "engine.batch_size", obs::batch_size_buckets());
   obs::Histogram& latency_us = obs::registry().histogram(
       "engine.latency_us", obs::latency_us_buckets());
+  /// Requests rejected at admission (Overloaded), and how long the
+  /// rejection itself took — the shed path's whole point is that this
+  /// histogram sits far below engine.latency_us.
+  obs::Counter& shed = obs::registry().counter("serve.shed");
+  obs::Histogram& shed_latency_us = obs::registry().histogram(
+      "serve.shed_latency_us", obs::latency_us_buckets());
+  /// Requests dropped unscored because they overstayed config.deadline.
+  obs::Counter& deadline_drops =
+      obs::registry().counter("serve.deadline_drops");
 
   static EngineMetrics& get() {
     static EngineMetrics metrics;
@@ -52,7 +62,8 @@ InferenceEngine::InferenceEngine(std::shared_ptr<const core::FusedModel> model,
       num_classes_(0),
       body_size_(0),
       pool_(common::global_pool()),
-      batcher_({config.max_batch, config.max_delay, "engine.batcher"}),
+      batcher_({config.max_batch, config.max_delay, config.max_queue,
+                "engine.batcher"}),
       memo_mode_(tensor::active_quant_mode()) {
   MUFFIN_REQUIRE(model_ != nullptr, "engine needs a fused model");
   MUFFIN_REQUIRE(config_.workers > 0, "engine needs at least one worker");
@@ -82,6 +93,9 @@ InferenceEngine::~InferenceEngine() {
 
 std::future<Prediction> InferenceEngine::submit(const data::Record& record) {
   MUFFIN_REQUIRE(!stopped_.load(), "cannot submit to a stopped engine");
+  // Before any accounting: an injected submit fault must look like the
+  // submit never happened (the router's failover path depends on that).
+  fail::maybe_fail("serve.engine.submit");
   Request request{record, Clock::now(), {},
                   obs::Tracer::instance().sample()};
   std::future<Prediction> future = request.promise.get_future();
@@ -92,6 +106,16 @@ std::future<Prediction> InferenceEngine::submit(const data::Record& record) {
   EngineMetrics::get().requests.inc();
   try {
     batcher_.push(std::move(request));
+  } catch (const Overloaded&) {
+    // Admission bound reached: the request never entered the engine.
+    requests_.fetch_sub(1, std::memory_order_relaxed);
+    EngineMetrics& metrics = EngineMetrics::get();
+    metrics.shed.inc();
+    metrics.shed_latency_us.observe(
+        std::chrono::duration<double, std::micro>(Clock::now() -
+                                                  request.enqueued)
+            .count());
+    throw;
   } catch (...) {
     // push throws if shutdown() closed the batcher between the stopped_
     // check and here: the request never entered the engine, so un-count it.
@@ -114,6 +138,7 @@ std::vector<std::future<Prediction>> InferenceEngine::submit_batch(
 std::vector<std::future<Prediction>> InferenceEngine::submit_batch(
     std::vector<data::Record>&& records) {
   MUFFIN_REQUIRE(!stopped_.load(), "cannot submit to a stopped engine");
+  fail::maybe_fail("serve.engine.submit");
   const std::size_t n = records.size();
   std::vector<Request> requests;
   requests.reserve(n);
@@ -131,6 +156,14 @@ std::vector<std::future<Prediction>> InferenceEngine::submit_batch(
   EngineMetrics::get().requests.inc(n);
   try {
     batcher_.push_many(std::move(requests));
+  } catch (const Overloaded&) {
+    // Shed whole: push_many admits all records or none.
+    requests_.fetch_sub(n, std::memory_order_relaxed);
+    EngineMetrics& metrics = EngineMetrics::get();
+    metrics.shed.inc(n);
+    metrics.shed_latency_us.observe(
+        std::chrono::duration<double, std::micro>(Clock::now() - now).count());
+    throw;
   } catch (...) {
     // push_many is all-or-nothing: on a shutdown race no record entered
     // the engine, so un-count the whole span.
@@ -205,8 +238,33 @@ void InferenceEngine::dispatch_loop() {
 
 void InferenceEngine::process_batch(std::vector<Request> batch) {
   batches_.fetch_add(1, std::memory_order_relaxed);
-  const std::size_t n = batch.size();
   EngineMetrics& metrics = EngineMetrics::get();
+  // Deadline propagation: requests that overstayed their deadline in the
+  // queue are failed here, before any scoring work is spent on them. A
+  // backlogged engine thus spends its cycles only on answers someone is
+  // still waiting for.
+  if (config_.deadline.count() > 0) {
+    const Clock::time_point cutoff = Clock::now() - config_.deadline;
+    std::vector<Request> live;
+    live.reserve(batch.size());
+    for (Request& request : batch) {
+      if (request.enqueued < cutoff) {
+        metrics.deadline_drops.inc();
+        request.promise.set_exception(std::make_exception_ptr(
+            Error("request deadline exceeded before scoring")));
+      } else {
+        live.push_back(std::move(request));
+      }
+    }
+    batch = std::move(live);
+    if (batch.empty()) {
+      const std::lock_guard<std::mutex> lock(inflight_mutex_);
+      --inflight_batches_;
+      inflight_done_.notify_all();
+      return;
+    }
+  }
+  const std::size_t n = batch.size();
   metrics.batches.inc();
   metrics.batch_size.observe(static_cast<double>(n));
   // Tracing: one serve.batch span if any request in the batch was picked
@@ -230,6 +288,11 @@ void InferenceEngine::process_batch(std::vector<Request> batch) {
   std::vector<Prediction> results(n);
   std::size_t delivered = 0;
   try {
+    // Chaos seam: an injected error here fails the whole batch through
+    // the catch-all below (the all-or-error contract under test); an
+    // injected delay models a slow scoring pass.
+    fail::maybe_fail("serve.engine.score");
+
     // 1. Serve repeats from the result memo.
     std::vector<std::size_t> misses;
     misses.reserve(n);

@@ -71,6 +71,15 @@ struct EngineConfig {
   std::chrono::microseconds max_delay{1000};  ///< deadline-flush threshold
   /// Max memoized predictions; 0 disables the result cache.
   std::size_t result_cache_capacity = 1 << 16;
+  /// Admission bound, forwarded to the batcher: submits throw
+  /// muffin::Overloaded once this many requests are queued (0 =
+  /// unbounded). The rejection happens at enqueue — overload is reported
+  /// in microseconds instead of the request timing out under a backlog.
+  std::size_t max_queue = 0;
+  /// Per-request serving deadline (0 = none): a request that has already
+  /// waited this long when its batch is picked up is failed with
+  /// muffin::Error before any scoring work is spent on it.
+  std::chrono::milliseconds deadline{0};
 };
 
 /// One served prediction.

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/error.h"
+#include "common/failpoint.h"
 #include "obs/metrics.h"
 
 namespace muffin::serve {
@@ -19,12 +20,20 @@ struct RouterMetrics {
   obs::Counter& auto_drains = obs::registry().counter("router.auto_drains");
   obs::Counter& auto_restores =
       obs::registry().counter("router.auto_restores");
+  obs::Counter& retries = obs::registry().counter("serve.retries");
+  obs::Counter& failovers = obs::registry().counter("serve.failovers");
+  obs::Counter& retry_budget_exhausted =
+      obs::registry().counter("serve.retry_budget_exhausted");
 
   static RouterMetrics& get() {
     static RouterMetrics metrics;
     return metrics;
   }
 };
+
+/// "No shard chosen": the retry loop uses this to tell a routing failure
+/// (nothing to avoid) from a submit failure on a concrete shard.
+constexpr std::uint64_t kNoShard = ~std::uint64_t{0};
 
 }  // namespace
 
@@ -37,6 +46,11 @@ ShardRouter::ShardRouter(std::shared_ptr<const core::FusedModel> model,
                  "router needs a fused model for local replicas");
   MUFFIN_REQUIRE(config_.shards + config_.remote_endpoints.size() > 0,
                  "router needs at least one shard");
+  // The bank starts full so failover works from a cold start — the first
+  // failure a router ever sees is often the one it was deployed to mask.
+  retry_tokens_millis_.store(
+      static_cast<std::int64_t>(config_.retry.budget_burst) * 1000,
+      std::memory_order_relaxed);
   // Construction is single-threaded; the _locked helpers are safe here.
   for (std::size_t s = 0; s < config_.shards; ++s) {
     (void)add_local_replica_locked();
@@ -52,11 +66,53 @@ ShardRouter::ShardRouter(std::shared_ptr<const core::FusedModel> model,
 ShardRouter::~ShardRouter() { shutdown(); }
 
 std::future<Prediction> ShardRouter::submit(const data::Record& record) {
+  if (config_.retry.max_attempts <= 1) {
+    return submit_routed(record, {}, nullptr);
+  }
+  // Retries on. The first attempt still goes out EAGERLY so batching and
+  // pipelining behave exactly as in the no-retry path; only the retry
+  // driver is deferred to future-resolution time, because a dead remote
+  // shard fails at response time, not submit time — the failure we must
+  // fail over from does not exist yet when submit() returns.
+  std::uint64_t first_shard = kNoShard;
+  std::future<Prediction> first;
+  std::exception_ptr first_error;
+  try {
+    first = submit_routed(record, {}, &first_shard);
+  } catch (const Overloaded&) {
+    throw;  // shed is a capacity signal, never retried
+  } catch (...) {
+    first_error = std::current_exception();
+  }
+  return std::async(std::launch::deferred,
+                    [this, record, first = std::move(first), first_shard,
+                     first_error]() mutable {
+                      return submit_with_retries(std::move(record),
+                                                 std::move(first),
+                                                 first_shard, first_error);
+                    });
+}
+
+std::future<Prediction> ShardRouter::submit_routed(
+    const data::Record& record, const std::vector<std::uint64_t>& avoid,
+    std::uint64_t* shard_out) {
   const std::shared_lock<std::shared_mutex> lock(mutex_);
   MUFFIN_REQUIRE(!stopped_, "cannot submit to a stopped router");
-  Replica& replica = *replicas_[ring_.node_for(record.uid)];
+  std::uint64_t shard = 0;
+  if (avoid.empty()) {
+    shard = ring_.node_for(record.uid);
+  } else {
+    const std::optional<std::uint64_t> candidate =
+        ring_.node_for_excluding(record.uid, avoid);
+    MUFFIN_REQUIRE(candidate.has_value(),
+                   "no healthy replica left to fail over to");
+    shard = *candidate;
+  }
+  if (shard_out != nullptr) *shard_out = shard;
+  Replica& replica = *replicas_[shard];
   std::future<Prediction> future;
   try {
+    fail::maybe_fail("serve.router.submit");
     future = replica.backend->submit(record);
   } catch (...) {
     RouterMetrics::get().submit_failures.inc();
@@ -67,7 +123,89 @@ std::future<Prediction> ShardRouter::submit(const data::Record& record) {
   // capacity decisions — overcounting failed submits would skew them.
   replica.routed.fetch_add(1, std::memory_order_relaxed);
   RouterMetrics::get().routed.inc();
+  if (config_.retry.max_attempts > 1) earn_retry_token();
   return future;
+}
+
+Prediction ShardRouter::submit_with_retries(data::Record record,
+                                            std::future<Prediction> first,
+                                            std::uint64_t first_shard,
+                                            std::exception_ptr first_error) {
+  std::exception_ptr last_error = first_error;
+  if (!last_error) {
+    try {
+      return first.get();
+    } catch (const Overloaded&) {
+      throw;  // never retry a shed — it would defeat the load shedding
+    } catch (...) {
+      last_error = std::current_exception();
+    }
+  }
+  RouterMetrics& metrics = RouterMetrics::get();
+  std::vector<std::uint64_t> avoid;
+  if (first_shard != kNoShard) avoid.push_back(first_shard);
+  for (std::size_t attempt = 1; attempt < config_.retry.max_attempts;
+       ++attempt) {
+    if (!try_take_retry_token()) break;  // budget dry: fail fast, no storm
+    metrics.retries.inc();
+    std::uint64_t shard = kNoShard;
+    std::future<Prediction> future;
+    try {
+      future = submit_routed(record, avoid, &shard);
+    } catch (const Overloaded&) {
+      throw;
+    } catch (...) {
+      if (shard == kNoShard) {
+        // Routing itself failed. With an empty avoid list there is
+        // genuinely nowhere to go (stopped router); otherwise transient
+        // faults have blacklisted every replica — give later attempts
+        // the full ring back rather than giving up early. Either way
+        // keep the real (submit-time) error for the caller.
+        if (avoid.empty()) break;
+        avoid.clear();
+      } else {
+        last_error = std::current_exception();
+        avoid.push_back(shard);
+      }
+      continue;
+    }
+    if (shard != first_shard) metrics.failovers.inc();
+    try {
+      return future.get();
+    } catch (const Overloaded&) {
+      throw;
+    } catch (...) {
+      last_error = std::current_exception();
+      avoid.push_back(shard);
+    }
+  }
+  std::rethrow_exception(last_error);
+}
+
+bool ShardRouter::try_take_retry_token() {
+  std::int64_t balance = retry_tokens_millis_.load(std::memory_order_relaxed);
+  while (balance >= 1000) {
+    if (retry_tokens_millis_.compare_exchange_weak(
+            balance, balance - 1000, std::memory_order_relaxed)) {
+      return true;
+    }
+  }
+  RouterMetrics::get().retry_budget_exhausted.inc();
+  return false;
+}
+
+void ShardRouter::earn_retry_token() {
+  const auto earn =
+      static_cast<std::int64_t>(config_.retry.budget_ratio * 1000.0);
+  if (earn <= 0) return;
+  const std::int64_t cap =
+      static_cast<std::int64_t>(config_.retry.budget_burst) * 1000;
+  std::int64_t balance = retry_tokens_millis_.load(std::memory_order_relaxed);
+  while (balance < cap &&
+         !retry_tokens_millis_.compare_exchange_weak(
+             balance, std::min(cap, balance + earn),
+             std::memory_order_relaxed)) {
+  }
 }
 
 Prediction ShardRouter::predict(const data::Record& record) {

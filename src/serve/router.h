@@ -86,6 +86,27 @@ struct HealthConfig {
   std::size_t recovery_threshold = 2;
 };
 
+/// Retry/failover policy for failed submits.
+struct RetryConfig {
+  /// Total submit attempts per request; 1 disables retries (the default,
+  /// keeping the hot path untouched). A retried request fails over to
+  /// the next healthy replica on the ring — scoring is deterministic and
+  /// the memo canonicalizes, so the retried answer is bit-identical to
+  /// what the original shard would have served. muffin::Overloaded is
+  /// NEVER retried: a shed is a deliberate capacity signal.
+  std::size_t max_attempts = 1;
+  /// Global retry budget, a token bucket shared by every request: each
+  /// successful routed submit earns `budget_ratio` tokens, each retry
+  /// spends one. Retries can therefore add at most ~budget_ratio of
+  /// goodput in extra load — a fleet-wide outage degrades into fast
+  /// failures instead of a retry storm.
+  double budget_ratio = 0.1;
+  /// Token-bank cap, and the initial balance (so failover works from a
+  /// cold start). Sized to absorb one client-side send failure, which
+  /// orphans several pipelined batches' worth of requests at once.
+  std::size_t budget_burst = 128;
+};
+
 struct RouterConfig {
   /// Initial in-process replica count. May be 0 when remote_endpoints is
   /// non-empty (a pure client-side router needs no local model).
@@ -96,6 +117,7 @@ struct RouterConfig {
   std::vector<std::string> remote_endpoints;
   rpc::RemoteShardConfig remote;   ///< applied to every remote replica
   HealthConfig health;
+  RetryConfig retry;
 };
 
 /// Point-in-time view of one shard, for operator tables and tests.
@@ -229,6 +251,23 @@ class ShardRouter {
   [[nodiscard]] Replica& checked_locked(std::size_t shard) const;
   [[nodiscard]] std::size_t active_count_locked() const;
 
+  /// Route `record` to a ring replica not in `avoid` and submit it.
+  /// Writes the chosen shard id through `shard_out` (when non-null)
+  /// BEFORE the backend submit, so a submit-time throw still tells the
+  /// retry loop which shard to avoid next.
+  [[nodiscard]] std::future<Prediction> submit_routed(
+      const data::Record& record, const std::vector<std::uint64_t>& avoid,
+      std::uint64_t* shard_out);
+  /// Deferred-retry driver: resolve the eager first attempt, then fail
+  /// over across the ring under the token budget. Runs on the caller's
+  /// thread when the returned future is waited on.
+  [[nodiscard]] Prediction submit_with_retries(data::Record record,
+                                               std::future<Prediction> first,
+                                               std::uint64_t first_shard,
+                                               std::exception_ptr first_error);
+  [[nodiscard]] bool try_take_retry_token();
+  void earn_retry_token();
+
   void ensure_monitor_locked();
   void health_loop();
 
@@ -239,6 +278,10 @@ class ShardRouter {
   std::vector<std::unique_ptr<Replica>> replicas_;
   HashRing ring_;
   bool stopped_ = false;
+
+  /// Retry-budget bank in millitokens (1000 = one retry), so fractional
+  /// budget_ratio earns accumulate without floating-point atomics.
+  std::atomic<std::int64_t> retry_tokens_millis_{0};
 
   // Health monitor lifecycle (started lazily with the first remote
   // replica; woken for shutdown via the condition variable).

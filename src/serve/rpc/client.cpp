@@ -1,8 +1,11 @@
 #include "serve/rpc/client.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "common/error.h"
+#include "common/failpoint.h"
+#include "common/rng.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -48,7 +51,8 @@ RemoteShard::RemoteShard(const std::string& endpoint,
                          RemoteShardConfig config)
     : endpoint_(common::Endpoint::parse(endpoint)),
       config_(config),
-      batcher_({config.max_batch, config.max_delay, "rpc.client.batcher"}) {
+      batcher_({config.max_batch, config.max_delay, 0,
+                "rpc.client.batcher"}) {
   MUFFIN_REQUIRE(config_.connections > 0,
                  "remote shard needs at least one connection");
   connections_.reserve(config_.connections);
@@ -102,6 +106,7 @@ bool RemoteShard::probe() {
   // consecutive_failures(): the counter clears only when real requests
   // succeed or the router restores the shard (reset_failures), so a
   // probe-alive/request-dead server cannot launder its failure history.
+  if (fail::fires("rpc.client.probe")) return false;  // injected probe loss
   try {
     common::Socket socket =
         common::connect_endpoint(endpoint_, ms(config_.connect_timeout));
@@ -160,14 +165,29 @@ void RemoteShard::send_batch(std::vector<ClientRequest> batch) {
         dead = connection.dead;
       }
       if (dead) {
+        // Inside the reconnect backoff window, do not dial the endpoint
+        // again: sweep on to the next pooled connection (which shares
+        // the shard-level window), so a fully dead shard fails the batch
+        // fast — feeding consecutive_failures and the router's
+        // auto-drain/retry machinery — instead of paying a connect
+        // timeout per request.
+        if (Clock::now() < next_connect_attempt_) continue;
         // Replace the transport only after the previous reader exited.
         if (connection.reader.joinable()) connection.reader.join();
         // A write can race the teardown and leave an entry queued after
         // the reader is gone; it belongs to the dead transport and can
         // never be answered on the new one — fail it now.
         fail_connection(connection, "connection reset before response");
-        connection.socket =
-            common::connect_endpoint(endpoint_, ms(config_.connect_timeout));
+        connect_attempts_.fetch_add(1, std::memory_order_relaxed);
+        try {
+          fail::maybe_fail("rpc.client.connect");
+          connection.socket =
+              common::connect_endpoint(endpoint_, ms(config_.connect_timeout));
+        } catch (...) {
+          note_connect_failure();
+          throw;  // the outer catch sweeps this connection
+        }
+        connect_failures_ = 0;
         metrics.reconnects.inc();
         {
           const std::lock_guard<std::mutex> lock(connection.mutex);
@@ -210,6 +230,7 @@ void RemoteShard::send_batch(std::vector<ClientRequest> batch) {
             "rpc.client.write", any_traced,
             any_traced ? "\"bytes\":" + std::to_string(frame.size())
                        : std::string());
+        fail::maybe_fail("rpc.client.send");
         write_frame(connection.socket, frame, ms(config_.request_timeout));
         metrics.frames_sent.inc();
         metrics.bytes_sent.inc(frame.size());
@@ -235,6 +256,27 @@ void RemoteShard::send_batch(std::vector<ClientRequest> batch) {
   consecutive_failures_.fetch_add(1, std::memory_order_relaxed);
   metrics.request_failures.inc();
   fail_batch(batch, "no connection to " + endpoint_.to_string());
+}
+
+void RemoteShard::note_connect_failure() {
+  ++connect_failures_;
+  const std::int64_t initial =
+      std::max<std::int64_t>(1, config_.backoff_initial.count());
+  const std::int64_t cap =
+      std::max<std::int64_t>(initial, config_.backoff_cap.count());
+  const int shift =
+      static_cast<int>(std::min<std::size_t>(connect_failures_ - 1, 20));
+  const std::int64_t base =
+      std::min(cap, initial << shift);  // exponential, capped
+  // Full jitter — U(0, base] — decorrelates the reconnect storms of many
+  // clients dialing one recovering server. Deterministic per (endpoint,
+  // attempt count), like every other stochastic stream in the library.
+  std::uint64_t state =
+      fnv1a64(endpoint_.to_string()) ^
+      mix64(connect_attempts_.load(std::memory_order_relaxed));
+  const std::int64_t wait = 1 + static_cast<std::int64_t>(
+      counter_unit(splitmix64_next(state)) * static_cast<double>(base));
+  next_connect_attempt_ = Clock::now() + std::chrono::milliseconds(wait);
 }
 
 void RemoteShard::reader_loop(Connection& connection) {

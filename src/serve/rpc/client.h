@@ -65,6 +65,14 @@ struct RemoteShardConfig {
   std::chrono::milliseconds request_timeout{5000};
   std::chrono::milliseconds probe_timeout{500};
   std::size_t max_frame_bytes = kDefaultMaxFrameBytes;
+  /// Reconnect backoff: after a failed connect the shard waits a full-
+  /// jittered exponential window — U(0, min(cap, initial·2^failures)) —
+  /// before dialing the endpoint again. Batches arriving inside the
+  /// window fail fast (feeding consecutive_failures and the router's
+  /// auto-drain/retry machinery) instead of hammering a dead endpoint
+  /// once per request.
+  std::chrono::milliseconds backoff_initial{50};
+  std::chrono::milliseconds backoff_cap{2000};
 };
 
 class RemoteShard final : public ReplicaBackend {
@@ -111,6 +119,13 @@ class RemoteShard final : public ReplicaBackend {
 
   [[nodiscard]] const RemoteShardConfig& config() const { return config_; }
 
+  /// Lifetime count of data-path connect attempts (reconnect dials;
+  /// probe/stats connections excluded). The backoff tests pin how often
+  /// a dead endpoint gets dialed over a time window.
+  [[nodiscard]] std::size_t connect_attempts() const {
+    return connect_attempts_.load(std::memory_order_relaxed);
+  }
+
  private:
   using Clock = std::chrono::steady_clock;
 
@@ -153,9 +168,17 @@ class RemoteShard final : public ReplicaBackend {
   common::Endpoint endpoint_;
   RemoteShardConfig config_;
 
+  /// Arm the reconnect backoff window after a failed dial. Dispatcher-
+  /// thread-only (send_batch runs solely on the dispatcher), like the
+  /// window state below.
+  void note_connect_failure();
+
   Batcher<ClientRequest> batcher_;
   std::vector<std::unique_ptr<Connection>> connections_;
   std::size_t next_connection_ = 0;  ///< dispatcher-only round-robin cursor
+  std::size_t connect_failures_ = 0;          ///< consecutive failed dials
+  Clock::time_point next_connect_attempt_{};  ///< epoch: first dial is free
+  std::atomic<std::uint64_t> connect_attempts_{0};
 
   LatencyStats latency_;
   std::atomic<std::uint64_t> seq_{0};

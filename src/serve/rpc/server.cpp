@@ -2,8 +2,10 @@
 
 #include <chrono>
 #include <string>
+#include <thread>
 
 #include "common/error.h"
+#include "common/failpoint.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -95,8 +97,46 @@ void ShardServer::stop() {
   engine_.shutdown();
 }
 
+void ShardServer::drain(std::chrono::milliseconds grace) {
+  // Phase 1 — stop accepting: wake and join the acceptor, release the
+  // listener so the OS refuses new connections for the whole window.
+  // Each operation is idempotent, so the stop() below (and the
+  // destructor's) can safely repeat them. draining_ is what actually
+  // terminates the accept loop here — stopped_ must stay false until
+  // the in-flight frames below are given their grace window.
+  draining_.store(true, std::memory_order_relaxed);
+  listener_.interrupt();
+  if (acceptor_.joinable()) acceptor_.join();
+  listener_.close();
+  // Phase 2 — finish in-flight frames: poll until every connection's
+  // response FIFO is empty or the grace period runs out. Readers are
+  // still up, so responses keep flowing to their clients meanwhile.
+  const auto deadline = std::chrono::steady_clock::now() + grace;
+  for (;;) {
+    bool idle = true;
+    {
+      const std::lock_guard<std::mutex> lock(connections_mutex_);
+      for (const std::unique_ptr<Connection>& connection : connections_) {
+        const std::lock_guard<std::mutex> conn_lock(connection->mutex);
+        if (!connection->pending.empty()) {
+          idle = false;
+          break;
+        }
+      }
+    }
+    if (idle || std::chrono::steady_clock::now() >= deadline) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  // A writer pops a response before writing it, so an empty FIFO can
+  // still have one frame mid-send; give it a beat before stop() shuts
+  // the sockets down under it.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  stop();
+}
+
 void ShardServer::accept_loop() {
-  while (!stopped_.load(std::memory_order_relaxed)) {
+  while (!stopped_.load(std::memory_order_relaxed) &&
+         !draining_.load(std::memory_order_relaxed)) {
     // A short accept timeout keeps shutdown latency bounded without a
     // cross-thread wakeup protocol for the listener, and doubles as the
     // cadence for reaping closed connections.
@@ -157,6 +197,9 @@ void ShardServer::reader_loop(Connection& connection) {
   obs::Tracer& tracer = obs::Tracer::instance();
   try {
     for (;;) {
+      // Chaos seam: an injected error here looks like a poisoned stream
+      // and tears this one connection down, like any malformed frame.
+      fail::maybe_fail("rpc.server.recv");
       std::optional<Frame> frame =
           read_frame(connection.socket, config_.max_frame_bytes,
                      /*timeout_ms=*/-1);
@@ -285,6 +328,7 @@ void ShardServer::writer_loop(Connection& connection) {
           "rpc.server.write", response.traced,
           response.traced ? "\"bytes\":" + std::to_string(frame.size())
                           : std::string());
+      fail::maybe_fail("rpc.server.send");
       write_frame(connection.socket, frame, config_.write_timeout_ms);
       metrics.frames_sent.inc();
       metrics.bytes_sent.inc(frame.size());

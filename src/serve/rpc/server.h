@@ -73,6 +73,13 @@ class ShardServer {
   /// (idempotent). From a client's viewpoint this is the shard dying.
   void stop();
 
+  /// Graceful shutdown, the SIGTERM path: stop accepting new
+  /// connections, keep serving until every connection's pending
+  /// responses have been written out (bounded by `grace`), then stop().
+  /// Unlike a bare stop(), a client that already got its frames on the
+  /// wire never observes a failure.
+  void drain(std::chrono::milliseconds grace);
+
   [[nodiscard]] const InferenceEngine& engine() const { return engine_; }
   [[nodiscard]] std::size_t connections_accepted() const;
   /// Connections currently held (open, or closed but not yet reaped).
@@ -125,6 +132,11 @@ class ShardServer {
   common::Endpoint endpoint_;
 
   std::atomic<bool> stopped_{false};
+  /// drain() raises this before joining the acceptor: the accept loop
+  /// must exit while stopped_ is still false (stop() runs only at the
+  /// end of the grace window, and setting stopped_ early would make its
+  /// exchange() a no-op and skip the real shutdown).
+  std::atomic<bool> draining_{false};
   std::atomic<std::size_t> accepted_{0};
   std::thread acceptor_;
   mutable std::mutex connections_mutex_;

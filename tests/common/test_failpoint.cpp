@@ -1,0 +1,133 @@
+// Failpoint subsystem: config grammar, probability streams, hit
+// accounting, and the scoped-config lifecycle the chaos tests rely on.
+#include "common/failpoint.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <string>
+
+#include "common/error.h"
+#include "obs/metrics.h"
+
+namespace muffin::fail {
+namespace {
+
+TEST(Failpoint, CompiledInByDefault) {
+  // The chaos suites are meaningless against a no-op build; this test
+  // exists so a CI lane that accidentally sets -DMUFFIN_FAILPOINTS=OFF
+  // on the wrong job fails loudly instead of passing vacuously.
+  EXPECT_TRUE(compiled_in());
+}
+
+TEST(Failpoint, InactiveSiteNeverFires) {
+  const ScopedFailpoints guard;
+  EXPECT_FALSE(any_active());
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(fires("never.configured"));
+  }
+  EXPECT_EQ(hits("never.configured"), 0u);
+}
+
+TEST(Failpoint, ErrorAtProbabilityOneAlwaysFires) {
+  const ScopedFailpoints guard("test.always=error");
+  EXPECT_TRUE(any_active());
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_TRUE(fires("test.always"));
+  }
+  EXPECT_EQ(hits("test.always"), 10u);
+}
+
+TEST(Failpoint, MaybeFailThrowsWithSiteName) {
+  const ScopedFailpoints guard("test.throws=error:1.0");
+  try {
+    maybe_fail("test.throws");
+    FAIL() << "maybe_fail did not throw";
+  } catch (const Error& error) {
+    EXPECT_NE(std::string(error.what()).find("test.throws"),
+              std::string::npos);
+  }
+}
+
+TEST(Failpoint, OffSpecAndClearDisarm) {
+  ScopedFailpoints guard("test.toggle=error");
+  EXPECT_TRUE(fires("test.toggle"));
+  configure("test.toggle=off");
+  EXPECT_FALSE(fires("test.toggle"));
+  configure("test.toggle", Spec{Action::Error, 1.0, {}});
+  EXPECT_TRUE(fires("test.toggle"));
+  clear("test.toggle");
+  EXPECT_FALSE(fires("test.toggle"));
+  EXPECT_FALSE(any_active());
+}
+
+TEST(Failpoint, ProbabilityStreamIsDeterministicPerSite) {
+  // The draw stream is a pure function of the site name and draw index,
+  // so two identical runs inject faults at exactly the same points — the
+  // property that makes chaos failures reproducible.
+  std::size_t first_run = 0;
+  {
+    const ScopedFailpoints guard("test.half=error:0.5");
+    for (int i = 0; i < 400; ++i) {
+      if (fires("test.half")) ++first_run;
+    }
+  }
+  std::size_t second_run = 0;
+  {
+    const ScopedFailpoints guard("test.half=error:0.5");
+    for (int i = 0; i < 400; ++i) {
+      if (fires("test.half")) ++second_run;
+    }
+  }
+  EXPECT_EQ(first_run, second_run);
+  // And the rate is actually ~p, not 0 or 1.
+  EXPECT_GT(first_run, 100u);
+  EXPECT_LT(first_run, 300u);
+}
+
+TEST(Failpoint, DelaySleepsButDoesNotFire) {
+  const ScopedFailpoints guard("test.slow=delay:30ms");
+  const auto start = std::chrono::steady_clock::now();
+  EXPECT_FALSE(fires("test.slow"));
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_GE(elapsed, std::chrono::milliseconds(25));
+  EXPECT_EQ(hits("test.slow"), 1u);  // a delay still counts as a hit
+}
+
+TEST(Failpoint, ParsesMultipleSitesAndSecondsSuffix) {
+  const ScopedFailpoints guard(
+      " test.a = error : 0.0 ; test.b = delay : 0s ; test.c=error ");
+  EXPECT_TRUE(any_active());
+  EXPECT_FALSE(fires("test.a"));  // p=0 never fires
+  EXPECT_FALSE(fires("test.b"));  // 0s delay: instant, no fault
+  EXPECT_TRUE(fires("test.c"));
+  EXPECT_EQ(hits("test.b"), 1u);
+}
+
+TEST(Failpoint, HitsFlowIntoObsRegistry) {
+  const ScopedFailpoints guard("test.counted=error");
+  const auto counted = [] {
+    const obs::MetricsSnapshot snap = obs::registry().snapshot();
+    const obs::CounterSnapshot* counter =
+        snap.find_counter("failpoint.test.counted");
+    return counter != nullptr ? counter->value : 0;
+  };
+  const std::uint64_t before = counted();
+  for (int i = 0; i < 5; ++i) (void)fires("test.counted");
+  EXPECT_EQ(counted(), before + 5);
+}
+
+TEST(Failpoint, BadSpecsThrow) {
+  EXPECT_THROW(configure("nosite"), Error);
+  EXPECT_THROW(configure("site=banana"), Error);
+  EXPECT_THROW(configure("site=error:2.0"), Error);
+  EXPECT_THROW(configure("site=error:-0.5"), Error);
+  EXPECT_THROW(configure("site=delay"), Error);
+  EXPECT_THROW(configure("site=delay:xyz"), Error);
+  EXPECT_THROW(configure("=error"), Error);
+  clear_all();  // a throwing token must not leave partial config behind
+  EXPECT_FALSE(any_active());
+}
+
+}  // namespace
+}  // namespace muffin::fail

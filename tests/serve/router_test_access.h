@@ -1,0 +1,26 @@
+// Test-only backdoor into ShardRouter, shared by the router and chaos
+// suites (one definition — both TUs link into the same test binary).
+//
+// shutdown_backend kills one replica's backend while it is still on the
+// ring — the window a concurrent shutdown/removal opens in production
+// (and the normal state of a crashed remote shard before the health
+// monitor drains it). Lets the suites pin the router's partial-failure,
+// retry/failover and accounting rules deterministically.
+#pragma once
+
+#include <cstddef>
+#include <mutex>
+#include <shared_mutex>
+
+#include "serve/router.h"
+
+namespace muffin::serve {
+
+struct RouterTestAccess {
+  static void shutdown_backend(ShardRouter& router, std::size_t shard) {
+    const std::unique_lock<std::shared_mutex> lock(router.mutex_);
+    router.replicas_[shard]->backend->shutdown();
+  }
+};
+
+}  // namespace muffin::serve

@@ -17,22 +17,11 @@
 #include <unordered_map>
 
 #include "common/error.h"
+#include "router_test_access.h"
 #include "serve_test_util.h"
 #include "tensor/ops.h"
 
 namespace muffin::serve {
-
-// Test-only backdoor: shut down one replica's backend while it is still
-// on the ring — the window a concurrent shutdown/removal opens in
-// production (and the normal state of a crashed remote shard before the
-// health monitor drains it). Lets the suites pin the router's
-// partial-failure and accounting rules deterministically.
-struct RouterTestAccess {
-  static void shutdown_backend(ShardRouter& router, std::size_t shard) {
-    const std::unique_lock<std::shared_mutex> lock(router.mutex_);
-    router.replicas_[shard]->backend->shutdown();
-  }
-};
 
 namespace {
 
