@@ -17,11 +17,16 @@
 //                than a throughput ratio, which stopped being meaningful
 //                once the calibrated batch kernel cut scoring to ~1 us
 //
-// A degraded-mode drill closes the run: the same two-shard loopback
-// topology fronted by a retrying router, with one shard hard-killed
-// mid-run. The gate is operational, not throughput: the health monitor
-// must drain the dead shard within a bounded recovery window and the
-// surviving topology must serve with zero caller-visible errors.
+// Two operational drills close the run. Degraded mode: the same
+// two-shard loopback topology fronted by a retrying router, with one
+// shard hard-killed mid-run — the health monitor must drain the dead
+// shard within a bounded recovery window and the surviving topology must
+// serve with zero caller-visible errors. Hot swap: reload_all rolls six
+// model versions across the live fleet under sustained client load —
+// zero caller-visible errors, every reply bit-identical to the
+// generation its row-level version names (proving the version-keyed
+// result memo leak-free), and the roll-window p99 within one batch
+// latency of the warm p99.
 //
 // The trace models steady-state serving traffic: requests drawn uniformly
 // with replacement from the test split, so hot records repeat — the regime
@@ -36,21 +41,28 @@
 // from the repo root so the perf trajectory lands next to the sources).
 #include <unistd.h>
 
+#include <algorithm>
+#include <atomic>
 #include <chrono>
+#include <cstdio>
 #include <cstdlib>
 #include <iostream>
 #include <memory>
 #include <string>
 #include <string_view>
+#include <thread>
+#include <vector>
 
 #include "bench_util.h"
 #include "common/failpoint.h"
 #include "common/parallel_for.h"
 #include "core/head_trainer.h"
+#include "data/serialize.h"
 #include "obs/metrics.h"
 #include "serve/router.h"
 #include "serve/rpc/server.h"
 #include "tensor/ops.h"
+#include "tensor/quant.h"
 
 using namespace muffin;
 
@@ -63,7 +75,7 @@ double seconds_since(Clock::time_point start) {
 }
 
 std::shared_ptr<core::FusedModel> build_fused(
-    const bench::IsicScenario& scenario) {
+    const bench::IsicScenario& scenario, std::size_t head_epochs = 10) {
   rl::StructureChoice choice;
   choice.model_indices = {scenario.pool.index_of("ShuffleNet_V2_X1_0"),
                           scenario.pool.index_of("DenseNet121")};
@@ -75,7 +87,7 @@ std::shared_ptr<core::FusedModel> build_fused(
   const core::ScoreCache cache(scenario.pool, scenario.train);
   const core::ProxyDataset proxy = core::build_proxy(scenario.train);
   core::HeadTrainConfig config;
-  config.epochs = 10;
+  config.epochs = head_epochs;
   nn::Mlp head =
       core::train_head(cache, scenario.train, proxy, structure, config);
 
@@ -296,6 +308,165 @@ DegradedResult run_degraded(std::shared_ptr<const core::FusedModel> fused,
   result.failovers = obs_counter("serve.failovers") - result.failovers;
   router.shutdown();
   shard_b.stop();
+  return result;
+}
+
+/// Mirror of InferenceEngine::canonicalize_and_pack for the active quant
+/// mode, so hot-swap parity checks stay bit-exact in every CI quant lane.
+tensor::Vector canonical(tensor::Vector scores) {
+  switch (tensor::active_quant_mode()) {
+    case tensor::QuantMode::Off:
+      break;
+    case tensor::QuantMode::Bf16:
+      for (double& s : scores) {
+        s = tensor::bf16_to_double(tensor::bf16_from_double(s));
+      }
+      break;
+    case tensor::QuantMode::Int8: {
+      const double scale = tensor::i8_scale(scores);
+      for (double& s : scores) {
+        s = tensor::i8_to_double(tensor::i8_from_double(s, scale), scale);
+      }
+      break;
+    }
+  }
+  return scores;
+}
+
+double p99_us(std::vector<double>& samples) {
+  if (samples.empty()) return 0.0;
+  std::sort(samples.begin(), samples.end());
+  return samples[(samples.size() - 1) * 99 / 100];
+}
+
+/// Hot-swap drill: a live two-shard loopback fleet serving sustained
+/// traffic while reload_all rolls `rolls` model versions across it,
+/// alternating between two head generations. Gates (the zero-downtime
+/// lifecycle acceptance): zero caller-visible errors, every reply
+/// bit-identical to the generation its row-level version names (which
+/// proves the version-keyed memo leak-free — a stale memo entry would
+/// pair old scores with a new version), and the client-observed p99
+/// during the roll window within one batch latency of the warm p99.
+struct HotSwapResult {
+  std::size_t rolls = 0;
+  std::size_t requests = 0;
+  std::size_t failures = 0;          ///< caller-visible errors (gate: 0)
+  std::size_t mismatches = 0;        ///< reply != its version's scores
+  std::size_t stale_cache_hits = 0;  ///< mismatched AND flagged cached
+  bool versions_monotonic = true;    ///< every roll advanced both shards
+  double warm_p99_us = 0.0;
+  double roll_p99_us = 0.0;
+  double max_reload_ms = 0.0;        ///< slowest whole-fleet roll
+};
+
+HotSwapResult run_hotswap(
+    const std::vector<std::shared_ptr<core::FusedModel>>& generations,
+    const std::vector<const data::Record*>& trace,
+    serve::EngineConfig engine_config, const std::string& listen_a,
+    const std::string& listen_b, std::size_t rolls) {
+  // One unstamped reload artifact per generation: every install
+  // auto-assigns the next version on each shard, so the same file can
+  // roll the fleet any number of times.
+  std::vector<std::string> artifact_paths;
+  for (std::size_t g = 0; g < generations.size(); ++g) {
+    const std::string path = "/tmp/muffin_bench_hotswap_" +
+                             std::to_string(::getpid()) + "_" +
+                             std::to_string(g) + ".mufa";
+    data::ArtifactWriter writer;
+    generations[g]->head().save_artifact(writer, "head");
+    writer.write_file(path);
+    artifact_paths.push_back(path);
+  }
+
+  serve::rpc::ShardServerConfig server_config;
+  server_config.engine = engine_config;
+  serve::rpc::ShardServer shard_a(generations[0], listen_a, server_config);
+  serve::rpc::ShardServer shard_b(generations[0], listen_b, server_config);
+  serve::RouterConfig router_config;
+  router_config.shards = 0;
+  router_config.remote_endpoints = {shard_a.address(), shard_b.address()};
+  router_config.remote.connections = 2;
+  serve::ShardRouter router(nullptr, router_config);
+
+  HotSwapResult result;
+  result.rolls = rolls;
+  // Version -> generation: version 1 is generations[0] (construction);
+  // roll k installs generations[(k + 1) % G] as version k + 2.
+  const auto generation_for = [&](std::uint64_t version)
+      -> const core::FusedModel& {
+    if (version <= 1) return *generations[0];
+    return *generations[(version - 1) % generations.size()];
+  };
+
+  std::atomic<int> phase{0};  // 0 warm, 1 rolling, 2 shutting down
+  std::atomic<std::size_t> requests{0};
+  std::atomic<std::size_t> failures{0};
+  std::atomic<std::size_t> mismatches{0};
+  std::atomic<std::size_t> stale_cache_hits{0};
+  constexpr std::size_t kClients = 3;
+  std::vector<std::vector<double>> warm_samples(kClients);
+  std::vector<std::vector<double>> roll_samples(kClients);
+  std::vector<std::thread> clients;
+  for (std::size_t t = 0; t < kClients; ++t) {
+    clients.emplace_back([&, t]() {
+      for (std::size_t i = 0; phase.load() != 2; ++i) {
+        const data::Record& record =
+            *trace[(t * 131 + i * 7) % trace.size()];
+        const int current_phase = phase.load();
+        const Clock::time_point begin = Clock::now();
+        try {
+          const serve::Prediction reply = router.predict(record);
+          const double us = seconds_since(begin) * 1e6;
+          (current_phase == 0 ? warm_samples : roll_samples)[t].push_back(us);
+          if (reply.scores !=
+              canonical(generation_for(reply.model_version).scores(record))) {
+            mismatches.fetch_add(1);
+            if (reply.cached) stale_cache_hits.fetch_add(1);
+          }
+        } catch (const std::exception&) {
+          failures.fetch_add(1);
+        }
+        requests.fetch_add(1);
+      }
+    });
+  }
+
+  // Warm phase, then roll the fleet `rolls` times under load.
+  std::this_thread::sleep_for(std::chrono::milliseconds(150));
+  phase.store(1);
+  for (std::size_t k = 0; k < rolls; ++k) {
+    const std::string& path = artifact_paths[(k + 1) % artifact_paths.size()];
+    const Clock::time_point begin = Clock::now();
+    const std::vector<std::uint64_t> versions = router.reload_all(path);
+    result.max_reload_ms =
+        std::max(result.max_reload_ms, seconds_since(begin) * 1000.0);
+    for (const std::uint64_t version : versions) {
+      if (version != k + 2) result.versions_monotonic = false;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  phase.store(2);
+  for (std::thread& client : clients) client.join();
+
+  result.requests = requests.load();
+  result.failures = failures.load();
+  result.mismatches = mismatches.load();
+  result.stale_cache_hits = stale_cache_hits.load();
+  std::vector<double> warm;
+  std::vector<double> rolling;
+  for (std::size_t t = 0; t < kClients; ++t) {
+    warm.insert(warm.end(), warm_samples[t].begin(), warm_samples[t].end());
+    rolling.insert(rolling.end(), roll_samples[t].begin(),
+                   roll_samples[t].end());
+  }
+  result.warm_p99_us = p99_us(warm);
+  result.roll_p99_us = p99_us(rolling);
+
+  router.shutdown();
+  shard_a.stop();
+  shard_b.stop();
+  for (const std::string& path : artifact_paths) std::remove(path.c_str());
   return result;
 }
 
@@ -521,6 +692,51 @@ int main(int argc, char** argv) {
             << " failures (gate: zero), answers "
             << (degraded.parity ? "bit-identical" : "MISMATCH") << "\n";
 
+  // --- hot-swap drill ---------------------------------------------------
+  // Zero-downtime lifecycle acceptance: roll N model versions across the
+  // live two-shard fleet while clients stream. Zero caller-visible
+  // errors, every reply bit-identical to the generation its version
+  // names (the version-keyed memo leak proof), and the roll-window p99
+  // within one batch latency (flush deadline + warm p99) of the warm p99.
+  const std::shared_ptr<core::FusedModel> fused_b =
+      build_fused(scenario, /*head_epochs=*/4);
+  const std::string uds_swap_a =
+      "unix:/tmp/muffin_bench_swap_a_" + std::to_string(::getpid()) + ".sock";
+  const std::string uds_swap_b =
+      "unix:/tmp/muffin_bench_swap_b_" + std::to_string(::getpid()) + ".sock";
+  constexpr std::size_t kRolls = 6;
+  const HotSwapResult hotswap = run_hotswap(
+      {fused, fused_b}, trace, half_config, uds_swap_a, uds_swap_b, kRolls);
+  const double swap_pause_p99_us =
+      std::max(0.0, hotswap.roll_p99_us - hotswap.warm_p99_us);
+  const double one_batch_us =
+      static_cast<double>(half_config.max_delay.count()) +
+      hotswap.warm_p99_us;
+  const bool hotswap_pass =
+      hotswap.failures == 0 && hotswap.mismatches == 0 &&
+      hotswap.stale_cache_hits == 0 && hotswap.versions_monotonic &&
+      swap_pause_p99_us <= one_batch_us;
+  std::cout << "\nhot-swap drill (" << kRolls
+            << " versions rolled across the live 2-shard fleet):\n"
+            << "  traffic:    " << hotswap.requests << " requests, "
+            << hotswap.failures << " caller-visible failures (gate: zero)\n"
+            << "  versions:   "
+            << (hotswap.versions_monotonic ? "advanced in lockstep on both "
+                                             "shards"
+                                           : "ROLL SKEW")
+            << "; slowest fleet roll "
+            << format_fixed(hotswap.max_reload_ms, 1) << " ms\n"
+            << "  memo:       " << hotswap.mismatches
+            << " replies mismatched their version ("
+            << hotswap.stale_cache_hits
+            << " stale cache hits; gate: zero — version-keyed memo "
+            << (hotswap.mismatches == 0 ? "leak-free" : "LEAKED") << ")\n"
+            << "  swap pause: p99 " << format_fixed(hotswap.warm_p99_us, 0)
+            << " us warm -> " << format_fixed(hotswap.roll_p99_us, 0)
+            << " us rolling (+" << format_fixed(swap_pause_p99_us, 0)
+            << " us; ceiling one batch = " << format_fixed(one_batch_us, 0)
+            << " us)\n";
+
   // Memo affinity is the property sharding must not break: consistent
   // hashing keeps each uid on one shard, so every distinct record is
   // scored (missed) roughly once somewhere. A broken hash would spread a
@@ -596,7 +812,7 @@ int main(int argc, char** argv) {
                              degraded.post_drain_failures == 0;
   const bool pass = parity && memo_parity && speedup8 >= 0.7 &&
                     speedup32 >= 0.7 && wire_overhead_us <= 6.0 &&
-                    degraded_pass;
+                    degraded_pass && hotswap_pass;
 
   // Machine-readable output for cross-PR perf tracking.
   bench::BenchJson json;
@@ -646,6 +862,18 @@ int main(int argc, char** argv) {
   json.add("degraded.retries", degraded.retries);
   json.add("degraded.failovers", degraded.failovers);
   json.add("degraded.pass", degraded_pass);
+  json.add("hotswap.versions_rolled", hotswap.rolls);
+  json.add("hotswap.requests", hotswap.requests);
+  json.add("hotswap.failures", hotswap.failures);
+  json.add("hotswap.mismatches", hotswap.mismatches);
+  json.add("hotswap.stale_cache_hits", hotswap.stale_cache_hits);
+  json.add("hotswap.versions_monotonic", hotswap.versions_monotonic);
+  json.add("hotswap.max_reload_ms", hotswap.max_reload_ms);
+  json.add("hotswap.warm_p99_us", hotswap.warm_p99_us);
+  json.add("hotswap.roll_p99_us", hotswap.roll_p99_us);
+  json.add("hotswap.swap_pause_p99_us", swap_pause_p99_us);
+  json.add("hotswap.pause_ceiling_us", one_batch_us);
+  json.add("hotswap.pass", hotswap_pass);
   json.add("argmax_parity", parity);
   json.add("pass", pass);
   json.write(out_path);

@@ -43,8 +43,17 @@
 //       query a running shard server (muffin_cli serve --listen) for its
 //       authoritative stats over the Stats RPC: engine counters, memo
 //       size, server-measured latency, and the server process's full
-//       metrics registry. `table` is a human summary; `json`/`prom` dump
-//       the server's registry exposition verbatim.
+//       metrics registry (including serve.model_version,
+//       serve.swaps_total and serve.retrain_rounds). `table` is a human
+//       summary; `json`/`prom` dump the server's registry exposition
+//       verbatim.
+//   muffin_cli reload  --connect ADDR --artifact FILE
+//       hot-swap a running shard server's model over the Reload RPC: the
+//       server maps the head artifact at FILE (a path on the SERVER'S
+//       filesystem) and publishes it with zero downtime — in-flight
+//       requests finish on the old version, later ones score on the new.
+//       Prints the installed model version. A server with a --listen
+//       socket also reloads its --artifact in place on SIGHUP.
 //
 // serve and route also accept --max-queue N (bound the engine admission
 // queue; excess submits are shed with an Overloaded error) and
@@ -140,7 +149,8 @@ std::vector<std::string> split_csv_list(const std::string& list) {
 CliOptions parse(int argc, char** argv) {
   MUFFIN_REQUIRE(
       argc >= 2,
-      "usage: muffin_cli <audit|seesaw|search|serve|route|stats> [...]");
+      "usage: muffin_cli <audit|seesaw|search|serve|route|stats|reload> "
+      "[...]");
   CliOptions options;
   options.command = argv[1];
   for (int i = 2; i + 1 < argc; i += 2) {
@@ -382,15 +392,22 @@ std::shared_ptr<core::FusedModel> fuse_default(const Workbench& bench) {
 /// serve's model source: with --artifact, an existing file is mmap'd and
 /// the head borrows its weights zero-copy (no head training on the shard
 /// cold-start path); a missing file is written after training so the
-/// next start maps it. Without --artifact, always train.
-std::shared_ptr<core::FusedModel> fused_for_serving(const Workbench& bench,
-                                                    const CliOptions& options) {
+/// next start maps it. Without --artifact, always train. A stamped
+/// artifact's model version is written through `model_version` (0 when
+/// unstamped or trained fresh) so the serving registry starts at the
+/// artifact's version instead of 1.
+std::shared_ptr<core::FusedModel> fused_for_serving(
+    const Workbench& bench, const CliOptions& options,
+    std::uint64_t& model_version) {
+  model_version = 0;
   if (options.artifact.empty()) return fuse_default(bench);
   if (std::ifstream(options.artifact).good()) {
     const data::Artifact artifact =
         data::Artifact::map_file(options.artifact);
+    model_version = artifact.model_version();
     std::cout << "mapped model artifact " << options.artifact << " ("
-              << artifact.byte_size() << " bytes, zero-copy)\n";
+              << artifact.byte_size() << " bytes, model version "
+              << model_version << ", zero-copy)\n";
     return std::make_shared<core::FusedModel>(
         bench.pool.at(0).name() + "+" + bench.pool.at(1).name(),
         std::vector<models::ModelPtr>{bench.pool.share(0),
@@ -407,6 +424,7 @@ std::shared_ptr<core::FusedModel> fused_for_serving(const Workbench& bench,
 
 std::atomic<bool> g_stop_requested{false};
 std::atomic<bool> g_drain_requested{false};
+std::atomic<bool> g_reload_requested{false};
 
 void request_stop(int) { g_stop_requested.store(true); }
 
@@ -415,6 +433,9 @@ void request_drain(int) {
   g_drain_requested.store(true);
   g_stop_requested.store(true);
 }
+
+/// SIGHUP, the classic "re-read your config": hot-swap the --artifact.
+void request_reload(int) { g_reload_requested.store(true); }
 
 /// --stats-every-s: a background thread that prints a one-line serving
 /// summary from the process-wide metrics registry every interval. The
@@ -536,7 +557,21 @@ int run_stats(const CliOptions& options) {
   scratch.merge_export(report.latency);
   const serve::LatencyStats::Snapshot snap = scratch.snapshot();
   std::cout << "authoritative stats for " << options.connect << ":\n";
+  const auto registry_counter =
+      [&report](std::string_view name) -> std::uint64_t {
+    const obs::CounterSnapshot* found = report.metrics.find_counter(name);
+    return found != nullptr ? found->value : 0;
+  };
+  std::int64_t model_version = 0;
+  for (const obs::GaugeSnapshot& gauge : report.metrics.gauges) {
+    if (gauge.name == "serve.model_version") model_version = gauge.value;
+  }
   TextTable table({"metric", "value"});
+  table.add_row({"model version", std::to_string(model_version)});
+  table.add_row({"model swaps",
+                 std::to_string(registry_counter("serve.swaps_total"))});
+  table.add_row({"retrain rounds",
+                 std::to_string(registry_counter("serve.retrain_rounds"))});
   table.add_row({"requests", std::to_string(report.counters.requests)});
   table.add_row({"batches", std::to_string(report.counters.batches)});
   table.add_row({"cache hits", std::to_string(report.counters.cache_hits)});
@@ -580,15 +615,50 @@ int run_stats(const CliOptions& options) {
   return 0;
 }
 
+/// reload subcommand: one Reload RPC round trip against a live shard
+/// server — zero-downtime model rollout from the command line.
+int run_reload(const CliOptions& options) {
+  MUFFIN_REQUIRE(!options.connect.empty(),
+                 "reload requires --connect host:port (or unix:/path)");
+  MUFFIN_REQUIRE(!options.artifact.empty(),
+                 "reload requires --artifact FILE (a path readable by the "
+                 "SERVER process)");
+  common::Socket socket = common::connect_endpoint(
+      common::Endpoint::parse(options.connect), /*timeout_ms=*/2000);
+  serve::rpc::write_frame(
+      socket, serve::rpc::encode_reload(/*seq=*/1, options.artifact),
+      /*timeout_ms=*/2000);
+  const std::optional<serve::rpc::Frame> frame = serve::rpc::read_frame(
+      socket, serve::rpc::kDefaultMaxFrameBytes, /*timeout_ms=*/10000);
+  MUFFIN_REQUIRE(frame.has_value(),
+                 "server closed the connection without answering the reload "
+                 "request (does it predate the Reload op?)");
+  if (frame->header.type == serve::rpc::MsgType::Error) {
+    throw Error("server refused the reload: " +
+                serve::rpc::decode_error(frame->payload));
+  }
+  MUFFIN_REQUIRE(
+      frame->header.type == serve::rpc::MsgType::ReloadAck &&
+          frame->header.seq == 1,
+      "unexpected reply to the reload request");
+  std::cout << options.connect << " now serves model version "
+            << serve::rpc::decode_reload_ack(frame->payload) << "\n";
+  return 0;
+}
+
 /// Shard-server mode: this process is one shard of the cross-process
 /// tier. Serves the batched wire format on the socket until signalled.
 int run_listen(const CliOptions& options,
-               std::shared_ptr<core::FusedModel> fused) {
+               std::shared_ptr<core::FusedModel> fused,
+               std::uint64_t artifact_version) {
   serve::rpc::ShardServerConfig server_config;
   server_config.engine.workers = options.workers;
   server_config.engine.max_batch = options.batch;
   server_config.engine.max_queue = options.max_queue;
   server_config.engine.deadline = std::chrono::milliseconds(options.deadline_ms);
+  if (artifact_version > 0) {
+    server_config.engine.initial_model_version = artifact_version;
+  }
   serve::rpc::ShardServer server(std::move(fused), options.listen,
                                  server_config);
   // The resolved address (real port for port-0 binds) goes to stdout and
@@ -596,9 +666,22 @@ int run_listen(const CliOptions& options,
   std::cout << "listening on " << server.address() << std::endl;
   std::signal(SIGINT, request_stop);
   std::signal(SIGTERM, request_drain);
+  if (!options.artifact.empty()) std::signal(SIGHUP, request_reload);
   StatsTicker ticker;
   ticker.start(options.stats_every_s);
   while (!g_stop_requested.load()) {
+    if (g_reload_requested.exchange(false)) {
+      // In-place rollout: re-map the --artifact and publish it. Failure
+      // (missing/corrupt file, non-advancing version) leaves the serving
+      // model untouched — report and keep serving.
+      try {
+        const std::uint64_t installed = server.reload(options.artifact);
+        std::cout << "reloaded " << options.artifact << " as model version "
+                  << installed << std::endl;
+      } catch (const std::exception& error) {
+        std::cerr << "reload failed: " << error.what() << "\n";
+      }
+    }
     std::this_thread::sleep_for(std::chrono::milliseconds(50));
   }
   ticker.stop();
@@ -624,9 +707,11 @@ int run_serve(const CliOptions& options) {
   MUFFIN_REQUIRE(options.batch > 0, "--batch must be positive");
   MUFFIN_REQUIRE(options.requests > 0, "--requests must be positive");
   const Workbench bench = make_workbench(options);
-  std::shared_ptr<core::FusedModel> fused = fused_for_serving(bench, options);
+  std::uint64_t artifact_version = 0;
+  std::shared_ptr<core::FusedModel> fused =
+      fused_for_serving(bench, options, artifact_version);
   if (!options.listen.empty()) {
-    return run_listen(options, std::move(fused));
+    return run_listen(options, std::move(fused), artifact_version);
   }
   std::cout << "serving " << fused->name() << " ("
             << fused->parameter_count() << " params)\n";
@@ -798,8 +883,10 @@ int main(int argc, char** argv) {
     if (options.command == "serve") return run_serve(options);
     if (options.command == "route") return run_route(options);
     if (options.command == "stats") return run_stats(options);
+    if (options.command == "reload") return run_reload(options);
     throw Error("unknown command '" + options.command +
-                "' (expected audit, seesaw, search, serve, route or stats)");
+                "' (expected audit, seesaw, search, serve, route, stats or "
+                "reload)");
   } catch (const std::exception& error) {
     std::cerr << "muffin_cli: " << error.what() << "\n";
     return 1;

@@ -55,9 +55,12 @@ Record decode_record(common::ByteReader& reader) {
 
 namespace {
 
-constexpr std::uint32_t kArtifactVersion = 1;
+constexpr std::uint32_t kArtifactVersion = 2;
 constexpr std::size_t kExtentAlign = 64;
-constexpr std::size_t kHeaderBytes = 4 + 4 + 8 + 4 + 8;
+// v1 header: magic, version, file_bytes, tensor_count, table_bytes.
+// v2 appends a u64 model_version; both header sizes stay parseable.
+constexpr std::size_t kHeaderBytesV1 = 4 + 4 + 8 + 4 + 8;
+constexpr std::size_t kHeaderBytesV2 = kHeaderBytesV1 + 8;
 constexpr std::size_t kMaxNameLen = 4096;
 
 const std::uint8_t kMagic[4] = {'M', 'U', 'F', 'A'};
@@ -173,7 +176,7 @@ std::vector<std::uint8_t> ArtifactWriter::bytes() const {
   for (const Entry& entry : entries_) {
     table_bytes += 4 + entry.name.size() + 1 + 8 * 4;
   }
-  const std::size_t payload_start = align_up(kHeaderBytes + table_bytes);
+  const std::size_t payload_start = align_up(kHeaderBytesV2 + table_bytes);
   std::vector<std::size_t> offsets(entries_.size());
   std::size_t cursor = payload_start;
   for (std::size_t t = 0; t < entries_.size(); ++t) {
@@ -191,6 +194,7 @@ std::vector<std::uint8_t> ArtifactWriter::bytes() const {
   common::put_u64(out, static_cast<std::uint64_t>(file_bytes));
   common::put_u32(out, static_cast<std::uint32_t>(entries_.size()));
   common::put_u64(out, static_cast<std::uint64_t>(table_bytes));
+  common::put_u64(out, model_version_);
   for (std::size_t t = 0; t < entries_.size(); ++t) {
     const Entry& entry = entries_[t];
     common::put_u32(out, static_cast<std::uint32_t>(entry.name.size()));
@@ -227,15 +231,19 @@ void ArtifactWriter::write_file(const std::string& path) const {
 
 namespace {
 
+struct ParsedArtifact {
+  std::vector<ArtifactTensor> tensors;
+  std::uint64_t model_version = 0;
+};
+
 /// Validate and index the container; returns tensors pointing into `bytes`.
-std::vector<ArtifactTensor> parse_artifact(
-    std::span<const std::uint8_t> bytes) {
+ParsedArtifact parse_artifact(std::span<const std::uint8_t> bytes) {
   common::ByteReader reader(bytes);
   const auto magic = reader.bytes(4);
   MUFFIN_REQUIRE(std::equal(magic.begin(), magic.end(), std::begin(kMagic)),
                  "bad artifact magic (not a MUFA container)");
   const std::uint32_t version = reader.u32();
-  MUFFIN_REQUIRE(version == kArtifactVersion,
+  MUFFIN_REQUIRE(version == 1 || version == kArtifactVersion,
                  "unsupported artifact version " + std::to_string(version));
   const std::uint64_t file_bytes = reader.u64();
   MUFFIN_REQUIRE(file_bytes == bytes.size(),
@@ -244,13 +252,17 @@ std::vector<ArtifactTensor> parse_artifact(
                      std::to_string(bytes.size()) + ")");
   const std::uint32_t tensor_count = reader.u32();
   const std::uint64_t table_bytes = reader.u64();
+  // v1 containers predate the model-version field; they read back as 0.
+  const std::uint64_t model_version = version >= 2 ? reader.u64() : 0;
   MUFFIN_REQUIRE(table_bytes <= reader.remaining(),
                  "artifact table extends past the end of the container");
   // Each table entry is at least 4 + 1 name byte + 1 + 32 bytes, so a
   // hostile tensor_count that cannot fit is rejected before any loop.
   common::ByteReader table(reader.bytes(static_cast<std::size_t>(table_bytes)));
   table.require_count(tensor_count, 4 + 1 + 1 + 8 * 4);
-  const std::size_t payload_floor = align_up(kHeaderBytes +
+  const std::size_t header_bytes =
+      version >= 2 ? kHeaderBytesV2 : kHeaderBytesV1;
+  const std::size_t payload_floor = align_up(header_bytes +
                                              static_cast<std::size_t>(table_bytes));
 
   std::vector<ArtifactTensor> tensors;
@@ -314,7 +326,7 @@ std::vector<ArtifactTensor> parse_artifact(
         extents[t - 1].first + extents[t - 1].second <= extents[t].first,
         "artifact tensor extents overlap");
   }
-  return tensors;
+  return {std::move(tensors), model_version};
 }
 
 }  // namespace
@@ -347,14 +359,18 @@ struct Artifact::Storage {
 };
 
 Artifact::Artifact(std::shared_ptr<const Storage> storage,
-                   std::vector<ArtifactTensor> tensors)
-    : storage_(std::move(storage)), tensors_(std::move(tensors)) {}
+                   std::vector<ArtifactTensor> tensors,
+                   std::uint64_t model_version)
+    : storage_(std::move(storage)),
+      tensors_(std::move(tensors)),
+      model_version_(model_version) {}
 
 Artifact Artifact::from_bytes(std::vector<std::uint8_t> bytes) {
   auto storage = std::make_shared<Storage>();
   storage->heap = std::move(bytes);
-  std::vector<ArtifactTensor> tensors = parse_artifact(storage->bytes());
-  return Artifact(std::move(storage), std::move(tensors));
+  ParsedArtifact parsed = parse_artifact(storage->bytes());
+  return Artifact(std::move(storage), std::move(parsed.tensors),
+                  parsed.model_version);
 }
 
 Artifact Artifact::load_file(const std::string& path) {
@@ -390,8 +406,9 @@ Artifact Artifact::map_file(const std::string& path) {
   mapped_bytes_gauge().add(static_cast<std::int64_t>(len));
   // Parse in place; a malformed file throws here and the Storage
   // destructor unmaps on the way out.
-  std::vector<ArtifactTensor> tensors = parse_artifact(storage->bytes());
-  return Artifact(std::move(storage), std::move(tensors));
+  ParsedArtifact parsed = parse_artifact(storage->bytes());
+  return Artifact(std::move(storage), std::move(parsed.tensors),
+                  parsed.model_version);
 }
 
 const ArtifactTensor* Artifact::find(const std::string& name) const {

@@ -31,11 +31,13 @@
 // File layout (all integers little-endian):
 //
 //   magic "MUFA" (4 bytes)
-//   u32 version (currently 1)
+//   u32 version (currently 2; version-1 files still parse)
 //   u64 file_bytes     — total file size; the length prefix every other
 //                        bound is checked against
 //   u32 tensor_count
 //   u64 table_bytes    — size of the tensor table that follows
+//   u64 model_version  — monotonic lifecycle version (v2 headers only;
+//                        a v1 container reads back as model version 0)
 //   tensor table, tensor_count entries:
 //     u32 name_len, name bytes (UTF-8, no NUL)
 //     u8  dtype          (0 = f64, 1 = bf16, 2 = int8)
@@ -88,6 +90,12 @@ class ArtifactWriter {
   void add_i8(std::string name, std::size_t rows, std::size_t cols,
               std::span<const std::int8_t> values);
 
+  /// Stamp the container with a monotonic model version (default 0).
+  /// The serving tier uses this to order hot-swaps: an engine refuses to
+  /// swap backwards, so a stale artifact cannot roll a fleet back.
+  void set_model_version(std::uint64_t version) { model_version_ = version; }
+  [[nodiscard]] std::uint64_t model_version() const { return model_version_; }
+
   /// Serialize the collected tensors into the container format.
   [[nodiscard]] std::vector<std::uint8_t> bytes() const;
   /// bytes() written to `path` (replacing any existing file); throws
@@ -106,6 +114,7 @@ class ArtifactWriter {
            std::size_t cols, const void* values, std::size_t byte_len);
 
   std::vector<Entry> entries_;
+  std::uint64_t model_version_ = 0;
 };
 
 /// One parsed tensor: metadata plus a pointer into the artifact's storage
@@ -151,6 +160,10 @@ class Artifact {
   /// Lookup by name; throws muffin::Error when absent.
   [[nodiscard]] const ArtifactTensor& tensor(const std::string& name) const;
 
+  /// The monotonic lifecycle version stamped into the header (0 for
+  /// version-1 containers, which predate the field).
+  [[nodiscard]] std::uint64_t model_version() const { return model_version_; }
+
   /// Whether the storage is a read-only file mapping.
   [[nodiscard]] bool mapped() const;
   /// Total container size in bytes.
@@ -163,10 +176,11 @@ class Artifact {
  private:
   struct Storage;
   Artifact(std::shared_ptr<const Storage> storage,
-           std::vector<ArtifactTensor> tensors);
+           std::vector<ArtifactTensor> tensors, std::uint64_t model_version);
 
   std::shared_ptr<const Storage> storage_;
   std::vector<ArtifactTensor> tensors_;
+  std::uint64_t model_version_ = 0;
 };
 
 }  // namespace muffin::data

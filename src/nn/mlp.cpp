@@ -1,6 +1,7 @@
 #include "nn/mlp.h"
 
 #include <algorithm>
+#include <cmath>
 
 #include <istream>
 #include <ostream>
@@ -8,6 +9,7 @@
 
 #include "common/error.h"
 #include "tensor/ops.h"
+#include "tensor/quant.h"
 
 namespace muffin::nn {
 
@@ -311,19 +313,108 @@ layer_tensors(const data::Artifact& artifact, const std::string& prefix,
   return {&w, &b};
 }
 
+/// The i-th layer's int8 scale pair [weight scale, bias scale], written
+/// by save_artifact alongside quantized planes.
+double layer_scale(const data::Artifact& artifact, const std::string& prefix,
+                   std::size_t index, std::size_t slot) {
+  const data::ArtifactTensor& scales =
+      artifact.tensor(prefix + ".s" + std::to_string(index));
+  const std::span<const double> values = scales.f64();
+  MUFFIN_REQUIRE(scales.rows == 1 && values.size() == 2,
+                 "artifact scale tensor '" + scales.name +
+                     "' has the wrong shape");
+  const double scale = values[slot];
+  MUFFIN_REQUIRE(scale > 0.0 && std::isfinite(scale),
+                 "artifact scale tensor '" + scales.name +
+                     "' holds a non-positive scale");
+  return scale;
+}
+
+/// Decode one weight/bias tensor into `out`, dequantizing per its dtype
+/// (`slot` picks the int8 scale: 0 = weights, 1 = bias).
+void read_tensor_values(const data::Artifact& artifact,
+                        const std::string& prefix, std::size_t index,
+                        const data::ArtifactTensor& tensor, std::size_t slot,
+                        std::span<double> out) {
+  switch (tensor.dtype) {
+    case data::TensorDtype::F64: {
+      const std::span<const double> v = tensor.f64();
+      std::copy(v.begin(), v.end(), out.begin());
+      break;
+    }
+    case data::TensorDtype::Bf16: {
+      const std::span<const std::uint16_t> v = tensor.bf16();
+      for (std::size_t i = 0; i < v.size(); ++i) {
+        out[i] = tensor::bf16_to_double(v[i]);
+      }
+      break;
+    }
+    case data::TensorDtype::I8: {
+      const double scale = layer_scale(artifact, prefix, index, slot);
+      const std::span<const std::int8_t> v = tensor.i8();
+      for (std::size_t i = 0; i < v.size(); ++i) {
+        out[i] = tensor::i8_to_double(v[i], scale);
+      }
+      break;
+    }
+  }
+}
+
 }  // namespace
 
 void Mlp::save_artifact(data::ArtifactWriter& writer,
-                        const std::string& prefix) const {
+                        const std::string& prefix,
+                        data::TensorDtype dtype) const {
+  // The spec row stays f64 in every mode: it is metadata, a few dozen
+  // bytes, and its integers must survive exactly.
   const tensor::Vector spec_row = encode_spec(spec_);
   writer.add_f64(prefix + ".spec", 1, spec_row.size(), spec_row);
   const std::vector<Linear*> linears = linear_layers(layers_);
   for (std::size_t i = 0; i < linears.size(); ++i) {
     const Linear& linear = *linears[i];
-    writer.add_f64(prefix + ".w" + std::to_string(i), linear.output_dim(),
-                   linear.input_dim(), linear.weight_span());
-    writer.add_f64(prefix + ".b" + std::to_string(i), 1, linear.output_dim(),
-                   linear.bias_span());
+    const std::string w_name = prefix + ".w" + std::to_string(i);
+    const std::string b_name = prefix + ".b" + std::to_string(i);
+    const std::span<const double> w = linear.weight_span();
+    const std::span<const double> b = linear.bias_span();
+    switch (dtype) {
+      case data::TensorDtype::F64: {
+        writer.add_f64(w_name, linear.output_dim(), linear.input_dim(), w);
+        writer.add_f64(b_name, 1, linear.output_dim(), b);
+        break;
+      }
+      case data::TensorDtype::Bf16: {
+        std::vector<std::uint16_t> qw(w.size());
+        for (std::size_t k = 0; k < w.size(); ++k) {
+          qw[k] = tensor::bf16_from_double(w[k]);
+        }
+        std::vector<std::uint16_t> qb(b.size());
+        for (std::size_t k = 0; k < b.size(); ++k) {
+          qb[k] = tensor::bf16_from_double(b[k]);
+        }
+        writer.add_bf16(w_name, linear.output_dim(), linear.input_dim(), qw);
+        writer.add_bf16(b_name, 1, linear.output_dim(), qb);
+        break;
+      }
+      case data::TensorDtype::I8: {
+        // One symmetric scale per plane, shipped as a companion f64
+        // tensor: [weight scale, bias scale].
+        const double w_scale = tensor::i8_scale(w);
+        const double b_scale = tensor::i8_scale(b);
+        std::vector<std::int8_t> qw(w.size());
+        for (std::size_t k = 0; k < w.size(); ++k) {
+          qw[k] = tensor::i8_from_double(w[k], w_scale);
+        }
+        std::vector<std::int8_t> qb(b.size());
+        for (std::size_t k = 0; k < b.size(); ++k) {
+          qb[k] = tensor::i8_from_double(b[k], b_scale);
+        }
+        writer.add_i8(w_name, linear.output_dim(), linear.input_dim(), qw);
+        writer.add_i8(b_name, 1, linear.output_dim(), qb);
+        const double scales[2] = {w_scale, b_scale};
+        writer.add_f64(prefix + ".s" + std::to_string(i), 1, 2, scales);
+        break;
+      }
+    }
   }
 }
 
@@ -334,10 +425,9 @@ Mlp Mlp::from_artifact(const data::Artifact& artifact,
   for (std::size_t i = 0; i < linears.size(); ++i) {
     Linear& linear = *linears[i];
     const auto [w, b] = layer_tensors(artifact, prefix, i, linear);
-    const auto wv = w->f64();
-    const auto bv = b->f64();
-    std::copy(wv.begin(), wv.end(), linear.weights().flat().begin());
-    std::copy(bv.begin(), bv.end(), linear.bias().begin());
+    read_tensor_values(artifact, prefix, i, *w, 0,
+                       linear.weights().flat());
+    read_tensor_values(artifact, prefix, i, *b, 1, linear.bias());
   }
   return mlp;
 }
@@ -347,6 +437,17 @@ Mlp Mlp::map_artifact(const data::Artifact& artifact,
   Mlp mlp(decode_spec(artifact.tensor(prefix + ".spec")),
           /*defer_storage=*/true);
   const std::vector<Linear*> linears = linear_layers(mlp.layers_);
+  // Zero-copy adoption requires raw f64 payloads; a quantized artifact
+  // has no mappable doubles to point at, so it loads through the
+  // dequantizing heap path instead (still a single pass, still frozen
+  // pages for everything the artifact keeps mapped elsewhere).
+  for (std::size_t i = 0; i < linears.size(); ++i) {
+    const data::ArtifactTensor& w =
+        artifact.tensor(prefix + ".w" + std::to_string(i));
+    if (w.dtype != data::TensorDtype::F64) {
+      return from_artifact(artifact, prefix);
+    }
+  }
   for (std::size_t i = 0; i < linears.size(); ++i) {
     Linear& linear = *linears[i];
     const auto [w, b] = layer_tensors(artifact, prefix, i, linear);

@@ -95,17 +95,24 @@ class Mlp {
   /// and "<prefix>.b<i>" (the i-th linear layer's weights and bias), so
   /// several heads can share one artifact under distinct prefixes. Works
   /// for mapped heads too (re-saving a served model is allowed).
-  void save_artifact(data::ArtifactWriter& writer,
-                     const std::string& prefix) const;
+  /// `dtype` picks the weight encoding: F64 is exact; Bf16 and I8 store
+  /// quantized planes (I8 adds a "<prefix>.s<i>" scale tensor per layer,
+  /// one symmetric scale each for weights and bias) — the memory-lean
+  /// shipping format for body pools, at the cost of a dequantize on load.
+  void save_artifact(data::ArtifactWriter& writer, const std::string& prefix,
+                     data::TensorDtype dtype = data::TensorDtype::F64) const;
   /// Rebuild a trainable Mlp by copying the artifact tensors onto the
-  /// heap; throws muffin::Error when the prefix is absent or malformed.
+  /// heap (quantized tensors are dequantized once here); throws
+  /// muffin::Error when the prefix is absent or malformed.
   [[nodiscard]] static Mlp from_artifact(const data::Artifact& artifact,
                                          const std::string& prefix);
   /// Zero-copy load: linear layers borrow their weights directly from the
   /// artifact's storage (mapped pages when the artifact came from
   /// Artifact::map_file) and hold its keepalive. The result is
   /// inference-only — training entry points throw — and clones of it
-  /// keep sharing the same pages.
+  /// keep sharing the same pages. Zero-copy adoption requires f64
+  /// tensors; a quantized artifact falls back to from_artifact (one
+  /// dequantizing copy, still valid for serving).
   [[nodiscard]] static Mlp map_artifact(const data::Artifact& artifact,
                                         const std::string& prefix);
   /// Whether any layer borrows mapped weights (the Mlp is frozen).

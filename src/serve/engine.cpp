@@ -6,6 +6,7 @@
 #include "common/error.h"
 #include "common/failpoint.h"
 #include "common/parallel_for.h"
+#include "data/serialize.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "tensor/ops.h"
@@ -40,6 +41,12 @@ struct EngineMetrics {
   /// Requests dropped unscored because they overstayed config.deadline.
   obs::Counter& deadline_drops =
       obs::registry().counter("serve.deadline_drops");
+  /// Model lifecycle: hot-swaps performed (process-wide) and the version
+  /// most recently published by any engine in this process. For the
+  /// one-engine-per-process shard server this gauge IS the shard's live
+  /// version; a multi-engine process reads per-engine model_version().
+  obs::Counter& swaps = obs::registry().counter("serve.swaps_total");
+  obs::Gauge& model_version = obs::registry().gauge("serve.model_version");
 
   static EngineMetrics& get() {
     static EngineMetrics metrics;
@@ -57,30 +64,34 @@ obs::Gauge& memo_bytes_gauge() {
 
 InferenceEngine::InferenceEngine(std::shared_ptr<const core::FusedModel> model,
                                  EngineConfig config)
-    : model_(std::move(model)),
+    : registry_(std::move(model), config.initial_model_version),
       config_(config),
       num_classes_(0),
-      body_size_(0),
       pool_(common::global_pool()),
       batcher_({config.max_batch, config.max_delay, config.max_queue,
                 "engine.batcher"}),
       memo_mode_(tensor::active_quant_mode()) {
-  MUFFIN_REQUIRE(model_ != nullptr, "engine needs a fused model");
   MUFFIN_REQUIRE(config_.workers > 0, "engine needs at least one worker");
-  num_classes_ = model_->num_classes();
-  body_size_ = model_->body().size();
+  const std::shared_ptr<const ModelSnapshot> snapshot = registry_.current();
+  num_classes_ = snapshot->model->num_classes();
   // Head clones keep each worker's weights hot in its own cache
   // hierarchy. Batches can land on any worker of the process-wide pool,
   // but the clone count is budgeted by config.workers (not the host
   // width) so a many-shard router on a wide machine does not multiply
   // head memory by hardware_concurrency; workers map onto clones by
   // modulo, and sharing a clone is safe because inference forwards are
-  // const and cache-free.
+  // const and cache-free. Slots track the version their clone came from
+  // so a hot-swap re-clones lazily (head_for).
   const std::size_t clones = std::min(pool_.size(), config_.workers);
-  worker_heads_.reserve(clones);
+  head_slots_.reserve(clones);
   for (std::size_t w = 0; w < clones; ++w) {
-    worker_heads_.push_back(model_->head());
+    auto slot = std::make_unique<HeadSlot>();
+    slot->version = snapshot->version;
+    slot->head = std::make_shared<const nn::Mlp>(snapshot->model->head());
+    head_slots_.push_back(std::move(slot));
   }
+  EngineMetrics::get().model_version.set(
+      static_cast<std::int64_t>(snapshot->version));
   dispatcher_ = std::thread([this]() { dispatch_loop(); });
 }
 
@@ -208,6 +219,49 @@ void InferenceEngine::shutdown() {
   inflight_done_.wait(lock, [this]() { return inflight_batches_ == 0; });
 }
 
+std::uint64_t InferenceEngine::swap_model(
+    std::shared_ptr<const core::FusedModel> model, std::uint64_t version) {
+  MUFFIN_REQUIRE(model != nullptr, "cannot swap in a null model");
+  MUFFIN_REQUIRE(model->num_classes() == num_classes_,
+                 "swapped model changes the serving shape (" +
+                     std::to_string(model->num_classes()) + " classes vs " +
+                     std::to_string(num_classes_) + ")");
+  // Chaos seam: an injected error models a corrupt artifact discovered
+  // at publish time — the swap fails atomically, traffic never notices.
+  fail::maybe_fail("serve.engine.swap");
+  const std::shared_ptr<const ModelSnapshot> installed =
+      registry_.publish(std::move(model), version);
+  swaps_.fetch_add(1, std::memory_order_relaxed);
+  EngineMetrics& metrics = EngineMetrics::get();
+  metrics.swaps.inc();
+  metrics.model_version.set(static_cast<std::int64_t>(installed->version));
+  // No flush, no pause: in-flight batches hold their own snapshot pins,
+  // worker head slots refresh lazily on their next batch (head_for), and
+  // version-keyed memo entries from older versions die on first lookup.
+  return installed->version;
+}
+
+std::shared_ptr<const nn::Mlp> InferenceEngine::head_for(
+    std::size_t worker, const ModelSnapshot& snapshot) {
+  HeadSlot& slot =
+      *head_slots_[worker == ThreadPool::npos ? 0
+                                              : worker % head_slots_.size()];
+  const std::lock_guard<std::mutex> lock(slot.mutex);
+  if (slot.version == snapshot.version) return slot.head;
+  if (slot.version < snapshot.version) {
+    // Lazy epoch advance: first batch on the new version pays one head
+    // clone; later batches on this slot reuse it. The displaced clone
+    // stays alive for any batch still holding its shared_ptr.
+    slot.head = std::make_shared<const nn::Mlp>(snapshot.model->head());
+    slot.version = snapshot.version;
+    return slot.head;
+  }
+  // A batch that pinned an older version than the slot raced a swap:
+  // score it on its snapshot's own head rather than rolling the slot
+  // backwards (const inference forwards are thread-safe).
+  return {snapshot.model, &snapshot.model->head()};
+}
+
 EngineCounters InferenceEngine::counters() const {
   EngineCounters counters;
   counters.requests = requests_.load(std::memory_order_relaxed);
@@ -287,17 +341,23 @@ void InferenceEngine::process_batch(std::vector<Request> batch) {
   }
   std::vector<Prediction> results(n);
   std::size_t delivered = 0;
+  // Epoch pin: this batch scores — and is memoized — entirely on one
+  // model snapshot, no matter how many swaps land while it runs. The
+  // shared_ptr hold keeps the pinned version fully alive until the last
+  // in-flight batch on it completes.
+  const std::shared_ptr<const ModelSnapshot> pinned = registry_.current();
   try {
     // Chaos seam: an injected error here fails the whole batch through
     // the catch-all below (the all-or-error contract under test); an
     // injected delay models a slow scoring pass.
     fail::maybe_fail("serve.engine.score");
 
-    // 1. Serve repeats from the result memo.
+    // 1. Serve repeats from the result memo. Lookups are keyed by
+    // (model version, uid): entries written by other versions miss.
     std::vector<std::size_t> misses;
     misses.reserve(n);
     for (std::size_t i = 0; i < n; ++i) {
-      if (cache_lookup(batch[i].record.uid, results[i])) {
+      if (cache_lookup(batch[i].record.uid, pinned->version, results[i])) {
         cache_hits_.fetch_add(1, std::memory_order_relaxed);
         metrics.cache_hits.inc();
       } else {
@@ -318,29 +378,29 @@ void InferenceEngine::process_batch(std::vector<Request> batch) {
       for (const std::size_t i : misses) {
         miss_records.push_back(batch[i].record);
       }
+      const core::FusedModel& model = *pinned->model;
+      const std::size_t body_size = model.body().size();
       const tensor::Matrix gathered = [&]() {
         const obs::TraceSpan span(
             "serve.score_batch", any_traced,
             any_traced ? "\"rows\":" + std::to_string(misses.size())
                        : std::string());
-        return core::gather_body_scores(model_->body(), num_classes_,
+        return core::gather_body_scores(model.body(), num_classes_,
                                         miss_records);
       }();
 
       // 3. Row-wise consensus gate + one batched head forward over the
-      // disagreement rows, on this worker's head clone. Bit-identical to
-      // FusedModel::scores by construction: fuse_gathered_batch rows match
-      // core::fuse_gathered, and worker heads are value copies.
-      const std::size_t worker = ThreadPool::current_worker();
-      const nn::Mlp& head =
-          worker_heads_[worker == ThreadPool::npos
-                            ? 0
-                            : worker % worker_heads_.size()];
+      // disagreement rows, on this worker's head clone (re-cloned lazily
+      // at epoch advance). Bit-identical to FusedModel::scores by
+      // construction: fuse_gathered_batch rows match core::fuse_gathered,
+      // and worker heads are value copies of the pinned version's head.
+      const std::shared_ptr<const nn::Mlp> head =
+          head_for(ThreadPool::current_worker(), *pinned);
       core::FusedBatch fused = [&]() {
         const obs::TraceSpan span("serve.fuse", any_traced);
-        return core::fuse_gathered_batch(gathered, head, body_size_,
+        return core::fuse_gathered_batch(gathered, *head, body_size,
                                          num_classes_,
-                                         model_->head_only_on_disagreement());
+                                         model.head_only_on_disagreement());
       }();
       const std::size_t consensus_rows = misses.size() - fused.head_rows;
       consensus_short_circuits_.fetch_add(consensus_rows,
@@ -355,10 +415,12 @@ void InferenceEngine::process_batch(std::vector<Request> batch) {
         const auto row = fused.scores.row(k);
         prediction.scores.assign(row.begin(), row.end());
         prediction.consensus = fused.consensus[k];
+        prediction.model_version = pinned->version;
         // Canonicalize-on-miss: the reply carries the dequantized form of
         // what the memo stores (a no-op when the memo mode is off), so a
         // later memo hit for this uid replies bit-identically.
         MemoEntry entry = canonicalize_and_pack(prediction);
+        entry.version = pinned->version;
         cache_store(batch[i].record.uid, std::move(entry));
       }
     }
@@ -452,16 +514,23 @@ InferenceEngine::MemoEntry InferenceEngine::canonicalize_and_pack(
   return entry;
 }
 
-bool InferenceEngine::cache_lookup(std::uint64_t uid, Prediction& out) {
+bool InferenceEngine::cache_lookup(std::uint64_t uid, std::uint64_t version,
+                                   Prediction& out) {
   if (config_.result_cache_capacity == 0) return false;
   const std::lock_guard<std::mutex> lock(cache_mutex_);
   const auto it = cache_index_.find(uid);
   if (it == cache_index_.end()) return false;
-  cache_order_.splice(cache_order_.begin(), cache_order_, it->second);
   const MemoEntry& entry = it->second->second;
+  // Version key: an entry scored by a different model version is a miss
+  // (no splice — a stale entry earns no recency), and the rescore that
+  // follows replaces it. This is the stale-score-leak fix: no pre-swap
+  // score can ever be served post-swap.
+  if (entry.version != version) return false;
+  cache_order_.splice(cache_order_.begin(), cache_order_, it->second);
   out.predicted = entry.predicted;
   out.consensus = entry.consensus;
   out.cached = true;
+  out.model_version = entry.version;
   switch (memo_mode_) {
     case tensor::QuantMode::Off: {
       out.scores.assign(entry.f64.begin(), entry.f64.end());
@@ -490,7 +559,21 @@ void InferenceEngine::cache_store(std::uint64_t uid, MemoEntry entry) {
   const std::lock_guard<std::mutex> lock(cache_mutex_);
   const auto it = cache_index_.find(uid);
   if (it != cache_index_.end()) {
-    // Another batch raced us to the same record; keep the existing entry.
+    MemoEntry& existing = it->second->second;
+    if (existing.version >= entry.version) {
+      // Another batch raced us to the same record on the same (or a
+      // newer) version; keep the existing entry.
+      cache_order_.splice(cache_order_.begin(), cache_order_, it->second);
+      return;
+    }
+    // Stale entry from a pre-swap version: replace it in place.
+    const std::size_t old_bytes = existing.payload_bytes();
+    const std::size_t new_bytes = entry.payload_bytes();
+    existing = std::move(entry);
+    memo_bytes_ += new_bytes;
+    memo_bytes_ -= old_bytes;
+    memo_bytes_gauge().add(static_cast<std::int64_t>(new_bytes) -
+                           static_cast<std::int64_t>(old_bytes));
     cache_order_.splice(cache_order_.begin(), cache_order_, it->second);
     return;
   }
@@ -511,6 +594,19 @@ void InferenceEngine::cache_store(std::uint64_t uid, MemoEntry entry) {
 std::size_t InferenceEngine::memo_bytes() const {
   const std::lock_guard<std::mutex> lock(cache_mutex_);
   return memo_bytes_;
+}
+
+std::uint64_t reload_head_artifact(InferenceEngine& engine,
+                                   const std::string& path) {
+  const data::Artifact artifact = data::Artifact::map_file(path);
+  const std::shared_ptr<const core::FusedModel> current = engine.model();
+  // Same body, same fusing gate, new head: the artifact's keepalive
+  // travels inside the mapped Mlp, so the mapping outlives this scope.
+  auto next = std::make_shared<core::FusedModel>(
+      current->name(), current->body(),
+      nn::Mlp::map_artifact(artifact, "head"),
+      current->head_only_on_disagreement());
+  return engine.swap_model(std::move(next), artifact.model_version());
 }
 
 }  // namespace muffin::serve

@@ -32,14 +32,25 @@
 //    worker's head weights hot in its own cache hierarchy.
 //  * **Result memoization.** Model scores are deterministic per record
 //    (the Model contract), so completed predictions are kept in a bounded
-//    LRU keyed by record uid; repeated requests — the common case in
-//    steady-state serving traffic — are answered from the cache without
-//    touching the body models. Exactness requires uids to uniquely
-//    identify record content, which the data generators guarantee.
+//    LRU keyed by (model version, record uid); repeated requests — the
+//    common case in steady-state serving traffic — are answered from the
+//    cache without touching the body models. Exactness requires uids to
+//    uniquely identify record content, which the data generators
+//    guarantee; the version key guarantees a hot-swap can never serve a
+//    pre-swap score post-swap.
+//  * **Versioned hot-swap.** The engine owns its model through a
+//    ModelRegistry (serve/model_registry.h): swap_model() publishes a
+//    new version as an O(1) pointer swap that never pauses traffic.
+//    Each batch pins one snapshot for its whole lifetime (epoch/RCU via
+//    shared_ptr), so in-flight batches finish — bit-identically — on
+//    the version they started with, while the next batch picks up the
+//    new one. Worker head clones re-clone lazily the first time a
+//    worker sees a newer epoch.
 //
-// Engine outputs are bit-identical to FusedModel::scores on every record:
-// the batch path replicates its arithmetic (same gather order, same
-// consensus mean, same head weights, same normalization).
+// Engine outputs are bit-identical to FusedModel::scores on every record
+// within one model version: the batch path replicates its arithmetic
+// (same gather order, same consensus mean, same head weights, same
+// normalization).
 #pragma once
 
 #include <atomic>
@@ -55,6 +66,7 @@
 
 #include "core/fused.h"
 #include "serve/batcher.h"
+#include "serve/model_registry.h"
 #include "serve/stats.h"
 #include "serve/thread_pool.h"
 #include "tensor/quant.h"
@@ -80,6 +92,9 @@ struct EngineConfig {
   /// waited this long when its batch is picked up is failed with
   /// muffin::Error before any scoring work is spent on it.
   std::chrono::milliseconds deadline{0};
+  /// Version the construction-time model is registered under (>= 1).
+  /// Servers loading a stamped artifact pass its model_version through.
+  std::uint64_t initial_model_version = 1;
 };
 
 /// One served prediction.
@@ -88,6 +103,7 @@ struct Prediction {
   tensor::Vector scores;       ///< full score vector (sums to 1)
   bool consensus = false;      ///< body agreed; head was skipped
   bool cached = false;         ///< answered from the result memo
+  std::uint64_t model_version = 0;  ///< version that scored this reply
 };
 
 /// Monotonic counters describing how the engine served its traffic.
@@ -142,7 +158,30 @@ class InferenceEngine {
   /// submissions are rejected afterwards.
   void shutdown();
 
-  [[nodiscard]] const core::FusedModel& model() const { return *model_; }
+  /// Atomically publish a new model under live load and return the
+  /// installed version. `version == 0` auto-assigns current + 1; an
+  /// explicit version must advance monotonically (rollback guard). The
+  /// swap is an O(1) registry publish — no pause, no flush: in-flight
+  /// batches finish on the version they pinned, later batches score on
+  /// the new one, and the version-keyed memo makes stale replies
+  /// impossible. The new model must match the serving shape (class
+  /// count) of the current one; the body pool may change freely.
+  std::uint64_t swap_model(std::shared_ptr<const core::FusedModel> model,
+                           std::uint64_t version = 0);
+
+  /// Pin the live model (epoch semantics — the returned pointer keeps
+  /// that version alive regardless of later swaps).
+  [[nodiscard]] std::shared_ptr<const core::FusedModel> model() const {
+    return registry_.current()->model;
+  }
+  /// The live model version.
+  [[nodiscard]] std::uint64_t model_version() const {
+    return registry_.version();
+  }
+  /// Swaps performed on this engine since construction.
+  [[nodiscard]] std::size_t swaps() const {
+    return swaps_.load(std::memory_order_relaxed);
+  }
   [[nodiscard]] const EngineConfig& config() const { return config_; }
   [[nodiscard]] const LatencyStats& latency() const { return latency_; }
   [[nodiscard]] EngineCounters counters() const;
@@ -179,8 +218,12 @@ class InferenceEngine {
   /// dequantizes with the stored scale, and the miss that created the
   /// entry replied with the same dequantized values (canonicalize-on-miss
   /// in process_batch) — so hit and miss replies for one uid are
-  /// bit-identical, with nothing ever re-quantized.
+  /// bit-identical, with nothing ever re-quantized. Entries carry the
+  /// model version that produced them: a lookup under a different
+  /// version misses (and the rescore replaces the stale entry), so a
+  /// hot-swap can never leak a pre-swap score.
   struct MemoEntry {
+    std::uint64_t version = 0;        ///< model version that scored this
     std::uint32_t predicted = 0;
     bool consensus = false;
     std::vector<double> f64;          ///< QuantMode::Off
@@ -190,29 +233,51 @@ class InferenceEngine {
     [[nodiscard]] std::size_t payload_bytes() const;
   };
 
+  /// One lazily re-cloned worker head: shared-pool workers map onto
+  /// slots by modulo, and each slot tracks which model version its
+  /// clone was taken from. A batch that pins a newer version than the
+  /// slot holds refreshes the clone (publish-then-use under the slot
+  /// mutex is a pointer swap; the old clone stays alive for any batch
+  /// still holding it); a batch pinned to an *older* version — one that
+  /// raced a swap — scores on its snapshot's own head instead of
+  /// thrashing the slot backwards.
+  struct HeadSlot {
+    std::mutex mutex;
+    std::uint64_t version = 0;
+    std::shared_ptr<const nn::Mlp> head;
+  };
+
   void dispatch_loop();
   void process_batch(std::vector<Request> batch);
+
+  /// The head to score `snapshot`'s disagreement rows with on `worker`:
+  /// the slot clone when it is (or can be refreshed to) the snapshot's
+  /// version, the snapshot's own head otherwise.
+  [[nodiscard]] std::shared_ptr<const nn::Mlp> head_for(
+      std::size_t worker, const ModelSnapshot& snapshot);
 
   /// Quantize `prediction.scores` into a MemoEntry and replace them with
   /// the dequantized (canonical) values; sets prediction.predicted from
   /// the canonical scores and copies it into the entry.
   [[nodiscard]] MemoEntry canonicalize_and_pack(Prediction& prediction) const;
 
-  [[nodiscard]] bool cache_lookup(std::uint64_t uid, Prediction& out);
+  [[nodiscard]] bool cache_lookup(std::uint64_t uid, std::uint64_t version,
+                                  Prediction& out);
   void cache_store(std::uint64_t uid, MemoEntry entry);
 
-  std::shared_ptr<const core::FusedModel> model_;
+  ModelRegistry registry_;
   EngineConfig config_;
   std::size_t num_classes_;
-  std::size_t body_size_;
 
   ThreadPool& pool_;  ///< the shared process-wide pool (never owned)
   Batcher<Request> batcher_;
-  std::vector<nn::Mlp> worker_heads_;  ///< one clone per shared-pool worker
+  /// One slot per budgeted worker (min(pool size, config.workers));
+  /// unique_ptr because slots hold a mutex and the vector is sized once.
+  std::vector<std::unique_ptr<HeadSlot>> head_slots_;
 
-  // Bounded LRU result memo: uid -> quantized reply, most recent at the
-  // front. memo_bytes_ tracks the score-payload footprint (mirrored on
-  // the "serve.result_memo_bytes" gauge).
+  // Bounded LRU result memo: uid -> (version, quantized reply), most
+  // recent at the front. memo_bytes_ tracks the score-payload footprint
+  // (mirrored on the "serve.result_memo_bytes" gauge).
   tensor::QuantMode memo_mode_ = tensor::QuantMode::Off;
   mutable std::mutex cache_mutex_;
   std::list<std::pair<std::uint64_t, MemoEntry>> cache_order_;
@@ -227,6 +292,7 @@ class InferenceEngine {
   std::size_t inflight_batches_ = 0;
 
   LatencyStats latency_;
+  std::atomic<std::size_t> swaps_{0};
   std::atomic<std::size_t> requests_{0};
   std::atomic<std::size_t> batches_{0};
   std::atomic<std::size_t> cache_hits_{0};
@@ -236,5 +302,17 @@ class InferenceEngine {
   std::atomic<bool> stopped_{false};
   std::thread dispatcher_;
 };
+
+/// Hot-swap from a MUFA artifact: map the head artifact at `path`
+/// (tensor prefix "head" — the layout `muffin_cli serve --artifact`
+/// writes), rebuild the fused model around the engine's current body
+/// and fusing mode, and publish it through swap_model. A stamped
+/// artifact installs under its model_version (which must advance the
+/// registry); an unstamped one (a v1 container, or version 0) auto-
+/// assigns the next version. Returns the installed version. This is the
+/// one reload path shared by the Reload RPC, LocalReplica::reload and
+/// the CLI's SIGHUP handler.
+[[nodiscard]] std::uint64_t reload_head_artifact(InferenceEngine& engine,
+                                                 const std::string& path);
 
 }  // namespace muffin::serve

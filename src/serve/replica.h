@@ -97,6 +97,17 @@ class ReplicaBackend {
   /// caller falls back to client-observed accounting.
   [[nodiscard]] virtual std::optional<StatsReport> authoritative_stats() = 0;
 
+  /// Hot-swap the replica's model to the head artifact at
+  /// `artifact_path` and return the installed model version. For a local
+  /// replica the path is read by this process; for a remote replica it
+  /// names a file on the *server's* filesystem and travels over the
+  /// Reload RPC. Serving never pauses either way — in-flight batches
+  /// finish on the version they pinned. Throws muffin::Error when the
+  /// artifact cannot be loaded or its stamped version does not advance
+  /// the replica's registry.
+  [[nodiscard]] virtual std::uint64_t reload(
+      const std::string& artifact_path) = 0;
+
   /// The wrapped engine for in-process replicas; nullptr for remote.
   [[nodiscard]] virtual const InferenceEngine* engine() const {
     return nullptr;
@@ -139,6 +150,10 @@ class LocalReplica final : public ReplicaBackend {
     report.cache_entries = engine_.cache_entries();
     report.latency = engine_.latency().to_export();
     return report;  // metrics stay empty: same process, same registry
+  }
+  [[nodiscard]] std::uint64_t reload(
+      const std::string& artifact_path) override {
+    return reload_head_artifact(engine_, artifact_path);
   }
   [[nodiscard]] const InferenceEngine* engine() const override {
     return &engine_;

@@ -1,0 +1,122 @@
+#include "serve/retrain.h"
+
+#include <numeric>
+#include <utility>
+
+#include "common/error.h"
+#include "models/pool.h"
+#include "obs/metrics.h"
+#include "tensor/quant.h"
+
+namespace muffin::serve {
+
+namespace {
+
+obs::Counter& retrain_rounds_counter() {
+  static obs::Counter& counter =
+      obs::registry().counter("serve.retrain_rounds");
+  return counter;
+}
+
+}  // namespace
+
+LabelBuffer::LabelBuffer(std::size_t capacity) : capacity_(capacity) {
+  MUFFIN_REQUIRE(capacity > 0, "label buffer needs a non-zero capacity");
+}
+
+void LabelBuffer::push(const data::Record& record) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  ring_.push_back(record);
+  ++pushed_;
+  if (ring_.size() > capacity_) ring_.pop_front();
+}
+
+std::size_t LabelBuffer::size() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return ring_.size();
+}
+
+std::size_t LabelBuffer::pushed() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return pushed_;
+}
+
+std::vector<data::Record> LabelBuffer::snapshot() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return {ring_.begin(), ring_.end()};
+}
+
+HeadRetrainer::HeadRetrainer(InferenceEngine& engine,
+                             const data::Dataset& reference,
+                             RetrainConfig config)
+    : engine_(engine),
+      config_(config),
+      dataset_name_(reference.name() + ".live"),
+      num_classes_(reference.num_classes()),
+      schema_(reference.schema()) {
+  MUFFIN_REQUIRE(config_.min_records > 0,
+                 "retrain needs a non-zero min_records");
+  unprivileged_.reserve(schema_.size());
+  for (std::size_t a = 0; a < schema_.size(); ++a) {
+    std::vector<bool> flags(schema_[a].group_count(), false);
+    for (const std::size_t g : reference.unprivileged_groups(a)) {
+      flags[g] = true;
+    }
+    unprivileged_.push_back(std::move(flags));
+  }
+}
+
+std::uint64_t HeadRetrainer::run_round(const LabelBuffer& buffer) {
+  std::vector<data::Record> records = buffer.snapshot();
+  if (records.size() < config_.min_records) return 0;
+
+  // Pin the serving model for the whole round: the body we score with
+  // and the structure we train against stay consistent even if an
+  // operator rollout lands mid-round (detected at publish below).
+  const std::shared_ptr<const core::FusedModel> pinned = engine_.model();
+  const std::uint64_t pinned_version = engine_.model_version();
+
+  data::Dataset live(dataset_name_, num_classes_, schema_);
+  live.reserve(records.size());
+  for (data::Record& record : records) live.add_record(std::move(record));
+  for (std::size_t a = 0; a < unprivileged_.size(); ++a) {
+    live.set_unprivileged(a, unprivileged_[a]);
+  }
+
+  // The proxy carries the fairness weighting; without any unprivileged
+  // records there is nothing to train toward — skip, don't publish.
+  const core::ProxyDataset proxy = core::build_proxy(live, config_.proxy);
+  if (proxy.size() == 0) return 0;
+
+  models::ModelPool pool;
+  const std::vector<models::ModelPtr>& body = pinned->body();
+  for (const models::ModelPtr& model : body) pool.add(model);
+  // Full-precision cache: the trainer consumes exact body scores; the
+  // version tag marks which serving epoch the scores were drawn from.
+  const core::ScoreCache cache(pool, live, tensor::QuantMode::Off,
+                               pinned_version);
+
+  core::FusingStructure structure;
+  structure.model_indices.resize(body.size());
+  std::iota(structure.model_indices.begin(), structure.model_indices.end(),
+            std::size_t{0});
+  structure.head_spec = pinned->head().spec();
+
+  nn::Mlp head =
+      core::train_head(cache, live, proxy, structure, config_.train);
+
+  // Publish through the one swap path — unless a concurrent publish
+  // (operator rollout, another retrainer) advanced the engine while we
+  // trained: this round's head was fitted against a superseded body/
+  // version pairing, so discard it rather than racing the registry.
+  if (engine_.model_version() != pinned_version) return 0;
+  auto next = std::make_shared<core::FusedModel>(
+      pinned->name(), body, std::move(head),
+      pinned->head_only_on_disagreement());
+  const std::uint64_t installed = engine_.swap_model(std::move(next));
+  ++rounds_published_;
+  retrain_rounds_counter().inc();
+  return installed;
+}
+
+}  // namespace muffin::serve

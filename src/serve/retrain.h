@@ -1,0 +1,106 @@
+// Online head retraining: close the loop from live traffic back into
+// the serving model, through the same hot-swap path operators use.
+//
+// The body models stay frozen in serving exactly as they do offline —
+// only the muffin head is retrained (core/head_trainer.h), so a retrain
+// round is cheap enough to run beside live traffic. The pieces:
+//
+//  * **LabelBuffer** — a bounded ring of recently served, labelled
+//    records. The serving edge pushes every record whose ground-truth
+//    label it learns (delayed feedback, audit samples, ...); the ring
+//    keeps the most recent `capacity` and drops the oldest, so the
+//    training set tracks the live distribution with O(capacity) memory.
+//  * **HeadRetrainer** — one retrain round: snapshot the buffer into a
+//    Dataset (schema and unprivileged-group metadata copied from the
+//    serving dataset), rebuild the body score cache over it, train a
+//    fresh head on the fairness proxy (Algorithm 1 weights, Eq. 2 loss
+//    — the same trainer the offline search uses), and publish the new
+//    fused model through InferenceEngine::swap_model. Publication is
+//    version-checked: if the engine's model advanced while the round
+//    was training (an operator rollout won the race), the stale round
+//    is discarded instead of clobbering the newer model.
+//
+// A round that cannot run (buffer below min_records, no unprivileged
+// records for the proxy, lost race) returns version 0 and changes
+// nothing; the caller just tries again after more traffic. Rounds are
+// counted on the "serve.retrain_rounds" counter (published rounds only).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <vector>
+
+#include "core/head_trainer.h"
+#include "core/proxy.h"
+#include "data/dataset.h"
+#include "serve/engine.h"
+
+namespace muffin::serve {
+
+/// Bounded ring of labelled recent-traffic records. Thread-safe: the
+/// serving edge pushes concurrently with retrain-round snapshots.
+class LabelBuffer {
+ public:
+  explicit LabelBuffer(std::size_t capacity);
+
+  /// Record one labelled sample; the oldest is dropped at capacity.
+  void push(const data::Record& record);
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  /// Lifetime pushes (so tests can assert drops: pushed() - size()).
+  [[nodiscard]] std::size_t pushed() const;
+
+  /// Copy the current contents, oldest first.
+  [[nodiscard]] std::vector<data::Record> snapshot() const;
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::deque<data::Record> ring_;
+  std::size_t pushed_ = 0;
+};
+
+struct RetrainConfig {
+  /// A round is skipped (returns 0) below this many buffered records —
+  /// retraining a head on a handful of samples would publish noise.
+  std::size_t min_records = 256;
+  core::HeadTrainConfig train;    ///< head-trainer knobs for each round
+  core::ProxyConfig proxy;        ///< fairness-proxy construction knobs
+};
+
+/// Drives retrain rounds against one engine. Holds no thread of its
+/// own: callers decide the cadence (a timer, a buffer-size trigger, a
+/// CLI flag) and invoke run_round; the round itself trains on the
+/// calling thread while the engine keeps serving.
+class HeadRetrainer {
+ public:
+  /// `reference` supplies the dataset schema, class count and
+  /// unprivileged-group metadata the buffered records are interpreted
+  /// under (copied at construction; the dataset itself is not kept).
+  HeadRetrainer(InferenceEngine& engine, const data::Dataset& reference,
+                RetrainConfig config = {});
+
+  /// One round: snapshot -> score -> train -> swap. Returns the
+  /// installed model version, or 0 when the round was skipped (buffer
+  /// too small, empty fairness proxy) or lost a publish race.
+  std::uint64_t run_round(const LabelBuffer& buffer);
+
+  /// Rounds that published a new version through this retrainer.
+  [[nodiscard]] std::size_t rounds_published() const {
+    return rounds_published_;
+  }
+
+ private:
+  InferenceEngine& engine_;
+  RetrainConfig config_;
+  // Schema template for snapshot datasets (records cleared per round).
+  std::string dataset_name_;
+  std::size_t num_classes_;
+  std::vector<data::AttributeSchema> schema_;
+  std::vector<std::vector<bool>> unprivileged_;
+  std::size_t rounds_published_ = 0;
+};
+
+}  // namespace muffin::serve

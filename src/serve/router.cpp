@@ -504,6 +504,46 @@ StatsReport ShardRouter::authoritative_stats() const {
   return total;
 }
 
+std::uint64_t ShardRouter::reload_shard(std::size_t shard,
+                                        const std::string& artifact_path) {
+  // Grab the backend under the shared lock, reload off the locks: a
+  // remote reload blocks on the network up to its request deadline, and
+  // routing (including to this very shard) must stay live meanwhile —
+  // that is the whole point of the zero-downtime swap.
+  std::shared_ptr<ReplicaBackend> backend;
+  {
+    const std::shared_lock<std::shared_mutex> lock(mutex_);
+    MUFFIN_REQUIRE(!stopped_, "router is stopped");
+    Replica& replica = checked_locked(shard);
+    MUFFIN_REQUIRE(replica.state != State::Removed,
+                   "cannot reload a removed shard");
+    backend = replica.backend;
+  }
+  return backend->reload(artifact_path);
+}
+
+std::vector<std::uint64_t> ShardRouter::reload_all(
+    const std::string& artifact_path) {
+  std::size_t count;
+  {
+    const std::shared_lock<std::shared_mutex> lock(mutex_);
+    MUFFIN_REQUIRE(!stopped_, "router is stopped");
+    count = replicas_.size();
+  }
+  std::vector<std::uint64_t> versions(count, 0);
+  for (std::size_t shard = 0; shard < count; ++shard) {
+    {
+      const std::shared_lock<std::shared_mutex> lock(mutex_);
+      if (shard < replicas_.size() &&
+          replicas_[shard]->state == State::Removed) {
+        continue;  // retired mid-roll (or before): nothing to reload
+      }
+    }
+    versions[shard] = reload_shard(shard, artifact_path);
+  }
+  return versions;
+}
+
 std::vector<ShardInfo> ShardRouter::shard_infos() const {
   const std::shared_lock<std::shared_mutex> lock(mutex_);
   std::vector<ShardInfo> infos;

@@ -218,6 +218,28 @@ class ShardRouter {
   /// rpc::RemoteShard::fetch_stats / `muffin_cli stats`).
   [[nodiscard]] StatsReport authoritative_stats() const;
 
+  /// Hot-swap one shard's model to the head artifact at `artifact_path`
+  /// (local replicas read the path here; remote replicas resolve it on
+  /// their server — see ReplicaBackend::reload). The swap happens under
+  /// live traffic with zero failed requests: the shard stays on the
+  /// ring throughout, in-flight batches finish on their pinned version.
+  /// Runs off the router locks, like health probes. Returns the
+  /// installed model version; throws for removed shards or a rejected
+  /// artifact.
+  std::uint64_t reload_shard(std::size_t shard,
+                             const std::string& artifact_path);
+
+  /// Roll the whole fleet, shard by shard, to the artifact at
+  /// `artifact_path`: every live replica (active or drained — a drained
+  /// shard must not come back serving a stale model) reloads in shard
+  /// order, one at a time. Returns the installed version per live shard,
+  /// indexed by shard id (0 marks removed shards). The first failing
+  /// shard aborts the roll and rethrows, leaving already-rolled shards
+  /// on the new version; rerun with a freshly stamped (or unstamped)
+  /// artifact to finish the roll — each registry's rollback guard
+  /// refuses a version it has already passed.
+  std::vector<std::uint64_t> reload_all(const std::string& artifact_path);
+
   [[nodiscard]] const RouterConfig& config() const { return config_; }
 
  private:

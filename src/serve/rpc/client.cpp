@@ -422,6 +422,28 @@ StatsReport RemoteShard::fetch_stats() {
   return decode_stats_response(reply->payload);
 }
 
+std::uint64_t RemoteShard::reload(const std::string& artifact_path) {
+  common::Socket socket =
+      common::connect_endpoint(endpoint_, ms(config_.connect_timeout));
+  const std::uint64_t seq = seq_.fetch_add(1, std::memory_order_relaxed);
+  write_frame(socket, encode_reload(seq, artifact_path),
+              ms(config_.request_timeout));
+  const std::optional<Frame> reply =
+      read_frame(socket, config_.max_frame_bytes,
+                 ms(config_.request_timeout));
+  MUFFIN_REQUIRE(reply.has_value(),
+                 "server closed before answering the reload request");
+  MUFFIN_REQUIRE(reply->header.seq == seq,
+                 "reload response sequence mismatch");
+  if (reply->header.type == MsgType::Error) {
+    throw Error("reload rejected by " + endpoint_.to_string() + ": " +
+                decode_error(reply->payload));
+  }
+  MUFFIN_REQUIRE(reply->header.type == MsgType::ReloadAck,
+                 "unexpected frame type for a reload request");
+  return decode_reload_ack(reply->payload);
+}
+
 std::optional<StatsReport> RemoteShard::authoritative_stats() {
   try {
     return fetch_stats();

@@ -117,6 +117,17 @@ class RemoteShard final : public ReplicaBackend {
   /// ReplicaBackend surface: fetch_stats with failures mapped to nullopt.
   [[nodiscard]] std::optional<StatsReport> authoritative_stats() override;
 
+  /// Hot-swap the server's model over the Reload RPC, on a dedicated
+  /// short-lived connection (like probe/stats — control traffic must not
+  /// queue behind pipelined score batches, and a failed reload must not
+  /// poison them). `artifact_path` names a file on the *server's*
+  /// filesystem. Returns the installed model version; throws
+  /// muffin::Error when the server is unreachable, rejects the artifact,
+  /// or refuses a non-advancing version. Deliberately not counted toward
+  /// consecutive_failures — a bad rollout artifact must not drain an
+  /// otherwise healthy shard.
+  [[nodiscard]] std::uint64_t reload(const std::string& artifact_path) override;
+
   [[nodiscard]] const RemoteShardConfig& config() const { return config_; }
 
   /// Lifetime count of data-path connect attempts (reconnect dials;

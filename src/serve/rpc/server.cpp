@@ -28,6 +28,8 @@ struct ServerMetrics {
   obs::Counter& errors_sent = obs::registry().counter("rpc.server.errors_sent");
   obs::Counter& stats_requests =
       obs::registry().counter("rpc.server.stats_requests");
+  obs::Counter& reload_requests =
+      obs::registry().counter("rpc.server.reload_requests");
   obs::Histogram& decode_us = obs::registry().histogram(
       "rpc.server.decode_us", obs::latency_us_buckets());
   obs::Histogram& encode_us = obs::registry().histogram(
@@ -227,6 +229,26 @@ void ShardServer::reader_loop(Connection& connection) {
           report.latency = engine_.latency().to_export();
           report.metrics = obs::registry().snapshot();
           response.raw_frame = encode_stats_response(response.seq, report);
+          break;
+        }
+        case MsgType::Reload: {
+          // Swap NOW, on the reader: the publish is an O(1) pointer
+          // swap, so blocking this connection's framing for it is
+          // cheaper than a handoff, and requests already submitted keep
+          // scoring on their pinned snapshots throughout. A decode
+          // failure (malformed path) poisons the stream like any other
+          // undecodable frame; a reload failure (missing/corrupt
+          // artifact, non-advancing version) answers with an Error
+          // frame and leaves the serving model untouched.
+          metrics.reload_requests.inc();
+          response.type = MsgType::ReloadAck;
+          const std::string artifact_path = decode_reload(frame->payload);
+          try {
+            const std::uint64_t installed = reload(artifact_path);
+            response.raw_frame = encode_reload_ack(response.seq, installed);
+          } catch (const std::exception& error) {
+            response.error = error.what();
+          }
           break;
         }
         case MsgType::ScoreRequest: {

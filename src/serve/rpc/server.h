@@ -80,6 +80,14 @@ class ShardServer {
   /// wire never observes a failure.
   void drain(std::chrono::milliseconds grace);
 
+  /// Hot-swap the served model to the head artifact at `path` — the
+  /// same operation the Reload wire op performs, exposed for in-process
+  /// control (the CLI's SIGHUP handler). Serving never pauses; returns
+  /// the installed model version.
+  std::uint64_t reload(const std::string& artifact_path) {
+    return reload_head_artifact(engine_, artifact_path);
+  }
+
   [[nodiscard]] const InferenceEngine& engine() const { return engine_; }
   [[nodiscard]] std::size_t connections_accepted() const;
   /// Connections currently held (open, or closed but not yet reaped).

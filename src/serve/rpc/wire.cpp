@@ -11,7 +11,7 @@ namespace {
 
 bool known_type(std::uint16_t raw) {
   return raw >= static_cast<std::uint16_t>(MsgType::ScoreRequest) &&
-         raw <= static_cast<std::uint16_t>(MsgType::StatsResponse);
+         raw <= static_cast<std::uint16_t>(MsgType::ReloadAck);
 }
 
 /// Reserve header space in a fresh frame buffer; the payload length is
@@ -130,7 +130,7 @@ std::vector<std::uint8_t> encode_score_response(
   const std::size_t rows = predictions.size();
   const std::size_t num_classes = rows == 0 ? 0 : predictions[0].scores.size();
   std::vector<std::uint8_t> frame = begin_frame(MsgType::ScoreResponse, seq);
-  frame.reserve(frame.size() + 8 + rows * (num_classes * 8 + 10));
+  frame.reserve(frame.size() + 8 + rows * (num_classes * 8 + 18));
   common::put_u32(frame, static_cast<std::uint32_t>(rows));
   common::put_u32(frame, static_cast<std::uint32_t>(num_classes));
   for (const Prediction& prediction : predictions) {
@@ -142,6 +142,7 @@ std::vector<std::uint8_t> encode_score_response(
     common::put_u64(frame, static_cast<std::uint64_t>(prediction.predicted));
     frame.push_back(prediction.consensus ? 1 : 0);
     frame.push_back(prediction.cached ? 1 : 0);
+    common::put_u64(frame, prediction.model_version);
   }
   finish_frame(frame);
   return frame;
@@ -152,9 +153,9 @@ std::vector<Prediction> decode_score_response(
   common::ByteReader reader(payload);
   const std::uint32_t rows = reader.u32();
   const std::uint32_t num_classes = reader.u32();
-  // Each row costs num_classes doubles plus 10 metadata bytes.
+  // Each row costs num_classes doubles plus 18 metadata bytes.
   reader.require_count(rows,
-                       static_cast<std::size_t>(num_classes) * 8 + 10);
+                       static_cast<std::size_t>(num_classes) * 8 + 18);
   std::vector<Prediction> predictions(rows);
   for (std::uint32_t r = 0; r < rows; ++r) {
     reader.f64_into(predictions[r].scores, num_classes);
@@ -163,6 +164,7 @@ std::vector<Prediction> decode_score_response(
     predictions[r].predicted = static_cast<std::size_t>(reader.u64());
     predictions[r].consensus = reader.u8() != 0;
     predictions[r].cached = reader.u8() != 0;
+    predictions[r].model_version = reader.u64();
   }
   MUFFIN_REQUIRE(reader.done(), "trailing bytes after score response");
   return predictions;
@@ -317,6 +319,41 @@ StatsReport decode_stats_response(std::span<const std::uint8_t> payload) {
   }
   MUFFIN_REQUIRE(reader.done(), "trailing bytes after stats response");
   return report;
+}
+
+std::vector<std::uint8_t> encode_reload(std::uint64_t seq,
+                                        const std::string& path) {
+  MUFFIN_REQUIRE(!path.empty(), "reload needs an artifact path");
+  std::vector<std::uint8_t> frame = begin_frame(MsgType::Reload, seq);
+  common::put_u32(frame, static_cast<std::uint32_t>(path.size()));
+  frame.insert(frame.end(), path.begin(), path.end());
+  finish_frame(frame);
+  return frame;
+}
+
+std::string decode_reload(std::span<const std::uint8_t> payload) {
+  common::ByteReader reader(payload);
+  const std::uint32_t length = reader.u32();
+  MUFFIN_REQUIRE(length > 0, "reload frame carries an empty artifact path");
+  reader.require_count(length, 1);
+  const std::span<const std::uint8_t> bytes = reader.bytes(length);
+  MUFFIN_REQUIRE(reader.done(), "trailing bytes after reload path");
+  return std::string(bytes.begin(), bytes.end());
+}
+
+std::vector<std::uint8_t> encode_reload_ack(std::uint64_t seq,
+                                            std::uint64_t model_version) {
+  std::vector<std::uint8_t> frame = begin_frame(MsgType::ReloadAck, seq);
+  common::put_u64(frame, model_version);
+  finish_frame(frame);
+  return frame;
+}
+
+std::uint64_t decode_reload_ack(std::span<const std::uint8_t> payload) {
+  common::ByteReader reader(payload);
+  const std::uint64_t model_version = reader.u64();
+  MUFFIN_REQUIRE(reader.done(), "trailing bytes after reload ack");
+  return model_version;
 }
 
 std::vector<std::uint8_t> encode_error(std::uint64_t seq,

@@ -25,11 +25,14 @@
 // hot end to end instead of degrading the remote hop to per-record
 // round trips.
 //
-// Messages (version 1):
+// Messages (version 2):
 //   ScoreRequest   u32 count, then `count` records (data/serialize.h)
 //   ScoreResponse  u32 rows, u32 num_classes, rows*num_classes f64
 //                  (row-major score matrix), then per row:
-//                  u64 predicted, u8 consensus, u8 cached
+//                  u64 predicted, u8 consensus, u8 cached,
+//                  u64 model_version — per row, not per response,
+//                  because a batch racing a hot-swap may legitimately
+//                  carry rows from two adjacent versions
 //   HealthProbe    empty payload; the server answers HealthAck
 //   HealthAck      empty payload
 //   Error          u32 byte length + UTF-8 message; sent instead of a
@@ -47,11 +50,16 @@
 //                  x {u16 name_len, name bytes, u32 n_bounds, n_bounds*
 //                  f64 upper bounds, (n_bounds+1)*u64 bucket counts,
 //                  u64 count, f64 sum}
+//   Reload         u32 byte length + UTF-8 artifact path: swap the
+//                  server's model to that (server-local) artifact. The
+//                  server answers ReloadAck on success, Error otherwise;
+//                  either way in-flight scoring is never disturbed.
+//   ReloadAck      u64 installed model version
 //
-// The Stats pair is ADDITIVE within version 1: servers and clients that
-// predate it never send these types and are unaffected; a new client
-// probing an old server sees the connection fail cleanly (unknown frame
-// type) and reports the endpoint as not stats-capable.
+// Version 2 widened ScoreResponse rows with the model version that
+// scored them (the zero-downtime lifecycle needs the caller to see
+// which epoch answered) and added the Reload pair; v1 peers fail
+// cleanly on the version check.
 #pragma once
 
 #include <cstddef>
@@ -70,7 +78,7 @@
 namespace muffin::serve::rpc {
 
 inline constexpr std::uint32_t kMagic = 0x4E46'554DU;  // "MUFN" little-endian
-inline constexpr std::uint16_t kVersion = 1;
+inline constexpr std::uint16_t kVersion = 2;
 inline constexpr std::size_t kHeaderBytes = 24;
 /// Default payload ceiling; generous for any sane batch, small enough
 /// that a corrupt length field cannot exhaust memory.
@@ -84,6 +92,8 @@ enum class MsgType : std::uint16_t {
   Error = 5,
   StatsRequest = 6,   ///< additive in v1; empty payload
   StatsResponse = 7,  ///< additive in v1; serialized StatsReport
+  Reload = 8,         ///< v2: artifact path; server answers ReloadAck
+  ReloadAck = 9,      ///< v2: installed model version
 };
 
 struct FrameHeader {
@@ -140,6 +150,17 @@ void encode_header(std::vector<std::uint8_t>& out, MsgType type,
 /// cannot fit, a latency export claiming recorded requests but shipping
 /// no samples) throw muffin::Error.
 [[nodiscard]] StatsReport decode_stats_response(
+    std::span<const std::uint8_t> payload);
+
+/// Reload: ask the server to hot-swap its model to the artifact at
+/// `path` (a path on the *server's* filesystem). Answered with
+/// ReloadAck carrying the installed model version.
+[[nodiscard]] std::vector<std::uint8_t> encode_reload(std::uint64_t seq,
+                                                      const std::string& path);
+[[nodiscard]] std::string decode_reload(std::span<const std::uint8_t> payload);
+[[nodiscard]] std::vector<std::uint8_t> encode_reload_ack(
+    std::uint64_t seq, std::uint64_t model_version);
+[[nodiscard]] std::uint64_t decode_reload_ack(
     std::span<const std::uint8_t> payload);
 
 [[nodiscard]] std::vector<std::uint8_t> encode_error(

@@ -82,13 +82,15 @@ TEST(Artifact, RoundTripsEveryDtype) {
 TEST(Artifact, ExtentsAre64ByteAligned) {
   const std::vector<std::uint8_t> bytes = three_dtype_writer().bytes();
   // Walk the raw table.
-  // Header: magic(4) version(4) file_bytes(8) count(4) table_bytes(8).
+  // Header (v2): magic(4) version(4) file_bytes(8) count(4)
+  // table_bytes(8) model_version(8).
   common::ByteReader reader(bytes);
   (void)reader.u32();  // magic
   (void)reader.u32();  // version
   (void)reader.u64();  // file_bytes
   const std::uint32_t count = reader.u32();
   (void)reader.u64();  // table_bytes
+  (void)reader.u64();  // model_version
   for (std::uint32_t i = 0; i < count; ++i) {
     const std::uint32_t name_len = reader.u32();
     (void)reader.bytes(name_len);
@@ -169,6 +171,41 @@ TEST(Artifact, EmptyWriterProducesLoadableEmptyContainer) {
   EXPECT_TRUE(artifact.tensors().empty());
 }
 
+TEST(Artifact, ModelVersionRoundTripsThroughEveryParser) {
+  // Unstamped containers read back as model version 0.
+  EXPECT_EQ(Artifact::from_bytes(three_dtype_writer().bytes()).model_version(),
+            0u);
+
+  ArtifactWriter writer = three_dtype_writer();
+  writer.set_model_version(7);
+  EXPECT_EQ(writer.model_version(), 7u);
+  EXPECT_EQ(Artifact::from_bytes(writer.bytes()).model_version(), 7u);
+
+  const std::string path = temp_path("stamped");
+  writer.write_file(path);
+  EXPECT_EQ(Artifact::load_file(path).model_version(), 7u);
+  EXPECT_EQ(Artifact::map_file(path).model_version(), 7u);
+  std::remove(path.c_str());
+}
+
+TEST(Artifact, Version1ContainerParsesWithModelVersionZero) {
+  // A hand-built v1 container: the 28-byte header has no model_version
+  // field, and the parser must keep accepting it (fleets roll forward;
+  // old artifacts stay loadable).
+  std::vector<std::uint8_t> v1;
+  v1.push_back('M');
+  v1.push_back('U');
+  v1.push_back('F');
+  v1.push_back('A');
+  common::put_u32(v1, 1);   // version
+  common::put_u64(v1, 28);  // file_bytes == header-only size
+  common::put_u32(v1, 0);   // tensor_count
+  common::put_u64(v1, 0);   // table_bytes
+  const Artifact artifact = Artifact::from_bytes(v1);
+  EXPECT_TRUE(artifact.tensors().empty());
+  EXPECT_EQ(artifact.model_version(), 0u);
+}
+
 TEST(Artifact, WriterRejectsShapePayloadMismatch) {
   ArtifactWriter writer;
   const std::vector<double> six(6, 1.0);
@@ -210,13 +247,14 @@ void put_u64_at(std::vector<std::uint8_t>& bytes, std::size_t at,
   }
 }
 
-// Header field offsets (see the layout comment in data/serialize.h).
+// Header field offsets (see the v2 layout comment in data/serialize.h).
 constexpr std::size_t kMagicAt = 0;
 constexpr std::size_t kVersionAt = 4;
 constexpr std::size_t kFileBytesAt = 8;
 constexpr std::size_t kTensorCountAt = 16;
 constexpr std::size_t kTableBytesAt = 20;
-constexpr std::size_t kTableAt = 28;
+constexpr std::size_t kModelVersionAt = 28;
+constexpr std::size_t kTableAt = 36;
 
 TEST(ArtifactFuzz, TruncationAtEveryByteThrows) {
   const std::vector<std::uint8_t> good = three_dtype_writer().bytes();
@@ -235,7 +273,7 @@ TEST(ArtifactFuzz, BadMagicAndVersion) {
   expect_rejected(bytes, "wrong magic");
 
   bytes = three_dtype_writer().bytes();
-  put_u32_at(bytes, kVersionAt, 2);
+  put_u32_at(bytes, kVersionAt, 3);
   expect_rejected(bytes, "future version");
   put_u32_at(bytes, kVersionAt, 0);
   expect_rejected(bytes, "version zero");
@@ -320,6 +358,7 @@ TEST(ArtifactFuzz, HostileShapesAndExtents) {
   (void)reader.u64();
   (void)reader.u32();
   (void)reader.u64();
+  (void)reader.u64();  // model_version
   (void)reader.u32();
   (void)reader.bytes(6);
   (void)reader.u8();
@@ -345,6 +384,7 @@ TEST(ArtifactFuzz, OverlappingExtents) {
   (void)reader.u64();
   (void)reader.u32();
   (void)reader.u64();
+  (void)reader.u64();  // model_version
   // Entry 0: "body.w", 2x3 f64 = 48 bytes.
   (void)reader.u32();
   (void)reader.bytes(6);

@@ -213,6 +213,69 @@ TEST(MlpArtifact, MalformedSpecOrShapesThrow) {
   }
 }
 
+TEST(MlpArtifact, Bf16ArtifactRoundTripsWithinQuantizationError) {
+  const Mlp original = init_mlp(19);
+  data::ArtifactWriter writer;
+  original.save_artifact(writer, "head", data::TensorDtype::Bf16);
+  const data::Artifact artifact = data::Artifact::from_bytes(writer.bytes());
+  // The weight planes really are stored quantized, not as f64.
+  EXPECT_EQ(artifact.tensor("head.w0").dtype, data::TensorDtype::Bf16);
+  const Mlp restored = Mlp::from_artifact(artifact, "head");
+  EXPECT_EQ(restored.spec(), original.spec());
+  const tensor::Matrix batch = random_batch(9, 70);
+  const tensor::Matrix a = original.forward_batch_inference(batch);
+  const tensor::Matrix b = restored.forward_batch_inference(batch);
+  for (std::size_t i = 0; i < a.flat().size(); ++i) {
+    // bf16 keeps ~8 mantissa bits; sigmoid outputs stay within a loose
+    // absolute tolerance of the full-precision network.
+    EXPECT_NEAR(a.flat()[i], b.flat()[i], 0.05) << "output " << i;
+  }
+}
+
+TEST(MlpArtifact, I8ArtifactCarriesScalesAndRoundTrips) {
+  const Mlp original = init_mlp(23);
+  data::ArtifactWriter writer;
+  original.save_artifact(writer, "head", data::TensorDtype::I8);
+  const data::Artifact artifact = data::Artifact::from_bytes(writer.bytes());
+  EXPECT_EQ(artifact.tensor("head.w0").dtype, data::TensorDtype::I8);
+  // Per-layer symmetric scales ride along ("<prefix>.s<i>", 1x2 f64).
+  const data::ArtifactTensor& scales = artifact.tensor("head.s0");
+  EXPECT_EQ(scales.dtype, data::TensorDtype::F64);
+  EXPECT_EQ(scales.rows, 1u);
+  EXPECT_EQ(scales.cols, 2u);
+  const Mlp restored = Mlp::from_artifact(artifact, "head");
+  EXPECT_EQ(restored.spec(), original.spec());
+  const tensor::Matrix batch = random_batch(9, 80);
+  const tensor::Matrix a = original.forward_batch_inference(batch);
+  const tensor::Matrix b = restored.forward_batch_inference(batch);
+  for (std::size_t i = 0; i < a.flat().size(); ++i) {
+    EXPECT_NEAR(a.flat()[i], b.flat()[i], 0.1) << "output " << i;
+  }
+}
+
+TEST(MlpArtifact, MapArtifactFallsBackToHeapForQuantizedTensors) {
+  const std::string path = testing::TempDir() + "/mlp_quant_map.mufa";
+  const Mlp original = init_mlp(29);
+  {
+    data::ArtifactWriter writer;
+    original.save_artifact(writer, "head", data::TensorDtype::I8);
+    writer.write_file(path);
+  }
+  obs::Gauge& gauge = obs::registry().gauge("data.mapped_artifact_bytes");
+  const std::int64_t before = gauge.value();
+  {
+    const data::Artifact artifact = data::Artifact::map_file(path);
+    const Mlp loaded = Mlp::map_artifact(artifact, "head");
+    // Quantized tensors cannot be adopted zero-copy: the fallback
+    // dequantizes onto the heap, so the result is a normal trainable Mlp
+    // that does not pin the mapping.
+    EXPECT_FALSE(loaded.mapped());
+    EXPECT_EQ(loaded.spec(), original.spec());
+  }
+  EXPECT_EQ(gauge.value(), before);
+  std::remove(path.c_str());
+}
+
 TEST(MlpArtifact, QuantModesScoreIdenticallyFromHeapAndMap) {
   const std::string path = testing::TempDir() + "/mlp_quant.mufa";
   const Mlp original = init_mlp(17);

@@ -137,6 +137,30 @@ TEST(ChaosEngine, ScoreErrorFailsWholeBatchThenRecovers) {
   engine.shutdown();
 }
 
+TEST(ChaosEngine, InjectedSwapFaultNeverTouchesTheServingModel) {
+  // The hot-swap path has its own failpoint: an injected fault must land
+  // before the registry publish, so a failed rollout leaves the serving
+  // model, its version and its memo exactly as they were — and the same
+  // swap succeeds once the fault clears.
+  InferenceEngine engine(make_fused(), {.workers = 2, .max_batch = 8});
+  const data::Record& record = chaos_dataset().record(0);
+  ASSERT_EQ(engine.predict(record).scores, expected_scores(record));
+  const auto replacement =
+      testutil::build_fused(chaos_pool(), chaos_dataset(), /*epochs=*/2);
+  {
+    const fail::ScopedFailpoints guard("serve.engine.swap=error");
+    EXPECT_THROW((void)engine.swap_model(replacement), Error);
+    EXPECT_GT(fail::hits("serve.engine.swap"), 0u);
+    EXPECT_EQ(engine.model_version(), 1u);
+    EXPECT_EQ(engine.swaps(), 0u);
+    EXPECT_EQ(engine.predict(record).scores, expected_scores(record));
+  }
+  EXPECT_EQ(engine.swap_model(replacement), 2u);
+  EXPECT_EQ(engine.predict(record).scores,
+            testutil::canonical_scores(replacement->scores(record)));
+  engine.shutdown();
+}
+
 // ---------------------------------------------------------------------
 // ChaosShed: bounded-queue admission and deadline propagation.
 // ---------------------------------------------------------------------

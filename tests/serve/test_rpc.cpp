@@ -22,6 +22,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <cstdio>
 #include <functional>
 #include <memory>
 #include <optional>
@@ -30,6 +31,7 @@
 #include <thread>
 
 #include "common/error.h"
+#include "data/serialize.h"
 #include "obs/trace.h"
 #include "serve/router.h"
 #include "serve/rpc/server.h"
@@ -622,6 +624,182 @@ TEST(ShardRouterRpc, AuthoritativeStatsFoldsServerSideAccounting) {
   router.shutdown();
   server_a.stop();
   server_b.stop();
+}
+
+// Second generation of the same muffin (same body pool instances, same
+// gating, different head weights): what a rolled-out artifact installs.
+std::shared_ptr<core::FusedModel> make_fused_v2() {
+  static const std::shared_ptr<core::FusedModel> shared =
+      testutil::build_fused(rpc_pool(), rpc_dataset(), /*epochs=*/2);
+  return shared;
+}
+
+/// Write make_fused_v2()'s head as a reload artifact, stamped or not.
+std::string write_v2_head_artifact(const char* stem,
+                                   std::uint64_t model_version) {
+  const std::string path = testing::TempDir() + "/" + stem + ".mufa";
+  data::ArtifactWriter writer;
+  make_fused_v2()->head().save_artifact(writer, "head");
+  writer.set_model_version(model_version);
+  writer.write_file(path);
+  return path;
+}
+
+TEST(RemoteShard, ReloadInstallsTheArtifactOverTheWire) {
+  const auto fused = make_fused();
+  rpc::ShardServer server(fused, "127.0.0.1:0", small_server());
+  rpc::RemoteShard shard(server.address(), fast_client());
+  const std::string path = write_v2_head_artifact("rpc_reload", 9);
+
+  // Traffic before the roll serves version 1.
+  std::span<const data::Record> records = rpc_dataset().records();
+  EXPECT_EQ(shard.submit(records[0]).get().model_version, 1u);
+
+  // The reload op resolves the path on the SERVER and answers with the
+  // installed version — the stamp, here.
+  EXPECT_EQ(shard.reload(path), 9u);
+  EXPECT_EQ(server.engine().model_version(), 9u);
+
+  // Post-roll traffic is bit-identical to the new fused generation
+  // (same body pool, the artifact's head) and says so per row.
+  for (std::size_t i = 0; i < 100; ++i) {
+    const Prediction reply = shard.submit(records[i]).get();
+    ASSERT_EQ(reply.scores,
+              testutil::canonical_scores(make_fused_v2()->scores(records[i])))
+        << "record " << i;
+    EXPECT_EQ(reply.model_version, 9u);
+  }
+  EXPECT_EQ(shard.consecutive_failures(), 0u);
+  std::remove(path.c_str());
+  shard.shutdown();
+  server.stop();
+}
+
+TEST(RemoteShard, ReloadFailureIsAnErrorFrameAndNeverCountsTowardDrain) {
+  const auto fused = make_fused();
+  rpc::ShardServer server(fused, "127.0.0.1:0", small_server());
+  rpc::RemoteShard shard(server.address(), fast_client());
+
+  // A missing artifact fails the reload — as a typed Error reply, not a
+  // poisoned connection: serving continues on the old version.
+  EXPECT_THROW((void)shard.reload("/nonexistent/head.mufa"), Error);
+  EXPECT_EQ(server.engine().model_version(), 1u);
+  // Control-plane failures never push a shard toward auto-drain.
+  EXPECT_EQ(shard.consecutive_failures(), 0u);
+  const data::Record& record = rpc_dataset().record(0);
+  EXPECT_EQ(shard.submit(record).get().scores,
+            testutil::canonical_scores(fused->scores(record)));
+
+  // A non-advancing stamp (rollback) is rejected the same way.
+  const std::string path = write_v2_head_artifact("rpc_rollback", 9);
+  EXPECT_EQ(shard.reload(path), 9u);
+  EXPECT_THROW((void)shard.reload(path), Error);  // same stamp again
+  EXPECT_EQ(server.engine().model_version(), 9u);
+  EXPECT_EQ(shard.consecutive_failures(), 0u);
+  std::remove(path.c_str());
+  shard.shutdown();
+  server.stop();
+}
+
+TEST(ShardRouterRpc, ReloadAllRollsTheFleetUnderTrafficWithZeroFailures) {
+  // The fleet-roll acceptance drill, in-process: two remote shards serve
+  // sustained traffic while reload_all rolls an unstamped artifact
+  // across them shard by shard. Zero caller-visible errors; every reply
+  // is bit-identical to the generation its row-level version names.
+  const auto fused = make_fused();
+  rpc::ShardServer server_a(fused, "127.0.0.1:0", small_server());
+  rpc::ShardServer server_b(fused, "127.0.0.1:0", small_server());
+
+  RouterConfig config;
+  config.shards = 0;
+  config.remote_endpoints = {server_a.address(), server_b.address()};
+  config.remote = fast_client();
+  ShardRouter router(nullptr, config);
+
+  // Unstamped artifact: each server auto-assigns its next version (2).
+  const std::string path = write_v2_head_artifact("rpc_roll_all", 0);
+
+  std::span<const data::Record> records = rpc_dataset().records();
+  std::atomic<bool> rolling{true};
+  std::atomic<std::size_t> failures{0};
+  std::atomic<std::size_t> mismatches{0};
+  std::vector<std::thread> clients;
+  for (std::size_t t = 0; t < 3; ++t) {
+    clients.emplace_back([&, t]() {
+      for (std::size_t i = 0; rolling.load() || i < 50; ++i) {
+        const std::size_t r = (t * 41 + i * 7) % records.size();
+        try {
+          const Prediction reply = router.predict(records[r]);
+          const auto& generation =
+              reply.model_version >= 2 ? make_fused_v2() : fused;
+          if (reply.scores !=
+              testutil::canonical_scores(generation->scores(records[r]))) {
+            mismatches.fetch_add(1);
+          }
+        } catch (const Error&) {
+          failures.fetch_add(1);
+        }
+        if (i >= 5000) break;  // bound the loop if the roll stalls
+      }
+    });
+  }
+
+  // Let traffic flow, then roll the whole fleet mid-stream.
+  std::this_thread::sleep_for(50ms);
+  const std::vector<std::uint64_t> versions = router.reload_all(path);
+  rolling.store(false);
+  for (std::thread& client : clients) client.join();
+
+  ASSERT_EQ(versions.size(), 2u);
+  EXPECT_EQ(versions[0], 2u);
+  EXPECT_EQ(versions[1], 2u);
+  EXPECT_EQ(server_a.engine().model_version(), 2u);
+  EXPECT_EQ(server_b.engine().model_version(), 2u);
+  // The acceptance gate: a fleet roll is invisible to callers.
+  EXPECT_EQ(failures.load(), 0u);
+  EXPECT_EQ(mismatches.load(), 0u);
+
+  // Post-roll, both shards serve the new generation.
+  const std::vector<Prediction> after =
+      router.predict_batch(records.subspan(0, 100));
+  for (std::size_t i = 0; i < after.size(); ++i) {
+    ASSERT_EQ(after[i].scores, testutil::canonical_scores(
+                                   make_fused_v2()->scores(records[i])))
+        << "record " << i;
+    EXPECT_EQ(after[i].model_version, 2u);
+  }
+  std::remove(path.c_str());
+  router.shutdown();
+  server_a.stop();
+  server_b.stop();
+}
+
+TEST(ShardRouterRpc, ReloadShardTargetsOneLocalOrRemoteReplica) {
+  const auto fused = make_fused();
+  rpc::ShardServer server(fused, "127.0.0.1:0", small_server());
+
+  RouterConfig config;
+  config.shards = 1;
+  config.engine.workers = 2;
+  config.engine.max_batch = 16;
+  config.remote_endpoints = {server.address()};
+  config.remote = fast_client();
+  ShardRouter router(fused, config);
+  ASSERT_EQ(router.replica_count(), 2u);
+
+  const std::string path = write_v2_head_artifact("rpc_roll_one", 5);
+  // Shard 0 is the in-process replica: LocalReplica::reload reads the
+  // path here. Shard 1 resolves it on its server — same file, same host.
+  EXPECT_EQ(router.reload_shard(0, path), 5u);
+  EXPECT_EQ(router.replica(0).model_version(), 5u);
+  EXPECT_EQ(server.engine().model_version(), 1u);  // untouched so far
+  EXPECT_EQ(router.reload_shard(1, path), 5u);
+  EXPECT_EQ(server.engine().model_version(), 5u);
+  EXPECT_THROW((void)router.reload_shard(2, path), Error);  // no such shard
+
+  std::remove(path.c_str());
+  router.shutdown();
+  server.stop();
 }
 
 TEST(RemoteShard, TracedRequestsEmitClientAndServerSpans) {

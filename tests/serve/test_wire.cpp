@@ -62,6 +62,9 @@ Prediction make_prediction(std::size_t seed, std::size_t num_classes) {
   prediction.predicted = seed % num_classes;
   prediction.consensus = seed % 2 == 0;
   prediction.cached = seed % 3 == 0;
+  // Rows of one response can straddle an engine hot-swap across
+  // micro-batches, so the version is per-row on the wire.
+  prediction.model_version = 100 + seed;
   return prediction;
 }
 
@@ -177,8 +180,64 @@ TEST(Wire, ScoreResponseRoundTripAcrossBatchSizes) {
       EXPECT_EQ(decoded[i].predicted, predictions[i].predicted);
       EXPECT_EQ(decoded[i].consensus, predictions[i].consensus);
       EXPECT_EQ(decoded[i].cached, predictions[i].cached);
+      EXPECT_EQ(decoded[i].model_version, predictions[i].model_version);
     }
   }
+}
+
+TEST(Wire, ReloadRoundTrip) {
+  const std::string path = "/srv/models/head-v7.mufa";
+  const std::vector<std::uint8_t> frame = encode_reload(44, path);
+  const FrameHeader header = decode_header({frame.data(), kHeaderBytes});
+  EXPECT_EQ(header.type, MsgType::Reload);
+  EXPECT_EQ(header.seq, 44u);
+  EXPECT_EQ(decode_reload({frame.data() + kHeaderBytes,
+                           frame.size() - kHeaderBytes}),
+            path);
+}
+
+TEST(Wire, ReloadRejectsHostilePayloads) {
+  // An empty path is refused at encode time — there is nothing to load.
+  EXPECT_THROW((void)encode_reload(1, ""), Error);
+
+  const std::vector<std::uint8_t> frame = encode_reload(1, "head.mufa");
+  const std::span<const std::uint8_t> payload{
+      frame.data() + kHeaderBytes, frame.size() - kHeaderBytes};
+  for (std::size_t cut = 0; cut < payload.size(); ++cut) {
+    EXPECT_THROW((void)decode_reload(payload.subspan(0, cut)), Error)
+        << "cut at " << cut;
+  }
+  // Trailing garbage after the path is rejected.
+  std::vector<std::uint8_t> trailing(payload.begin(), payload.end());
+  trailing.push_back(0x00);
+  EXPECT_THROW((void)decode_reload(trailing), Error);
+  // A forged zero-length path is rejected by the decoder too.
+  std::vector<std::uint8_t> empty_path;
+  common::put_u32(empty_path, 0);
+  EXPECT_THROW((void)decode_reload(empty_path), Error);
+  // A length field lying past the payload must not over-read.
+  std::vector<std::uint8_t> lying;
+  common::put_u32(lying, 0xFFFF'FFFFU);
+  lying.push_back('x');
+  EXPECT_THROW((void)decode_reload(lying), Error);
+}
+
+TEST(Wire, ReloadAckRoundTrip) {
+  const std::vector<std::uint8_t> frame =
+      encode_reload_ack(45, /*model_version=*/0x0102'0304'0506'0708ULL);
+  const FrameHeader header = decode_header({frame.data(), kHeaderBytes});
+  EXPECT_EQ(header.type, MsgType::ReloadAck);
+  EXPECT_EQ(header.seq, 45u);
+  const std::span<const std::uint8_t> payload{
+      frame.data() + kHeaderBytes, frame.size() - kHeaderBytes};
+  EXPECT_EQ(decode_reload_ack(payload), 0x0102'0304'0506'0708ULL);
+  for (std::size_t cut = 0; cut < payload.size(); ++cut) {
+    EXPECT_THROW((void)decode_reload_ack(payload.subspan(0, cut)), Error)
+        << "cut at " << cut;
+  }
+  std::vector<std::uint8_t> trailing(payload.begin(), payload.end());
+  trailing.push_back(0xAB);
+  EXPECT_THROW((void)decode_reload_ack(trailing), Error);
 }
 
 TEST(Wire, EmptyBatchesRoundTrip) {
